@@ -1,0 +1,230 @@
+//! Aggregation programs: the paper's Figures 3, 4, 10 and 11.
+//!
+//! [`hierarchical_sum`] is the flagship listing of the paper (Figure 3) with
+//! the fold strategy — multicore partitions vs SIMD lanes vs sequential —
+//! as a parameter, reproducing the Figure 4 "two-line diff" as a single
+//! enum choice. [`grouped_agg`] is the `Partition` → `Scatter` → `Fold`
+//! group-by of Figure 10, the pattern the compiled backend's *virtual
+//! scatter* (§3.1.3, Figure 11) recognizes and never materializes.
+//!
+//! Grouped results follow the paper's padded-output convention (§2.2): the
+//! aggregate of a run sits at the *start* of the run, the rest of the run
+//! is ε. Hosts extract rows with [`extract_padded`]; backends suppress the
+//! padding in memory (§3.1.2), so the layout is free at runtime.
+
+use voodoo_core::{AggKind, KeyPath, Program, ScalarValue, StructuredVector};
+
+use crate::FoldStrategy;
+
+/// Figure 3 / Figure 4: hierarchical summation of the `val` column of a
+/// single-column table.
+///
+/// The program follows the listing line by line:
+///
+/// ```text
+/// input        := Load(table)                 // line 1
+/// ids          := Range(input)                // line 2
+/// partitionIDs := Divide(ids, size)           // lines 3-4 (or Modulo for lanes)
+/// positions    := Partition(partitionIDs)     // line 5
+/// inputWPart   := Zip(input, partitionIDs)    // line 6
+/// partInput    := Scatter(inputWPart, pos)    // line 7
+/// pSum         := FoldSum(partInput.val, .partition)  // line 8
+/// totalSum     := FoldSum(pSum)               // line 9
+/// ```
+///
+/// For [`FoldStrategy::Partitions`] the `Divide`-generated ids are already
+/// run-adjacent, so the `Partition`/`Scatter` pair is the identity
+/// permutation and is elided (the paper notes the partitioning "is purely
+/// logical ... unless explicitly materialized"). For [`FoldStrategy::Lanes`]
+/// the scatter genuinely reorders records round-robin → lane-major, which
+/// is what maps the fold onto SIMD lanes.
+pub fn hierarchical_sum(table: &str, strategy: FoldStrategy) -> Program {
+    let mut p = Program::new();
+    let input = p.load(table);
+    match strategy {
+        FoldStrategy::Global => {
+            let total = p.fold_sum_global(input);
+            p.label(total, "totalSum");
+            p.ret(total);
+        }
+        FoldStrategy::Partitions { .. } => {
+            let part_ids = strategy.control(&mut p, input).expect("non-global");
+            p.label(part_ids, "partitionIDs");
+            let psum = p.fold_sum(part_ids, input);
+            p.label(psum, "pSum");
+            let total = p.fold_sum_global(psum);
+            p.label(total, "totalSum");
+            p.ret(total);
+        }
+        FoldStrategy::Lanes { lanes } => {
+            let part_ids = strategy.control(&mut p, input).expect("non-global");
+            p.label(part_ids, "partitionIDs");
+            let pivots = p.range(0, lanes.max(1), 1);
+            let positions = p.partition(part_ids, KeyPath::val(), pivots, KeyPath::val());
+            p.label(positions, "positions");
+            let zipped = p.zip_kp(
+                KeyPath::val(),
+                input,
+                KeyPath::val(),
+                KeyPath::new(".partition"),
+                part_ids,
+                KeyPath::val(),
+            );
+            p.label(zipped, "inputWPart");
+            let scattered = p.scatter_kp(zipped, zipped, None, positions, KeyPath::val());
+            p.label(scattered, "partInput");
+            let psum = p.fold_agg_kp(
+                AggKind::Sum,
+                scattered,
+                Some(KeyPath::new(".partition")),
+                KeyPath::val(),
+                KeyPath::val(),
+            );
+            p.label(psum, "pSum");
+            let total = p.fold_sum_global(psum);
+            p.label(total, "totalSum");
+            p.ret(total);
+        }
+    }
+    p
+}
+
+/// Figure 10: grouped aggregation `SELECT agg(val) FROM t GROUP BY key`.
+///
+/// `key_col` must take values in `0..groups` — the dense-domain
+/// precondition the paper's frontend derives from min/max metadata (§4
+/// "Optimization"). Returns **two** padded-aligned vectors: the group keys
+/// (`FoldMax` of the key per run — constant within a run, so any fold
+/// works) and the aggregates. Extract rows with [`extract_padded`].
+pub fn grouped_agg(
+    table: &str,
+    key_col: &str,
+    val_col: &str,
+    groups: usize,
+    agg: AggKind,
+) -> Program {
+    let mut p = Program::new();
+    let input = p.load(table);
+    let key_kp = KeyPath::new(&format!(".{key_col}"));
+    let val_kp = KeyPath::new(&format!(".{val_col}"));
+    let pivots = p.range(0, groups.max(1), 1);
+    p.label(pivots, "pivot");
+    let positions = p.partition(input, key_kp.clone(), pivots, KeyPath::val());
+    p.label(positions, "pos");
+    let scattered = p.scatter_kp(input, input, None, positions, KeyPath::val());
+    let keys = p.fold_agg_kp(
+        AggKind::Max,
+        scattered,
+        Some(key_kp.clone()),
+        key_kp.clone(),
+        KeyPath::val(),
+    );
+    p.label(keys, "groupKeys");
+    let per_group = p.fold_agg_kp(agg, scattered, Some(key_kp), val_kp, KeyPath::val());
+    p.label(per_group, "perGroup");
+    p.ret(keys);
+    p.ret(per_group);
+    p
+}
+
+/// Figure 11's `FoldCount`: per-group row counts via the `FoldSum`-of-ones
+/// macro. Returns padded-aligned `(keys, counts)` like [`grouped_agg`].
+pub fn grouped_count(table: &str, key_col: &str, groups: usize) -> Program {
+    let mut p = Program::new();
+    let input = p.load(table);
+    let key_kp = KeyPath::new(&format!(".{key_col}"));
+    let pivots = p.range(0, groups.max(1), 1);
+    let positions = p.partition(input, key_kp.clone(), pivots, KeyPath::val());
+    let scattered = p.scatter_kp(input, input, None, positions, KeyPath::val());
+    let keys = p.fold_agg_kp(
+        AggKind::Max,
+        scattered,
+        Some(key_kp.clone()),
+        key_kp.clone(),
+        KeyPath::val(),
+    );
+    let counts = p.fold_count_kp(scattered, Some(key_kp));
+    p.ret(keys);
+    p.ret(counts);
+    p
+}
+
+/// Grouped mean: `SELECT sum(val), count(*) FROM t GROUP BY key` as two
+/// folds over one shared scatter — a common-subexpression showcase (the
+/// "non-redundancy ... increases the number of opportunities for common
+/// subexpression elimination" point of §2). Returns padded-aligned
+/// `(keys, sums, counts)`; the host divides.
+pub fn grouped_sum_count(table: &str, key_col: &str, val_col: &str, groups: usize) -> Program {
+    let mut p = Program::new();
+    let input = p.load(table);
+    let key_kp = KeyPath::new(&format!(".{key_col}"));
+    let val_kp = KeyPath::new(&format!(".{val_col}"));
+    let pivots = p.range(0, groups.max(1), 1);
+    let positions = p.partition(input, key_kp.clone(), pivots, KeyPath::val());
+    let scattered = p.scatter_kp(input, input, None, positions, KeyPath::val());
+    let keys = p.fold_agg_kp(
+        AggKind::Max,
+        scattered,
+        Some(key_kp.clone()),
+        key_kp.clone(),
+        KeyPath::val(),
+    );
+    let sums = p.fold_agg_kp(
+        AggKind::Sum,
+        scattered,
+        Some(key_kp.clone()),
+        val_kp,
+        KeyPath::val(),
+    );
+    let counts = p.fold_count_kp(scattered, Some(key_kp));
+    p.ret(keys);
+    p.ret(sums);
+    p.ret(counts);
+    p
+}
+
+/// Per-run inclusive prefix sums (`FoldScan`) under a fold strategy —
+/// the building block of multi-level scans and the position arithmetic in
+/// [`crate::compaction`].
+pub fn prefix_sum(table: &str, strategy: FoldStrategy) -> Program {
+    let mut p = Program::new();
+    let input = p.load(table);
+    let scanned = match strategy.control(&mut p, input) {
+        None => p.fold_scan_global(input),
+        Some(ctrl) => {
+            let zipped = p.zip_kp(
+                KeyPath::new(".fold"),
+                ctrl,
+                KeyPath::val(),
+                KeyPath::val(),
+                input,
+                KeyPath::val(),
+            );
+            p.fold_scan_kp(zipped, Some(KeyPath::new(".fold")), KeyPath::val(), KeyPath::val())
+        }
+    };
+    p.ret(scanned);
+    p
+}
+
+/// Extract `(key, values...)` rows from padded-aligned grouped results:
+/// slot `i` contributes a row iff the key vector is non-ε at `i`.
+pub fn extract_padded(keys: &StructuredVector, vals: &[&StructuredVector]) -> Vec<(i64, Vec<ScalarValue>)> {
+    let kp = KeyPath::val();
+    let kcol = keys.column(&kp).expect("key .val column");
+    let mut rows = Vec::new();
+    for i in 0..keys.len() {
+        if let Some(k) = kcol.get(i) {
+            let row = vals
+                .iter()
+                .map(|v| {
+                    v.column(&kp)
+                        .and_then(|c| c.get(i))
+                        .unwrap_or(ScalarValue::I64(0))
+                })
+                .collect();
+            rows.push((k.as_i64(), row));
+        }
+    }
+    rows
+}

@@ -1,0 +1,133 @@
+//! Branch-free compaction and algebra-level sorting.
+//!
+//! [`compact`] generalizes Ross-style cursor arithmetic (the Figure 1
+//! branch-free selection) from *position emission* to *writes*: an
+//! inclusive `FoldScan` over the 0/1 predicate computes every qualifying
+//! tuple's output cursor, non-qualifying tuples are parked at an
+//! out-of-bounds position (the algebra drops out-of-range scatter writes),
+//! and one `Scatter` compacts the survivors to the front of the output.
+//!
+//! [`radix_sort`] shows that the algebra's `Partition` — a *stable*
+//! counting sort by pivot bucket — composes into a full LSD radix sort:
+//! pass `k` buckets tuples by digit `k` and scatters them; stability makes
+//! the passes compose. The paper's Table 2 semantics ("Scatters are
+//! performed in order within a value-run") is exactly the stability
+//! guarantee this needs.
+
+use voodoo_core::{BinOp, KeyPath, Program};
+
+/// Branch-free stream compaction: move the values of `table.val` that
+/// satisfy `val < c` to the front of an equally-sized output vector
+/// (ε tail). One pass of arithmetic + one scatter; no `if`.
+pub fn compact(table: &str, c: i64) -> Program {
+    let mut p = Program::new();
+    let v = p.load(table);
+    let pred = p.binary_const(BinOp::Less, v, KeyPath::val(), c, KeyPath::val());
+    p.label(pred, "pred");
+    // Inclusive prefix sum of the predicate = 1-based output cursor for
+    // qualifying tuples.
+    let scan = p.fold_scan_global(pred);
+    p.label(scan, "cursor");
+    let zero_based = p.sub_const(scan, 1i64);
+    // Park non-qualifying tuples out of bounds (the algebra drops
+    // out-of-range scatter writes): pos = pred·cursor + (1-pred)·PARK
+    // with PARK far beyond any input size.
+    let masked_pos = p.mul(zero_based, pred);
+    let one = p.constant(1i64);
+    let not_pred = p.binary_kp(
+        BinOp::Subtract,
+        one,
+        KeyPath::val(),
+        pred,
+        KeyPath::val(),
+        KeyPath::val(),
+    );
+    let park = p.mul_const(not_pred, i64::MAX / 4);
+    let pos = p.add(masked_pos, park);
+    p.label(pos, "scatterPos");
+    let out = p.scatter(v, v, pos);
+    p.label(out, "compacted");
+    p.ret(out);
+    p
+}
+
+/// Stable LSD radix sort of the non-negative keys in `table.val`:
+/// `passes` passes of `bits` bits each (so keys must fit in
+/// `passes · bits` bits). Each pass is `Divide` + `Modulo` (digit
+/// extraction), `Partition` (stable counting sort by digit) and
+/// `Scatter` (apply the permutation).
+pub fn radix_sort(table: &str, bits: u32, passes: u32) -> Program {
+    let mut p = Program::new();
+    let mut data = p.load(table);
+    let radix = 1i64 << bits;
+    for pass in 0..passes {
+        let shift = 1i64 << (bits * pass);
+        let shifted = p.div_const(data, shift);
+        let digit = p.mod_const(shifted, radix);
+        p.label(digit, &format!("digit{pass}"));
+        let pivots = p.range(0, radix as usize, 1);
+        let pos = p.partition(digit, KeyPath::val(), pivots, KeyPath::val());
+        data = p.scatter(data, data, pos);
+        p.label(data, &format!("pass{pass}"));
+    }
+    p.ret(data);
+    p
+}
+
+/// Adjacent-run deduplication of a *sorted* vector: keep the first
+/// element of every run of equal values, ε the rest — the classic
+/// `SELECT DISTINCT` kernel. Implemented as a `FoldMin` controlled by the
+/// values themselves (each run of equals is one fold run).
+pub fn dedup_sorted(table: &str) -> Program {
+    let mut p = Program::new();
+    let v = p.load(table);
+    let zipped = p.zip_kp(
+        KeyPath::new(".fold"),
+        v,
+        KeyPath::val(),
+        KeyPath::val(),
+        v,
+        KeyPath::val(),
+    );
+    let firsts = p.fold_agg_kp(
+        voodoo_core::AggKind::Min,
+        zipped,
+        Some(KeyPath::new(".fold")),
+        KeyPath::val(),
+        KeyPath::val(),
+    );
+    p.label(firsts, "distinct");
+    p.ret(firsts);
+    p
+}
+
+/// Histogram of the values of `table.val`, which must lie in
+/// `0..buckets` (dense domain — the bucket id *is* the value):
+/// `Partition` + `Scatter` + `FoldCount` (the Figure 11 counting pattern),
+/// returned padded-aligned as `(bucket_keys, counts)`.
+pub fn histogram(table: &str, buckets: usize) -> Program {
+    let mut p = Program::new();
+    let v = p.load(table);
+    let pivots = p.range(0, buckets.max(1), 1);
+    let pos = p.partition(v, KeyPath::val(), pivots, KeyPath::val());
+    let zipped = p.zip_kp(
+        KeyPath::val(),
+        v,
+        KeyPath::val(),
+        KeyPath::new(".bucket"),
+        v,
+        KeyPath::val(),
+    );
+    let scattered = p.scatter_kp(zipped, zipped, None, pos, KeyPath::val());
+    let keys = p.fold_agg_kp(
+        voodoo_core::AggKind::Max,
+        scattered,
+        Some(KeyPath::new(".bucket")),
+        KeyPath::new(".bucket"),
+        KeyPath::val(),
+    );
+    let counts = p.fold_count_kp(scattered, Some(KeyPath::new(".bucket")));
+    p.ret(keys);
+    p.ret(counts);
+    p
+}

@@ -1,0 +1,287 @@
+//! Write-once hash tables in pure Voodoo — the §6 related-work claim.
+//!
+//! The paper argues that the SIMD hash-table algorithms of Polychroniou et
+//! al. "can be translated directly into equivalent Voodoo code", with two
+//! caveats: data structures must be written once (conflict markers need a
+//! second logical buffer) and cuckoo displacement chains must be *bounded*,
+//! because "each cuckoo iteration needs to (logically) create a new data
+//! structure ... the program grows linearly with the number of
+//! cuckoo-iterations". This module implements exactly that:
+//!
+//! * [`build_linear_probe`] — open addressing with `rounds` unrolled
+//!   probe rounds. Each round is one `Scatter` (conflicts resolved by the
+//!   algebra's in-order overwrite rule) followed by a `Gather`-back that
+//!   tells every key whether it won its slot; losers advance their probe
+//!   cursor by plain arithmetic. No `if`, no `while` — the round count is
+//!   a compile-time constant, so the program stays deterministic (§2).
+//! * [`probe_linear`] — bounded probing against the persisted table. The
+//!   algebra's ε plays the role of the empty marker: gathering an empty
+//!   slot yields ε, ε propagates through the comparison and poisons the
+//!   cursor of absent keys, and the final `FoldSum` skips ε — so absent
+//!   keys count as misses without a single branch.
+//! * [`build_cuckoo_bounded`] / [`probe_cuckoo`] — two hash functions over
+//!   a two-region table. Displacement is realized write-once: instead of
+//!   kicking the incumbent, the *loser* of a conflict re-attempts its
+//!   alternate location on the next unrolled round (each round logically
+//!   creates a new table, as the paper prescribes).
+//!
+//! Convergence: probe cursors only advance, so with unique keys, load
+//! factor < 1 and `rounds ≥` the longest collision cluster, every key
+//! stabilizes in a private slot. The tests build at load factor ≤ 0.5
+//! with generous bounds and assert that every inserted key is found.
+
+use voodoo_core::{BinOp, KeyPath, Program, VRef};
+
+/// `1 - x` with a broadcast constant left-hand side (used to turn a 0/1
+/// hit flag into a cursor increment).
+fn one_minus(p: &mut Program, x: VRef) -> VRef {
+    let one = p.constant(1i64);
+    p.binary_kp(BinOp::Subtract, one, KeyPath::val(), x, KeyPath::val(), KeyPath::val())
+}
+
+/// One linear-probe round: scatter all keys at `h + f (mod cap)`, gather
+/// back, and advance the cursor `f` of every key that lost its slot.
+/// Returns `(new_f, table, pos)`.
+fn probe_round(
+    p: &mut Program,
+    keys: VRef,
+    h: VRef,
+    f: VRef,
+    capvec: VRef,
+    cap: i64,
+) -> (VRef, VRef, VRef) {
+    let raw = p.add(h, f);
+    let pos = p.mod_const(raw, cap);
+    let table = p.scatter(keys, capvec, pos);
+    let occ = p.gather(table, pos);
+    let hit = p.binary(BinOp::Equals, occ, keys);
+    let miss = one_minus(p, hit);
+    let new_f = p.add(f, miss);
+    (new_f, table, pos)
+}
+
+/// Build an open-addressing table of `capacity` slots from the unique,
+/// non-negative keys in `keys_table.val`, with `rounds` unrolled conflict
+/// rounds. Persists the table under `out_name` and returns (as program
+/// results) the final table and each key's slot position.
+///
+/// Identity hashing (`key mod capacity`) mirrors the paper's frontend
+/// ("we use identity hashing on open hashtables and derive their size
+/// from the input domain", §4).
+pub fn build_linear_probe(
+    keys_table: &str,
+    capacity: usize,
+    rounds: usize,
+    out_name: &str,
+) -> Program {
+    let cap = capacity.max(1) as i64;
+    let mut p = Program::new();
+    let keys = p.load(keys_table);
+    let h = p.mod_const(keys, cap);
+    p.label(h, "hash");
+    let capvec = p.range(0, capacity.max(1), 1);
+    let mut f = p.constant_like(0i64, keys);
+    p.label(f, "cursor");
+    // Unrolled rounds: the paper's bounded-iteration scheme. Each round's
+    // table is a fresh vector (write-once); only the last one survives.
+    for _ in 0..rounds.max(1) {
+        let (nf, _, _) = probe_round(&mut p, keys, h, f, capvec, cap);
+        f = nf;
+    }
+    let raw = p.add(h, f);
+    let pos = p.mod_const(raw, cap);
+    p.label(pos, "slot");
+    let table = p.scatter(keys, capvec, pos);
+    p.label(table, "hashTable");
+    p.persist(out_name, table);
+    p.ret(table);
+    p.ret(pos);
+    p
+}
+
+/// Probe the table persisted by [`build_linear_probe`] with the keys in
+/// `probes_table.val`, using at most `rounds` probe steps. Returns two
+/// results: the per-probe hit flag (1 found / 0 or ε not found) and the
+/// total hit count (ε-skipping `FoldSum` — the branch-free tally).
+pub fn probe_linear(
+    table_name: &str,
+    probes_table: &str,
+    capacity: usize,
+    rounds: usize,
+) -> Program {
+    let cap = capacity.max(1) as i64;
+    let mut p = Program::new();
+    let q = p.load(probes_table);
+    let ht = p.load(table_name);
+    let h = p.mod_const(q, cap);
+    let mut f = p.constant_like(0i64, q);
+    let mut hit = p.binary(BinOp::Equals, q, q); // all-true placeholder
+    for _ in 0..rounds.max(1) {
+        let raw = p.add(h, f);
+        let pos = p.mod_const(raw, cap);
+        let occ = p.gather(ht, pos);
+        hit = p.binary(BinOp::Equals, occ, q);
+        let miss = one_minus(&mut p, hit);
+        f = p.add(f, miss);
+    }
+    p.label(hit, "found");
+    let count = p.fold_sum_global(hit);
+    p.label(count, "foundCount");
+    p.ret(hit);
+    p.ret(count);
+    p
+}
+
+/// The two cuckoo hash functions over a domain of `cap` slots each:
+/// `h1 = key mod cap` and `h2 = (key·31 + 7) mod cap`.
+fn cuckoo_hashes(p: &mut Program, keys: VRef, cap: i64) -> (VRef, VRef) {
+    let h1 = p.mod_const(keys, cap);
+    let scaled = p.mul_const(keys, 31i64);
+    let shifted = p.add_const(scaled, 7i64);
+    let h2 = p.mod_const(shifted, cap);
+    (h1, h2)
+}
+
+/// Build a bounded-cuckoo table: two regions of `capacity` slots (total
+/// `2·capacity`), `iterations` unrolled displacement rounds. A key whose
+/// attempt counter is even tries region 1 at `h1`, odd tries region 2 at
+/// `h2`; conflict losers advance the counter. Persists under `out_name`;
+/// returns the table and the per-key final attempt counter.
+pub fn build_cuckoo_bounded(
+    keys_table: &str,
+    capacity: usize,
+    iterations: usize,
+    out_name: &str,
+) -> Program {
+    let cap = capacity.max(1) as i64;
+    let mut p = Program::new();
+    let keys = p.load(keys_table);
+    let (h1, h2) = cuckoo_hashes(&mut p, keys, cap);
+    let sizevec = p.range(0, 2 * capacity.max(1), 1);
+    let mut f = p.constant_like(0i64, keys);
+
+    // slot(f) = (f mod 2)·cap + [f even ? h1 : h2]; all plain arithmetic.
+    let slot_of = |p: &mut Program, f: VRef| -> VRef {
+        let t = p.mod_const(f, 2i64);
+        let not_t = one_minus(p, t);
+        let side1 = p.mul(not_t, h1);
+        let side2 = p.mul(t, h2);
+        let inner = p.add(side1, side2);
+        let region = p.mul_const(t, cap);
+        p.add(region, inner)
+    };
+
+    for _ in 0..iterations.max(1) {
+        let pos = slot_of(&mut p, f);
+        let table = p.scatter(keys, sizevec, pos);
+        let occ = p.gather(table, pos);
+        let hit = p.binary(BinOp::Equals, occ, keys);
+        let miss = one_minus(&mut p, hit);
+        f = p.add(f, miss);
+    }
+    let pos = slot_of(&mut p, f);
+    p.label(pos, "slot");
+    let table = p.scatter(keys, sizevec, pos);
+    p.label(table, "cuckooTable");
+    p.persist(out_name, table);
+    p.ret(table);
+    p.ret(f);
+    p
+}
+
+/// Probe a bounded-cuckoo table: check both candidate locations of every
+/// probe key and return each region's hit count (`FoldSum` of the hit
+/// flags — a stored key occupies exactly one slot, so the sides never
+/// double-count; ε from empty slots is skipped by the fold).
+///
+/// Returns **two** single-run results, one per region; a region nobody
+/// hit folds to ε (the empty sum), which hosts read as 0 — they cannot
+/// be added *inside* the program because ε propagates through `Add`
+/// (paper §2.1), which is exactly the behaviour that makes empty slots
+/// safe everywhere else.
+pub fn probe_cuckoo(table_name: &str, probes_table: &str, capacity: usize) -> Program {
+    let cap = capacity.max(1) as i64;
+    let mut p = Program::new();
+    let q = p.load(probes_table);
+    let ht = p.load(table_name);
+    let (h1, h2) = cuckoo_hashes(&mut p, q, cap);
+    let occ1 = p.gather(ht, h1);
+    let pos2 = p.add_const(h2, cap);
+    let occ2 = p.gather(ht, pos2);
+    let eq1 = p.binary(BinOp::Equals, occ1, q);
+    let eq2 = p.binary(BinOp::Equals, occ2, q);
+    p.label(eq1, "foundRegion1");
+    p.label(eq2, "foundRegion2");
+    let c1 = p.fold_sum_global(eq1);
+    let c2 = p.fold_sum_global(eq2);
+    p.label(c1, "foundRegion1Count");
+    p.label(c2, "foundRegion2Count");
+    p.ret(c1);
+    p.ret(c2);
+    p
+}
+
+/// Hash-join via the write-once table: build a table over the (dense,
+/// unique) build keys, then for each probe row fetch the matching build
+/// *row id*. Combines [`build_linear_probe`]'s placement with a payload
+/// scatter — the pattern a Voodoo frontend would emit for a non-dense
+/// equi-join where min/max metadata cannot prove positional containment.
+///
+/// Returns, aligned with the probe side: the matched build-side row id
+/// (ε where no match).
+pub fn hash_join_rowids(
+    build_table: &str,
+    probe_table: &str,
+    capacity: usize,
+    rounds: usize,
+) -> Program {
+    let cap = capacity.max(1) as i64;
+    let mut p = Program::new();
+    let build = p.load(build_table);
+    let probe = p.load(probe_table);
+    let h = p.mod_const(build, cap);
+    let capvec = p.range(0, capacity.max(1), 1);
+    let mut f = p.constant_like(0i64, build);
+    for _ in 0..rounds.max(1) {
+        let (nf, _, _) = probe_round(&mut p, build, h, f, capvec, cap);
+        f = nf;
+    }
+    let raw = p.add(h, f);
+    let pos = p.mod_const(raw, cap);
+    let keytab = p.scatter(build, capvec, pos);
+    // Payload: the build row ids, scattered to the same slots (the
+    // "second logical buffer" of §6 — write-once, same positions).
+    let rowids = p.range_like(0, build, 1);
+    let ridtab = p.scatter(rowids, capvec, pos);
+
+    // Probe: bounded linear probing, remembering the row id at the slot
+    // where the key matched. match_rid = Σ_rounds rid_r · hit_r works
+    // because hit is 1 in at most one round once a key is found — but a
+    // found key keeps hitting on later rounds, so instead we freeze the
+    // cursor on hit (miss = 0) and take the final round's row id.
+    let qh = p.mod_const(probe, cap);
+    let mut qf = p.constant_like(0i64, probe);
+    for _ in 0..rounds.max(1) {
+        let raw = p.add(qh, qf);
+        let qpos = p.mod_const(raw, cap);
+        let occ = p.gather(keytab, qpos);
+        let hit = p.binary(BinOp::Equals, occ, probe);
+        let miss = one_minus(&mut p, hit);
+        qf = p.add(qf, miss);
+    }
+    // The cursor froze at the matching slot (miss = 0 once hit); read the
+    // payload there. Mask with the final hit flag: ε (absent key stuck on
+    // an empty slot) stays ε via propagation, and a mismatched final slot
+    // is pushed to -1 (out-of-band) by adding `hit - 1`.
+    let raw = p.add(qh, qf);
+    let qpos = p.mod_const(raw, cap);
+    let occ = p.gather(keytab, qpos);
+    let hit = p.binary(BinOp::Equals, occ, probe);
+    let rid = p.gather(ridtab, qpos);
+    let masked = p.mul(rid, hit);
+    let hit_m1 = p.sub_const(hit, 1i64);
+    let out = p.add(masked, hit_m1);
+    p.label(out, "matchedRowId");
+    p.ret(out);
+    p
+}

@@ -1,0 +1,211 @@
+//! Indexed foreign-key lookup and join programs: Figures 14 and 16.
+//!
+//! Both figures explore the same tension — random access into a target
+//! table — under different budgets: Figure 14 varies the *traversal
+//! structure* (how many passes, which layout), Figure 16 varies the
+//! *predicate handling* (branch vs predicate the lookup itself).
+//!
+//! Every variant differs from its siblings by one or two statements, which
+//! is the paper's tunability thesis in executable form.
+
+use voodoo_core::{AggKind, BinOp, KeyPath, Program};
+
+fn kp(s: &str) -> KeyPath {
+    KeyPath::new(s)
+}
+
+/// Traversal structure for the multi-column indexed lookup of Figure 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutStrategy {
+    /// One traversal of the positions resolving both columns — best when
+    /// lookups are sequential (locality is free).
+    SingleLoop,
+    /// Two traversals, one column each, separated by a `Break` — best for
+    /// random lookups into a cache-resident target (each pass enjoys a
+    /// smaller working set).
+    SeparateLoops,
+    /// Transform the target column→row (`Zip` + `Materialize`) just in
+    /// time, then one traversal — best for random lookups into a large
+    /// target (halves the random cache misses).
+    LayoutTransform,
+}
+
+impl LayoutStrategy {
+    /// All variants in figure order.
+    pub fn all() -> [LayoutStrategy; 3] {
+        [
+            LayoutStrategy::SingleLoop,
+            LayoutStrategy::SeparateLoops,
+            LayoutStrategy::LayoutTransform,
+        ]
+    }
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LayoutStrategy::SingleLoop => "Single Loop",
+            LayoutStrategy::SeparateLoops => "Separate Loops",
+            LayoutStrategy::LayoutTransform => "Layout Transform",
+        }
+    }
+}
+
+/// Figure 14: resolve `positions.val` into both columns (`c1`, `c2`) of
+/// `target_table` and sum each. Returns two single-slot vectors.
+pub fn indexed_lookup(
+    target_table: &str,
+    positions_table: &str,
+    strategy: LayoutStrategy,
+) -> Program {
+    let mut p = Program::new();
+    let t = p.load(target_table);
+    let pos = p.load(positions_table);
+    match strategy {
+        LayoutStrategy::SingleLoop => {
+            let g = p.gather(t, pos);
+            let s1 = p.fold_agg_kp(AggKind::Sum, g, None, kp(".c1"), kp(".s1"));
+            let s2 = p.fold_agg_kp(AggKind::Sum, g, None, kp(".c2"), kp(".s2"));
+            p.ret(s1);
+            p.ret(s2);
+        }
+        LayoutStrategy::SeparateLoops => {
+            let g1 = p.gather(t, pos);
+            let s1 = p.fold_agg_kp(AggKind::Sum, g1, None, kp(".c1"), kp(".s1"));
+            let brk = p.break_at(pos);
+            let g2 = p.gather(t, brk);
+            let s2 = p.fold_agg_kp(AggKind::Sum, g2, None, kp(".c2"), kp(".s2"));
+            p.ret(s1);
+            p.ret(s2);
+        }
+        LayoutStrategy::LayoutTransform => {
+            let z = p.zip_kp(kp(".c1"), t, kp(".c1"), kp(".c2"), t, kp(".c2"));
+            let m = p.materialize(z);
+            p.label(m, "rowwise");
+            let g = p.gather(m, pos);
+            let s1 = p.fold_agg_kp(AggKind::Sum, g, None, kp(".c1"), kp(".s1"));
+            let s2 = p.fold_agg_kp(AggKind::Sum, g, None, kp(".c2"), kp(".s2"));
+            p.ret(s1);
+            p.ret(s2);
+        }
+    }
+    p
+}
+
+/// Predicate handling for the selective FK join of Figure 16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FkJoinStrategy {
+    /// Select qualifying rows first, look up only those.
+    Branching,
+    /// Look up *every* row unconditionally, multiply the looked-up value
+    /// by the predicate outcome before aggregation.
+    PredicatedAggregation,
+    /// Multiply the *position* by the predicate first, so all misses hit
+    /// the same "very hot" cache line at slot 0 — the paper's novel
+    /// technique (§5.3 "Branch-Free Foreign-Key Joins").
+    PredicatedLookups,
+}
+
+impl FkJoinStrategy {
+    /// All variants in figure order.
+    pub fn all() -> [FkJoinStrategy; 3] {
+        [
+            FkJoinStrategy::Branching,
+            FkJoinStrategy::PredicatedAggregation,
+            FkJoinStrategy::PredicatedLookups,
+        ]
+    }
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FkJoinStrategy::Branching => "Branching",
+            FkJoinStrategy::PredicatedAggregation => "Predicated Aggregation",
+            FkJoinStrategy::PredicatedLookups => "Predicated Lookups",
+        }
+    }
+}
+
+/// Figure 16: `SELECT sum(target.val) FROM fact, target WHERE
+/// fact.fk = target.pk AND fact.v < c` — `fact_table` needs columns `.v`
+/// and `.fk`, `target_table` a `.val` column addressed by position.
+pub fn selective_fk_join(
+    fact_table: &str,
+    target_table: &str,
+    c: i64,
+    strategy: FkJoinStrategy,
+) -> Program {
+    let mut p = Program::new();
+    let fact = p.load(fact_table);
+    let target = p.load(target_table);
+    let pred = p.binary_const(BinOp::Less, fact, kp(".v"), c, kp(".val"));
+    p.label(pred, "pred");
+    match strategy {
+        FkJoinStrategy::Branching => {
+            let sel = p.fold_select_global(pred);
+            let hits = p.gather(fact, sel);
+            let looked = p.gather_kp(target, hits, ".fk");
+            let sum = p.fold_sum_global(looked);
+            p.ret(sum);
+        }
+        FkJoinStrategy::PredicatedAggregation => {
+            let looked = p.gather_kp(target, fact, ".fk");
+            let masked = p.mul(looked, pred);
+            let sum = p.fold_sum_global(masked);
+            p.ret(sum);
+        }
+        FkJoinStrategy::PredicatedLookups => {
+            let pos = p.binary_kp(BinOp::Multiply, fact, kp(".fk"), pred, kp(".val"), kp(".val"));
+            p.label(pos, "hotPos");
+            let looked = p.gather(target, pos);
+            let masked = p.mul(looked, pred);
+            let sum = p.fold_sum_global(masked);
+            p.ret(sum);
+        }
+    }
+    p
+}
+
+/// Dense-domain equi-join on a foreign key: for each fact row, fetch the
+/// joined target attribute (`target.c`) and return it aligned with the
+/// fact table — the positional-lookup join the Voodoo/MonetDB frontend
+/// emits when FK metadata proves containment (§4, "we aggressively
+/// exploit available metadata ... which allows us to bypass operations
+/// such as hashing").
+pub fn fk_equi_join(fact_table: &str, fk_col: &str, target_table: &str) -> Program {
+    let mut p = Program::new();
+    let fact = p.load(fact_table);
+    let target = p.load(target_table);
+    let joined = p.gather_kp(target, fact, format!(".{fk_col}").as_str());
+    p.label(joined, "joined");
+    p.ret(joined);
+    p
+}
+
+/// Cross join of two (small) tables returning the position pairs —
+/// `Cross` is the paper's only cardinality-increasing shape operator;
+/// actual nested-loop predicates apply elementwise on the gathered sides.
+pub fn cross_join_filter(
+    left_table: &str,
+    right_table: &str,
+    pred_cols: (&str, &str),
+) -> Program {
+    let mut p = Program::new();
+    let l = p.load(left_table);
+    let r = p.load(right_table);
+    let pairs = p.cross(l, r);
+    p.label(pairs, "pairs");
+    let lv = p.gather_kp(l, pairs, ".pos1");
+    let rv = p.gather_kp(r, pairs, ".pos2");
+    let eq = p.binary_kp(
+        BinOp::Equals,
+        lv,
+        kp(&format!(".{}", pred_cols.0)),
+        rv,
+        kp(&format!(".{}", pred_cols.1)),
+        KeyPath::val(),
+    );
+    let sel = p.fold_select_global(eq);
+    let matches = p.gather(pairs, sel);
+    p.ret(matches);
+    p
+}

@@ -1,0 +1,112 @@
+//! # voodoo-algos — a cookbook of canonical Voodoo programs
+//!
+//! The Voodoo paper argues (§1, §6) that the algebra is *expressive*: it can
+//! "capture most of the optimizations proposed for main-memory query
+//! processors in the literature ... with just a few lines of code". This
+//! crate turns that claim into a tested, reusable library. Every function
+//! returns a plain [`voodoo_core::Program`] built from the public algebra —
+//! no backend hooks, no private operators — and every program is verified
+//! interpreter ≡ compiled backend in the test suite.
+//!
+//! Contents, by provenance:
+//!
+//! * [`aggregate`] — the paper's own listings: hierarchical aggregation
+//!   (Figure 3), its two-line SIMD re-targeting (Figure 4), and grouped
+//!   aggregation via `Partition` + `Scatter` + `Fold` (Figures 10/11).
+//! * [`selection`] — the selection design space of Figures 1 and 15:
+//!   position-list filters and selective aggregations, plain or vectorized
+//!   into cache-resident chunks via controlled `Materialize`.
+//! * [`join`] — the lookup/join design space of Figures 14 and 16:
+//!   single-loop / separate-loop / layout-transformed indexed foreign-key
+//!   lookups, and branching / predicated-aggregation / predicated-lookup
+//!   selective FK joins.
+//! * [`hashtable`] — the §6 related-work translations: write-once
+//!   open-addressing hash tables built with bounded (loop-unrolled)
+//!   scatter/gather rounds, bounded linear probing, and bounded cuckoo
+//!   displacement ("the program grows linearly with the number of
+//!   cuckoo-iterations", §6).
+//! * [`compaction`] — branch-free stream compaction and adjacent-run
+//!   encodings built on `FoldScan` cursor arithmetic (Ross-style
+//!   predication generalized to writes).
+//!
+//! The programs are *parameterized by tuning knobs* (partition sizes, lane
+//! counts, chunk sizes, probe bounds) precisely because that is the paper's
+//! thesis: conceptually similar techniques become structurally similar
+//! programs, and re-tuning is a constant change, not a rewrite.
+//!
+//! ```
+//! use voodoo_algos::{aggregate, FoldStrategy};
+//! use voodoo_interp::Interpreter;
+//! use voodoo_storage::Catalog;
+//! use voodoo_core::{KeyPath, ScalarValue};
+//!
+//! let mut cat = Catalog::in_memory();
+//! cat.put_i64_column("input", &(1..=100).collect::<Vec<_>>());
+//!
+//! // Figure 3 with multicore partitions — swap one enum variant for the
+//! // paper's Figure 4 SIMD-lane re-targeting.
+//! let p = aggregate::hierarchical_sum("input", FoldStrategy::Partitions { size: 16 });
+//! let out = Interpreter::new(&cat).run_program(&p).unwrap();
+//! assert_eq!(
+//!     out.returns[0].value_at(0, &KeyPath::val()),
+//!     Some(ScalarValue::I64(5050)),
+//! );
+//! ```
+
+pub mod aggregate;
+pub mod compaction;
+pub mod hashtable;
+pub mod join;
+pub mod selection;
+
+#[cfg(test)]
+mod tests;
+
+use voodoo_core::Program;
+
+/// How a fold distributes work — the Figure 3 vs Figure 4 choice.
+///
+/// The two variants differ by a single operator (`Divide` vs `Modulo` on the
+/// id vector); everything else in the program is identical. That textual
+/// diff is the paper's Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FoldStrategy {
+    /// One sequential run over the whole input (extent 1).
+    Global,
+    /// Contiguous partitions of the given size — multicore-style
+    /// parallelism (`Divide(ids, size)`, Figure 3).
+    Partitions {
+        /// Tuples per partition.
+        size: usize,
+    },
+    /// Round-robin lanes — SIMD-style parallelism (`Modulo(ids, lanes)`,
+    /// Figure 4). Note that lane folds require a scatter into lane-major
+    /// order first (the "records are scattered in a round-robin pattern"
+    /// step of §2).
+    Lanes {
+        /// Number of lanes.
+        lanes: usize,
+    },
+}
+
+impl FoldStrategy {
+    /// Emit the control vector for folding `like` under this strategy, or
+    /// `None` for [`FoldStrategy::Global`].
+    ///
+    /// The returned vector is a *control attribute* (paper §2.3): it is
+    /// never materialized by the compiled backend; its run metadata alone
+    /// steers the extent/intent of the fold.
+    pub fn control(self, p: &mut Program, like: voodoo_core::VRef) -> Option<voodoo_core::VRef> {
+        match self {
+            FoldStrategy::Global => None,
+            FoldStrategy::Partitions { size } => {
+                let ids = p.range_like(0, like, 1);
+                Some(p.div_const(ids, size.max(1) as i64))
+            }
+            FoldStrategy::Lanes { lanes } => {
+                let ids = p.range_like(0, like, 1);
+                Some(p.mod_const(ids, lanes.max(1) as i64))
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Selection programs: the design space of Figures 1 and 15.
+//!
+//! Three physical strategies for `SELECT sum(val) FROM t WHERE lo <= val < hi`:
+//!
+//! * **Plain** — compare, `FoldSelect` the qualifying positions, gather,
+//!   sum. Whether the position emission branches or uses Ross-style cursor
+//!   arithmetic is the *executor's* predication flag
+//!   ([`voodoo_compile::ExecOptions::predicated_select`]), not a program
+//!   change — the paper's point that predication is a tuning decision.
+//! * **PredicatedAggregation** — skip the position list entirely and sum
+//!   `val · (lo <= val < hi)`; branch-free but reads every value.
+//! * **Vectorized** — one extra control vector chops the `FoldSelect` into
+//!   cache-resident chunks (the X100-style two-loop pipeline of §5.3):
+//!   structurally the Plain program plus a `Divide`-generated chunk id.
+//!
+//! The fact that these radically different machine programs differ by one
+//! or two algebra statements is the paper's *tunability* claim.
+
+use voodoo_core::{BinOp, KeyPath, Program};
+
+/// Physical selection strategy (Figure 15's three lines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// Fused select → gather → aggregate; position emission strategy is
+    /// the executor's predication flag.
+    Plain,
+    /// Branch-free masked aggregation, no position list.
+    PredicatedAggregation,
+    /// Chunked position buffer (vectorized branch-free selection).
+    Vectorized {
+        /// Tuples per chunk; the paper sizes this to L1/L2.
+        chunk: usize,
+    },
+}
+
+fn kp(s: &str) -> KeyPath {
+    KeyPath::new(s)
+}
+
+/// Emit the `lo <= val < hi` predicate (0/1) for the `val` column.
+fn range_predicate(
+    p: &mut Program,
+    v: voodoo_core::VRef,
+    lo: i64,
+    hi: i64,
+) -> voodoo_core::VRef {
+    let ge = p.binary_const(BinOp::GreaterEquals, v, kp(".val"), lo, kp(".val"));
+    let lt = p.binary_const(BinOp::Less, v, kp(".val"), hi, kp(".val"));
+    p.binary(BinOp::LogicalAnd, ge, lt)
+}
+
+/// `SELECT sum(val) FROM table WHERE lo <= val < hi` under a strategy.
+pub fn select_sum(table: &str, lo: i64, hi: i64, strategy: SelectionStrategy) -> Program {
+    let mut p = Program::new();
+    let v = p.load(table);
+    let pred = range_predicate(&mut p, v, lo, hi);
+    p.label(pred, "pred");
+    match strategy {
+        SelectionStrategy::Plain => {
+            let sel = p.fold_select_global(pred);
+            p.label(sel, "positions");
+            let vals = p.gather(v, sel);
+            let sum = p.fold_sum_global(vals);
+            p.ret(sum);
+        }
+        SelectionStrategy::PredicatedAggregation => {
+            let masked = p.mul(v, pred);
+            p.label(masked, "masked");
+            let sum = p.fold_sum_global(masked);
+            p.ret(sum);
+        }
+        SelectionStrategy::Vectorized { chunk } => {
+            let ids = p.range_like(0, v, 1);
+            let chunks = p.div_const(ids, chunk.max(1) as i64);
+            p.label(chunks, "chunkIDs");
+            let sel = p.fold_select(chunks, pred);
+            p.label(sel, "positions");
+            let vals = p.gather(v, sel);
+            let sum = p.fold_sum_global(vals);
+            p.ret(sum);
+        }
+    }
+    p
+}
+
+/// Figure 1's filter: materialize the qualifying *values* (`val < c`),
+/// returning the run-aligned padded position output gathered through the
+/// input. Chunking works exactly as in [`select_sum`].
+pub fn filter_values(table: &str, c: i64, strategy: SelectionStrategy) -> Program {
+    let mut p = Program::new();
+    let v = p.load(table);
+    let pred = p.binary_const(BinOp::Less, v, kp(".val"), c, kp(".val"));
+    let sel = match strategy {
+        SelectionStrategy::Plain | SelectionStrategy::PredicatedAggregation => {
+            p.fold_select_global(pred)
+        }
+        SelectionStrategy::Vectorized { chunk } => {
+            let ids = p.range_like(0, v, 1);
+            let chunks = p.div_const(ids, chunk.max(1) as i64);
+            p.fold_select(chunks, pred)
+        }
+    };
+    let out = p.gather(v, sel);
+    p.ret(out);
+    p
+}
+
+/// Count qualifying tuples without a position list:
+/// `sum(lo <= val < hi)` — the cheapest possible selectivity probe, used
+/// by the optimizer crate to sample data before choosing a strategy.
+pub fn count_matching(table: &str, lo: i64, hi: i64) -> Program {
+    let mut p = Program::new();
+    let v = p.load(table);
+    let pred = range_predicate(&mut p, v, lo, hi);
+    let n = p.fold_sum_global(pred);
+    p.ret(n);
+    p
+}
+
+/// Conjunctive multi-column selection:
+/// `sum(agg_col) WHERE pred_col1 < c1 AND pred_col2 < c2` — exercises
+/// predicate combination through `LogicalAnd` the way TPC-H Q6 does.
+pub fn select_sum_conjunctive(
+    table: &str,
+    pred1: (&str, i64),
+    pred2: (&str, i64),
+    agg_col: &str,
+    strategy: SelectionStrategy,
+) -> Program {
+    let mut p = Program::new();
+    let t = p.load(table);
+    let c1 = p.binary_const(BinOp::Less, t, kp(&format!(".{}", pred1.0)), pred1.1, kp(".val"));
+    let c2 = p.binary_const(BinOp::Less, t, kp(&format!(".{}", pred2.0)), pred2.1, kp(".val"));
+    let both = p.binary(BinOp::LogicalAnd, c1, c2);
+    let agg_kp = kp(&format!(".{agg_col}"));
+    match strategy {
+        SelectionStrategy::PredicatedAggregation => {
+            let masked = p.binary_kp(
+                BinOp::Multiply,
+                t,
+                agg_kp,
+                both,
+                KeyPath::val(),
+                KeyPath::val(),
+            );
+            let sum = p.fold_sum_global(masked);
+            p.ret(sum);
+        }
+        SelectionStrategy::Plain => {
+            let sel = p.fold_select_global(both);
+            let vals = p.gather(t, sel);
+            let sum = p.fold_agg_kp(
+                voodoo_core::AggKind::Sum,
+                vals,
+                None,
+                agg_kp,
+                KeyPath::val(),
+            );
+            p.ret(sum);
+        }
+        SelectionStrategy::Vectorized { chunk } => {
+            let ids = p.range_like(0, t, 1);
+            let chunks = p.div_const(ids, chunk.max(1) as i64);
+            let sel = p.fold_select(chunks, both);
+            let vals = p.gather(t, sel);
+            let sum = p.fold_agg_kp(
+                voodoo_core::AggKind::Sum,
+                vals,
+                None,
+                agg_kp,
+                KeyPath::val(),
+            );
+            p.ret(sum);
+        }
+    }
+    p
+}

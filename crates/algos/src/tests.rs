@@ -1,0 +1,754 @@
+//! Differential and semantic tests for every cookbook program: each
+//! program must (a) produce the documented answer and (b) agree exactly
+//! between the reference interpreter and the compiled backend, single-
+//! and multi-threaded, predicated and branching.
+
+use voodoo_compile::{Compiler, ExecOptions, Executor};
+use voodoo_core::{AggKind, KeyPath, Program, ScalarValue, StructuredVector};
+use voodoo_interp::Interpreter;
+use voodoo_storage::Catalog;
+
+use crate::aggregate::{self, extract_padded};
+use crate::compaction;
+use crate::hashtable;
+use crate::join::{self, FkJoinStrategy, LayoutStrategy};
+use crate::selection::{self, SelectionStrategy};
+use crate::FoldStrategy;
+
+fn kp() -> KeyPath {
+    KeyPath::val()
+}
+
+/// Run on both backends, assert equivalence, return the interpreter's
+/// results (returns + persisted).
+fn run_both(cat: &Catalog, p: &Program) -> Vec<StructuredVector> {
+    let interp = Interpreter::new(cat).run_program(p).expect("interp");
+    let cp = Compiler::new(cat).compile(p).expect("compile");
+    for &threads in &[1usize, 4] {
+        for &pred in &[false, true] {
+            let exec = Executor::new(ExecOptions {
+                threads,
+                predicated_select: pred,
+                ..Default::default()
+            });
+            let (out, _) = exec.run(&cp, cat).expect("exec");
+            assert_eq!(interp.returns.len(), out.returns.len(), "return count");
+            for (i, (a, b)) in interp.returns.iter().zip(&out.returns).enumerate() {
+                assert_vectors_eq(a, b, &format!("ret {i}, threads={threads}, pred={pred}"));
+            }
+            for ((na, va), (nb, vb)) in interp.persisted.iter().zip(&out.persisted) {
+                assert_eq!(na, nb, "persist name");
+                assert_vectors_eq(va, vb, &format!("persist {na}"));
+            }
+        }
+    }
+    interp.returns.clone()
+}
+
+fn assert_vectors_eq(a: &StructuredVector, b: &StructuredVector, what: &str) {
+    assert_eq!(a.len(), b.len(), "length of {what}");
+    assert_eq!(a.schema(), b.schema(), "schema of {what}");
+    for (akp, acol) in a.fields() {
+        let bcol = b.column(akp).expect("schema matched");
+        for i in 0..a.len() {
+            assert_eq!(acol.get(i), bcol.get(i), "slot {i} of {akp} in {what}");
+        }
+    }
+}
+
+fn scalar_i64(v: &StructuredVector) -> i64 {
+    v.value_at(0, &kp()).expect("scalar result").as_i64()
+}
+
+fn single_col(values: &[i64]) -> Catalog {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("input", values);
+    cat
+}
+
+// ---------------------------------------------------------------------
+// aggregate
+// ---------------------------------------------------------------------
+
+#[test]
+fn hierarchical_sum_all_strategies_agree() {
+    let vals: Vec<i64> = (1..=1000).collect();
+    let expected: i64 = vals.iter().sum();
+    let cat = single_col(&vals);
+    for strat in [
+        FoldStrategy::Global,
+        FoldStrategy::Partitions { size: 64 },
+        FoldStrategy::Partitions { size: 1024 },
+        FoldStrategy::Partitions { size: 7 },
+        FoldStrategy::Lanes { lanes: 2 },
+        FoldStrategy::Lanes { lanes: 8 },
+        FoldStrategy::Lanes { lanes: 3 },
+    ] {
+        let p = aggregate::hierarchical_sum("input", strat);
+        let out = run_both(&cat, &p);
+        assert_eq!(scalar_i64(&out[0]), expected, "{strat:?}");
+    }
+}
+
+#[test]
+fn hierarchical_sum_partition_larger_than_input() {
+    let cat = single_col(&[1, 2, 3]);
+    let p = aggregate::hierarchical_sum("input", FoldStrategy::Partitions { size: 1 << 20 });
+    let out = run_both(&cat, &p);
+    assert_eq!(scalar_i64(&out[0]), 6);
+}
+
+#[test]
+fn hierarchical_sum_more_lanes_than_elements() {
+    let cat = single_col(&[5, 7]);
+    let p = aggregate::hierarchical_sum("input", FoldStrategy::Lanes { lanes: 16 });
+    let out = run_both(&cat, &p);
+    assert_eq!(scalar_i64(&out[0]), 12);
+}
+
+fn keyed_catalog(keys: &[i64], vals: &[i64]) -> Catalog {
+    use voodoo_core::Buffer;
+    use voodoo_storage::{Table, TableColumn};
+    let mut cat = Catalog::in_memory();
+    let mut t = Table::new("t");
+    t.add_column(TableColumn::from_buffer("k", Buffer::I64(keys.to_vec())));
+    t.add_column(TableColumn::from_buffer("v", Buffer::I64(vals.to_vec())));
+    cat.insert_table(t);
+    cat
+}
+
+#[test]
+fn grouped_agg_sums_per_group() {
+    let keys = [2i64, 0, 1, 0, 2, 2, 1, 0];
+    let vals = [10i64, 1, 100, 2, 20, 30, 200, 4];
+    let cat = keyed_catalog(&keys, &vals);
+    let p = aggregate::grouped_agg("t", "k", "v", 3, AggKind::Sum);
+    let out = run_both(&cat, &p);
+    let rows = extract_padded(&out[0], &[&out[1]]);
+    assert_eq!(rows.len(), 3);
+    let by_key: std::collections::BTreeMap<i64, i64> =
+        rows.iter().map(|(k, v)| (*k, v[0].as_i64())).collect();
+    assert_eq!(by_key[&0], 7);
+    assert_eq!(by_key[&1], 300);
+    assert_eq!(by_key[&2], 60);
+}
+
+#[test]
+fn grouped_agg_min_max() {
+    let keys = [0i64, 1, 0, 1];
+    let vals = [5i64, -3, 9, 12];
+    let cat = keyed_catalog(&keys, &vals);
+    for (agg, want0, want1) in [(AggKind::Min, 5, -3), (AggKind::Max, 9, 12)] {
+        let p = aggregate::grouped_agg("t", "k", "v", 2, agg);
+        let out = run_both(&cat, &p);
+        let rows = extract_padded(&out[0], &[&out[1]]);
+        let by_key: std::collections::BTreeMap<i64, i64> =
+            rows.iter().map(|(k, v)| (*k, v[0].as_i64())).collect();
+        assert_eq!(by_key[&0], want0, "{agg:?}");
+        assert_eq!(by_key[&1], want1, "{agg:?}");
+    }
+}
+
+#[test]
+fn grouped_agg_with_empty_groups() {
+    // Group 1 of 0..4 has no members; it must simply not appear.
+    let keys = [0i64, 3, 0, 2];
+    let vals = [1i64, 2, 3, 4];
+    let cat = keyed_catalog(&keys, &vals);
+    let p = aggregate::grouped_agg("t", "k", "v", 4, AggKind::Sum);
+    let out = run_both(&cat, &p);
+    let rows = extract_padded(&out[0], &[&out[1]]);
+    let ks: Vec<i64> = rows.iter().map(|r| r.0).collect();
+    assert_eq!(ks, vec![0, 2, 3]);
+}
+
+#[test]
+fn grouped_count_counts() {
+    let keys = [1i64, 1, 1, 0, 2, 2];
+    let vals = [0i64; 6];
+    let cat = keyed_catalog(&keys, &vals);
+    let p = aggregate::grouped_count("t", "k", 3);
+    let out = run_both(&cat, &p);
+    let rows = extract_padded(&out[0], &[&out[1]]);
+    let by_key: std::collections::BTreeMap<i64, i64> =
+        rows.iter().map(|(k, v)| (*k, v[0].as_i64())).collect();
+    assert_eq!(by_key[&0], 1);
+    assert_eq!(by_key[&1], 3);
+    assert_eq!(by_key[&2], 2);
+}
+
+#[test]
+fn grouped_sum_count_shares_scatter() {
+    let keys = [0i64, 1, 0, 1, 1];
+    let vals = [10i64, 20, 30, 40, 60];
+    let cat = keyed_catalog(&keys, &vals);
+    let p = aggregate::grouped_sum_count("t", "k", "v", 2);
+    let out = run_both(&cat, &p);
+    let rows = extract_padded(&out[0], &[&out[1], &out[2]]);
+    let by_key: std::collections::BTreeMap<i64, (i64, i64)> = rows
+        .iter()
+        .map(|(k, v)| (*k, (v[0].as_i64(), v[1].as_i64())))
+        .collect();
+    assert_eq!(by_key[&0], (40, 2));
+    assert_eq!(by_key[&1], (120, 3));
+}
+
+#[test]
+fn prefix_sum_global_matches_reference() {
+    let vals = [3i64, 1, 4, 1, 5, 9, 2, 6];
+    let cat = single_col(&vals);
+    let p = aggregate::prefix_sum("input", FoldStrategy::Global);
+    let out = run_both(&cat, &p);
+    let mut acc = 0;
+    for (i, v) in vals.iter().enumerate() {
+        acc += v;
+        assert_eq!(out[0].value_at(i, &kp()), Some(ScalarValue::I64(acc)));
+    }
+}
+
+#[test]
+fn prefix_sum_partitioned_restarts_per_partition() {
+    let vals = [1i64, 1, 1, 1, 1, 1];
+    let cat = single_col(&vals);
+    let p = aggregate::prefix_sum("input", FoldStrategy::Partitions { size: 2 });
+    let out = run_both(&cat, &p);
+    let got: Vec<i64> =
+        (0..6).map(|i| out[0].value_at(i, &kp()).unwrap().as_i64()).collect();
+    assert_eq!(got, vec![1, 2, 1, 2, 1, 2]);
+}
+
+// ---------------------------------------------------------------------
+// selection
+// ---------------------------------------------------------------------
+
+fn reference_select_sum(vals: &[i64], lo: i64, hi: i64) -> i64 {
+    vals.iter().filter(|&&v| v >= lo && v < hi).sum()
+}
+
+#[test]
+fn select_sum_strategies_agree() {
+    let vals: Vec<i64> = (0..500).map(|i| (i * 37) % 101).collect();
+    let cat = single_col(&vals);
+    let expected = reference_select_sum(&vals, 10, 60);
+    for strat in [
+        SelectionStrategy::Plain,
+        SelectionStrategy::PredicatedAggregation,
+        SelectionStrategy::Vectorized { chunk: 64 },
+        SelectionStrategy::Vectorized { chunk: 7 },
+        SelectionStrategy::Vectorized { chunk: 4096 },
+    ] {
+        let p = selection::select_sum("input", 10, 60, strat);
+        let out = run_both(&cat, &p);
+        assert_eq!(scalar_i64(&out[0]), expected, "{strat:?}");
+    }
+}
+
+#[test]
+fn select_sum_empty_and_full_selectivity() {
+    let vals: Vec<i64> = (0..100).collect();
+    let cat = single_col(&vals);
+    for strat in [
+        SelectionStrategy::Plain,
+        SelectionStrategy::PredicatedAggregation,
+        SelectionStrategy::Vectorized { chunk: 16 },
+    ] {
+        // Nothing qualifies.
+        let p = selection::select_sum("input", 1000, 2000, strat);
+        let out = run_both(&cat, &p);
+        // An empty sum is ε (no qualifying input), read as 0 by hosts.
+        let got = out[0].value_at(0, &kp()).map(|v| v.as_i64()).unwrap_or(0);
+        assert_eq!(got, 0, "empty {strat:?}");
+        // Everything qualifies.
+        let p = selection::select_sum("input", 0, 1000, strat);
+        let out = run_both(&cat, &p);
+        assert_eq!(scalar_i64(&out[0]), 4950, "full {strat:?}");
+    }
+}
+
+#[test]
+fn filter_values_keeps_qualifiers_in_order() {
+    let vals = [5i64, 100, 3, 100, 8];
+    let cat = single_col(&vals);
+    let p = selection::filter_values("input", 50, SelectionStrategy::Plain);
+    let out = run_both(&cat, &p);
+    // Run-aligned padded output: qualifying values at the front (global
+    // run), ε afterwards.
+    let present: Vec<i64> = (0..out[0].len())
+        .filter_map(|i| out[0].value_at(i, &kp()).map(|v| v.as_i64()))
+        .collect();
+    assert_eq!(present, vec![5, 3, 8]);
+}
+
+#[test]
+fn count_matching_is_selectivity_times_n() {
+    let vals: Vec<i64> = (0..1000).collect();
+    let cat = single_col(&vals);
+    let p = selection::count_matching("input", 100, 350);
+    let out = run_both(&cat, &p);
+    assert_eq!(scalar_i64(&out[0]), 250);
+}
+
+#[test]
+fn conjunctive_selection_matches_reference() {
+    use voodoo_core::Buffer;
+    use voodoo_storage::{Table, TableColumn};
+    let a: Vec<i64> = (0..300).map(|i| i % 50).collect();
+    let b: Vec<i64> = (0..300).map(|i| (i * 7) % 90).collect();
+    let v: Vec<i64> = (0..300).map(|i| i).collect();
+    let mut t = Table::new("t");
+    t.add_column(TableColumn::from_buffer("a", Buffer::I64(a.clone())));
+    t.add_column(TableColumn::from_buffer("b", Buffer::I64(b.clone())));
+    t.add_column(TableColumn::from_buffer("v", Buffer::I64(v.clone())));
+    let mut cat = Catalog::in_memory();
+    cat.insert_table(t);
+    let expected: i64 = (0..300).filter(|&i| a[i] < 25 && b[i] < 45).map(|i| v[i]).sum();
+    for strat in [
+        SelectionStrategy::Plain,
+        SelectionStrategy::PredicatedAggregation,
+        SelectionStrategy::Vectorized { chunk: 32 },
+    ] {
+        let p = selection::select_sum_conjunctive("t", ("a", 25), ("b", 45), "v", strat);
+        let out = run_both(&cat, &p);
+        let got = out[0].value_at(0, &kp()).map(|x| x.as_i64()).unwrap_or(0);
+        assert_eq!(got, expected, "{strat:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------
+
+fn layout_catalog(n_pos: usize, n_target: usize) -> Catalog {
+    use voodoo_core::Buffer;
+    use voodoo_storage::{Table, TableColumn};
+    let mut cat = Catalog::in_memory();
+    let mut t = Table::new("target2");
+    t.add_column(TableColumn::from_buffer(
+        "c1",
+        Buffer::I64((0..n_target as i64).collect()),
+    ));
+    t.add_column(TableColumn::from_buffer(
+        "c2",
+        Buffer::I64((0..n_target as i64).map(|x| x * 3 + 1).collect()),
+    ));
+    cat.insert_table(t);
+    let pos: Vec<i64> = (0..n_pos as i64).map(|i| (i * 17) % n_target as i64).collect();
+    cat.put_i64_column("positions", &pos);
+    cat
+}
+
+#[test]
+fn indexed_lookup_strategies_agree() {
+    let cat = layout_catalog(200, 40);
+    let mut sums: Vec<(i64, i64)> = Vec::new();
+    for strat in LayoutStrategy::all() {
+        let p = join::indexed_lookup("target2", "positions", strat);
+        let out = run_both(&cat, &p);
+        let s1 = out[0].value_at(0, &KeyPath::new(".s1")).unwrap().as_i64();
+        let s2 = out[1].value_at(0, &KeyPath::new(".s2")).unwrap().as_i64();
+        sums.push((s1, s2));
+    }
+    assert_eq!(sums[0], sums[1], "single vs separate");
+    assert_eq!(sums[0], sums[2], "single vs transform");
+    // And against a hand computation:
+    let expect1: i64 = (0..200).map(|i| (i * 17) % 40).sum();
+    let expect2: i64 = (0..200).map(|i| ((i * 17) % 40) * 3 + 1).sum();
+    assert_eq!(sums[0], (expect1, expect2));
+}
+
+fn fk_catalog(n_fact: usize, n_target: usize) -> Catalog {
+    use voodoo_core::Buffer;
+    use voodoo_storage::{Table, TableColumn};
+    let mut cat = Catalog::in_memory();
+    let mut fact = Table::new("fact");
+    fact.add_column(TableColumn::from_buffer(
+        "v",
+        Buffer::I64((0..n_fact as i64).map(|i| i % 100).collect()),
+    ));
+    fact.add_column(TableColumn::from_buffer(
+        "fk",
+        Buffer::I64((0..n_fact as i64).map(|i| (i * 13) % n_target as i64).collect()),
+    ));
+    cat.insert_table(fact);
+    cat.put_i64_column(
+        "target",
+        &(0..n_target as i64).map(|x| x * 2 + 5).collect::<Vec<_>>(),
+    );
+    cat
+}
+
+#[test]
+fn selective_fk_join_strategies_agree() {
+    let cat = fk_catalog(400, 64);
+    let reference = |c: i64| -> i64 {
+        (0..400i64)
+            .filter(|i| i % 100 < c)
+            .map(|i| ((i * 13) % 64) * 2 + 5)
+            .sum()
+    };
+    for c in [0, 17, 50, 100] {
+        for strat in FkJoinStrategy::all() {
+            let p = join::selective_fk_join("fact", "target", c, strat);
+            let out = run_both(&cat, &p);
+            let got = out[0].value_at(0, &kp()).map(|x| x.as_i64()).unwrap_or(0);
+            assert_eq!(got, reference(c), "c={c} {strat:?}");
+        }
+    }
+}
+
+#[test]
+fn fk_equi_join_aligns_with_fact() {
+    let cat = fk_catalog(50, 16);
+    let p = join::fk_equi_join("fact", "fk", "target");
+    let out = run_both(&cat, &p);
+    assert_eq!(out[0].len(), 50);
+    for i in 0..50i64 {
+        let want = ((i * 13) % 16) * 2 + 5;
+        assert_eq!(out[0].value_at(i as usize, &kp()), Some(ScalarValue::I64(want)));
+    }
+}
+
+#[test]
+fn cross_join_filter_finds_equal_pairs() {
+    use voodoo_core::Buffer;
+    use voodoo_storage::{Table, TableColumn};
+    let mut cat = Catalog::in_memory();
+    let mut l = Table::new("l");
+    l.add_column(TableColumn::from_buffer("x", Buffer::I64(vec![1, 2, 3])));
+    cat.insert_table(l);
+    let mut r = Table::new("r");
+    r.add_column(TableColumn::from_buffer("y", Buffer::I64(vec![3, 1, 3])));
+    cat.insert_table(r);
+    let p = join::cross_join_filter("l", "r", ("x", "y"));
+    let out = run_both(&cat, &p);
+    // Matching (pos1, pos2) pairs: (0,1) for 1==1, (2,0) and (2,2) for 3==3.
+    let mut pairs = Vec::new();
+    for i in 0..out[0].len() {
+        if let Some(p1) = out[0].value_at(i, &KeyPath::new(".pos1")) {
+            let p2 = out[0].value_at(i, &KeyPath::new(".pos2")).unwrap();
+            pairs.push((p1.as_i64(), p2.as_i64()));
+        }
+    }
+    pairs.sort_unstable();
+    assert_eq!(pairs, vec![(0, 1), (2, 0), (2, 2)]);
+}
+
+// ---------------------------------------------------------------------
+// hashtable
+// ---------------------------------------------------------------------
+
+#[test]
+fn linear_probe_build_places_all_keys() {
+    // 32 keys into 64 slots (load factor 0.5), many forced collisions
+    // (keys congruent mod 64).
+    let keys: Vec<i64> = (0..32).map(|i| i * 64 + (i % 4)).collect();
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("keys", &keys);
+    let p = hashtable::build_linear_probe("keys", 64, 40, "ht");
+    let out = run_both(&cat, &p);
+    // Every key must be present in the table exactly once.
+    let table = &out[0];
+    let mut found: Vec<i64> = (0..table.len())
+        .filter_map(|i| table.value_at(i, &kp()).map(|v| v.as_i64()))
+        .collect();
+    found.sort_unstable();
+    let mut want = keys.clone();
+    want.sort_unstable();
+    assert_eq!(found, want);
+    // And the returned positions must point at the key's slot.
+    let pos = &out[1];
+    for (i, &k) in keys.iter().enumerate() {
+        let slot = pos.value_at(i, &kp()).unwrap().as_i64() as usize;
+        assert_eq!(table.value_at(slot, &kp()), Some(ScalarValue::I64(k)));
+    }
+}
+
+#[test]
+fn linear_probe_probe_finds_present_misses_absent() {
+    let keys: Vec<i64> = (0..24).map(|i| i * 7 + 1).collect();
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("keys", &keys);
+    // Build, persisting "ht" into the catalog.
+    let build = hashtable::build_linear_probe("keys", 48, 30, "ht");
+    let built = Interpreter::new(&cat).run_program(&build).expect("build");
+    let (name, table) = &built.persisted[0];
+    assert_eq!(name, "ht");
+    cat.persist_vector("ht", table);
+
+    // Present probes + absent probes.
+    let mut probes: Vec<i64> = keys.iter().copied().take(10).collect();
+    probes.extend([1000, 2000, 3000]);
+    cat.put_i64_column("probes", &probes);
+    let p = hashtable::probe_linear("ht", "probes", 48, 30);
+    let out = run_both(&cat, &p);
+    let count = out[1].value_at(0, &kp()).map(|v| v.as_i64()).unwrap_or(0);
+    assert_eq!(count, 10, "10 present, 3 absent");
+    // Per-key flags: first ten 1, last three ε-or-0.
+    for i in 0..10 {
+        assert_eq!(
+            out[0].value_at(i, &kp()).map(|v| v.as_i64()),
+            Some(1),
+            "probe {i} present"
+        );
+    }
+    for i in 10..13 {
+        let flag = out[0].value_at(i, &kp()).map(|v| v.as_i64()).unwrap_or(0);
+        assert_eq!(flag, 0, "probe {i} absent");
+    }
+}
+
+#[test]
+fn cuckoo_bounded_places_and_probes() {
+    let keys: Vec<i64> = (0..20).map(|i| i * 5 + 2).collect();
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("keys", &keys);
+    let build = hashtable::build_cuckoo_bounded("keys", 32, 24, "ck");
+    let out = run_both(&cat, &build);
+    let table = &out[0];
+    assert_eq!(table.len(), 64, "two regions of 32");
+    let mut found: Vec<i64> = (0..table.len())
+        .filter_map(|i| table.value_at(i, &kp()).map(|v| v.as_i64()))
+        .collect();
+    found.sort_unstable();
+    let mut want = keys.clone();
+    want.sort_unstable();
+    assert_eq!(found, want, "all keys placed");
+
+    // Each key sits at one of its two candidate locations.
+    for &k in &keys {
+        let h1 = (k % 32) as usize;
+        let h2 = (((k * 31 + 7) % 32) + 32) as usize;
+        let at1 = table.value_at(h1, &kp()).map(|v| v.as_i64()) == Some(k);
+        let at2 = table.value_at(h2, &kp()).map(|v| v.as_i64()) == Some(k);
+        assert!(at1 || at2, "key {k} at a candidate slot");
+    }
+
+    cat.persist_vector("ck", table);
+    let mut probes = keys.clone();
+    probes.extend([999, 777]);
+    cat.put_i64_column("probes", &probes);
+    let p = hashtable::probe_cuckoo("ck", "probes", 32);
+    let out = run_both(&cat, &p);
+    // Per-region counts; ε (no hits in a region) reads as 0.
+    let c1 = out[0].value_at(0, &kp()).map(|v| v.as_i64()).unwrap_or(0);
+    let c2 = out[1].value_at(0, &kp()).map(|v| v.as_i64()).unwrap_or(0);
+    assert_eq!(c1 + c2, keys.len() as i64);
+}
+
+#[test]
+fn hash_join_rowids_matches_reference() {
+    let build: Vec<i64> = vec![100, 205, 3, 42, 77, 900, 13, 64];
+    let probe: Vec<i64> = vec![42, 5, 900, 100, 100, 1, 64];
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("build", &build);
+    cat.put_i64_column("probe", &probe);
+    let p = hashtable::hash_join_rowids("build", "probe", 16, 12);
+    let out = run_both(&cat, &p);
+    for (i, &q) in probe.iter().enumerate() {
+        let want = build.iter().position(|&b| b == q).map(|x| x as i64);
+        let got = out[0]
+            .value_at(i, &kp())
+            .map(|v| v.as_i64())
+            .filter(|&x| x >= 0);
+        assert_eq!(got, want, "probe {i} key {q}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// compaction
+// ---------------------------------------------------------------------
+
+#[test]
+fn compact_moves_survivors_to_front() {
+    let vals = [50i64, 3, 99, 7, 2, 88, 1];
+    let cat = single_col(&vals);
+    let p = compaction::compact("input", 10);
+    let out = run_both(&cat, &p);
+    let got: Vec<Option<i64>> = (0..out[0].len())
+        .map(|i| out[0].value_at(i, &kp()).map(|v| v.as_i64()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![Some(3), Some(7), Some(2), Some(1), None, None, None]
+    );
+}
+
+#[test]
+fn compact_none_and_all() {
+    let vals = [5i64, 6, 7];
+    let cat = single_col(&vals);
+    let p = compaction::compact("input", 0);
+    let out = run_both(&cat, &p);
+    assert!((0..3).all(|i| out[0].value_at(i, &kp()).is_none()), "none qualify");
+    let p = compaction::compact("input", 100);
+    let out = run_both(&cat, &p);
+    let got: Vec<i64> =
+        (0..3).map(|i| out[0].value_at(i, &kp()).unwrap().as_i64()).collect();
+    assert_eq!(got, vec![5, 6, 7], "all qualify");
+}
+
+#[test]
+fn radix_sort_sorts() {
+    let vals = [170i64, 45, 75, 90, 2, 802, 24, 66, 170, 0];
+    let cat = single_col(&vals);
+    let p = compaction::radix_sort("input", 4, 3); // 12 bits ≥ 802
+    let out = run_both(&cat, &p);
+    let got: Vec<i64> = (0..vals.len())
+        .map(|i| out[0].value_at(i, &kp()).unwrap().as_i64())
+        .collect();
+    let mut want = vals.to_vec();
+    want.sort_unstable();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn radix_sort_single_pass_buckets() {
+    // One 8-bit pass fully sorts byte-sized keys.
+    let vals: Vec<i64> = (0..200).map(|i| (i * 89) % 256).collect();
+    let cat = single_col(&vals);
+    let p = compaction::radix_sort("input", 8, 1);
+    let out = run_both(&cat, &p);
+    let got: Vec<i64> = (0..vals.len())
+        .map(|i| out[0].value_at(i, &kp()).unwrap().as_i64())
+        .collect();
+    let mut want = vals.clone();
+    want.sort_unstable();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn dedup_sorted_keeps_run_starts() {
+    let vals = [1i64, 1, 1, 4, 4, 9];
+    let cat = single_col(&vals);
+    let p = compaction::dedup_sorted("input");
+    let out = run_both(&cat, &p);
+    let got: Vec<Option<i64>> = (0..6)
+        .map(|i| out[0].value_at(i, &kp()).map(|v| v.as_i64()))
+        .collect();
+    assert_eq!(got, vec![Some(1), None, None, Some(4), None, Some(9)]);
+}
+
+#[test]
+fn histogram_counts_dense_domain() {
+    let vals = [0i64, 2, 2, 1, 2, 0];
+    let cat = single_col(&vals);
+    let p = compaction::histogram("input", 3);
+    let out = run_both(&cat, &p);
+    let rows = extract_padded(&out[0], &[&out[1]]);
+    let by_key: std::collections::BTreeMap<i64, i64> =
+        rows.iter().map(|(k, v)| (*k, v[0].as_i64())).collect();
+    assert_eq!(by_key[&0], 2);
+    assert_eq!(by_key[&1], 1);
+    assert_eq!(by_key[&2], 3);
+}
+
+// ---------------------------------------------------------------------
+// property tests
+// ---------------------------------------------------------------------
+
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn hierarchical_sum_any_partition_size(
+            vals in proptest::collection::vec(-1000i64..1000, 1..200),
+            size in 1usize..64,
+        ) {
+            let cat = single_col(&vals);
+            let expected: i64 = vals.iter().sum();
+            let p = aggregate::hierarchical_sum(
+                "input",
+                FoldStrategy::Partitions { size },
+            );
+            let out = run_both(&cat, &p);
+            prop_assert_eq!(scalar_i64(&out[0]), expected);
+        }
+
+        #[test]
+        fn hierarchical_sum_any_lane_count(
+            vals in proptest::collection::vec(-1000i64..1000, 1..150),
+            lanes in 1usize..17,
+        ) {
+            let cat = single_col(&vals);
+            let expected: i64 = vals.iter().sum();
+            let p = aggregate::hierarchical_sum("input", FoldStrategy::Lanes { lanes });
+            let out = run_both(&cat, &p);
+            prop_assert_eq!(scalar_i64(&out[0]), expected);
+        }
+
+        #[test]
+        fn select_sum_strategies_equal_reference(
+            vals in proptest::collection::vec(0i64..100, 1..300),
+            lo in 0i64..50,
+            width in 1i64..60,
+            chunk in 1usize..64,
+        ) {
+            let cat = single_col(&vals);
+            let hi = lo + width;
+            let expected = reference_select_sum(&vals, lo, hi);
+            for strat in [
+                SelectionStrategy::Plain,
+                SelectionStrategy::PredicatedAggregation,
+                SelectionStrategy::Vectorized { chunk },
+            ] {
+                let p = selection::select_sum("input", lo, hi, strat);
+                let out = run_both(&cat, &p);
+                let got = out[0].value_at(0, &kp()).map(|v| v.as_i64()).unwrap_or(0);
+                prop_assert_eq!(got, expected, "{:?}", strat);
+            }
+        }
+
+        #[test]
+        fn compact_equals_retain(
+            vals in proptest::collection::vec(-500i64..500, 1..200),
+            c in -500i64..500,
+        ) {
+            let cat = single_col(&vals);
+            let p = compaction::compact("input", c);
+            let out = run_both(&cat, &p);
+            let got: Vec<i64> = (0..out[0].len())
+                .filter_map(|i| out[0].value_at(i, &kp()).map(|v| v.as_i64()))
+                .collect();
+            let want: Vec<i64> = vals.iter().copied().filter(|&v| v < c).collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn radix_sort_equals_std_sort(
+            vals in proptest::collection::vec(0i64..4096, 1..200),
+        ) {
+            let cat = single_col(&vals);
+            let p = compaction::radix_sort("input", 4, 3);
+            let out = run_both(&cat, &p);
+            let got: Vec<i64> = (0..vals.len())
+                .map(|i| out[0].value_at(i, &kp()).unwrap().as_i64())
+                .collect();
+            let mut want = vals.clone();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn linear_probe_places_any_unique_keys(
+            raw in proptest::collection::btree_set(0i64..10_000, 1..40),
+        ) {
+            let keys: Vec<i64> = raw.into_iter().collect();
+            let cap = (keys.len() * 2).next_power_of_two().max(4);
+            let mut cat = Catalog::in_memory();
+            cat.put_i64_column("keys", &keys);
+            let p = hashtable::build_linear_probe("keys", cap, keys.len() + 2, "ht");
+            let out = run_both(&cat, &p);
+            let table = &out[0];
+            let mut found: Vec<i64> = (0..table.len())
+                .filter_map(|i| table.value_at(i, &kp()).map(|v| v.as_i64()))
+                .collect();
+            found.sort_unstable();
+            let want = keys.clone();
+            prop_assert_eq!(found, want);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Typed column access helpers shared by the baseline engines.
+
+use voodoo_storage::Catalog;
+
+/// Borrow an `i64` column of a table (panics on schema mismatch — the
+/// generator guarantees these).
+pub fn i64col<'a>(cat: &'a Catalog, table: &str, col: &str) -> &'a [i64] {
+    cat.table(table)
+        .unwrap_or_else(|| panic!("table {table}"))
+        .column(col)
+        .unwrap_or_else(|| panic!("column {table}.{col}"))
+        .data
+        .buffer()
+        .as_i64()
+        .unwrap_or_else(|| panic!("{table}.{col} is not i64"))
+}
+
+/// Borrow a dictionary-code column (`i32` codes).
+pub fn codecol<'a>(cat: &'a Catalog, table: &str, col: &str) -> &'a [i32] {
+    cat.table(table)
+        .unwrap_or_else(|| panic!("table {table}"))
+        .column(col)
+        .unwrap_or_else(|| panic!("column {table}.{col}"))
+        .data
+        .buffer()
+        .as_i32()
+        .unwrap_or_else(|| panic!("{table}.{col} is not a dict column"))
+}
+
+/// The dictionary code of an exact string value, or `-1` when absent
+/// (an absent constant can never match — semantically an empty filter).
+pub fn code_of(cat: &Catalog, table: &str, col: &str, value: &str) -> i64 {
+    cat.table(table)
+        .and_then(|t| t.column(col))
+        .and_then(|c| c.encode(value))
+        .map(|c| c as i64)
+        .unwrap_or(-1)
+}
+
+/// A boolean per dictionary code, true where the decoded string satisfies
+/// the predicate (the engine-side realization of `LIKE` over dictionary
+/// encoding — evaluated once per distinct value, not per row).
+pub fn codes_where(
+    cat: &Catalog,
+    table: &str,
+    col: &str,
+    pred: impl Fn(&str) -> bool,
+) -> Vec<bool> {
+    let c = cat
+        .table(table)
+        .and_then(|t| t.column(col))
+        .unwrap_or_else(|| panic!("column {table}.{col}"));
+    c.dict.as_ref().map(|d| d.iter().map(|s| pred(s)).collect()).unwrap_or_default()
+}
+
+/// Canonical rank of each dictionary code: the code's string's position in
+/// the *sorted* dictionary. Engines output ranks instead of raw codes so
+/// results compare across any code assignment.
+pub fn canon_ranks(cat: &Catalog, table: &str, col: &str) -> Vec<i64> {
+    let c = cat
+        .table(table)
+        .and_then(|t| t.column(col))
+        .unwrap_or_else(|| panic!("column {table}.{col}"));
+    let dict = c.dict.as_ref().expect("dict column");
+    let mut sorted: Vec<&String> = dict.iter().collect();
+    sorted.sort_unstable();
+    dict.iter()
+        .map(|s| sorted.binary_search(&s).expect("present") as i64)
+        .collect()
+}
+
+/// Row count of a table.
+pub fn len_of(cat: &Catalog, table: &str) -> usize {
+    cat.table(table).map(|t| t.len).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voodoo_core::Buffer;
+    use voodoo_storage::{Table, TableColumn};
+
+    fn cat() -> Catalog {
+        let mut cat = Catalog::in_memory();
+        let mut t = Table::new("t");
+        t.add_column(TableColumn::from_buffer("k", Buffer::I64(vec![5, 6, 7])));
+        t.add_column(TableColumn::from_strings("s", &["zeta", "alpha", "zeta"]));
+        cat.insert_table(t);
+        cat
+    }
+
+    #[test]
+    fn accessors() {
+        let cat = cat();
+        assert_eq!(i64col(&cat, "t", "k"), &[5, 6, 7]);
+        assert_eq!(codecol(&cat, "t", "s"), &[0, 1, 0]);
+        assert_eq!(code_of(&cat, "t", "s", "alpha"), 1);
+        assert_eq!(code_of(&cat, "t", "s", "nope"), -1);
+    }
+
+    #[test]
+    fn canonical_ranks_sort_strings() {
+        let cat = cat();
+        // dict order: zeta=0, alpha=1; sorted: alpha, zeta.
+        assert_eq!(canon_ranks(&cat, "t", "s"), vec![1, 0]);
+    }
+
+    #[test]
+    fn codes_where_matches() {
+        let cat = cat();
+        assert_eq!(codes_where(&cat, "t", "s", |s| s.starts_with('z')), vec![true, false]);
+    }
+}

@@ -1,0 +1,518 @@
+//! The HyPeR-style baseline: hand-fused, data-centric query pipelines.
+//!
+//! Each query is what HyPeR's code generator would emit: one or two tight
+//! scalar loops per pipeline, with branching predicates, dense (identity-
+//! hashed) join tables and no intermediate materialization beyond pipeline
+//! breakers. These implementations double as the *reference answers* for
+//! the cross-engine tests.
+//!
+//! Shared value conventions (all integer, engines must agree bit-exactly):
+//!
+//! * `rev    = l_extendedprice · (100 − l_discount)`        (cents × 100)
+//! * `charge = rev · (100 + l_tax)`                          (cents × 10⁴)
+//! * Q9 `amount = rev − ps_supplycost · l_quantity · 100`    (cents × 100)
+//! * Q11 `value = ps_supplycost · ps_availqty`               (cents)
+//! * dictionary outputs are reported as canonical (sorted-string) ranks.
+
+use std::collections::HashMap;
+
+use voodoo_storage::Catalog;
+use voodoo_tpch::dates::year_of;
+use voodoo_tpch::queries::{params, Query, QueryResult};
+use voodoo_tpch::ps_index;
+
+use crate::cols::{canon_ranks, code_of, codecol, codes_where, i64col, len_of};
+
+/// Run one TPC-H query with the HyPeR-style engine.
+pub fn run(cat: &Catalog, q: Query) -> QueryResult {
+    match q {
+        Query::Q1 => q1(cat),
+        Query::Q4 => q4(cat),
+        Query::Q5 => q5(cat),
+        Query::Q6 => q6(cat),
+        Query::Q7 => q7(cat),
+        Query::Q8 => q8(cat),
+        Query::Q9 => q9(cat),
+        Query::Q10 => q10(cat),
+        Query::Q11 => q11(cat),
+        Query::Q12 => q12(cat),
+        Query::Q14 => q14(cat),
+        Query::Q15 => q15(cat),
+        Query::Q19 => q19(cat),
+        Query::Q20 => q20(cat),
+    }
+}
+
+/// The nation key of a nation name (keys are dense row numbers).
+pub fn nation_key(cat: &Catalog, name: &str) -> i64 {
+    let code = code_of(cat, "nation", "n_name", name);
+    codecol(cat, "nation", "n_name")
+        .iter()
+        .position(|&c| c as i64 == code)
+        .map(|i| i as i64)
+        .unwrap_or(-1)
+}
+
+/// The region key of a region name.
+pub fn region_key(cat: &Catalog, name: &str) -> i64 {
+    let code = code_of(cat, "region", "r_name", name);
+    codecol(cat, "region", "r_name")
+        .iter()
+        .position(|&c| c as i64 == code)
+        .map(|i| i as i64)
+        .unwrap_or(-1)
+}
+
+fn q1(cat: &Catalog) -> QueryResult {
+    let cutoff = params::q1_cutoff();
+    let ship = i64col(cat, "lineitem", "l_shipdate");
+    let qty = i64col(cat, "lineitem", "l_quantity");
+    let ext = i64col(cat, "lineitem", "l_extendedprice");
+    let disc = i64col(cat, "lineitem", "l_discount");
+    let tax = i64col(cat, "lineitem", "l_tax");
+    let rf = codecol(cat, "lineitem", "l_returnflag");
+    let ls = codecol(cat, "lineitem", "l_linestatus");
+    let rf_rank = canon_ranks(cat, "lineitem", "l_returnflag");
+    let ls_rank = canon_ranks(cat, "lineitem", "l_linestatus");
+
+    // Dense 3×2 aggregation table (identity hashing on dict codes).
+    let groups = rf_rank.len() * ls_rank.len().max(1);
+    let mut agg = vec![[0i64; 5]; groups.max(1)];
+    let mut seen = vec![false; groups.max(1)];
+    for i in 0..ship.len() {
+        if ship[i] <= cutoff {
+            let g = rf[i] as usize * ls_rank.len() + ls[i] as usize;
+            let rev = ext[i] * (100 - disc[i]);
+            let a = &mut agg[g];
+            a[0] += qty[i];
+            a[1] += ext[i];
+            a[2] += rev;
+            a[3] += rev * (100 + tax[i]);
+            a[4] += 1;
+            seen[g] = true;
+        }
+    }
+    let mut rows = Vec::new();
+    for (g, a) in agg.iter().enumerate() {
+        if seen[g] {
+            let rfc = g / ls_rank.len();
+            let lsc = g % ls_rank.len();
+            rows.push(vec![rf_rank[rfc], ls_rank[lsc], a[0], a[1], a[2], a[3], a[4]]);
+        }
+    }
+    QueryResult::new(rows)
+}
+
+fn q4(cat: &Catalog) -> QueryResult {
+    let (lo, hi) = params::q4_window();
+    let commit = i64col(cat, "lineitem", "l_commitdate");
+    let receipt = i64col(cat, "lineitem", "l_receiptdate");
+    let lok = i64col(cat, "lineitem", "l_orderkey");
+    let odate = i64col(cat, "orders", "o_orderdate");
+    let prio = codecol(cat, "orders", "o_orderpriority");
+    let prio_rank = canon_ranks(cat, "orders", "o_orderpriority");
+
+    let mut exists = vec![false; odate.len()];
+    for i in 0..lok.len() {
+        if commit[i] < receipt[i] {
+            exists[lok[i] as usize] = true;
+        }
+    }
+    let mut counts = vec![0i64; prio_rank.len().max(1)];
+    for o in 0..odate.len() {
+        if odate[o] >= lo && odate[o] < hi && exists[o] {
+            counts[prio[o] as usize] += 1;
+        }
+    }
+    let rows = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(p, &c)| vec![prio_rank[p], c])
+        .collect();
+    QueryResult::new(rows)
+}
+
+fn q5(cat: &Catalog) -> QueryResult {
+    let (region, lo, hi) = params::q5();
+    let rk = region_key(cat, region);
+    let n_region = i64col(cat, "nation", "n_regionkey");
+    let in_region: Vec<bool> = n_region.iter().map(|&r| r == rk).collect();
+    let s_nation = i64col(cat, "supplier", "s_nationkey");
+    let c_nation = i64col(cat, "customer", "c_nationkey");
+    let o_cust = i64col(cat, "orders", "o_custkey");
+    let odate = i64col(cat, "orders", "o_orderdate");
+    let lok = i64col(cat, "lineitem", "l_orderkey");
+    let lsk = i64col(cat, "lineitem", "l_suppkey");
+    let ext = i64col(cat, "lineitem", "l_extendedprice");
+    let disc = i64col(cat, "lineitem", "l_discount");
+
+    let mut rev = vec![0i64; in_region.len()];
+    for i in 0..lok.len() {
+        let o = lok[i] as usize;
+        if odate[o] < lo || odate[o] >= hi {
+            continue;
+        }
+        let snk = s_nation[lsk[i] as usize];
+        let cnk = c_nation[o_cust[o] as usize];
+        if snk == cnk && in_region[snk as usize] {
+            rev[snk as usize] += ext[i] * (100 - disc[i]);
+        }
+    }
+    let rows = rev
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v != 0)
+        .map(|(n, &v)| vec![n as i64, v])
+        .collect();
+    QueryResult::new(rows)
+}
+
+fn q6(cat: &Catalog) -> QueryResult {
+    let (lo, hi, dlo, dhi, qmax) = params::q6();
+    let ship = i64col(cat, "lineitem", "l_shipdate");
+    let disc = i64col(cat, "lineitem", "l_discount");
+    let qty = i64col(cat, "lineitem", "l_quantity");
+    let ext = i64col(cat, "lineitem", "l_extendedprice");
+    let mut sum = 0i64;
+    for i in 0..ship.len() {
+        if ship[i] >= lo && ship[i] < hi && disc[i] >= dlo && disc[i] <= dhi && qty[i] < qmax {
+            sum += ext[i] * disc[i];
+        }
+    }
+    QueryResult::new(vec![vec![sum]])
+}
+
+fn q7(cat: &Catalog) -> QueryResult {
+    let (na, nb, lo, hi) = params::q7();
+    let (ka, kb) = (nation_key(cat, na), nation_key(cat, nb));
+    let s_nation = i64col(cat, "supplier", "s_nationkey");
+    let c_nation = i64col(cat, "customer", "c_nationkey");
+    let o_cust = i64col(cat, "orders", "o_custkey");
+    let lok = i64col(cat, "lineitem", "l_orderkey");
+    let lsk = i64col(cat, "lineitem", "l_suppkey");
+    let ship = i64col(cat, "lineitem", "l_shipdate");
+    let ext = i64col(cat, "lineitem", "l_extendedprice");
+    let disc = i64col(cat, "lineitem", "l_discount");
+
+    let mut vol: HashMap<(i64, i64, i64), i64> = HashMap::new();
+    for i in 0..lok.len() {
+        if ship[i] < lo || ship[i] > hi {
+            continue;
+        }
+        let snk = s_nation[lsk[i] as usize];
+        if snk != ka && snk != kb {
+            continue;
+        }
+        let cnk = c_nation[o_cust[lok[i] as usize] as usize];
+        if (snk == ka && cnk == kb) || (snk == kb && cnk == ka) {
+            *vol.entry((snk, cnk, year_of(ship[i]))).or_insert(0) += ext[i] * (100 - disc[i]);
+        }
+    }
+    QueryResult::new(vol.into_iter().map(|((s, c, y), v)| vec![s, c, y, v]).collect())
+}
+
+fn q8(cat: &Catalog) -> QueryResult {
+    let (nation, region, ptype, lo, hi) = params::q8();
+    let bk = nation_key(cat, nation);
+    let rk = region_key(cat, region);
+    let tcode = code_of(cat, "part", "p_type", ptype);
+    let n_region = i64col(cat, "nation", "n_regionkey");
+    let p_type = codecol(cat, "part", "p_type");
+    let s_nation = i64col(cat, "supplier", "s_nationkey");
+    let c_nation = i64col(cat, "customer", "c_nationkey");
+    let o_cust = i64col(cat, "orders", "o_custkey");
+    let odate = i64col(cat, "orders", "o_orderdate");
+    let lok = i64col(cat, "lineitem", "l_orderkey");
+    let lsk = i64col(cat, "lineitem", "l_suppkey");
+    let lpk = i64col(cat, "lineitem", "l_partkey");
+    let ext = i64col(cat, "lineitem", "l_extendedprice");
+    let disc = i64col(cat, "lineitem", "l_discount");
+
+    let mut num: HashMap<i64, i64> = HashMap::new();
+    let mut den: HashMap<i64, i64> = HashMap::new();
+    for i in 0..lok.len() {
+        if p_type[lpk[i] as usize] as i64 != tcode {
+            continue;
+        }
+        let o = lok[i] as usize;
+        if odate[o] < lo || odate[o] > hi {
+            continue;
+        }
+        let cnk = c_nation[o_cust[o] as usize];
+        if n_region[cnk as usize] != rk {
+            continue;
+        }
+        let vol = ext[i] * (100 - disc[i]);
+        let y = year_of(odate[o]);
+        *den.entry(y).or_insert(0) += vol;
+        if s_nation[lsk[i] as usize] == bk {
+            *num.entry(y).or_insert(0) += vol;
+        }
+    }
+    QueryResult::new(
+        den.into_iter()
+            .map(|(y, d)| vec![y, num.get(&y).copied().unwrap_or(0), d])
+            .collect(),
+    )
+}
+
+fn q9(cat: &Catalog) -> QueryResult {
+    let color = params::q9_color();
+    let green = codes_where(cat, "part", "p_name", |s| s.contains(color));
+    let p_name = codecol(cat, "part", "p_name");
+    let s_nation = i64col(cat, "supplier", "s_nationkey");
+    let odate = i64col(cat, "orders", "o_orderdate");
+    let lok = i64col(cat, "lineitem", "l_orderkey");
+    let lsk = i64col(cat, "lineitem", "l_suppkey");
+    let lpk = i64col(cat, "lineitem", "l_partkey");
+    let qty = i64col(cat, "lineitem", "l_quantity");
+    let ext = i64col(cat, "lineitem", "l_extendedprice");
+    let disc = i64col(cat, "lineitem", "l_discount");
+    let cost = i64col(cat, "partsupp", "ps_supplycost");
+    let n_supp = len_of(cat, "supplier") as i64;
+
+    let mut profit: HashMap<(i64, i64), i64> = HashMap::new();
+    for i in 0..lok.len() {
+        if !green[p_name[lpk[i] as usize] as usize] {
+            continue;
+        }
+        let ps = ps_index(lpk[i], lsk[i], n_supp) as usize;
+        let amount = ext[i] * (100 - disc[i]) - cost[ps] * qty[i] * 100;
+        let key = (s_nation[lsk[i] as usize], year_of(odate[lok[i] as usize]));
+        *profit.entry(key).or_insert(0) += amount;
+    }
+    QueryResult::new(profit.into_iter().map(|((n, y), v)| vec![n, y, v]).collect())
+}
+
+fn q10(cat: &Catalog) -> QueryResult {
+    let (lo, hi) = params::q10_window();
+    let rcode = code_of(cat, "lineitem", "l_returnflag", "R");
+    let rf = codecol(cat, "lineitem", "l_returnflag");
+    let lok = i64col(cat, "lineitem", "l_orderkey");
+    let ext = i64col(cat, "lineitem", "l_extendedprice");
+    let disc = i64col(cat, "lineitem", "l_discount");
+    let odate = i64col(cat, "orders", "o_orderdate");
+    let o_cust = i64col(cat, "orders", "o_custkey");
+    let n_cust = len_of(cat, "customer");
+
+    let mut rev = vec![0i64; n_cust];
+    for i in 0..lok.len() {
+        if rf[i] as i64 != rcode {
+            continue;
+        }
+        let o = lok[i] as usize;
+        if odate[o] >= lo && odate[o] < hi {
+            rev[o_cust[o] as usize] += ext[i] * (100 - disc[i]);
+        }
+    }
+    QueryResult::new(
+        rev.iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(c, &v)| vec![c as i64, v])
+            .collect(),
+    )
+}
+
+fn q11(cat: &Catalog) -> QueryResult {
+    let (nation, frac_den) = params::q11();
+    let nk = nation_key(cat, nation);
+    let s_nation = i64col(cat, "supplier", "s_nationkey");
+    let ps_part = i64col(cat, "partsupp", "ps_partkey");
+    let ps_supp = i64col(cat, "partsupp", "ps_suppkey");
+    let avail = i64col(cat, "partsupp", "ps_availqty");
+    let cost = i64col(cat, "partsupp", "ps_supplycost");
+    let n_part = len_of(cat, "part");
+
+    let mut by_part = vec![0i64; n_part];
+    let mut total = 0i64;
+    for i in 0..ps_part.len() {
+        if s_nation[ps_supp[i] as usize] == nk {
+            let v = cost[i] * avail[i];
+            by_part[ps_part[i] as usize] += v;
+            total += v;
+        }
+    }
+    QueryResult::new(
+        by_part
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v * frac_den > total)
+            .map(|(p, &v)| vec![p as i64, v])
+            .collect(),
+    )
+}
+
+fn q12(cat: &Catalog) -> QueryResult {
+    let (m1, m2, lo, hi) = params::q12();
+    let c1 = code_of(cat, "lineitem", "l_shipmode", m1);
+    let c2 = code_of(cat, "lineitem", "l_shipmode", m2);
+    let mode = codecol(cat, "lineitem", "l_shipmode");
+    let mode_rank = canon_ranks(cat, "lineitem", "l_shipmode");
+    let ship = i64col(cat, "lineitem", "l_shipdate");
+    let commit = i64col(cat, "lineitem", "l_commitdate");
+    let receipt = i64col(cat, "lineitem", "l_receiptdate");
+    let lok = i64col(cat, "lineitem", "l_orderkey");
+    let prio = codecol(cat, "orders", "o_orderpriority");
+    let urgent = code_of(cat, "orders", "o_orderpriority", "1-URGENT");
+    let high = code_of(cat, "orders", "o_orderpriority", "2-HIGH");
+
+    let mut counts: HashMap<i64, (i64, i64)> = HashMap::new();
+    for i in 0..ship.len() {
+        let m = mode[i] as i64;
+        if m != c1 && m != c2 {
+            continue;
+        }
+        if receipt[i] < lo || receipt[i] >= hi || commit[i] >= receipt[i] || ship[i] >= commit[i] {
+            continue;
+        }
+        let p = prio[lok[i] as usize] as i64;
+        let e = counts.entry(mode_rank[m as usize]).or_insert((0, 0));
+        if p == urgent || p == high {
+            e.0 += 1;
+        } else {
+            e.1 += 1;
+        }
+    }
+    QueryResult::new(counts.into_iter().map(|(m, (h, l))| vec![m, h, l]).collect())
+}
+
+fn q14(cat: &Catalog) -> QueryResult {
+    let (lo, hi) = params::q14_window();
+    let promo = codes_where(cat, "part", "p_type", |s| s.starts_with("PROMO"));
+    let p_type = codecol(cat, "part", "p_type");
+    let ship = i64col(cat, "lineitem", "l_shipdate");
+    let lpk = i64col(cat, "lineitem", "l_partkey");
+    let ext = i64col(cat, "lineitem", "l_extendedprice");
+    let disc = i64col(cat, "lineitem", "l_discount");
+
+    let (mut promo_rev, mut total) = (0i64, 0i64);
+    for i in 0..ship.len() {
+        if ship[i] >= lo && ship[i] < hi {
+            let rev = ext[i] * (100 - disc[i]);
+            total += rev;
+            if promo[p_type[lpk[i] as usize] as usize] {
+                promo_rev += rev;
+            }
+        }
+    }
+    QueryResult::new(vec![vec![promo_rev, total]])
+}
+
+fn q15(cat: &Catalog) -> QueryResult {
+    let (lo, hi) = params::q15_window();
+    let ship = i64col(cat, "lineitem", "l_shipdate");
+    let lsk = i64col(cat, "lineitem", "l_suppkey");
+    let ext = i64col(cat, "lineitem", "l_extendedprice");
+    let disc = i64col(cat, "lineitem", "l_discount");
+    let n_supp = len_of(cat, "supplier");
+
+    let mut rev = vec![0i64; n_supp];
+    for i in 0..ship.len() {
+        if ship[i] >= lo && ship[i] < hi {
+            rev[lsk[i] as usize] += ext[i] * (100 - disc[i]);
+        }
+    }
+    let max = rev.iter().copied().max().unwrap_or(0);
+    QueryResult::new(
+        rev.iter()
+            .enumerate()
+            .filter(|(_, &v)| v == max && v > 0)
+            .map(|(s, &v)| vec![s as i64, v])
+            .collect(),
+    )
+}
+
+fn q19(cat: &Catalog) -> QueryResult {
+    let triples = params::q19();
+    let p_brand = codecol(cat, "part", "p_brand");
+    let p_container = codecol(cat, "part", "p_container");
+    let p_size = i64col(cat, "part", "p_size");
+    let brand_codes: Vec<i64> =
+        triples.iter().map(|(b, _, _)| code_of(cat, "part", "p_brand", b)).collect();
+    let cont_ok: Vec<Vec<bool>> = triples
+        .iter()
+        .map(|(_, kind, _)| codes_where(cat, "part", "p_container", |s| s.ends_with(kind)))
+        .collect();
+    let size_max = [5i64, 10, 15];
+    let qty = i64col(cat, "lineitem", "l_quantity");
+    let lpk = i64col(cat, "lineitem", "l_partkey");
+    let ext = i64col(cat, "lineitem", "l_extendedprice");
+    let disc = i64col(cat, "lineitem", "l_discount");
+    let mode = codecol(cat, "lineitem", "l_shipmode");
+    let instr = codecol(cat, "lineitem", "l_shipinstruct");
+    let air = code_of(cat, "lineitem", "l_shipmode", "AIR");
+    let regair = code_of(cat, "lineitem", "l_shipmode", "REG AIR");
+    let deliver = code_of(cat, "lineitem", "l_shipinstruct", "DELIVER IN PERSON");
+
+    let mut sum = 0i64;
+    for i in 0..qty.len() {
+        let m = mode[i] as i64;
+        if (m != air && m != regair) || instr[i] as i64 != deliver {
+            continue;
+        }
+        let p = lpk[i] as usize;
+        let mut hit = false;
+        for t in 0..3 {
+            let (_, _, qmin) = triples[t];
+            if p_brand[p] as i64 == brand_codes[t]
+                && cont_ok[t][p_container[p] as usize]
+                && qty[i] >= qmin
+                && qty[i] <= qmin + 10
+                && p_size[p] >= 1
+                && p_size[p] <= size_max[t]
+            {
+                hit = true;
+                break;
+            }
+        }
+        if hit {
+            sum += ext[i] * (100 - disc[i]);
+        }
+    }
+    QueryResult::new(vec![vec![sum]])
+}
+
+fn q20(cat: &Catalog) -> QueryResult {
+    let (color, nation, lo, hi) = params::q20();
+    let nk = nation_key(cat, nation);
+    let forest = codes_where(cat, "part", "p_name", |s| s.contains(color));
+    let p_name = codecol(cat, "part", "p_name");
+    let s_nation = i64col(cat, "supplier", "s_nationkey");
+    let ship = i64col(cat, "lineitem", "l_shipdate");
+    let lpk = i64col(cat, "lineitem", "l_partkey");
+    let lsk = i64col(cat, "lineitem", "l_suppkey");
+    let qty = i64col(cat, "lineitem", "l_quantity");
+    let ps_part = i64col(cat, "partsupp", "ps_partkey");
+    let ps_supp = i64col(cat, "partsupp", "ps_suppkey");
+    let avail = i64col(cat, "partsupp", "ps_availqty");
+    let n_supp = len_of(cat, "supplier") as i64;
+
+    // Correlated subquery: shipped quantity per (part, supp) in the window.
+    let mut shipped = vec![0i64; ps_part.len()];
+    for i in 0..ship.len() {
+        if ship[i] >= lo && ship[i] < hi {
+            shipped[ps_index(lpk[i], lsk[i], n_supp) as usize] += qty[i];
+        }
+    }
+    // SQL semantics: sum over an empty subquery is NULL → row excluded,
+    // so only (part,supp) pairs with shipments qualify.
+    let mut supp_ok = vec![false; n_supp as usize];
+    for i in 0..ps_part.len() {
+        if forest[p_name[ps_part[i] as usize] as usize]
+            && shipped[i] > 0
+            && 2 * avail[i] > shipped[i]
+        {
+            supp_ok[ps_supp[i] as usize] = true;
+        }
+    }
+    QueryResult::new(
+        supp_ok
+            .iter()
+            .enumerate()
+            .filter(|(s, &ok)| ok && s_nation[*s] == nk)
+            .map(|(s, _)| vec![s as i64])
+            .collect(),
+    )
+}

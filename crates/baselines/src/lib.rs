@@ -1,0 +1,28 @@
+//! # voodoo-baselines — the comparison engines of the paper's evaluation
+//!
+//! Two baseline query engines, mirroring the systems Voodoo is compared
+//! against in Figures 12 and 13:
+//!
+//! * [`hyper`] — a **HyPeR-style** engine [Neumann, PVLDB 2011]: per-query,
+//!   hand-fused, data-centric pipelines. Each query is one (or a few) tight
+//!   Rust loops with branching scalar code and dense join tables — exactly
+//!   the code HyPeR's LLVM backend generates. The paper notes its own code
+//!   generation is "roughly equivalent to the code generation that is
+//!   implemented in HyPeR".
+//! * [`ocelot`] — an **Ocelot/MonetDB-style** bulk processor [Heimel et al.,
+//!   PVLDB 2013]: queries are sequences of generic column-at-a-time
+//!   operators (select → candidate list, gather, join maps, grouped
+//!   aggregation), with **every intermediate fully materialized** — the
+//!   design decision the paper shows costing dearly on CPUs (Figure 13) and
+//!   being mostly hidden by GPU bandwidth (Figure 12).
+//!
+//! Both engines read the same [`voodoo_storage::Catalog`] and produce the
+//! same canonical [`voodoo_tpch::queries::QueryResult`] rows, enabling
+//! bit-exact cross-engine testing against the Voodoo frontend.
+
+pub mod cols;
+pub mod hyper;
+pub mod ocelot;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,478 @@
+//! The Ocelot/MonetDB-style baseline: a bulk processor.
+//!
+//! Queries are composed from generic column-at-a-time primitives —
+//! candidate-list selection, positional gather, dense-key join maps and
+//! grouped aggregation — with **every intermediate fully materialized**
+//! (the MonetDB BAT-algebra execution model Ocelot ports to GPUs). The
+//! paper shows this materialization is expensive on CPUs (Figure 13,
+//! "Ocelot pays a high price") and largely hidden by the GPU's 300 GB/s
+//! bandwidth (Figure 12).
+//!
+//! Like the real Ocelot, not every paper query is supported: the paper's
+//! Figure 13 shows gaps for Q7, Q11 and Q20 ("Ocelot does not actually
+//! support all of the queries we evaluated"); [`run`] mirrors those gaps.
+
+use std::cell::Cell;
+
+use voodoo_storage::Catalog;
+use voodoo_tpch::dates::year_of;
+use voodoo_tpch::queries::{params, Query, QueryResult};
+use voodoo_tpch::ps_index;
+
+use crate::cols::{canon_ranks, code_of, codecol, codes_where, i64col, len_of};
+use crate::hyper::{nation_key, region_key};
+
+thread_local! {
+    /// Bytes moved through materialized intermediates (8 bytes per value
+    /// read or written by a primitive). Feeds the GPU cost model.
+    static TRAFFIC: Cell<u64> = const { Cell::new(0) };
+    /// Number of bulk operators executed (≙ kernel launches on a GPU).
+    static OPS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Reset the materialization counters.
+pub fn stats_reset() {
+    TRAFFIC.with(|t| t.set(0));
+    OPS.with(|o| o.set(0));
+}
+
+/// Read `(traffic_bytes, operator_count)` accumulated since the last reset.
+pub fn stats() -> (u64, u64) {
+    (TRAFFIC.with(|t| t.get()), OPS.with(|o| o.get()))
+}
+
+fn record(in_len: usize, out_len: usize) {
+    TRAFFIC.with(|t| t.set(t.get() + 8 * (in_len + out_len) as u64));
+    OPS.with(|o| o.set(o.get() + 1));
+}
+
+/// Queries this engine supports (mirrors the paper's Ocelot gaps).
+pub fn supported(q: Query) -> bool {
+    !matches!(q, Query::Q7 | Query::Q11 | Query::Q20)
+}
+
+/// Run one query; `None` for the unsupported set.
+pub fn run(cat: &Catalog, q: Query) -> Option<QueryResult> {
+    Some(match q {
+        Query::Q1 => q1(cat),
+        Query::Q4 => q4(cat),
+        Query::Q5 => q5(cat),
+        Query::Q6 => q6(cat),
+        Query::Q8 => q8(cat),
+        Query::Q9 => q9(cat),
+        Query::Q10 => q10(cat),
+        Query::Q12 => q12(cat),
+        Query::Q14 => q14(cat),
+        Query::Q15 => q15(cat),
+        Query::Q19 => q19(cat),
+        Query::Q7 | Query::Q11 | Query::Q20 => return None,
+    })
+}
+
+// ---------------------------------------------------------------------
+// BAT-style primitives — every one returns a fresh materialized vector.
+// ---------------------------------------------------------------------
+
+/// Candidate positions where `lo <= col[i] < hi`.
+pub fn select_range(col: &[i64], lo: i64, hi: i64, cands: Option<&[usize]>) -> Vec<usize> {
+    let out: Vec<usize> = select_range_inner(col, lo, hi, cands);
+    record(cands.map(|c| c.len()).unwrap_or(col.len()), out.len());
+    out
+}
+
+fn select_range_inner(col: &[i64], lo: i64, hi: i64, cands: Option<&[usize]>) -> Vec<usize> {
+    match cands {
+        None => (0..col.len()).filter(|&i| col[i] >= lo && col[i] < hi).collect(),
+        Some(cs) => cs.iter().copied().filter(|&i| col[i] >= lo && col[i] < hi).collect(),
+    }
+}
+
+/// Candidate positions where `pred(col[i])`.
+pub fn select_where(
+    col: &[i64],
+    cands: Option<&[usize]>,
+    pred: impl Fn(i64) -> bool,
+) -> Vec<usize> {
+    let out = select_where_inner(col, cands, pred);
+    record(cands.map(|c| c.len()).unwrap_or(col.len()), out.len());
+    out
+}
+
+fn select_where_inner(
+    col: &[i64],
+    cands: Option<&[usize]>,
+    pred: impl Fn(i64) -> bool,
+) -> Vec<usize> {
+    match cands {
+        None => (0..col.len()).filter(|&i| pred(col[i])).collect(),
+        Some(cs) => cs.iter().copied().filter(|&i| pred(col[i])).collect(),
+    }
+}
+
+/// Materialize `col` at candidate positions.
+pub fn gather(col: &[i64], cands: &[usize]) -> Vec<i64> {
+    record(cands.len(), cands.len());
+    cands.iter().map(|&i| col[i]).collect()
+}
+
+/// Materialize a dictionary-code column (widened) at candidate positions.
+pub fn gather_codes(col: &[i32], cands: &[usize]) -> Vec<i64> {
+    record(cands.len(), cands.len());
+    cands.iter().map(|&i| col[i] as i64).collect()
+}
+
+/// Positional join: resolve dense foreign keys into a target column.
+pub fn fetch_join(fk: &[i64], target: &[i64]) -> Vec<i64> {
+    record(fk.len() * 2, fk.len());
+    fk.iter().map(|&k| target[k as usize]).collect()
+}
+
+/// Elementwise map (a fresh vector, like every BAT op).
+pub fn map2(a: &[i64], b: &[i64], f: impl Fn(i64, i64) -> i64) -> Vec<i64> {
+    record(a.len() * 2, a.len());
+    a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
+}
+
+/// Grouped sum over a dense key domain.
+pub fn group_sum(keys: &[i64], vals: &[i64], domain: usize) -> Vec<i64> {
+    record(keys.len() * 2, domain);
+    let mut out = vec![0i64; domain];
+    for (k, v) in keys.iter().zip(vals) {
+        out[*k as usize] += v;
+    }
+    out
+}
+
+/// Grouped count over a dense key domain.
+pub fn group_count(keys: &[i64], domain: usize) -> Vec<i64> {
+    record(keys.len(), domain);
+    let mut out = vec![0i64; domain];
+    for k in keys {
+        out[*k as usize] += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------
+
+fn q1(cat: &Catalog) -> QueryResult {
+    let cutoff = params::q1_cutoff();
+    let ship = i64col(cat, "lineitem", "l_shipdate");
+    let cands = select_range(ship, i64::MIN, cutoff + 1, None);
+    let qty = gather(i64col(cat, "lineitem", "l_quantity"), &cands);
+    let ext = gather(i64col(cat, "lineitem", "l_extendedprice"), &cands);
+    let disc = gather(i64col(cat, "lineitem", "l_discount"), &cands);
+    let tax = gather(i64col(cat, "lineitem", "l_tax"), &cands);
+    let rf = gather_codes(codecol(cat, "lineitem", "l_returnflag"), &cands);
+    let ls = gather_codes(codecol(cat, "lineitem", "l_linestatus"), &cands);
+    let rf_rank = canon_ranks(cat, "lineitem", "l_returnflag");
+    let ls_rank = canon_ranks(cat, "lineitem", "l_linestatus");
+    let nls = ls_rank.len().max(1);
+
+    let keys = map2(&rf, &ls, |r, l| r * nls as i64 + l);
+    let rev = map2(&ext, &disc, |e, d| e * (100 - d));
+    let charge = map2(&rev, &tax, |r, t| r * (100 + t));
+    let domain = rf_rank.len().max(1) * nls;
+    let s_qty = group_sum(&keys, &qty, domain);
+    let s_ext = group_sum(&keys, &ext, domain);
+    let s_rev = group_sum(&keys, &rev, domain);
+    let s_charge = group_sum(&keys, &charge, domain);
+    let s_cnt = group_count(&keys, domain);
+    let rows = (0..domain)
+        .filter(|&g| s_cnt[g] > 0)
+        .map(|g| {
+            vec![rf_rank[g / nls], ls_rank[g % nls], s_qty[g], s_ext[g], s_rev[g], s_charge[g], s_cnt[g]]
+        })
+        .collect();
+    QueryResult::new(rows)
+}
+
+fn q4(cat: &Catalog) -> QueryResult {
+    let (lo, hi) = params::q4_window();
+    let commit = i64col(cat, "lineitem", "l_commitdate");
+    let receipt = i64col(cat, "lineitem", "l_receiptdate");
+    let lok = i64col(cat, "lineitem", "l_orderkey");
+    // Candidates with commit < receipt, then their order keys.
+    let cands: Vec<usize> = (0..lok.len()).filter(|&i| commit[i] < receipt[i]).collect();
+    let oks = gather(lok, &cands);
+    let n_orders = len_of(cat, "orders");
+    let exists = group_count(&oks, n_orders);
+    let odate = i64col(cat, "orders", "o_orderdate");
+    let ocands = select_range(odate, lo, hi, None);
+    let ocands = select_where(&exists, Some(&ocands), |c| c > 0);
+    let prio = gather_codes(codecol(cat, "orders", "o_orderpriority"), &ocands);
+    let prio_rank = canon_ranks(cat, "orders", "o_orderpriority");
+    let counts = group_count(&prio, prio_rank.len().max(1));
+    QueryResult::new(
+        counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(p, &c)| vec![prio_rank[p], c])
+            .collect(),
+    )
+}
+
+fn q5(cat: &Catalog) -> QueryResult {
+    let (region, lo, hi) = params::q5();
+    let rk = region_key(cat, region);
+    let odate = i64col(cat, "orders", "o_orderdate");
+    let lok = i64col(cat, "lineitem", "l_orderkey");
+    let lsk = i64col(cat, "lineitem", "l_suppkey");
+    // Per-lineitem order dates (fetch join), then the date selection.
+    let li_odate = fetch_join(lok, odate);
+    let cands = select_range(&li_odate, lo, hi, None);
+    let snk = fetch_join(&gather(lsk, &cands), i64col(cat, "supplier", "s_nationkey"));
+    let ocust = fetch_join(&gather(lok, &cands), i64col(cat, "orders", "o_custkey"));
+    let cnk = fetch_join(&ocust, i64col(cat, "customer", "c_nationkey"));
+    let nreg = fetch_join(&snk, i64col(cat, "nation", "n_regionkey"));
+    let ext = gather(i64col(cat, "lineitem", "l_extendedprice"), &cands);
+    let disc = gather(i64col(cat, "lineitem", "l_discount"), &cands);
+    let rev = map2(&ext, &disc, |e, d| e * (100 - d));
+    // Mask: same nation and in-region.
+    let same = map2(&snk, &cnk, |s, c| (s == c) as i64);
+    let inreg = nreg.iter().map(|&r| (r == rk) as i64).collect::<Vec<_>>();
+    let mask = map2(&same, &inreg, |a, b| a * b);
+    let masked = map2(&rev, &mask, |r, m| r * m);
+    let sums = group_sum(&snk, &masked, 25);
+    QueryResult::new(
+        sums.iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(n, &v)| vec![n as i64, v])
+            .collect(),
+    )
+}
+
+fn q6(cat: &Catalog) -> QueryResult {
+    let (lo, hi, dlo, dhi, qmax) = params::q6();
+    let ship = i64col(cat, "lineitem", "l_shipdate");
+    let disc = i64col(cat, "lineitem", "l_discount");
+    let qty = i64col(cat, "lineitem", "l_quantity");
+    let cands = select_range(ship, lo, hi, None);
+    let cands = select_range(disc, dlo, dhi + 1, Some(&cands));
+    let cands = select_range(qty, i64::MIN, qmax, Some(&cands));
+    let ext = gather(i64col(cat, "lineitem", "l_extendedprice"), &cands);
+    let d = gather(disc, &cands);
+    let prod = map2(&ext, &d, |e, x| e * x);
+    QueryResult::new(vec![vec![prod.iter().sum()]])
+}
+
+fn q8(cat: &Catalog) -> QueryResult {
+    let (nation, region, ptype, lo, hi) = params::q8();
+    let bk = nation_key(cat, nation);
+    let rk = region_key(cat, region);
+    let tcode = code_of(cat, "part", "p_type", ptype);
+    let lpk = i64col(cat, "lineitem", "l_partkey");
+    let ptypes = codecol(cat, "part", "p_type");
+    let li_type: Vec<i64> = lpk.iter().map(|&p| ptypes[p as usize] as i64).collect();
+    let cands = select_where(&li_type, None, |t| t == tcode);
+    let lok = gather(i64col(cat, "lineitem", "l_orderkey"), &cands);
+    let li_odate = fetch_join(&lok, i64col(cat, "orders", "o_orderdate"));
+    let keep: Vec<usize> = (0..lok.len()).filter(|&i| li_odate[i] >= lo && li_odate[i] <= hi).collect();
+    let lok = gather(&lok, &keep);
+    let odates = gather(&li_odate, &keep);
+    let cands = gather(&cands.iter().map(|&c| c as i64).collect::<Vec<_>>(), &keep);
+    let cands: Vec<usize> = cands.iter().map(|&c| c as usize).collect();
+    let ocust = fetch_join(&lok, i64col(cat, "orders", "o_custkey"));
+    let cnk = fetch_join(&ocust, i64col(cat, "customer", "c_nationkey"));
+    let creg = fetch_join(&cnk, i64col(cat, "nation", "n_regionkey"));
+    let snk = fetch_join(&gather(i64col(cat, "lineitem", "l_suppkey"), &cands),
+                         i64col(cat, "supplier", "s_nationkey"));
+    let ext = gather(i64col(cat, "lineitem", "l_extendedprice"), &cands);
+    let disc = gather(i64col(cat, "lineitem", "l_discount"), &cands);
+    let rev = map2(&ext, &disc, |e, d| e * (100 - d));
+    let years: Vec<i64> = odates.iter().map(|&d| year_of(d)).collect();
+    let inreg: Vec<i64> = creg.iter().map(|&r| (r == rk) as i64).collect();
+    let den_vals = map2(&rev, &inreg, |r, m| r * m);
+    let isb: Vec<i64> = snk.iter().map(|&s| (s == bk) as i64).collect();
+    let num_vals = map2(&den_vals, &isb, |r, m| r * m);
+    let ykeys: Vec<i64> = years.iter().map(|&y| y - 1992).collect();
+    let den = group_sum(&ykeys, &den_vals, 8);
+    let num = group_sum(&ykeys, &num_vals, 8);
+    QueryResult::new(
+        (0..8)
+            .filter(|&y| den[y] != 0)
+            .map(|y| vec![1992 + y as i64, num[y], den[y]])
+            .collect(),
+    )
+}
+
+fn q9(cat: &Catalog) -> QueryResult {
+    let color = params::q9_color();
+    let green = codes_where(cat, "part", "p_name", |s| s.contains(color));
+    let names = codecol(cat, "part", "p_name");
+    let lpk = i64col(cat, "lineitem", "l_partkey");
+    let li_green: Vec<i64> =
+        lpk.iter().map(|&p| green[names[p as usize] as usize] as i64).collect();
+    let cands = select_where(&li_green, None, |g| g != 0);
+    let lpk = gather(i64col(cat, "lineitem", "l_partkey"), &cands);
+    let lsk = gather(i64col(cat, "lineitem", "l_suppkey"), &cands);
+    let lok = gather(i64col(cat, "lineitem", "l_orderkey"), &cands);
+    let qty = gather(i64col(cat, "lineitem", "l_quantity"), &cands);
+    let ext = gather(i64col(cat, "lineitem", "l_extendedprice"), &cands);
+    let disc = gather(i64col(cat, "lineitem", "l_discount"), &cands);
+    let n_supp = len_of(cat, "supplier") as i64;
+    let psidx: Vec<i64> = lpk.iter().zip(&lsk).map(|(&p, &s)| ps_index(p, s, n_supp)).collect();
+    let cost = fetch_join(&psidx, i64col(cat, "partsupp", "ps_supplycost"));
+    let rev = map2(&ext, &disc, |e, d| e * (100 - d));
+    let costq = map2(&cost, &qty, |c, q| c * q * 100);
+    let amount = map2(&rev, &costq, |r, c| r - c);
+    let snk = fetch_join(&lsk, i64col(cat, "supplier", "s_nationkey"));
+    let odate = fetch_join(&lok, i64col(cat, "orders", "o_orderdate"));
+    let years: Vec<i64> = odate.iter().map(|&d| year_of(d)).collect();
+    let keys = map2(&snk, &years, |n, y| n * 8 + (y - 1992));
+    let sums = group_sum(&keys, &amount, 25 * 8);
+    let cnts = group_count(&keys, 25 * 8);
+    QueryResult::new(
+        (0..25 * 8)
+            .filter(|&k| cnts[k] > 0)
+            .map(|k| vec![(k / 8) as i64, 1992 + (k % 8) as i64, sums[k]])
+            .collect(),
+    )
+}
+
+fn q10(cat: &Catalog) -> QueryResult {
+    let (lo, hi) = params::q10_window();
+    let rcode = code_of(cat, "lineitem", "l_returnflag", "R");
+    let rf = codecol(cat, "lineitem", "l_returnflag");
+    let rfw: Vec<i64> = rf.iter().map(|&c| c as i64).collect();
+    let cands = select_where(&rfw, None, |c| c == rcode);
+    let lok = gather(i64col(cat, "lineitem", "l_orderkey"), &cands);
+    let odate = fetch_join(&lok, i64col(cat, "orders", "o_orderdate"));
+    let keep: Vec<usize> = (0..lok.len()).filter(|&i| odate[i] >= lo && odate[i] < hi).collect();
+    let lok = gather(&lok, &keep);
+    let cands = gather(&cands.iter().map(|&c| c as i64).collect::<Vec<_>>(), &keep);
+    let cands: Vec<usize> = cands.iter().map(|&c| c as usize).collect();
+    let cust = fetch_join(&lok, i64col(cat, "orders", "o_custkey"));
+    let ext = gather(i64col(cat, "lineitem", "l_extendedprice"), &cands);
+    let disc = gather(i64col(cat, "lineitem", "l_discount"), &cands);
+    let rev = map2(&ext, &disc, |e, d| e * (100 - d));
+    let sums = group_sum(&cust, &rev, len_of(cat, "customer"));
+    QueryResult::new(
+        sums.iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(c, &v)| vec![c as i64, v])
+            .collect(),
+    )
+}
+
+fn q12(cat: &Catalog) -> QueryResult {
+    let (m1, m2, lo, hi) = params::q12();
+    let c1 = code_of(cat, "lineitem", "l_shipmode", m1);
+    let c2 = code_of(cat, "lineitem", "l_shipmode", m2);
+    let mode = codecol(cat, "lineitem", "l_shipmode");
+    let modew: Vec<i64> = mode.iter().map(|&c| c as i64).collect();
+    let cands = select_where(&modew, None, |m| m == c1 || m == c2);
+    let receipt = gather(i64col(cat, "lineitem", "l_receiptdate"), &cands);
+    let keep: Vec<usize> = (0..cands.len()).filter(|&i| receipt[i] >= lo && receipt[i] < hi).collect();
+    let cands: Vec<usize> = keep.iter().map(|&i| cands[i]).collect();
+    let commit = gather(i64col(cat, "lineitem", "l_commitdate"), &cands);
+    let receipt = gather(i64col(cat, "lineitem", "l_receiptdate"), &cands);
+    let ship = gather(i64col(cat, "lineitem", "l_shipdate"), &cands);
+    let keep: Vec<usize> =
+        (0..cands.len()).filter(|&i| commit[i] < receipt[i] && ship[i] < commit[i]).collect();
+    let cands: Vec<usize> = keep.iter().map(|&i| cands[i]).collect();
+    let lok = gather(i64col(cat, "lineitem", "l_orderkey"), &cands);
+    let prio = fetch_join(&lok, &codecol(cat, "orders", "o_orderpriority").iter().map(|&c| c as i64).collect::<Vec<_>>());
+    let urgent = code_of(cat, "orders", "o_orderpriority", "1-URGENT");
+    let high = code_of(cat, "orders", "o_orderpriority", "2-HIGH");
+    let m = gather(&modew, &cands);
+    let ishigh: Vec<i64> = prio.iter().map(|&p| (p == urgent || p == high) as i64).collect();
+    let islow: Vec<i64> = ishigh.iter().map(|&h| 1 - h).collect();
+    let mode_rank = canon_ranks(cat, "lineitem", "l_shipmode");
+    let mk: Vec<i64> = m.iter().map(|&c| mode_rank[c as usize]).collect();
+    let highs = group_sum(&mk, &ishigh, mode_rank.len().max(1));
+    let lows = group_sum(&mk, &islow, mode_rank.len().max(1));
+    let cnt = group_count(&mk, mode_rank.len().max(1));
+    QueryResult::new(
+        (0..mode_rank.len())
+            .filter(|&i| cnt[i] > 0)
+            .map(|i| vec![i as i64, highs[i], lows[i]])
+            .collect(),
+    )
+}
+
+fn q14(cat: &Catalog) -> QueryResult {
+    let (lo, hi) = params::q14_window();
+    let ship = i64col(cat, "lineitem", "l_shipdate");
+    let cands = select_range(ship, lo, hi, None);
+    let lpk = gather(i64col(cat, "lineitem", "l_partkey"), &cands);
+    let promo = codes_where(cat, "part", "p_type", |s| s.starts_with("PROMO"));
+    let ptypes = codecol(cat, "part", "p_type");
+    let isp: Vec<i64> = lpk.iter().map(|&p| promo[ptypes[p as usize] as usize] as i64).collect();
+    let ext = gather(i64col(cat, "lineitem", "l_extendedprice"), &cands);
+    let disc = gather(i64col(cat, "lineitem", "l_discount"), &cands);
+    let rev = map2(&ext, &disc, |e, d| e * (100 - d));
+    let prev = map2(&rev, &isp, |r, m| r * m);
+    QueryResult::new(vec![vec![prev.iter().sum(), rev.iter().sum()]])
+}
+
+fn q15(cat: &Catalog) -> QueryResult {
+    let (lo, hi) = params::q15_window();
+    let ship = i64col(cat, "lineitem", "l_shipdate");
+    let cands = select_range(ship, lo, hi, None);
+    let lsk = gather(i64col(cat, "lineitem", "l_suppkey"), &cands);
+    let ext = gather(i64col(cat, "lineitem", "l_extendedprice"), &cands);
+    let disc = gather(i64col(cat, "lineitem", "l_discount"), &cands);
+    let rev = map2(&ext, &disc, |e, d| e * (100 - d));
+    let sums = group_sum(&lsk, &rev, len_of(cat, "supplier"));
+    let max = sums.iter().copied().max().unwrap_or(0);
+    QueryResult::new(
+        sums.iter()
+            .enumerate()
+            .filter(|(_, &v)| v == max && v > 0)
+            .map(|(s, &v)| vec![s as i64, v])
+            .collect(),
+    )
+}
+
+fn q19(cat: &Catalog) -> QueryResult {
+    let triples = params::q19();
+    let brand_codes: Vec<i64> =
+        triples.iter().map(|(b, _, _)| code_of(cat, "part", "p_brand", b)).collect();
+    let cont_ok: Vec<Vec<bool>> = triples
+        .iter()
+        .map(|(_, kind, _)| codes_where(cat, "part", "p_container", |s| s.ends_with(kind)))
+        .collect();
+    let size_max = [5i64, 10, 15];
+    let air = code_of(cat, "lineitem", "l_shipmode", "AIR");
+    let regair = code_of(cat, "lineitem", "l_shipmode", "REG AIR");
+    let deliver = code_of(cat, "lineitem", "l_shipinstruct", "DELIVER IN PERSON");
+    let mode: Vec<i64> = codecol(cat, "lineitem", "l_shipmode").iter().map(|&c| c as i64).collect();
+    let instr: Vec<i64> =
+        codecol(cat, "lineitem", "l_shipinstruct").iter().map(|&c| c as i64).collect();
+    let cands = select_where(&mode, None, |m| m == air || m == regair);
+    let cands = select_where(&instr, Some(&cands), |i| i == deliver);
+    let lpk = gather(i64col(cat, "lineitem", "l_partkey"), &cands);
+    let qty = gather(i64col(cat, "lineitem", "l_quantity"), &cands);
+    let p_brand = codecol(cat, "part", "p_brand");
+    let p_container = codecol(cat, "part", "p_container");
+    let p_size = i64col(cat, "part", "p_size");
+    let mask: Vec<i64> = (0..cands.len())
+        .map(|i| {
+            let p = lpk[i] as usize;
+            for t in 0..3 {
+                let (_, _, qmin) = triples[t];
+                if p_brand[p] as i64 == brand_codes[t]
+                    && cont_ok[t][p_container[p] as usize]
+                    && qty[i] >= qmin
+                    && qty[i] <= qmin + 10
+                    && p_size[p] >= 1
+                    && p_size[p] <= size_max[t]
+                {
+                    return 1;
+                }
+            }
+            0
+        })
+        .collect();
+    let ext = gather(i64col(cat, "lineitem", "l_extendedprice"), &cands);
+    let disc = gather(i64col(cat, "lineitem", "l_discount"), &cands);
+    let rev = map2(&ext, &disc, |e, d| e * (100 - d));
+    let masked = map2(&rev, &mask, |r, m| r * m);
+    QueryResult::new(vec![vec![masked.iter().sum()]])
+}

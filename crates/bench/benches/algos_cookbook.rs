@@ -1,0 +1,110 @@
+//! Criterion benches for the `voodoo-algos` cookbook: ablations over the
+//! tuning knobs DESIGN.md calls out — fold strategy (Figure 3 vs 4),
+//! vectorization chunk size (Figure 15's knob), and the bounded
+//! hash-table rounds of §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use voodoo_algos::selection::{self, SelectionStrategy};
+use voodoo_algos::{aggregate, compaction, hashtable, FoldStrategy};
+use voodoo_compile::exec::{ExecOptions, Executor};
+use voodoo_compile::Compiler;
+use voodoo_storage::Catalog;
+
+fn catalog(n: usize) -> Catalog {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column(
+        "input",
+        &(0..n as i64).map(|i| (i * 2654435761) % 4096).collect::<Vec<_>>(),
+    );
+    cat
+}
+
+fn bench_fold_strategies(c: &mut Criterion) {
+    let n = 1 << 18;
+    let cat = catalog(n);
+    let mut g = c.benchmark_group("fold_strategy");
+    g.sample_size(10);
+    for (name, strat) in [
+        ("global", FoldStrategy::Global),
+        ("partitions_4k", FoldStrategy::Partitions { size: 4096 }),
+        ("partitions_64k", FoldStrategy::Partitions { size: 65536 }),
+        ("lanes_8", FoldStrategy::Lanes { lanes: 8 }),
+    ] {
+        let p = aggregate::hierarchical_sum("input", strat);
+        let cp = Compiler::new(&cat).compile(&p).unwrap();
+        g.bench_function(BenchmarkId::new("hierarchical_sum", name), |b| {
+            let exec = Executor::with_threads(4);
+            b.iter(|| exec.run(&cp, &cat).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_vectorization_chunks(c: &mut Criterion) {
+    let n = 1 << 18;
+    let cat = catalog(n);
+    let mut g = c.benchmark_group("vectorization_chunk");
+    g.sample_size(10);
+    for chunk in [256usize, 4096, 65536] {
+        let p = selection::select_sum("input", 0, 2048, SelectionStrategy::Vectorized { chunk });
+        let cp = Compiler::new(&cat).compile(&p).unwrap();
+        g.bench_with_input(BenchmarkId::new("select_sum", chunk), &chunk, |b, _| {
+            let exec = Executor::new(ExecOptions { predicated_select: true, ..Default::default() });
+            b.iter(|| exec.run(&cp, &cat).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_hashtable_rounds(c: &mut Criterion) {
+    // §6: the bounded-iteration scheme trades program size (rounds) for
+    // collision tolerance; this ablation measures the cost per round.
+    let keys: Vec<i64> = (0..4096).map(|i| i * 31 + 7).collect();
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("keys", &keys);
+    let mut g = c.benchmark_group("hashtable_rounds");
+    g.sample_size(10);
+    for rounds in [2usize, 6, 12] {
+        let p = hashtable::build_linear_probe("keys", 8192, rounds, "ht");
+        let cp = Compiler::new(&cat).compile(&p).unwrap();
+        g.bench_with_input(BenchmarkId::new("build_linear", rounds), &rounds, |b, _| {
+            let exec = Executor::single_threaded();
+            b.iter(|| exec.run(&cp, &cat).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_radix_sort(c: &mut Criterion) {
+    let n = 1 << 16;
+    let cat = catalog(n);
+    let mut g = c.benchmark_group("radix_sort");
+    g.sample_size(10);
+    for (name, bits, passes) in [("4bit_x3", 4u32, 3u32), ("6bit_x2", 6, 2), ("12bit_x1", 12, 1)] {
+        let p = compaction::radix_sort("input", bits, passes);
+        let cp = Compiler::new(&cat).compile(&p).unwrap();
+        g.bench_function(BenchmarkId::new("passes", name), |b| {
+            let exec = Executor::single_threaded();
+            b.iter(|| exec.run(&cp, &cat).unwrap());
+        });
+    }
+    // std sort as the hand-written baseline.
+    let vals: Vec<i64> = (0..n as i64).map(|i| (i * 2654435761) % 4096).collect();
+    g.bench_function("std_sort_baseline", |b| {
+        b.iter(|| {
+            let mut v = vals.clone();
+            v.sort_unstable();
+            v
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fold_strategies,
+    bench_vectorization_chunks,
+    bench_hashtable_rounds,
+    bench_radix_sort
+);
+criterion_main!(benches);

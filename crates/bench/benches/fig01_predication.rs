@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 1: branching vs branch-free selection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use voodoo_bench::micro;
+use voodoo_compile::exec::{ExecOptions, Executor};
+use voodoo_compile::Compiler;
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 16;
+    let cat = micro::selection_catalog(n, 42);
+    let mut g = c.benchmark_group("fig01_predication");
+    g.sample_size(10);
+    for sel in [1u32, 50, 100] {
+        let p = micro::prog_filter_materialize(micro::cutoff(sel as f64 / 100.0));
+        let cp = Compiler::new(&cat).compile(&p).unwrap();
+        g.bench_with_input(BenchmarkId::new("branch", sel), &sel, |b, _| {
+            let exec = Executor::single_threaded();
+            b.iter(|| exec.run(&cp, &cat).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("no_branch", sel), &sel, |b, _| {
+            let exec = Executor::new(ExecOptions { predicated_select: true, ..Default::default() });
+            b.iter(|| exec.run(&cp, &cat).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

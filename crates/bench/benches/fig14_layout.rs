@@ -1,0 +1,36 @@
+//! Criterion bench for Figure 14: just-in-time layout transformations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use voodoo_bench::micro;
+use voodoo_compile::exec::Executor;
+use voodoo_compile::Compiler;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_layout");
+    g.sample_size(10);
+    for (pattern, random, rows) in
+        [("sequential", false, 1 << 14), ("random", true, 1 << 14)]
+    {
+        let cat = micro::layout_catalog(1 << 15, rows, random, 7);
+        let progs = [
+            ("single_loop", micro::prog_layout_single()),
+            ("separate_loops", micro::prog_layout_separate()),
+            ("layout_transform", micro::prog_layout_transform()),
+        ];
+        for (name, p) in progs {
+            let cp = Compiler::new(&cat).compile(&p).unwrap();
+            g.bench_with_input(
+                BenchmarkId::new(name, pattern),
+                &pattern,
+                |b, _| {
+                    let exec = Executor::single_threaded();
+                    b.iter(|| exec.run(&cp, &cat).unwrap());
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

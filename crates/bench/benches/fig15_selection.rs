@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 15: selection strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use voodoo_bench::micro;
+use voodoo_compile::exec::{ExecOptions, Executor};
+use voodoo_compile::Compiler;
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 16;
+    let cat = micro::selection_catalog(n, 42);
+    let mut g = c.benchmark_group("fig15_selection");
+    g.sample_size(10);
+    for sel in [1u32, 50] {
+        let cut = micro::cutoff(sel as f64 / 100.0);
+        let variants = [
+            ("branching", micro::prog_select_sum_branching(cut), false),
+            ("branch_free", micro::prog_select_sum_predicated(cut), false),
+            ("vectorized", micro::prog_select_sum_vectorized(cut, 4096), true),
+        ];
+        for (name, p, pred) in variants {
+            let cp = Compiler::new(&cat).compile(&p).unwrap();
+            g.bench_with_input(BenchmarkId::new(name, sel), &sel, |b, _| {
+                let exec =
+                    Executor::new(ExecOptions { predicated_select: pred, ..Default::default() });
+                b.iter(|| exec.run(&cp, &cat).unwrap());
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 16: selective foreign-key joins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use voodoo_bench::micro;
+use voodoo_compile::exec::Executor;
+use voodoo_compile::Compiler;
+
+fn bench(c: &mut Criterion) {
+    let cat = micro::fkjoin_catalog(1 << 16, 1 << 14, 42);
+    let mut g = c.benchmark_group("fig16_fkjoin");
+    g.sample_size(10);
+    for sel in [10i64, 50, 90] {
+        let variants = [
+            ("branching", micro::prog_fk_branching(sel)),
+            ("predicated_agg", micro::prog_fk_predicated_agg(sel)),
+            ("predicated_lookups", micro::prog_fk_predicated_lookups(sel)),
+        ];
+        for (name, p) in variants {
+            let cp = Compiler::new(&cat).compile(&p).unwrap();
+            g.bench_with_input(BenchmarkId::new(name, sel), &sel, |b, _| {
+                let exec = Executor::single_threaded();
+                b.iter(|| exec.run(&cp, &cat).unwrap());
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for the `voodoo-opt` optimizer: how much does plan
+//! choice cost, and how does the greedy search compare to exhaustive?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use voodoo_compile::Device;
+use voodoo_opt::{CostSource, Optimizer, SearchStrategy, Workload};
+use voodoo_storage::Catalog;
+
+fn catalog(n: usize) -> Catalog {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column(
+        "vals",
+        &(0..n as i64).map(|i| (i * 2654435761) % 1000).collect::<Vec<_>>(),
+    );
+    cat
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let cat = catalog(1 << 18);
+    let wl = Workload::SelectSum {
+        table: "vals".into(),
+        lo: 0,
+        hi: 500,
+        chunks: vec![1 << 10, 1 << 12, 1 << 14],
+    };
+    let mut g = c.benchmark_group("optimizer");
+    g.sample_size(10);
+    for (name, strategy) in
+        [("exhaustive", SearchStrategy::Exhaustive), ("greedy", SearchStrategy::Greedy)]
+    {
+        for (dev_name, device) in
+            [("cpu", Device::cpu_single_thread()), ("gpu", Device::gpu_titan_x())]
+        {
+            let opt = Optimizer::for_device(device)
+                .with_sample_rows(1 << 13)
+                .with_strategy(strategy)
+                .with_cost_source(CostSource::Model);
+            g.bench_function(BenchmarkId::new(name, dev_name), |b| {
+                b.iter(|| opt.choose(&wl, &cat).unwrap());
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

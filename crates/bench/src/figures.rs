@@ -1,0 +1,435 @@
+//! Row generators for every figure of the paper's evaluation.
+
+use voodoo_compile::exec::{ExecOptions, Executor};
+use voodoo_compile::{kernel, Compiler, Device};
+use voodoo_gpusim::{CostModel, GpuSimulator};
+use voodoo_storage::Catalog;
+use voodoo_tpch::queries::{Query, CPU_QUERIES, GPU_QUERIES};
+
+use crate::micro::{self, Pattern};
+use crate::timing::{consume, time_secs};
+use crate::FigRow;
+
+fn run_cpu(cat: &Catalog, p: &voodoo_core::Program, predicated: bool, threads: usize) -> f64 {
+    let cp = Compiler::new(cat).compile(p).expect("compile");
+    let exec = Executor::new(ExecOptions {
+        predicated_select: predicated,
+        threads,
+        ..Default::default()
+    });
+    time_secs(3, || {
+        let (out, _) = exec.run(&cp, cat).expect("run");
+        consume(out);
+    })
+}
+
+/// Price the measured event trace with the single-thread CPU model —
+/// isolates architectural effects (branch flips, cache misses) from the
+/// backend's interpretive overhead, the same methodology as the GPU.
+fn run_cpu_model(cat: &Catalog, p: &voodoo_core::Program, predicated: bool) -> f64 {
+    let cp = Compiler::new(cat).compile(p).expect("compile");
+    let exec = Executor::new(ExecOptions {
+        predicated_select: predicated,
+        count_events: true,
+        ..Default::default()
+    });
+    let (_, _, units) = exec.run_with_unit_profiles(&cp, cat).expect("run");
+    CostModel::new(Device::cpu_single_thread()).price(&units).seconds
+}
+
+fn run_gpu(cat: &Catalog, p: &voodoo_core::Program, predicated: bool) -> f64 {
+    let sim = GpuSimulator::titan_x().with_predication(predicated);
+    let (_, report) = sim.run(p, cat).expect("gpu sim");
+    report.seconds
+}
+
+/// Figure 1: branching vs branch-free selection across selectivities, on
+/// one thread, several threads and the simulated GPU.
+pub fn fig1(n: usize, threads: usize) -> Vec<FigRow> {
+    let cat = micro::selection_catalog(n, 42);
+    let mut rows = Vec::new();
+    for sel_pct in [1.0, 5.0, 10.0, 50.0, 100.0] {
+        let c = micro::cutoff(sel_pct / 100.0);
+        let p = micro::prog_filter_materialize(c);
+        rows.push(FigRow::new("Single Thread Branch", sel_pct, Some(run_cpu(&cat, &p, false, 1))));
+        rows.push(FigRow::new(
+            "Single Thread No Branch",
+            sel_pct,
+            Some(run_cpu(&cat, &p, true, 1)),
+        ));
+        rows.push(FigRow::new(
+            "Multithread Branch",
+            sel_pct,
+            Some(run_cpu(&cat, &p, false, threads)),
+        ));
+        rows.push(FigRow::new(
+            "Multithread No Branch",
+            sel_pct,
+            Some(run_cpu(&cat, &p, true, threads)),
+        ));
+        rows.push(FigRow::new("GPU Branch", sel_pct, Some(run_gpu(&cat, &p, false))));
+        rows.push(FigRow::new("GPU No Branch", sel_pct, Some(run_gpu(&cat, &p, true))));
+    }
+    rows
+}
+
+/// Figure 9 (qualitative): the generated kernel source for the fused
+/// select-and-aggregate plan of Figure 8.
+pub fn fig9_kernel_dump(n: usize) -> String {
+    let cat = micro::selection_catalog(n, 1);
+    let p = micro::prog_select_sum_branching(micro::cutoff(0.5));
+    let cp = Compiler::new(&cat).compile(&p).expect("compile");
+    kernel::render_opencl(&cp)
+}
+
+/// Figure 12: TPC-H on the (simulated) GPU — Voodoo vs Ocelot.
+pub fn fig12(sf: f64) -> Vec<FigRow> {
+    let mut cat = voodoo_tpch::generate(sf);
+    voodoo_relational::prepare(&mut cat);
+    let gpu = GpuSimulator::titan_x();
+    let model = CostModel::titan_x();
+    let mut rows = Vec::new();
+    for q in GPU_QUERIES {
+        // Voodoo: price each program of the plan with the device model.
+        let mut total = 0.0;
+        let out = voodoo_relational::run_with(&cat, q, |p, c| {
+            let (out, report) = gpu.run(p, c).expect("gpu run");
+            total += report.seconds;
+            out
+        });
+        consume(out);
+        rows.push(FigRow::new("Voodoo", q.name(), Some(total)));
+
+        // Ocelot: bulk-processor traffic priced at GPU bandwidth plus one
+        // kernel launch per materializing operator.
+        voodoo_baselines::ocelot::stats_reset();
+        let r = voodoo_baselines::ocelot::run(&cat, q);
+        let (traffic, ops) = voodoo_baselines::ocelot::stats();
+        let secs = r.map(|_| {
+            traffic as f64 / model.device.mem_bandwidth + ops as f64 * model.device.barrier_cost
+        });
+        rows.push(FigRow::new("Ocelot", q.name(), secs));
+    }
+    rows
+}
+
+/// Figure 13: TPC-H on the CPU — HyPeR vs Voodoo vs Ocelot, wall clock.
+pub fn fig13(sf: f64, threads: usize) -> Vec<FigRow> {
+    let mut cat = voodoo_tpch::generate(sf);
+    voodoo_relational::prepare(&mut cat);
+    let mut rows = Vec::new();
+    for q in CPU_QUERIES {
+        let h = time_secs(3, || consume(voodoo_baselines::hyper::run(&cat, q)));
+        rows.push(FigRow::new("HyPeR", q.name(), Some(h)));
+        let v = time_secs(3, || consume(voodoo_relational::run_compiled(&cat, q, threads)));
+        rows.push(FigRow::new("Voodoo", q.name(), Some(v)));
+        let o = if voodoo_baselines::ocelot::supported(q) {
+            Some(time_secs(3, || consume(voodoo_baselines::ocelot::run(&cat, q))))
+        } else {
+            None
+        };
+        rows.push(FigRow::new("Ocelot", q.name(), o));
+    }
+    rows
+}
+
+/// Figure 14: just-in-time layout transforms across access patterns —
+/// (a) hand-written, (b) Voodoo on CPU, (c) Voodoo on simulated GPU.
+pub fn fig14(n_pos: usize, large_rows: usize) -> Vec<FigRow> {
+    let mut rows = Vec::new();
+    let variants: [(&str, u8, fn() -> voodoo_core::Program); 3] = [
+        ("Single Loop", 0, micro::prog_layout_single),
+        ("Separate Loops", 1, micro::prog_layout_separate),
+        ("Layout Transform", 2, micro::prog_layout_transform),
+    ];
+    for pattern in Pattern::all() {
+        let random = pattern != Pattern::Sequential;
+        let target_rows = pattern.target_rows(large_rows);
+        let cat = micro::layout_catalog(n_pos, target_rows, random, 77);
+        let t = cat.table("target2").unwrap();
+        let c1 = t.column("c1").unwrap().data.buffer().as_i64().unwrap().to_vec();
+        let c2 = t.column("c2").unwrap().data.buffer().as_i64().unwrap().to_vec();
+        let pos = cat
+            .table("positions")
+            .unwrap()
+            .column("val")
+            .unwrap()
+            .data
+            .buffer()
+            .as_i64()
+            .unwrap()
+            .to_vec();
+        for (name, which, prog) in &variants {
+            let w = *which;
+            let c = time_secs(3, || consume(micro::c_layout(&c1, &c2, &pos, w)));
+            rows.push(FigRow::new(&format!("C/{name}"), pattern.label(), Some(c)));
+            let p = prog();
+            rows.push(FigRow::new(
+                &format!("VoodooCPU/{name}"),
+                pattern.label(),
+                Some(run_cpu(&cat, &p, false, 1)),
+            ));
+            rows.push(FigRow::new(
+                &format!("VoodooGPU/{name}"),
+                pattern.label(),
+                Some(run_gpu(&cat, &p, false)),
+            ));
+        }
+    }
+    rows
+}
+
+/// Figure 15: selection strategies across selectivities —
+/// (a) hand-written, (b) Voodoo CPU, (c) Voodoo simulated GPU.
+pub fn fig15(n: usize, chunk: usize) -> Vec<FigRow> {
+    let cat = micro::selection_catalog(n, 42);
+    let vals = cat
+        .table("vals")
+        .unwrap()
+        .column("val")
+        .unwrap()
+        .data
+        .buffer()
+        .as_i64()
+        .unwrap()
+        .to_vec();
+    let mut rows = Vec::new();
+    for sel_pct in [0.01, 0.1, 1.0, 10.0, 50.0, 100.0] {
+        let c = micro::cutoff(sel_pct / 100.0);
+        // (a) hand-written.
+        rows.push(FigRow::new(
+            "C/Branching",
+            sel_pct,
+            Some(time_secs(3, || consume(micro::c_select_sum_branching(&vals, c)))),
+        ));
+        rows.push(FigRow::new(
+            "C/Branch-Free",
+            sel_pct,
+            Some(time_secs(3, || consume(micro::c_select_sum_predicated(&vals, c)))),
+        ));
+        rows.push(FigRow::new(
+            "C/Vectorized",
+            sel_pct,
+            Some(time_secs(3, || consume(micro::c_select_sum_vectorized(&vals, c, chunk)))),
+        ));
+        // (b) Voodoo on CPU.
+        let branching = micro::prog_select_sum_branching(c);
+        let predicated = micro::prog_select_sum_predicated(c);
+        let vectorized = micro::prog_select_sum_vectorized(c, chunk);
+        rows.push(FigRow::new("VoodooCPU/Branching", sel_pct, Some(run_cpu(&cat, &branching, false, 1))));
+        rows.push(FigRow::new("VoodooCPU/Branch-Free", sel_pct, Some(run_cpu(&cat, &predicated, false, 1))));
+        rows.push(FigRow::new("VoodooCPU/Vectorized", sel_pct, Some(run_cpu(&cat, &vectorized, true, 1))));
+        // Model-priced CPU (architectural effects without backend overhead).
+        rows.push(FigRow::new("VoodooCPUModel/Branching", sel_pct, Some(run_cpu_model(&cat, &branching, false))));
+        rows.push(FigRow::new("VoodooCPUModel/Branch-Free", sel_pct, Some(run_cpu_model(&cat, &predicated, false))));
+        rows.push(FigRow::new("VoodooCPUModel/Vectorized", sel_pct, Some(run_cpu_model(&cat, &vectorized, true))));
+        // (c) Voodoo on the simulated GPU.
+        rows.push(FigRow::new("VoodooGPU/Branching", sel_pct, Some(run_gpu(&cat, &branching, false))));
+        rows.push(FigRow::new("VoodooGPU/Branch-Free", sel_pct, Some(run_gpu(&cat, &predicated, false))));
+        rows.push(FigRow::new("VoodooGPU/Vectorized", sel_pct, Some(run_gpu(&cat, &vectorized, true))));
+    }
+    rows
+}
+
+/// Figure 16: selective foreign-key joins across selectivities.
+pub fn fig16(n_fact: usize, n_target: usize) -> Vec<FigRow> {
+    let cat = micro::fkjoin_catalog(n_fact, n_target, 42);
+    let fact = cat.table("fact").unwrap();
+    let v = fact.column("v").unwrap().data.buffer().as_i64().unwrap().to_vec();
+    let fk = fact.column("fk").unwrap().data.buffer().as_i64().unwrap().to_vec();
+    let target = cat
+        .table("target")
+        .unwrap()
+        .column("val")
+        .unwrap()
+        .data
+        .buffer()
+        .as_i64()
+        .unwrap()
+        .to_vec();
+    let mut rows = Vec::new();
+    for sel_pct in [10.0, 30.0, 50.0, 70.0, 90.0] {
+        let c = sel_pct as i64; // v uniform in [0, 100)
+        for (name, which) in [("Branching", 0u8), ("PredicatedAgg", 1), ("PredicatedLookups", 2)] {
+            rows.push(FigRow::new(
+                &format!("C/{name}"),
+                sel_pct,
+                Some(time_secs(3, || consume(micro::c_fk_join(&v, &fk, &target, c, which)))),
+            ));
+        }
+        let branching = micro::prog_fk_branching(c);
+        let pagg = micro::prog_fk_predicated_agg(c);
+        let plook = micro::prog_fk_predicated_lookups(c);
+        rows.push(FigRow::new("VoodooCPU/Branching", sel_pct, Some(run_cpu(&cat, &branching, false, 1))));
+        rows.push(FigRow::new("VoodooCPU/PredicatedAgg", sel_pct, Some(run_cpu(&cat, &pagg, false, 1))));
+        rows.push(FigRow::new("VoodooCPU/PredicatedLookups", sel_pct, Some(run_cpu(&cat, &plook, false, 1))));
+        rows.push(FigRow::new("VoodooCPUModel/Branching", sel_pct, Some(run_cpu_model(&cat, &branching, false))));
+        rows.push(FigRow::new("VoodooCPUModel/PredicatedAgg", sel_pct, Some(run_cpu_model(&cat, &pagg, false))));
+        rows.push(FigRow::new("VoodooCPUModel/PredicatedLookups", sel_pct, Some(run_cpu_model(&cat, &plook, false))));
+        rows.push(FigRow::new("VoodooGPU/Branching", sel_pct, Some(run_gpu(&cat, &branching, false))));
+        rows.push(FigRow::new("VoodooGPU/PredicatedAgg", sel_pct, Some(run_gpu(&cat, &pagg, false))));
+        rows.push(FigRow::new("VoodooGPU/PredicatedLookups", sel_pct, Some(run_gpu(&cat, &plook, false))));
+    }
+    rows
+}
+
+/// Ablation: the effect of empty-slot suppression and virtual scatter on
+/// memory traffic (DESIGN.md calls these out as the key §3.1.2/§3.1.3
+/// design choices).
+pub fn ablation_suppression(n: usize) -> Vec<FigRow> {
+    let cat = micro::selection_catalog(n, 3);
+    // Hierarchical aggregation: dense fold output is #runs slots.
+    let mut p = voodoo_core::Program::new();
+    let v = p.load("vals");
+    let ids = p.range_like(0, v, 1);
+    let part = p.div_const(ids, 1024);
+    let psum = p.fold_sum(part, v);
+    let total = p.fold_sum_global(psum);
+    p.ret(total);
+    let cp = Compiler::new(&cat).compile(&p).unwrap();
+    let exec = Executor::new(ExecOptions { count_events: true, ..Default::default() });
+    let (_, profile) = exec.run(&cp, &cat).unwrap();
+    let suppressed_bytes = profile.write_bytes;
+    // Padded equivalent would write one slot per element per fold.
+    let padded_bytes = (2 * n * 8) as u64;
+    vec![
+        FigRow::new("suppressed write bytes", n, Some(suppressed_bytes as f64)),
+        FigRow::new("padded write bytes", n, Some(padded_bytes as f64)),
+    ]
+}
+
+/// Ablation: CPU cost-model sanity — price the measured profile of the
+/// predication benchmark on both device models.
+pub fn ablation_devices(n: usize) -> Vec<FigRow> {
+    let cat = micro::selection_catalog(n, 4);
+    let p = micro::prog_filter_materialize(micro::cutoff(0.5));
+    let cp = Compiler::new(&cat).compile(&p).unwrap();
+    let exec = Executor::new(ExecOptions { count_events: true, ..Default::default() });
+    let (_, _, units) = exec.run_with_unit_profiles(&cp, &cat).unwrap();
+    let cpu = CostModel::new(Device::cpu_single_thread()).price(&units);
+    let gpu = CostModel::titan_x().price(&units);
+    vec![
+        FigRow::new("cpu-model seconds", n, Some(cpu.seconds)),
+        FigRow::new("gpu-model seconds", n, Some(gpu.seconds)),
+    ]
+}
+
+/// Ablation: the PCIe cost the paper excludes (§5.1 "We do not address
+/// the PCI bottleneck"). Prices a bandwidth-bound scan on the simulated
+/// GPU with data resident (the paper's setup), shipped over PCIe 3.0,
+/// and on an integrated GPU with zero-copy access.
+pub fn ablation_pcie(n: usize) -> Vec<FigRow> {
+    use voodoo_gpusim::{GpuSimulator, Interconnect};
+    let cat = micro::selection_catalog(n, 5);
+    let p = micro::prog_select_sum_branching(micro::cutoff(0.5));
+    let (_, resident) = GpuSimulator::titan_x().run(&p, &cat).unwrap();
+    let (_, shipped) = GpuSimulator::titan_x()
+        .with_interconnect(Interconnect::pcie3_x16())
+        .run(&p, &cat)
+        .unwrap();
+    let (_, integrated) = GpuSimulator::new(CostModel::new(Device::gpu_integrated()))
+        .with_interconnect(Interconnect::zero_copy())
+        .run(&p, &cat)
+        .unwrap();
+    vec![
+        FigRow::new("titan-x, data resident (paper setup)", n, Some(resident.seconds)),
+        FigRow::new("titan-x + PCIe 3.0 shipping", n, Some(shipped.seconds)),
+        FigRow::new("  of which transfer", n, Some(shipped.transfer_seconds)),
+        FigRow::new("integrated GPU, zero copy", n, Some(integrated.seconds)),
+    ]
+}
+
+/// Optimizer showcase: the §7 "automatic exploration" future work making
+/// the Figure 15 decision per device and selectivity.
+pub fn optimizer_decisions(n: usize) -> Vec<FigRow> {
+    use voodoo_opt::{Optimizer, Workload};
+    let cat = micro::selection_catalog(n, 6);
+    // micro::selection_catalog draws uniform i64; derive cutoffs the same
+    // way the figures do.
+    let mut rows = Vec::new();
+    for (dev_name, device) in [
+        ("cpu-1t", Device::cpu_single_thread()),
+        ("gpu-titanx", Device::gpu_titan_x()),
+    ] {
+        for sel_pct in [1.0, 50.0, 99.0] {
+            let wl = Workload::SelectSum {
+                table: "vals".into(),
+                lo: i64::MIN,
+                hi: micro::cutoff(sel_pct / 100.0),
+                chunks: vec![1 << 12],
+            };
+            let choice = Optimizer::for_device(device.clone())
+                .with_sample_rows(1 << 14)
+                .choose(&wl, &cat)
+                .expect("optimize");
+            rows.push(FigRow::new(
+                &format!("{dev_name}: {}", choice.best.candidate.decision.label()),
+                sel_pct,
+                Some(choice.best.seconds),
+            ));
+        }
+    }
+    rows
+}
+
+/// Sanity check used by tests: every query result matches across engines
+/// at the benchmark scale factor.
+pub fn verify_engines(sf: f64) -> Result<(), String> {
+    let mut cat = voodoo_tpch::generate(sf);
+    voodoo_relational::prepare(&mut cat);
+    for q in CPU_QUERIES {
+        let h = voodoo_baselines::hyper::run(&cat, q);
+        let v = voodoo_relational::run_compiled(&cat, q, 1);
+        if h != v {
+            return Err(format!("{} differs between hyper and voodoo", q.name()));
+        }
+        if let Some(o) = voodoo_baselines::ocelot::run(&cat, q) {
+            if h != o {
+                return Err(format!("{} differs between hyper and ocelot", q.name()));
+            }
+        }
+        let _ = Query::Q1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_dump_contains_kernels() {
+        let s = fig9_kernel_dump(256);
+        assert!(s.contains("__kernel"));
+    }
+
+    #[test]
+    fn small_figures_produce_rows() {
+        assert_eq!(fig1(2048, 2).len(), 30);
+        assert_eq!(fig15(2048, 256).len(), 72);
+        assert_eq!(fig16(2048, 128).len(), 60);
+    }
+
+    #[test]
+    fn fig12_and_13_cover_paper_queries() {
+        let r12 = fig12(0.002);
+        assert_eq!(r12.len(), GPU_QUERIES.len() * 2);
+        let r13 = fig13(0.002, 1);
+        assert_eq!(r13.len(), CPU_QUERIES.len() * 3);
+        // Ocelot gaps present on CPU figure.
+        assert!(r13.iter().any(|r| r.series == "Ocelot" && r.seconds.is_none()));
+    }
+
+    #[test]
+    fn suppression_saves_traffic() {
+        let rows = ablation_suppression(1 << 14);
+        let suppressed = rows[0].seconds.unwrap();
+        let padded = rows[1].seconds.unwrap();
+        assert!(suppressed < padded, "{suppressed} < {padded}");
+    }
+
+    #[test]
+    fn engines_verify_at_bench_scale() {
+        verify_engines(0.002).unwrap();
+    }
+}

@@ -1,0 +1,44 @@
+//! # voodoo-bench — the paper's evaluation harness
+//!
+//! One module per experiment family; every table and figure of the paper's
+//! evaluation (§5) has a generator here that prints the same rows/series
+//! the paper reports. See DESIGN.md §6 for the full experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+//!
+//! Absolute numbers are *not* expected to match a 2016 Xeon E3-1270v5 +
+//! GTX TITAN X testbed — the reproduced claims are the shapes: which
+//! variant wins, where the crossovers fall, and by what rough factors.
+
+pub mod figures;
+pub mod micro;
+pub mod timing;
+
+/// A single measurement row of a figure: `(series, x, seconds)`.
+#[derive(Debug, Clone)]
+pub struct FigRow {
+    /// Series name (e.g. "Branching", "Voodoo", "HyPeR").
+    pub series: String,
+    /// X coordinate label (selectivity, query name, pattern, ...).
+    pub x: String,
+    /// Measured or simulated seconds (None = engine does not support it).
+    pub seconds: Option<f64>,
+}
+
+impl FigRow {
+    /// Construct a row.
+    pub fn new(series: &str, x: impl ToString, seconds: Option<f64>) -> FigRow {
+        FigRow { series: series.to_string(), x: x.to_string(), seconds }
+    }
+}
+
+/// Print rows as an aligned table, one line per (series, x).
+pub fn print_rows(title: &str, rows: &[FigRow]) {
+    println!("\n=== {title} ===");
+    println!("{:<28} {:>14} {:>14}", "series", "x", "seconds");
+    for r in rows {
+        match r.seconds {
+            Some(s) => println!("{:<28} {:>14} {:>14.6}", r.series, r.x, s),
+            None => println!("{:<28} {:>14} {:>14}", r.series, r.x, "-"),
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! Microbenchmark workloads and program variants (Figures 1, 14, 15, 16).
+//!
+//! For every technique the paper studies, this module provides both the
+//! hand-written Rust implementation (the paper's "Implemented in C"
+//! series) and the Voodoo program expressing the same technique, built the
+//! way §5.3 describes (one operator / one flag of difference per variant).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use voodoo_core::{BinOp, KeyPath, Program};
+use voodoo_storage::{Catalog, Table, TableColumn};
+
+fn kp(s: &str) -> KeyPath {
+    KeyPath::new(s)
+}
+
+// ---------------------------------------------------------------------
+// Selection workloads (Figures 1 and 15)
+// ---------------------------------------------------------------------
+
+/// A catalog with one i64 column `vals.val`, uniform in `[0, 10000)`.
+pub fn selection_catalog(n: usize, seed: u64) -> Catalog {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let vals: Vec<i64> = (0..n).map(|_| rng.gen_range(0..10_000)).collect();
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("vals", &vals);
+    cat
+}
+
+/// The predicate constant realizing a given selectivity in `[0, 1]`.
+pub fn cutoff(selectivity: f64) -> i64 {
+    (selectivity.clamp(0.0, 1.0) * 10_000.0) as i64
+}
+
+/// Figure 1 program: filter the column, materializing the selected values.
+/// Branching vs branch-free is the backend's predication flag.
+pub fn prog_filter_materialize(c: i64) -> Program {
+    let mut p = Program::new();
+    let v = p.load("vals");
+    let pred = p.binary_const(BinOp::Less, v, kp(".val"), c, kp(".val"));
+    let sel = p.fold_select_global(pred);
+    let out = p.gather(v, sel);
+    p.ret(out);
+    p
+}
+
+/// Figure 15 "Branching": fused select → gather → sum (an `if` per item).
+pub fn prog_select_sum_branching(c: i64) -> Program {
+    let mut p = Program::new();
+    let v = p.load("vals");
+    let pred = p.binary_const(BinOp::Less, v, kp(".val"), c, kp(".val"));
+    let sel = p.fold_select_global(pred);
+    let vals = p.gather(v, sel);
+    let sum = p.fold_sum_global(vals);
+    p.ret(sum);
+    p
+}
+
+/// Figure 15 "Branch-Free": predication — `sum(v · (v < c))`.
+pub fn prog_select_sum_predicated(c: i64) -> Program {
+    let mut p = Program::new();
+    let v = p.load("vals");
+    let pred = p.binary_const(BinOp::Less, v, kp(".val"), c, kp(".val"));
+    let masked = p.mul(v, pred);
+    let sum = p.fold_sum_global(masked);
+    p.ret(sum);
+    p
+}
+
+/// Figure 15 "Vectorized (BF)": one extra control vector turns the select
+/// into cache-sized chunks with a branch-free position buffer.
+pub fn prog_select_sum_vectorized(c: i64, chunk: usize) -> Program {
+    let mut p = Program::new();
+    let v = p.load("vals");
+    let pred = p.binary_const(BinOp::Less, v, kp(".val"), c, kp(".val"));
+    let ids = p.range_like(0, v, 1);
+    let chunks = p.div_const(ids, chunk as i64);
+    let sel = p.fold_select(chunks, pred);
+    let vals = p.gather(v, sel);
+    let sum = p.fold_sum_global(vals);
+    p.ret(sum);
+    p
+}
+
+/// Hand-written branching selection sum.
+pub fn c_select_sum_branching(vals: &[i64], c: i64) -> i64 {
+    let mut sum = 0i64;
+    for &v in vals {
+        if v < c {
+            sum += v;
+        }
+    }
+    sum
+}
+
+/// Hand-written predicated selection sum.
+pub fn c_select_sum_predicated(vals: &[i64], c: i64) -> i64 {
+    let mut sum = 0i64;
+    for &v in vals {
+        sum += v * ((v < c) as i64);
+    }
+    sum
+}
+
+/// Hand-written vectorized (branch-free position buffer) selection sum.
+pub fn c_select_sum_vectorized(vals: &[i64], c: i64, chunk: usize) -> i64 {
+    let mut buf = vec![0usize; chunk];
+    let mut sum = 0i64;
+    let mut start = 0usize;
+    while start < vals.len() {
+        let end = (start + chunk).min(vals.len());
+        let mut cnt = 0usize;
+        for (i, &v) in vals[start..end].iter().enumerate() {
+            buf[cnt] = start + i;
+            cnt += (v < c) as usize;
+        }
+        for &pos in &buf[..cnt] {
+            sum += vals[pos];
+        }
+        start = end;
+    }
+    sum
+}
+
+/// Hand-written branching filter (Figure 1): compact qualifying values.
+pub fn c_filter_branching(vals: &[i64], c: i64, out: &mut Vec<i64>) {
+    out.clear();
+    for &v in vals {
+        if v < c {
+            out.push(v);
+        }
+    }
+}
+
+/// Hand-written branch-free filter (Figure 1): cursor arithmetic [28].
+pub fn c_filter_predicated(vals: &[i64], c: i64, out: &mut [i64]) -> usize {
+    let mut cursor = 0usize;
+    for &v in vals {
+        out[cursor] = v;
+        cursor += (v < c) as usize;
+    }
+    cursor
+}
+
+// ---------------------------------------------------------------------
+// Selective foreign-key join (Figure 16)
+// ---------------------------------------------------------------------
+
+/// Catalog with `fact` (columns `v`, `fk`) and `target` (column `val`).
+pub fn fkjoin_catalog(n_fact: usize, n_target: usize, seed: u64) -> Catalog {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cat = Catalog::in_memory();
+    let mut fact = Table::new("fact");
+    fact.add_column(TableColumn::from_buffer(
+        "v",
+        voodoo_core::Buffer::I64((0..n_fact).map(|_| rng.gen_range(0..100)).collect()),
+    ));
+    fact.add_column(TableColumn::from_buffer(
+        "fk",
+        voodoo_core::Buffer::I64((0..n_fact).map(|_| rng.gen_range(0..n_target as i64)).collect()),
+    ));
+    cat.insert_table(fact);
+    cat.put_i64_column(
+        "target",
+        &(0..n_target).map(|_| rng.gen_range(0..1000)).collect::<Vec<_>>(),
+    );
+    cat
+}
+
+/// Figure 16 "Branching": select qualifying rows, then look up and sum.
+pub fn prog_fk_branching(c: i64) -> Program {
+    let mut p = Program::new();
+    let fact = p.load("fact");
+    let target = p.load("target");
+    let pred = p.binary_const(BinOp::Less, fact, kp(".v"), c, kp(".val"));
+    let sel = p.fold_select_global(pred);
+    let hits = p.gather(fact, sel);
+    let looked = p.gather_kp(target, hits, ".fk");
+    let sum = p.fold_sum_global(looked);
+    p.ret(sum);
+    p
+}
+
+/// Figure 16 "Predicated Aggregation": unconditional lookups, result
+/// multiplied by the predicate.
+pub fn prog_fk_predicated_agg(c: i64) -> Program {
+    let mut p = Program::new();
+    let fact = p.load("fact");
+    let target = p.load("target");
+    let pred = p.binary_const(BinOp::Less, fact, kp(".v"), c, kp(".val"));
+    let looked = p.gather_kp(target, fact, ".fk");
+    let masked = p.mul(looked, pred);
+    let sum = p.fold_sum_global(masked);
+    p.ret(sum);
+    p
+}
+
+/// Figure 16 "Predicated Lookups": multiply the *position* by the
+/// predicate first, so misses hit one hot cache line at slot 0.
+pub fn prog_fk_predicated_lookups(c: i64) -> Program {
+    let mut p = Program::new();
+    let fact = p.load("fact");
+    let target = p.load("target");
+    let pred = p.binary_const(BinOp::Less, fact, kp(".v"), c, kp(".val"));
+    let pos = p.binary_kp(BinOp::Multiply, fact, kp(".fk"), pred, kp(".val"), kp(".val"));
+    let looked = p.gather(target, pos);
+    let masked = p.mul(looked, pred);
+    let sum = p.fold_sum_global(masked);
+    p.ret(sum);
+    p
+}
+
+/// Hand-written Figure 16 variants; `which` = 0 branching, 1 predicated
+/// aggregation, 2 predicated lookups.
+pub fn c_fk_join(v: &[i64], fk: &[i64], target: &[i64], c: i64, which: u8) -> i64 {
+    let mut sum = 0i64;
+    match which {
+        0 => {
+            for i in 0..v.len() {
+                if v[i] < c {
+                    sum += target[fk[i] as usize];
+                }
+            }
+        }
+        1 => {
+            for i in 0..v.len() {
+                let p = (v[i] < c) as i64;
+                sum += target[fk[i] as usize] * p;
+            }
+        }
+        _ => {
+            for i in 0..v.len() {
+                let p = (v[i] < c) as i64;
+                sum += target[(fk[i] * p) as usize] * p;
+            }
+        }
+    }
+    sum
+}
+
+// ---------------------------------------------------------------------
+// Just-in-time layout transformation (Figure 14)
+// ---------------------------------------------------------------------
+
+/// Access patterns of Figure 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Sequential positions.
+    Sequential,
+    /// Random positions into a cache-resident (≈4MB) target.
+    Random4Mb,
+    /// Random positions into a memory-resident (≈128MB) target.
+    Random128Mb,
+}
+
+impl Pattern {
+    /// All patterns in figure order.
+    pub fn all() -> [Pattern; 3] {
+        [Pattern::Sequential, Pattern::Random4Mb, Pattern::Random128Mb]
+    }
+
+    /// Label used in figure rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pattern::Sequential => "Sequential",
+            Pattern::Random4Mb => "Random 4MB",
+            Pattern::Random128Mb => "Random 128MB",
+        }
+    }
+
+    /// Target row count: 2 columns × 8 bytes per row.
+    pub fn target_rows(self, large_rows: usize) -> usize {
+        match self {
+            Pattern::Sequential | Pattern::Random128Mb => large_rows,
+            // 4MB at 16 bytes/row.
+            Pattern::Random4Mb => (4 << 20) / 16,
+        }
+    }
+}
+
+/// Catalog with `target2` (columns `c1`, `c2`) and `positions.val`.
+pub fn layout_catalog(n_pos: usize, target_rows: usize, random: bool, seed: u64) -> Catalog {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cat = Catalog::in_memory();
+    let mut t = Table::new("target2");
+    t.add_column(TableColumn::from_buffer(
+        "c1",
+        voodoo_core::Buffer::I64((0..target_rows as i64).collect()),
+    ));
+    t.add_column(TableColumn::from_buffer(
+        "c2",
+        voodoo_core::Buffer::I64((0..target_rows as i64).map(|x| x * 3).collect()),
+    ));
+    cat.insert_table(t);
+    let pos: Vec<i64> = if random {
+        (0..n_pos).map(|_| rng.gen_range(0..target_rows as i64)).collect()
+    } else {
+        (0..n_pos as i64).map(|i| i % target_rows as i64).collect()
+    };
+    cat.put_i64_column("positions", &pos);
+    cat
+}
+
+/// Figure 14 "Single Loop": one traversal resolving both columns.
+pub fn prog_layout_single() -> Program {
+    let mut p = Program::new();
+    let t = p.load("target2");
+    let pos = p.load("positions");
+    let g = p.gather(t, pos);
+    let s1 = p.fold_agg_kp(voodoo_core::AggKind::Sum, g, None, kp(".c1"), kp(".s1"));
+    let s2 = p.fold_agg_kp(voodoo_core::AggKind::Sum, g, None, kp(".c2"), kp(".s2"));
+    p.ret(s1);
+    p.ret(s2);
+    p
+}
+
+/// Figure 14 "Separate Loops": a `Break` between the two gathers splits
+/// the traversals (the paper's one-operator tuning change).
+pub fn prog_layout_separate() -> Program {
+    let mut p = Program::new();
+    let t = p.load("target2");
+    let pos = p.load("positions");
+    let g1 = p.gather(t, pos);
+    let s1 = p.fold_agg_kp(voodoo_core::AggKind::Sum, g1, None, kp(".c1"), kp(".s1"));
+    let brk = p.break_at(pos);
+    let g2 = p.gather(t, brk);
+    let s2 = p.fold_agg_kp(voodoo_core::AggKind::Sum, g2, None, kp(".c2"), kp(".s2"));
+    p.ret(s1);
+    p.ret(s2);
+    p
+}
+
+/// Figure 14 "Layout Transform": `Zip` + `Materialize` build a row-wise
+/// copy just in time; both lookups then share each tuple's cache line.
+pub fn prog_layout_transform() -> Program {
+    let mut p = Program::new();
+    let t = p.load("target2");
+    let pos = p.load("positions");
+    let z = p.zip_kp(kp(".c1"), t, kp(".c1"), kp(".c2"), t, kp(".c2"));
+    let m = p.materialize(z);
+    let g2 = p.gather(m, pos);
+    let s1 = p.fold_agg_kp(voodoo_core::AggKind::Sum, g2, None, kp(".c1"), kp(".s1"));
+    let s2 = p.fold_agg_kp(voodoo_core::AggKind::Sum, g2, None, kp(".c2"), kp(".s2"));
+    p.ret(s1);
+    p.ret(s2);
+    p
+}
+
+/// Hand-written Figure 14 variants; `which` = 0 single, 1 separate,
+/// 2 transform (with a genuinely interleaved row-wise copy).
+pub fn c_layout(c1: &[i64], c2: &[i64], pos: &[i64], which: u8) -> (i64, i64) {
+    match which {
+        0 => {
+            let (mut s1, mut s2) = (0i64, 0i64);
+            for &p in pos {
+                s1 += c1[p as usize];
+                s2 += c2[p as usize];
+            }
+            (s1, s2)
+        }
+        1 => {
+            let mut s1 = 0i64;
+            for &p in pos {
+                s1 += c1[p as usize];
+            }
+            let mut s2 = 0i64;
+            for &p in pos {
+                s2 += c2[p as usize];
+            }
+            (s1, s2)
+        }
+        _ => {
+            // Just-in-time transform to row-wise (AoS) layout.
+            let rows: Vec<[i64; 2]> =
+                c1.iter().zip(c2).map(|(&a, &b)| [a, b]).collect();
+            let (mut s1, mut s2) = (0i64, 0i64);
+            for &p in pos {
+                let r = rows[p as usize];
+                s1 += r[0];
+                s2 += r[1];
+            }
+            (s1, s2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voodoo_compile::exec::{ExecOptions, Executor};
+    use voodoo_compile::Compiler;
+    use voodoo_core::ScalarValue;
+
+    fn run(cat: &Catalog, p: &Program, predicated: bool) -> i64 {
+        let cp = Compiler::new(cat).compile(p).unwrap();
+        let exec = Executor::new(ExecOptions { predicated_select: predicated, ..Default::default() });
+        let (out, _) = exec.run(&cp, cat).unwrap();
+        out.returns[0]
+            .value_at(0, &KeyPath::val())
+            .map(|v| v.as_i64())
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn selection_variants_agree_with_c() {
+        let cat = selection_catalog(5000, 7);
+        let vals: Vec<i64> = cat
+            .table("vals")
+            .unwrap()
+            .column("val")
+            .unwrap()
+            .data
+            .buffer()
+            .as_i64()
+            .unwrap()
+            .to_vec();
+        for sel in [0.01, 0.5, 0.99] {
+            let c = cutoff(sel);
+            let expected = c_select_sum_branching(&vals, c);
+            assert_eq!(c_select_sum_predicated(&vals, c), expected);
+            assert_eq!(c_select_sum_vectorized(&vals, c, 256), expected);
+            assert_eq!(run(&cat, &prog_select_sum_branching(c), false), expected);
+            assert_eq!(run(&cat, &prog_select_sum_predicated(c), false), expected);
+            assert_eq!(run(&cat, &prog_select_sum_vectorized(c, 256), false), expected);
+            assert_eq!(run(&cat, &prog_select_sum_vectorized(c, 256), true), expected);
+        }
+    }
+
+    #[test]
+    fn filter_variants_agree() {
+        let cat = selection_catalog(2000, 9);
+        let vals: Vec<i64> = cat
+            .table("vals")
+            .unwrap()
+            .column("val")
+            .unwrap()
+            .data
+            .buffer()
+            .as_i64()
+            .unwrap()
+            .to_vec();
+        let c = cutoff(0.3);
+        let mut out_b = Vec::new();
+        c_filter_branching(&vals, c, &mut out_b);
+        let mut out_p = vec![0i64; vals.len() + 1];
+        let cnt = c_filter_predicated(&vals, c, &mut out_p);
+        assert_eq!(out_b, out_p[..cnt]);
+
+        // Voodoo materialized filter returns the same multiset.
+        let p = prog_filter_materialize(c);
+        let cp = Compiler::new(&cat).compile(&p).unwrap();
+        let (out, _) = Executor::single_threaded().run(&cp, &cat).unwrap();
+        let got: Vec<i64> = out.returns[0]
+            .column(&KeyPath::val())
+            .unwrap()
+            .present()
+            .map(|v| v.as_i64())
+            .collect();
+        assert_eq!(got, out_b);
+    }
+
+    #[test]
+    fn fk_variants_agree_with_c() {
+        let cat = fkjoin_catalog(4000, 512, 3);
+        let fact = cat.table("fact").unwrap();
+        let v = fact.column("v").unwrap().data.buffer().as_i64().unwrap().to_vec();
+        let fk = fact.column("fk").unwrap().data.buffer().as_i64().unwrap().to_vec();
+        let target =
+            cat.table("target").unwrap().column("val").unwrap().data.buffer().as_i64().unwrap().to_vec();
+        for c in [5i64, 50, 95] {
+            let expected = c_fk_join(&v, &fk, &target, c, 0);
+            assert_eq!(c_fk_join(&v, &fk, &target, c, 1), expected);
+            assert_eq!(c_fk_join(&v, &fk, &target, c, 2), expected);
+            assert_eq!(run(&cat, &prog_fk_branching(c), false), expected);
+            assert_eq!(run(&cat, &prog_fk_predicated_agg(c), false), expected);
+            assert_eq!(run(&cat, &prog_fk_predicated_lookups(c), false), expected);
+        }
+    }
+
+    #[test]
+    fn layout_variants_agree_with_c() {
+        for random in [false, true] {
+            let cat = layout_catalog(3000, 1024, random, 11);
+            let t = cat.table("target2").unwrap();
+            let c1 = t.column("c1").unwrap().data.buffer().as_i64().unwrap().to_vec();
+            let c2 = t.column("c2").unwrap().data.buffer().as_i64().unwrap().to_vec();
+            let pos =
+                cat.table("positions").unwrap().column("val").unwrap().data.buffer().as_i64().unwrap().to_vec();
+            let expected = c_layout(&c1, &c2, &pos, 0);
+            assert_eq!(c_layout(&c1, &c2, &pos, 1), expected);
+            assert_eq!(c_layout(&c1, &c2, &pos, 2), expected);
+            for prog in [prog_layout_single(), prog_layout_separate(), prog_layout_transform()] {
+                let cp = Compiler::new(&cat).compile(&prog).unwrap();
+                let (out, _) = Executor::single_threaded().run(&cp, &cat).unwrap();
+                let s1 = out.returns[0]
+                    .value_at(0, &kp(".s1"))
+                    .map(|x| x.as_i64())
+                    .unwrap_or(0);
+                let s2 = out.returns[1]
+                    .value_at(0, &kp(".s2"))
+                    .map(|x| x.as_i64())
+                    .unwrap_or(0);
+                assert_eq!((s1, s2), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn separate_loops_has_more_fragments_than_single() {
+        let cat = layout_catalog(100, 64, false, 1);
+        let single = Compiler::new(&cat).compile(&prog_layout_single()).unwrap();
+        let separate = Compiler::new(&cat).compile(&prog_layout_separate()).unwrap();
+        assert!(
+            separate.fragment_count() > single.fragment_count(),
+            "Break splits the pipeline: {} vs {}",
+            separate.fragment_count(),
+            single.fragment_count()
+        );
+    }
+
+    #[test]
+    fn fig1_branch_free_flag_changes_profile_not_result() {
+        let cat = selection_catalog(2000, 5);
+        let p = prog_filter_materialize(cutoff(0.5));
+        let cp = Compiler::new(&cat).compile(&p).unwrap();
+        let b = Executor::new(ExecOptions { count_events: true, ..Default::default() });
+        let f = Executor::new(ExecOptions {
+            count_events: true,
+            predicated_select: true,
+            ..Default::default()
+        });
+        let (ob, pb) = b.run(&cp, &cat).unwrap();
+        let (of, pf) = f.run(&cp, &cat).unwrap();
+        assert_eq!(ob.returns[0], of.returns[0]);
+        assert!(pb.branches > 0);
+        assert_eq!(pf.branches, 0);
+    }
+
+    #[test]
+    fn sanity_scalar_values_not_epsilon() {
+        let cat = selection_catalog(100, 2);
+        let p = prog_select_sum_branching(cutoff(1.0));
+        let cp = Compiler::new(&cat).compile(&p).unwrap();
+        let (out, _) = Executor::single_threaded().run(&cp, &cat).unwrap();
+        assert!(matches!(
+            out.returns[0].value_at(0, &KeyPath::val()),
+            Some(ScalarValue::I64(_))
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+//! Wall-clock measurement helpers.
+
+use std::time::Instant;
+
+/// Median-of-`reps` wall time of `f`, after one warmup run.
+pub fn time_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f(); // warmup
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// A blackhole to keep results alive (prevents dead-code elimination).
+#[inline]
+pub fn consume<T>(v: T) {
+    std::hint::black_box(v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_positive_and_finite() {
+        let t = time_secs(3, || {
+            let mut s = 0u64;
+            for i in 0..1000u64 {
+                s = s.wrapping_add(i);
+            }
+            consume(s);
+        });
+        assert!(t >= 0.0 && t.is_finite());
+    }
+}

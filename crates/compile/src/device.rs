@@ -1,0 +1,268 @@
+//! Execution devices.
+//!
+//! A [`Device`] tells the executor how much real parallelism to use and
+//! carries the architectural parameters that cost models (and the tunability
+//! experiments) reason about. The presets mirror the paper's testbed: a
+//! multicore Xeon-class CPU and a TITAN-X-class GPU (the latter is executed
+//! by `voodoo-gpusim` through its cost model).
+
+/// Broad device classes with different execution strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// Speculative out-of-order CPU; real threads, real time measurements.
+    Cpu,
+    /// Massively parallel in-order GPU; executed via the cost model.
+    Gpu,
+}
+
+/// An execution device description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Human-readable name.
+    pub name: String,
+    /// Device class.
+    pub kind: DeviceKind,
+    /// Worker threads used by the CPU executor (ignored for GPU).
+    pub threads: usize,
+    /// SIMD lane width the device models (elements per vector op).
+    pub simd_lanes: usize,
+    /// Lockstep warp width (GPU) — threads sharing one program counter.
+    pub warp_width: usize,
+    /// Whether the device speculates on branches (CPUs do, GPUs don't).
+    pub branch_prediction: bool,
+    /// Last-level cache (or shared-memory) size in bytes per core.
+    pub cache_bytes: usize,
+    /// Peak sequential memory bandwidth, bytes/second.
+    pub mem_bandwidth: f64,
+    /// Latency of a random (uncached) memory access, seconds.
+    pub rand_access_latency: f64,
+    /// Throughput cost of one integer ALU op, seconds (per lane).
+    pub int_op_cost: f64,
+    /// Throughput cost of one float ALU op, seconds (per lane).
+    pub float_op_cost: f64,
+    /// Penalty of a mispredicted (or divergent) branch, seconds.
+    pub branch_penalty: f64,
+    /// Fixed cost of a global barrier / kernel launch, seconds.
+    pub barrier_cost: f64,
+    /// Number of work items the device executes concurrently.
+    pub parallelism: usize,
+}
+
+impl Device {
+    /// A single CPU thread (the "Single Thread" series of Figure 1).
+    pub fn cpu_single_thread() -> Device {
+        Device {
+            name: "cpu-1t".to_string(),
+            kind: DeviceKind::Cpu,
+            threads: 1,
+            simd_lanes: 8,
+            warp_width: 1,
+            branch_prediction: true,
+            cache_bytes: 8 << 20,
+            mem_bandwidth: 30e9,
+            rand_access_latency: 90e-9,
+            int_op_cost: 0.3e-9,
+            float_op_cost: 0.3e-9,
+            branch_penalty: 5e-9,
+            barrier_cost: 1e-6,
+            parallelism: 1,
+        }
+    }
+
+    /// A multicore CPU ("Multithread" series); `threads` worker threads.
+    pub fn cpu_multicore(threads: usize) -> Device {
+        Device {
+            name: format!("cpu-{threads}t"),
+            threads: threads.max(1),
+            parallelism: threads.max(1),
+            ..Device::cpu_single_thread()
+        }
+    }
+
+    /// The host CPU with all available cores.
+    pub fn cpu_host() -> Device {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Device::cpu_multicore(threads)
+    }
+
+    /// A TITAN-X-class discrete GPU (paper §5.1: GeForce GTX TITAN X,
+    /// ~300 GB/s, no speculation, weak integer throughput). Executed via
+    /// the `voodoo-gpusim` cost model.
+    pub fn gpu_titan_x() -> Device {
+        Device {
+            name: "gpu-titanx".to_string(),
+            kind: DeviceKind::Gpu,
+            threads: 1,
+            simd_lanes: 32,
+            warp_width: 32,
+            branch_prediction: false,
+            cache_bytes: 96 << 10,
+            mem_bandwidth: 300e9,
+            rand_access_latency: 350e-9,
+            // §5.3: "the sacrifice of integer arithmetic for floating point
+            // performance" — integer ops are markedly slower than float.
+            int_op_cost: 0.35e-9,
+            float_op_cost: 0.08e-9,
+            branch_penalty: 0.0, // no speculation — divergence is modeled instead
+            barrier_cost: 5e-6,
+            parallelism: 3072,
+        }
+    }
+
+    /// An integrated (on-die) GPU: shares the host memory system, so far
+    /// lower bandwidth and cheaper "transfers" than a discrete card, a
+    /// few hundred lanes of parallelism, and the same no-speculation
+    /// execution model. Useful for studying which paper results are
+    /// *architecture-class* effects (divergence, no speculation) vs
+    /// *memory-system* effects (the 300 GB/s of the TITAN X).
+    pub fn gpu_integrated() -> Device {
+        Device {
+            name: "gpu-integrated".to_string(),
+            kind: DeviceKind::Gpu,
+            threads: 1,
+            simd_lanes: 8,
+            warp_width: 8,
+            branch_prediction: false,
+            cache_bytes: 1 << 20,
+            mem_bandwidth: 40e9,
+            rand_access_latency: 150e-9,
+            int_op_cost: 0.25e-9,
+            float_op_cost: 0.12e-9,
+            branch_penalty: 0.0,
+            barrier_cost: 2e-6,
+            parallelism: 256,
+        }
+    }
+
+    /// A Xeon-Phi-class many-core: tens of small in-order x86 cores with
+    /// wide SIMD and high-bandwidth on-package memory, but weak
+    /// single-thread performance and a real (if modest) branch
+    /// predictor — the "massively parallel co-processors such as GPUs or
+    /// Intel's Xeon Phi" axis of the paper's introduction.
+    pub fn manycore_phi() -> Device {
+        Device {
+            name: "manycore-phi".to_string(),
+            kind: DeviceKind::Cpu,
+            threads: 64,
+            simd_lanes: 16,
+            warp_width: 1,
+            branch_prediction: true,
+            cache_bytes: 512 << 10,
+            mem_bandwidth: 200e9,
+            rand_access_latency: 170e-9,
+            int_op_cost: 0.9e-9,
+            float_op_cost: 0.6e-9,
+            branch_penalty: 8e-9,
+            barrier_cost: 3e-6,
+            parallelism: 64,
+        }
+    }
+
+    /// An ARM-class efficiency CPU (the big.LITTLE direction the paper's
+    /// introduction names): few threads, narrow SIMD, small caches,
+    /// low bandwidth — everything is scarcer, so plan choices that trade
+    /// memory traffic for compute shift their crossover points.
+    pub fn cpu_arm_efficiency() -> Device {
+        Device {
+            name: "cpu-arm-eff".to_string(),
+            kind: DeviceKind::Cpu,
+            threads: 4,
+            simd_lanes: 4,
+            warp_width: 1,
+            branch_prediction: true,
+            cache_bytes: 2 << 20,
+            mem_bandwidth: 12e9,
+            rand_access_latency: 120e-9,
+            int_op_cost: 0.7e-9,
+            float_op_cost: 0.9e-9,
+            branch_penalty: 8e-9,
+            barrier_cost: 0.5e-6,
+            parallelism: 4,
+        }
+    }
+
+    /// This device with every time-valued parameter multiplied by
+    /// `factor` — the one-knob calibration hook: measure one reference
+    /// workload, divide measured by predicted seconds, scale the model.
+    /// Event *counts* are unaffected; only their prices move.
+    pub fn time_scaled(&self, factor: f64) -> Device {
+        let f = factor.max(f64::MIN_POSITIVE);
+        Device {
+            name: format!("{}@x{f:.3}", self.name),
+            mem_bandwidth: self.mem_bandwidth / f,
+            rand_access_latency: self.rand_access_latency * f,
+            int_op_cost: self.int_op_cost * f,
+            float_op_cost: self.float_op_cost * f,
+            branch_penalty: self.branch_penalty * f,
+            barrier_cost: self.barrier_cost * f,
+            ..self.clone()
+        }
+    }
+
+    /// Whether an intermediate of `bytes` fits in the device cache.
+    pub fn fits_cache(&self, bytes: usize) -> bool {
+        bytes <= self.cache_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let cpu = Device::cpu_single_thread();
+        assert!(cpu.branch_prediction);
+        assert_eq!(cpu.threads, 1);
+
+        let mt = Device::cpu_multicore(8);
+        assert_eq!(mt.threads, 8);
+        assert_eq!(mt.parallelism, 8);
+
+        let gpu = Device::gpu_titan_x();
+        assert!(!gpu.branch_prediction);
+        assert!(gpu.int_op_cost > gpu.float_op_cost);
+        assert!(gpu.mem_bandwidth > mt.mem_bandwidth);
+    }
+
+    #[test]
+    fn cache_fit() {
+        let cpu = Device::cpu_single_thread();
+        assert!(cpu.fits_cache(1024));
+        assert!(!cpu.fits_cache(1 << 30));
+    }
+
+    #[test]
+    fn extended_presets_are_consistent() {
+        let igpu = Device::gpu_integrated();
+        assert_eq!(igpu.kind, DeviceKind::Gpu);
+        assert!(!igpu.branch_prediction);
+        assert!(igpu.mem_bandwidth < Device::gpu_titan_x().mem_bandwidth);
+
+        let phi = Device::manycore_phi();
+        assert_eq!(phi.kind, DeviceKind::Cpu);
+        assert!(phi.branch_prediction, "Phi cores predict branches");
+        assert!(phi.threads > Device::cpu_multicore(8).threads);
+        assert!(
+            phi.int_op_cost > Device::cpu_single_thread().int_op_cost,
+            "weak single-thread ALU"
+        );
+
+        let arm = Device::cpu_arm_efficiency();
+        assert!(arm.mem_bandwidth < Device::cpu_single_thread().mem_bandwidth);
+    }
+
+    #[test]
+    fn time_scaling_scales_prices_not_structure() {
+        let base = Device::cpu_single_thread();
+        let slow = base.time_scaled(2.0);
+        assert_eq!(slow.threads, base.threads);
+        assert_eq!(slow.cache_bytes, base.cache_bytes);
+        assert!((slow.int_op_cost - base.int_op_cost * 2.0).abs() < 1e-18);
+        assert!((slow.mem_bandwidth - base.mem_bandwidth / 2.0).abs() < 1.0);
+        // Scaling by 1 is the identity on every priced field.
+        let same = base.time_scaled(1.0);
+        assert_eq!(same.int_op_cost, base.int_op_cost);
+        assert_eq!(same.barrier_cost, base.barrier_cost);
+    }
+}

@@ -1,0 +1,850 @@
+//! Execution of compiled plans on the CPU.
+//!
+//! Fragments run their work items data-parallel over a crossbeam thread
+//! scope (chunks of contiguous runs per worker, each producing its own
+//! output segments — no synchronization inside a kernel, mirroring the ε
+//! padding argument of §2.2). Bulk units implement `Scatter`, `Partition`
+//! and the two fused patterns (virtual-scatter group aggregation,
+//! vectorized selection).
+//!
+//! The executor exposes the paper's physical tuning flags (§4): predicated
+//! vs. branching position emission, and event counting for the GPU model.
+
+use std::sync::Arc;
+
+use voodoo_core::{
+    AggKind, BinOp, Column, Op, Result, ScalarType, ScalarValue, StructuredVector, VRef,
+    VoodooError,
+};
+use voodoo_interp::ExecOutput;
+use voodoo_storage::Catalog;
+
+use crate::expr::{Env, Expr};
+use crate::plan::{Action, Bulk, CompiledProgram, Fragment, Layout, RunStructure, Unit};
+use crate::profile::EventProfile;
+use crate::repr::MatVec;
+
+/// Physical execution options (the paper's §4 "optimization flags").
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Emit selection positions branch-free (cursor arithmetic) instead of
+    /// with an `if` — the predication flag.
+    pub predicated_select: bool,
+    /// Count architectural events (for the GPU cost model / ablations).
+    pub count_events: bool,
+    /// Worker threads for fragment execution.
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { predicated_select: false, count_events: false, threads: 1 }
+    }
+}
+
+/// Executes compiled programs.
+pub struct Executor {
+    /// Execution options.
+    pub opts: ExecOptions,
+}
+
+impl Executor {
+    /// Executor with explicit options.
+    pub fn new(opts: ExecOptions) -> Executor {
+        Executor { opts }
+    }
+
+    /// Single-threaded executor with default flags.
+    pub fn single_threaded() -> Executor {
+        Executor::new(ExecOptions::default())
+    }
+
+    /// Multithreaded executor.
+    pub fn with_threads(threads: usize) -> Executor {
+        Executor::new(ExecOptions { threads: threads.max(1), ..ExecOptions::default() })
+    }
+
+    /// Run a compiled program against a catalog.
+    pub fn run(
+        &self,
+        cp: &CompiledProgram,
+        catalog: &Catalog,
+    ) -> Result<(ExecOutput, EventProfile)> {
+        let (out, profile, _) = self.run_with_unit_profiles(cp, catalog)?;
+        Ok((out, profile))
+    }
+
+    /// Run and additionally report one event profile per execution unit
+    /// (the input to cost models, which price units by their individual
+    /// extents).
+    pub fn run_with_unit_profiles(
+        &self,
+        cp: &CompiledProgram,
+        catalog: &Catalog,
+    ) -> Result<(ExecOutput, EventProfile, Vec<EventProfile>)> {
+        let n = cp.program.len();
+        let mut values: Vec<Option<Arc<MatVec>>> = vec![None; n];
+        // Materialize sources.
+        for (i, stmt) in cp.program.stmts().iter().enumerate() {
+            if let Op::Load { name } = &stmt.op {
+                let v = catalog
+                    .load_vector(name)
+                    .ok_or_else(|| VoodooError::UnknownTable(name.clone()))?;
+                values[i] = Some(Arc::new(MatVec::Full(v)));
+            }
+        }
+        let mut profile = EventProfile::default();
+        let mut unit_profiles = Vec::with_capacity(cp.units.len());
+        for unit in &cp.units {
+            let mut up = EventProfile::default();
+            match unit {
+                Unit::Fragment(f) => self.exec_fragment(cp, f, &mut values, &mut up)?,
+                Unit::Bulk(b) => self.exec_bulk(cp, b, &mut values, &mut up)?,
+            }
+            up.barriers += 1;
+            profile.merge(&up);
+            unit_profiles.push(up);
+        }
+        // Collect returns and persists through alias resolution.
+        let mut returns = Vec::new();
+        for r in cp.program.returns() {
+            returns.push(self.expanded(cp, &values, *r)?);
+        }
+        let mut persisted = Vec::new();
+        for (i, stmt) in cp.program.stmts().iter().enumerate() {
+            if let Op::Persist { name, v } = &stmt.op {
+                let _ = i;
+                persisted.push((name.clone(), self.expanded(cp, &values, *v)?));
+            }
+        }
+        Ok((ExecOutput { returns, persisted }, profile, unit_profiles))
+    }
+
+    fn expanded(
+        &self,
+        cp: &CompiledProgram,
+        values: &[Option<Arc<MatVec>>],
+        v: VRef,
+    ) -> Result<StructuredVector> {
+        let r = cp.resolve[v.index()];
+        values[r.index()]
+            .as_ref()
+            .map(|m| m.expand())
+            .ok_or_else(|| VoodooError::Backend(format!("result {r} was never materialized")))
+    }
+
+    // ------------------------------------------------------------------
+    // Fragments
+    // ------------------------------------------------------------------
+
+    fn exec_fragment(
+        &self,
+        cp: &CompiledProgram,
+        frag: &Fragment,
+        values: &mut Vec<Option<Arc<MatVec>>>,
+        profile: &mut EventProfile,
+    ) -> Result<()> {
+        profile.work_items += frag.extent as u64;
+        profile.elements += frag.domain as u64;
+        // Parallelism a device can actually exploit: prefix scans are
+        // order-dependent across the whole run (parallel only across
+        // runs); pure folds tree-reduce with 1024-element leaves; dynamic
+        // runs are sequential. Cursor-based position emission parallelizes
+        // across work-group chunks even within a single run — the Figure 9
+        // execution: each group keeps a local cursor and writes its padded
+        // output region, "without the need for a global barrier" (§3.1.1
+        // case c; the ε padding is what buys the independence).
+        let has_scan = frag.actions.iter().any(|a| matches!(a, Action::FoldScanAct { .. }));
+        profile.max_par = match &frag.run {
+            RunStructure::Dynamic(_) => 1,
+            _ if has_scan => frag.extent as u64,
+            RunStructure::Map | RunStructure::Uniform(_) => frag.extent as u64,
+            RunStructure::Single => (frag.domain as u64 / 1024).max(1),
+        };
+        let domain = frag.domain;
+        // Chunk boundaries (in runs for folds, elements for maps).
+        let chunks: Vec<(usize, usize)> = match &frag.run {
+            RunStructure::Map | RunStructure::Uniform(_) => {
+                let run_len = match frag.run {
+                    RunStructure::Uniform(l) => l,
+                    _ => 1,
+                };
+                let total_runs = if domain == 0 { 0 } else { domain.div_ceil(run_len) };
+                let workers = self.opts.threads.min(total_runs.max(1));
+                let per = total_runs.div_ceil(workers.max(1)).max(1);
+                (0..workers)
+                    .map(|w| (w * per, ((w + 1) * per).min(total_runs)))
+                    .filter(|(s, e)| s < e)
+                    .collect()
+            }
+            RunStructure::Single | RunStructure::Dynamic(_) => {
+                if domain == 0 {
+                    vec![]
+                } else {
+                    vec![(0, 1)]
+                }
+            }
+        };
+
+        let sources: &[Option<Arc<MatVec>>] = values;
+        let run_worker = |run_range: (usize, usize)| -> (Vec<Column>, EventProfile) {
+            self.run_chunk(cp, frag, run_range, sources)
+        };
+
+        let mut per_chunk: Vec<Vec<Column>> = Vec::with_capacity(chunks.len());
+        if chunks.len() <= 1 {
+            for c in &chunks {
+                let (segs, prof) = run_worker(*c);
+                profile.merge(&prof);
+                per_chunk.push(segs);
+            }
+        } else {
+            let results = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> =
+                    chunks.iter().map(|c| scope.spawn(move |_| run_worker(*c))).collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+            })
+            .expect("scope");
+            for (segs, prof) in results {
+                profile.merge(&prof);
+                per_chunk.push(segs);
+            }
+        }
+
+        // Stitch segments and wrap per statement.
+        let run_len = match frag.run {
+            RunStructure::Uniform(l) => l,
+            RunStructure::Map => 1,
+            _ => domain.max(1),
+        };
+        for (oi, spec) in frag.outputs.iter().enumerate() {
+            let full_len = match spec.layout {
+                Layout::Full => domain,
+                Layout::Dense => {
+                    if domain == 0 {
+                        0
+                    } else {
+                        domain.div_ceil(run_len)
+                    }
+                }
+            };
+            let mut col = Column::empties(spec.ty, full_len);
+            let mut off = 0usize;
+            for segs in &per_chunk {
+                let seg = &segs[oi];
+                for i in 0..seg.len() {
+                    match seg.get(i) {
+                        Some(v) => col.set(off + i, v),
+                        None => col.clear(off + i),
+                    }
+                }
+                off += seg.len();
+            }
+            if self.opts.count_events {
+                profile.write_bytes += (full_len * spec.ty.byte_width()) as u64;
+            }
+            // Attach to (or create) the statement's vector.
+            let stmt = spec.stmt;
+            let existing = values[stmt.index()].take();
+            let mut sv = match existing {
+                Some(m) => m.storage().clone(),
+                None => StructuredVector::with_len(full_len),
+            };
+            sv.insert(spec.kp.clone(), col);
+            let wrapped = match spec.layout {
+                Layout::Full => MatVec::Full(sv),
+                Layout::Dense => {
+                    MatVec::FoldDense { values: sv, run_len, orig_len: domain }
+                }
+            };
+            values[stmt.index()] = Some(Arc::new(wrapped));
+        }
+        Ok(())
+    }
+
+    /// Execute one chunk of runs, producing output segments.
+    fn run_chunk(
+        &self,
+        cp: &CompiledProgram,
+        frag: &Fragment,
+        (run_s, run_e): (usize, usize),
+        sources: &[Option<Arc<MatVec>>],
+    ) -> (Vec<Column>, EventProfile) {
+        let mut env = Env::new(sources, self.opts.count_events, cp.branch_sites, cp.gather_sites)
+            .with_predication(self.opts.predicated_select);
+        let domain = frag.domain;
+        let run_len = match frag.run {
+            RunStructure::Uniform(l) => l,
+            RunStructure::Map => 1,
+            _ => domain.max(1),
+        };
+        let elem_s = run_s * run_len;
+        let elem_e = (run_e * run_len).min(domain);
+
+        let mut segs: Vec<Column> = frag
+            .outputs
+            .iter()
+            .map(|spec| match spec.layout {
+                Layout::Full => Column::empties(spec.ty, elem_e - elem_s),
+                Layout::Dense => Column::empties(spec.ty, run_e - run_s),
+            })
+            .collect();
+
+        match &frag.run {
+            RunStructure::Map | RunStructure::Uniform(_) | RunStructure::Single => {
+                let mut accs: Vec<Option<ScalarValue>> = vec![None; frag.actions.len()];
+                let mut cursors: Vec<usize> = vec![0; frag.actions.len()];
+                for r in run_s..run_e {
+                    let (s, e) = match frag.run {
+                        RunStructure::Single => (0, domain),
+                        _ => (r * run_len, ((r + 1) * run_len).min(domain)),
+                    };
+                    for a in accs.iter_mut() {
+                        *a = None;
+                    }
+                    for (ai, _) in frag.actions.iter().enumerate() {
+                        cursors[ai] = s;
+                    }
+                    for i in s..e {
+                        self.step(frag, i, elem_s, &mut segs, &mut accs, &mut cursors, &mut env);
+                    }
+                    // Flush folds at run slot, fix predicated tails.
+                    for (ai, action) in frag.actions.iter().enumerate() {
+                        match action {
+                            Action::FoldAggAct { out, .. } => {
+                                if let Some(v) = accs[ai] {
+                                    segs[*out].set(r - run_s, v);
+                                }
+                            }
+                            Action::SelectEmit { out, .. } => {
+                                if self.opts.predicated_select && cursors[ai] < e {
+                                    segs[*out].clear(cursors[ai] - elem_s);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            RunStructure::Dynamic(ctrl) => {
+                let mut accs: Vec<Option<ScalarValue>> = vec![None; frag.actions.len()];
+                let mut cursors: Vec<usize> = vec![0; frag.actions.len()];
+                let mut run_start = 0usize;
+                let mut current: Option<ScalarValue> = None;
+                let flush = |segs: &mut Vec<Column>,
+                             accs: &mut Vec<Option<ScalarValue>>,
+                             run_start: usize,
+                             actions: &[Action]| {
+                    for (ai, action) in actions.iter().enumerate() {
+                        if let Action::FoldAggAct { out, .. } = action {
+                            if let Some(v) = accs[ai] {
+                                segs[*out].set(run_start, v);
+                            }
+                            accs[ai] = None;
+                        }
+                    }
+                };
+                for i in 0..domain {
+                    let cv = ctrl.eval(i, &mut env);
+                    if i == 0 {
+                        current = cv;
+                    } else if cv != current {
+                        flush(&mut segs, &mut accs, run_start, &frag.actions);
+                        run_start = i;
+                        current = cv;
+                        for (ai, _) in frag.actions.iter().enumerate() {
+                            cursors[ai] = i;
+                        }
+                    }
+                    self.step(frag, i, 0, &mut segs, &mut accs, &mut cursors, &mut env);
+                }
+                if domain > 0 {
+                    flush(&mut segs, &mut accs, run_start, &frag.actions);
+                }
+            }
+        }
+        let profile = env.profile;
+        (segs, profile)
+    }
+
+    /// Process one element against every action of the fragment.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &self,
+        frag: &Fragment,
+        i: usize,
+        elem_base: usize,
+        segs: &mut [Column],
+        accs: &mut [Option<ScalarValue>],
+        cursors: &mut [usize],
+        env: &mut Env<'_>,
+    ) {
+        for (ai, action) in frag.actions.iter().enumerate() {
+            match action {
+                Action::Write { out, expr } => {
+                    if let Some(v) = expr.eval(i, env) {
+                        segs[*out].set(i - elem_base, v);
+                    }
+                }
+                Action::FoldAggAct { agg, expr, out_ty, .. } => {
+                    if let Some(v) = expr.eval(i, env) {
+                        let v = v.cast(*out_ty);
+                        accs[ai] = Some(match accs[ai] {
+                            None => v,
+                            Some(a) => combine(*agg, a, v),
+                        });
+                        count_acc(env, *out_ty);
+                    }
+                }
+                Action::FoldScanAct { out, expr, out_ty } => {
+                    if let Some(v) = expr.eval(i, env) {
+                        let v = v.cast(*out_ty);
+                        let next = match accs[ai] {
+                            None => v,
+                            Some(a) => combine(AggKind::Sum, a, v),
+                        };
+                        accs[ai] = Some(next);
+                        segs[*out].set(i - elem_base, next);
+                        count_acc(env, *out_ty);
+                    }
+                }
+                Action::SelectEmit { out, sel, site } => {
+                    let taken = sel.eval(i, env).map(|v| v.is_truthy()).unwrap_or(false);
+                    if self.opts.predicated_select {
+                        // Branch-free cursor arithmetic (Ross-style [28]):
+                        // unconditional write, cursor advances by the
+                        // predicate outcome.
+                        segs[*out].set(cursors[ai] - elem_base, ScalarValue::I64(i as i64));
+                        cursors[ai] += taken as usize;
+                        if env.counting {
+                            env.profile.int_ops += 1;
+                            env.profile.write_bytes += 8;
+                        }
+                    } else {
+                        env.count_branch(*site, taken);
+                        if taken {
+                            segs[*out].set(cursors[ai] - elem_base, ScalarValue::I64(i as i64));
+                            cursors[ai] += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk units
+    // ------------------------------------------------------------------
+
+    fn exec_bulk(
+        &self,
+        cp: &CompiledProgram,
+        bulk: &Bulk,
+        values: &mut Vec<Option<Arc<MatVec>>>,
+        profile: &mut EventProfile,
+    ) -> Result<()> {
+        match bulk {
+            Bulk::ScatterOp { stmt, domain, out_len, cols, pos } => {
+                let sources: &[Option<Arc<MatVec>>] = values;
+                let mut env = Env::new(sources, self.opts.count_events, cp.branch_sites, cp.gather_sites)
+            .with_predication(self.opts.predicated_select);
+                let mut out_cols: Vec<Column> =
+                    cols.iter().map(|(_, ty, _)| Column::empties(*ty, *out_len)).collect();
+                for i in 0..*domain {
+                    let Some(p) = pos.eval(i, &mut env) else { continue };
+                    let p = p.as_i64();
+                    if p < 0 || p as usize >= *out_len {
+                        continue;
+                    }
+                    for (ci, (_, _, expr)) in cols.iter().enumerate() {
+                        match expr.eval(i, &mut env) {
+                            Some(v) => out_cols[ci].set(p as usize, v),
+                            None => out_cols[ci].clear(p as usize),
+                        }
+                    }
+                    if env.counting {
+                        env.profile.rand_writes += cols.len() as u64;
+                    }
+                }
+                profile.merge(&env.profile);
+                profile.work_items += *domain as u64;
+                profile.elements += *domain as u64;
+                profile.max_par = (*domain as u64 / 1024).max(1);
+                let mut sv = StructuredVector::with_len(*out_len);
+                for ((kp, _, _), col) in cols.iter().zip(out_cols) {
+                    sv.insert(kp.clone(), col);
+                }
+                values[stmt.index()] = Some(Arc::new(MatVec::Full(sv)));
+                Ok(())
+            }
+            Bulk::PartitionOp { stmt, domain, out_kp, key, pivot, pivot_len } => {
+                let sources: &[Option<Arc<MatVec>>] = values;
+                let mut env = Env::new(sources, self.opts.count_events, cp.branch_sites, cp.gather_sites)
+            .with_predication(self.opts.predicated_select);
+                let piv = eval_pivots(pivot, *pivot_len, &mut env);
+                let keys: Vec<Option<i64>> =
+                    (0..*domain).map(|i| key.eval(i, &mut env).map(to_key)).collect();
+                let positions = counting_sort_positions(&keys, &piv);
+                profile.merge(&env.profile);
+                profile.work_items += 1;
+                profile.elements += *domain as u64;
+                profile.max_par = (*domain as u64 / 1024).max(1);
+                let mut col = Column::empties(ScalarType::I64, *domain);
+                for (i, p) in positions.iter().enumerate() {
+                    col.set(i, ScalarValue::I64(*p as i64));
+                }
+                let mut sv = StructuredVector::with_len(*domain);
+                sv.insert(out_kp.clone(), col);
+                values[stmt.index()] = Some(Arc::new(MatVec::Full(sv)));
+                Ok(())
+            }
+            Bulk::GroupAgg { .. } => self.exec_group_agg(cp, bulk, values, profile),
+            Bulk::VecSelect { select: _, domain, chunk, sel, site, folds } => {
+                let sources: &[Option<Arc<MatVec>>] = values;
+                let mut env = Env::new(sources, self.opts.count_events, cp.branch_sites, cp.gather_sites)
+            .with_predication(self.opts.predicated_select);
+                let mut accs: Vec<Option<ScalarValue>> = vec![None; folds.len()];
+                let mut last_pos: Vec<i64> = vec![i64::MIN / 2; folds.len()];
+                let mut posbuf: Vec<usize> = vec![0; *chunk];
+                let mut c0 = 0usize;
+                while c0 < *domain {
+                    let c1 = (c0 + chunk).min(*domain);
+                    // Loop 1: emit qualifying positions into the chunk-local
+                    // buffer (cache resident).
+                    let mut count = 0usize;
+                    if self.opts.predicated_select {
+                        for i in c0..c1 {
+                            let t = sel.eval(i, &mut env).map(|v| v.is_truthy()).unwrap_or(false);
+                            posbuf[count] = i;
+                            count += t as usize;
+                            if env.counting {
+                                env.profile.int_ops += 1;
+                                env.profile.write_bytes += 8;
+                            }
+                        }
+                    } else {
+                        for i in c0..c1 {
+                            let t = sel.eval(i, &mut env).map(|v| v.is_truthy()).unwrap_or(false);
+                            env.count_branch(*site, t);
+                            if t {
+                                posbuf[count] = i;
+                                count += 1;
+                                if env.counting {
+                                    env.profile.write_bytes += 8;
+                                }
+                            }
+                        }
+                    }
+                    // Loop 2: resolve positions and accumulate.
+                    for &p in &posbuf[..count] {
+                        for (fi, f) in folds.iter().enumerate() {
+                            let src = sources[f.src.index()].as_ref().expect("vs source").clone();
+                            if let Some(v) = src.get(f.src_col, p) {
+                                let v = v.cast(f.out_ty);
+                                accs[fi] = Some(match accs[fi] {
+                                    None => v,
+                                    Some(a) => combine(f.agg, a, v),
+                                });
+                                if env.counting {
+                                    // Monotone positions: near-previous is a
+                                    // cache hit, jumps are random accesses.
+                                    let lastp = last_pos[fi];
+                                    last_pos[fi] = p as i64;
+                                    if (p as i64 - lastp).unsigned_abs() <= 8 {
+                                        env.profile.seq_read_bytes += 8;
+                                    } else {
+                                        env.profile.rand_reads += 1;
+                                    }
+                                }
+                                count_acc(&mut env, f.out_ty);
+                            }
+                        }
+                    }
+                    c0 = c1;
+                }
+                profile.merge(&env.profile);
+                profile.work_items += domain.div_ceil(*chunk) as u64;
+                profile.elements += *domain as u64;
+                // Chunk-local buffers fill sequentially: parallelism is
+                // capped at the number of chunks (paper §5.3).
+                profile.max_par = domain.div_ceil(*chunk) as u64;
+                for (fi, f) in folds.iter().enumerate() {
+                    let mut col = Column::empties(f.out_ty, 1);
+                    if let Some(v) = accs[fi] {
+                        col.set(0, v);
+                    }
+                    let mut sv = StructuredVector::with_len(1);
+                    sv.insert(f.out_kp.clone(), col);
+                    values[f.stmt.index()] = Some(Arc::new(MatVec::FoldDense {
+                        values: sv,
+                        run_len: (*domain).max(1),
+                        orig_len: *domain,
+                    }));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Virtual scatter (§3.1.3): one accumulation pass over dense buckets,
+    /// with a runtime guard that each bucket holds a single key run (else
+    /// it falls back to the generic scatter + dynamic fold).
+    fn exec_group_agg(
+        &self,
+        cp: &CompiledProgram,
+        bulk: &Bulk,
+        values: &mut Vec<Option<Arc<MatVec>>>,
+        profile: &mut EventProfile,
+    ) -> Result<()> {
+        let Bulk::GroupAgg {
+            domain,
+            out_len,
+            key,
+            pivot,
+            pivot_len,
+            folds,
+            scatter_cols,
+            key_col,
+            ..
+        } = bulk
+        else {
+            unreachable!()
+        };
+        let sources: &[Option<Arc<MatVec>>] = values;
+        let mut env = Env::new(sources, self.opts.count_events, cp.branch_sites, cp.gather_sites)
+            .with_predication(self.opts.predicated_select);
+        let piv = eval_pivots(pivot, *pivot_len, &mut env);
+        let nb = piv.len().max(1);
+        let mut counts = vec![0usize; nb];
+        let mut first_key: Vec<Option<Option<i64>>> = vec![None; nb];
+        let mut accs: Vec<Vec<Option<ScalarValue>>> = folds.iter().map(|_| vec![None; nb]).collect();
+        let mut mismatch = *out_len != *domain;
+        if !mismatch {
+            for i in 0..*domain {
+                let kv = key.eval(i, &mut env).map(to_key);
+                let b = bucket_of(&piv, kv);
+                match &first_key[b] {
+                    None => first_key[b] = Some(kv),
+                    Some(prev) if *prev != kv => {
+                        mismatch = true;
+                        break;
+                    }
+                    _ => {}
+                }
+                counts[b] += 1;
+                for (fi, f) in folds.iter().enumerate() {
+                    if let Some(v) = f.val.eval(i, &mut env) {
+                        let v = v.cast(f.out_ty);
+                        accs[fi][b] = Some(match accs[fi][b] {
+                            None => v,
+                            Some(a) => combine(f.agg, a, v),
+                        });
+                        count_acc(&mut env, f.out_ty);
+                    }
+                }
+                if env.counting {
+                    env.profile.int_ops += 1; // bucket computation
+                }
+            }
+        }
+        profile.merge(&env.profile);
+        profile.work_items += *domain as u64;
+        profile.elements += *domain as u64;
+        profile.max_par = (*domain as u64 / 1024).max(1);
+        if mismatch {
+            return self.exec_group_agg_generic(cp, bulk, values, profile);
+        }
+        // Group starts = exclusive prefix sums of counts.
+        let mut starts = vec![0usize; nb];
+        let mut acc = 0usize;
+        for (b, c) in counts.iter().enumerate() {
+            starts[b] = acc;
+            acc += c;
+        }
+        let _ = (scatter_cols, key_col);
+        for (fi, f) in folds.iter().enumerate() {
+            let mut col = Column::empties(f.out_ty, nb);
+            for (b, v) in accs[fi].iter().enumerate() {
+                if let Some(v) = v {
+                    col.set(b, *v);
+                }
+            }
+            let mut sv = StructuredVector::with_len(nb);
+            sv.insert(f.out_kp.clone(), col);
+            values[f.stmt.index()] = Some(Arc::new(MatVec::GroupDense {
+                values: sv,
+                starts: starts.clone(),
+                orig_len: *out_len,
+            }));
+        }
+        Ok(())
+    }
+
+    /// Generic fallback for group aggregation: materialize the scatter and
+    /// run a dynamic-run fold — always correct, never fused.
+    fn exec_group_agg_generic(
+        &self,
+        cp: &CompiledProgram,
+        bulk: &Bulk,
+        values: &mut Vec<Option<Arc<MatVec>>>,
+        profile: &mut EventProfile,
+    ) -> Result<()> {
+        let Bulk::GroupAgg {
+            domain, out_len, key, pivot, pivot_len, folds, scatter_cols, key_col, ..
+        } = bulk
+        else {
+            unreachable!()
+        };
+        let sources: &[Option<Arc<MatVec>>] = values;
+        let mut env = Env::new(sources, self.opts.count_events, cp.branch_sites, cp.gather_sites)
+            .with_predication(self.opts.predicated_select);
+        let piv = eval_pivots(pivot, *pivot_len, &mut env);
+        let keys: Vec<Option<i64>> =
+            (0..*domain).map(|i| key.eval(i, &mut env).map(to_key)).collect();
+        let positions = counting_sort_positions(&keys, &piv);
+        // Materialize the scattered vector.
+        let mut out_cols: Vec<Column> =
+            scatter_cols.iter().map(|(_, ty, _)| Column::empties(*ty, *out_len)).collect();
+        for i in 0..*domain {
+            let p = positions[i];
+            if p >= *out_len {
+                continue;
+            }
+            for (ci, (_, _, expr)) in scatter_cols.iter().enumerate() {
+                match expr.eval(i, &mut env) {
+                    Some(v) => out_cols[ci].set(p, v),
+                    None => out_cols[ci].clear(p),
+                }
+            }
+            if env.counting {
+                env.profile.rand_writes += scatter_cols.len() as u64;
+            }
+        }
+        // End the read borrow of `values` before writing fold outputs.
+        let env_profile = env.profile;
+        drop(env);
+        // Dynamic-run folds over the scattered key column.
+        let key_vals = &out_cols[*key_col];
+        for f in folds {
+            let mut out = Column::empties(f.out_ty, *out_len);
+            let mut acc: Option<ScalarValue> = None;
+            let mut run_start = 0usize;
+            let mut current: Option<ScalarValue> = None;
+            for i in 0..*out_len {
+                let cv = key_vals.get(i);
+                if i == 0 {
+                    current = cv;
+                } else if cv != current {
+                    if let Some(a) = acc.take() {
+                        out.set(run_start, a);
+                    }
+                    run_start = i;
+                    current = cv;
+                }
+                if let Some(v) = out_cols[f.val_col].get(i) {
+                    let v = v.cast(f.out_ty);
+                    acc = Some(match acc {
+                        None => v,
+                        Some(a) => combine(f.agg, a, v),
+                    });
+                }
+            }
+            if *out_len > 0 {
+                if let Some(a) = acc.take() {
+                    out.set(run_start, a);
+                }
+            }
+            let mut sv = StructuredVector::with_len(*out_len);
+            sv.insert(f.out_kp.clone(), out);
+            values[f.stmt.index()] = Some(Arc::new(MatVec::Full(sv)));
+        }
+        profile.merge(&env_profile);
+        Ok(())
+    }
+}
+
+fn combine(agg: AggKind, a: ScalarValue, b: ScalarValue) -> ScalarValue {
+    match agg {
+        AggKind::Sum => BinOp::Add.eval(a, b),
+        AggKind::Min => {
+            if BinOp::LessEquals.eval(a, b).is_truthy() {
+                a
+            } else {
+                b
+            }
+        }
+        AggKind::Max => {
+            if BinOp::GreaterEquals.eval(a, b).is_truthy() {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+fn count_acc(env: &mut Env<'_>, ty: ScalarType) {
+    if env.counting {
+        if ty.is_float() {
+            env.profile.float_ops += 1;
+        } else {
+            env.profile.int_ops += 1;
+        }
+    }
+}
+
+fn to_key(v: ScalarValue) -> i64 {
+    match v {
+        ScalarValue::F32(f) => f.floor() as i64,
+        ScalarValue::F64(f) => f.floor() as i64,
+        other => other.as_i64(),
+    }
+}
+
+fn eval_pivots(pivot: &Expr, pivot_len: usize, env: &mut Env<'_>) -> Vec<i64> {
+    let mut piv: Vec<i64> = (0..pivot_len)
+        .filter_map(|j| pivot.eval(j, env).map(to_key))
+        .collect();
+    piv.sort_unstable();
+    piv
+}
+
+/// Bucket of a key given sorted pivots — identical to the interpreter's
+/// `partition_positions` bucketing so the backends agree exactly.
+fn bucket_of(piv: &[i64], key: Option<i64>) -> usize {
+    match key {
+        None => 0,
+        Some(x) => piv.partition_point(|&p| p <= x).saturating_sub(1),
+    }
+}
+
+/// Stable counting-sort positions (shared by Partition and the group-agg
+/// fallback).
+fn counting_sort_positions(keys: &[Option<i64>], piv: &[i64]) -> Vec<usize> {
+    let nb = piv.len().max(1);
+    let mut counts = vec![0usize; nb];
+    for k in keys {
+        counts[bucket_of(piv, *k)] += 1;
+    }
+    let mut cursors = vec![0usize; nb];
+    let mut acc = 0usize;
+    for (b, c) in counts.iter().enumerate() {
+        cursors[b] = acc;
+        acc += c;
+    }
+    keys.iter()
+        .map(|k| {
+            let b = bucket_of(piv, *k);
+            let p = cursors[b];
+            cursors[b] += 1;
+            p
+        })
+        .collect()
+}
+
+/// Convenience: compile and run a program in one call (single-threaded).
+pub fn run_compiled(program: &voodoo_core::Program, catalog: &Catalog) -> Result<ExecOutput> {
+    let cp = crate::Compiler::new(catalog).compile(program)?;
+    let (out, _) = Executor::single_threaded().run(&cp, catalog)?;
+    Ok(out)
+}

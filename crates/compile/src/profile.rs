@@ -1,0 +1,94 @@
+//! Architectural event counting.
+//!
+//! The compiled backend can execute any kernel in *profiling* mode, counting
+//! the hardware-relevant events of each operation. The counts feed the
+//! simulated GPU device (`voodoo-gpusim`) and the ablation harnesses: they
+//! are exactly the quantities the paper's §5.3 explanations reason about
+//! (branch mispredictions, random cache misses, integer-ALU pressure,
+//! memory traffic, barriers).
+
+/// Counts of architectural events observed while executing kernels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventProfile {
+    /// Data-dependent conditional branches executed (filter decisions).
+    pub branches: u64,
+    /// Branches whose outcome differed from the previous outcome of the
+    /// same branch site — a first-order misprediction proxy.
+    pub branch_flips: u64,
+    /// Integer ALU operations.
+    pub int_ops: u64,
+    /// Floating-point ALU operations.
+    pub float_ops: u64,
+    /// Comparison operations.
+    pub cmp_ops: u64,
+    /// Bytes read with sequential access patterns.
+    pub seq_read_bytes: u64,
+    /// Random-access reads (each potentially a cache miss).
+    pub rand_reads: u64,
+    /// Largest working set (bytes) targeted by random reads — decides
+    /// whether they hit cache (Figure 14's 4MB vs 128MB regimes).
+    pub rand_working_set: u64,
+    /// Bytes written sequentially.
+    pub write_bytes: u64,
+    /// Random-access writes (scatter stores).
+    pub rand_writes: u64,
+    /// Global synchronization barriers (fragment seams → new kernels).
+    pub barriers: u64,
+    /// Work items launched (sum of fragment extents).
+    pub work_items: u64,
+    /// Elements processed (sum of extent × intent).
+    pub elements: u64,
+    /// Device-exploitable parallelism of this unit (work items after the
+    /// backend's hierarchical-reduction rewrite; 0 = use `work_items`).
+    /// Sequential-fill units (cursor-based emission, dynamic runs) keep
+    /// their true, lower value — the paper's "filled sequentially, which
+    /// limits the degree of parallelism" effect.
+    pub max_par: u64,
+}
+
+impl EventProfile {
+    /// Merge another profile into this one.
+    pub fn merge(&mut self, other: &EventProfile) {
+        self.branches += other.branches;
+        self.branch_flips += other.branch_flips;
+        self.int_ops += other.int_ops;
+        self.float_ops += other.float_ops;
+        self.cmp_ops += other.cmp_ops;
+        self.seq_read_bytes += other.seq_read_bytes;
+        self.rand_reads += other.rand_reads;
+        self.rand_working_set = self.rand_working_set.max(other.rand_working_set);
+        self.write_bytes += other.write_bytes;
+        self.rand_writes += other.rand_writes;
+        self.barriers += other.barriers;
+        self.work_items += other.work_items;
+        self.elements += other.elements;
+        self.max_par = self.max_par.max(other.max_par);
+    }
+
+    /// Total bytes moved (reads + writes, random accesses priced as a full
+    /// cache line of 64 bytes).
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.seq_read_bytes + self.write_bytes + 64 * (self.rand_reads + self.rand_writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = EventProfile { branches: 1, int_ops: 2, ..Default::default() };
+        let b = EventProfile { branches: 10, rand_reads: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.branches, 11);
+        assert_eq!(a.int_ops, 2);
+        assert_eq!(a.rand_reads, 5);
+    }
+
+    #[test]
+    fn traffic_prices_random_as_lines() {
+        let p = EventProfile { seq_read_bytes: 100, rand_reads: 2, ..Default::default() };
+        assert_eq!(p.total_traffic_bytes(), 100 + 128);
+    }
+}

@@ -1,0 +1,206 @@
+//! Materialized value representations, including suppressed layouts.
+//!
+//! The paper's §3.1.2 (empty-slot suppression) observes that controlled
+//! folds create a *predictable* pattern of ε slots, so "slots that can be
+//! guaranteed to never be filled with values ... can simply not be
+//! allocated". [`MatVec`] implements this: fold results are stored densely
+//! (one slot per run) together with enough metadata to reconstruct the
+//! padded layout *only if it is ever observed* — the same pay-only-on-
+//! materialization rule the paper applies to virtual scatter (§3.1.3).
+
+use voodoo_core::{Column, ScalarValue, StructuredVector};
+
+/// A materialized vector in one of three layouts.
+#[derive(Debug, Clone)]
+pub enum MatVec {
+    /// Plain, fully padded layout.
+    Full(StructuredVector),
+    /// A controlled-fold result with uniform run length: `values` holds one
+    /// slot per run; semantic slot `r * run_len` maps to `values[r]`, all
+    /// other slots are ε.
+    FoldDense {
+        /// One slot per run.
+        values: StructuredVector,
+        /// The uniform run length (intent) of the fold.
+        run_len: usize,
+        /// The semantic (padded) length.
+        orig_len: usize,
+    },
+    /// A grouped-fold result (virtual scatter, Figure 11): `values` holds
+    /// one slot per group; semantic slot `starts[g]` maps to `values[g]`.
+    GroupDense {
+        /// One slot per group.
+        values: StructuredVector,
+        /// Global start index of each group's run (non-decreasing).
+        starts: Vec<usize>,
+        /// The semantic (padded) length.
+        orig_len: usize,
+    },
+}
+
+impl MatVec {
+    /// Semantic (padded) length.
+    pub fn len(&self) -> usize {
+        match self {
+            MatVec::Full(v) => v.len(),
+            MatVec::FoldDense { orig_len, .. } | MatVec::GroupDense { orig_len, .. } => *orig_len,
+        }
+    }
+
+    /// Whether the semantic vector has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The underlying (possibly dense) storage.
+    pub fn storage(&self) -> &StructuredVector {
+        match self {
+            MatVec::Full(v) => v,
+            MatVec::FoldDense { values, .. } | MatVec::GroupDense { values, .. } => values,
+        }
+    }
+
+    /// Number of leaf columns.
+    pub fn col_count(&self) -> usize {
+        self.storage().field_count()
+    }
+
+    /// Read semantic slot `i` of column `col`; `None` for ε.
+    pub fn get(&self, col: usize, i: usize) -> Option<ScalarValue> {
+        match self {
+            MatVec::Full(v) => v.scalar_at(i, col),
+            MatVec::FoldDense { values, run_len, .. } => {
+                if *run_len == 0 || i % run_len != 0 {
+                    return None;
+                }
+                let r = i / run_len;
+                if r < values.len() {
+                    values.scalar_at(r, col)
+                } else {
+                    None
+                }
+            }
+            MatVec::GroupDense { values, starts, .. } => {
+                // Group starts are sorted; an ε-valued group may share its
+                // start with the next group, so scan all equal starts.
+                let mut g = starts.partition_point(|&s| s < i);
+                while g < starts.len() && starts[g] == i {
+                    if let Some(v) = values.scalar_at(g, col) {
+                        return Some(v);
+                    }
+                    g += 1;
+                }
+                None
+            }
+        }
+    }
+
+    /// Reconstruct the padded layout (the only point suppression is paid).
+    pub fn expand(&self) -> StructuredVector {
+        match self {
+            MatVec::Full(v) => v.clone(),
+            MatVec::FoldDense { values, run_len, orig_len } => {
+                let mut out = StructuredVector::with_len(*orig_len);
+                for (kp, col) in values.fields() {
+                    let mut full = Column::empties(col.ty(), *orig_len);
+                    for r in 0..values.len() {
+                        let slot = r * run_len;
+                        if slot >= *orig_len {
+                            break;
+                        }
+                        if let Some(v) = col.get(r) {
+                            full.set(slot, v);
+                        }
+                    }
+                    out.insert(kp.clone(), full);
+                }
+                out
+            }
+            MatVec::GroupDense { values, starts, orig_len } => {
+                let mut out = StructuredVector::with_len(*orig_len);
+                for (kp, col) in values.fields() {
+                    let mut full = Column::empties(col.ty(), *orig_len);
+                    for (g, &s) in starts.iter().enumerate() {
+                        if s >= *orig_len {
+                            continue;
+                        }
+                        if let Some(v) = col.get(g) {
+                            full.set(s, v);
+                        }
+                    }
+                    out.insert(kp.clone(), full);
+                }
+                out
+            }
+        }
+    }
+
+    /// Bytes of storage actually allocated (used by suppression tests and
+    /// the ablation bench).
+    pub fn allocated_bytes(&self) -> usize {
+        let v = self.storage();
+        v.fields().map(|(_, c)| c.len() * (c.ty().byte_width() + 1)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voodoo_core::{Buffer, Column, ScalarValue};
+
+    fn sv(vals: Vec<i64>) -> StructuredVector {
+        StructuredVector::from_buffer(".val", Buffer::I64(vals))
+    }
+
+    #[test]
+    fn fold_dense_semantics() {
+        let m = MatVec::FoldDense { values: sv(vec![10, 26]), run_len: 4, orig_len: 8 };
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.get(0, 0), Some(ScalarValue::I64(10)));
+        assert_eq!(m.get(0, 1), None);
+        assert_eq!(m.get(0, 4), Some(ScalarValue::I64(26)));
+        let full = m.expand();
+        assert_eq!(full.len(), 8);
+        assert_eq!(full.scalar_at(4, 0), Some(ScalarValue::I64(26)));
+        assert_eq!(full.scalar_at(5, 0), None);
+        // Suppression actually saves memory.
+        assert!(m.allocated_bytes() < MatVec::Full(full).allocated_bytes());
+    }
+
+    #[test]
+    fn fold_dense_with_empty_run() {
+        let mut values = StructuredVector::with_len(2);
+        let mut col = Column::empties(voodoo_core::ScalarType::I64, 2);
+        col.set(1, ScalarValue::I64(7));
+        values.insert(".val", col);
+        let m = MatVec::FoldDense { values, run_len: 3, orig_len: 6 };
+        assert_eq!(m.get(0, 0), None);
+        assert_eq!(m.get(0, 3), Some(ScalarValue::I64(7)));
+    }
+
+    #[test]
+    fn group_dense_semantics() {
+        let m = MatVec::GroupDense {
+            values: sv(vec![12, 9, 10, 2]),
+            starts: vec![0, 3, 6, 9],
+            orig_len: 10,
+        };
+        assert_eq!(m.get(0, 3), Some(ScalarValue::I64(9)));
+        assert_eq!(m.get(0, 4), None);
+        let full = m.expand();
+        assert_eq!(full.scalar_at(9, 0), Some(ScalarValue::I64(2)));
+    }
+
+    #[test]
+    fn group_dense_empty_group_shares_start() {
+        // Group 1 is empty (ε) and shares start 2 with group 2.
+        let mut values = StructuredVector::with_len(3);
+        let mut col = Column::empties(voodoo_core::ScalarType::I64, 3);
+        col.set(0, ScalarValue::I64(5));
+        col.set(2, ScalarValue::I64(9));
+        values.insert(".val", col);
+        let m = MatVec::GroupDense { values, starts: vec![0, 2, 2], orig_len: 4 };
+        assert_eq!(m.get(0, 0), Some(ScalarValue::I64(5)));
+        assert_eq!(m.get(0, 2), Some(ScalarValue::I64(9)));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type shared across the Voodoo crates.
+
+use std::fmt;
+
+use crate::keypath::KeyPath;
+use crate::scalar::ScalarType;
+
+/// Result alias used throughout the Voodoo crates.
+pub type Result<T> = std::result::Result<T, VoodooError>;
+
+/// Errors raised while building, validating or executing Voodoo programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VoodooError {
+    /// A `Load` referenced a table that the catalog does not contain.
+    UnknownTable(String),
+    /// A keypath did not resolve to a field of the addressed vector.
+    UnknownKeyPath { keypath: KeyPath, context: String },
+    /// A statement referenced a result id that does not precede it (SSA violation).
+    InvalidReference { stmt: usize, referenced: usize },
+    /// Two operands had types that the operator cannot combine.
+    TypeMismatch { context: String, lhs: ScalarType, rhs: ScalarType },
+    /// An operand had a type the operator does not accept.
+    UnsupportedType { context: String, ty: ScalarType },
+    /// Vector sizes were incompatible (and not broadcastable).
+    SizeMismatch { context: String, lhs: usize, rhs: usize },
+    /// A program was empty or had no return value.
+    EmptyProgram,
+    /// Control-vector bits conflicted with data bits (paper §3.1.1).
+    ControlBitConflict { context: String },
+    /// Backend-specific failure (I/O, device, ...).
+    Backend(String),
+}
+
+impl fmt::Display for VoodooError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VoodooError::UnknownTable(name) => write!(f, "unknown table {name:?}"),
+            VoodooError::UnknownKeyPath { keypath, context } => {
+                write!(f, "unknown keypath {keypath} in {context}")
+            }
+            VoodooError::InvalidReference { stmt, referenced } => {
+                write!(f, "statement {stmt} references later/missing result %{referenced}")
+            }
+            VoodooError::TypeMismatch { context, lhs, rhs } => {
+                write!(f, "type mismatch in {context}: {lhs:?} vs {rhs:?}")
+            }
+            VoodooError::UnsupportedType { context, ty } => {
+                write!(f, "unsupported type {ty:?} in {context}")
+            }
+            VoodooError::SizeMismatch { context, lhs, rhs } => {
+                write!(f, "size mismatch in {context}: {lhs} vs {rhs}")
+            }
+            VoodooError::EmptyProgram => write!(f, "program has no statements or no return"),
+            VoodooError::ControlBitConflict { context } => {
+                write!(f, "control vector bits conflict with data bits in {context}")
+            }
+            VoodooError::Backend(msg) => write!(f, "backend error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VoodooError {}

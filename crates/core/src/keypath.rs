@@ -1,0 +1,151 @@
+//! Keypaths: dotted paths addressing attributes of structured vectors.
+//!
+//! The paper (§2.1) writes keypaths with a leading dot (`.value`,
+//! `.input.value`). [`KeyPath`] stores the normalized form without the
+//! leading dot; `Display` restores it.
+
+use std::fmt;
+
+/// A (possibly nested) attribute path such as `.val` or `.input.value`.
+///
+/// The root path (all attributes of a vector) is written `KeyPath::root()`
+/// and displays as `.`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyPath(String);
+
+impl KeyPath {
+    /// Parse a keypath; a leading dot is optional (`".val"` ≡ `"val"`).
+    pub fn new(path: &str) -> Self {
+        KeyPath(path.trim_start_matches('.').to_string())
+    }
+
+    /// The root keypath, designating every attribute of a vector.
+    pub fn root() -> Self {
+        KeyPath(String::new())
+    }
+
+    /// The conventional default attribute name for single-column vectors.
+    pub fn val() -> Self {
+        KeyPath("val".to_string())
+    }
+
+    /// Whether this is the root path.
+    pub fn is_root(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Path components, in order.
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.').filter(|c| !c.is_empty())
+    }
+
+    /// Append a component (or whole sub-path), producing `.self.child`.
+    pub fn child(&self, name: &str) -> KeyPath {
+        let name = name.trim_start_matches('.');
+        if self.is_root() {
+            KeyPath(name.to_string())
+        } else if name.is_empty() {
+            self.clone()
+        } else {
+            KeyPath(format!("{}.{}", self.0, name))
+        }
+    }
+
+    /// Whether `self` equals `prefix` or is nested below it.
+    pub fn starts_with(&self, prefix: &KeyPath) -> bool {
+        if prefix.is_root() {
+            return true;
+        }
+        self.0 == prefix.0
+            || (self.0.len() > prefix.0.len()
+                && self.0.starts_with(&prefix.0)
+                && self.0.as_bytes()[prefix.0.len()] == b'.')
+    }
+
+    /// Strip `prefix`, returning the relative remainder (root if equal).
+    pub fn strip_prefix(&self, prefix: &KeyPath) -> Option<KeyPath> {
+        if prefix.is_root() {
+            return Some(self.clone());
+        }
+        if !self.starts_with(prefix) {
+            return None;
+        }
+        if self.0.len() == prefix.0.len() {
+            Some(KeyPath::root())
+        } else {
+            Some(KeyPath(self.0[prefix.0.len() + 1..].to_string()))
+        }
+    }
+
+    /// The normalized dotless representation (for codegen identifiers).
+    pub fn as_ident(&self) -> String {
+        if self.is_root() {
+            "root".to_string()
+        } else {
+            self.0.replace('.', "_")
+        }
+    }
+}
+
+impl fmt::Display for KeyPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".{}", self.0)
+    }
+}
+
+impl From<&str> for KeyPath {
+    fn from(s: &str) -> Self {
+        KeyPath::new(s)
+    }
+}
+
+impl From<String> for KeyPath {
+    fn from(s: String) -> Self {
+        KeyPath::new(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_leading_dot() {
+        assert_eq!(KeyPath::new(".val"), KeyPath::new("val"));
+        assert_eq!(KeyPath::new(".a.b").to_string(), ".a.b");
+    }
+
+    #[test]
+    fn root_behaviour() {
+        let root = KeyPath::root();
+        assert!(root.is_root());
+        assert_eq!(root.child("x"), KeyPath::new("x"));
+        assert!(KeyPath::new(".a.b").starts_with(&root));
+    }
+
+    #[test]
+    fn prefix_logic() {
+        let ab = KeyPath::new(".a.b");
+        let a = KeyPath::new(".a");
+        let ax = KeyPath::new(".ax");
+        assert!(ab.starts_with(&a));
+        assert!(!ax.starts_with(&a));
+        assert_eq!(ab.strip_prefix(&a), Some(KeyPath::new("b")));
+        assert_eq!(a.strip_prefix(&a), Some(KeyPath::root()));
+        assert_eq!(ax.strip_prefix(&a), None);
+    }
+
+    #[test]
+    fn components_and_child() {
+        let kp = KeyPath::new(".input.value");
+        let comps: Vec<_> = kp.components().collect();
+        assert_eq!(comps, vec!["input", "value"]);
+        assert_eq!(KeyPath::new("a").child(".b.c"), KeyPath::new("a.b.c"));
+    }
+
+    #[test]
+    fn ident_form() {
+        assert_eq!(KeyPath::new(".a.b").as_ident(), "a_b");
+        assert_eq!(KeyPath::root().as_ident(), "root");
+    }
+}

@@ -1,0 +1,59 @@
+//! # voodoo-core — the Voodoo vector algebra
+//!
+//! This crate implements the algebra of *Pirk et al., "Voodoo - A Vector
+//! Algebra for Portable Database Performance on Modern Hardware" (VLDB 2016)*:
+//!
+//! * [`scalar`] — scalar types/values and the elementwise operator kernels,
+//! * [`keypath`] — keypaths (`.a.b`) addressing attributes of structured vectors,
+//! * [`schema`] — flattened schemas of structured vectors,
+//! * [`vector`] — [`vector::StructuredVector`]: the only data type of the
+//!   algebra (paper §2.1), including first-class *empty slots* (ε),
+//! * [`ops`] — one operator per row of the paper's Table 2,
+//! * [`program`] — SSA programs and the fluent [`program::Program`] builder,
+//! * [`runmeta`] — control-vector run metadata, `v[i] = from + ⌊i·step⌋ mod cap`
+//!   (paper §3.1.1 "Maintaining Run Metadata"),
+//! * [`transform`] — program rewrites: common-subexpression and dead-code
+//!   elimination (the sharing the paper's §2 "Minimal" principle enables),
+//! * [`typecheck`] — static shape/type inference for whole programs.
+//!
+//! The algebra is deliberately **minimal, declarative, deterministic and
+//! explicit** (paper §2): operators are stateless, sizes of all outputs are
+//! statically known given input sizes, and no operator contains runtime
+//! control flow.
+//!
+//! Backends live in separate crates: `voodoo-interp` (the materializing
+//! reference interpreter of §3.2) and `voodoo-compile` (the fragment
+//! compiler of §3.1).
+
+pub mod error;
+pub mod keypath;
+pub mod ops;
+pub mod program;
+pub mod runmeta;
+pub mod scalar;
+pub mod schema;
+pub mod transform;
+pub mod typecheck;
+pub mod vector;
+
+pub use error::{Result, VoodooError};
+pub use keypath::KeyPath;
+pub use ops::{AggKind, BinOp, Op, SizeSpec};
+pub use program::{Program, Statement, VRef};
+pub use runmeta::RunMeta;
+pub use scalar::{ScalarType, ScalarValue};
+pub use schema::Schema;
+pub use transform::{cse, dce, optimize, RewriteStats};
+pub use vector::{Buffer, Column, StructuredVector};
+
+/// Providers of table schemas and sizes for `Load` statements.
+///
+/// The Voodoo compiler runs *after* data is loaded ("since we generate code,
+/// we have information about factors such as datasizes at compile time",
+/// paper footnote 1), so both schema and row count are available.
+pub trait TableProvider {
+    /// Flattened schema of the named table, if it exists.
+    fn table_schema(&self, name: &str) -> Option<Schema>;
+    /// Row count of the named table, if it exists.
+    fn table_len(&self, name: &str) -> Option<usize>;
+}

@@ -1,0 +1,306 @@
+//! The Voodoo operator set — one variant per row of the paper's Table 2.
+//!
+//! Operators fall into the paper's four categories (§2.3):
+//!
+//! 1. **Maintenance** — [`Op::Load`], [`Op::Persist`], elementwise arithmetic
+//!    / logic / comparison ([`Op::Binary`]) and [`Op::Constant`],
+//! 2. **Data-parallel** — [`Op::Zip`], [`Op::Project`], [`Op::Upsert`],
+//!    [`Op::Scatter`], [`Op::Gather`], [`Op::Materialize`], [`Op::Break`],
+//!    [`Op::Partition`],
+//! 3. **Fold** — [`Op::FoldSelect`], [`Op::FoldAgg`] (Sum/Min/Max),
+//!    [`Op::FoldScan`],
+//! 4. **Shape** — [`Op::Range`], [`Op::Cross`], (and `Constant`, which the
+//!    paper groups here when used to generate control attributes).
+//!
+//! All operand references are [`VRef`]s into the SSA program plus keypaths
+//! selecting attributes; operators are stateless and deterministic.
+
+use crate::keypath::KeyPath;
+use crate::program::VRef;
+use crate::scalar::ScalarValue;
+pub use crate::scalar::BinOp;
+
+/// How a shape operator determines its output length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SizeSpec {
+    /// A fixed, literal length.
+    Fixed(usize),
+    /// The length of another vector (`Range(.kp, from, v, step)` form).
+    Like(VRef),
+}
+
+/// Aggregation kinds for controlled folds (paper Table 2, "Fold" block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// `FoldSum` — also the expansion target of the `FoldCount` macro.
+    Sum,
+    /// `FoldMin`.
+    Min,
+    /// `FoldMax`.
+    Max,
+}
+
+impl AggKind {
+    /// Human-readable name matching the paper's operator spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggKind::Sum => "FoldSum",
+            AggKind::Min => "FoldMin",
+            AggKind::Max => "FoldMax",
+        }
+    }
+}
+
+/// A single Voodoo operator application.
+///
+/// Field names follow the paper's signatures in Table 2; `out` keypaths name
+/// the produced attribute(s).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `Load(.keypath)` — load a persistent vector by name.
+    Load { name: String },
+
+    /// `Persist(.keypath, V)` — persist vector `v` under `name`.
+    Persist { name: String, v: VRef },
+
+    /// A constant vector: `value` broadcast to the length of `like`
+    /// (or a single slot when `like` is `None`). Figure 3 line 3.
+    Constant { out: KeyPath, value: ScalarValue, like: Option<VRef> },
+
+    /// Elementwise binary operator over two aligned attributes
+    /// (`Add`, `Greater`, `LogicalAnd`, `BitShift`, ... — Table 2 rows 3-6).
+    /// Output length = min of the operand lengths; a length-1 operand
+    /// broadcasts.
+    Binary {
+        op: BinOp,
+        out: KeyPath,
+        lhs: VRef,
+        lhs_kp: KeyPath,
+        rhs: VRef,
+        rhs_kp: KeyPath,
+    },
+
+    /// `Zip(.out1, V1, .kp1, .out2, V2, .kp2)` — new vector with
+    /// substructure `V1.kp1` as `.out1` and `V2.kp2` as `.out2`.
+    Zip {
+        out1: KeyPath,
+        v1: VRef,
+        kp1: KeyPath,
+        out2: KeyPath,
+        v2: VRef,
+        kp2: KeyPath,
+    },
+
+    /// `Project(.out, V, .kp)` — new vector with substructure `V.kp` as `.out`.
+    Project { out: KeyPath, v: VRef, kp: KeyPath },
+
+    /// `Upsert(V1, .out, V2, .kp)` — copy `V1`, replacing/inserting `.out`
+    /// with `V2.kp`.
+    Upsert { v: VRef, out: KeyPath, src: VRef, kp: KeyPath },
+
+    /// `Scatter(V1, V2, .kp2, V3, .pos)` — new vector of `V2`'s size, filled
+    /// by placing each tuple of `V1` at position `V3.pos`. Writes are
+    /// ordered within a value-run of `V2.kp2`; runs have no mutual order.
+    Scatter {
+        values: VRef,
+        size_like: VRef,
+        runs_kp: Option<KeyPath>,
+        positions: VRef,
+        pos_kp: KeyPath,
+    },
+
+    /// `Gather(V1, V2, .pos)` — new vector of `V2`'s size, resolving
+    /// positions `V2.pos` in `V1`; out-of-bounds / ε positions give ε tuples.
+    Gather { source: VRef, positions: VRef, pos_kp: KeyPath },
+
+    /// `Materialize(V1, V2, .kp2)` — force materialization, chunked by the
+    /// runs of `V2.kp2` (X100-style processing). Pure tuning, identity on
+    /// values.
+    Materialize { v: VRef, ctrl: Option<(VRef, KeyPath)> },
+
+    /// `Break(V1, V2, .kp)` — break `V1` into segments according to runs of
+    /// `V2.kp` (pure tuning hint; identity on values).
+    Break { v: VRef, ctrl: Option<(VRef, KeyPath)> },
+
+    /// `Partition(.out, V1, .v, V2, .pv)` — generate a scatter position
+    /// vector that partitions `V1.v` by the pivot list `V2.pv` (stable
+    /// counting sort positions). Output size = `V1`'s size.
+    Partition { out: KeyPath, v: VRef, kp: KeyPath, pivots: VRef, pivot_kp: KeyPath },
+
+    /// `FoldSelect(.out, V1, .fold, .s)` — positions of slots with `.s`
+    /// non-zero, aligned to the runs of `.fold` (Figure 7). `fold: None`
+    /// means a single global run.
+    FoldSelect { out: KeyPath, v: VRef, fold_kp: Option<KeyPath>, sel_kp: KeyPath },
+
+    /// `FoldSum/Min/Max(.out, V1, .fold, .agg)` — per-run aggregate, result
+    /// at the start of each run, ε elsewhere.
+    FoldAgg { agg: AggKind, out: KeyPath, v: VRef, fold_kp: Option<KeyPath>, val_kp: KeyPath },
+
+    /// `FoldScan(.out, V1, .fold, .s)` — per-run inclusive prefix sum.
+    FoldScan { out: KeyPath, v: VRef, fold_kp: Option<KeyPath>, val_kp: KeyPath },
+
+    /// `Range(.kp, from, [vInt|v], step)` — `from + i*step` over the
+    /// specified length. The primary source of control vectors.
+    Range { out: KeyPath, from: i64, size: SizeSpec, step: i64 },
+
+    /// `Cross(.kp1, v1, .kp2, v2)` — cross product of the *positions* of
+    /// `v1` and `v2` (row-major: v1-position varies slowest).
+    Cross { out1: KeyPath, v1: VRef, out2: KeyPath, v2: VRef },
+}
+
+impl Op {
+    /// The paper-style operator name (used by the SSA pretty-printer).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Load { .. } => "Load",
+            Op::Persist { .. } => "Persist",
+            Op::Constant { .. } => "Constant",
+            Op::Binary { op, .. } => match op {
+                BinOp::Add => "Add",
+                BinOp::Subtract => "Subtract",
+                BinOp::Multiply => "Multiply",
+                BinOp::Divide => "Divide",
+                BinOp::Modulo => "Modulo",
+                BinOp::BitShift => "BitShift",
+                BinOp::LogicalAnd => "LogicalAnd",
+                BinOp::LogicalOr => "LogicalOr",
+                BinOp::Greater => "Greater",
+                BinOp::GreaterEquals => "GreaterEquals",
+                BinOp::Less => "Less",
+                BinOp::LessEquals => "LessEquals",
+                BinOp::Equals => "Equals",
+                BinOp::NotEquals => "NotEquals",
+            },
+            Op::Zip { .. } => "Zip",
+            Op::Project { .. } => "Project",
+            Op::Upsert { .. } => "Upsert",
+            Op::Scatter { .. } => "Scatter",
+            Op::Gather { .. } => "Gather",
+            Op::Materialize { .. } => "Materialize",
+            Op::Break { .. } => "Break",
+            Op::Partition { .. } => "Partition",
+            Op::FoldSelect { .. } => "FoldSelect",
+            Op::FoldAgg { agg, .. } => agg.name(),
+            Op::FoldScan { .. } => "FoldScan",
+            Op::Range { .. } => "Range",
+            Op::Cross { .. } => "Cross",
+        }
+    }
+
+    /// All statement references consumed by this operator, in operand order.
+    pub fn inputs(&self) -> Vec<VRef> {
+        match self {
+            Op::Load { .. } => vec![],
+            Op::Persist { v, .. } => vec![*v],
+            Op::Constant { like, .. } => like.iter().copied().collect(),
+            Op::Binary { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Op::Zip { v1, v2, .. } => vec![*v1, *v2],
+            Op::Project { v, .. } => vec![*v],
+            Op::Upsert { v, src, .. } => vec![*v, *src],
+            Op::Scatter { values, size_like, positions, .. } => {
+                vec![*values, *size_like, *positions]
+            }
+            Op::Gather { source, positions, .. } => vec![*source, *positions],
+            Op::Materialize { v, ctrl } => {
+                let mut r = vec![*v];
+                if let Some((c, _)) = ctrl {
+                    r.push(*c);
+                }
+                r
+            }
+            Op::Break { v, ctrl } => {
+                let mut r = vec![*v];
+                if let Some((c, _)) = ctrl {
+                    r.push(*c);
+                }
+                r
+            }
+            Op::Partition { v, pivots, .. } => vec![*v, *pivots],
+            Op::FoldSelect { v, .. } => vec![*v],
+            Op::FoldAgg { v, .. } => vec![*v],
+            Op::FoldScan { v, .. } => vec![*v],
+            Op::Range { size, .. } => match size {
+                SizeSpec::Like(v) => vec![*v],
+                SizeSpec::Fixed(_) => vec![],
+            },
+            Op::Cross { v1, v2, .. } => vec![*v1, *v2],
+        }
+    }
+
+    /// This operator with every statement reference rewritten through `f`
+    /// (the building block of program rewrites: CSE, DCE, inlining).
+    pub fn map_inputs(&self, mut f: impl FnMut(VRef) -> VRef) -> Op {
+        let mut op = self.clone();
+        match &mut op {
+            Op::Load { .. } => {}
+            Op::Persist { v, .. } => *v = f(*v),
+            Op::Constant { like, .. } => {
+                if let Some(l) = like {
+                    *l = f(*l);
+                }
+            }
+            Op::Binary { lhs, rhs, .. } => {
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+            }
+            Op::Zip { v1, v2, .. } => {
+                *v1 = f(*v1);
+                *v2 = f(*v2);
+            }
+            Op::Project { v, .. } => *v = f(*v),
+            Op::Upsert { v, src, .. } => {
+                *v = f(*v);
+                *src = f(*src);
+            }
+            Op::Scatter { values, size_like, positions, .. } => {
+                *values = f(*values);
+                *size_like = f(*size_like);
+                *positions = f(*positions);
+            }
+            Op::Gather { source, positions, .. } => {
+                *source = f(*source);
+                *positions = f(*positions);
+            }
+            Op::Materialize { v, ctrl } | Op::Break { v, ctrl } => {
+                *v = f(*v);
+                if let Some((c, _)) = ctrl {
+                    *c = f(*c);
+                }
+            }
+            Op::Partition { v, pivots, .. } => {
+                *v = f(*v);
+                *pivots = f(*pivots);
+            }
+            Op::FoldSelect { v, .. } | Op::FoldAgg { v, .. } | Op::FoldScan { v, .. } => {
+                *v = f(*v);
+            }
+            Op::Range { size, .. } => {
+                if let SizeSpec::Like(v) = size {
+                    *v = f(*v);
+                }
+            }
+            Op::Cross { v1, v2, .. } => {
+                *v1 = f(*v1);
+                *v2 = f(*v2);
+            }
+        }
+        op
+    }
+
+    /// Whether this operator has an effect beyond its result value (and
+    /// must therefore survive dead-code elimination and never merge under
+    /// common-subexpression elimination).
+    pub fn has_side_effect(&self) -> bool {
+        matches!(self, Op::Persist { .. })
+    }
+
+    /// Whether this is a controlled-fold operator (paper category 3).
+    pub fn is_fold(&self) -> bool {
+        matches!(self, Op::FoldSelect { .. } | Op::FoldAgg { .. } | Op::FoldScan { .. })
+    }
+
+    /// Whether this is a shape operator (paper category 4).
+    pub fn is_shape(&self) -> bool {
+        matches!(self, Op::Range { .. } | Op::Cross { .. } | Op::Constant { .. })
+    }
+}

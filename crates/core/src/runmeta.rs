@@ -1,0 +1,236 @@
+//! Control-vector run metadata (paper §3.1.1, "Maintaining Run Metadata").
+//!
+//! Shape-generated attributes are never materialized; instead the compiler
+//! keeps a closed form per attribute:
+//!
+//! ```text
+//! v[i] = from + ⌊i · step⌋ mod cap
+//! ```
+//!
+//! with a *rational* step (`step_num / step_den`). The paper's two tuning
+//! moves map to metadata algebra:
+//!
+//! * `Divide(range, x)` divides the step by `x` — turning per-tuple ids into
+//!   runs of `x` equal values (multicore partitions, Figure 3),
+//! * `Modulo(range, x)` sets `cap = x` — turning ids into circular lane ids
+//!   (SIMD lanes, Figure 4).
+//!
+//! From the metadata the compiler derives each fold's **Intent** (sequential
+//! iterations per work item = run length) and **Extent** (parallel work
+//! items = number of runs).
+
+use crate::scalar::ScalarValue;
+
+/// Closed-form description of a generated (control) attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Additive offset.
+    pub from: i64,
+    /// Step numerator.
+    pub step_num: i64,
+    /// Step denominator (> 0).
+    pub step_den: i64,
+    /// Optional modulo cap.
+    pub cap: Option<i64>,
+}
+
+impl RunMeta {
+    /// Metadata of `Range(from, _, step)`.
+    pub fn range(from: i64, step: i64) -> RunMeta {
+        RunMeta { from, step_num: step, step_den: 1, cap: None }
+    }
+
+    /// Metadata of a constant attribute.
+    pub fn constant(value: i64) -> RunMeta {
+        RunMeta { from: value, step_num: 0, step_den: 1, cap: None }
+    }
+
+    /// Evaluate the closed form at position `i`.
+    pub fn value_at(&self, i: usize) -> i64 {
+        let scaled = (i as i64).wrapping_mul(self.step_num).div_euclid(self.step_den);
+        let v = match self.cap {
+            Some(c) if c > 0 => scaled.rem_euclid(c),
+            _ => scaled,
+        };
+        self.from.wrapping_add(v)
+    }
+
+    /// Metadata after integer-dividing the attribute by `x` (x > 0).
+    ///
+    /// Only exact when the attribute is non-capped and starts at a multiple
+    /// of `x`; otherwise returns `None` and the compiler falls back to
+    /// dynamic run detection.
+    pub fn divide(&self, x: i64) -> Option<RunMeta> {
+        if x <= 0 || self.cap.is_some() || self.from % x != 0 {
+            return None;
+        }
+        Some(RunMeta {
+            from: self.from / x,
+            step_num: self.step_num,
+            step_den: self.step_den.checked_mul(x)?,
+            cap: None,
+        })
+    }
+
+    /// Metadata after taking the attribute modulo `x` (x > 0).
+    pub fn modulo(&self, x: i64) -> Option<RunMeta> {
+        if x <= 0 || self.cap.is_some() || self.from != 0 {
+            return None;
+        }
+        Some(RunMeta { from: 0, step_num: self.step_num, step_den: self.step_den, cap: Some(x) })
+    }
+
+    /// Metadata after multiplying by `x`.
+    pub fn multiply(&self, x: i64) -> Option<RunMeta> {
+        if self.cap.is_some() {
+            return None;
+        }
+        // Exact only when the step stays integral or the scale keeps the
+        // floor distributive; we only claim the safe integral-step case.
+        if self.step_den != 1 {
+            return None;
+        }
+        Some(RunMeta {
+            from: self.from.checked_mul(x)?,
+            step_num: self.step_num.checked_mul(x)?,
+            step_den: 1,
+            cap: None,
+        })
+    }
+
+    /// Metadata after adding a constant `x`.
+    pub fn add(&self, x: i64) -> Option<RunMeta> {
+        if self.cap.is_some() && x != 0 {
+            // from shifts out of the modulo; still exact because `from` is
+            // added after the mod in our closed form.
+        }
+        Some(RunMeta { from: self.from.checked_add(x)?, ..*self })
+    }
+
+    /// Length of each run of equal values, when statically known.
+    ///
+    /// * step 0 → one infinite run (`None` here; callers treat the whole
+    ///   vector as a single run),
+    /// * step ≥ 1 → runs of length 1,
+    /// * step = 1/d (num 1) → runs of exactly `d`,
+    /// * otherwise → unknown (`None`), dynamic detection needed.
+    pub fn run_length(&self) -> Option<i64> {
+        if self.step_num == 0 {
+            return None; // single run, caller uses vector length
+        }
+        if self.step_num >= self.step_den {
+            // Values advance at least every step: with an integral step the
+            // runs have length 1 (cap only makes values cycle, runs stay 1
+            // as long as cap > 1).
+            if self.step_num % self.step_den == 0 {
+                if self.cap == Some(1) {
+                    return None; // everything collapses to one value
+                }
+                return Some(1);
+            }
+            return None;
+        }
+        // Fractional step < 1: exact run length only for numerator 1.
+        if self.step_num == 1 {
+            Some(self.step_den)
+        } else {
+            None
+        }
+    }
+
+    /// Whether every slot holds the same value (a single global run).
+    pub fn is_single_run(&self) -> bool {
+        self.step_num == 0 || self.cap == Some(1)
+    }
+
+    /// Number of runs when folding a vector of `len` slots on this attribute.
+    pub fn run_count(&self, len: usize) -> Option<usize> {
+        if len == 0 {
+            return Some(0);
+        }
+        if self.is_single_run() {
+            return Some(1);
+        }
+        self.run_length().map(|rl| (len as i64 + rl - 1).div_euclid(rl) as usize)
+    }
+
+    /// Materialize the closed form (used by differential tests and the
+    /// interpreter when a control vector *is* observed).
+    pub fn materialize(&self, len: usize) -> Vec<i64> {
+        (0..len).map(|i| self.value_at(i)).collect()
+    }
+
+    /// The closed form at `i`, as a scalar (always `I64`).
+    pub fn scalar_at(&self, i: usize) -> ScalarValue {
+        ScalarValue::I64(self.value_at(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_closed_form() {
+        let m = RunMeta::range(5, 2);
+        assert_eq!(m.materialize(4), vec![5, 7, 9, 11]);
+        assert_eq!(m.run_length(), Some(1));
+    }
+
+    #[test]
+    fn divide_makes_partitions() {
+        // Figure 3: ids / partitionSize → runs of partitionSize.
+        let ids = RunMeta::range(0, 1);
+        let parts = ids.divide(4).unwrap();
+        assert_eq!(parts.materialize(10), vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+        assert_eq!(parts.run_length(), Some(4));
+        assert_eq!(parts.run_count(10), Some(3));
+    }
+
+    #[test]
+    fn modulo_makes_lanes() {
+        // Figure 4: ids % laneCount → circular lane ids.
+        let ids = RunMeta::range(0, 1);
+        let lanes = ids.modulo(2).unwrap();
+        assert_eq!(lanes.materialize(6), vec![0, 1, 0, 1, 0, 1]);
+        assert_eq!(lanes.run_length(), Some(1));
+    }
+
+    #[test]
+    fn constant_is_single_run() {
+        let c = RunMeta::constant(0);
+        assert!(c.is_single_run());
+        assert_eq!(c.run_count(100), Some(1));
+        assert_eq!(c.materialize(3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn nested_divide() {
+        let m = RunMeta::range(0, 1).divide(4).unwrap().divide(2).unwrap();
+        assert_eq!(m.run_length(), Some(8));
+        assert_eq!(m.value_at(15), 1);
+    }
+
+    #[test]
+    fn divide_rejects_inexact() {
+        let capped = RunMeta::range(0, 1).modulo(3).unwrap();
+        assert!(capped.divide(2).is_none());
+        let offset = RunMeta::range(1, 1);
+        assert!(offset.divide(2).is_none());
+    }
+
+    #[test]
+    fn closed_form_matches_naive() {
+        let m = RunMeta { from: 3, step_num: 1, step_den: 4, cap: Some(5) };
+        for i in 0..100usize {
+            let naive = 3 + ((i as i64) / 4).rem_euclid(5);
+            assert_eq!(m.value_at(i), naive, "at {i}");
+        }
+    }
+
+    #[test]
+    fn multiply_and_add() {
+        let m = RunMeta::range(1, 2).multiply(3).unwrap().add(4).unwrap();
+        assert_eq!(m.materialize(3), vec![7, 13, 19]);
+    }
+}

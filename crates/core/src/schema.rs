@@ -1,0 +1,176 @@
+//! Schemas of structured vectors.
+//!
+//! A structured vector's schema is the ordered list of its *leaf* fields.
+//! Nesting (paper §2.1: "we allow data items to contain (nest) other
+//! structured data items") is represented by dotted keypaths, so the nested
+//! struct `{fold, input: {value}}` flattens to `[.fold, .input.value]`.
+
+use crate::error::{Result, VoodooError};
+use crate::keypath::KeyPath;
+use crate::scalar::ScalarType;
+
+/// An ordered, flattened schema: leaf keypaths with their scalar types.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<(KeyPath, ScalarType)>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn empty() -> Self {
+        Schema { fields: Vec::new() }
+    }
+
+    /// A single-field schema.
+    pub fn single(kp: impl Into<KeyPath>, ty: ScalarType) -> Self {
+        Schema { fields: vec![(kp.into(), ty)] }
+    }
+
+    /// Build from a field list; duplicate keypaths keep the last definition.
+    pub fn from_fields(fields: Vec<(KeyPath, ScalarType)>) -> Self {
+        let mut s = Schema::empty();
+        for (kp, ty) in fields {
+            s.upsert(kp, ty);
+        }
+        s
+    }
+
+    /// Number of leaf fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterate over `(keypath, type)` pairs in field order.
+    pub fn iter(&self) -> impl Iterator<Item = &(KeyPath, ScalarType)> {
+        self.fields.iter()
+    }
+
+    /// Position of an exact leaf field.
+    pub fn index_of(&self, kp: &KeyPath) -> Option<usize> {
+        self.fields.iter().position(|(f, _)| f == kp)
+    }
+
+    /// Type of an exact leaf field.
+    pub fn field_type(&self, kp: &KeyPath) -> Option<ScalarType> {
+        self.fields.iter().find(|(f, _)| f == kp).map(|(_, t)| *t)
+    }
+
+    /// Resolve a keypath that may address a leaf *or* a subtree.
+    ///
+    /// Returns the matching leaves as `(relative_path, type)` pairs, where
+    /// `relative_path` is the remainder below `kp` (root for an exact leaf
+    /// match). Errors if nothing matches.
+    pub fn resolve(&self, kp: &KeyPath, context: &str) -> Result<Vec<(KeyPath, ScalarType)>> {
+        let matches: Vec<_> = self
+            .fields
+            .iter()
+            .filter(|(f, _)| f.starts_with(kp))
+            .map(|(f, t)| (f.strip_prefix(kp).expect("starts_with checked"), *t))
+            .collect();
+        if matches.is_empty() {
+            Err(VoodooError::UnknownKeyPath { keypath: kp.clone(), context: context.to_string() })
+        } else {
+            Ok(matches)
+        }
+    }
+
+    /// Insert or replace a leaf field (replacement keeps position).
+    pub fn upsert(&mut self, kp: KeyPath, ty: ScalarType) {
+        if let Some(i) = self.index_of(&kp) {
+            self.fields[i].1 = ty;
+        } else {
+            self.fields.push((kp, ty));
+        }
+    }
+
+    /// The schema of the subtree below `kp`, re-rooted at `out`.
+    ///
+    /// `Project(.out, V, .kp)` produces `V`'s subtree under `.kp` renamed to
+    /// live under `.out`.
+    pub fn project(&self, kp: &KeyPath, out: &KeyPath, context: &str) -> Result<Schema> {
+        let leaves = self.resolve(kp, context)?;
+        Ok(Schema::from_fields(
+            leaves.into_iter().map(|(rel, ty)| (out.child(&rel.to_string()), ty)).collect(),
+        ))
+    }
+
+    /// Concatenate two schemas (fields of `other` appended; duplicates of
+    /// existing keypaths are replaced).
+    pub fn merged(&self, other: &Schema) -> Schema {
+        let mut s = self.clone();
+        for (kp, ty) in &other.fields {
+            s.upsert(kp.clone(), *ty);
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for Schema {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, (kp, ty)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{kp}: {ty:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nested() -> Schema {
+        Schema::from_fields(vec![
+            (KeyPath::new(".fold"), ScalarType::I64),
+            (KeyPath::new(".input.value"), ScalarType::F32),
+            (KeyPath::new(".input.flag"), ScalarType::Bool),
+        ])
+    }
+
+    #[test]
+    fn resolve_leaf_and_subtree() {
+        let s = nested();
+        let leaf = s.resolve(&KeyPath::new(".fold"), "t").unwrap();
+        assert_eq!(leaf, vec![(KeyPath::root(), ScalarType::I64)]);
+
+        let sub = s.resolve(&KeyPath::new(".input"), "t").unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub[0], (KeyPath::new("value"), ScalarType::F32));
+
+        assert!(s.resolve(&KeyPath::new(".nope"), "t").is_err());
+    }
+
+    #[test]
+    fn project_renames_subtree() {
+        let s = nested();
+        let p = s.project(&KeyPath::new(".input"), &KeyPath::new(".out"), "t").unwrap();
+        assert_eq!(p.field_type(&KeyPath::new(".out.value")), Some(ScalarType::F32));
+        assert_eq!(p.field_type(&KeyPath::new(".out.flag")), Some(ScalarType::Bool));
+
+        let leaf = s.project(&KeyPath::new(".fold"), &KeyPath::new(".f"), "t").unwrap();
+        assert_eq!(leaf.field_type(&KeyPath::new(".f")), Some(ScalarType::I64));
+    }
+
+    #[test]
+    fn upsert_replaces_in_place() {
+        let mut s = nested();
+        s.upsert(KeyPath::new(".fold"), ScalarType::I32);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of(&KeyPath::new(".fold")), Some(0));
+        assert_eq!(s.field_type(&KeyPath::new(".fold")), Some(ScalarType::I32));
+    }
+
+    #[test]
+    fn merged_appends() {
+        let s = Schema::single(".a", ScalarType::I32).merged(&Schema::single(".b", ScalarType::F64));
+        assert_eq!(s.len(), 2);
+    }
+}

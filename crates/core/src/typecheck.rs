@@ -1,0 +1,481 @@
+//! Static shape and type inference for Voodoo programs.
+//!
+//! Because Voodoo programs are deterministic and free of runtime control
+//! flow, the schema *and length* of every intermediate vector is known
+//! before execution (given the catalog — paper footnote 1). The inference
+//! also propagates [`RunMeta`] for generated (control) attributes, which is
+//! what lets the compiler derive fold extents and intents without ever
+//! materializing the control vectors.
+
+use std::collections::HashMap;
+
+use crate::error::{Result, VoodooError};
+use crate::keypath::KeyPath;
+use crate::ops::{AggKind, BinOp, Op, SizeSpec};
+use crate::program::{Program, VRef};
+use crate::runmeta::RunMeta;
+use crate::scalar::ScalarType;
+use crate::schema::Schema;
+use crate::TableProvider;
+
+/// Inferred static information about one statement's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeInfo {
+    /// Flattened output schema.
+    pub schema: Schema,
+    /// Output length (slots).
+    pub len: usize,
+    /// Closed-form metadata for generated attributes, keyed by keypath.
+    pub meta: HashMap<KeyPath, RunMeta>,
+}
+
+impl ShapeInfo {
+    fn new(schema: Schema, len: usize) -> ShapeInfo {
+        ShapeInfo { schema, len, meta: HashMap::new() }
+    }
+
+    /// Metadata of an attribute, if statically known.
+    pub fn meta_of(&self, kp: &KeyPath) -> Option<&RunMeta> {
+        self.meta.get(kp)
+    }
+}
+
+/// How a fold's control attribute partitions the input (paper §3.1.1's
+/// three cases, plus the dynamic fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FoldRuns {
+    /// No control attribute or constant control: one global run
+    /// (extent 1, intent n — fully sequential).
+    SingleRun,
+    /// Statically known uniform run length `l` (extent n/l, intent l).
+    /// `l == 1` means the fold is fully data-parallel.
+    Uniform(usize),
+    /// Run boundaries only discoverable at runtime.
+    Dynamic,
+}
+
+/// The result of inference: one [`ShapeInfo`] per statement.
+#[derive(Debug, Clone)]
+pub struct Shapes {
+    infos: Vec<ShapeInfo>,
+}
+
+impl Shapes {
+    /// Shape of one statement's result.
+    pub fn of(&self, v: VRef) -> &ShapeInfo {
+        &self.infos[v.index()]
+    }
+
+    /// All shapes, aligned with the program's statements.
+    pub fn all(&self) -> &[ShapeInfo] {
+        &self.infos
+    }
+
+    /// Classify a fold statement's runs (see [`FoldRuns`]).
+    pub fn fold_runs(&self, program: &Program, v: VRef) -> FoldRuns {
+        let (input, fold_kp) = match &program.stmt(v).op {
+            Op::FoldSelect { v, fold_kp, .. }
+            | Op::FoldAgg { v, fold_kp, .. }
+            | Op::FoldScan { v, fold_kp, .. } => (*v, fold_kp.clone()),
+            _ => return FoldRuns::SingleRun,
+        };
+        let Some(fold_kp) = fold_kp else { return FoldRuns::SingleRun };
+        match self.of(input).meta_of(&fold_kp) {
+            Some(m) if m.is_single_run() => FoldRuns::SingleRun,
+            Some(m) => match m.run_length() {
+                Some(l) => FoldRuns::Uniform(l as usize),
+                None => FoldRuns::Dynamic,
+            },
+            None => FoldRuns::Dynamic,
+        }
+    }
+}
+
+/// Infer shapes for a validated program against a catalog.
+pub fn infer(program: &Program, provider: &dyn TableProvider) -> Result<Shapes> {
+    program.validate()?;
+    let mut infos: Vec<ShapeInfo> = Vec::with_capacity(program.len());
+    for (i, stmt) in program.stmts().iter().enumerate() {
+        let info = infer_stmt(program, &infos, i, &stmt.op, provider)?;
+        infos.push(info);
+    }
+    Ok(Shapes { infos })
+}
+
+/// Broadcast-aware combined length (paper: "The size of the output of these
+/// operators is the size of the smaller input"; length-1 vectors broadcast).
+fn combine_len(l: usize, r: usize) -> usize {
+    if l == 1 {
+        r
+    } else if r == 1 {
+        l
+    } else {
+        l.min(r)
+    }
+}
+
+fn infer_stmt(
+    _program: &Program,
+    done: &[ShapeInfo],
+    idx: usize,
+    op: &Op,
+    provider: &dyn TableProvider,
+) -> Result<ShapeInfo> {
+    let ctx = |name: &str| format!("%{idx} {name}");
+    match op {
+        Op::Load { name } => {
+            let schema = provider
+                .table_schema(name)
+                .ok_or_else(|| VoodooError::UnknownTable(name.clone()))?;
+            let len = provider
+                .table_len(name)
+                .ok_or_else(|| VoodooError::UnknownTable(name.clone()))?;
+            Ok(ShapeInfo::new(schema, len))
+        }
+        Op::Persist { v, .. } => {
+            let src = &done[v.index()];
+            Ok(ShapeInfo::new(src.schema.clone(), src.len))
+        }
+        Op::Constant { out, value, like } => {
+            let len = match like {
+                Some(l) => done[l.index()].len,
+                None => 1,
+            };
+            let mut info = ShapeInfo::new(Schema::single(out.clone(), value.ty()), len);
+            if value.ty().is_integer() {
+                info.meta.insert(out.clone(), RunMeta::constant(value.as_i64()));
+            }
+            Ok(info)
+        }
+        Op::Binary { op: bop, out, lhs, lhs_kp, rhs, rhs_kp } => {
+            let l = &done[lhs.index()];
+            let r = &done[rhs.index()];
+            let lt = l
+                .schema
+                .field_type(lhs_kp)
+                .ok_or_else(|| VoodooError::UnknownKeyPath {
+                    keypath: lhs_kp.clone(),
+                    context: ctx("Binary lhs"),
+                })?;
+            let rt = r
+                .schema
+                .field_type(rhs_kp)
+                .ok_or_else(|| VoodooError::UnknownKeyPath {
+                    keypath: rhs_kp.clone(),
+                    context: ctx("Binary rhs"),
+                })?;
+            let ty = bop.result_type(lt, rt)?;
+            let len = combine_len(l.len, r.len);
+            let mut info = ShapeInfo::new(Schema::single(out.clone(), ty), len);
+            // Control-vector metadata algebra (paper §3.1.1): binary ops of
+            // a tracked attribute with a broadcast integer constant update
+            // the closed form.
+            if let (Some(lm), Some(rm)) = (l.meta_of(lhs_kp), r.meta_of(rhs_kp)) {
+                if r.len == 1 || rm.step_num == 0 {
+                    let c = rm.from;
+                    let derived = match bop {
+                        BinOp::Divide => lm.divide(c),
+                        BinOp::Modulo => lm.modulo(c),
+                        BinOp::Multiply => lm.multiply(c),
+                        BinOp::Add => lm.add(c),
+                        BinOp::Subtract => lm.add(-c),
+                        _ => None,
+                    };
+                    if let Some(m) = derived {
+                        info.meta.insert(out.clone(), m);
+                    }
+                }
+            }
+            Ok(info)
+        }
+        Op::Zip { out1, v1, kp1, out2, v2, kp2 } => {
+            let a = &done[v1.index()];
+            let b = &done[v2.index()];
+            let s1 = a.schema.project(kp1, out1, &ctx("Zip v1"))?;
+            let s2 = b.schema.project(kp2, out2, &ctx("Zip v2"))?;
+            let len = combine_len(a.len, b.len);
+            let mut info = ShapeInfo::new(s1.merged(&s2), len);
+            carry_meta(&mut info, a, kp1, out1);
+            carry_meta(&mut info, b, kp2, out2);
+            Ok(info)
+        }
+        Op::Project { out, v, kp } => {
+            let src = &done[v.index()];
+            let schema = src.schema.project(kp, out, &ctx("Project"))?;
+            let mut info = ShapeInfo::new(schema, src.len);
+            carry_meta(&mut info, src, kp, out);
+            Ok(info)
+        }
+        Op::Upsert { v, out, src, kp } => {
+            let base = &done[v.index()];
+            let other = &done[src.index()];
+            let ty = other
+                .schema
+                .field_type(kp)
+                .ok_or_else(|| VoodooError::UnknownKeyPath {
+                    keypath: kp.clone(),
+                    context: ctx("Upsert src"),
+                })?;
+            let mut schema = base.schema.clone();
+            schema.upsert(out.clone(), ty);
+            let mut info = ShapeInfo::new(schema, base.len);
+            info.meta = base.meta.clone();
+            info.meta.remove(out);
+            if let Some(m) = other.meta_of(kp) {
+                info.meta.insert(out.clone(), *m);
+            }
+            Ok(info)
+        }
+        Op::Scatter { values, size_like, positions, pos_kp, .. } => {
+            let vals = &done[values.index()];
+            let size = &done[size_like.index()];
+            let pos = &done[positions.index()];
+            pos.schema.field_type(pos_kp).ok_or_else(|| VoodooError::UnknownKeyPath {
+                keypath: pos_kp.clone(),
+                context: ctx("Scatter positions"),
+            })?;
+            Ok(ShapeInfo::new(vals.schema.clone(), size.len))
+        }
+        Op::Gather { source, positions, pos_kp } => {
+            let src = &done[source.index()];
+            let pos = &done[positions.index()];
+            pos.schema.field_type(pos_kp).ok_or_else(|| VoodooError::UnknownKeyPath {
+                keypath: pos_kp.clone(),
+                context: ctx("Gather positions"),
+            })?;
+            Ok(ShapeInfo::new(src.schema.clone(), pos.len))
+        }
+        Op::Materialize { v, .. } | Op::Break { v, .. } => {
+            let src = &done[v.index()];
+            let mut info = ShapeInfo::new(src.schema.clone(), src.len);
+            info.meta = src.meta.clone();
+            Ok(info)
+        }
+        Op::Partition { out, v, kp, pivots, pivot_kp } => {
+            let src = &done[v.index()];
+            src.schema.field_type(kp).ok_or_else(|| VoodooError::UnknownKeyPath {
+                keypath: kp.clone(),
+                context: ctx("Partition values"),
+            })?;
+            let piv = &done[pivots.index()];
+            piv.schema.field_type(pivot_kp).ok_or_else(|| VoodooError::UnknownKeyPath {
+                keypath: pivot_kp.clone(),
+                context: ctx("Partition pivots"),
+            })?;
+            Ok(ShapeInfo::new(Schema::single(out.clone(), ScalarType::I64), src.len))
+        }
+        Op::FoldSelect { out, v, fold_kp, sel_kp } => {
+            let src = &done[v.index()];
+            src.schema.field_type(sel_kp).ok_or_else(|| VoodooError::UnknownKeyPath {
+                keypath: sel_kp.clone(),
+                context: ctx("FoldSelect selector"),
+            })?;
+            check_fold_kp(src, fold_kp, &ctx("FoldSelect"))?;
+            Ok(ShapeInfo::new(Schema::single(out.clone(), ScalarType::I64), src.len))
+        }
+        Op::FoldAgg { agg, out, v, fold_kp, val_kp } => {
+            let src = &done[v.index()];
+            let vt = src.schema.field_type(val_kp).ok_or_else(|| VoodooError::UnknownKeyPath {
+                keypath: val_kp.clone(),
+                context: ctx("FoldAgg value"),
+            })?;
+            check_fold_kp(src, fold_kp, &ctx("FoldAgg"))?;
+            let ty = fold_output_type(*agg, vt);
+            Ok(ShapeInfo::new(Schema::single(out.clone(), ty), src.len))
+        }
+        Op::FoldScan { out, v, fold_kp, val_kp } => {
+            let src = &done[v.index()];
+            let vt = src.schema.field_type(val_kp).ok_or_else(|| VoodooError::UnknownKeyPath {
+                keypath: val_kp.clone(),
+                context: ctx("FoldScan value"),
+            })?;
+            check_fold_kp(src, fold_kp, &ctx("FoldScan"))?;
+            let ty = fold_output_type(AggKind::Sum, vt);
+            Ok(ShapeInfo::new(Schema::single(out.clone(), ty), src.len))
+        }
+        Op::Range { out, from, size, step } => {
+            let len = match size {
+                SizeSpec::Fixed(n) => *n,
+                SizeSpec::Like(v) => done[v.index()].len,
+            };
+            let mut info = ShapeInfo::new(Schema::single(out.clone(), ScalarType::I64), len);
+            info.meta.insert(out.clone(), RunMeta::range(*from, *step));
+            Ok(info)
+        }
+        Op::Cross { out1, v1, out2, v2 } => {
+            let a = &done[v1.index()];
+            let b = &done[v2.index()];
+            let len = a.len.checked_mul(b.len).ok_or_else(|| VoodooError::Backend(
+                "cross product size overflow".to_string(),
+            ))?;
+            let schema = Schema::from_fields(vec![
+                (out1.clone(), ScalarType::I64),
+                (out2.clone(), ScalarType::I64),
+            ]);
+            let mut info = ShapeInfo::new(schema, len);
+            // pos1 = i / |v2|, pos2 = i mod |v2| — both have closed forms.
+            if b.len > 0 {
+                if let Some(m) = RunMeta::range(0, 1).divide(b.len as i64) {
+                    info.meta.insert(out1.clone(), m);
+                }
+                if let Some(m) = RunMeta::range(0, 1).modulo(b.len as i64) {
+                    info.meta.insert(out2.clone(), m);
+                }
+            }
+            Ok(info)
+        }
+    }
+}
+
+/// Copy metadata from `src` attributes under `kp` to output names under `out`.
+fn carry_meta(info: &mut ShapeInfo, src: &ShapeInfo, kp: &KeyPath, out: &KeyPath) {
+    for (skp, m) in &src.meta {
+        if let Some(rel) = skp.strip_prefix(kp) {
+            info.meta.insert(out.child(&rel.to_string()), *m);
+        }
+    }
+}
+
+fn check_fold_kp(src: &ShapeInfo, fold_kp: &Option<KeyPath>, context: &str) -> Result<()> {
+    if let Some(kp) = fold_kp {
+        src.schema.field_type(kp).ok_or_else(|| VoodooError::UnknownKeyPath {
+            keypath: kp.clone(),
+            context: context.to_string(),
+        })?;
+    }
+    Ok(())
+}
+
+/// Output type of a fold aggregate: sums are accumulated wide (i64 / f64) to
+/// avoid overflow on large runs; min/max keep the input type.
+pub fn fold_output_type(agg: AggKind, input: ScalarType) -> ScalarType {
+    match agg {
+        AggKind::Sum => {
+            if input.is_float() {
+                ScalarType::F64
+            } else {
+                ScalarType::I64
+            }
+        }
+        AggKind::Min | AggKind::Max => input,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+
+    struct FakeCatalog;
+    impl TableProvider for FakeCatalog {
+        fn table_schema(&self, name: &str) -> Option<Schema> {
+            match name {
+                "input" => Some(Schema::single(".val", ScalarType::I64)),
+                "line" => Some(Schema::from_fields(vec![
+                    (KeyPath::new(".qty"), ScalarType::I64),
+                    (KeyPath::new(".price"), ScalarType::F64),
+                ])),
+                _ => None,
+            }
+        }
+        fn table_len(&self, name: &str) -> Option<usize> {
+            match name {
+                "input" => Some(8),
+                "line" => Some(100),
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_shapes() {
+        let mut p = Program::new();
+        let input = p.load("input");
+        let ids = p.range_like(0, input, 1);
+        let part = p.div_const(ids, 4);
+        let psum = p.fold_sum(part, input);
+        let total = p.fold_sum_global(psum);
+        p.ret(total);
+
+        let shapes = infer(&p, &FakeCatalog).unwrap();
+        assert_eq!(shapes.of(input).len, 8);
+        assert_eq!(shapes.of(ids).len, 8);
+        // Divide by a constant keeps length and derives run metadata.
+        assert_eq!(shapes.of(part).len, 8);
+        let m = shapes.of(part).meta_of(&KeyPath::val()).unwrap();
+        assert_eq!(m.run_length(), Some(4));
+        // The controlled fold sees uniform runs of 4.
+        assert_eq!(shapes.fold_runs(&p, psum), FoldRuns::Uniform(4));
+        // The global fold is a single run.
+        assert_eq!(shapes.fold_runs(&p, total), FoldRuns::SingleRun);
+        // Sum over i64 promotes to i64 (already wide).
+        assert_eq!(
+            shapes.of(total).schema.field_type(&KeyPath::val()),
+            Some(ScalarType::I64)
+        );
+    }
+
+    #[test]
+    fn simd_variant_runs_of_one() {
+        // Figure 4: Modulo instead of Divide.
+        let mut p = Program::new();
+        let input = p.load("input");
+        let ids = p.range_like(0, input, 1);
+        let lanes = p.mod_const(ids, 2);
+        let psum = p.fold_sum(lanes, input);
+        p.ret(psum);
+        let shapes = infer(&p, &FakeCatalog).unwrap();
+        assert_eq!(shapes.fold_runs(&p, psum), FoldRuns::Uniform(1));
+    }
+
+    #[test]
+    fn unknown_table_and_keypath() {
+        let mut p = Program::new();
+        let v = p.load("nope");
+        p.ret(v);
+        assert!(matches!(infer(&p, &FakeCatalog), Err(VoodooError::UnknownTable(_))));
+
+        let mut p2 = Program::new();
+        let v = p2.load("line");
+        let bad = p2.binary_kp(BinOp::Add, v, ".missing", v, ".qty", ".x");
+        p2.ret(bad);
+        assert!(matches!(infer(&p2, &FakeCatalog), Err(VoodooError::UnknownKeyPath { .. })));
+    }
+
+    #[test]
+    fn zip_broadcast_and_projection() {
+        let mut p = Program::new();
+        let line = p.load("line");
+        let q = p.project(line, ".qty", ".val");
+        let c = p.constant_like(7i64, line);
+        let z = p.zip_kp(".a", q, ".val", ".b", c, ".val");
+        p.ret(z);
+        let shapes = infer(&p, &FakeCatalog).unwrap();
+        assert_eq!(shapes.of(z).len, 100);
+        assert_eq!(shapes.of(z).schema.len(), 2);
+        // The constant's metadata travels through the zip.
+        assert!(shapes.of(z).meta_of(&KeyPath::new(".b")).unwrap().is_single_run());
+    }
+
+    #[test]
+    fn cross_shapes() {
+        let mut p = Program::new();
+        let a = p.range(0, 4, 1);
+        let b = p.range(0, 3, 1);
+        let x = p.cross(a, b);
+        p.ret(x);
+        let shapes = infer(&p, &FakeCatalog).unwrap();
+        assert_eq!(shapes.of(x).len, 12);
+        let m1 = shapes.of(x).meta_of(&KeyPath::new(".pos1")).unwrap();
+        assert_eq!(m1.materialize(12)[..7], [0, 0, 0, 1, 1, 1, 2]);
+        let m2 = shapes.of(x).meta_of(&KeyPath::new(".pos2")).unwrap();
+        assert_eq!(m2.materialize(12)[..7], [0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn fold_type_promotion() {
+        assert_eq!(fold_output_type(AggKind::Sum, ScalarType::I32), ScalarType::I64);
+        assert_eq!(fold_output_type(AggKind::Sum, ScalarType::F32), ScalarType::F64);
+        assert_eq!(fold_output_type(AggKind::Min, ScalarType::F32), ScalarType::F32);
+    }
+}

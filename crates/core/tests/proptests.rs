@@ -1,0 +1,91 @@
+//! Property-based tests on the core algebra's invariants.
+
+use proptest::prelude::*;
+use voodoo_core::{BinOp, RunMeta, ScalarType, ScalarValue};
+
+proptest! {
+    /// The metadata algebra is exact: deriving Divide/Modulo/Multiply/Add
+    /// on the closed form equals applying the operation to materialized
+    /// values.
+    #[test]
+    fn runmeta_algebra_matches_materialization(
+        from in -100i64..100,
+        step in 0i64..20,
+        len in 0usize..200,
+        div in 1i64..16,
+        mul in -8i64..8,
+        add in -50i64..50,
+        cap in 1i64..16,
+    ) {
+        let base = RunMeta::range(from, step);
+        let vals = base.materialize(len);
+
+        if let Some(m) = base.divide(div) {
+            let expect: Vec<i64> = vals.iter().map(|v| v.div_euclid(div)).collect();
+            // Integer division in the algebra truncates toward zero for
+            // non-negative operands; the closed form only claims exactness
+            // when from is a multiple of div, which divide() enforces.
+            let got = m.materialize(len);
+            for (g, e) in got.iter().zip(&expect) {
+                prop_assert_eq!(g, e);
+            }
+        }
+        if let Some(m) = base.modulo(cap) {
+            let expect: Vec<i64> = vals.iter().map(|v| v.rem_euclid(cap)).collect();
+            prop_assert_eq!(m.materialize(len), expect);
+        }
+        if let Some(m) = base.multiply(mul) {
+            let expect: Vec<i64> = vals.iter().map(|v| v * mul).collect();
+            prop_assert_eq!(m.materialize(len), expect);
+        }
+        if let Some(m) = base.add(add) {
+            let expect: Vec<i64> = vals.iter().map(|v| v + add).collect();
+            prop_assert_eq!(m.materialize(len), expect);
+        }
+    }
+
+    /// run_length / run_count agree with naive run detection on the
+    /// materialized control vector.
+    #[test]
+    fn runmeta_run_structure_is_exact(
+        step_den in 1i64..32,
+        len in 1usize..300,
+    ) {
+        let m = RunMeta { from: 0, step_num: 1, step_den, cap: None };
+        let vals = m.materialize(len);
+        let mut runs = 1usize;
+        for i in 1..len {
+            if vals[i] != vals[i - 1] {
+                runs += 1;
+            }
+        }
+        prop_assert_eq!(m.run_length(), Some(step_den));
+        prop_assert_eq!(m.run_count(len), Some(runs));
+    }
+
+    /// Comparison operators form a total, consistent order over mixed
+    /// numeric types.
+    #[test]
+    fn comparisons_are_consistent(a in -1000i64..1000, b in -1000i64..1000) {
+        let (x, y) = (ScalarValue::I64(a), ScalarValue::F64(b as f64));
+        let lt = BinOp::Less.eval(x, y).is_truthy();
+        let gt = BinOp::Greater.eval(x, y).is_truthy();
+        let eq = BinOp::Equals.eval(x, y).is_truthy();
+        prop_assert_eq!(lt as u8 + gt as u8 + eq as u8, 1, "exactly one of <,>,= holds");
+        prop_assert_eq!(BinOp::GreaterEquals.eval(x, y).is_truthy(), !lt);
+        prop_assert_eq!(BinOp::LessEquals.eval(x, y).is_truthy(), !gt);
+    }
+
+    /// Arithmetic promotion never changes the value class unexpectedly:
+    /// int ⊕ int stays integral, and casts round-trip through i64.
+    #[test]
+    fn promotion_and_casts(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        for op in [BinOp::Add, BinOp::Subtract, BinOp::Multiply] {
+            let r = op.eval(ScalarValue::I64(a), ScalarValue::I64(b));
+            prop_assert!(r.ty().is_integer());
+        }
+        let v = ScalarValue::I64(a);
+        prop_assert_eq!(v.cast(ScalarType::I64), v);
+        prop_assert_eq!(v.cast(ScalarType::F64).cast(ScalarType::I64), v);
+    }
+}

@@ -1,0 +1,442 @@
+//! # voodoo-gpusim — the simulated GPU device
+//!
+//! The paper runs its GPU experiments on a GeForce GTX TITAN X (§5.1). This
+//! crate substitutes that hardware with an **analytical cost model** over
+//! the architectural events counted by the compiled backend. Every GPU
+//! result in the paper is explained by a handful of architectural
+//! differences, all of which the model prices explicitly:
+//!
+//! * **No speculation** — GPUs "do not speculatively execute code" (§5.3),
+//!   so branches carry no misprediction penalty; instead, *divergent* warps
+//!   execute both sides of a branch in lockstep.
+//! * **High sequential bandwidth** (~300 GB/s) but **tiny per-core caches**
+//!   — random accesses "penalize ... earlier than on a CPU" (Figure 14c).
+//! * **Weak integer throughput** — "the sacrifice of integer arithmetic for
+//!   floating point performance" dominates the predicated-lookup variant
+//!   (Figure 16c).
+//! * **Massive parallelism with global barriers between kernels** —
+//!   sequential fragments and low-extent units cannot use the device.
+//!
+//! Programs are executed (for their *results*) by the CPU backend in
+//! event-counting mode; the resulting per-unit profiles are then priced by
+//! [`CostModel::price`] to produce simulated wall-clock time.
+
+pub mod transfer;
+
+use voodoo_compile::exec::{ExecOptions, Executor};
+use voodoo_compile::plan::CompiledProgram;
+use voodoo_compile::{Compiler, Device, EventProfile};
+use voodoo_core::{Program, Result};
+use voodoo_interp::ExecOutput;
+use voodoo_storage::Catalog;
+
+pub use transfer::Interconnect;
+
+/// Per-unit cost breakdown (seconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UnitCost {
+    /// ALU time (int + float + comparisons) at the unit's parallelism.
+    pub compute: f64,
+    /// Extra lockstep re-execution due to warp divergence (GPU) or branch
+    /// misprediction flushes (CPU).
+    pub divergence: f64,
+    /// Sequential memory traffic time.
+    pub seq_memory: f64,
+    /// Random access time (latency-bound, overlap-limited).
+    pub rand_memory: f64,
+    /// Kernel launch / global barrier overhead.
+    pub barrier: f64,
+}
+
+impl UnitCost {
+    /// Total unit time under a roofline combination: compute and memory
+    /// overlap, barriers and divergence do not.
+    pub fn total(&self) -> f64 {
+        (self.compute + self.divergence).max(self.seq_memory + self.rand_memory) + self.barrier
+    }
+}
+
+/// A priced execution.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Aggregate event profile.
+    pub profile: EventProfile,
+    /// Per-unit costs.
+    pub units: Vec<UnitCost>,
+    /// Total simulated seconds (including transfers when modeled).
+    pub seconds: f64,
+    /// Host→device input transfer seconds (0 unless an [`Interconnect`]
+    /// was configured; the paper's setup excludes this cost).
+    pub transfer_seconds: f64,
+}
+
+/// The analytical device cost model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// The device being modeled.
+    pub device: Device,
+}
+
+impl CostModel {
+    /// Cost model for a device description.
+    pub fn new(device: Device) -> CostModel {
+        CostModel { device }
+    }
+
+    /// The TITAN-X-class GPU of the paper's testbed.
+    pub fn titan_x() -> CostModel {
+        CostModel::new(Device::gpu_titan_x())
+    }
+
+    /// Price one unit's event profile.
+    pub fn price_unit(&self, p: &EventProfile) -> UnitCost {
+        let d = &self.device;
+        // Effective parallelism: the unit's exploitable parallelism (after
+        // hierarchical-reduction rewriting), bounded by the device.
+        let exploitable = if p.max_par > 0 { p.max_par } else { p.work_items.max(1) };
+        let par = (exploitable.max(1) as f64).min(d.parallelism as f64);
+        let alu = p.int_ops as f64 * d.int_op_cost
+            + p.cmp_ops as f64 * d.int_op_cost
+            + p.float_ops as f64 * d.float_op_cost;
+        let compute = alu / par;
+
+        // Branch handling differs fundamentally by device class:
+        //  * CPU: flips ≈ mispredictions, each costing a pipeline flush;
+        //  * GPU: mixed outcomes within a warp serialize both sides.
+        let divergence = if d.branch_prediction {
+            p.branch_flips as f64 * d.branch_penalty / (d.threads as f64)
+        } else if p.branches > 0 {
+            let flip_rate = p.branch_flips as f64 / p.branches as f64;
+            // Fraction of warps with mixed outcomes grows with flip rate
+            // and warp width, saturating at 1.
+            let divergent = (flip_rate * d.warp_width as f64).min(1.0);
+            // A divergent warp re-executes the guarded body (~4 ALU ops).
+            p.branches as f64 * divergent * 4.0 * d.int_op_cost / par
+        } else {
+            0.0
+        };
+
+        let seq_memory = (p.seq_read_bytes + p.write_bytes) as f64 / d.mem_bandwidth;
+
+        // Random accesses: if the working set fits the device cache they
+        // cost like sequential traffic; otherwise they are latency-bound,
+        // overlapped by the device's memory-level parallelism.
+        let rand_ops = (p.rand_reads + p.rand_writes) as f64;
+        let rand_memory = if p.rand_working_set <= d.cache_bytes as u64 {
+            rand_ops * 8.0 / d.mem_bandwidth
+        } else {
+            let mlp = par.min(d.parallelism as f64 / 4.0).max(1.0);
+            rand_ops * d.rand_access_latency / mlp + rand_ops * 64.0 / d.mem_bandwidth
+        };
+
+        let barrier = p.barriers as f64 * d.barrier_cost;
+        UnitCost { compute, divergence, seq_memory, rand_memory, barrier }
+    }
+
+    /// Price a full execution from per-unit profiles.
+    pub fn price(&self, unit_profiles: &[EventProfile]) -> SimReport {
+        let mut total = EventProfile::default();
+        let mut units = Vec::with_capacity(unit_profiles.len());
+        let mut seconds = 0.0;
+        for p in unit_profiles {
+            total.merge(p);
+            let c = self.price_unit(p);
+            seconds += c.total();
+            units.push(c);
+        }
+        SimReport { profile: total, units, seconds, transfer_seconds: 0.0 }
+    }
+}
+
+/// The simulated GPU: compiles, executes for results on the host, and
+/// prices the event trace with the device model.
+pub struct GpuSimulator {
+    model: CostModel,
+    predicated: bool,
+    interconnect: Option<Interconnect>,
+}
+
+impl GpuSimulator {
+    /// A TITAN-X-class simulator.
+    pub fn titan_x() -> GpuSimulator {
+        GpuSimulator { model: CostModel::titan_x(), predicated: false, interconnect: None }
+    }
+
+    /// A simulator over an arbitrary device model.
+    pub fn new(model: CostModel) -> GpuSimulator {
+        GpuSimulator { model, predicated: false, interconnect: None }
+    }
+
+    /// Enable predicated (branch-free) selection emission.
+    pub fn with_predication(mut self, predicated: bool) -> GpuSimulator {
+        self.predicated = predicated;
+        self
+    }
+
+    /// Charge host→device input transfers over the given interconnect.
+    ///
+    /// Off by default, matching the paper ("We do not address the PCI
+    /// bottleneck", §5.1, and "we only counted the execution time once
+    /// the data was loaded into their respective memories"). Turning it
+    /// on is the `ablate-pcie` experiment: it shows how much the paper's
+    /// setup favors discrete GPUs on single-pass scans.
+    pub fn with_interconnect(mut self, link: Interconnect) -> GpuSimulator {
+        self.interconnect = Some(link);
+        self
+    }
+
+    /// The underlying cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Calibrate the device model against one measured reference: scale
+    /// every priced parameter so the model predicts `measured_seconds`
+    /// for a workload it currently prices at `predicted_seconds`.
+    pub fn calibrated(mut self, measured_seconds: f64, predicted_seconds: f64) -> GpuSimulator {
+        if predicted_seconds > 0.0 && measured_seconds > 0.0 {
+            let factor = measured_seconds / predicted_seconds;
+            self.model = CostModel::new(self.model.device.time_scaled(factor));
+        }
+        self
+    }
+
+    /// Compile and run a program, returning results + simulated timing.
+    pub fn run(&self, program: &Program, catalog: &Catalog) -> Result<(ExecOutput, SimReport)> {
+        let cp = Compiler::new(catalog).compile(program)?;
+        let (out, mut report) = self.run_compiled(&cp, catalog)?;
+        if let Some(link) = self.interconnect {
+            report.transfer_seconds = link.transfer_seconds(transfer::input_bytes(program, catalog));
+            report.seconds += report.transfer_seconds;
+        }
+        Ok((out, report))
+    }
+
+    /// Run an already compiled program (no transfer accounting — the raw
+    /// program is needed to know which tables ship; use [`Self::run`]).
+    pub fn run_compiled(
+        &self,
+        cp: &CompiledProgram,
+        catalog: &Catalog,
+    ) -> Result<(ExecOutput, SimReport)> {
+        let exec = Executor::new(ExecOptions {
+            count_events: true,
+            predicated_select: self.predicated,
+            threads: 1,
+        });
+        let (out, _, unit_profiles) = exec.run_with_unit_profiles(cp, catalog)?;
+        Ok((out, self.model.price(&unit_profiles)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voodoo_core::Program;
+    use voodoo_storage::Catalog;
+
+    fn selection_program(n: i64, cutoff: i64) -> (Catalog, Program) {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("t", &(0..n).collect::<Vec<_>>());
+        let mut p = Program::new();
+        let t = p.load("t");
+        let pred = p.greater_const(t, cutoff);
+        let sel = p.fold_select_global(pred);
+        let vals = p.gather(t, sel);
+        let sum = p.fold_sum_global(vals);
+        p.ret(sum);
+        (cat, p)
+    }
+
+    #[test]
+    fn produces_results_and_positive_time() {
+        let (cat, p) = selection_program(10_000, 5_000);
+        let (out, report) = GpuSimulator::titan_x().run(&p, &cat).unwrap();
+        assert_eq!(
+            out.returns[0].value_at(0, &voodoo_core::KeyPath::val()),
+            Some(voodoo_core::ScalarValue::I64((5001..10_000).sum::<i64>()))
+        );
+        assert!(report.seconds > 0.0);
+        assert!(!report.units.is_empty());
+    }
+
+    #[test]
+    fn cpu_and_gpu_price_structures_differ() {
+        let (cat, p) = selection_program(100_000, 50_000);
+        let gpu = GpuSimulator::titan_x();
+        let (_, greport) = gpu.run(&p, &cat).unwrap();
+        let cpu_model = CostModel::new(Device::cpu_single_thread());
+        let cpu_unit = cpu_model.price_unit(&greport.profile);
+        let gpu_unit = gpu.model().price_unit(&greport.profile);
+        assert!(cpu_unit.total() > 0.0 && gpu_unit.total() > 0.0);
+    }
+
+    #[test]
+    fn sequential_units_cannot_use_the_gpu() {
+        let model = CostModel::titan_x();
+        let wide = EventProfile { int_ops: 1 << 20, work_items: 1 << 20, ..Default::default() };
+        let narrow = EventProfile { int_ops: 1 << 20, work_items: 1, ..Default::default() };
+        let tw = model.price_unit(&wide).total();
+        let tn = model.price_unit(&narrow).total();
+        assert!(tn > tw * 100.0, "sequential unit is far slower: {tn} vs {tw}");
+    }
+
+    #[test]
+    fn integer_ops_cost_more_than_float_on_gpu() {
+        let model = CostModel::titan_x();
+        let ints = EventProfile { int_ops: 1 << 20, work_items: 1 << 20, ..Default::default() };
+        let floats = EventProfile { float_ops: 1 << 20, work_items: 1 << 20, ..Default::default() };
+        assert!(model.price_unit(&ints).compute > model.price_unit(&floats).compute * 2.0);
+    }
+
+    #[test]
+    fn cached_random_access_is_cheap() {
+        let model = CostModel::titan_x();
+        let hot = EventProfile {
+            rand_reads: 1 << 20,
+            rand_working_set: 1 << 10, // fits even a GPU cache
+            work_items: 1 << 20,
+            ..Default::default()
+        };
+        let cold = EventProfile {
+            rand_reads: 1 << 20,
+            rand_working_set: 1 << 30,
+            work_items: 1 << 20,
+            ..Default::default()
+        };
+        let th = model.price_unit(&hot).rand_memory;
+        let tc = model.price_unit(&cold).rand_memory;
+        assert!(tc > th * 10.0, "cold random access far slower: {tc} vs {th}");
+    }
+
+    #[test]
+    fn divergence_scales_with_flip_rate() {
+        let model = CostModel::titan_x();
+        let uniform = EventProfile {
+            branches: 1 << 20,
+            branch_flips: 2,
+            work_items: 1 << 20,
+            ..Default::default()
+        };
+        let mixed = EventProfile {
+            branches: 1 << 20,
+            branch_flips: 1 << 19,
+            work_items: 1 << 20,
+            ..Default::default()
+        };
+        assert!(model.price_unit(&mixed).divergence > model.price_unit(&uniform).divergence * 10.0);
+    }
+
+    #[test]
+    fn cpu_pays_mispredictions_not_divergence() {
+        let cpu = CostModel::new(Device::cpu_single_thread());
+        let mixed = EventProfile {
+            branches: 1 << 20,
+            branch_flips: 1 << 19,
+            work_items: 1 << 20,
+            ..Default::default()
+        };
+        let sorted = EventProfile { branches: 1 << 20, branch_flips: 2, ..Default::default() };
+        assert!(cpu.price_unit(&mixed).divergence > cpu.price_unit(&sorted).divergence * 1000.0);
+    }
+
+    #[test]
+    fn transfer_accounting_is_off_by_default() {
+        let (cat, p) = selection_program(100_000, 50_000);
+        let (_, report) = GpuSimulator::titan_x().run(&p, &cat).unwrap();
+        assert_eq!(report.transfer_seconds, 0.0, "paper setup: no PCI cost");
+    }
+
+    #[test]
+    fn pcie_dominates_single_pass_scans() {
+        // The ablation the paper's exclusion hides: shipping a scan's
+        // input over PCIe 3.0 costs far more than consuming it at 300 GB/s.
+        let (cat, p) = selection_program(1_000_000, 500_000);
+        let bare = GpuSimulator::titan_x().run(&p, &cat).unwrap().1;
+        let shipped = GpuSimulator::titan_x()
+            .with_interconnect(Interconnect::pcie3_x16())
+            .run(&p, &cat)
+            .unwrap()
+            .1;
+        assert!(shipped.transfer_seconds > 0.0);
+        assert!(
+            shipped.transfer_seconds > bare.seconds,
+            "transfer ({}) should exceed kernel time ({})",
+            shipped.transfer_seconds,
+            bare.seconds
+        );
+        assert!((shipped.seconds - (bare.seconds + shipped.transfer_seconds)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_copy_interconnect_charges_nothing() {
+        let (cat, p) = selection_program(100_000, 50_000);
+        let bare = GpuSimulator::titan_x().run(&p, &cat).unwrap().1;
+        let zc = GpuSimulator::titan_x()
+            .with_interconnect(Interconnect::zero_copy())
+            .run(&p, &cat)
+            .unwrap()
+            .1;
+        assert_eq!(zc.transfer_seconds, 0.0);
+        assert!((zc.seconds - bare.seconds).abs() < 1e-15);
+    }
+
+    #[test]
+    fn calibration_scales_predictions() {
+        let (cat, p) = selection_program(100_000, 50_000);
+        let base = GpuSimulator::titan_x().run(&p, &cat).unwrap().1.seconds;
+        // Pretend a real device measured 3× the prediction.
+        let cal = GpuSimulator::titan_x().calibrated(3.0 * base, base);
+        let scaled = cal.run(&p, &cat).unwrap().1.seconds;
+        let ratio = scaled / base;
+        assert!((ratio - 3.0).abs() < 0.15, "calibrated ≈3× base, got {ratio}");
+    }
+
+    #[test]
+    fn calibration_ignores_degenerate_references() {
+        let sim = GpuSimulator::titan_x().calibrated(0.0, 1.0);
+        assert_eq!(sim.model().device.name, Device::gpu_titan_x().name);
+    }
+
+    #[test]
+    fn integrated_gpu_slower_on_scans_but_no_transfer_gap() {
+        // The discrete card wins on raw bandwidth; the integrated part
+        // wins once PCIe is charged — the classic co-processing tradeoff
+        // (Pirk et al., "Waste not..." is ref [22] of the paper).
+        let (cat, p) = selection_program(1_000_000, 500_000);
+        let discrete = GpuSimulator::titan_x()
+            .with_interconnect(Interconnect::pcie3_x16())
+            .run(&p, &cat)
+            .unwrap()
+            .1;
+        let integrated = GpuSimulator::new(CostModel::new(Device::gpu_integrated()))
+            .with_interconnect(Interconnect::zero_copy())
+            .run(&p, &cat)
+            .unwrap()
+            .1;
+        let discrete_bare = GpuSimulator::titan_x().run(&p, &cat).unwrap().1;
+        assert!(
+            integrated.seconds > discrete_bare.seconds,
+            "resident data: discrete wins on bandwidth"
+        );
+        assert!(
+            integrated.seconds < discrete.seconds,
+            "with shipping charged: integrated wins the single-pass scan"
+        );
+    }
+
+    #[test]
+    fn manycore_phi_sits_between_cpu_and_gpu_on_parallel_scans() {
+        let wide = EventProfile {
+            int_ops: 1 << 22,
+            work_items: 1 << 22,
+            seq_read_bytes: 8 << 22,
+            ..Default::default()
+        };
+        let cpu = CostModel::new(Device::cpu_multicore(8)).price_unit(&wide).total();
+        let phi = CostModel::new(Device::manycore_phi()).price_unit(&wide).total();
+        let gpu = CostModel::titan_x().price_unit(&wide).total();
+        assert!(phi < cpu, "64 weak cores beat 8 strong ones on embarrassing scans");
+        assert!(gpu < phi, "the GPU still wins on bandwidth+parallelism");
+    }
+}

@@ -1,0 +1,129 @@
+//! PCIe transfer modeling — the cost the paper deliberately excludes.
+//!
+//! §5.1: "We do not address the PCI bottleneck" — the paper's GPU numbers
+//! assume data already resident in device memory, and our default
+//! simulation honors that. This module makes the excluded cost *explicit*
+//! so the ablation benches can show what the exclusion hides: for
+//! bandwidth-bound scans, shipping the inputs over a ~12 GB/s PCIe 3.0
+//! x16 link costs many times the kernel time a 300 GB/s device needs to
+//! consume them, wiping out the GPU's advantage for single-pass queries.
+
+use voodoo_core::{Op, Program};
+use voodoo_storage::Catalog;
+
+/// A host↔device interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interconnect {
+    /// Sustained bandwidth, bytes/second.
+    pub bandwidth: f64,
+    /// Per-transfer setup latency, seconds.
+    pub latency: f64,
+}
+
+impl Interconnect {
+    /// PCIe 3.0 x16 (the paper-era link of a TITAN X): ~12 GB/s sustained.
+    pub fn pcie3_x16() -> Interconnect {
+        Interconnect { bandwidth: 12e9, latency: 10e-6 }
+    }
+
+    /// PCIe 4.0 x16: ~24 GB/s sustained.
+    pub fn pcie4_x16() -> Interconnect {
+        Interconnect { bandwidth: 24e9, latency: 10e-6 }
+    }
+
+    /// An integrated GPU's "transfer" — same physical memory, zero copy.
+    pub fn zero_copy() -> Interconnect {
+        Interconnect { bandwidth: f64::INFINITY, latency: 0.0 }
+    }
+
+    /// Seconds to ship `bytes` across the link (one transfer).
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// Total bytes of every table a program `Load`s, at the catalog's current
+/// cardinalities — the host→device shipment a discrete GPU needs before
+/// the first kernel can start.
+pub fn input_bytes(program: &Program, catalog: &Catalog) -> u64 {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut total = 0u64;
+    for stmt in program.stmts() {
+        if let Op::Load { name } = &stmt.op {
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            if let Some(table) = catalog.table(name) {
+                let row_bytes: usize =
+                    table.columns.iter().map(|c| c.data.ty().byte_width()).sum();
+                total += (table.len * row_bytes) as u64;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voodoo_core::Program;
+    use voodoo_storage::Catalog;
+
+    #[test]
+    fn transfer_time_is_latency_plus_bandwidth() {
+        let link = Interconnect::pcie3_x16();
+        let t = link.transfer_seconds(12_000_000_000);
+        assert!((t - (10e-6 + 1.0)).abs() < 1e-9, "1 GB/s-worth in ~1s");
+        assert_eq!(link.transfer_seconds(0), 0.0);
+    }
+
+    #[test]
+    fn zero_copy_is_free() {
+        let link = Interconnect::zero_copy();
+        assert_eq!(link.transfer_seconds(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn input_bytes_counts_each_table_once() {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("t", &(0..1000).collect::<Vec<_>>());
+        let mut p = Program::new();
+        let a = p.load("t");
+        let b = p.load("t"); // second load of the same table: not re-shipped
+        let s = p.add(a, b);
+        p.ret(s);
+        assert_eq!(input_bytes(&p, &cat), 8 * 1000);
+    }
+
+    #[test]
+    fn input_bytes_sums_all_columns() {
+        use voodoo_storage::{Table, TableColumn};
+        let mut cat = Catalog::in_memory();
+        let mut t = Table::new("wide");
+        t.add_column(TableColumn::from_buffer(
+            "a",
+            voodoo_core::Buffer::I64(vec![1, 2, 3, 4]),
+        ));
+        t.add_column(TableColumn::from_buffer(
+            "b",
+            voodoo_core::Buffer::I32(vec![1, 2, 3, 4]),
+        ));
+        cat.insert_table(t);
+        let mut p = Program::new();
+        let v = p.load("wide");
+        p.ret(v);
+        assert_eq!(input_bytes(&p, &cat), (8 + 4) * 4);
+    }
+
+    #[test]
+    fn missing_table_contributes_nothing() {
+        let cat = Catalog::in_memory();
+        let mut p = Program::new();
+        let v = p.load("ghost");
+        p.ret(v);
+        assert_eq!(input_bytes(&p, &cat), 0);
+    }
+}

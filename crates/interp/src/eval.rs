@@ -1,0 +1,452 @@
+//! Statement-at-a-time evaluation of Voodoo programs.
+
+use voodoo_core::typecheck::fold_output_type;
+use voodoo_core::{
+    AggKind, BinOp, Column, KeyPath, Op, Program, Result, ScalarType, ScalarValue,
+    SizeSpec, StructuredVector, VRef, VoodooError,
+};
+use voodoo_storage::Catalog;
+
+/// The outputs of running a program: the `ret` results plus any vectors the
+/// program asked to `Persist`.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOutput {
+    /// One vector per `Program::ret`, in order.
+    pub returns: Vec<StructuredVector>,
+    /// `(name, vector)` pairs from `Persist` statements, in program order.
+    pub persisted: Vec<(String, StructuredVector)>,
+}
+
+impl ExecOutput {
+    /// The sole return value (panics if there is not exactly one).
+    pub fn sole(self) -> StructuredVector {
+        assert_eq!(self.returns.len(), 1, "program has {} returns", self.returns.len());
+        self.returns.into_iter().next().unwrap()
+    }
+}
+
+/// The reference interpreter: a classic bulk processor.
+pub struct Interpreter<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Create an interpreter over a catalog.
+    pub fn new(catalog: &'a Catalog) -> Interpreter<'a> {
+        Interpreter { catalog }
+    }
+
+    /// Run a program and return its sole return value.
+    pub fn run(&self, program: &Program) -> Result<StructuredVector> {
+        Ok(self.run_program(program)?.sole())
+    }
+
+    /// Run a program, materializing every intermediate.
+    pub fn run_program(&self, program: &Program) -> Result<ExecOutput> {
+        program.validate()?;
+        let mut values: Vec<StructuredVector> = Vec::with_capacity(program.len());
+        let mut persisted = Vec::new();
+        for (i, stmt) in program.stmts().iter().enumerate() {
+            let v = self.eval(&stmt.op, &values, i)?;
+            if let Op::Persist { name, .. } = &stmt.op {
+                persisted.push((name.clone(), v.clone()));
+            }
+            values.push(v);
+        }
+        let returns = program.returns().iter().map(|r| values[r.index()].clone()).collect();
+        Ok(ExecOutput { returns, persisted })
+    }
+
+    /// Run and also expose every intermediate (debugging aid — the whole
+    /// point of the reference backend).
+    pub fn run_with_intermediates(
+        &self,
+        program: &Program,
+    ) -> Result<(ExecOutput, Vec<StructuredVector>)> {
+        program.validate()?;
+        let mut values: Vec<StructuredVector> = Vec::with_capacity(program.len());
+        let mut persisted = Vec::new();
+        for (i, stmt) in program.stmts().iter().enumerate() {
+            let v = self.eval(&stmt.op, &values, i)?;
+            if let Op::Persist { name, .. } = &stmt.op {
+                persisted.push((name.clone(), v.clone()));
+            }
+            values.push(v);
+        }
+        let returns = program.returns().iter().map(|r| values[r.index()].clone()).collect();
+        Ok((ExecOutput { returns, persisted }, values))
+    }
+
+    fn eval(&self, op: &Op, vals: &[StructuredVector], idx: usize) -> Result<StructuredVector> {
+        let ctx = |what: &str| format!("%{idx} {what}");
+        let get = |v: VRef| &vals[v.index()];
+        match op {
+            Op::Load { name } => self
+                .catalog
+                .load_vector(name)
+                .ok_or_else(|| VoodooError::UnknownTable(name.clone())),
+            Op::Persist { v, .. } => Ok(get(*v).clone()),
+            Op::Constant { out, value, like } => {
+                let len = like.map(|l| get(l).len()).unwrap_or(1);
+                let mut col = Column::empties(value.ty(), len);
+                for i in 0..len {
+                    col.set(i, *value);
+                }
+                Ok(StructuredVector::from_column(out.clone(), col))
+            }
+            Op::Binary { op: bop, out, lhs, lhs_kp, rhs, rhs_kp } => {
+                eval_binary(*bop, out, get(*lhs), lhs_kp, get(*rhs), rhs_kp, &ctx("Binary"))
+            }
+            Op::Zip { out1, v1, kp1, out2, v2, kp2 } => {
+                let a = get(*v1);
+                let b = get(*v2);
+                let len = combine_len(a.len(), b.len());
+                let mut out = StructuredVector::with_len(len);
+                copy_subtree(&mut out, a, kp1, out1, len, &ctx("Zip v1"))?;
+                copy_subtree(&mut out, b, kp2, out2, len, &ctx("Zip v2"))?;
+                Ok(out)
+            }
+            Op::Project { out, v, kp } => {
+                let src = get(*v);
+                let mut dst = StructuredVector::with_len(src.len());
+                copy_subtree(&mut dst, src, kp, out, src.len(), &ctx("Project"))?;
+                Ok(dst)
+            }
+            Op::Upsert { v, out, src, kp } => {
+                let base = get(*v);
+                let other = get(*src);
+                let src_col = other.column_req(kp, &ctx("Upsert src"))?;
+                let mut dst = base.clone();
+                let mut col = Column::empties(src_col.ty(), base.len());
+                for i in 0..base.len() {
+                    let j = if other.len() == 1 { 0 } else { i };
+                    if j < src_col.len() {
+                        if let Some(val) = src_col.get(j) {
+                            col.set(i, val);
+                        }
+                    }
+                }
+                dst.insert(out.clone(), col);
+                Ok(dst)
+            }
+            Op::Scatter { values, size_like, positions, pos_kp, .. } => {
+                let vals_v = get(*values);
+                let size_v = get(*size_like);
+                let pos_v = get(*positions);
+                let pos_col = pos_v.column_req(pos_kp, &ctx("Scatter positions"))?;
+                let out_len = size_v.len();
+                let mut out = StructuredVector::with_len(out_len);
+                // Pre-create ε columns with the value schema.
+                let mut cols: Vec<(KeyPath, Column)> = vals_v
+                    .fields()
+                    .map(|(kp, c)| (kp.clone(), Column::empties(c.ty(), out_len)))
+                    .collect();
+                let n = vals_v.len().min(pos_col.len());
+                for i in 0..n {
+                    let Some(p) = pos_col.get(i) else { continue };
+                    let p = p.as_i64();
+                    if p < 0 || p as usize >= out_len {
+                        continue;
+                    }
+                    for (fi, (_, src)) in vals_v.fields().enumerate() {
+                        match src.get(i) {
+                            Some(val) => cols[fi].1.set(p as usize, val),
+                            None => cols[fi].1.clear(p as usize),
+                        }
+                    }
+                }
+                for (kp, c) in cols {
+                    out.insert(kp, c);
+                }
+                Ok(out)
+            }
+            Op::Gather { source, positions, pos_kp } => {
+                let src = get(*source);
+                let pos_v = get(*positions);
+                let pos_col = pos_v.column_req(pos_kp, &ctx("Gather positions"))?;
+                let out_len = pos_v.len();
+                let mut out = StructuredVector::with_len(out_len);
+                for (kp, src_col) in src.fields() {
+                    let mut col = Column::empties(src_col.ty(), out_len);
+                    for i in 0..out_len {
+                        if let Some(p) = pos_col.get(i) {
+                            let p = p.as_i64();
+                            if p >= 0 && (p as usize) < src.len() {
+                                if let Some(val) = src_col.get(p as usize) {
+                                    col.set(i, val);
+                                }
+                            }
+                            // out of bounds → ε (paper Table 2)
+                        }
+                    }
+                    out.insert(kp.clone(), col);
+                }
+                Ok(out)
+            }
+            Op::Materialize { v, .. } | Op::Break { v, .. } => Ok(get(*v).clone()),
+            Op::Partition { out, v, kp, pivots, pivot_kp } => {
+                let src = get(*v);
+                let key = src.column_req(kp, &ctx("Partition values"))?;
+                let piv_v = get(*pivots);
+                let piv = piv_v.column_req(pivot_kp, &ctx("Partition pivots"))?;
+                let positions = partition_positions(key, piv);
+                Ok(StructuredVector::from_column(out.clone(), positions))
+            }
+            Op::FoldSelect { out, v, fold_kp, sel_kp } => {
+                let src = get(*v);
+                let sel = src.column_req(sel_kp, &ctx("FoldSelect selector"))?;
+                let runs = fold_runs(src, fold_kp, &ctx("FoldSelect"))?;
+                let mut col = Column::empties(ScalarType::I64, src.len());
+                for (s, e) in runs {
+                    let mut cursor = s;
+                    for i in s..e {
+                        if sel.get(i).map(|x| x.is_truthy()).unwrap_or(false) {
+                            col.set(cursor, ScalarValue::I64(i as i64));
+                            cursor += 1;
+                        }
+                    }
+                }
+                Ok(StructuredVector::from_column(out.clone(), col))
+            }
+            Op::FoldAgg { agg, out, v, fold_kp, val_kp } => {
+                let src = get(*v);
+                let val = src.column_req(val_kp, &ctx("FoldAgg value"))?;
+                let runs = fold_runs(src, fold_kp, &ctx("FoldAgg"))?;
+                let out_ty = fold_output_type(*agg, val.ty());
+                let mut col = Column::empties(out_ty, src.len());
+                for (s, e) in runs {
+                    let mut acc: Option<ScalarValue> = None;
+                    for i in s..e {
+                        if let Some(x) = val.get(i) {
+                            acc = Some(match acc {
+                                None => x.cast(out_ty),
+                                Some(a) => combine(*agg, a, x.cast(out_ty)),
+                            });
+                        }
+                    }
+                    if let Some(a) = acc {
+                        col.set(s, a);
+                    }
+                }
+                Ok(StructuredVector::from_column(out.clone(), col))
+            }
+            Op::FoldScan { out, v, fold_kp, val_kp } => {
+                let src = get(*v);
+                let val = src.column_req(val_kp, &ctx("FoldScan value"))?;
+                let runs = fold_runs(src, fold_kp, &ctx("FoldScan"))?;
+                let out_ty = fold_output_type(AggKind::Sum, val.ty());
+                let mut col = Column::empties(out_ty, src.len());
+                for (s, e) in runs {
+                    let mut acc: Option<ScalarValue> = None;
+                    for i in s..e {
+                        if let Some(x) = val.get(i) {
+                            let next = match acc {
+                                None => x.cast(out_ty),
+                                Some(a) => combine(AggKind::Sum, a, x.cast(out_ty)),
+                            };
+                            acc = Some(next);
+                            col.set(i, next);
+                        }
+                        // ε input → ε output, accumulator carries over
+                    }
+                }
+                Ok(StructuredVector::from_column(out.clone(), col))
+            }
+            Op::Range { out, from, size, step } => {
+                let len = match size {
+                    SizeSpec::Fixed(n) => *n,
+                    SizeSpec::Like(v) => get(*v).len(),
+                };
+                let mut col = Column::empties(ScalarType::I64, len);
+                for i in 0..len {
+                    col.set(i, ScalarValue::I64(from + (i as i64) * step));
+                }
+                Ok(StructuredVector::from_column(out.clone(), col))
+            }
+            Op::Cross { out1, v1, out2, v2 } => {
+                let (n1, n2) = (get(*v1).len(), get(*v2).len());
+                let len = n1 * n2;
+                let mut c1 = Column::empties(ScalarType::I64, len);
+                let mut c2 = Column::empties(ScalarType::I64, len);
+                for i in 0..n1 {
+                    for j in 0..n2 {
+                        let k = i * n2 + j;
+                        c1.set(k, ScalarValue::I64(i as i64));
+                        c2.set(k, ScalarValue::I64(j as i64));
+                    }
+                }
+                let mut out = StructuredVector::with_len(len);
+                out.insert(out1.clone(), c1);
+                out.insert(out2.clone(), c2);
+                Ok(out)
+            }
+        }
+    }
+}
+
+fn combine_len(l: usize, r: usize) -> usize {
+    if l == 1 {
+        r
+    } else if r == 1 {
+        l
+    } else {
+        l.min(r)
+    }
+}
+
+fn eval_binary(
+    bop: BinOp,
+    out: &KeyPath,
+    lhs: &StructuredVector,
+    lhs_kp: &KeyPath,
+    rhs: &StructuredVector,
+    rhs_kp: &KeyPath,
+    ctx: &str,
+) -> Result<StructuredVector> {
+    let lcol = lhs.column_req(lhs_kp, ctx)?;
+    let rcol = rhs.column_req(rhs_kp, ctx)?;
+    let ty = bop.result_type(lcol.ty(), rcol.ty())?;
+    let len = combine_len(lhs.len(), rhs.len());
+    let mut col = Column::empties(ty, len);
+    let lbroadcast = lhs.len() == 1;
+    let rbroadcast = rhs.len() == 1;
+    for i in 0..len {
+        let a = lcol.get(if lbroadcast { 0 } else { i });
+        let b = rcol.get(if rbroadcast { 0 } else { i });
+        if let (Some(a), Some(b)) = (a, b) {
+            col.set(i, bop.eval(a, b).cast(ty));
+        }
+        // ε propagates (paper §2.1: empty field values)
+    }
+    Ok(StructuredVector::from_column(out.clone(), col))
+}
+
+/// Copy the subtree of `src` under `kp`, re-rooted at `out`, into `dst`
+/// (truncating or broadcasting to `len`).
+fn copy_subtree(
+    dst: &mut StructuredVector,
+    src: &StructuredVector,
+    kp: &KeyPath,
+    out: &KeyPath,
+    len: usize,
+    ctx: &str,
+) -> Result<()> {
+    let broadcast = src.len() == 1 && len > 1;
+    for (rel, col) in src.subtree(kp, ctx)? {
+        let name = out.child(&rel.to_string());
+        let copied = if broadcast {
+            let mut c = Column::empties(col.ty(), len);
+            if let Some(v) = col.get(0) {
+                for i in 0..len {
+                    c.set(i, v);
+                }
+            }
+            c
+        } else if col.len() == len {
+            col.clone()
+        } else {
+            let mut c = Column::empties(col.ty(), len);
+            for i in 0..len.min(col.len()) {
+                if let Some(v) = col.get(i) {
+                    c.set(i, v);
+                }
+            }
+            c
+        };
+        dst.insert(name, copied);
+    }
+    Ok(())
+}
+
+/// Maximal runs of equal control values; `None` control = one global run.
+///
+/// ε control slots are treated as their own value (adjacent ε slots form a
+/// run), which keeps run detection total.
+pub fn fold_runs(
+    src: &StructuredVector,
+    fold_kp: &Option<KeyPath>,
+    ctx: &str,
+) -> Result<Vec<(usize, usize)>> {
+    let len = src.len();
+    if len == 0 {
+        return Ok(vec![]);
+    }
+    let Some(kp) = fold_kp else {
+        return Ok(vec![(0, len)]);
+    };
+    let ctrl = src.column_req(kp, ctx)?;
+    let mut runs = Vec::new();
+    let mut start = 0usize;
+    let mut current = ctrl.get(0);
+    for i in 1..len {
+        let v = ctrl.get(i);
+        if v != current {
+            runs.push((start, i));
+            start = i;
+            current = v;
+        }
+    }
+    runs.push((start, len));
+    Ok(runs)
+}
+
+/// Combine two values under an aggregation kind (same type).
+pub fn combine(agg: AggKind, a: ScalarValue, b: ScalarValue) -> ScalarValue {
+    match agg {
+        AggKind::Sum => BinOp::Add.eval(a, b),
+        AggKind::Min => {
+            if BinOp::LessEquals.eval(a, b).is_truthy() {
+                a
+            } else {
+                b
+            }
+        }
+        AggKind::Max => {
+            if BinOp::GreaterEquals.eval(a, b).is_truthy() {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+/// Stable counting-sort positions bucketing `key` by the pivot list.
+///
+/// Bucket of `x` = number of pivots ≤ x, minus one, clamped to bucket 0 —
+/// so with pivots `0..card` (the Figure 10 idiom), key `k` lands in bucket
+/// `k`. ε keys land in bucket 0.
+pub fn partition_positions(key: &Column, pivots: &Column) -> Column {
+    let mut piv: Vec<i64> = pivots.present().map(|v| v.as_i64()).collect();
+    piv.sort_unstable();
+    let bucket_count = piv.len().max(1);
+    let bucket_of = |v: Option<ScalarValue>| -> usize {
+        match v {
+            None => 0,
+            Some(x) => {
+                let x = if x.ty().is_float() { x.as_f64().floor() as i64 } else { x.as_i64() };
+                let ub = piv.partition_point(|&p| p <= x);
+                ub.saturating_sub(1)
+            }
+        }
+    };
+    let n = key.len();
+    let mut counts = vec![0usize; bucket_count];
+    for i in 0..n {
+        counts[bucket_of(key.get(i))] += 1;
+    }
+    let mut starts = vec![0usize; bucket_count];
+    let mut acc = 0usize;
+    for (b, c) in counts.iter().enumerate() {
+        starts[b] = acc;
+        acc += c;
+    }
+    let mut cursors = starts;
+    let mut out = Column::empties(ScalarType::I64, n);
+    for i in 0..n {
+        let b = bucket_of(key.get(i));
+        out.set(i, ScalarValue::I64(cursors[b] as i64));
+        cursors[b] += 1;
+    }
+    out
+}

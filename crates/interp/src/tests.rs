@@ -1,0 +1,755 @@
+//! Interpreter semantics tests, including literal reproductions of the
+//! paper's worked figures.
+
+use voodoo_core::{
+    AggKind, BinOp, Buffer, Column, KeyPath, Program, ScalarType, ScalarValue,
+};
+use voodoo_storage::{Catalog, Table, TableColumn};
+
+use crate::Interpreter;
+
+fn kp(s: &str) -> KeyPath {
+    KeyPath::new(s)
+}
+
+fn i64s(col: &Column) -> Vec<Option<i64>> {
+    col.iter().map(|v| v.map(|x| x.as_i64())).collect()
+}
+
+/// Paper Figure 7: controlled fold over `.fold = [1,1,1,1,0,0,0,0]`,
+/// `.value = [2,0,4,1,3,1,5,0]` yields `.sum = [7,ε,ε,ε,9,ε,ε,ε]`.
+#[test]
+fn fold_figure7() {
+    let mut cat = Catalog::in_memory();
+    let mut t = Table::new("input");
+    t.add_column(TableColumn::from_buffer("fold", Buffer::I64(vec![1, 1, 1, 1, 0, 0, 0, 0])));
+    t.add_column(TableColumn::from_buffer("value", Buffer::I64(vec![2, 0, 4, 1, 3, 1, 5, 0])));
+    cat.insert_table(t);
+
+    let mut p = Program::new();
+    let input = p.load("input");
+    let sum = p.fold_agg_kp(AggKind::Sum, input, Some(kp(".fold")), kp(".value"), kp(".sum"));
+    p.ret(sum);
+
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    let col = out.column(&kp(".sum")).unwrap();
+    assert_eq!(
+        i64s(col),
+        vec![Some(7), None, None, None, Some(9), None, None, None]
+    );
+}
+
+/// Paper Figure 3: multithreaded hierarchical aggregation, including the
+/// explicit Partition/Scatter steps.
+#[test]
+fn figure3_hierarchical_aggregation() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("input", &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+
+    let mut p = Program::new();
+    let input = p.load("input");
+    let ids = p.range_like(0, input, 1);
+    let part_ids = p.div_const(ids, 4); // partitionSize := 4
+    let positions = p.partition(part_ids, kp(".val"), part_ids, kp(".val"));
+    let with_part = p.zip_kp(kp(".val"), input, kp(".val"), kp(".partition"), part_ids, kp(".val"));
+    let scattered = p.scatter(with_part, with_part, positions);
+    let psum =
+        p.fold_agg_kp(AggKind::Sum, scattered, Some(kp(".partition")), kp(".val"), kp(".val"));
+    let total = p.fold_sum_global(psum);
+    p.ret(total);
+
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    assert_eq!(out.value_at(0, &kp(".val")), Some(ScalarValue::I64(55)));
+}
+
+/// Paper Figure 4: two-line diff from Figure 3 — Modulo instead of Divide
+/// gives round-robin SIMD lanes; the total is unchanged.
+#[test]
+fn figure4_simd_variant() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("input", &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+
+    let mut p = Program::new();
+    let input = p.load("input");
+    let ids = p.range_like(0, input, 1);
+    let lane_ids = p.mod_const(ids, 2); // laneCount := 2
+    let positions = p.partition(lane_ids, kp(".val"), lane_ids, kp(".val"));
+    let with_lane = p.zip_kp(kp(".val"), input, kp(".val"), kp(".partition"), lane_ids, kp(".val"));
+    let scattered = p.scatter(with_lane, with_lane, positions);
+    let psum =
+        p.fold_agg_kp(AggKind::Sum, scattered, Some(kp(".partition")), kp(".val"), kp(".val"));
+    let total = p.fold_sum_global(psum);
+    p.ret(psum);
+    p.ret(total);
+
+    let out = Interpreter::new(&cat).run_program(&p).unwrap();
+    // Lane 0 gets 1+3+5+7+9 = 25, lane 1 gets 2+4+6+8+10 = 30.
+    let psums = &out.returns[0];
+    assert_eq!(psums.value_at(0, &kp(".val")), Some(ScalarValue::I64(25)));
+    assert_eq!(psums.value_at(5, &kp(".val")), Some(ScalarValue::I64(30)));
+    assert_eq!(out.returns[1].value_at(0, &kp(".val")), Some(ScalarValue::I64(55)));
+}
+
+/// FoldSelect output is aligned to run starts (paper Figure 9 semantics).
+#[test]
+fn fold_select_run_alignment() {
+    let mut cat = Catalog::in_memory();
+    let mut t = Table::new("t");
+    t.add_column(TableColumn::from_buffer("fold", Buffer::I64(vec![0, 0, 0, 0, 1, 1, 1, 1])));
+    t.add_column(TableColumn::from_buffer(
+        "v",
+        Buffer::I64(vec![1, 3, 7, 9, 4, 2, 1, 7]),
+    ));
+    cat.insert_table(t);
+
+    let mut p = Program::new();
+    let input = p.load("t");
+    let pred = p.binary_const(BinOp::Greater, input, kp(".v"), 6i64, kp(".p"));
+    let zipped = p.zip_merge(input, pred);
+    let sel = p.fold_select_kp(zipped, Some(kp(".fold")), kp(".p"), kp(".positions"));
+    p.ret(sel);
+
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    let col = out.column(&kp(".positions")).unwrap();
+    // Run 0 qualifies at 2,3 → written at slots 0,1; run 1 qualifies at 7 →
+    // written at slot 4 (start of the second run).
+    assert_eq!(
+        i64s(col),
+        vec![Some(2), Some(3), None, None, Some(7), None, None, None]
+    );
+}
+
+#[test]
+fn gather_out_of_bounds_gives_epsilon() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("src", &[10, 20, 30]);
+    cat.put_i64_column("pos", &[2, 5, 0, -1]);
+
+    let mut p = Program::new();
+    let src = p.load("src");
+    let pos = p.load("pos");
+    let g = p.gather(src, pos);
+    p.ret(g);
+
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    let col = out.column(&kp(".val")).unwrap();
+    assert_eq!(i64s(col), vec![Some(30), None, Some(10), None]);
+}
+
+#[test]
+fn scatter_overwrites_in_order() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("vals", &[1, 2, 3]);
+    cat.put_i64_column("pos", &[0, 0, 2]);
+    cat.put_i64_column("size4", &[0, 0, 0, 0]);
+
+    let mut p = Program::new();
+    let vals = p.load("vals");
+    let pos = p.load("pos");
+    let size = p.load("size4");
+    let s = p.scatter(vals, size, pos);
+    p.ret(s);
+
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    let col = out.column(&kp(".val")).unwrap();
+    // Values are overwritten on conflict, in order within the run (Table 2).
+    assert_eq!(i64s(col), vec![Some(2), None, Some(3), None]);
+}
+
+#[test]
+fn partition_is_stable_counting_sort() {
+    let key = Column::from_buffer(Buffer::I64(vec![2, 0, 1, 0, 2, 1]));
+    let piv = Column::from_buffer(Buffer::I64(vec![0, 1, 2]));
+    let pos = crate::eval::partition_positions(&key, &piv);
+    // Buckets: 0 → slots {1,3}, 1 → {2,5}, 2 → {0,4}; stable within bucket.
+    assert_eq!(
+        i64s(&pos),
+        vec![Some(4), Some(0), Some(2), Some(1), Some(5), Some(3)]
+    );
+}
+
+/// Figure 10 pattern: group-by via Partition + Scatter + controlled fold.
+#[test]
+fn grouped_aggregation_figure10() {
+    let mut cat = Catalog::in_memory();
+    let mut t = Table::new("lineitem");
+    t.add_column(TableColumn::from_buffer(
+        "l_returnflag",
+        Buffer::I64(vec![0, 1, 0, 2, 1, 0]),
+    ));
+    t.add_column(TableColumn::from_buffer(
+        "l_quantity",
+        Buffer::I64(vec![10, 20, 30, 40, 50, 60]),
+    ));
+    cat.insert_table(t);
+
+    let mut p = Program::new();
+    let li = p.load("lineitem");
+    let pivots = p.range(0, 3, 1); // $returnFlagCard = 3
+    let pos = p.partition(li, kp(".l_returnflag"), pivots, kp(".val"));
+    let scattered = p.scatter(li, li, pos);
+    let sums = p.fold_agg_kp(
+        AggKind::Sum,
+        scattered,
+        Some(kp(".l_returnflag")),
+        kp(".l_quantity"),
+        kp(".sum"),
+    );
+    p.ret(sums);
+
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    let col = out.column(&kp(".sum")).unwrap();
+    // Group 0 (rows 0,2,5): 100 at slot 0; group 1 (rows 1,4): 70 at slot 3;
+    // group 2 (row 3): 40 at slot 5.
+    assert_eq!(
+        i64s(col),
+        vec![Some(100), None, None, Some(70), None, Some(40)]
+    );
+}
+
+#[test]
+fn fold_scan_prefix_sums_per_run() {
+    let mut cat = Catalog::in_memory();
+    let mut t = Table::new("t");
+    t.add_column(TableColumn::from_buffer("fold", Buffer::I64(vec![0, 0, 0, 1, 1])));
+    t.add_column(TableColumn::from_buffer("v", Buffer::I64(vec![1, 2, 3, 4, 5])));
+    cat.insert_table(t);
+
+    let mut p = Program::new();
+    let input = p.load("t");
+    let scan = p.fold_scan_kp(input, Some(kp(".fold")), kp(".v"), kp(".scan"));
+    p.ret(scan);
+
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    let col = out.column(&kp(".scan")).unwrap();
+    assert_eq!(i64s(col), vec![Some(1), Some(3), Some(6), Some(4), Some(9)]);
+}
+
+#[test]
+fn fold_min_max_keep_type() {
+    let mut cat = Catalog::in_memory();
+    cat.put_f32_column("t", &[3.5, -1.25, 9.0]);
+
+    let mut p = Program::new();
+    let input = p.load("t");
+    let mn = p.fold_min_global(input);
+    let mx = p.fold_max_global(input);
+    p.ret(mn);
+    p.ret(mx);
+
+    let out = Interpreter::new(&cat).run_program(&p).unwrap();
+    assert_eq!(out.returns[0].value_at(0, &kp(".val")), Some(ScalarValue::F32(-1.25)));
+    assert_eq!(out.returns[1].value_at(0, &kp(".val")), Some(ScalarValue::F32(9.0)));
+}
+
+#[test]
+fn fold_sum_promotes_i32_to_i64() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i32_column("t", &[i32::MAX, 1]);
+
+    let mut p = Program::new();
+    let input = p.load("t");
+    let s = p.fold_sum_global(input);
+    p.ret(s);
+
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    assert_eq!(
+        out.value_at(0, &kp(".val")),
+        Some(ScalarValue::I64(i32::MAX as i64 + 1))
+    );
+}
+
+#[test]
+fn fold_count_macro() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("t", &[5, 5, 5, 5, 5]);
+
+    let mut p = Program::new();
+    let input = p.load("t");
+    let c = p.fold_count_kp(input, None);
+    p.ret(c);
+
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    assert_eq!(out.value_at(0, &kp(".val")), Some(ScalarValue::I64(5)));
+}
+
+#[test]
+fn cross_positions() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("a", &[7, 8]);
+    cat.put_i64_column("b", &[1, 2, 3]);
+
+    let mut p = Program::new();
+    let a = p.load("a");
+    let b = p.load("b");
+    let x = p.cross(a, b);
+    p.ret(x);
+
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    assert_eq!(out.len(), 6);
+    let p1 = out.column(&kp(".pos1")).unwrap();
+    let p2 = out.column(&kp(".pos2")).unwrap();
+    assert_eq!(i64s(p1), vec![Some(0), Some(0), Some(0), Some(1), Some(1), Some(1)]);
+    assert_eq!(i64s(p2), vec![Some(0), Some(1), Some(2), Some(0), Some(1), Some(2)]);
+}
+
+#[test]
+fn epsilon_propagates_through_arithmetic() {
+    let mut cat = Catalog::in_memory();
+    let mut t = Table::new("t");
+    let mut col = Column::empties(ScalarType::I64, 3);
+    col.set(0, ScalarValue::I64(1));
+    col.set(2, ScalarValue::I64(3));
+    let mut table_col = TableColumn::from_buffer("val", Buffer::I64(vec![0, 0, 0]));
+    table_col.data = col;
+    t.add_column(table_col);
+    cat.insert_table(t);
+
+    let mut p = Program::new();
+    let input = p.load("t");
+    let doubled = p.mul_const(input, 2i64);
+    p.ret(doubled);
+
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    let col = out.column(&kp(".val")).unwrap();
+    assert_eq!(i64s(col), vec![Some(2), None, Some(6)]);
+}
+
+#[test]
+fn upsert_replaces_attribute() {
+    let mut cat = Catalog::in_memory();
+    let mut t = Table::new("t");
+    t.add_column(TableColumn::from_buffer("a", Buffer::I64(vec![1, 2])));
+    t.add_column(TableColumn::from_buffer("b", Buffer::I64(vec![3, 4])));
+    cat.insert_table(t);
+
+    let mut p = Program::new();
+    let input = p.load("t");
+    let doubled = p.binary_const(BinOp::Multiply, input, kp(".a"), 10i64, kp(".val"));
+    let upserted = p.upsert(input, kp(".a"), doubled, kp(".val"));
+    p.ret(upserted);
+
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    assert_eq!(out.value_at(0, &kp(".a")), Some(ScalarValue::I64(10)));
+    assert_eq!(out.value_at(1, &kp(".b")), Some(ScalarValue::I64(4)));
+    assert_eq!(out.field_count(), 2);
+}
+
+#[test]
+fn persist_outputs_collected() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("t", &[1, 2, 3]);
+
+    let mut p = Program::new();
+    let input = p.load("t");
+    let s = p.fold_sum_global(input);
+    p.persist("total", s);
+    p.ret(s);
+
+    let out = Interpreter::new(&cat).run_program(&p).unwrap();
+    assert_eq!(out.persisted.len(), 1);
+    assert_eq!(out.persisted[0].0, "total");
+    assert_eq!(
+        out.persisted[0].1.value_at(0, &kp(".val")),
+        Some(ScalarValue::I64(6))
+    );
+}
+
+#[test]
+fn empty_input_folds() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("t", &[]);
+
+    let mut p = Program::new();
+    let input = p.load("t");
+    let s = p.fold_sum_global(input);
+    p.ret(s);
+
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    assert_eq!(out.len(), 0);
+}
+
+#[test]
+fn intermediates_are_inspectable() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("t", &[1, 2]);
+    let mut p = Program::new();
+    let input = p.load("t");
+    let ids = p.range_like(0, input, 1);
+    p.ret(ids);
+    let (_, intermediates) = Interpreter::new(&cat).run_with_intermediates(&p).unwrap();
+    assert_eq!(intermediates.len(), 2);
+    assert_eq!(intermediates[0].len(), 2);
+}
+
+/// The branch-free selection of Figure 1, written as predicated cursor
+/// arithmetic: positions = scan of the predicate, scatter to compacted
+/// output. This is the "tunable" program the paper opens with.
+#[test]
+fn predicated_selection_matches_branching_semantics() {
+    let mut cat = Catalog::in_memory();
+    let values: Vec<i64> = vec![5, 12, 3, 20, 8, 15];
+    cat.put_i64_column("t", &values);
+
+    // Branching version: FoldSelect positions, Gather.
+    let mut pb = Program::new();
+    let input = pb.load("t");
+    let pred = pb.greater_const(input, 9i64);
+    let positions = pb.fold_select_global(pred);
+    let selected = pb.gather(input, positions);
+    let sum = pb.fold_sum_global(selected);
+    pb.ret(sum);
+    let branching = Interpreter::new(&cat).run(&pb).unwrap();
+
+    // Predicated version: sum(v * (v > 9)).
+    let mut pp = Program::new();
+    let input = pp.load("t");
+    let pred = pp.greater_const(input, 9i64);
+    let masked = pp.mul(input, pred);
+    let sum = pp.fold_sum_global(masked);
+    pp.ret(sum);
+    let predicated = Interpreter::new(&cat).run(&pp).unwrap();
+
+    assert_eq!(
+        branching.value_at(0, &kp(".val")),
+        Some(ScalarValue::I64(47))
+    );
+    assert_eq!(
+        predicated.value_at(0, &kp(".val")),
+        Some(ScalarValue::I64(47))
+    );
+}
+
+#[test]
+fn zip_broadcasts_length_one() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("t", &[1, 2, 3]);
+    let mut p = Program::new();
+    let input = p.load("t");
+    let c = p.constant(9i64);
+    let z = p.zip_kp(kp(".a"), input, kp(".val"), kp(".b"), c, kp(".val"));
+    p.ret(z);
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    assert_eq!(out.len(), 3);
+    assert_eq!(out.value_at(2, &kp(".b")), Some(ScalarValue::I64(9)));
+}
+
+#[test]
+fn range_fixed_and_like() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("t", &[0; 5]);
+    let mut p = Program::new();
+    let input = p.load("t");
+    let r1 = p.range(10, 3, -2);
+    let r2 = p.range_like(0, input, 1);
+    p.ret(r1);
+    p.ret(r2);
+    let out = Interpreter::new(&cat).run_program(&p).unwrap();
+    let c1 = out.returns[0].column(&kp(".val")).unwrap();
+    assert_eq!(i64s(c1), vec![Some(10), Some(8), Some(6)]);
+    assert_eq!(out.returns[1].len(), 5);
+}
+
+/// Reproduce Figure 11's virtual-scatter *semantics* (the compiled backend
+/// additionally avoids materializing it): partition by group, scatter, fold.
+#[test]
+fn virtual_scatter_figure11_semantics() {
+    let mut cat = Catalog::in_memory();
+    let mut t = Table::new("t");
+    // Groups a,b,c,d encoded as 0,1,2,3 — the Figure 11 inputs.
+    t.add_column(TableColumn::from_buffer(
+        "grp",
+        Buffer::I64(vec![0, 1, 0, 2, 2, 1, 2, 0, 3, 1]),
+    ));
+    t.add_column(TableColumn::from_buffer(
+        "v",
+        Buffer::I64(vec![2, 0, 1, 4, 6, 2, 0, 9, 2, 7]),
+    ));
+    cat.insert_table(t);
+
+    let mut p = Program::new();
+    let input = p.load("t");
+    let pivots = p.range(0, 4, 1);
+    let pos = p.partition(input, kp(".grp"), pivots, kp(".val"));
+    let scattered = p.scatter(input, input, pos);
+    let sums = p.fold_agg_kp(AggKind::Sum, scattered, Some(kp(".grp")), kp(".v"), kp(".sum"));
+    p.ret(sums);
+
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    let col = out.column(&kp(".sum")).unwrap();
+    // Figure 11's folded sums: a=12, b=9, c=10, d=2 at the group starts.
+    let vals: Vec<i64> = col.present().map(|v| v.as_i64()).collect();
+    assert_eq!(vals, vec![12, 9, 10, 2]);
+}
+
+// ---------------------------------------------------------------------
+// Operator edge cases (Table 2 corners not covered by the figure tests)
+// ---------------------------------------------------------------------
+
+mod op_edges {
+    use super::*;
+    use voodoo_core::BinOp;
+
+    fn one_col(vals: &[i64]) -> Catalog {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("v", vals);
+        cat
+    }
+
+    #[test]
+    fn bitshift_shifts_left() {
+        let cat = one_col(&[1, 2, 3]);
+        let mut p = Program::new();
+        let v = p.load("v");
+        let s = p.binary_const(BinOp::BitShift, v, kp(".val"), 4i64, kp(".val"));
+        p.ret(s);
+        let out = Interpreter::new(&cat).run(&p).unwrap();
+        assert_eq!(
+            i64s(out.column(&kp(".val")).unwrap()),
+            vec![Some(16), Some(32), Some(48)]
+        );
+    }
+
+    #[test]
+    fn logical_and_or_on_integers() {
+        let cat = one_col(&[0, 1, 2, 0]);
+        let mut p = Program::new();
+        let v = p.load("v");
+        let nonzero = p.binary_const(BinOp::Greater, v, kp(".val"), 0i64, kp(".val"));
+        let even_bit = p.mod_const(v, 2);
+        let is_odd = p.binary_const(BinOp::Equals, even_bit, kp(".val"), 1i64, kp(".val"));
+        let both = p.binary(BinOp::LogicalAnd, nonzero, is_odd);
+        let either = p.binary(BinOp::LogicalOr, nonzero, is_odd);
+        p.ret(both);
+        p.ret(either);
+        let out = Interpreter::new(&cat).run_program(&p).unwrap();
+        let both_col: Vec<Option<i64>> = (0..4)
+            .map(|i| out.returns[0].value_at(i, &kp(".val")).map(|v| v.as_i64()))
+            .collect();
+        let either_col: Vec<Option<i64>> = (0..4)
+            .map(|i| out.returns[1].value_at(i, &kp(".val")).map(|v| v.as_i64()))
+            .collect();
+        // values 0,1,2,0 → nonzero 0,1,1,0; odd 0,1,0,0
+        assert_eq!(both_col, vec![Some(0), Some(1), Some(0), Some(0)]);
+        assert_eq!(either_col, vec![Some(0), Some(1), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn division_by_zero_is_deterministic_zero() {
+        // §2 "Deterministic": programs must not trap.
+        let cat = one_col(&[10, 0, -4]);
+        let mut p = Program::new();
+        let v = p.load("v");
+        let d = p.div_const(v, 0i64);
+        let m = p.mod_const(v, 0i64);
+        p.ret(d);
+        p.ret(m);
+        let out = Interpreter::new(&cat).run_program(&p).unwrap();
+        for r in &out.returns {
+            for i in 0..3 {
+                assert_eq!(r.value_at(i, &kp(".val")), Some(ScalarValue::I64(0)));
+            }
+        }
+    }
+
+    #[test]
+    fn range_with_negative_step_and_offset() {
+        let cat = one_col(&[0; 5]);
+        let mut p = Program::new();
+        let v = p.load("v");
+        let r = p.range_like(10, v, -2);
+        p.ret(r);
+        let out = Interpreter::new(&cat).run(&p).unwrap();
+        assert_eq!(
+            i64s(out.column(&kp(".val")).unwrap()),
+            vec![Some(10), Some(8), Some(6), Some(4), Some(2)]
+        );
+    }
+
+    #[test]
+    fn scatter_drops_negative_and_out_of_bounds_positions() {
+        let cat = {
+            let mut cat = Catalog::in_memory();
+            cat.put_i64_column("vals", &[10, 20, 30, 40]);
+            cat.put_i64_column("pos", &[-1, 2, 100, 0]);
+            cat
+        };
+        let mut p = Program::new();
+        let v = p.load("vals");
+        let pos = p.load("pos");
+        let s = p.scatter(v, v, pos);
+        p.ret(s);
+        let out = Interpreter::new(&cat).run(&p).unwrap();
+        assert_eq!(
+            i64s(out.column(&kp(".val")).unwrap()),
+            vec![Some(40), None, Some(20), None]
+        );
+    }
+
+    #[test]
+    fn gather_with_epsilon_position_yields_epsilon() {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("vals", &[10, 20, 30]);
+        cat.put_i64_column("sel", &[1, 0, 1]);
+        let mut p = Program::new();
+        let v = p.load("vals");
+        let sel = p.load("sel");
+        // FoldSelect output has ε holes; gathering through it must
+        // propagate them.
+        let positions = p.fold_select_kp(sel, None, kp(".val"), kp(".val"));
+        let g = p.gather(v, positions);
+        p.ret(g);
+        let out = Interpreter::new(&cat).run(&p).unwrap();
+        let got = i64s(out.column(&kp(".val")).unwrap());
+        assert_eq!(got, vec![Some(10), Some(30), None]);
+    }
+
+    #[test]
+    fn upsert_replaces_existing_attribute() {
+        let mut cat = Catalog::in_memory();
+        let mut t = Table::new("t");
+        t.add_column(TableColumn::from_buffer("a", Buffer::I64(vec![1, 2])));
+        t.add_column(TableColumn::from_buffer("b", Buffer::I64(vec![3, 4])));
+        cat.insert_table(t);
+        cat.put_i64_column("repl", &[7, 8]);
+        let mut p = Program::new();
+        let t = p.load("t");
+        let r = p.load("repl");
+        let u = p.upsert(t, kp(".b"), r, kp(".val"));
+        p.ret(u);
+        let out = Interpreter::new(&cat).run(&p).unwrap();
+        assert_eq!(i64s(out.column(&kp(".a")).unwrap()), vec![Some(1), Some(2)]);
+        assert_eq!(i64s(out.column(&kp(".b")).unwrap()), vec![Some(7), Some(8)]);
+    }
+
+    #[test]
+    fn upsert_inserts_new_attribute() {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("t", &[1, 2]);
+        cat.put_i64_column("extra", &[9, 9]);
+        let mut p = Program::new();
+        let t = p.load("t");
+        let e = p.load("extra");
+        let u = p.upsert(t, kp(".tag"), e, kp(".val"));
+        p.ret(u);
+        let out = Interpreter::new(&cat).run(&p).unwrap();
+        assert_eq!(i64s(out.column(&kp(".val")).unwrap()), vec![Some(1), Some(2)]);
+        assert_eq!(i64s(out.column(&kp(".tag")).unwrap()), vec![Some(9), Some(9)]);
+    }
+
+    #[test]
+    fn fold_over_all_epsilon_run_yields_epsilon() {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("vals", &[5, 6]);
+        cat.put_i64_column("pos", &[3, 4]);
+        let mut p = Program::new();
+        let v = p.load("vals");
+        let pos = p.load("pos");
+        // Scatter into 2 slots: both positions out of bounds → all-ε.
+        let s = p.scatter(v, v, pos);
+        let sum = p.fold_sum_global(s);
+        p.ret(sum);
+        let out = Interpreter::new(&cat).run(&p).unwrap();
+        assert_eq!(out.value_at(0, &kp(".val")), None, "empty sum is ε");
+    }
+
+    #[test]
+    fn partition_with_unsorted_pivots_buckets_correctly() {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("keys", &[0, 2, 1, 2, 0]);
+        cat.put_i64_column("pivots", &[2, 0, 1]); // deliberately unsorted
+        let mut p = Program::new();
+        let k = p.load("keys");
+        let piv = p.load("pivots");
+        let pos = p.partition(k, kp(".val"), piv, kp(".val"));
+        let s = p.scatter(k, k, pos);
+        p.ret(s);
+        let out = Interpreter::new(&cat).run(&p).unwrap();
+        let got: Vec<i64> =
+            out.column(&kp(".val")).unwrap().present().map(|v| v.as_i64()).collect();
+        assert_eq!(got, vec![0, 0, 1, 2, 2], "stable counting sort by bucket");
+    }
+
+    #[test]
+    fn zero_row_tables_flow_through_every_operator_class() {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("empty", &[]);
+        let mut p = Program::new();
+        let v = p.load("empty");
+        let doubled = p.mul_const(v, 2i64); // elementwise
+        let ids = p.range_like(0, v, 1); // shape
+        let z = p.zip_kp(kp(".a"), doubled, kp(".val"), kp(".b"), ids, kp(".val")); // structural
+        let sel = p.fold_select_kp(z, None, kp(".a"), kp(".val")); // fold
+        let g = p.gather(z, sel); // gather
+        let sum = p.fold_agg_kp(AggKind::Sum, g, None, kp(".a"), kp(".val"));
+        p.ret(sum);
+        let out = Interpreter::new(&cat).run(&p).unwrap();
+        assert_eq!(out.len(), 0, "empty in, empty out, no panic");
+    }
+
+    #[test]
+    fn fold_scan_restarts_at_run_boundaries() {
+        let mut cat = Catalog::in_memory();
+        let mut t = Table::new("t");
+        t.add_column(TableColumn::from_buffer("fold", Buffer::I64(vec![0, 0, 1, 1, 1])));
+        t.add_column(TableColumn::from_buffer("v", Buffer::I64(vec![1, 2, 3, 4, 5])));
+        cat.insert_table(t);
+        let mut p = Program::new();
+        let t = p.load("t");
+        let s = p.fold_scan_kp(t, Some(kp(".fold")), kp(".v"), kp(".val"));
+        p.ret(s);
+        let out = Interpreter::new(&cat).run(&p).unwrap();
+        assert_eq!(
+            i64s(out.column(&kp(".val")).unwrap()),
+            vec![Some(1), Some(3), Some(3), Some(7), Some(12)]
+        );
+    }
+
+    #[test]
+    fn comparison_operators_full_set() {
+        let cat = one_col(&[1, 2, 3]);
+        let mut p = Program::new();
+        let v = p.load("v");
+        for (op, want) in [
+            (BinOp::Greater, [0, 0, 1]),
+            (BinOp::GreaterEquals, [0, 1, 1]),
+            (BinOp::Less, [1, 0, 0]),
+            (BinOp::LessEquals, [1, 1, 0]),
+            (BinOp::Equals, [0, 1, 0]),
+            (BinOp::NotEquals, [1, 0, 1]),
+        ] {
+            let r = p.binary_const(op, v, kp(".val"), 2i64, kp(".val"));
+            let mut q = p.clone();
+            q.ret(r);
+            let out = Interpreter::new(&cat).run(&q).unwrap();
+            let got: Vec<i64> = out
+                .column(&kp(".val"))
+                .unwrap()
+                .present()
+                .map(|x| x.as_i64())
+                .collect();
+            assert_eq!(got, want.to_vec(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn broadcast_on_both_sides() {
+        let cat = one_col(&[1, 2, 3]);
+        let mut p = Program::new();
+        let v = p.load("v");
+        let c = p.constant(10i64);
+        let lhs_bc = p.binary(BinOp::Subtract, c, v); // 10 - v
+        let rhs_bc = p.binary(BinOp::Subtract, v, c); // v - 10
+        p.ret(lhs_bc);
+        p.ret(rhs_bc);
+        let out = Interpreter::new(&cat).run_program(&p).unwrap();
+        let l: Vec<i64> = (0..3)
+            .map(|i| out.returns[0].value_at(i, &kp(".val")).unwrap().as_i64())
+            .collect();
+        let r: Vec<i64> = (0..3)
+            .map(|i| out.returns[1].value_at(i, &kp(".val")).unwrap().as_i64())
+            .collect();
+        assert_eq!(l, vec![9, 8, 7]);
+        assert_eq!(r, vec![-9, -8, -7]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Candidate plans: a concrete Voodoo program plus the executor flags
+//! that accompany it.
+
+use voodoo_algos::join::{FkJoinStrategy, LayoutStrategy};
+use voodoo_algos::selection::SelectionStrategy;
+use voodoo_algos::FoldStrategy;
+use voodoo_core::Program;
+
+/// The physical decision a candidate embodies — one arm per workload
+/// family, mirroring the paper's microbenchmark design spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Figure 15 family: selection strategy plus the executor predication
+    /// flag for position emission.
+    Selection {
+        /// Program shape.
+        strategy: SelectionStrategy,
+        /// Branch-free position emission (`ExecOptions::predicated_select`).
+        predicated: bool,
+    },
+    /// Figure 16 family.
+    FkJoin {
+        /// Predicate-handling variant.
+        strategy: FkJoinStrategy,
+    },
+    /// Figure 14 family.
+    Lookup {
+        /// Traversal/layout variant.
+        strategy: LayoutStrategy,
+    },
+    /// Figure 3/4 family.
+    Fold {
+        /// Parallelism shape of the fold.
+        strategy: FoldStrategy,
+    },
+}
+
+impl Decision {
+    /// Human-readable label (used in reports and tests).
+    pub fn label(&self) -> String {
+        match self {
+            Decision::Selection { strategy, predicated } => {
+                let base = match strategy {
+                    SelectionStrategy::Plain => "plain".to_string(),
+                    SelectionStrategy::PredicatedAggregation => "predicated-agg".to_string(),
+                    SelectionStrategy::Vectorized { chunk } => format!("vectorized({chunk})"),
+                };
+                if *predicated {
+                    format!("{base}+branchfree")
+                } else {
+                    format!("{base}+branching")
+                }
+            }
+            Decision::FkJoin { strategy } => strategy.label().to_string(),
+            Decision::Lookup { strategy } => strategy.label().to_string(),
+            Decision::Fold { strategy } => match strategy {
+                FoldStrategy::Global => "global".to_string(),
+                FoldStrategy::Partitions { size } => format!("partitions({size})"),
+                FoldStrategy::Lanes { lanes } => format!("lanes({lanes})"),
+            },
+        }
+    }
+}
+
+/// A fully specified physical plan: the program plus executor flags.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// What was decided.
+    pub decision: Decision,
+    /// The generated Voodoo program.
+    pub program: Program,
+    /// Whether the executor should emit branch-free position lists.
+    pub predicated_select: bool,
+}
+
+impl Candidate {
+    /// Candidate with default (branching) execution flags.
+    pub fn new(decision: Decision, program: Program) -> Candidate {
+        Candidate { decision, program, predicated_select: false }
+    }
+
+    /// Candidate with branch-free position emission.
+    pub fn predicated(decision: Decision, program: Program) -> Candidate {
+        Candidate { decision, program, predicated_select: true }
+    }
+}

@@ -1,0 +1,74 @@
+//! # voodoo-opt — cost-model-driven plan optimization
+//!
+//! The paper explicitly scopes optimization out ("we do not address the
+//! problem of programmatically generating optimal Voodoo code", §1) while
+//! arguing that Voodoo *enables* it: "the machine-friendly design of
+//! Voodoo lends itself to automatic exploration of the database design
+//! space ... an automatic, incremental, runtime re-optimization system is
+//! enabled by the design of Voodoo" (§7). This crate builds that system
+//! at laptop scale:
+//!
+//! 1. A **workload** ([`workload::Workload`]) names a logical task
+//!    (selective aggregation, selective FK join, multi-column lookup,
+//!    hierarchical aggregation) without fixing a physical strategy.
+//! 2. The **search space** enumerates [`knobs::Candidate`]s — concrete
+//!    Voodoo programs from the `voodoo-algos` cookbook plus executor
+//!    flags. Because tuning decisions are algebra statements ("a complex
+//!    optimization decision can be encoded into a (set of) integer
+//!    constant(s)", §3.1.1), candidates differ in one or two statements.
+//! 3. The **cost model** ([`pricing`]) runs each candidate on a small
+//!    prefix *sample* of the data in event-counting mode and prices the
+//!    architectural trace with the target [`Device`] model — the same
+//!    pricing the `voodoo-gpusim` figures use. Pricing is data-dependent
+//!    (selectivity changes branch flips and random-access counts), which
+//!    is precisely the Figure 1 phenomenon the paper opens with.
+//! 4. A **search strategy** ([`search`]) picks the winner: exhaustive for
+//!    the small spaces here, coordinate-descent greedy for product
+//!    spaces.
+//!
+//! The crate's tests assert that the optimizer re-derives the paper's
+//! headline tradeoffs from the cost model alone: predication wins
+//! mid-selectivity selections on CPUs but never on the (simulated) GPU;
+//! branching wins at the selectivity extremes; layout transformation pays
+//! only for random lookups into cache-exceeding targets.
+//!
+//! ```
+//! use voodoo_compile::Device;
+//! use voodoo_opt::{Optimizer, Workload};
+//! use voodoo_storage::Catalog;
+//!
+//! let mut cat = Catalog::in_memory();
+//! cat.put_i64_column(
+//!     "vals",
+//!     &(0..4096i64).map(|i| (i * 2654435761) % 1000).collect::<Vec<_>>(),
+//! );
+//! let workload = Workload::SelectSum {
+//!     table: "vals".into(),
+//!     lo: 0,
+//!     hi: 500, // ~50% selectivity
+//!     chunks: vec![1 << 10],
+//! };
+//! let choice = Optimizer::for_device(Device::cpu_single_thread())
+//!     .with_sample_rows(1024)
+//!     .choose(&workload, &cat)
+//!     .unwrap();
+//! // Every candidate was priced; the winner is one of them.
+//! assert!(!choice.report.is_empty());
+//! assert!(choice.best.seconds > 0.0);
+//! println!("chosen: {}", choice.best.candidate.decision.label());
+//! ```
+
+pub mod knobs;
+pub mod pricing;
+pub mod search;
+pub mod workload;
+
+#[cfg(test)]
+mod tests;
+
+pub use knobs::{Candidate, Decision};
+pub use pricing::{
+    measure_candidate, price_candidate, price_candidate_at, sample_catalog, PricedCandidate,
+};
+pub use search::{CostSource, Optimizer, SearchStrategy};
+pub use workload::Workload;

@@ -1,0 +1,185 @@
+//! Data-sampled, model-priced candidate costing.
+//!
+//! The paper's Figure 1 point is that the best plan depends on *data*
+//! (selectivity) as much as hardware. The pricer therefore runs every
+//! candidate on a **prefix sample** of the workload's driver table in
+//! event-counting mode, prices the architectural trace with the target
+//! device model (the `voodoo-gpusim` methodology), and scales the time
+//! back to the full cardinality. Lookup targets are *not* sampled — their
+//! full size determines whether random accesses fit the device cache,
+//! which is the Figure 14/16 effect the model must see.
+//!
+//! Prefix sampling preserves selectivities for uniformly distributed
+//! predicates (all the paper's microbenchmarks); a production system
+//! would stratify.
+
+use voodoo_compile::exec::{ExecOptions, Executor};
+use voodoo_compile::{Compiler, Device};
+use voodoo_core::Result;
+use voodoo_gpusim::CostModel;
+use voodoo_storage::{Catalog, Table, TableColumn};
+
+use crate::knobs::Candidate;
+use crate::workload::Workload;
+
+/// A candidate with its predicted cost.
+#[derive(Debug, Clone)]
+pub struct PricedCandidate {
+    /// The plan.
+    pub candidate: Candidate,
+    /// Predicted seconds at full cardinality on the target device.
+    pub seconds: f64,
+}
+
+/// Build a catalog in which the workload's driver table is truncated to
+/// at most `sample_rows` rows and every other table is kept whole.
+pub fn sample_catalog(catalog: &Catalog, workload: &Workload, sample_rows: usize) -> Catalog {
+    let mut out = Catalog::in_memory();
+    for name in catalog.table_names() {
+        let table = catalog.table(name).expect("listed table");
+        if name == workload.driver_table() && table.len > sample_rows {
+            out.insert_table(truncate_table(table, sample_rows));
+        } else {
+            out.insert_table(table.clone());
+        }
+    }
+    out
+}
+
+fn truncate_table(table: &Table, n: usize) -> Table {
+    let mut t = Table::new(&table.name);
+    t.foreign_keys = table.foreign_keys.clone();
+    for col in &table.columns {
+        let mut data = voodoo_core::Column::empties(col.data.ty(), 0);
+        for i in 0..n.min(col.data.len()) {
+            data.push(col.data.get(i));
+        }
+        let stats = col.stats;
+        t.add_column(TableColumn {
+            name: col.name.clone(),
+            data,
+            dict: col.dict.clone(),
+            stats,
+        });
+    }
+    t
+}
+
+/// Price one candidate: execute on the sampled catalog counting events,
+/// extrapolate the event trace to full cardinality, and price it with the
+/// device model.
+///
+/// Extrapolation is **per unit**: only kernels whose iteration domain
+/// tracks the (sampled) driver table are scaled by
+/// `scale = full_rows / sample_rows`; kernels over un-sampled tables — a
+/// layout transform's copy pass over the whole lookup target, say — keep
+/// their measured events. Within a scaled unit, the data-proportional
+/// events (operations, traffic, branches, work items) scale while the
+/// structural ones (kernel barriers) and the random working set (a
+/// property of the un-sampled targets) stay fixed.
+pub fn price_candidate(
+    candidate: &Candidate,
+    sampled: &Catalog,
+    device: &Device,
+    scale: f64,
+) -> Result<f64> {
+    price_candidate_at(candidate, sampled, device, scale, 0)
+}
+
+/// [`price_candidate`] with an explicit sampled driver cardinality
+/// (`sampled_driver_len`), enabling the per-unit scaling decision; 0
+/// means "unknown — scale everything" (safe when scale is 1).
+pub fn price_candidate_at(
+    candidate: &Candidate,
+    sampled: &Catalog,
+    device: &Device,
+    scale: f64,
+    sampled_driver_len: usize,
+) -> Result<f64> {
+    let cp = Compiler::new(sampled).compile(&candidate.program)?;
+    let exec = Executor::new(ExecOptions {
+        count_events: true,
+        predicated_select: candidate.predicated_select,
+        threads: 1,
+    });
+    let (_, _, unit_profiles) = exec.run_with_unit_profiles(&cp, sampled)?;
+    let model = CostModel::new(device.clone());
+    let scale = scale.max(1.0);
+    let scaled: Vec<_> = unit_profiles
+        .iter()
+        .map(|p| {
+            if unit_is_driver_proportional(p, sampled_driver_len) {
+                extrapolate(p, scale)
+            } else {
+                p.clone()
+            }
+        })
+        .collect();
+    let report = model.price(&scaled);
+    Ok(report.seconds)
+}
+
+/// Whether a unit's iteration domain tracks the sampled driver table —
+/// the units whose cost grows with the full cardinality. Units over other
+/// tables (lookup targets, transforms of them) have domains set by those
+/// tables' (un-sampled) sizes and fall outside the window.
+fn unit_is_driver_proportional(p: &voodoo_compile::EventProfile, sampled_driver_len: usize) -> bool {
+    if sampled_driver_len == 0 {
+        return true;
+    }
+    let e = p.elements.max(1) as f64;
+    let d = sampled_driver_len as f64;
+    e >= d * 0.5 && e <= d * 4.0
+}
+
+/// Wall-clock pricing: run the candidate on the sampled catalog with the
+/// device's real thread count and scale the measured seconds. This is the
+/// "runtime re-optimization" flavor of §7 — no model error, but it prices
+/// the *host* machine, so it is only meaningful for CPU devices.
+pub fn measure_candidate(
+    candidate: &Candidate,
+    sampled: &Catalog,
+    device: &Device,
+    scale: f64,
+) -> Result<f64> {
+    let cp = Compiler::new(sampled).compile(&candidate.program)?;
+    let exec = Executor::new(ExecOptions {
+        count_events: false,
+        predicated_select: candidate.predicated_select,
+        threads: device.threads.max(1),
+    });
+    // Warm up once, then take the best of three (standard microbench
+    // hygiene at sample scale).
+    exec.run(&cp, sampled)?;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        exec.run(&cp, sampled)?;
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Ok(best * scale.max(1.0))
+}
+
+/// Scale a unit's data-proportional events by `scale`.
+fn extrapolate(
+    p: &voodoo_compile::EventProfile,
+    scale: f64,
+) -> voodoo_compile::EventProfile {
+    let s = |x: u64| -> u64 { (x as f64 * scale).round() as u64 };
+    voodoo_compile::EventProfile {
+        branches: s(p.branches),
+        branch_flips: s(p.branch_flips),
+        int_ops: s(p.int_ops),
+        float_ops: s(p.float_ops),
+        cmp_ops: s(p.cmp_ops),
+        seq_read_bytes: s(p.seq_read_bytes),
+        rand_reads: s(p.rand_reads),
+        rand_working_set: p.rand_working_set,
+        write_bytes: s(p.write_bytes),
+        rand_writes: s(p.rand_writes),
+        barriers: p.barriers,
+        work_items: s(p.work_items),
+        elements: s(p.elements),
+        max_par: s(p.max_par),
+    }
+}

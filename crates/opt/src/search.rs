@@ -1,0 +1,189 @@
+//! Search strategies over the candidate space.
+
+use voodoo_compile::Device;
+use voodoo_storage::Catalog;
+
+use crate::knobs::Candidate;
+use crate::pricing::{measure_candidate, price_candidate_at, sample_catalog, PricedCandidate};
+use crate::workload::Workload;
+
+/// Where candidate costs come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostSource {
+    /// Event-trace pricing with the target device's analytical model —
+    /// works for any device, including simulated ones.
+    Model,
+    /// Wall-clock measurement on the *host* at sample scale — the §7
+    /// "runtime re-optimization" flavor; only meaningful when the target
+    /// device is the host CPU.
+    Measured,
+}
+
+/// How the optimizer walks the candidate space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Price every candidate — exact, affordable for the per-workload
+    /// spaces here (≤ a dozen candidates).
+    Exhaustive,
+    /// Coordinate descent: order candidates by decision family, keep the
+    /// incumbent, stop descending a family once it worsens twice in a
+    /// row. Approximate but prices fewer candidates on monotone knob
+    /// dimensions (e.g. vectorization chunk sizes).
+    Greedy,
+}
+
+/// The chosen plan plus the full pricing report.
+#[derive(Debug, Clone)]
+pub struct Choice {
+    /// The winner (lowest predicted seconds).
+    pub best: PricedCandidate,
+    /// Every candidate the search priced, in pricing order.
+    pub report: Vec<PricedCandidate>,
+}
+
+impl Choice {
+    /// Labels and predicted seconds, for display.
+    pub fn table(&self) -> Vec<(String, f64)> {
+        self.report
+            .iter()
+            .map(|pc| (pc.candidate.decision.label(), pc.seconds))
+            .collect()
+    }
+}
+
+/// The cost-based optimizer: a target device, a sample budget, and a
+/// search strategy.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    /// Device whose cost model prices candidates.
+    pub device: Device,
+    /// Maximum driver-table rows to execute while pricing.
+    pub sample_rows: usize,
+    /// Search strategy.
+    pub strategy: SearchStrategy,
+    /// Cost source (model-priced by default).
+    pub cost_source: CostSource,
+}
+
+impl Optimizer {
+    /// Optimizer for a device with the default 64k-row sample budget.
+    pub fn for_device(device: Device) -> Optimizer {
+        Optimizer {
+            device,
+            sample_rows: 1 << 16,
+            strategy: SearchStrategy::Exhaustive,
+            cost_source: CostSource::Model,
+        }
+    }
+
+    /// Use wall-clock measurement instead of the cost model.
+    pub fn with_cost_source(mut self, source: CostSource) -> Optimizer {
+        self.cost_source = source;
+        self
+    }
+
+    /// Set the sample budget.
+    pub fn with_sample_rows(mut self, rows: usize) -> Optimizer {
+        self.sample_rows = rows.max(1);
+        self
+    }
+
+    /// Set the search strategy.
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Optimizer {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Choose the best physical plan for `workload` over `catalog`.
+    pub fn choose(&self, workload: &Workload, catalog: &Catalog) -> voodoo_core::Result<Choice> {
+        let driver_len = catalog
+            .table(workload.driver_table())
+            .map(|t| t.len)
+            .unwrap_or(0)
+            .max(1);
+        let sampled = sample_catalog(catalog, workload, self.sample_rows);
+        let sampled_len = sampled
+            .table(workload.driver_table())
+            .map(|t| t.len)
+            .unwrap_or(0)
+            .max(1);
+        let scale = driver_len as f64 / sampled_len as f64;
+        let candidates = workload.candidates();
+        let priced = match self.strategy {
+            SearchStrategy::Exhaustive => {
+                self.price_all(candidates, &sampled, scale, sampled_len)?
+            }
+            SearchStrategy::Greedy => {
+                self.price_greedy(candidates, &sampled, scale, sampled_len)?
+            }
+        };
+        let best = priced
+            .iter()
+            .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+            .cloned()
+            .ok_or_else(|| {
+                voodoo_core::VoodooError::Backend("workload produced no candidates".into())
+            })?;
+        Ok(Choice { best, report: priced })
+    }
+
+    fn price_one(
+        &self,
+        candidate: &Candidate,
+        sampled: &Catalog,
+        scale: f64,
+        sampled_len: usize,
+    ) -> voodoo_core::Result<f64> {
+        match self.cost_source {
+            CostSource::Model => {
+                price_candidate_at(candidate, sampled, &self.device, scale, sampled_len)
+            }
+            CostSource::Measured => measure_candidate(candidate, sampled, &self.device, scale),
+        }
+    }
+
+    fn price_all(
+        &self,
+        candidates: Vec<Candidate>,
+        sampled: &Catalog,
+        scale: f64,
+        sampled_len: usize,
+    ) -> voodoo_core::Result<Vec<PricedCandidate>> {
+        candidates
+            .into_iter()
+            .map(|candidate| {
+                let seconds = self.price_one(&candidate, sampled, scale, sampled_len)?;
+                Ok(PricedCandidate { candidate, seconds })
+            })
+            .collect()
+    }
+
+    /// Coordinate descent: price candidates in enumeration order (the
+    /// workload enumerates each knob family monotonically), abandoning a
+    /// streak after two consecutive regressions beyond the incumbent.
+    fn price_greedy(
+        &self,
+        candidates: Vec<Candidate>,
+        sampled: &Catalog,
+        scale: f64,
+        sampled_len: usize,
+    ) -> voodoo_core::Result<Vec<PricedCandidate>> {
+        let mut out: Vec<PricedCandidate> = Vec::new();
+        let mut best = f64::INFINITY;
+        let mut worse_streak = 0usize;
+        for candidate in candidates {
+            if worse_streak >= 2 {
+                break;
+            }
+            let seconds = self.price_one(&candidate, sampled, scale, sampled_len)?;
+            if seconds < best {
+                best = seconds;
+                worse_streak = 0;
+            } else {
+                worse_streak += 1;
+            }
+            out.push(PricedCandidate { candidate, seconds });
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,145 @@
+//! Logical workloads and their candidate enumerations.
+
+use voodoo_algos::join::{FkJoinStrategy, LayoutStrategy};
+use voodoo_algos::selection::SelectionStrategy;
+use voodoo_algos::{aggregate, join, selection, FoldStrategy};
+
+use crate::knobs::{Candidate, Decision};
+
+/// A logical task the optimizer can plan. Table/column naming conventions
+/// follow the `voodoo-algos` cookbook functions each workload delegates to.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// `SELECT sum(val) FROM table WHERE lo <= val < hi`
+    /// (Figures 1/15 design space).
+    SelectSum {
+        /// Single-column table name.
+        table: String,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Exclusive upper bound.
+        hi: i64,
+        /// Vectorization chunk sizes to consider.
+        chunks: Vec<usize>,
+    },
+    /// `SELECT sum(target.val) FROM fact, target WHERE fact.fk = target.pk
+    /// AND fact.v < c` (Figure 16 design space).
+    SelectiveFkJoin {
+        /// Fact table (columns `.v`, `.fk`).
+        fact: String,
+        /// Target table (column `.val`).
+        target: String,
+        /// Selection cutoff on `fact.v`.
+        c: i64,
+    },
+    /// Multi-column indexed lookup (Figure 14 design space).
+    IndexedLookup {
+        /// Two-column target table (`.c1`, `.c2`).
+        target: String,
+        /// Positions table (`.val`).
+        positions: String,
+    },
+    /// Hierarchical total aggregation (Figures 3/4 design space).
+    HierarchicalSum {
+        /// Single-column table name.
+        table: String,
+        /// Partition sizes to consider.
+        partition_sizes: Vec<usize>,
+        /// Lane counts to consider.
+        lane_counts: Vec<usize>,
+    },
+}
+
+impl Workload {
+    /// Enumerate every candidate physical plan for this workload.
+    pub fn candidates(&self) -> Vec<Candidate> {
+        match self {
+            Workload::SelectSum { table, lo, hi, chunks } => {
+                let mut out = Vec::new();
+                // Plain shape, both position-emission modes.
+                for predicated in [false, true] {
+                    let d = Decision::Selection {
+                        strategy: SelectionStrategy::Plain,
+                        predicated,
+                    };
+                    let p = selection::select_sum(table, *lo, *hi, SelectionStrategy::Plain);
+                    out.push(Candidate { decision: d, program: p, predicated_select: predicated });
+                }
+                // Predicated aggregation (no position list at all).
+                let d = Decision::Selection {
+                    strategy: SelectionStrategy::PredicatedAggregation,
+                    predicated: false,
+                };
+                out.push(Candidate::new(
+                    d,
+                    selection::select_sum(table, *lo, *hi, SelectionStrategy::PredicatedAggregation),
+                ));
+                // Vectorized, branch-free chunks (the paper's vectorized
+                // variant always uses the branch-free inner loop).
+                for &chunk in chunks {
+                    let strategy = SelectionStrategy::Vectorized { chunk };
+                    let d = Decision::Selection { strategy, predicated: true };
+                    out.push(Candidate::predicated(
+                        d,
+                        selection::select_sum(table, *lo, *hi, strategy),
+                    ));
+                }
+                out
+            }
+            Workload::SelectiveFkJoin { fact, target, c } => FkJoinStrategy::all()
+                .into_iter()
+                .map(|s| {
+                    Candidate::new(
+                        Decision::FkJoin { strategy: s },
+                        join::selective_fk_join(fact, target, *c, s),
+                    )
+                })
+                .collect(),
+            Workload::IndexedLookup { target, positions } => LayoutStrategy::all()
+                .into_iter()
+                .map(|s| {
+                    Candidate::new(
+                        Decision::Lookup { strategy: s },
+                        join::indexed_lookup(target, positions, s),
+                    )
+                })
+                .collect(),
+            Workload::HierarchicalSum { table, partition_sizes, lane_counts } => {
+                let mut strategies = vec![FoldStrategy::Global];
+                strategies.extend(partition_sizes.iter().map(|&size| FoldStrategy::Partitions { size }));
+                strategies.extend(lane_counts.iter().map(|&lanes| FoldStrategy::Lanes { lanes }));
+                strategies
+                    .into_iter()
+                    .map(|s| {
+                        Candidate::new(
+                            Decision::Fold { strategy: s },
+                            aggregate::hierarchical_sum(table, s),
+                        )
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Tables this workload reads (for sampling).
+    pub fn tables(&self) -> Vec<&str> {
+        match self {
+            Workload::SelectSum { table, .. } => vec![table],
+            Workload::SelectiveFkJoin { fact, target, .. } => vec![fact, target],
+            Workload::IndexedLookup { target, positions } => vec![target, positions],
+            Workload::HierarchicalSum { table, .. } => vec![table],
+        }
+    }
+
+    /// The table whose cardinality scales the workload's cost (the probe
+    /// side); lookup targets keep their full size when sampling so cache
+    /// effects survive.
+    pub fn driver_table(&self) -> &str {
+        match self {
+            Workload::SelectSum { table, .. } => table,
+            Workload::SelectiveFkJoin { fact, .. } => fact,
+            Workload::IndexedLookup { positions, .. } => positions,
+            Workload::HierarchicalSum { table, .. } => table,
+        }
+    }
+}

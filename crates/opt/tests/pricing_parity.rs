@@ -1,0 +1,49 @@
+//! Pricing parity: the optimizer's pricer must agree with the
+//! `voodoo-gpusim` simulator when no sampling happens (scale = 1).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use voodoo_algos::join::{self, FkJoinStrategy};
+use voodoo_compile::Device;
+use voodoo_gpusim::GpuSimulator;
+use voodoo_opt::{price_candidate, Candidate, Decision};
+use voodoo_storage::{Catalog, Table, TableColumn};
+
+fn fk_catalog(n_fact: usize, n_target: usize) -> Catalog {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut cat = Catalog::in_memory();
+    let mut fact = Table::new("fact");
+    fact.add_column(TableColumn::from_buffer(
+        "v",
+        voodoo_core::Buffer::I64((0..n_fact).map(|_| rng.gen_range(0..100)).collect()),
+    ));
+    fact.add_column(TableColumn::from_buffer(
+        "fk",
+        voodoo_core::Buffer::I64((0..n_fact).map(|_| rng.gen_range(0..n_target as i64)).collect()),
+    ));
+    cat.insert_table(fact);
+    cat.put_i64_column(
+        "target",
+        &(0..n_target).map(|_| rng.gen_range(0..1000)).collect::<Vec<_>>(),
+    );
+    cat
+}
+
+#[test]
+fn pricer_matches_gpusim_without_sampling() {
+    let cat = fk_catalog(1 << 16, 1 << 21);
+    for strat in FkJoinStrategy::all() {
+        let prog = join::selective_fk_join("fact", "target", 50, strat);
+        let cand = Candidate::new(Decision::FkJoin { strategy: strat }, prog.clone());
+        let mine = price_candidate(&cand, &cat, &Device::gpu_titan_x(), 1.0).unwrap();
+        let (_, report) = GpuSimulator::titan_x().run(&prog, &cat).unwrap();
+        eprintln!("{:<24} opt={:.6e} gpusim={:.6e}", strat.label(), mine, report.seconds);
+        assert!(
+            (mine - report.seconds).abs() / report.seconds < 0.05,
+            "{}: {} vs {}",
+            strat.label(),
+            mine,
+            report.seconds
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Backend-agnostic query execution.
+
+use voodoo_compile::exec::{ExecOptions, Executor};
+use voodoo_compile::Compiler;
+use voodoo_core::Program;
+use voodoo_interp::{ExecOutput, Interpreter};
+use voodoo_storage::Catalog;
+use voodoo_tpch::queries::{Query, QueryResult};
+
+use crate::queries;
+
+/// Run a query through an arbitrary executor callback (e.g. the simulated
+/// GPU, or a timing wrapper).
+pub fn run_with<F>(cat: &Catalog, q: Query, mut exec: F) -> QueryResult
+where
+    F: FnMut(&Program, &Catalog) -> ExecOutput,
+{
+    queries::run_query(cat, q, &mut exec)
+}
+
+/// Run a query on the reference interpreter backend.
+pub fn run_interp(cat: &Catalog, q: Query) -> QueryResult {
+    run_with(cat, q, |p, c| {
+        Interpreter::new(c).run_program(p).expect("interpreter execution")
+    })
+}
+
+/// Run a query on the compiled CPU backend.
+pub fn run_compiled(cat: &Catalog, q: Query, threads: usize) -> QueryResult {
+    run_with(cat, q, |p, c| {
+        let cp = Compiler::new(c).compile(p).expect("compilation");
+        let exec = Executor::new(ExecOptions { threads, ..Default::default() });
+        let (out, _) = exec.run(&cp, c).expect("compiled execution");
+        out
+    })
+}
+
+/// Run a query on the compiled backend with the CSE+DCE normalization
+/// pass applied first (the sharing the paper's §2 "Minimal" principle
+/// enables; see `voodoo_core::transform`). Results are identical to
+/// [`run_compiled`] by construction — pinned by tests — while plans
+/// shrink wherever the frontend emitted redundant control vectors.
+pub fn run_compiled_optimized(cat: &Catalog, q: Query, threads: usize) -> QueryResult {
+    run_with(cat, q, |p, c| {
+        let (opt, _) = voodoo_core::transform::optimize(p);
+        let cp = Compiler::new(c).compile(&opt).expect("compilation");
+        let exec = Executor::new(ExecOptions { threads, ..Default::default() });
+        let (out, _) = exec.run(&cp, c).expect("compiled execution");
+        out
+    })
+}

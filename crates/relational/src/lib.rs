@@ -1,0 +1,34 @@
+//! # voodoo-relational — the relational frontend
+//!
+//! The paper integrates Voodoo into MonetDB as "an alternative execution
+//! engine", using MonetDB only for "data loading and query parsing" (§4).
+//! This crate is that frontend: it turns the evaluation's TPC-H queries
+//! into Voodoo programs, exploiting the same metadata the paper's planner
+//! does — "identity hashing on open hashtables and derive their size from
+//! the input domain (using only min and max)" — plus dictionary-level
+//! predicate evaluation (`LIKE` is evaluated once per distinct string and
+//! staged as an auxiliary flag column, the MonetDB way).
+//!
+//! Modules:
+//! * [`builder`] — plan-construction helpers over [`voodoo_core::Program`]
+//!   (masked predicates, dense-domain grouped aggregation, FK gathers) and
+//!   padded-result extraction,
+//! * [`prepare`] — auxiliary tables staged at load time (dictionary flag
+//!   columns, the day→year lookup),
+//! * [`queries`] — one Voodoo plan per evaluated TPC-H query,
+//! * [`engine`] — backend-agnostic execution (interpreter, compiled CPU,
+//!   or any custom executor such as the simulated GPU),
+//! * [`sql`] — a small SQL subset parser lowered through the same builder
+//!   (single-table `SELECT ... FROM ... WHERE ... GROUP BY`).
+
+pub mod builder;
+pub mod engine;
+pub mod prepare;
+pub mod queries;
+pub mod sql;
+
+pub use engine::{run_compiled, run_compiled_optimized, run_interp, run_with};
+pub use prepare::prepare;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,79 @@
+//! Load-time auxiliary tables.
+//!
+//! MonetDB evaluates string predicates (`LIKE '%green%'`) once against the
+//! dictionary, not once per row; the resulting per-code flag vector is an
+//! ordinary column. [`prepare`] stages those flag vectors (plus a
+//! day→year lookup for `extract(year ...)`) as single-column tables that
+//! Voodoo plans `Gather` from — keeping the algebra free of string
+//! operations, exactly as in the paper's MonetDB integration.
+
+use voodoo_storage::Catalog;
+use voodoo_tpch::dates::year_of;
+use voodoo_tpch::queries::params;
+
+use voodoo_baselines::cols::codes_where;
+
+/// Names of the staged auxiliary tables.
+pub mod aux {
+    /// Day offset → calendar year.
+    pub const YEAR_OF_DAY: &str = "__aux_year_of_day";
+    /// p_name dictionary code → contains "green" (Q9).
+    pub const NAME_GREEN: &str = "__aux_p_name_green";
+    /// p_name dictionary code → contains "forest" (Q20).
+    pub const NAME_FOREST: &str = "__aux_p_name_forest";
+    /// p_type dictionary code → starts with "PROMO" (Q14).
+    pub const TYPE_PROMO: &str = "__aux_p_type_promo";
+    /// p_container dictionary code → matches Q19 triple `i`.
+    pub fn container(i: usize) -> String {
+        format!("__aux_p_container_q19_{i}")
+    }
+}
+
+fn flags_to_i64(flags: &[bool]) -> Vec<i64> {
+    flags.iter().map(|&b| b as i64).collect()
+}
+
+/// Stage every auxiliary table the Voodoo plans use. Idempotent.
+pub fn prepare(cat: &mut Catalog) {
+    // Day → year lookup covering the full TPC-H date range (+ slack).
+    let max_day = voodoo_tpch::dates::date(1999, 12, 31);
+    let years: Vec<i64> = (0..=max_day).map(year_of).collect();
+    cat.put_i64_column(aux::YEAR_OF_DAY, &years);
+
+    let green = codes_where(cat, "part", "p_name", |s| s.contains(params::q9_color()));
+    cat.put_i64_column(aux::NAME_GREEN, &flags_to_i64(&green));
+
+    let forest = codes_where(cat, "part", "p_name", |s| s.contains(params::q20().0));
+    cat.put_i64_column(aux::NAME_FOREST, &flags_to_i64(&forest));
+
+    let promo = codes_where(cat, "part", "p_type", |s| s.starts_with("PROMO"));
+    cat.put_i64_column(aux::TYPE_PROMO, &flags_to_i64(&promo));
+
+    for (i, (_, kind, _)) in params::q19().iter().enumerate() {
+        let ok = codes_where(cat, "part", "p_container", |s| s.ends_with(kind));
+        cat.put_i64_column(&aux::container(i), &flags_to_i64(&ok));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_stages_all_aux_tables() {
+        let mut cat = voodoo_tpch::generate(0.001);
+        prepare(&mut cat);
+        assert!(cat.table(aux::YEAR_OF_DAY).is_some());
+        assert!(cat.table(aux::NAME_GREEN).is_some());
+        assert!(cat.table(aux::NAME_FOREST).is_some());
+        assert!(cat.table(aux::TYPE_PROMO).is_some());
+        for i in 0..3 {
+            assert!(cat.table(&aux::container(i)).is_some());
+        }
+        // Year lookup is correct at known boundaries.
+        let y = cat.table(aux::YEAR_OF_DAY).unwrap().column("val").unwrap();
+        assert_eq!(y.data.get(0).unwrap().as_i64(), 1992);
+        let d96 = voodoo_tpch::dates::date(1996, 6, 1) as usize;
+        assert_eq!(y.data.get(d96).unwrap().as_i64(), 1996);
+    }
+}

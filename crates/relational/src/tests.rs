@@ -1,0 +1,174 @@
+//! Cross-engine correctness: Voodoo plans (interpreter *and* compiled
+//! backend) must agree bit-exactly with the HyPeR-style reference on every
+//! evaluated TPC-H query.
+
+use voodoo_tpch::queries::{Query, CPU_QUERIES};
+
+use crate::{prepare, run_compiled, run_interp};
+
+fn catalog() -> voodoo_storage::Catalog {
+    let mut cat = voodoo_tpch::generate(0.003);
+    prepare(&mut cat);
+    cat
+}
+
+#[test]
+fn voodoo_interp_matches_hyper_on_all_queries() {
+    let cat = catalog();
+    for q in CPU_QUERIES {
+        let h = voodoo_baselines::hyper::run(&cat, q);
+        let v = run_interp(&cat, q);
+        assert_eq!(h, v, "{} differs (interp)", q.name());
+        // Q20's nation+color+threshold filter can legitimately be empty at
+        // tiny scales; every other query must produce rows.
+        if q != Query::Q20 {
+            assert!(!h.is_empty(), "{} should produce rows at this scale", q.name());
+        }
+    }
+}
+
+#[test]
+fn voodoo_compiled_matches_hyper_on_all_queries() {
+    let cat = catalog();
+    for q in CPU_QUERIES {
+        let h = voodoo_baselines::hyper::run(&cat, q);
+        let v = run_compiled(&cat, q, 1);
+        assert_eq!(h, v, "{} differs (compiled)", q.name());
+    }
+}
+
+#[test]
+fn voodoo_compiled_multithreaded_matches() {
+    let cat = catalog();
+    for q in [Query::Q1, Query::Q6, Query::Q12] {
+        let h = voodoo_baselines::hyper::run(&cat, q);
+        let v = run_compiled(&cat, q, 4);
+        assert_eq!(h, v, "{} differs (4 threads)", q.name());
+    }
+}
+
+#[test]
+fn q6_through_the_sql_frontend_matches_the_plan() {
+    // Q6 is expressible in the SQL subset — cross-check frontend paths.
+    let cat = catalog();
+    let (lo, hi, dlo, dhi, qmax) = voodoo_tpch::queries::params::q6();
+    let sql = format!(
+        "SELECT SUM(l_extendedprice * l_discount) FROM lineitem \
+         WHERE l_shipdate >= {lo} AND l_shipdate < {hi} \
+         AND l_discount BETWEEN {dlo} AND {dhi} AND l_quantity < {qmax}"
+    );
+    let rows = crate::sql::execute(&cat, &sql, |p, c| {
+        voodoo_interp::Interpreter::new(c).run_program(p).unwrap()
+    })
+    .unwrap();
+    let direct = run_interp(&cat, Query::Q6);
+    assert_eq!(rows, direct.rows);
+}
+
+// ---------------------------------------------------------------------
+// SQL parser negative and robustness tests
+// ---------------------------------------------------------------------
+
+mod sql_negative {
+    use crate::sql::parse;
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("florble the wumpus").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("SELECT").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_from() {
+        assert!(parse("SELECT sum(a)").is_err());
+    }
+
+    #[test]
+    fn rejects_unaggregated_non_group_column() {
+        assert!(
+            parse("SELECT a, sum(b) FROM t GROUP BY c").is_err(),
+            "a is neither aggregated nor the group key"
+        );
+    }
+
+    #[test]
+    fn accepts_group_key_projection() {
+        let q = parse("SELECT c, sum(b) FROM t GROUP BY c").expect("valid");
+        assert_eq!(q.group_by.as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn rejects_dangling_operators() {
+        assert!(parse("SELECT sum(a) FROM t WHERE a <").is_err());
+        assert!(parse("SELECT sum(a) FROM t WHERE a BETWEEN 1").is_err());
+        assert!(parse("SELECT sum(a) FROM t WHERE AND a < 1").is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_parens() {
+        assert!(parse("SELECT sum(a FROM t").is_err());
+    }
+
+    #[test]
+    fn parse_is_total_on_arbitrary_ascii() {
+        // The parser must return Err, never panic, on junk.
+        for seed in 0..200u64 {
+            let mut s = String::new();
+            let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for _ in 0..30 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let c = (b' ' + (x >> 33) as u8 % 95) as char;
+                s.push(c);
+            }
+            let _ = parse(&s); // outcome irrelevant; must not panic
+        }
+    }
+
+    #[test]
+    fn unknown_table_errors_no_later_than_execution() {
+        // Lowering may defer name resolution (Load is late-bound), but the
+        // pipeline as a whole must fail cleanly, never panic.
+        let cat = voodoo_storage::Catalog::in_memory();
+        let mut engine_error = false;
+        let res = crate::sql::execute(&cat, "SELECT sum(a) FROM ghost", |p, c| {
+            match voodoo_interp::Interpreter::new(c).run_program(p) {
+                Ok(out) => out,
+                Err(_) => {
+                    engine_error = true;
+                    voodoo_interp::ExecOutput::default()
+                }
+            }
+        });
+        assert!(res.is_err() || engine_error, "missing table must surface as an error");
+    }
+
+    #[test]
+    fn unknown_column_errors_no_later_than_execution() {
+        let mut cat = voodoo_storage::Catalog::in_memory();
+        cat.put_i64_column("t", &[1, 2, 3]);
+        let q = parse("SELECT sum(ghost) FROM t").expect("parses");
+        match crate::sql::lower(&cat, &q) {
+            Err(_) => {}
+            Ok(lowered) => {
+                assert!(
+                    voodoo_interp::Interpreter::new(&cat).run_program(&lowered.program).is_err(),
+                    "unknown column must fail by execution time"
+                );
+            }
+        }
+    }
+}
+
+/// The CSE+DCE-normalized compiled path returns bit-identical results on
+/// every paper query.
+#[test]
+fn optimized_plans_match_unoptimized_on_all_queries() {
+    let mut cat = voodoo_tpch::generate(0.002);
+    crate::prepare(&mut cat);
+    for q in voodoo_tpch::queries::CPU_QUERIES {
+        let plain = crate::run_compiled(&cat, q, 1);
+        let optimized = crate::run_compiled_optimized(&cat, q, 2);
+        assert_eq!(plain, optimized, "{}", q.name());
+    }
+}

@@ -1,0 +1,341 @@
+//! The in-memory catalog: tables, columns, dictionaries, metadata.
+
+use std::collections::HashMap;
+
+use voodoo_core::{
+    Buffer, Column, KeyPath, ScalarType, ScalarValue, Schema, StructuredVector, TableProvider,
+};
+
+/// Per-column statistics maintained on ingest.
+///
+/// The Voodoo planner uses min/max to size dense (identity-hashed) join and
+/// group-by tables "using only min and max" (paper §4, Optimization).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnStats {
+    /// Minimum value (integer view; floats floor).
+    pub min: i64,
+    /// Maximum value (integer view; floats ceil).
+    pub max: i64,
+}
+
+impl ColumnStats {
+    /// Size of the dense value domain `[min, max]`.
+    pub fn domain_size(&self) -> usize {
+        (self.max - self.min + 1).max(0) as usize
+    }
+}
+
+/// One named column of a table.
+#[derive(Debug, Clone)]
+pub struct TableColumn {
+    /// Column name (no leading dot).
+    pub name: String,
+    /// The values (dictionary codes for string columns).
+    pub data: Column,
+    /// The dictionary, for string columns (codes index into it).
+    pub dict: Option<Vec<String>>,
+    /// Min/max statistics for numeric (and code) columns.
+    pub stats: Option<ColumnStats>,
+}
+
+impl TableColumn {
+    /// Build from a buffer, computing stats.
+    pub fn from_buffer(name: &str, data: Buffer) -> TableColumn {
+        let col = Column::from_buffer(data);
+        let stats = compute_stats(&col);
+        TableColumn { name: name.to_string(), data: col, dict: None, stats }
+    }
+
+    /// Dictionary-encode a string column (MonetDB-style).
+    ///
+    /// Codes are assigned in first-occurrence order, stored as `i32`.
+    pub fn from_strings(name: &str, values: &[&str]) -> TableColumn {
+        let mut dict: Vec<String> = Vec::new();
+        let mut lookup: HashMap<&str, i32> = HashMap::new();
+        let mut codes: Vec<i32> = Vec::with_capacity(values.len());
+        for v in values {
+            let code = *lookup.entry(v).or_insert_with(|| {
+                dict.push(v.to_string());
+                (dict.len() - 1) as i32
+            });
+            codes.push(code);
+        }
+        let col = Column::from_buffer(Buffer::I32(codes));
+        let stats = compute_stats(&col);
+        TableColumn { name: name.to_string(), data: col, dict: Some(dict), stats }
+    }
+
+    /// Decode a dictionary code back to its string.
+    pub fn decode(&self, code: i32) -> Option<&str> {
+        self.dict.as_ref().and_then(|d| d.get(code as usize)).map(|s| s.as_str())
+    }
+
+    /// Look up the code of a string value, if present in the dictionary.
+    pub fn encode(&self, value: &str) -> Option<i32> {
+        self.dict
+            .as_ref()
+            .and_then(|d| d.iter().position(|s| s == value))
+            .map(|i| i as i32)
+    }
+
+    /// The scalar type of the stored values.
+    pub fn ty(&self) -> ScalarType {
+        self.data.ty()
+    }
+}
+
+fn compute_stats(col: &Column) -> Option<ColumnStats> {
+    let mut it = col.present();
+    let first = it.next()?;
+    let (mut min, mut max) = (to_i64(first), to_i64(first));
+    for v in it {
+        let x = to_i64(v);
+        min = min.min(x);
+        max = max.max(x);
+    }
+    Some(ColumnStats { min, max })
+}
+
+fn to_i64(v: ScalarValue) -> i64 {
+    match v {
+        ScalarValue::F32(f) => f.floor() as i64,
+        ScalarValue::F64(f) => f.floor() as i64,
+        other => other.as_i64(),
+    }
+}
+
+/// A named table: aligned columns of equal length.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Row count.
+    pub len: usize,
+    /// Columns, in definition order.
+    pub columns: Vec<TableColumn>,
+    /// Declared foreign keys: column name → (target table, target column).
+    pub foreign_keys: HashMap<String, (String, String)>,
+}
+
+impl Table {
+    /// An empty table with a name.
+    pub fn new(name: &str) -> Table {
+        Table { name: name.to_string(), ..Default::default() }
+    }
+
+    /// Add a column; first column fixes the row count.
+    pub fn add_column(&mut self, col: TableColumn) -> &mut Self {
+        if self.columns.is_empty() {
+            self.len = col.data.len();
+        } else {
+            assert_eq!(col.data.len(), self.len, "column length must match table");
+        }
+        self.columns.push(col);
+        self
+    }
+
+    /// Declare a foreign key `column → target_table.target_column`.
+    pub fn add_foreign_key(&mut self, column: &str, target_table: &str, target_column: &str) {
+        self.foreign_keys
+            .insert(column.to_string(), (target_table.to_string(), target_column.to_string()));
+    }
+
+    /// Find a column by name.
+    pub fn column(&self, name: &str) -> Option<&TableColumn> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// The table's flattened Voodoo schema (`.colname` per column).
+    pub fn schema(&self) -> Schema {
+        Schema::from_fields(
+            self.columns.iter().map(|c| (KeyPath::new(&c.name), c.ty())).collect(),
+        )
+    }
+
+    /// Materialize the table as a structured vector.
+    pub fn to_vector(&self) -> StructuredVector {
+        let mut v = StructuredVector::with_len(self.len);
+        for c in &self.columns {
+            v.insert(KeyPath::new(&c.name), c.data.clone());
+        }
+        v
+    }
+}
+
+/// The catalog: the persistent namespace `Load`/`Persist` operate on.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// A fresh, empty in-memory catalog.
+    pub fn in_memory() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Insert (or replace) a table.
+    pub fn insert_table(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// Names of all tables (unordered).
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Create a single-column table named `name` with column `val`.
+    pub fn put_i64_column(&mut self, name: &str, values: &[i64]) {
+        let mut t = Table::new(name);
+        t.add_column(TableColumn::from_buffer("val", Buffer::I64(values.to_vec())));
+        self.insert_table(t);
+    }
+
+    /// Create a single-column `f32` table (column `val`).
+    pub fn put_f32_column(&mut self, name: &str, values: &[f32]) {
+        let mut t = Table::new(name);
+        t.add_column(TableColumn::from_buffer("val", Buffer::F32(values.to_vec())));
+        self.insert_table(t);
+    }
+
+    /// Create a single-column `i32` table (column `val`).
+    pub fn put_i32_column(&mut self, name: &str, values: &[i32]) {
+        let mut t = Table::new(name);
+        t.add_column(TableColumn::from_buffer("val", Buffer::I32(values.to_vec())));
+        self.insert_table(t);
+    }
+
+    /// Materialize a table as a structured vector (the `Load` semantics).
+    pub fn load_vector(&self, name: &str) -> Option<StructuredVector> {
+        self.table(name).map(|t| t.to_vector())
+    }
+
+    /// Store a structured vector as a table (the `Persist` semantics).
+    pub fn persist_vector(&mut self, name: &str, v: &StructuredVector) {
+        let mut t = Table::new(name);
+        t.len = v.len();
+        for (kp, col) in v.fields() {
+            t.columns.push(TableColumn {
+                name: kp.as_ident(),
+                data: col.clone(),
+                dict: None,
+                stats: compute_stats(col),
+            });
+        }
+        self.insert_table(t);
+    }
+
+    /// Min/max stats of a column, if known.
+    pub fn column_stats(&self, table: &str, column: &str) -> Option<ColumnStats> {
+        self.table(table)?.column(column)?.stats
+    }
+}
+
+impl TableProvider for Catalog {
+    fn table_schema(&self, name: &str) -> Option<Schema> {
+        self.table(name).map(|t| t.schema())
+    }
+
+    fn table_len(&self, name: &str) -> Option<usize> {
+        self.table(name).map(|t| t.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_roundtrip() {
+        let col = TableColumn::from_strings("flag", &["A", "N", "A", "R", "N"]);
+        assert_eq!(col.dict.as_ref().unwrap().len(), 3);
+        assert_eq!(col.decode(0), Some("A"));
+        assert_eq!(col.encode("R"), Some(2));
+        assert_eq!(col.encode("X"), None);
+        // Codes follow first occurrence: A=0, N=1, R=2.
+        assert_eq!(col.data.buffer().as_i32().unwrap(), &[0, 1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn stats_computed() {
+        let col = TableColumn::from_buffer("x", Buffer::I64(vec![5, -3, 9]));
+        let s = col.stats.unwrap();
+        assert_eq!((s.min, s.max), (-3, 9));
+        assert_eq!(s.domain_size(), 13);
+    }
+
+    #[test]
+    fn table_schema_and_vector() {
+        let mut t = Table::new("line");
+        t.add_column(TableColumn::from_buffer("qty", Buffer::I64(vec![1, 2])));
+        t.add_column(TableColumn::from_buffer("price", Buffer::F64(vec![1.5, 2.5])));
+        assert_eq!(t.len, 2);
+        let v = t.to_vector();
+        assert_eq!(v.len(), 2);
+        assert_eq!(
+            v.value_at(1, &KeyPath::new(".price")),
+            Some(ScalarValue::F64(2.5))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "column length must match")]
+    fn misaligned_column_panics() {
+        let mut t = Table::new("t");
+        t.add_column(TableColumn::from_buffer("a", Buffer::I64(vec![1, 2])));
+        t.add_column(TableColumn::from_buffer("b", Buffer::I64(vec![1])));
+    }
+
+    #[test]
+    fn catalog_provider_impl() {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("input", &[1, 2, 3]);
+        assert_eq!(cat.table_len("input"), Some(3));
+        assert_eq!(
+            cat.table_schema("input").unwrap().field_type(&KeyPath::new(".val")),
+            Some(ScalarType::I64)
+        );
+        assert_eq!(cat.table_len("nope"), None);
+    }
+
+    #[test]
+    fn persist_roundtrip() {
+        let mut cat = Catalog::in_memory();
+        let mut v = StructuredVector::with_len(2);
+        v.insert(".sum", Column::from_buffer(Buffer::I64(vec![10, 20])));
+        cat.persist_vector("result", &v);
+        let back = cat.load_vector("result").unwrap();
+        assert_eq!(back.value_at(0, &KeyPath::new(".sum")), Some(ScalarValue::I64(10)));
+    }
+
+    #[test]
+    fn foreign_keys_recorded() {
+        let mut t = Table::new("lineitem");
+        t.add_column(TableColumn::from_buffer("l_orderkey", Buffer::I64(vec![1])));
+        t.add_foreign_key("l_orderkey", "orders", "o_orderkey");
+        assert_eq!(
+            t.foreign_keys.get("l_orderkey"),
+            Some(&("orders".to_string(), "o_orderkey".to_string()))
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! # voodoo-storage — MonetDB-style columnar storage substrate
+//!
+//! The paper integrates Voodoo into MonetDB, "effectively reduc[ing] its
+//! role to data loading and query parsing" (§4). This crate is that reduced
+//! role: a binary, column-wise catalog with **dictionary encoding for
+//! strings** (exactly MonetDB's string storage the paper reuses), per-column
+//! **min/max metadata** (which the Voodoo planner "aggressively exploits" to
+//! size identity-hashed tables, §5.2) and declared **foreign-key
+//! constraints**.
+//!
+//! Tables are flat collections of named columns; loading a table as a
+//! Voodoo [`voodoo_core::StructuredVector`] exposes each column as a
+//! `.name` attribute.
+
+pub mod catalog;
+pub mod persist;
+
+pub use catalog::{Catalog, ColumnStats, Table, TableColumn};

@@ -1,0 +1,118 @@
+//! Date arithmetic for TPC-H: days since 1992-01-01.
+//!
+//! TPC-H dates span [1992-01-01, 1998-12-31]. Storing them as day offsets
+//! keeps every engine's comparisons integer-only.
+
+/// Days in each month of a non-leap year.
+const MONTH_DAYS: [i64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i64) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Days since 1992-01-01 (which is day 0) for a calendar date.
+///
+/// Panics on out-of-range months/days; years before 1992 yield negative
+/// offsets (valid for arithmetic).
+pub fn date(year: i64, month: i64, day: i64) -> i64 {
+    assert!((1..=12).contains(&month), "month out of range");
+    assert!((1..=31).contains(&day), "day out of range");
+    let mut days = 0i64;
+    if year >= 1992 {
+        for y in 1992..year {
+            days += if is_leap(y) { 366 } else { 365 };
+        }
+    } else {
+        for y in year..1992 {
+            days -= if is_leap(y) { 366 } else { 365 };
+        }
+    }
+    for m in 0..(month - 1) as usize {
+        days += MONTH_DAYS[m];
+        if m == 1 && is_leap(year) {
+            days += 1;
+        }
+    }
+    days + (day - 1)
+}
+
+/// Inverse of [`date`]: `(year, month, day)` for a day offset.
+pub fn from_days(mut days: i64) -> (i64, i64, i64) {
+    let mut year = 1992i64;
+    loop {
+        let ylen = if is_leap(year) { 366 } else { 365 };
+        if days >= ylen {
+            days -= ylen;
+            year += 1;
+        } else if days < 0 {
+            year -= 1;
+            days += if is_leap(year) { 366 } else { 365 };
+        } else {
+            break;
+        }
+    }
+    let mut month = 1i64;
+    for (m, &len) in MONTH_DAYS.iter().enumerate() {
+        let len = len + if m == 1 && is_leap(year) { 1 } else { 0 };
+        if days >= len {
+            days -= len;
+            month += 1;
+        } else {
+            break;
+        }
+    }
+    (year, month, days + 1)
+}
+
+/// Extract the year of a day offset (used by Q7/Q8/Q9's `extract(year)`).
+pub fn year_of(days: i64) -> i64 {
+    from_days(days).0
+}
+
+/// The first day (offset) of a year.
+pub fn year_start(year: i64) -> i64 {
+    date(year, 1, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(date(1992, 1, 1), 0);
+        assert_eq!(date(1992, 1, 2), 1);
+        assert_eq!(date(1992, 2, 1), 31);
+    }
+
+    #[test]
+    fn leap_years_respected() {
+        // 1992 is a leap year: Feb 29 exists.
+        assert_eq!(date(1992, 3, 1) - date(1992, 2, 28), 2);
+        // 1993 is not.
+        assert_eq!(date(1993, 3, 1) - date(1993, 2, 28), 1);
+    }
+
+    #[test]
+    fn known_tpch_dates() {
+        // The spec's canonical boundaries.
+        assert_eq!(date(1998, 12, 1), 2526);
+        assert_eq!(date(1995, 6, 17), 1263);
+        assert_eq!(date(1994, 1, 1) - date(1993, 1, 1), 365);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for &d in &[0, 1, 58, 59, 60, 365, 366, 730, 1263, 2526, 2555] {
+            let (y, m, dd) = from_days(d);
+            assert_eq!(date(y, m, dd), d, "roundtrip {d} ({y}-{m}-{dd})");
+        }
+    }
+
+    #[test]
+    fn year_extraction() {
+        assert_eq!(year_of(date(1995, 7, 4)), 1995);
+        assert_eq!(year_of(date(1992, 1, 1)), 1992);
+        assert_eq!(year_start(1996), date(1996, 1, 1));
+    }
+}

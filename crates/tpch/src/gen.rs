@@ -1,0 +1,490 @@
+//! The TPC-H table generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use voodoo_core::Buffer;
+use voodoo_storage::{Catalog, Table, TableColumn};
+
+use crate::dates::date;
+use crate::sf1;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchParams {
+    /// Scale factor (1.0 ≈ 6M lineitems). Fractional scales supported.
+    pub scale: f64,
+    /// RNG seed — same seed, same data.
+    pub seed: u64,
+}
+
+impl Default for TpchParams {
+    fn default() -> Self {
+        TpchParams { scale: 0.01, seed: 0x7CDB_5EED }
+    }
+}
+
+/// TPC-H region names (specification order).
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// TPC-H nations with their region keys (specification Appendix A).
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// Market segments.
+pub const SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// Order priorities.
+pub const PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Ship modes.
+pub const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Ship instructions.
+pub const INSTRUCTIONS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+/// Part name color vocabulary (subset of the spec's 92; includes the
+/// colors queries match on).
+pub const COLORS: [&str; 20] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "chartreuse", "chocolate", "coral", "forest", "green", "honeydew",
+    "hot", "ivory",
+];
+
+/// Container size words × container kinds.
+pub const CONTAINER_SIZES: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+/// Container kind words.
+pub const CONTAINER_KINDS: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Type syllables (class × finish × material = 150 types).
+pub const TYPE_CLASS: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// Type finish words.
+pub const TYPE_FINISH: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// Type material words.
+pub const TYPE_MATERIAL: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// Last order date: 1998-12-31 − 151 days = 1998-08-02 (spec 4.2.3).
+fn max_orderdate() -> i64 {
+    date(1998, 8, 2)
+}
+
+/// Generate a catalog at the given scale with the default seed.
+pub fn generate(scale: f64) -> Catalog {
+    let mut cat = Catalog::in_memory();
+    generate_into(&mut cat, TpchParams { scale, ..Default::default() });
+    cat
+}
+
+/// Generate all eight tables into an existing catalog.
+pub fn generate_into(cat: &mut Catalog, params: TpchParams) {
+    let scale = params.scale.max(0.0001);
+    let scaled = |n: usize| ((n as f64 * scale).round() as usize).max(1);
+    let n_supplier = scaled(sf1::SUPPLIER);
+    let n_part = scaled(sf1::PART);
+    let n_customer = scaled(sf1::CUSTOMER);
+    let n_orders = scaled(sf1::ORDERS);
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+
+    // region ----------------------------------------------------------
+    let mut region = Table::new("region");
+    region.add_column(TableColumn::from_buffer(
+        "r_regionkey",
+        Buffer::I64((0..sf1::REGION as i64).collect()),
+    ));
+    region.add_column(TableColumn::from_strings("r_name", &REGIONS));
+    cat.insert_table(region);
+
+    // nation ----------------------------------------------------------
+    let mut nation = Table::new("nation");
+    nation.add_column(TableColumn::from_buffer(
+        "n_nationkey",
+        Buffer::I64((0..sf1::NATION as i64).collect()),
+    ));
+    let nation_names: Vec<&str> = NATIONS.iter().map(|(n, _)| *n).collect();
+    nation.add_column(TableColumn::from_strings("n_name", &nation_names));
+    nation.add_column(TableColumn::from_buffer(
+        "n_regionkey",
+        Buffer::I64(NATIONS.iter().map(|(_, r)| *r).collect()),
+    ));
+    nation.add_foreign_key("n_regionkey", "region", "r_regionkey");
+    cat.insert_table(nation);
+
+    // supplier ---------------------------------------------------------
+    let mut supplier = Table::new("supplier");
+    supplier.add_column(TableColumn::from_buffer(
+        "s_suppkey",
+        Buffer::I64((0..n_supplier as i64).collect()),
+    ));
+    supplier.add_column(TableColumn::from_buffer(
+        "s_nationkey",
+        Buffer::I64((0..n_supplier).map(|_| rng.gen_range(0..25)).collect()),
+    ));
+    supplier.add_column(TableColumn::from_buffer(
+        "s_acctbal",
+        Buffer::I64((0..n_supplier).map(|_| rng.gen_range(-99999..999999)).collect()),
+    ));
+    supplier.add_foreign_key("s_nationkey", "nation", "n_nationkey");
+    cat.insert_table(supplier);
+
+    // customer ---------------------------------------------------------
+    let mut customer = Table::new("customer");
+    customer.add_column(TableColumn::from_buffer(
+        "c_custkey",
+        Buffer::I64((0..n_customer as i64).collect()),
+    ));
+    customer.add_column(TableColumn::from_buffer(
+        "c_nationkey",
+        Buffer::I64((0..n_customer).map(|_| rng.gen_range(0..25)).collect()),
+    ));
+    let seg_vals: Vec<&str> =
+        (0..n_customer).map(|_| SEGMENTS[rng.gen_range(0..SEGMENTS.len())]).collect();
+    customer.add_column(TableColumn::from_strings("c_mktsegment", &seg_vals));
+    customer.add_column(TableColumn::from_buffer(
+        "c_acctbal",
+        Buffer::I64((0..n_customer).map(|_| rng.gen_range(-99999..999999)).collect()),
+    ));
+    customer.add_foreign_key("c_nationkey", "nation", "n_nationkey");
+    cat.insert_table(customer);
+
+    // part --------------------------------------------------------------
+    let mut part = Table::new("part");
+    part.add_column(TableColumn::from_buffer(
+        "p_partkey",
+        Buffer::I64((0..n_part as i64).collect()),
+    ));
+    let name_vals: Vec<String> = (0..n_part)
+        .map(|_| {
+            let a = COLORS[rng.gen_range(0..COLORS.len())];
+            let b = COLORS[rng.gen_range(0..COLORS.len())];
+            format!("{a} {b}")
+        })
+        .collect();
+    let name_refs: Vec<&str> = name_vals.iter().map(|s| s.as_str()).collect();
+    part.add_column(TableColumn::from_strings("p_name", &name_refs));
+    let brand_vals: Vec<String> = (0..n_part)
+        .map(|_| format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6)))
+        .collect();
+    let brand_refs: Vec<&str> = brand_vals.iter().map(|s| s.as_str()).collect();
+    part.add_column(TableColumn::from_strings("p_brand", &brand_refs));
+    let type_vals: Vec<String> = (0..n_part)
+        .map(|_| {
+            format!(
+                "{} {} {}",
+                TYPE_CLASS[rng.gen_range(0..TYPE_CLASS.len())],
+                TYPE_FINISH[rng.gen_range(0..TYPE_FINISH.len())],
+                TYPE_MATERIAL[rng.gen_range(0..TYPE_MATERIAL.len())]
+            )
+        })
+        .collect();
+    let type_refs: Vec<&str> = type_vals.iter().map(|s| s.as_str()).collect();
+    part.add_column(TableColumn::from_strings("p_type", &type_refs));
+    part.add_column(TableColumn::from_buffer(
+        "p_size",
+        Buffer::I64((0..n_part).map(|_| rng.gen_range(1..51)).collect()),
+    ));
+    let cont_vals: Vec<String> = (0..n_part)
+        .map(|_| {
+            format!(
+                "{} {}",
+                CONTAINER_SIZES[rng.gen_range(0..CONTAINER_SIZES.len())],
+                CONTAINER_KINDS[rng.gen_range(0..CONTAINER_KINDS.len())]
+            )
+        })
+        .collect();
+    let cont_refs: Vec<&str> = cont_vals.iter().map(|s| s.as_str()).collect();
+    part.add_column(TableColumn::from_strings("p_container", &cont_refs));
+    // Spec retail price formula keeps prices in [90000, 200000) cents.
+    part.add_column(TableColumn::from_buffer(
+        "p_retailprice",
+        Buffer::I64(
+            (0..n_part as i64).map(|k| 90000 + (k % 20001) * 100 / 100 + (k % 1000) * 100).collect(),
+        ),
+    ));
+    cat.insert_table(part);
+
+    // partsupp ------------------------------------------------------------
+    let n_partsupp = n_part * 4;
+    let mut partsupp = Table::new("partsupp");
+    partsupp.add_column(TableColumn::from_buffer(
+        "ps_partkey",
+        Buffer::I64((0..n_partsupp as i64).map(|i| i / 4).collect()),
+    ));
+    // The spec's supplier permutation spreads a part's four suppliers;
+    // a simple stride keeps the pairs unique.
+    partsupp.add_column(TableColumn::from_buffer(
+        "ps_suppkey",
+        Buffer::I64(
+            (0..n_partsupp as i64)
+                .map(|i| {
+                    let p = i / 4;
+                    let j = i % 4;
+                    (p + j * (n_supplier as i64 / 4).max(1)) % n_supplier as i64
+                })
+                .collect(),
+        ),
+    ));
+    partsupp.add_column(TableColumn::from_buffer(
+        "ps_availqty",
+        Buffer::I64((0..n_partsupp).map(|_| rng.gen_range(1..10000)).collect()),
+    ));
+    partsupp.add_column(TableColumn::from_buffer(
+        "ps_supplycost",
+        Buffer::I64((0..n_partsupp).map(|_| rng.gen_range(100..100001)).collect()),
+    ));
+    partsupp.add_foreign_key("ps_partkey", "part", "p_partkey");
+    partsupp.add_foreign_key("ps_suppkey", "supplier", "s_suppkey");
+    cat.insert_table(partsupp);
+
+    // orders + lineitem ----------------------------------------------------
+    let max_od = max_orderdate();
+    let mut o_orderkey = Vec::with_capacity(n_orders);
+    let mut o_custkey = Vec::with_capacity(n_orders);
+    let mut o_orderdate = Vec::with_capacity(n_orders);
+    let mut o_priority: Vec<&str> = Vec::with_capacity(n_orders);
+
+    let mut l_orderkey = Vec::new();
+    let mut l_partkey = Vec::new();
+    let mut l_suppkey = Vec::new();
+    let mut l_linenumber = Vec::new();
+    let mut l_quantity = Vec::new();
+    let mut l_extendedprice = Vec::new();
+    let mut l_discount = Vec::new();
+    let mut l_tax = Vec::new();
+    let mut l_returnflag: Vec<&str> = Vec::new();
+    let mut l_linestatus: Vec<&str> = Vec::new();
+    let mut l_shipdate = Vec::new();
+    let mut l_commitdate = Vec::new();
+    let mut l_receiptdate = Vec::new();
+    let mut l_shipmode: Vec<&str> = Vec::new();
+    let mut l_shipinstruct: Vec<&str> = Vec::new();
+
+    let cutoff = date(1995, 6, 17);
+    for ok in 0..n_orders as i64 {
+        o_orderkey.push(ok);
+        o_custkey.push(rng.gen_range(0..n_customer as i64));
+        let od = rng.gen_range(0..=max_od);
+        o_orderdate.push(od);
+        o_priority.push(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]);
+
+        let items = rng.gen_range(1..8);
+        for ln in 0..items {
+            l_orderkey.push(ok);
+            l_linenumber.push(ln as i64 + 1);
+            let pk = rng.gen_range(0..n_part as i64);
+            l_partkey.push(pk);
+            // Like dbgen, the line's supplier is one of the part's four
+            // partsupp suppliers — so (partkey, suppkey) resolves to a
+            // partsupp row, arithmetically (see `ps_index`).
+            let j = rng.gen_range(0..4i64);
+            let stride = (n_supplier as i64 / 4).max(1);
+            l_suppkey.push((pk + j * stride) % n_supplier as i64);
+            let qty = rng.gen_range(1..51i64);
+            l_quantity.push(qty);
+            let price = 90000 + (pk % 20001) / 1 + (pk % 1000) * 100;
+            l_extendedprice.push(qty * price / 100 * 100 / 100); // cents
+            l_discount.push(rng.gen_range(0..11i64)); // hundredths
+            l_tax.push(rng.gen_range(0..9i64));
+            let ship = od + rng.gen_range(1..122i64);
+            let commit = od + rng.gen_range(30..91i64);
+            let receipt = ship + rng.gen_range(1..31i64);
+            l_shipdate.push(ship);
+            l_commitdate.push(commit);
+            l_receiptdate.push(receipt);
+            if receipt <= cutoff {
+                l_returnflag.push(if rng.gen_bool(0.5) { "R" } else { "A" });
+            } else {
+                l_returnflag.push("N");
+            }
+            l_linestatus.push(if ship > cutoff { "O" } else { "F" });
+            l_shipmode.push(SHIPMODES[rng.gen_range(0..SHIPMODES.len())]);
+            l_shipinstruct.push(INSTRUCTIONS[rng.gen_range(0..INSTRUCTIONS.len())]);
+        }
+    }
+
+    let mut orders = Table::new("orders");
+    orders.add_column(TableColumn::from_buffer("o_orderkey", Buffer::I64(o_orderkey)));
+    orders.add_column(TableColumn::from_buffer("o_custkey", Buffer::I64(o_custkey)));
+    orders.add_column(TableColumn::from_buffer("o_orderdate", Buffer::I64(o_orderdate)));
+    orders.add_column(TableColumn::from_strings("o_orderpriority", &o_priority));
+    orders.add_foreign_key("o_custkey", "customer", "c_custkey");
+    cat.insert_table(orders);
+
+    let mut lineitem = Table::new("lineitem");
+    lineitem.add_column(TableColumn::from_buffer("l_orderkey", Buffer::I64(l_orderkey)));
+    lineitem.add_column(TableColumn::from_buffer("l_partkey", Buffer::I64(l_partkey)));
+    lineitem.add_column(TableColumn::from_buffer("l_suppkey", Buffer::I64(l_suppkey)));
+    lineitem.add_column(TableColumn::from_buffer("l_linenumber", Buffer::I64(l_linenumber)));
+    lineitem.add_column(TableColumn::from_buffer("l_quantity", Buffer::I64(l_quantity)));
+    lineitem
+        .add_column(TableColumn::from_buffer("l_extendedprice", Buffer::I64(l_extendedprice)));
+    lineitem.add_column(TableColumn::from_buffer("l_discount", Buffer::I64(l_discount)));
+    lineitem.add_column(TableColumn::from_buffer("l_tax", Buffer::I64(l_tax)));
+    lineitem.add_column(TableColumn::from_strings("l_returnflag", &l_returnflag));
+    lineitem.add_column(TableColumn::from_strings("l_linestatus", &l_linestatus));
+    lineitem.add_column(TableColumn::from_buffer("l_shipdate", Buffer::I64(l_shipdate)));
+    lineitem.add_column(TableColumn::from_buffer("l_commitdate", Buffer::I64(l_commitdate)));
+    lineitem.add_column(TableColumn::from_buffer("l_receiptdate", Buffer::I64(l_receiptdate)));
+    lineitem.add_column(TableColumn::from_strings("l_shipmode", &l_shipmode));
+    lineitem.add_column(TableColumn::from_strings("l_shipinstruct", &l_shipinstruct));
+    lineitem.add_foreign_key("l_orderkey", "orders", "o_orderkey");
+    lineitem.add_foreign_key("l_partkey", "part", "p_partkey");
+    lineitem.add_foreign_key("l_suppkey", "supplier", "s_suppkey");
+    cat.insert_table(lineitem);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voodoo_core::ScalarValue;
+
+    fn small() -> Catalog {
+        generate(0.002)
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let cat = small();
+        assert_eq!(cat.table("region").unwrap().len, 5);
+        assert_eq!(cat.table("nation").unwrap().len, 25);
+        assert_eq!(cat.table("supplier").unwrap().len, 20);
+        assert_eq!(cat.table("customer").unwrap().len, 300);
+        assert_eq!(cat.table("orders").unwrap().len, 3000);
+        let li = cat.table("lineitem").unwrap().len;
+        // ~4 lineitems per order.
+        assert!((9000..15000).contains(&li), "lineitem count {li}");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate(0.001);
+        let b = generate(0.001);
+        let ta = a.table("lineitem").unwrap();
+        let tb = b.table("lineitem").unwrap();
+        assert_eq!(ta.len, tb.len);
+        for c in 0..ta.columns.len() {
+            assert_eq!(ta.columns[c].data, tb.columns[c].data, "column {}", ta.columns[c].name);
+        }
+    }
+
+    #[test]
+    fn foreign_keys_valid() {
+        let cat = small();
+        let li = cat.table("lineitem").unwrap();
+        let n_orders = cat.table("orders").unwrap().len as i64;
+        let n_part = cat.table("part").unwrap().len as i64;
+        let ok = li.column("l_orderkey").unwrap();
+        let pk = li.column("l_partkey").unwrap();
+        for i in 0..li.len {
+            let o = ok.data.get(i).map(|v| v.as_i64()).unwrap();
+            let p = pk.data.get(i).map(|v| v.as_i64()).unwrap();
+            assert!((0..n_orders).contains(&o));
+            assert!((0..n_part).contains(&p));
+        }
+    }
+
+    #[test]
+    fn date_invariants() {
+        let cat = small();
+        let li = cat.table("lineitem").unwrap();
+        let ship = li.column("l_shipdate").unwrap();
+        let receipt = li.column("l_receiptdate").unwrap();
+        for i in 0..li.len {
+            let s = ship.data.get(i).map(|v| v.as_i64()).unwrap();
+            let r = receipt.data.get(i).map(|v| v.as_i64()).unwrap();
+            assert!(r > s, "receipt after ship at {i}");
+        }
+    }
+
+    #[test]
+    fn returnflag_rule() {
+        let cat = small();
+        let li = cat.table("lineitem").unwrap();
+        let receipt = li.column("l_receiptdate").unwrap();
+        let flag = li.column("l_returnflag").unwrap();
+        let cutoff = date(1995, 6, 17);
+        for i in 0..li.len {
+            let r = receipt.data.get(i).map(|v| v.as_i64()).unwrap();
+            let code = match flag.data.get(i).unwrap() {
+                ScalarValue::I32(c) => c,
+                other => panic!("flag not a dict code: {other:?}"),
+            };
+            let name = flag.decode(code).unwrap();
+            if r > cutoff {
+                assert_eq!(name, "N", "post-cutoff receipts are N");
+            } else {
+                assert!(name == "R" || name == "A");
+            }
+        }
+    }
+
+    #[test]
+    fn dictionaries_cover_vocabulary() {
+        let cat = small();
+        let li = cat.table("lineitem").unwrap();
+        let modes = li.column("l_shipmode").unwrap().dict.as_ref().unwrap().len();
+        assert!(modes <= 7);
+        let seg = cat.table("customer").unwrap().column("c_mktsegment").unwrap();
+        assert!(seg.dict.as_ref().unwrap().len() <= 5);
+        // p_name contains the colors Q9 greps for.
+        let names = cat.table("part").unwrap().column("p_name").unwrap();
+        assert!(names.dict.as_ref().unwrap().iter().any(|n| n.contains("green")));
+    }
+
+    #[test]
+    fn stats_enable_identity_hashing() {
+        let cat = small();
+        let s = cat.column_stats("lineitem", "l_orderkey").unwrap();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max as usize, cat.table("orders").unwrap().len - 1);
+    }
+
+    #[test]
+    fn q6_selectivity_plausible() {
+        // Q6 filters one year + discount band + quantity: a few percent.
+        let cat = small();
+        let li = cat.table("lineitem").unwrap();
+        let ship = li.column("l_shipdate").unwrap();
+        let disc = li.column("l_discount").unwrap();
+        let qty = li.column("l_quantity").unwrap();
+        let (lo, hi) = (date(1994, 1, 1), date(1995, 1, 1));
+        let mut hits = 0usize;
+        for i in 0..li.len {
+            let s = ship.data.get(i).map(|v| v.as_i64()).unwrap();
+            let d = disc.data.get(i).map(|v| v.as_i64()).unwrap();
+            let q = qty.data.get(i).map(|v| v.as_i64()).unwrap();
+            if s >= lo && s < hi && (5..=7).contains(&d) && q < 24 {
+                hits += 1;
+            }
+        }
+        let sel = hits as f64 / li.len as f64;
+        assert!(sel > 0.005 && sel < 0.05, "Q6 selectivity {sel}");
+    }
+}

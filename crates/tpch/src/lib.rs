@@ -1,0 +1,58 @@
+//! # voodoo-tpch — deterministic TPC-H data generation
+//!
+//! The paper evaluates on "a significant subset of the TPC-H queries on a
+//! scale factor 10 dataset" (§5.2). This crate is the `dbgen` substitute:
+//! a deterministic, scale-factor-parameterized generator producing the
+//! eight TPC-H tables with the schema, key structure and value
+//! distributions of the specification, loaded into a
+//! [`voodoo_storage::Catalog`].
+//!
+//! Substitutions vs. real dbgen (documented in DESIGN.md):
+//!
+//! * keys are dense and 0-based (dbgen's are 1-based and, for orders,
+//!   sparse) — this benefits *every* engine equally and matches the
+//!   paper's own "identity hashing on open hashtables ... using only min
+//!   and max" optimization;
+//! * monetary values are integer cents, discounts/taxes integer
+//!   hundredths, so all engines agree bit-exactly on aggregates;
+//! * dates are integer days since 1992-01-01 ([`dates`]);
+//! * text columns carry only the structure queries inspect (brand/type/
+//!   container words, color names inside `p_name`, priorities, modes).
+
+pub mod dates;
+pub mod gen;
+pub mod queries;
+
+pub use gen::{generate, generate_into, TpchParams};
+
+/// The partsupp row index of a `(partkey, suppkey)` pair.
+///
+/// The generator assigns each part's four suppliers by
+/// `suppkey = (partkey + j·stride) mod n_supplier` with
+/// `stride = max(n_supplier/4, 1)`, so the pair inverts to
+/// `j = ((suppkey − partkey) mod n_supplier) / stride` and the partsupp
+/// row is `partkey·4 + j`. Every engine (and the Voodoo plans, via integer
+/// arithmetic) uses this same inversion.
+pub fn ps_index(partkey: i64, suppkey: i64, n_supplier: i64) -> i64 {
+    let stride = (n_supplier / 4).max(1);
+    let j = ((suppkey - partkey) % n_supplier + n_supplier) % n_supplier / stride;
+    partkey * 4 + j.min(3)
+}
+
+/// Canonical row counts at scale factor 1 (TPC-H specification §4.2.5).
+pub mod sf1 {
+    /// supplier rows per SF.
+    pub const SUPPLIER: usize = 10_000;
+    /// part rows per SF.
+    pub const PART: usize = 200_000;
+    /// partsupp rows per SF.
+    pub const PARTSUPP: usize = 800_000;
+    /// customer rows per SF.
+    pub const CUSTOMER: usize = 150_000;
+    /// orders rows per SF.
+    pub const ORDERS: usize = 1_500_000;
+    /// nations (fixed).
+    pub const NATION: usize = 25;
+    /// regions (fixed).
+    pub const REGION: usize = 5;
+}

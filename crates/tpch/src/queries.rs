@@ -1,0 +1,217 @@
+//! The TPC-H query subset of the paper's evaluation, with canonical
+//! parameters and an engine-independent result representation.
+//!
+//! The paper runs Q{1,4,5,6,7,8,9,10,11,12,14,15,19,20} on CPU (Figure 13)
+//! and Q{1,4,5,6,8,12,19} on GPU (Figure 12). Order-by/limit clauses are
+//! omitted exactly as in the paper ("the order-by/limit clauses were
+//! omitted"); results are canonicalized by sorting rows.
+//!
+//! All monetary math is integer (cents and hundredths), so every engine —
+//! HyPeR-style, Ocelot-style, Voodoo interpreter and Voodoo compiled —
+//! must agree *bit exactly*; the cross-engine tests assert that.
+
+use crate::dates::date;
+
+/// The evaluated query subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// Pricing summary report (group by returnflag/linestatus).
+    Q1,
+    /// Order priority checking (exists semijoin).
+    Q4,
+    /// Local supplier volume (6-way join, region filter).
+    Q5,
+    /// Forecasting revenue change (selection + aggregate).
+    Q6,
+    /// Volume shipping (two-nation join, group by year).
+    Q7,
+    /// National market share (8-way join, share per year).
+    Q8,
+    /// Product type profit (partsupp join, group by nation/year).
+    Q9,
+    /// Returned item reporting (group by customer).
+    Q10,
+    /// Important stock identification (value threshold).
+    Q11,
+    /// Shipping modes and order priority.
+    Q12,
+    /// Promotion effect (conditional aggregate).
+    Q14,
+    /// Top supplier (aggregate + max + rejoin).
+    Q15,
+    /// Discounted revenue (disjunctive brand/container/quantity predicates).
+    Q19,
+    /// Potential part promotion (correlated subquery on shipped qty).
+    Q20,
+}
+
+/// All CPU-figure queries in paper order (Figure 13).
+pub const CPU_QUERIES: [Query; 14] = [
+    Query::Q1,
+    Query::Q4,
+    Query::Q5,
+    Query::Q6,
+    Query::Q7,
+    Query::Q8,
+    Query::Q9,
+    Query::Q10,
+    Query::Q11,
+    Query::Q12,
+    Query::Q14,
+    Query::Q15,
+    Query::Q19,
+    Query::Q20,
+];
+
+/// GPU-figure queries (Figure 12).
+pub const GPU_QUERIES: [Query; 7] =
+    [Query::Q1, Query::Q4, Query::Q5, Query::Q6, Query::Q8, Query::Q12, Query::Q19];
+
+impl Query {
+    /// TPC-H query number.
+    pub fn number(self) -> u32 {
+        match self {
+            Query::Q1 => 1,
+            Query::Q4 => 4,
+            Query::Q5 => 5,
+            Query::Q6 => 6,
+            Query::Q7 => 7,
+            Query::Q8 => 8,
+            Query::Q9 => 9,
+            Query::Q10 => 10,
+            Query::Q11 => 11,
+            Query::Q12 => 12,
+            Query::Q14 => 14,
+            Query::Q19 => 19,
+            Query::Q15 => 15,
+            Query::Q20 => 20,
+        }
+    }
+
+    /// Display name ("Q6").
+    pub fn name(self) -> String {
+        format!("Q{}", self.number())
+    }
+}
+
+/// A canonical, engine-independent query result: integer rows, sorted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Sorted rows of integer values (keys first, aggregates after).
+    pub rows: Vec<Vec<i64>>,
+}
+
+impl QueryResult {
+    /// Build from unsorted rows (canonicalizes by sorting).
+    pub fn new(mut rows: Vec<Vec<i64>>) -> QueryResult {
+        rows.sort_unstable();
+        QueryResult { rows }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Canonical (validation-style) parameters shared by all engines.
+pub mod params {
+    use super::date;
+
+    /// Q1: shipdate cutoff = 1998-12-01 − 90 days.
+    pub fn q1_cutoff() -> i64 {
+        date(1998, 12, 1) - 90
+    }
+
+    /// Q4: order date window [1993-07-01, 1993-10-01).
+    pub fn q4_window() -> (i64, i64) {
+        (date(1993, 7, 1), date(1993, 10, 1))
+    }
+
+    /// Q5: region name and order date window [1994-01-01, 1995-01-01).
+    pub fn q5() -> (&'static str, i64, i64) {
+        ("ASIA", date(1994, 1, 1), date(1995, 1, 1))
+    }
+
+    /// Q6: shipdate window, discount band (hundredths), quantity bound.
+    pub fn q6() -> (i64, i64, i64, i64, i64) {
+        (date(1994, 1, 1), date(1995, 1, 1), 5, 7, 24)
+    }
+
+    /// Q7: the two nations and the shipdate window (1995–1996).
+    pub fn q7() -> (&'static str, &'static str, i64, i64) {
+        ("FRANCE", "GERMANY", date(1995, 1, 1), date(1996, 12, 31))
+    }
+
+    /// Q8: nation, region, part type, order date window.
+    pub fn q8() -> (&'static str, &'static str, &'static str, i64, i64) {
+        ("BRAZIL", "AMERICA", "ECONOMY ANODIZED STEEL", date(1995, 1, 1), date(1996, 12, 31))
+    }
+
+    /// Q9: part name infix.
+    pub fn q9_color() -> &'static str {
+        "green"
+    }
+
+    /// Q10: order date window [1993-10-01, 1994-01-01).
+    pub fn q10_window() -> (i64, i64) {
+        (date(1993, 10, 1), date(1994, 1, 1))
+    }
+
+    /// Q11: nation and value threshold denominator (value > total/10000).
+    pub fn q11() -> (&'static str, i64) {
+        ("GERMANY", 10_000)
+    }
+
+    /// Q12: the two ship modes and receipt-date window (1994).
+    pub fn q12() -> (&'static str, &'static str, i64, i64) {
+        ("MAIL", "SHIP", date(1994, 1, 1), date(1995, 1, 1))
+    }
+
+    /// Q14: shipdate window [1995-09-01, 1995-10-01).
+    pub fn q14_window() -> (i64, i64) {
+        (date(1995, 9, 1), date(1995, 10, 1))
+    }
+
+    /// Q15: shipdate window [1996-01-01, 1996-04-01).
+    pub fn q15_window() -> (i64, i64) {
+        (date(1996, 1, 1), date(1996, 4, 1))
+    }
+
+    /// Q19: the three (brand, container kind, min qty) triples; quantity
+    /// band width is 10, sizes 1..=5, 1..=10, 1..=15.
+    pub fn q19() -> [(&'static str, &'static str, i64); 3] {
+        [("Brand#12", "CASE", 1), ("Brand#23", "BOX", 10), ("Brand#34", "PKG", 20)]
+    }
+
+    /// Q20: part-name color, nation, shipdate window (1994).
+    pub fn q20() -> (&'static str, &'static str, i64, i64) {
+        ("forest", "CANADA", date(1994, 1, 1), date(1995, 1, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_canonicalization() {
+        let a = QueryResult::new(vec![vec![2, 1], vec![1, 5]]);
+        let b = QueryResult::new(vec![vec![1, 5], vec![2, 1]]);
+        assert_eq!(a, b);
+        assert_eq!(a.rows[0], vec![1, 5]);
+    }
+
+    #[test]
+    fn query_sets_match_paper() {
+        assert_eq!(CPU_QUERIES.len(), 14);
+        assert_eq!(GPU_QUERIES.len(), 7);
+        let names: Vec<_> = CPU_QUERIES.iter().map(|q| q.number()).collect();
+        assert_eq!(names, vec![1, 4, 5, 6, 7, 8, 9, 10, 11, 12, 14, 15, 19, 20]);
+    }
+}

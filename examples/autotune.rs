@@ -1,0 +1,58 @@
+//! Autotune: the paper's §7 future work, running.
+//!
+//! "The machine-friendly design of Voodoo lends itself to automatic
+//! exploration of the database design space." This example lets the
+//! cost-based optimizer choose a physical plan for the same logical
+//! selective-aggregation query at three selectivities, on a CPU and on
+//! the simulated GPU — and shows it re-deriving the paper's Figure 1/15
+//! tradeoffs: branching at the selectivity extremes on the CPU,
+//! branch-free in the middle, and plain branching everywhere on the GPU.
+//!
+//! ```sh
+//! cargo run --release --example autotune
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use voodoo::compile::Device;
+use voodoo::opt::{Optimizer, Workload};
+use voodoo::storage::Catalog;
+
+fn main() {
+    let n = 1 << 18;
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column(
+        "vals",
+        &(0..n).map(|_| rng.gen_range(0..1000i64)).collect::<Vec<_>>(),
+    );
+
+    for (device_name, device) in [
+        ("CPU (1 thread)", Device::cpu_single_thread()),
+        ("GPU (TITAN-X model)", Device::gpu_titan_x()),
+    ] {
+        println!("=== target device: {device_name} ===");
+        for sel_pct in [1i64, 50, 99] {
+            let wl = Workload::SelectSum {
+                table: "vals".into(),
+                lo: 0,
+                hi: sel_pct * 10, // vals uniform in [0, 1000)
+                chunks: vec![1 << 12],
+            };
+            let choice = Optimizer::for_device(device.clone())
+                .with_sample_rows(1 << 15)
+                .choose(&wl, &cat)
+                .expect("optimize");
+            println!("  selectivity {sel_pct:>3}%:");
+            for (label, secs) in choice.table() {
+                let marker = if label == choice.best.candidate.decision.label() {
+                    "  <== chosen"
+                } else {
+                    ""
+                };
+                println!("    {label:<28} {secs:>12.6}s{marker}");
+            }
+        }
+        println!();
+    }
+}

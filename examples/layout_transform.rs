@@ -1,0 +1,43 @@
+//! The Figure 14 tunability study: just-in-time layout transformation.
+//!
+//! One positional multi-column lookup, three physical strategies — each a
+//! one-operator change in Voodoo (`Break` to split loops, `Zip` +
+//! `Materialize` to transform the layout) — evaluated per access pattern
+//! on the CPU and the simulated GPU.
+//!
+//! ```sh
+//! cargo run --release --example layout_transform
+//! ```
+
+use voodoo::compile::{Compiler, Executor};
+use voodoo::gpusim::GpuSimulator;
+use voodoo_bench::micro::{self, Pattern};
+
+fn main() {
+    let n_pos = 1 << 18;
+    println!("{:>14} {:>18} {:>12} {:>12}", "pattern", "strategy", "cpu µs", "gpu µs");
+    for pattern in Pattern::all() {
+        let random = pattern != Pattern::Sequential;
+        let rows = pattern.target_rows((16 << 20) / 16);
+        let cat = micro::layout_catalog(n_pos, rows, random, 7);
+        for (name, prog) in [
+            ("Single Loop", micro::prog_layout_single()),
+            ("Separate Loops", micro::prog_layout_separate()),
+            ("Layout Transform", micro::prog_layout_transform()),
+        ] {
+            let cp = Compiler::new(&cat).compile(&prog).expect("compile");
+            let t = std::time::Instant::now();
+            let (out, _) = Executor::single_threaded().run(&cp, &cat).expect("run");
+            std::hint::black_box(out);
+            let cpu = t.elapsed().as_secs_f64() * 1e6;
+            let (_, report) = GpuSimulator::titan_x().run(&prog, &cat).expect("sim");
+            println!(
+                "{:>14} {:>18} {:>12.0} {:>12.1}",
+                pattern.label(),
+                name,
+                cpu,
+                report.seconds * 1e6
+            );
+        }
+    }
+}

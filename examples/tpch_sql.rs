@@ -1,0 +1,57 @@
+//! The relational frontend end to end: generate TPC-H data, run Q6 and Q1
+//! through the Voodoo engine on every backend, plus an ad-hoc query
+//! through the SQL subset — and cross-check all of them.
+//!
+//! ```sh
+//! cargo run --release --example tpch_sql
+//! ```
+
+use std::time::Instant;
+
+use voodoo::relational;
+use voodoo::tpch::queries::Query;
+
+fn main() {
+    let sf = 0.01;
+    println!("generating TPC-H at SF {sf}...");
+    let mut cat = voodoo::tpch::generate(sf);
+    relational::prepare(&mut cat);
+    println!(
+        "lineitem rows: {}",
+        cat.table("lineitem").map(|t| t.len).unwrap_or(0)
+    );
+
+    for q in [Query::Q6, Query::Q1, Query::Q5, Query::Q19] {
+        let t = Instant::now();
+        let hyper = voodoo::baselines::hyper::run(&cat, q);
+        let t_hyper = t.elapsed();
+
+        let t = Instant::now();
+        let voodoo_res = relational::run_compiled(&cat, q, 1);
+        let t_voodoo = t.elapsed();
+
+        assert_eq!(hyper, voodoo_res, "{} results must agree", q.name());
+        println!(
+            "{:>4}: {} row(s) | hyper {:>9.3?} | voodoo {:>9.3?} | first row: {:?}",
+            q.name(),
+            voodoo_res.len(),
+            t_hyper,
+            t_voodoo,
+            voodoo_res.rows.first()
+        );
+    }
+
+    // Ad-hoc SQL through the parser + lowering.
+    let sql = "SELECT l_returnflag, SUM(l_quantity), COUNT(*) FROM lineitem \
+               WHERE l_discount BETWEEN 5 AND 7 GROUP BY l_returnflag";
+    println!("\nSQL: {sql}");
+    let rows = relational::sql::execute(&cat, sql, |p, c| {
+        let cp = voodoo::compile::Compiler::new(c).compile(p).expect("compile");
+        let (out, _) = voodoo::compile::Executor::single_threaded().run(&cp, c).expect("run");
+        out
+    })
+    .expect("sql");
+    for row in rows {
+        println!("  {row:?}");
+    }
+}

@@ -1,0 +1,52 @@
+//! # Voodoo — a vector algebra for portable database performance
+//!
+//! This crate is the umbrella for a full reproduction of
+//! *Pirk, Moll, Zaharia, Madden: "Voodoo - A Vector Algebra for Portable
+//! Database Performance on Modern Hardware", VLDB 2016*.
+//!
+//! It re-exports the individual subsystem crates:
+//!
+//! * [`core`] — the Voodoo algebra: structured vectors, operators, programs
+//! * [`interp`] — the reference (bulk) interpreter backend
+//! * [`compile`] — the fragment compiler and parallel CPU backend
+//! * [`gpusim`] — the simulated GPU device (cost model)
+//! * [`storage`] — MonetDB-style columnar storage substrate
+//! * [`tpch`] — TPC-H data generator and reference answers
+//! * [`relational`] — relational frontend (logical plans, SQL subset, lowering)
+//! * [`baselines`] — HyPeR-style and Ocelot-style comparison engines
+//! * [`algos`] — cookbook of canonical Voodoo programs (paper listings +
+//!   §6 related-work translations: hashing, bounded cuckoo, compaction)
+//! * [`opt`] — cost-model-driven plan optimizer (the §7 "automatic
+//!   exploration of the design space" future work)
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use voodoo::core::{Program, ScalarValue};
+//! use voodoo::interp::Interpreter;
+//! use voodoo::storage::Catalog;
+//!
+//! // Hierarchical summation (paper Figure 3).
+//! let mut p = Program::new();
+//! let input = p.load("input");
+//! let ids = p.range_like(0, input, 1);
+//! let part = p.div_const(ids, 4);
+//! let psum = p.fold_sum(part, input);
+//! let total = p.fold_sum_global(psum);
+//! p.ret(total);
+//!
+//! let mut cat = Catalog::in_memory();
+//! cat.put_i64_column("input", &[1, 2, 3, 4, 5, 6, 7, 8]);
+//! let out = Interpreter::new(&cat).run(&p).unwrap();
+//! assert_eq!(out.scalar_at(0, 0), Some(ScalarValue::I64(36)));
+//! ```
+pub use voodoo_algos as algos;
+pub use voodoo_baselines as baselines;
+pub use voodoo_compile as compile;
+pub use voodoo_core as core;
+pub use voodoo_gpusim as gpusim;
+pub use voodoo_interp as interp;
+pub use voodoo_opt as opt;
+pub use voodoo_relational as relational;
+pub use voodoo_storage as storage;
+pub use voodoo_tpch as tpch;

@@ -1,0 +1,286 @@
+//! Cross-crate integration tests: the full pipeline from SQL / relational
+//! plans through the algebra, both backends, storage persistence and the
+//! simulated GPU.
+
+use voodoo::compile::exec::ExecOptions;
+use voodoo::compile::{Compiler, Executor};
+use voodoo::core::{KeyPath, Program, ScalarValue};
+use voodoo::gpusim::GpuSimulator;
+use voodoo::interp::Interpreter;
+use voodoo::storage::Catalog;
+use voodoo::tpch::queries::{Query, CPU_QUERIES, GPU_QUERIES};
+
+/// End-to-end: every engine and every backend agrees on every paper query.
+#[test]
+fn all_engines_agree_on_the_paper_query_set() {
+    let mut cat = voodoo::tpch::generate(0.002);
+    voodoo::relational::prepare(&mut cat);
+    for q in CPU_QUERIES {
+        let hyper = voodoo::baselines::hyper::run(&cat, q);
+        let interp = voodoo::relational::run_interp(&cat, q);
+        let compiled = voodoo::relational::run_compiled(&cat, q, 2);
+        assert_eq!(hyper, interp, "{} interp", q.name());
+        assert_eq!(hyper, compiled, "{} compiled", q.name());
+        if let Some(ocelot) = voodoo::baselines::ocelot::run(&cat, q) {
+            assert_eq!(hyper, ocelot, "{} ocelot", q.name());
+        }
+    }
+}
+
+/// The simulated GPU produces the same answers (it executes the same
+/// compiled plans) with a positive simulated cost.
+#[test]
+fn gpu_simulation_preserves_results() {
+    let mut cat = voodoo::tpch::generate(0.002);
+    voodoo::relational::prepare(&mut cat);
+    let gpu = GpuSimulator::titan_x();
+    for q in GPU_QUERIES {
+        let hyper = voodoo::baselines::hyper::run(&cat, q);
+        let mut total = 0.0;
+        let res = voodoo::relational::run_with(&cat, q, |p, c| {
+            let (out, report) = gpu.run(p, c).expect("sim");
+            total += report.seconds;
+            out
+        });
+        assert_eq!(hyper, res, "{} gpu", q.name());
+        assert!(total > 0.0, "{} has positive simulated time", q.name());
+    }
+}
+
+/// Storage round trip: persist the whole TPC-H catalog to disk, load it
+/// back, and get identical query answers.
+#[test]
+fn persisted_catalog_round_trips_through_queries() {
+    let mut cat = voodoo::tpch::generate(0.001);
+    voodoo::relational::prepare(&mut cat);
+    let dir = std::env::temp_dir().join(format!("voodoo_it_{}", std::process::id()));
+    cat.save_dir(&dir).expect("save");
+    let loaded = Catalog::load_dir(&dir).expect("load");
+    for q in [Query::Q1, Query::Q6, Query::Q12] {
+        assert_eq!(
+            voodoo::baselines::hyper::run(&cat, q),
+            voodoo::baselines::hyper::run(&loaded, q),
+            "{} after reload",
+            q.name()
+        );
+        assert_eq!(
+            voodoo::relational::run_compiled(&cat, q, 1),
+            voodoo::relational::run_compiled(&loaded, q, 1),
+            "{} voodoo after reload",
+            q.name()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The umbrella-crate API from the README works as documented.
+#[test]
+fn readme_flow() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("input", &[1, 2, 3, 4, 5, 6, 7, 8]);
+    let mut p = Program::new();
+    let input = p.load("input");
+    let ids = p.range_like(0, input, 1);
+    let part = p.div_const(ids, 4);
+    let psum = p.fold_sum(part, input);
+    let total = p.fold_sum_global(psum);
+    p.ret(total);
+
+    let out = Interpreter::new(&cat).run(&p).unwrap();
+    assert_eq!(out.value_at(0, &KeyPath::val()), Some(ScalarValue::I64(36)));
+
+    let cp = Compiler::new(&cat).compile(&p).unwrap();
+    let (out, profile) = Executor::single_threaded().run(&cp, &cat).unwrap();
+    assert_eq!(out.returns[0].value_at(0, &KeyPath::val()), Some(ScalarValue::I64(36)));
+    assert!(profile.barriers >= 1);
+}
+
+/// Microbenchmark programs stay consistent across all execution modes —
+/// the tunability experiments rest on this.
+#[test]
+fn microbench_variants_agree_everywhere() {
+    use voodoo_bench::micro;
+    let cat = micro::selection_catalog(10_000, 123);
+    let c = micro::cutoff(0.37);
+    let mut answers = Vec::new();
+    for (p, pred) in [
+        (micro::prog_select_sum_branching(c), false),
+        (micro::prog_select_sum_predicated(c), false),
+        (micro::prog_select_sum_vectorized(c, 512), false),
+        (micro::prog_select_sum_vectorized(c, 512), true),
+    ] {
+        let cp = Compiler::new(&cat).compile(&p).unwrap();
+        let exec = Executor::new(ExecOptions { predicated_select: pred, ..Default::default() });
+        let (out, _) = exec.run(&cp, &cat).unwrap();
+        answers.push(out.returns[0].value_at(0, &KeyPath::val()));
+        // Interpreter agrees too.
+        let i = Interpreter::new(&cat).run_program(&p).unwrap();
+        assert_eq!(i.returns[0].value_at(0, &KeyPath::val()), answers[0]);
+    }
+    assert!(answers.windows(2).all(|w| w[0] == w[1]), "{answers:?}");
+}
+
+/// Property: on random data, Q6-shaped SQL through the frontend equals a
+/// straight Rust computation.
+#[test]
+fn sql_frontend_matches_native_rust() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(9);
+    for _ in 0..10 {
+        let n = rng.gen_range(1..400usize);
+        let vals: Vec<i64> = (0..n).map(|_| rng.gen_range(-50..50)).collect();
+        let lo = rng.gen_range(-50..0);
+        let hi = rng.gen_range(0..50);
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("t", &vals);
+        let sql = format!("SELECT SUM(val), COUNT(*) FROM t WHERE val >= {lo} AND val < {hi}");
+        let rows = voodoo::relational::sql::execute(&cat, &sql, |p, c| {
+            let cp = Compiler::new(c).compile(p).unwrap();
+            Executor::single_threaded().run(&cp, c).unwrap().0
+        })
+        .unwrap();
+        let expect_sum: i64 = vals.iter().filter(|&&v| v >= lo && v < hi).sum();
+        let expect_cnt = vals.iter().filter(|&&v| v >= lo && v < hi).count() as i64;
+        assert_eq!(rows, vec![vec![expect_sum, expect_cnt]]);
+    }
+}
+
+/// The algos cookbook drives TPC-H data end-to-end: a grouped aggregation
+/// over generated lineitem matches the equivalent SQL through the
+/// relational frontend.
+#[test]
+fn cookbook_grouped_agg_matches_sql_on_tpch() {
+    use voodoo::algos::aggregate::{self, extract_padded};
+    let mut cat = voodoo::tpch::generate(0.002);
+    voodoo::relational::prepare(&mut cat);
+
+    // SELECT l_returnflag, sum(l_quantity) FROM lineitem GROUP BY l_returnflag
+    // — the paper's running example (§3.1). l_returnflag is dictionary
+    // encoded over a small dense domain.
+    let flags = cat
+        .table("lineitem")
+        .expect("lineitem")
+        .column("l_returnflag")
+        .expect("flag col");
+    let domain = flags.dict.as_ref().map(|d| d.len()).unwrap_or(3);
+    let p = aggregate::grouped_agg("lineitem", "l_returnflag", "l_quantity", domain,
+        voodoo::core::AggKind::Sum);
+    let out = Interpreter::new(&cat).run_program(&p).expect("interp");
+    let rows = extract_padded(&out.returns[0], &[&out.returns[1]]);
+
+    // Reference: straight Rust over the raw columns.
+    let flag_vals: Vec<i64> =
+        flags.data.present().map(|v| v.as_i64()).collect();
+    let qty: Vec<i64> = cat
+        .table("lineitem")
+        .unwrap()
+        .column("l_quantity")
+        .unwrap()
+        .data
+        .present()
+        .map(|v| v.as_i64())
+        .collect();
+    let mut want = std::collections::BTreeMap::new();
+    for (f, q) in flag_vals.iter().zip(&qty) {
+        *want.entry(*f).or_insert(0i64) += q;
+    }
+    let got: std::collections::BTreeMap<i64, i64> =
+        rows.iter().map(|(k, v)| (*k, v[0].as_i64())).collect();
+    assert_eq!(got, want);
+
+    // And the compiled backend agrees with the interpreter.
+    let cp = Compiler::new(&cat).compile(&p).expect("compile");
+    let (cout, _) = Executor::with_threads(2).run(&cp, &cat).expect("exec");
+    let crows = extract_padded(&cout.returns[0], &[&cout.returns[1]]);
+    let cgot: std::collections::BTreeMap<i64, i64> =
+        crows.iter().map(|(k, v)| (*k, v[0].as_i64())).collect();
+    assert_eq!(cgot, want);
+}
+
+/// The optimizer's chosen plan for a TPC-H-shaped selective aggregation
+/// runs and returns the right answer on every device it plans for.
+#[test]
+fn optimizer_plans_are_executable_end_to_end() {
+    use voodoo::compile::Device;
+    use voodoo::opt::{Optimizer, Workload};
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column(
+        "vals",
+        &(0..50_000i64).map(|i| (i * 2654435761) % 1000).collect::<Vec<_>>(),
+    );
+    let expected: i64 = (0..50_000i64)
+        .map(|i| (i * 2654435761) % 1000)
+        .filter(|&v| v < 500)
+        .sum();
+    let wl = Workload::SelectSum {
+        table: "vals".into(),
+        lo: 0,
+        hi: 500,
+        chunks: vec![1 << 12],
+    };
+    for device in [
+        Device::cpu_single_thread(),
+        Device::cpu_multicore(4),
+        Device::manycore_phi(),
+        Device::gpu_integrated(),
+        Device::gpu_titan_x(),
+    ] {
+        let choice = Optimizer::for_device(device.clone())
+            .with_sample_rows(8_192)
+            .choose(&wl, &cat)
+            .expect("choose");
+        let cp = Compiler::new(&cat).compile(&choice.best.candidate.program).expect("compile");
+        let exec = Executor::new(ExecOptions {
+            predicated_select: choice.best.candidate.predicated_select,
+            ..Default::default()
+        });
+        let (out, _) = exec.run(&cp, &cat).expect("run");
+        let got = out.returns[0]
+            .value_at(0, &KeyPath::val())
+            .map(|v| v.as_i64())
+            .unwrap_or(0);
+        assert_eq!(got, expected, "device {}", device.name);
+    }
+}
+
+/// A hash join built from the cookbook matches the dense-domain
+/// positional join on TPC-H orders→customer.
+#[test]
+fn cookbook_hash_join_matches_positional_join_on_tpch() {
+    use voodoo::algos::hashtable;
+    let cat = voodoo::tpch::generate(0.002);
+    let custkeys: Vec<i64> = cat
+        .table("customer")
+        .expect("customer")
+        .column("c_custkey")
+        .expect("custkey")
+        .data
+        .present()
+        .map(|v| v.as_i64())
+        .collect();
+    let orders: Vec<i64> = cat
+        .table("orders")
+        .expect("orders")
+        .column("o_custkey")
+        .expect("o_custkey")
+        .data
+        .present()
+        .map(|v| v.as_i64())
+        .take(512)
+        .collect();
+    let mut jc = Catalog::in_memory();
+    jc.put_i64_column("build", &custkeys);
+    jc.put_i64_column("probe", &orders);
+    let cap = (custkeys.len() * 2).next_power_of_two();
+    let p = hashtable::hash_join_rowids("build", "probe", cap, 16);
+    let out = Interpreter::new(&jc).run_program(&p).expect("run");
+    for (i, &o) in orders.iter().enumerate() {
+        let got = out.returns[0]
+            .value_at(i, &KeyPath::val())
+            .map(|v| v.as_i64())
+            .filter(|&x| x >= 0);
+        let want = custkeys.iter().position(|&c| c == o).map(|x| x as i64);
+        assert_eq!(got, want, "order row {i}");
+    }
+}

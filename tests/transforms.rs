@@ -1,0 +1,144 @@
+//! Differential tests for the program rewrites (`core::transform`):
+//! CSE+DCE must preserve exact semantics — returns, persists, ε structure
+//! — on both backends, across the whole cookbook.
+
+use voodoo::algos::join::{FkJoinStrategy, LayoutStrategy};
+use voodoo::algos::selection::SelectionStrategy;
+use voodoo::algos::{aggregate, compaction, hashtable, join, selection, FoldStrategy};
+use voodoo::compile::{Compiler, Executor};
+use voodoo::core::{optimize, Program};
+use voodoo::interp::Interpreter;
+use voodoo::storage::{Catalog, Table, TableColumn};
+
+fn assert_equivalent_after_optimize(cat: &Catalog, p: &Program) {
+    let (q, stats) = optimize(p);
+    q.validate().expect("optimized program is valid SSA");
+    let a = Interpreter::new(cat).run_program(p).expect("original interp");
+    let b = Interpreter::new(cat).run_program(&q).expect("optimized interp");
+    assert_eq!(a.returns.len(), b.returns.len());
+    for (x, y) in a.returns.iter().zip(&b.returns) {
+        assert_eq!(x, y, "interp returns differ (stats {stats:?})\n{p}\nvs\n{q}");
+    }
+    assert_eq!(a.persisted, b.persisted, "persists differ");
+
+    let cp = Compiler::new(cat).compile(&q).expect("optimized compiles");
+    let (c, _) = Executor::with_threads(2).run(&cp, cat).expect("optimized runs");
+    for (x, y) in a.returns.iter().zip(&c.returns) {
+        assert_eq!(x, y, "compiled returns differ after optimize");
+    }
+}
+
+fn cookbook_catalog() -> Catalog {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("input", &(0..512i64).map(|i| (i * 37) % 101).collect::<Vec<_>>());
+    cat.put_i64_column("keys", &(0..48i64).map(|i| i * 7 + 1).collect::<Vec<_>>());
+    cat.put_i64_column("probe", &(0..24i64).map(|i| i * 14 + 1).collect::<Vec<_>>());
+    let mut fact = Table::new("fact");
+    fact.add_column(TableColumn::from_buffer(
+        "v",
+        voodoo::core::Buffer::I64((0..256i64).map(|i| i % 100).collect()),
+    ));
+    fact.add_column(TableColumn::from_buffer(
+        "fk",
+        voodoo::core::Buffer::I64((0..256i64).map(|i| (i * 13) % 64).collect()),
+    ));
+    cat.insert_table(fact);
+    cat.put_i64_column("target", &(0..64i64).map(|x| x * 2 + 5).collect::<Vec<_>>());
+    let mut t2 = Table::new("target2");
+    t2.add_column(TableColumn::from_buffer(
+        "c1",
+        voodoo::core::Buffer::I64((0..64i64).collect()),
+    ));
+    t2.add_column(TableColumn::from_buffer(
+        "c2",
+        voodoo::core::Buffer::I64((0..64i64).map(|x| x * 3).collect()),
+    ));
+    cat.insert_table(t2);
+    cat.put_i64_column("positions", &(0..256i64).map(|i| (i * 17) % 64).collect::<Vec<_>>());
+    cat
+}
+
+/// Every cookbook program survives optimize with identical results.
+#[test]
+fn whole_cookbook_is_invariant_under_optimize() {
+    let cat = cookbook_catalog();
+    let programs: Vec<Program> = vec![
+        aggregate::hierarchical_sum("input", FoldStrategy::Global),
+        aggregate::hierarchical_sum("input", FoldStrategy::Partitions { size: 64 }),
+        aggregate::hierarchical_sum("input", FoldStrategy::Lanes { lanes: 4 }),
+        aggregate::prefix_sum("input", FoldStrategy::Partitions { size: 32 }),
+        selection::select_sum("input", 10, 60, SelectionStrategy::Plain),
+        selection::select_sum("input", 10, 60, SelectionStrategy::PredicatedAggregation),
+        selection::select_sum("input", 10, 60, SelectionStrategy::Vectorized { chunk: 64 }),
+        selection::filter_values("input", 50, SelectionStrategy::Plain),
+        join::selective_fk_join("fact", "target", 50, FkJoinStrategy::Branching),
+        join::selective_fk_join("fact", "target", 50, FkJoinStrategy::PredicatedAggregation),
+        join::selective_fk_join("fact", "target", 50, FkJoinStrategy::PredicatedLookups),
+        join::indexed_lookup("target2", "positions", LayoutStrategy::SingleLoop),
+        join::indexed_lookup("target2", "positions", LayoutStrategy::SeparateLoops),
+        join::indexed_lookup("target2", "positions", LayoutStrategy::LayoutTransform),
+        join::fk_equi_join("fact", "fk", "target"),
+        hashtable::build_linear_probe("keys", 96, 10, "ht"),
+        hashtable::build_cuckoo_bounded("keys", 64, 10, "ck"),
+        hashtable::hash_join_rowids("keys", "probe", 96, 10),
+        compaction::compact("input", 50),
+        compaction::radix_sort("input", 4, 2),
+        compaction::dedup_sorted("input"),
+    ];
+    for p in &programs {
+        assert_equivalent_after_optimize(&cat, p);
+    }
+}
+
+/// The bounded hash-table programs are where CSE pays: the unrolled probe
+/// rounds recompute the hash and capacity vector every round.
+#[test]
+fn cse_shrinks_unrolled_hash_programs() {
+    let p = hashtable::build_linear_probe("keys", 96, 16, "ht");
+    let (q, stats) = optimize(&p);
+    assert!(
+        stats.merged > 10,
+        "unrolled rounds share constants/ranges: {stats:?}"
+    );
+    assert!(q.len() < p.len());
+}
+
+/// The `fold_sum` convenience re-zips its control vector; two folds over
+/// the same control collapse their zips under CSE.
+#[test]
+fn cse_merges_repeated_control_zips() {
+    let mut p = Program::new();
+    let v = p.load("input");
+    let ids = p.range_like(0, v, 1);
+    let ctrl = p.div_const(ids, 64i64);
+    let s1 = p.fold_sum(ctrl, v);
+    let s2 = p.fold_sum(ctrl, v); // identical fold — merges entirely
+    let both = p.add(s1, s2);
+    p.ret(both);
+    let (_, stats) = optimize(&p);
+    assert!(stats.merged >= 2, "{stats:?}");
+    let cat = cookbook_catalog();
+    assert_equivalent_after_optimize(&cat, &p);
+}
+
+/// TPC-H query plans stay correct under optimize (they are emitted by the
+/// relational frontend with plenty of redundancy): running every plan
+/// through an optimize-then-interpret callback must reproduce the
+/// reference results exactly.
+#[test]
+fn tpch_plans_invariant_under_optimize() {
+    use voodoo::tpch::queries::CPU_QUERIES;
+    let mut cat = voodoo::tpch::generate(0.002);
+    voodoo::relational::prepare(&mut cat);
+    for q in CPU_QUERIES {
+        let reference = voodoo::relational::run_interp(&cat, q);
+        let mut total_removed = 0usize;
+        let optimized = voodoo::relational::run_with(&cat, q, |p, c| {
+            let (opt, stats) = optimize(p);
+            opt.validate().expect("valid after optimize");
+            total_removed += stats.removed();
+            Interpreter::new(c).run_program(&opt).expect("optimized interp")
+        });
+        assert_eq!(reference, optimized, "{}", q.name());
+    }
+}
