@@ -200,7 +200,12 @@ pub fn prefix_sum(table: &str, strategy: FoldStrategy) -> Program {
                 input,
                 KeyPath::val(),
             );
-            p.fold_scan_kp(zipped, Some(KeyPath::new(".fold")), KeyPath::val(), KeyPath::val())
+            p.fold_scan_kp(
+                zipped,
+                Some(KeyPath::new(".fold")),
+                KeyPath::val(),
+                KeyPath::val(),
+            )
         }
     };
     p.ret(scanned);
@@ -209,7 +214,10 @@ pub fn prefix_sum(table: &str, strategy: FoldStrategy) -> Program {
 
 /// Extract `(key, values...)` rows from padded-aligned grouped results:
 /// slot `i` contributes a row iff the key vector is non-ε at `i`.
-pub fn extract_padded(keys: &StructuredVector, vals: &[&StructuredVector]) -> Vec<(i64, Vec<ScalarValue>)> {
+pub fn extract_padded(
+    keys: &StructuredVector,
+    vals: &[&StructuredVector],
+) -> Vec<(i64, Vec<ScalarValue>)> {
     let kp = KeyPath::val();
     let kcol = keys.column(&kp).expect("key .val column");
     let mut rows = Vec::new();

@@ -36,7 +36,14 @@ use voodoo_core::{BinOp, KeyPath, Program, VRef};
 /// hit flag into a cursor increment).
 fn one_minus(p: &mut Program, x: VRef) -> VRef {
     let one = p.constant(1i64);
-    p.binary_kp(BinOp::Subtract, one, KeyPath::val(), x, KeyPath::val(), KeyPath::val())
+    p.binary_kp(
+        BinOp::Subtract,
+        one,
+        KeyPath::val(),
+        x,
+        KeyPath::val(),
+        KeyPath::val(),
+    )
 }
 
 /// One linear-probe round: scatter all keys at `h + f (mod cap)`, gather

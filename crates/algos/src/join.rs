@@ -154,7 +154,14 @@ pub fn selective_fk_join(
             p.ret(sum);
         }
         FkJoinStrategy::PredicatedLookups => {
-            let pos = p.binary_kp(BinOp::Multiply, fact, kp(".fk"), pred, kp(".val"), kp(".val"));
+            let pos = p.binary_kp(
+                BinOp::Multiply,
+                fact,
+                kp(".fk"),
+                pred,
+                kp(".val"),
+                kp(".val"),
+            );
             p.label(pos, "hotPos");
             let looked = p.gather(target, pos);
             let masked = p.mul(looked, pred);
@@ -184,11 +191,7 @@ pub fn fk_equi_join(fact_table: &str, fk_col: &str, target_table: &str) -> Progr
 /// Cross join of two (small) tables returning the position pairs —
 /// `Cross` is the paper's only cardinality-increasing shape operator;
 /// actual nested-loop predicates apply elementwise on the gathered sides.
-pub fn cross_join_filter(
-    left_table: &str,
-    right_table: &str,
-    pred_cols: (&str, &str),
-) -> Program {
+pub fn cross_join_filter(left_table: &str, right_table: &str, pred_cols: (&str, &str)) -> Program {
     let mut p = Program::new();
     let l = p.load(left_table);
     let r = p.load(right_table);

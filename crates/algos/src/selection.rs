@@ -38,12 +38,7 @@ fn kp(s: &str) -> KeyPath {
 }
 
 /// Emit the `lo <= val < hi` predicate (0/1) for the `val` column.
-fn range_predicate(
-    p: &mut Program,
-    v: voodoo_core::VRef,
-    lo: i64,
-    hi: i64,
-) -> voodoo_core::VRef {
+fn range_predicate(p: &mut Program, v: voodoo_core::VRef, lo: i64, hi: i64) -> voodoo_core::VRef {
     let ge = p.binary_const(BinOp::GreaterEquals, v, kp(".val"), lo, kp(".val"));
     let lt = p.binary_const(BinOp::Less, v, kp(".val"), hi, kp(".val"));
     p.binary(BinOp::LogicalAnd, ge, lt)
@@ -129,8 +124,20 @@ pub fn select_sum_conjunctive(
 ) -> Program {
     let mut p = Program::new();
     let t = p.load(table);
-    let c1 = p.binary_const(BinOp::Less, t, kp(&format!(".{}", pred1.0)), pred1.1, kp(".val"));
-    let c2 = p.binary_const(BinOp::Less, t, kp(&format!(".{}", pred2.0)), pred2.1, kp(".val"));
+    let c1 = p.binary_const(
+        BinOp::Less,
+        t,
+        kp(&format!(".{}", pred1.0)),
+        pred1.1,
+        kp(".val"),
+    );
+    let c2 = p.binary_const(
+        BinOp::Less,
+        t,
+        kp(&format!(".{}", pred2.0)),
+        pred2.1,
+        kp(".val"),
+    );
     let both = p.binary(BinOp::LogicalAnd, c1, c2);
     let agg_kp = kp(&format!(".{agg_col}"));
     match strategy {

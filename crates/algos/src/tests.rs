@@ -212,8 +212,9 @@ fn prefix_sum_partitioned_restarts_per_partition() {
     let cat = single_col(&vals);
     let p = aggregate::prefix_sum("input", FoldStrategy::Partitions { size: 2 });
     let out = run_both(&cat, &p);
-    let got: Vec<i64> =
-        (0..6).map(|i| out[0].value_at(i, &kp()).unwrap().as_i64()).collect();
+    let got: Vec<i64> = (0..6)
+        .map(|i| out[0].value_at(i, &kp()).unwrap().as_i64())
+        .collect();
     assert_eq!(got, vec![1, 2, 1, 2, 1, 2]);
 }
 
@@ -294,14 +295,17 @@ fn conjunctive_selection_matches_reference() {
     use voodoo_storage::{Table, TableColumn};
     let a: Vec<i64> = (0..300).map(|i| i % 50).collect();
     let b: Vec<i64> = (0..300).map(|i| (i * 7) % 90).collect();
-    let v: Vec<i64> = (0..300).map(|i| i).collect();
+    let v: Vec<i64> = (0..300).collect();
     let mut t = Table::new("t");
     t.add_column(TableColumn::from_buffer("a", Buffer::I64(a.clone())));
     t.add_column(TableColumn::from_buffer("b", Buffer::I64(b.clone())));
     t.add_column(TableColumn::from_buffer("v", Buffer::I64(v.clone())));
     let mut cat = Catalog::in_memory();
     cat.insert_table(t);
-    let expected: i64 = (0..300).filter(|&i| a[i] < 25 && b[i] < 45).map(|i| v[i]).sum();
+    let expected: i64 = (0..300)
+        .filter(|&i| a[i] < 25 && b[i] < 45)
+        .map(|i| v[i])
+        .sum();
     for strat in [
         SelectionStrategy::Plain,
         SelectionStrategy::PredicatedAggregation,
@@ -332,7 +336,9 @@ fn layout_catalog(n_pos: usize, n_target: usize) -> Catalog {
         Buffer::I64((0..n_target as i64).map(|x| x * 3 + 1).collect()),
     ));
     cat.insert_table(t);
-    let pos: Vec<i64> = (0..n_pos as i64).map(|i| (i * 17) % n_target as i64).collect();
+    let pos: Vec<i64> = (0..n_pos as i64)
+        .map(|i| (i * 17) % n_target as i64)
+        .collect();
     cat.put_i64_column("positions", &pos);
     cat
 }
@@ -367,7 +373,11 @@ fn fk_catalog(n_fact: usize, n_target: usize) -> Catalog {
     ));
     fact.add_column(TableColumn::from_buffer(
         "fk",
-        Buffer::I64((0..n_fact as i64).map(|i| (i * 13) % n_target as i64).collect()),
+        Buffer::I64(
+            (0..n_fact as i64)
+                .map(|i| (i * 13) % n_target as i64)
+                .collect(),
+        ),
     ));
     cat.insert_table(fact);
     cat.put_i64_column(
@@ -404,7 +414,10 @@ fn fk_equi_join_aligns_with_fact() {
     assert_eq!(out[0].len(), 50);
     for i in 0..50i64 {
         let want = ((i * 13) % 16) * 2 + 5;
-        assert_eq!(out[0].value_at(i as usize, &kp()), Some(ScalarValue::I64(want)));
+        assert_eq!(
+            out[0].value_at(i as usize, &kp()),
+            Some(ScalarValue::I64(want))
+        );
     }
 }
 
@@ -579,11 +592,15 @@ fn compact_none_and_all() {
     let cat = single_col(&vals);
     let p = compaction::compact("input", 0);
     let out = run_both(&cat, &p);
-    assert!((0..3).all(|i| out[0].value_at(i, &kp()).is_none()), "none qualify");
+    assert!(
+        (0..3).all(|i| out[0].value_at(i, &kp()).is_none()),
+        "none qualify"
+    );
     let p = compaction::compact("input", 100);
     let out = run_both(&cat, &p);
-    let got: Vec<i64> =
-        (0..3).map(|i| out[0].value_at(i, &kp()).unwrap().as_i64()).collect();
+    let got: Vec<i64> = (0..3)
+        .map(|i| out[0].value_at(i, &kp()).unwrap().as_i64())
+        .collect();
     assert_eq!(got, vec![5, 6, 7], "all qualify");
 }
 

@@ -1,0 +1,196 @@
+//! Keyed prepared-plan caching: compile once, run many.
+//!
+//! The paper compiles per query ("since we generate code, we have
+//! information about factors such as datasizes at compile time", footnote
+//! 1); a serving system re-runs the same queries against the same loaded
+//! data, so recompiling per execution is pure waste. [`PlanCache`] maps
+//! `(backend, catalog version, program)` to the prepared plan. The catalog
+//! version ([`voodoo_storage::Catalog::version`]) invalidates every entry
+//! whenever table shapes can have changed; the program key is the full
+//! rendered SSA text, so two structurally identical plans share one entry
+//! and hash collisions are impossible.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use voodoo_core::{Program, Result};
+use voodoo_storage::Catalog;
+
+use crate::{Backend, PreparedPlan};
+
+/// Cache key: backend identity, catalog mutation counter, program text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Backend name the plan was prepared by.
+    pub backend: String,
+    /// [`Catalog::version`] at preparation time.
+    pub catalog_version: u64,
+    /// The program's rendered SSA text (exact, collision-free).
+    pub program: String,
+}
+
+impl PlanKey {
+    /// Build the key for a program on a backend against a catalog state.
+    pub fn new(backend: &dyn Backend, catalog: &Catalog, program: &Program) -> PlanKey {
+        PlanKey {
+            backend: backend.name().to_string(),
+            catalog_version: catalog.version(),
+            program: program.to_string(),
+        }
+    }
+}
+
+/// Hit/miss counters (cumulative since construction or [`PlanCache::clear`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to prepare.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+/// A keyed cache of prepared plans.
+#[derive(Default)]
+pub struct PlanCache {
+    map: HashMap<PlanKey, Arc<dyn PreparedPlan>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Fetch the prepared plan for `program` on `backend`, preparing (and
+    /// caching) it on first use.
+    ///
+    /// Inserting a plan evicts entries for the same `(backend, program)`
+    /// at other catalog versions: they can never hit again (versions are
+    /// monotonic per catalog), so dropping them bounds memory on sessions
+    /// that interleave catalog mutations with query runs.
+    pub fn get_or_prepare(
+        &mut self,
+        backend: &dyn Backend,
+        program: &Program,
+        catalog: &Catalog,
+    ) -> Result<Arc<dyn PreparedPlan>> {
+        let key = PlanKey::new(backend, catalog, program);
+        if let Some(plan) = self.map.get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(plan));
+        }
+        let plan = backend.prepare(program, catalog)?;
+        self.misses += 1;
+        self.map.retain(|k, _| {
+            k.catalog_version == key.catalog_version
+                || k.backend != key.backend
+                || k.program != key.program
+        });
+        self.map.insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+        }
+    }
+
+    /// Drop every entry and reset the counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CpuBackend, InterpBackend};
+    use voodoo_core::KeyPath;
+
+    fn fixture() -> (Catalog, Program) {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("t", &[1, 2, 3, 4]);
+        let mut p = Program::new();
+        let t = p.load("t");
+        let s = p.fold_sum_global(t);
+        p.ret(s);
+        (cat, p)
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let (cat, p) = fixture();
+        let backend = CpuBackend::single_threaded();
+        let mut cache = PlanCache::new();
+        let a = cache.get_or_prepare(&backend, &p, &cat).unwrap();
+        let b = cache.get_or_prepare(&backend, &p, &cat).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same prepared plan instance");
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+        let out = b.execute(&cat).unwrap();
+        assert_eq!(
+            out.returns[0]
+                .value_at(0, &KeyPath::val())
+                .map(|v| v.as_i64()),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn distinct_backends_get_distinct_entries() {
+        let (cat, p) = fixture();
+        let cpu = CpuBackend::single_threaded();
+        let interp = InterpBackend::new();
+        let mut cache = PlanCache::new();
+        cache.get_or_prepare(&cpu, &p, &cat).unwrap();
+        cache.get_or_prepare(&interp, &p, &cat).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn catalog_mutation_invalidates() {
+        let (mut cat, p) = fixture();
+        let backend = CpuBackend::single_threaded();
+        let mut cache = PlanCache::new();
+        cache.get_or_prepare(&backend, &p, &cat).unwrap();
+        // Replacing the table changes the version — the old plan is stale.
+        cat.put_i64_column("t", &[10, 20, 30, 40, 50]);
+        let plan = cache.get_or_prepare(&backend, &p, &cat).unwrap();
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 2);
+        let out = plan.execute(&cat).unwrap();
+        assert_eq!(
+            out.returns[0]
+                .value_at(0, &KeyPath::val())
+                .map(|v| v.as_i64()),
+            Some(150)
+        );
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let (cat, p) = fixture();
+        let backend = CpuBackend::single_threaded();
+        let mut cache = PlanCache::new();
+        cache.get_or_prepare(&backend, &p, &cat).unwrap();
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

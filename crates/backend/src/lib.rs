@@ -1,0 +1,532 @@
+//! # voodoo-backend — one execution API over every device
+//!
+//! The paper's core claim is *portability*: one Voodoo program, many
+//! hardware targets, re-targeted by a one-line diff (Figure 4). This crate
+//! is that claim at the API layer. A [`Backend`] turns a
+//! [`voodoo_core::Program`] into a [`PreparedPlan`] once; the plan can then
+//! be executed any number of times against a [`voodoo_storage::Catalog`],
+//! explained (fragment plans, rendered OpenCL kernels), or profiled
+//! (architectural event traces, simulated device time).
+//!
+//! Three first-class backends ship here:
+//!
+//! * [`InterpBackend`] — the reference bulk interpreter (§3.2), where
+//!   "preparation" is validation and every intermediate materializes;
+//! * [`CpuBackend`] — the fragment compiler + parallel CPU executor
+//!   (§3.1), carrying [`ExecOptions`] and an optional CSE+DCE
+//!   normalization pass;
+//! * [`SimGpuBackend`] — the simulated GPU: compiled execution in
+//!   event-counting mode, priced by the analytical device model.
+//!
+//! All three produce bit-identical [`ExecOutput`]s by construction — the
+//! differential tests in `voodoo-relational` pin that. Higher layers
+//! (the `Session` facade, the optimizer's candidate pricer, the figure
+//! generators) program against `dyn Backend` only, which is the seam any
+//! future backend (a real GPU, a sharded executor, an async pipeline)
+//! plugs into.
+//!
+//! [`PlanCache`] adds the compile-once-run-many piece: a keyed cache of
+//! prepared plans, invalidated by catalog version, with hit/miss counters.
+
+pub mod cache;
+
+use std::sync::Arc;
+
+use voodoo_compile::exec::{ExecOptions, Executor};
+use voodoo_compile::plan::CompiledProgram;
+use voodoo_compile::{kernel, Compiler, EventProfile};
+use voodoo_core::transform::RewriteStats;
+use voodoo_core::{Program, Result};
+use voodoo_gpusim::{GpuSimulator, SimReport};
+use voodoo_interp::{ExecOutput, Interpreter};
+use voodoo_storage::Catalog;
+
+pub use cache::{CacheStats, PlanCache, PlanKey};
+
+/// A profiled execution: results plus the architectural trace, and — for
+/// simulated devices — the priced device time.
+#[derive(Debug, Clone)]
+pub struct PlanProfile {
+    /// The plan's outputs (identical to [`PreparedPlan::execute`]'s).
+    pub output: ExecOutput,
+    /// Aggregate architectural events (empty for the interpreter, which
+    /// does not count).
+    pub events: EventProfile,
+    /// One event profile per execution unit — the input to device cost
+    /// models, which price units by their individual extents.
+    pub unit_events: Vec<EventProfile>,
+    /// The priced simulation, when the backend models a device.
+    pub simulated: Option<SimReport>,
+}
+
+impl PlanProfile {
+    /// Simulated seconds, when the backend prices a device model.
+    pub fn simulated_seconds(&self) -> Option<f64> {
+        self.simulated.as_ref().map(|r| r.seconds)
+    }
+}
+
+/// A program prepared for repeated execution on one backend.
+///
+/// Plans bind to the *shape* of the catalog they were prepared against
+/// (schemas, table sizes) but read data at execution time, so one plan can
+/// run against any catalog of the same shape — e.g. Q20's staged
+/// intermediate catalogs. Callers that mutate shapes should re-prepare;
+/// [`PlanCache`] automates that via [`Catalog::version`].
+pub trait PreparedPlan: Send + Sync {
+    /// Name of the backend that prepared this plan.
+    fn backend_name(&self) -> &str;
+
+    /// Execute against a catalog, returning the program's outputs.
+    fn execute(&self, catalog: &Catalog) -> Result<ExecOutput>;
+
+    /// Human-readable physical plan: the statement list for the
+    /// interpreter; fragments (extent/intent/kind) plus rendered
+    /// OpenCL-style kernels for the compiling backends.
+    fn explain(&self) -> String;
+
+    /// Execute while counting architectural events (and pricing them, for
+    /// device-model backends). Slower than [`Self::execute`]; intended for
+    /// cost models, ablations and diagnostics.
+    fn profile(&self, catalog: &Catalog) -> Result<PlanProfile>;
+}
+
+/// An execution backend: prepares programs into reusable plans.
+///
+/// This is the portability seam of the whole stack — everything above it
+/// (`Session`, the optimizer, the benchmark harness) targets
+/// `dyn Backend` and never names a concrete executor.
+pub trait Backend: Send + Sync {
+    /// Short stable name ("interp", "cpu", "gpu", ...).
+    fn name(&self) -> &str;
+
+    /// Prepare a program against a catalog's shape.
+    fn prepare(&self, program: &Program, catalog: &Catalog) -> Result<Arc<dyn PreparedPlan>>;
+}
+
+/// Shared explain rendering for the compiling backends: fragment
+/// structure (extent/intent/kind) plus the generated OpenCL-style kernels.
+fn explain_compiled(header: &str, cp: &CompiledProgram) -> String {
+    let mut s = String::from(header);
+    for f in cp.fragments() {
+        s.push_str(&format!(
+            "fragment {}: extent={} intent={} ({:?})\n",
+            f.id,
+            f.extent,
+            f.intent,
+            f.kind()
+        ));
+    }
+    s.push_str("\ngenerated kernels:\n");
+    s.push_str(&kernel::render_opencl(cp));
+    s
+}
+
+// ---------------------------------------------------------------------
+// Interpreter backend
+// ---------------------------------------------------------------------
+
+/// The reference bulk interpreter as a [`Backend`].
+///
+/// Preparation validates the program; execution materializes every
+/// intermediate (the paper's debugging backend, §3.2).
+#[derive(Debug, Clone, Default)]
+pub struct InterpBackend;
+
+impl InterpBackend {
+    /// The interpreter backend.
+    pub fn new() -> InterpBackend {
+        InterpBackend
+    }
+}
+
+struct InterpPlan {
+    program: Program,
+}
+
+impl PreparedPlan for InterpPlan {
+    fn backend_name(&self) -> &str {
+        "interp"
+    }
+
+    fn execute(&self, catalog: &Catalog) -> Result<ExecOutput> {
+        Interpreter::new(catalog).run_program(&self.program)
+    }
+
+    fn explain(&self) -> String {
+        format!(
+            "backend: interp (materializing bulk interpreter)\n{}",
+            self.program
+        )
+    }
+
+    fn profile(&self, catalog: &Catalog) -> Result<PlanProfile> {
+        // The interpreter defines semantics, not performance: no events.
+        let output = self.execute(catalog)?;
+        Ok(PlanProfile {
+            output,
+            events: EventProfile::default(),
+            unit_events: Vec::new(),
+            simulated: None,
+        })
+    }
+}
+
+impl Backend for InterpBackend {
+    fn name(&self) -> &str {
+        "interp"
+    }
+
+    fn prepare(&self, program: &Program, _catalog: &Catalog) -> Result<Arc<dyn PreparedPlan>> {
+        program.validate()?;
+        Ok(Arc::new(InterpPlan {
+            program: program.clone(),
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compiled CPU backend
+// ---------------------------------------------------------------------
+
+/// The fragment compiler + parallel CPU executor as a [`Backend`].
+#[derive(Debug, Clone)]
+pub struct CpuBackend {
+    opts: ExecOptions,
+    optimize: bool,
+}
+
+impl CpuBackend {
+    /// CPU backend with explicit execution options.
+    pub fn new(opts: ExecOptions) -> CpuBackend {
+        CpuBackend {
+            opts,
+            optimize: false,
+        }
+    }
+
+    /// Single-threaded CPU backend with default flags.
+    pub fn single_threaded() -> CpuBackend {
+        CpuBackend::new(ExecOptions::default())
+    }
+
+    /// Multithreaded CPU backend.
+    pub fn with_threads(threads: usize) -> CpuBackend {
+        CpuBackend::new(ExecOptions {
+            threads: threads.max(1),
+            ..ExecOptions::default()
+        })
+    }
+
+    /// Enable (or disable) the CSE+DCE normalization pass before
+    /// compilation. Results are identical by construction — pinned by the
+    /// relational differential tests — while plans shrink wherever the
+    /// frontend emitted redundant control vectors.
+    pub fn with_optimize(mut self, optimize: bool) -> CpuBackend {
+        self.optimize = optimize;
+        self
+    }
+
+    /// The configured execution options.
+    pub fn options(&self) -> &ExecOptions {
+        &self.opts
+    }
+}
+
+impl Default for CpuBackend {
+    fn default() -> Self {
+        CpuBackend::single_threaded()
+    }
+}
+
+struct CpuPlan {
+    cp: CompiledProgram,
+    opts: ExecOptions,
+    rewrite: Option<RewriteStats>,
+}
+
+impl PreparedPlan for CpuPlan {
+    fn backend_name(&self) -> &str {
+        "cpu"
+    }
+
+    fn execute(&self, catalog: &Catalog) -> Result<ExecOutput> {
+        let (out, _) = Executor::new(self.opts.clone()).run(&self.cp, catalog)?;
+        Ok(out)
+    }
+
+    fn explain(&self) -> String {
+        let mut header = format!(
+            "backend: cpu (fragment compiler, {} thread(s), predicated_select={})\n",
+            self.opts.threads, self.opts.predicated_select
+        );
+        if let Some(r) = &self.rewrite {
+            header.push_str(&format!(
+                "normalized by CSE+DCE: {} -> {} statements\n",
+                r.before, r.after
+            ));
+        }
+        explain_compiled(&header, &self.cp)
+    }
+
+    fn profile(&self, catalog: &Catalog) -> Result<PlanProfile> {
+        // Single-threaded, event-counting execution: the canonical trace
+        // the device cost models price (matching the gpusim methodology).
+        let exec = Executor::new(ExecOptions {
+            count_events: true,
+            threads: 1,
+            predicated_select: self.opts.predicated_select,
+        });
+        let (output, events, unit_events) = exec.run_with_unit_profiles(&self.cp, catalog)?;
+        Ok(PlanProfile {
+            output,
+            events,
+            unit_events,
+            simulated: None,
+        })
+    }
+}
+
+impl Backend for CpuBackend {
+    fn name(&self) -> &str {
+        "cpu"
+    }
+
+    fn prepare(&self, program: &Program, catalog: &Catalog) -> Result<Arc<dyn PreparedPlan>> {
+        let (program, rewrite) = if self.optimize {
+            let (p, stats) = voodoo_core::transform::optimize(program);
+            (p, Some(stats))
+        } else {
+            (program.clone(), None)
+        };
+        let cp = Compiler::new(catalog).compile(&program)?;
+        Ok(Arc::new(CpuPlan {
+            cp,
+            opts: self.opts.clone(),
+            rewrite,
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulated GPU backend
+// ---------------------------------------------------------------------
+
+/// The simulated GPU as a [`Backend`]: compiled plans execute on the host
+/// for their *results*; [`PreparedPlan::profile`] prices the architectural
+/// event trace with the device cost model (and the configured
+/// interconnect, when transfers are modeled).
+pub struct SimGpuBackend {
+    sim: GpuSimulator,
+}
+
+impl SimGpuBackend {
+    /// A TITAN-X-class simulated GPU (the paper's testbed device).
+    pub fn titan_x() -> SimGpuBackend {
+        SimGpuBackend {
+            sim: GpuSimulator::titan_x(),
+        }
+    }
+
+    /// Wrap an arbitrary simulator (custom device model, predication flag,
+    /// interconnect).
+    pub fn new(sim: GpuSimulator) -> SimGpuBackend {
+        SimGpuBackend { sim }
+    }
+
+    /// The underlying simulator.
+    pub fn simulator(&self) -> &GpuSimulator {
+        &self.sim
+    }
+}
+
+struct SimGpuPlan {
+    cp: CompiledProgram,
+    program: Program,
+    sim: GpuSimulator,
+}
+
+impl PreparedPlan for SimGpuPlan {
+    fn backend_name(&self) -> &str {
+        "gpu"
+    }
+
+    fn execute(&self, catalog: &Catalog) -> Result<ExecOutput> {
+        // Results only: skip event counting (the priced run is profile()).
+        let exec = Executor::new(ExecOptions {
+            predicated_select: self.sim.predicated(),
+            ..ExecOptions::default()
+        });
+        let (out, _) = exec.run(&self.cp, catalog)?;
+        Ok(out)
+    }
+
+    fn explain(&self) -> String {
+        let header = format!(
+            "backend: gpu (simulated {}, cost-model priced)\n",
+            self.sim.model().device.name
+        );
+        explain_compiled(&header, &self.cp)
+    }
+
+    fn profile(&self, catalog: &Catalog) -> Result<PlanProfile> {
+        let exec = Executor::new(ExecOptions {
+            count_events: true,
+            predicated_select: self.sim.predicated(),
+            threads: 1,
+        });
+        let (output, events, unit_events) = exec.run_with_unit_profiles(&self.cp, catalog)?;
+        let mut report = self.sim.model().price(&unit_events);
+        if let Some(link) = self.sim.interconnect() {
+            report.transfer_seconds =
+                link.transfer_seconds(voodoo_gpusim::transfer::input_bytes(&self.program, catalog));
+            report.seconds += report.transfer_seconds;
+        }
+        Ok(PlanProfile {
+            output,
+            events,
+            unit_events,
+            simulated: Some(report),
+        })
+    }
+}
+
+impl Backend for SimGpuBackend {
+    fn name(&self) -> &str {
+        "gpu"
+    }
+
+    fn prepare(&self, program: &Program, catalog: &Catalog) -> Result<Arc<dyn PreparedPlan>> {
+        let cp = Compiler::new(catalog).compile(program)?;
+        Ok(Arc::new(SimGpuPlan {
+            cp,
+            program: program.clone(),
+            sim: self.sim.clone(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voodoo_core::{KeyPath, ScalarValue};
+
+    fn fixture() -> (Catalog, Program) {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("t", &(0..1000).collect::<Vec<_>>());
+        let mut p = Program::new();
+        let t = p.load("t");
+        let pred = p.greater_const(t, 499);
+        let sel = p.fold_select_global(pred);
+        let vals = p.gather(t, sel);
+        let sum = p.fold_sum_global(vals);
+        p.ret(sum);
+        (cat, p)
+    }
+
+    fn sum_of(out: &ExecOutput) -> i64 {
+        out.returns[0]
+            .value_at(0, &KeyPath::val())
+            .map(|v| v.as_i64())
+            .unwrap_or(0)
+    }
+
+    fn backends() -> Vec<Box<dyn Backend>> {
+        vec![
+            Box::new(InterpBackend::new()),
+            Box::new(CpuBackend::single_threaded()),
+            Box::new(CpuBackend::with_threads(4).with_optimize(true)),
+            Box::new(SimGpuBackend::titan_x()),
+        ]
+    }
+
+    #[test]
+    fn all_backends_agree_through_one_interface() {
+        let (cat, p) = fixture();
+        let expected: i64 = (500..1000).sum();
+        for b in backends() {
+            let plan = b.prepare(&p, &cat).expect("prepare");
+            let out = plan.execute(&cat).expect("execute");
+            assert_eq!(sum_of(&out), expected, "backend {}", b.name());
+            // Prepared plans are reusable.
+            let again = plan.execute(&cat).expect("re-execute");
+            assert_eq!(sum_of(&again), expected, "backend {} rerun", b.name());
+        }
+    }
+
+    #[test]
+    fn explain_shows_physical_plans() {
+        let (cat, p) = fixture();
+        let interp = InterpBackend::new().prepare(&p, &cat).unwrap().explain();
+        assert!(interp.contains("interp"), "{interp}");
+        let cpu = CpuBackend::single_threaded()
+            .prepare(&p, &cat)
+            .unwrap()
+            .explain();
+        assert!(
+            cpu.contains("fragment") && cpu.contains("__kernel"),
+            "{cpu}"
+        );
+        let gpu = SimGpuBackend::titan_x()
+            .prepare(&p, &cat)
+            .unwrap()
+            .explain();
+        assert!(gpu.contains("gpu") && gpu.contains("__kernel"), "{gpu}");
+    }
+
+    #[test]
+    fn profile_counts_events_and_prices_devices() {
+        let (cat, p) = fixture();
+        let cpu = CpuBackend::single_threaded().prepare(&p, &cat).unwrap();
+        let prof = cpu.profile(&cat).unwrap();
+        assert!(prof.events.seq_read_bytes > 0);
+        assert!(!prof.unit_events.is_empty());
+        assert!(prof.simulated.is_none());
+
+        let gpu = SimGpuBackend::titan_x().prepare(&p, &cat).unwrap();
+        let prof = gpu.profile(&cat).unwrap();
+        let report = prof.simulated.expect("gpu prices its trace");
+        assert!(report.seconds > 0.0);
+        assert_eq!(report.transfer_seconds, 0.0, "paper setup: no PCI cost");
+    }
+
+    #[test]
+    fn gpu_profile_matches_the_legacy_simulator_wrapper() {
+        let (cat, p) = fixture();
+        let (out, report) = GpuSimulator::titan_x().run(&p, &cat).unwrap();
+        let plan = SimGpuBackend::titan_x().prepare(&p, &cat).unwrap();
+        let prof = plan.profile(&cat).unwrap();
+        assert_eq!(sum_of(&prof.output), sum_of(&out));
+        let sim = prof.simulated.unwrap();
+        assert!((sim.seconds - report.seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimized_cpu_plans_shrink_but_agree() {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("t", &(0..100).collect::<Vec<_>>());
+        // A program with a redundant subexpression the CSE pass removes.
+        let mut p = Program::new();
+        let t = p.load("t");
+        let a = p.add_const(t, 7);
+        let b = p.add_const(t, 7);
+        let s = p.add(a, b);
+        let sum = p.fold_sum_global(s);
+        p.ret(sum);
+        let plain = CpuBackend::single_threaded().prepare(&p, &cat).unwrap();
+        let opt = CpuBackend::single_threaded()
+            .with_optimize(true)
+            .prepare(&p, &cat)
+            .unwrap();
+        let po = plain.execute(&cat).unwrap();
+        let oo = opt.execute(&cat).unwrap();
+        assert_eq!(
+            po.returns[0].value_at(0, &KeyPath::val()),
+            oo.returns[0].value_at(0, &KeyPath::val())
+        );
+        assert_eq!(
+            po.returns[0].value_at(0, &KeyPath::val()),
+            Some(ScalarValue::I64((0..100).map(|x| 2 * (x + 7)).sum::<i64>()))
+        );
+    }
+}

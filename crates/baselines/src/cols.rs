@@ -50,7 +50,10 @@ pub fn codes_where(
         .table(table)
         .and_then(|t| t.column(col))
         .unwrap_or_else(|| panic!("column {table}.{col}"));
-    c.dict.as_ref().map(|d| d.iter().map(|s| pred(s)).collect()).unwrap_or_default()
+    c.dict
+        .as_ref()
+        .map(|d| d.iter().map(|s| pred(s)).collect())
+        .unwrap_or_default()
 }
 
 /// Canonical rank of each dictionary code: the code's string's position in
@@ -108,6 +111,9 @@ mod tests {
     #[test]
     fn codes_where_matches() {
         let cat = cat();
-        assert_eq!(codes_where(&cat, "t", "s", |s| s.starts_with('z')), vec![true, false]);
+        assert_eq!(
+            codes_where(&cat, "t", "s", |s| s.starts_with('z')),
+            vec![true, false]
+        );
     }
 }

@@ -18,8 +18,8 @@ use std::collections::HashMap;
 
 use voodoo_storage::Catalog;
 use voodoo_tpch::dates::year_of;
-use voodoo_tpch::queries::{params, Query, QueryResult};
 use voodoo_tpch::ps_index;
+use voodoo_tpch::queries::{params, Query, QueryResult};
 
 use crate::cols::{canon_ranks, code_of, codecol, codes_where, i64col, len_of};
 
@@ -97,7 +97,15 @@ fn q1(cat: &Catalog) -> QueryResult {
         if seen[g] {
             let rfc = g / ls_rank.len();
             let lsc = g % ls_rank.len();
-            rows.push(vec![rf_rank[rfc], ls_rank[lsc], a[0], a[1], a[2], a[3], a[4]]);
+            rows.push(vec![
+                rf_rank[rfc],
+                ls_rank[lsc],
+                a[0],
+                a[1],
+                a[2],
+                a[3],
+                a[4],
+            ]);
         }
     }
     QueryResult::new(rows)
@@ -209,7 +217,11 @@ fn q7(cat: &Catalog) -> QueryResult {
             *vol.entry((snk, cnk, year_of(ship[i]))).or_insert(0) += ext[i] * (100 - disc[i]);
         }
     }
-    QueryResult::new(vol.into_iter().map(|((s, c, y), v)| vec![s, c, y, v]).collect())
+    QueryResult::new(
+        vol.into_iter()
+            .map(|((s, c, y), v)| vec![s, c, y, v])
+            .collect(),
+    )
 }
 
 fn q8(cat: &Catalog) -> QueryResult {
@@ -282,7 +294,12 @@ fn q9(cat: &Catalog) -> QueryResult {
         let key = (s_nation[lsk[i] as usize], year_of(odate[lok[i] as usize]));
         *profit.entry(key).or_insert(0) += amount;
     }
-    QueryResult::new(profit.into_iter().map(|((n, y), v)| vec![n, y, v]).collect())
+    QueryResult::new(
+        profit
+            .into_iter()
+            .map(|((n, y), v)| vec![n, y, v])
+            .collect(),
+    )
 }
 
 fn q10(cat: &Catalog) -> QueryResult {
@@ -375,7 +392,12 @@ fn q12(cat: &Catalog) -> QueryResult {
             e.1 += 1;
         }
     }
-    QueryResult::new(counts.into_iter().map(|(m, (h, l))| vec![m, h, l]).collect())
+    QueryResult::new(
+        counts
+            .into_iter()
+            .map(|(m, (h, l))| vec![m, h, l])
+            .collect(),
+    )
 }
 
 fn q14(cat: &Catalog) -> QueryResult {
@@ -429,8 +451,10 @@ fn q19(cat: &Catalog) -> QueryResult {
     let p_brand = codecol(cat, "part", "p_brand");
     let p_container = codecol(cat, "part", "p_container");
     let p_size = i64col(cat, "part", "p_size");
-    let brand_codes: Vec<i64> =
-        triples.iter().map(|(b, _, _)| code_of(cat, "part", "p_brand", b)).collect();
+    let brand_codes: Vec<i64> = triples
+        .iter()
+        .map(|(b, _, _)| code_of(cat, "part", "p_brand", b))
+        .collect();
     let cont_ok: Vec<Vec<bool>> = triples
         .iter()
         .map(|(_, kind, _)| codes_where(cat, "part", "p_container", |s| s.ends_with(kind)))

@@ -16,8 +16,8 @@ use std::cell::Cell;
 
 use voodoo_storage::Catalog;
 use voodoo_tpch::dates::year_of;
-use voodoo_tpch::queries::{params, Query, QueryResult};
 use voodoo_tpch::ps_index;
+use voodoo_tpch::queries::{params, Query, QueryResult};
 
 use crate::cols::{canon_ranks, code_of, codecol, codes_where, i64col, len_of};
 use crate::hyper::{nation_key, region_key};
@@ -82,8 +82,14 @@ pub fn select_range(col: &[i64], lo: i64, hi: i64, cands: Option<&[usize]>) -> V
 
 fn select_range_inner(col: &[i64], lo: i64, hi: i64, cands: Option<&[usize]>) -> Vec<usize> {
     match cands {
-        None => (0..col.len()).filter(|&i| col[i] >= lo && col[i] < hi).collect(),
-        Some(cs) => cs.iter().copied().filter(|&i| col[i] >= lo && col[i] < hi).collect(),
+        None => (0..col.len())
+            .filter(|&i| col[i] >= lo && col[i] < hi)
+            .collect(),
+        Some(cs) => cs
+            .iter()
+            .copied()
+            .filter(|&i| col[i] >= lo && col[i] < hi)
+            .collect(),
     }
 }
 
@@ -183,7 +189,15 @@ fn q1(cat: &Catalog) -> QueryResult {
     let rows = (0..domain)
         .filter(|&g| s_cnt[g] > 0)
         .map(|g| {
-            vec![rf_rank[g / nls], ls_rank[g % nls], s_qty[g], s_ext[g], s_rev[g], s_charge[g], s_cnt[g]]
+            vec![
+                rf_rank[g / nls],
+                ls_rank[g % nls],
+                s_qty[g],
+                s_ext[g],
+                s_rev[g],
+                s_charge[g],
+                s_cnt[g],
+            ]
         })
         .collect();
     QueryResult::new(rows)
@@ -271,7 +285,9 @@ fn q8(cat: &Catalog) -> QueryResult {
     let cands = select_where(&li_type, None, |t| t == tcode);
     let lok = gather(i64col(cat, "lineitem", "l_orderkey"), &cands);
     let li_odate = fetch_join(&lok, i64col(cat, "orders", "o_orderdate"));
-    let keep: Vec<usize> = (0..lok.len()).filter(|&i| li_odate[i] >= lo && li_odate[i] <= hi).collect();
+    let keep: Vec<usize> = (0..lok.len())
+        .filter(|&i| li_odate[i] >= lo && li_odate[i] <= hi)
+        .collect();
     let lok = gather(&lok, &keep);
     let odates = gather(&li_odate, &keep);
     let cands = gather(&cands.iter().map(|&c| c as i64).collect::<Vec<_>>(), &keep);
@@ -279,8 +295,10 @@ fn q8(cat: &Catalog) -> QueryResult {
     let ocust = fetch_join(&lok, i64col(cat, "orders", "o_custkey"));
     let cnk = fetch_join(&ocust, i64col(cat, "customer", "c_nationkey"));
     let creg = fetch_join(&cnk, i64col(cat, "nation", "n_regionkey"));
-    let snk = fetch_join(&gather(i64col(cat, "lineitem", "l_suppkey"), &cands),
-                         i64col(cat, "supplier", "s_nationkey"));
+    let snk = fetch_join(
+        &gather(i64col(cat, "lineitem", "l_suppkey"), &cands),
+        i64col(cat, "supplier", "s_nationkey"),
+    );
     let ext = gather(i64col(cat, "lineitem", "l_extendedprice"), &cands);
     let disc = gather(i64col(cat, "lineitem", "l_discount"), &cands);
     let rev = map2(&ext, &disc, |e, d| e * (100 - d));
@@ -305,8 +323,10 @@ fn q9(cat: &Catalog) -> QueryResult {
     let green = codes_where(cat, "part", "p_name", |s| s.contains(color));
     let names = codecol(cat, "part", "p_name");
     let lpk = i64col(cat, "lineitem", "l_partkey");
-    let li_green: Vec<i64> =
-        lpk.iter().map(|&p| green[names[p as usize] as usize] as i64).collect();
+    let li_green: Vec<i64> = lpk
+        .iter()
+        .map(|&p| green[names[p as usize] as usize] as i64)
+        .collect();
     let cands = select_where(&li_green, None, |g| g != 0);
     let lpk = gather(i64col(cat, "lineitem", "l_partkey"), &cands);
     let lsk = gather(i64col(cat, "lineitem", "l_suppkey"), &cands);
@@ -315,7 +335,11 @@ fn q9(cat: &Catalog) -> QueryResult {
     let ext = gather(i64col(cat, "lineitem", "l_extendedprice"), &cands);
     let disc = gather(i64col(cat, "lineitem", "l_discount"), &cands);
     let n_supp = len_of(cat, "supplier") as i64;
-    let psidx: Vec<i64> = lpk.iter().zip(&lsk).map(|(&p, &s)| ps_index(p, s, n_supp)).collect();
+    let psidx: Vec<i64> = lpk
+        .iter()
+        .zip(&lsk)
+        .map(|(&p, &s)| ps_index(p, s, n_supp))
+        .collect();
     let cost = fetch_join(&psidx, i64col(cat, "partsupp", "ps_supplycost"));
     let rev = map2(&ext, &disc, |e, d| e * (100 - d));
     let costq = map2(&cost, &qty, |c, q| c * q * 100);
@@ -342,7 +366,9 @@ fn q10(cat: &Catalog) -> QueryResult {
     let cands = select_where(&rfw, None, |c| c == rcode);
     let lok = gather(i64col(cat, "lineitem", "l_orderkey"), &cands);
     let odate = fetch_join(&lok, i64col(cat, "orders", "o_orderdate"));
-    let keep: Vec<usize> = (0..lok.len()).filter(|&i| odate[i] >= lo && odate[i] < hi).collect();
+    let keep: Vec<usize> = (0..lok.len())
+        .filter(|&i| odate[i] >= lo && odate[i] < hi)
+        .collect();
     let lok = gather(&lok, &keep);
     let cands = gather(&cands.iter().map(|&c| c as i64).collect::<Vec<_>>(), &keep);
     let cands: Vec<usize> = cands.iter().map(|&c| c as usize).collect();
@@ -368,20 +394,32 @@ fn q12(cat: &Catalog) -> QueryResult {
     let modew: Vec<i64> = mode.iter().map(|&c| c as i64).collect();
     let cands = select_where(&modew, None, |m| m == c1 || m == c2);
     let receipt = gather(i64col(cat, "lineitem", "l_receiptdate"), &cands);
-    let keep: Vec<usize> = (0..cands.len()).filter(|&i| receipt[i] >= lo && receipt[i] < hi).collect();
+    let keep: Vec<usize> = (0..cands.len())
+        .filter(|&i| receipt[i] >= lo && receipt[i] < hi)
+        .collect();
     let cands: Vec<usize> = keep.iter().map(|&i| cands[i]).collect();
     let commit = gather(i64col(cat, "lineitem", "l_commitdate"), &cands);
     let receipt = gather(i64col(cat, "lineitem", "l_receiptdate"), &cands);
     let ship = gather(i64col(cat, "lineitem", "l_shipdate"), &cands);
-    let keep: Vec<usize> =
-        (0..cands.len()).filter(|&i| commit[i] < receipt[i] && ship[i] < commit[i]).collect();
+    let keep: Vec<usize> = (0..cands.len())
+        .filter(|&i| commit[i] < receipt[i] && ship[i] < commit[i])
+        .collect();
     let cands: Vec<usize> = keep.iter().map(|&i| cands[i]).collect();
     let lok = gather(i64col(cat, "lineitem", "l_orderkey"), &cands);
-    let prio = fetch_join(&lok, &codecol(cat, "orders", "o_orderpriority").iter().map(|&c| c as i64).collect::<Vec<_>>());
+    let prio = fetch_join(
+        &lok,
+        &codecol(cat, "orders", "o_orderpriority")
+            .iter()
+            .map(|&c| c as i64)
+            .collect::<Vec<_>>(),
+    );
     let urgent = code_of(cat, "orders", "o_orderpriority", "1-URGENT");
     let high = code_of(cat, "orders", "o_orderpriority", "2-HIGH");
     let m = gather(&modew, &cands);
-    let ishigh: Vec<i64> = prio.iter().map(|&p| (p == urgent || p == high) as i64).collect();
+    let ishigh: Vec<i64> = prio
+        .iter()
+        .map(|&p| (p == urgent || p == high) as i64)
+        .collect();
     let islow: Vec<i64> = ishigh.iter().map(|&h| 1 - h).collect();
     let mode_rank = canon_ranks(cat, "lineitem", "l_shipmode");
     let mk: Vec<i64> = m.iter().map(|&c| mode_rank[c as usize]).collect();
@@ -403,7 +441,10 @@ fn q14(cat: &Catalog) -> QueryResult {
     let lpk = gather(i64col(cat, "lineitem", "l_partkey"), &cands);
     let promo = codes_where(cat, "part", "p_type", |s| s.starts_with("PROMO"));
     let ptypes = codecol(cat, "part", "p_type");
-    let isp: Vec<i64> = lpk.iter().map(|&p| promo[ptypes[p as usize] as usize] as i64).collect();
+    let isp: Vec<i64> = lpk
+        .iter()
+        .map(|&p| promo[ptypes[p as usize] as usize] as i64)
+        .collect();
     let ext = gather(i64col(cat, "lineitem", "l_extendedprice"), &cands);
     let disc = gather(i64col(cat, "lineitem", "l_discount"), &cands);
     let rev = map2(&ext, &disc, |e, d| e * (100 - d));
@@ -432,8 +473,10 @@ fn q15(cat: &Catalog) -> QueryResult {
 
 fn q19(cat: &Catalog) -> QueryResult {
     let triples = params::q19();
-    let brand_codes: Vec<i64> =
-        triples.iter().map(|(b, _, _)| code_of(cat, "part", "p_brand", b)).collect();
+    let brand_codes: Vec<i64> = triples
+        .iter()
+        .map(|(b, _, _)| code_of(cat, "part", "p_brand", b))
+        .collect();
     let cont_ok: Vec<Vec<bool>> = triples
         .iter()
         .map(|(_, kind, _)| codes_where(cat, "part", "p_container", |s| s.ends_with(kind)))
@@ -442,9 +485,14 @@ fn q19(cat: &Catalog) -> QueryResult {
     let air = code_of(cat, "lineitem", "l_shipmode", "AIR");
     let regair = code_of(cat, "lineitem", "l_shipmode", "REG AIR");
     let deliver = code_of(cat, "lineitem", "l_shipinstruct", "DELIVER IN PERSON");
-    let mode: Vec<i64> = codecol(cat, "lineitem", "l_shipmode").iter().map(|&c| c as i64).collect();
-    let instr: Vec<i64> =
-        codecol(cat, "lineitem", "l_shipinstruct").iter().map(|&c| c as i64).collect();
+    let mode: Vec<i64> = codecol(cat, "lineitem", "l_shipmode")
+        .iter()
+        .map(|&c| c as i64)
+        .collect();
+    let instr: Vec<i64> = codecol(cat, "lineitem", "l_shipinstruct")
+        .iter()
+        .map(|&c| c as i64)
+        .collect();
     let cands = select_where(&mode, None, |m| m == air || m == regair);
     let cands = select_where(&instr, Some(&cands), |i| i == deliver);
     let lpk = gather(i64col(cat, "lineitem", "l_partkey"), &cands);

@@ -14,7 +14,9 @@ fn catalog(n: usize) -> Catalog {
     let mut cat = Catalog::in_memory();
     cat.put_i64_column(
         "input",
-        &(0..n as i64).map(|i| (i * 2654435761) % 4096).collect::<Vec<_>>(),
+        &(0..n as i64)
+            .map(|i| (i * 2654435761) % 4096)
+            .collect::<Vec<_>>(),
     );
     cat
 }
@@ -49,7 +51,10 @@ fn bench_vectorization_chunks(c: &mut Criterion) {
         let p = selection::select_sum("input", 0, 2048, SelectionStrategy::Vectorized { chunk });
         let cp = Compiler::new(&cat).compile(&p).unwrap();
         g.bench_with_input(BenchmarkId::new("select_sum", chunk), &chunk, |b, _| {
-            let exec = Executor::new(ExecOptions { predicated_select: true, ..Default::default() });
+            let exec = Executor::new(ExecOptions {
+                predicated_select: true,
+                ..Default::default()
+            });
             b.iter(|| exec.run(&cp, &cat).unwrap());
         });
     }
@@ -80,7 +85,11 @@ fn bench_radix_sort(c: &mut Criterion) {
     let cat = catalog(n);
     let mut g = c.benchmark_group("radix_sort");
     g.sample_size(10);
-    for (name, bits, passes) in [("4bit_x3", 4u32, 3u32), ("6bit_x2", 6, 2), ("12bit_x1", 12, 1)] {
+    for (name, bits, passes) in [
+        ("4bit_x3", 4u32, 3u32),
+        ("6bit_x2", 6, 2),
+        ("12bit_x1", 12, 1),
+    ] {
         let p = compaction::radix_sort("input", bits, passes);
         let cp = Compiler::new(&cat).compile(&p).unwrap();
         g.bench_function(BenchmarkId::new("passes", name), |b| {

@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| exec.run(&cp, &cat).unwrap());
         });
         g.bench_with_input(BenchmarkId::new("no_branch", sel), &sel, |b, _| {
-            let exec = Executor::new(ExecOptions { predicated_select: true, ..Default::default() });
+            let exec = Executor::new(ExecOptions {
+                predicated_select: true,
+                ..Default::default()
+            });
             b.iter(|| exec.run(&cp, &cat).unwrap());
         });
     }

@@ -1,23 +1,28 @@
 //! Criterion bench for Figures 12/13: TPC-H across the three engines.
+//!
+//! The Voodoo series runs through the `Session` facade, so the timed loop
+//! measures prepared-plan execution (the plan cache absorbs compilation on
+//! the first iteration).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use voodoo_relational::Session;
 use voodoo_tpch::queries::Query;
 
 fn bench(c: &mut Criterion) {
-    let mut cat = voodoo_tpch::generate(0.005);
-    voodoo_relational::prepare(&mut cat);
+    let session = Session::tpch(0.005);
     let mut g = c.benchmark_group("fig13_tpch_cpu");
     g.sample_size(10);
     for q in [Query::Q1, Query::Q6, Query::Q12, Query::Q19] {
         g.bench_with_input(BenchmarkId::new("hyper", q.name()), &q, |b, &q| {
-            b.iter(|| voodoo_baselines::hyper::run(&cat, q));
+            b.iter(|| voodoo_baselines::hyper::run(session.catalog(), q));
         });
         g.bench_with_input(BenchmarkId::new("voodoo", q.name()), &q, |b, &q| {
-            b.iter(|| voodoo_relational::run_compiled(&cat, q, 1));
+            let stmt = session.query(q);
+            b.iter(|| stmt.run().expect("voodoo run"));
         });
         if voodoo_baselines::ocelot::supported(q) {
             g.bench_with_input(BenchmarkId::new("ocelot", q.name()), &q, |b, &q| {
-                b.iter(|| voodoo_baselines::ocelot::run(&cat, q));
+                b.iter(|| voodoo_baselines::ocelot::run(session.catalog(), q));
             });
         }
     }

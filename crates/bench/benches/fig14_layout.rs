@@ -8,9 +8,7 @@ use voodoo_compile::Compiler;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig14_layout");
     g.sample_size(10);
-    for (pattern, random, rows) in
-        [("sequential", false, 1 << 14), ("random", true, 1 << 14)]
-    {
+    for (pattern, random, rows) in [("sequential", false, 1 << 14), ("random", true, 1 << 14)] {
         let cat = micro::layout_catalog(1 << 15, rows, random, 7);
         let progs = [
             ("single_loop", micro::prog_layout_single()),
@@ -19,14 +17,10 @@ fn bench(c: &mut Criterion) {
         ];
         for (name, p) in progs {
             let cp = Compiler::new(&cat).compile(&p).unwrap();
-            g.bench_with_input(
-                BenchmarkId::new(name, pattern),
-                &pattern,
-                |b, _| {
-                    let exec = Executor::single_threaded();
-                    b.iter(|| exec.run(&cp, &cat).unwrap());
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, pattern), &pattern, |b, _| {
+                let exec = Executor::single_threaded();
+                b.iter(|| exec.run(&cp, &cat).unwrap());
+            });
         }
     }
     g.finish();

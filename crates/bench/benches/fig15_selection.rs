@@ -15,13 +15,19 @@ fn bench(c: &mut Criterion) {
         let variants = [
             ("branching", micro::prog_select_sum_branching(cut), false),
             ("branch_free", micro::prog_select_sum_predicated(cut), false),
-            ("vectorized", micro::prog_select_sum_vectorized(cut, 4096), true),
+            (
+                "vectorized",
+                micro::prog_select_sum_vectorized(cut, 4096),
+                true,
+            ),
         ];
         for (name, p, pred) in variants {
             let cp = Compiler::new(&cat).compile(&p).unwrap();
             g.bench_with_input(BenchmarkId::new(name, sel), &sel, |b, _| {
-                let exec =
-                    Executor::new(ExecOptions { predicated_select: pred, ..Default::default() });
+                let exec = Executor::new(ExecOptions {
+                    predicated_select: pred,
+                    ..Default::default()
+                });
                 b.iter(|| exec.run(&cp, &cat).unwrap());
             });
         }

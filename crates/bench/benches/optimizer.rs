@@ -10,7 +10,9 @@ fn catalog(n: usize) -> Catalog {
     let mut cat = Catalog::in_memory();
     cat.put_i64_column(
         "vals",
-        &(0..n as i64).map(|i| (i * 2654435761) % 1000).collect::<Vec<_>>(),
+        &(0..n as i64)
+            .map(|i| (i * 2654435761) % 1000)
+            .collect::<Vec<_>>(),
     );
     cat
 }
@@ -25,12 +27,14 @@ fn bench_optimizer(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("optimizer");
     g.sample_size(10);
-    for (name, strategy) in
-        [("exhaustive", SearchStrategy::Exhaustive), ("greedy", SearchStrategy::Greedy)]
-    {
-        for (dev_name, device) in
-            [("cpu", Device::cpu_single_thread()), ("gpu", Device::gpu_titan_x())]
-        {
+    for (name, strategy) in [
+        ("exhaustive", SearchStrategy::Exhaustive),
+        ("greedy", SearchStrategy::Greedy),
+    ] {
+        for (dev_name, device) in [
+            ("cpu", Device::cpu_single_thread()),
+            ("gpu", Device::gpu_titan_x()),
+        ] {
             let opt = Optimizer::for_device(device)
                 .with_sample_rows(1 << 13)
                 .with_strategy(strategy)

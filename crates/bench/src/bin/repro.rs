@@ -23,7 +23,9 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut o = Opts {
         n: 1 << 20,
         sf: 0.02,
-        threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        threads: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
     };
     for a in args {
         if let Some(v) = a.strip_prefix("--n=") {
@@ -106,7 +108,9 @@ fn main() {
             std::process::exit(1);
         }
         println!("# cross-engine verification passed");
-        for f in ["fig1", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16", "ablate", "opt"] {
+        for f in [
+            "fig1", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16", "ablate", "opt",
+        ] {
             run_fig(f);
         }
     } else {

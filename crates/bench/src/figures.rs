@@ -1,8 +1,15 @@
 //! Row generators for every figure of the paper's evaluation.
+//!
+//! Every Voodoo execution goes through the unified backend API
+//! (`voodoo_backend::Backend` / the relational `Session`): programs are
+//! prepared once and the prepared plan is what the timing loops re-run —
+//! the compile-once-run-many path a serving system would take.
 
-use voodoo_compile::exec::{ExecOptions, Executor};
+use voodoo_backend::{Backend, CpuBackend, SimGpuBackend};
+use voodoo_compile::exec::ExecOptions;
 use voodoo_compile::{kernel, Compiler, Device};
 use voodoo_gpusim::{CostModel, GpuSimulator};
+use voodoo_relational::Session;
 use voodoo_storage::Catalog;
 use voodoo_tpch::queries::{Query, CPU_QUERIES, GPU_QUERIES};
 
@@ -11,15 +18,14 @@ use crate::timing::{consume, time_secs};
 use crate::FigRow;
 
 fn run_cpu(cat: &Catalog, p: &voodoo_core::Program, predicated: bool, threads: usize) -> f64 {
-    let cp = Compiler::new(cat).compile(p).expect("compile");
-    let exec = Executor::new(ExecOptions {
+    let backend = CpuBackend::new(ExecOptions {
         predicated_select: predicated,
         threads,
         ..Default::default()
     });
+    let plan = backend.prepare(p, cat).expect("prepare");
     time_secs(3, || {
-        let (out, _) = exec.run(&cp, cat).expect("run");
-        consume(out);
+        consume(plan.execute(cat).expect("run"));
     })
 }
 
@@ -27,20 +33,24 @@ fn run_cpu(cat: &Catalog, p: &voodoo_core::Program, predicated: bool, threads: u
 /// isolates architectural effects (branch flips, cache misses) from the
 /// backend's interpretive overhead, the same methodology as the GPU.
 fn run_cpu_model(cat: &Catalog, p: &voodoo_core::Program, predicated: bool) -> f64 {
-    let cp = Compiler::new(cat).compile(p).expect("compile");
-    let exec = Executor::new(ExecOptions {
+    let backend = CpuBackend::new(ExecOptions {
         predicated_select: predicated,
-        count_events: true,
         ..Default::default()
     });
-    let (_, _, units) = exec.run_with_unit_profiles(&cp, cat).expect("run");
-    CostModel::new(Device::cpu_single_thread()).price(&units).seconds
+    let plan = backend.prepare(p, cat).expect("prepare");
+    let units = plan.profile(cat).expect("profile").unit_events;
+    CostModel::new(Device::cpu_single_thread())
+        .price(&units)
+        .seconds
 }
 
 fn run_gpu(cat: &Catalog, p: &voodoo_core::Program, predicated: bool) -> f64 {
-    let sim = GpuSimulator::titan_x().with_predication(predicated);
-    let (_, report) = sim.run(p, cat).expect("gpu sim");
-    report.seconds
+    let backend = SimGpuBackend::new(GpuSimulator::titan_x().with_predication(predicated));
+    let plan = backend.prepare(p, cat).expect("prepare");
+    plan.profile(cat)
+        .expect("gpu sim")
+        .simulated_seconds()
+        .expect("priced")
 }
 
 /// Figure 1: branching vs branch-free selection across selectivities, on
@@ -51,7 +61,11 @@ pub fn fig1(n: usize, threads: usize) -> Vec<FigRow> {
     for sel_pct in [1.0, 5.0, 10.0, 50.0, 100.0] {
         let c = micro::cutoff(sel_pct / 100.0);
         let p = micro::prog_filter_materialize(c);
-        rows.push(FigRow::new("Single Thread Branch", sel_pct, Some(run_cpu(&cat, &p, false, 1))));
+        rows.push(FigRow::new(
+            "Single Thread Branch",
+            sel_pct,
+            Some(run_cpu(&cat, &p, false, 1)),
+        ));
         rows.push(FigRow::new(
             "Single Thread No Branch",
             sel_pct,
@@ -67,8 +81,16 @@ pub fn fig1(n: usize, threads: usize) -> Vec<FigRow> {
             sel_pct,
             Some(run_cpu(&cat, &p, true, threads)),
         ));
-        rows.push(FigRow::new("GPU Branch", sel_pct, Some(run_gpu(&cat, &p, false))));
-        rows.push(FigRow::new("GPU No Branch", sel_pct, Some(run_gpu(&cat, &p, true))));
+        rows.push(FigRow::new(
+            "GPU Branch",
+            sel_pct,
+            Some(run_gpu(&cat, &p, false)),
+        ));
+        rows.push(FigRow::new(
+            "GPU No Branch",
+            sel_pct,
+            Some(run_gpu(&cat, &p, true)),
+        ));
     }
     rows
 }
@@ -84,26 +106,19 @@ pub fn fig9_kernel_dump(n: usize) -> String {
 
 /// Figure 12: TPC-H on the (simulated) GPU — Voodoo vs Ocelot.
 pub fn fig12(sf: f64) -> Vec<FigRow> {
-    let mut cat = voodoo_tpch::generate(sf);
-    voodoo_relational::prepare(&mut cat);
-    let gpu = GpuSimulator::titan_x();
+    let session = Session::tpch(sf);
     let model = CostModel::titan_x();
     let mut rows = Vec::new();
     for q in GPU_QUERIES {
-        // Voodoo: price each program of the plan with the device model.
-        let mut total = 0.0;
-        let out = voodoo_relational::run_with(&cat, q, |p, c| {
-            let (out, report) = gpu.run(p, c).expect("gpu run");
-            total += report.seconds;
-            out
-        });
-        consume(out);
-        rows.push(FigRow::new("Voodoo", q.name(), Some(total)));
+        // Voodoo: profile the statement on the session's gpu backend; the
+        // cost model prices every program of the plan.
+        let prof = session.query(q).profile_on("gpu").expect("gpu profile");
+        rows.push(FigRow::new("Voodoo", q.name(), prof.simulated_seconds));
 
         // Ocelot: bulk-processor traffic priced at GPU bandwidth plus one
         // kernel launch per materializing operator.
         voodoo_baselines::ocelot::stats_reset();
-        let r = voodoo_baselines::ocelot::run(&cat, q);
+        let r = voodoo_baselines::ocelot::run(session.catalog(), q);
         let (traffic, ops) = voodoo_baselines::ocelot::stats();
         let secs = r.map(|_| {
             traffic as f64 / model.device.mem_bandwidth + ops as f64 * model.device.barrier_cost
@@ -114,17 +129,29 @@ pub fn fig12(sf: f64) -> Vec<FigRow> {
 }
 
 /// Figure 13: TPC-H on the CPU — HyPeR vs Voodoo vs Ocelot, wall clock.
+///
+/// The Voodoo series times prepared-plan execution through the `Session`:
+/// the first run compiles and caches, the timed runs hit the plan cache —
+/// the compile-once-run-many serving path.
 pub fn fig13(sf: f64, threads: usize) -> Vec<FigRow> {
-    let mut cat = voodoo_tpch::generate(sf);
-    voodoo_relational::prepare(&mut cat);
+    let mut session = Session::tpch(sf);
+    session.register(
+        "cpu",
+        std::sync::Arc::new(CpuBackend::with_threads(threads)),
+    );
     let mut rows = Vec::new();
     for q in CPU_QUERIES {
-        let h = time_secs(3, || consume(voodoo_baselines::hyper::run(&cat, q)));
+        let cat = session.catalog();
+        let h = time_secs(3, || consume(voodoo_baselines::hyper::run(cat, q)));
         rows.push(FigRow::new("HyPeR", q.name(), Some(h)));
-        let v = time_secs(3, || consume(voodoo_relational::run_compiled(&cat, q, threads)));
+        let stmt = session.query(q);
+        let v = time_secs(3, || consume(stmt.run().expect("voodoo run")));
         rows.push(FigRow::new("Voodoo", q.name(), Some(v)));
         let o = if voodoo_baselines::ocelot::supported(q) {
-            Some(time_secs(3, || consume(voodoo_baselines::ocelot::run(&cat, q))))
+            let cat = session.catalog();
+            Some(time_secs(3, || {
+                consume(voodoo_baselines::ocelot::run(cat, q))
+            }))
         } else {
             None
         };
@@ -136,8 +163,9 @@ pub fn fig13(sf: f64, threads: usize) -> Vec<FigRow> {
 /// Figure 14: just-in-time layout transforms across access patterns —
 /// (a) hand-written, (b) Voodoo on CPU, (c) Voodoo on simulated GPU.
 pub fn fig14(n_pos: usize, large_rows: usize) -> Vec<FigRow> {
+    type Variant = (&'static str, u8, fn() -> voodoo_core::Program);
     let mut rows = Vec::new();
-    let variants: [(&str, u8, fn() -> voodoo_core::Program); 3] = [
+    let variants: [Variant; 3] = [
         ("Single Loop", 0, micro::prog_layout_single),
         ("Separate Loops", 1, micro::prog_layout_separate),
         ("Layout Transform", 2, micro::prog_layout_transform),
@@ -147,8 +175,22 @@ pub fn fig14(n_pos: usize, large_rows: usize) -> Vec<FigRow> {
         let target_rows = pattern.target_rows(large_rows);
         let cat = micro::layout_catalog(n_pos, target_rows, random, 77);
         let t = cat.table("target2").unwrap();
-        let c1 = t.column("c1").unwrap().data.buffer().as_i64().unwrap().to_vec();
-        let c2 = t.column("c2").unwrap().data.buffer().as_i64().unwrap().to_vec();
+        let c1 = t
+            .column("c1")
+            .unwrap()
+            .data
+            .buffer()
+            .as_i64()
+            .unwrap()
+            .to_vec();
+        let c2 = t
+            .column("c2")
+            .unwrap()
+            .data
+            .buffer()
+            .as_i64()
+            .unwrap()
+            .to_vec();
         let pos = cat
             .table("positions")
             .unwrap()
@@ -200,33 +242,75 @@ pub fn fig15(n: usize, chunk: usize) -> Vec<FigRow> {
         rows.push(FigRow::new(
             "C/Branching",
             sel_pct,
-            Some(time_secs(3, || consume(micro::c_select_sum_branching(&vals, c)))),
+            Some(time_secs(3, || {
+                consume(micro::c_select_sum_branching(&vals, c))
+            })),
         ));
         rows.push(FigRow::new(
             "C/Branch-Free",
             sel_pct,
-            Some(time_secs(3, || consume(micro::c_select_sum_predicated(&vals, c)))),
+            Some(time_secs(3, || {
+                consume(micro::c_select_sum_predicated(&vals, c))
+            })),
         ));
         rows.push(FigRow::new(
             "C/Vectorized",
             sel_pct,
-            Some(time_secs(3, || consume(micro::c_select_sum_vectorized(&vals, c, chunk)))),
+            Some(time_secs(3, || {
+                consume(micro::c_select_sum_vectorized(&vals, c, chunk))
+            })),
         ));
         // (b) Voodoo on CPU.
         let branching = micro::prog_select_sum_branching(c);
         let predicated = micro::prog_select_sum_predicated(c);
         let vectorized = micro::prog_select_sum_vectorized(c, chunk);
-        rows.push(FigRow::new("VoodooCPU/Branching", sel_pct, Some(run_cpu(&cat, &branching, false, 1))));
-        rows.push(FigRow::new("VoodooCPU/Branch-Free", sel_pct, Some(run_cpu(&cat, &predicated, false, 1))));
-        rows.push(FigRow::new("VoodooCPU/Vectorized", sel_pct, Some(run_cpu(&cat, &vectorized, true, 1))));
+        rows.push(FigRow::new(
+            "VoodooCPU/Branching",
+            sel_pct,
+            Some(run_cpu(&cat, &branching, false, 1)),
+        ));
+        rows.push(FigRow::new(
+            "VoodooCPU/Branch-Free",
+            sel_pct,
+            Some(run_cpu(&cat, &predicated, false, 1)),
+        ));
+        rows.push(FigRow::new(
+            "VoodooCPU/Vectorized",
+            sel_pct,
+            Some(run_cpu(&cat, &vectorized, true, 1)),
+        ));
         // Model-priced CPU (architectural effects without backend overhead).
-        rows.push(FigRow::new("VoodooCPUModel/Branching", sel_pct, Some(run_cpu_model(&cat, &branching, false))));
-        rows.push(FigRow::new("VoodooCPUModel/Branch-Free", sel_pct, Some(run_cpu_model(&cat, &predicated, false))));
-        rows.push(FigRow::new("VoodooCPUModel/Vectorized", sel_pct, Some(run_cpu_model(&cat, &vectorized, true))));
+        rows.push(FigRow::new(
+            "VoodooCPUModel/Branching",
+            sel_pct,
+            Some(run_cpu_model(&cat, &branching, false)),
+        ));
+        rows.push(FigRow::new(
+            "VoodooCPUModel/Branch-Free",
+            sel_pct,
+            Some(run_cpu_model(&cat, &predicated, false)),
+        ));
+        rows.push(FigRow::new(
+            "VoodooCPUModel/Vectorized",
+            sel_pct,
+            Some(run_cpu_model(&cat, &vectorized, true)),
+        ));
         // (c) Voodoo on the simulated GPU.
-        rows.push(FigRow::new("VoodooGPU/Branching", sel_pct, Some(run_gpu(&cat, &branching, false))));
-        rows.push(FigRow::new("VoodooGPU/Branch-Free", sel_pct, Some(run_gpu(&cat, &predicated, false))));
-        rows.push(FigRow::new("VoodooGPU/Vectorized", sel_pct, Some(run_gpu(&cat, &vectorized, true))));
+        rows.push(FigRow::new(
+            "VoodooGPU/Branching",
+            sel_pct,
+            Some(run_gpu(&cat, &branching, false)),
+        ));
+        rows.push(FigRow::new(
+            "VoodooGPU/Branch-Free",
+            sel_pct,
+            Some(run_gpu(&cat, &predicated, false)),
+        ));
+        rows.push(FigRow::new(
+            "VoodooGPU/Vectorized",
+            sel_pct,
+            Some(run_gpu(&cat, &vectorized, true)),
+        ));
     }
     rows
 }
@@ -235,8 +319,22 @@ pub fn fig15(n: usize, chunk: usize) -> Vec<FigRow> {
 pub fn fig16(n_fact: usize, n_target: usize) -> Vec<FigRow> {
     let cat = micro::fkjoin_catalog(n_fact, n_target, 42);
     let fact = cat.table("fact").unwrap();
-    let v = fact.column("v").unwrap().data.buffer().as_i64().unwrap().to_vec();
-    let fk = fact.column("fk").unwrap().data.buffer().as_i64().unwrap().to_vec();
+    let v = fact
+        .column("v")
+        .unwrap()
+        .data
+        .buffer()
+        .as_i64()
+        .unwrap()
+        .to_vec();
+    let fk = fact
+        .column("fk")
+        .unwrap()
+        .data
+        .buffer()
+        .as_i64()
+        .unwrap()
+        .to_vec();
     let target = cat
         .table("target")
         .unwrap()
@@ -250,25 +348,67 @@ pub fn fig16(n_fact: usize, n_target: usize) -> Vec<FigRow> {
     let mut rows = Vec::new();
     for sel_pct in [10.0, 30.0, 50.0, 70.0, 90.0] {
         let c = sel_pct as i64; // v uniform in [0, 100)
-        for (name, which) in [("Branching", 0u8), ("PredicatedAgg", 1), ("PredicatedLookups", 2)] {
+        for (name, which) in [
+            ("Branching", 0u8),
+            ("PredicatedAgg", 1),
+            ("PredicatedLookups", 2),
+        ] {
             rows.push(FigRow::new(
                 &format!("C/{name}"),
                 sel_pct,
-                Some(time_secs(3, || consume(micro::c_fk_join(&v, &fk, &target, c, which)))),
+                Some(time_secs(3, || {
+                    consume(micro::c_fk_join(&v, &fk, &target, c, which))
+                })),
             ));
         }
         let branching = micro::prog_fk_branching(c);
         let pagg = micro::prog_fk_predicated_agg(c);
         let plook = micro::prog_fk_predicated_lookups(c);
-        rows.push(FigRow::new("VoodooCPU/Branching", sel_pct, Some(run_cpu(&cat, &branching, false, 1))));
-        rows.push(FigRow::new("VoodooCPU/PredicatedAgg", sel_pct, Some(run_cpu(&cat, &pagg, false, 1))));
-        rows.push(FigRow::new("VoodooCPU/PredicatedLookups", sel_pct, Some(run_cpu(&cat, &plook, false, 1))));
-        rows.push(FigRow::new("VoodooCPUModel/Branching", sel_pct, Some(run_cpu_model(&cat, &branching, false))));
-        rows.push(FigRow::new("VoodooCPUModel/PredicatedAgg", sel_pct, Some(run_cpu_model(&cat, &pagg, false))));
-        rows.push(FigRow::new("VoodooCPUModel/PredicatedLookups", sel_pct, Some(run_cpu_model(&cat, &plook, false))));
-        rows.push(FigRow::new("VoodooGPU/Branching", sel_pct, Some(run_gpu(&cat, &branching, false))));
-        rows.push(FigRow::new("VoodooGPU/PredicatedAgg", sel_pct, Some(run_gpu(&cat, &pagg, false))));
-        rows.push(FigRow::new("VoodooGPU/PredicatedLookups", sel_pct, Some(run_gpu(&cat, &plook, false))));
+        rows.push(FigRow::new(
+            "VoodooCPU/Branching",
+            sel_pct,
+            Some(run_cpu(&cat, &branching, false, 1)),
+        ));
+        rows.push(FigRow::new(
+            "VoodooCPU/PredicatedAgg",
+            sel_pct,
+            Some(run_cpu(&cat, &pagg, false, 1)),
+        ));
+        rows.push(FigRow::new(
+            "VoodooCPU/PredicatedLookups",
+            sel_pct,
+            Some(run_cpu(&cat, &plook, false, 1)),
+        ));
+        rows.push(FigRow::new(
+            "VoodooCPUModel/Branching",
+            sel_pct,
+            Some(run_cpu_model(&cat, &branching, false)),
+        ));
+        rows.push(FigRow::new(
+            "VoodooCPUModel/PredicatedAgg",
+            sel_pct,
+            Some(run_cpu_model(&cat, &pagg, false)),
+        ));
+        rows.push(FigRow::new(
+            "VoodooCPUModel/PredicatedLookups",
+            sel_pct,
+            Some(run_cpu_model(&cat, &plook, false)),
+        ));
+        rows.push(FigRow::new(
+            "VoodooGPU/Branching",
+            sel_pct,
+            Some(run_gpu(&cat, &branching, false)),
+        ));
+        rows.push(FigRow::new(
+            "VoodooGPU/PredicatedAgg",
+            sel_pct,
+            Some(run_gpu(&cat, &pagg, false)),
+        ));
+        rows.push(FigRow::new(
+            "VoodooGPU/PredicatedLookups",
+            sel_pct,
+            Some(run_gpu(&cat, &plook, false)),
+        ));
     }
     rows
 }
@@ -286,10 +426,8 @@ pub fn ablation_suppression(n: usize) -> Vec<FigRow> {
     let psum = p.fold_sum(part, v);
     let total = p.fold_sum_global(psum);
     p.ret(total);
-    let cp = Compiler::new(&cat).compile(&p).unwrap();
-    let exec = Executor::new(ExecOptions { count_events: true, ..Default::default() });
-    let (_, profile) = exec.run(&cp, &cat).unwrap();
-    let suppressed_bytes = profile.write_bytes;
+    let plan = CpuBackend::single_threaded().prepare(&p, &cat).unwrap();
+    let suppressed_bytes = plan.profile(&cat).unwrap().events.write_bytes;
     // Padded equivalent would write one slot per element per fold.
     let padded_bytes = (2 * n * 8) as u64;
     vec![
@@ -303,9 +441,8 @@ pub fn ablation_suppression(n: usize) -> Vec<FigRow> {
 pub fn ablation_devices(n: usize) -> Vec<FigRow> {
     let cat = micro::selection_catalog(n, 4);
     let p = micro::prog_filter_materialize(micro::cutoff(0.5));
-    let cp = Compiler::new(&cat).compile(&p).unwrap();
-    let exec = Executor::new(ExecOptions { count_events: true, ..Default::default() });
-    let (_, _, units) = exec.run_with_unit_profiles(&cp, &cat).unwrap();
+    let plan = CpuBackend::single_threaded().prepare(&p, &cat).unwrap();
+    let units = plan.profile(&cat).unwrap().unit_events;
     let cpu = CostModel::new(Device::cpu_single_thread()).price(&units);
     let gpu = CostModel::titan_x().price(&units);
     vec![
@@ -332,7 +469,11 @@ pub fn ablation_pcie(n: usize) -> Vec<FigRow> {
         .run(&p, &cat)
         .unwrap();
     vec![
-        FigRow::new("titan-x, data resident (paper setup)", n, Some(resident.seconds)),
+        FigRow::new(
+            "titan-x, data resident (paper setup)",
+            n,
+            Some(resident.seconds),
+        ),
         FigRow::new("titan-x + PCIe 3.0 shipping", n, Some(shipped.seconds)),
         FigRow::new("  of which transfer", n, Some(shipped.transfer_seconds)),
         FigRow::new("integrated GPU, zero copy", n, Some(integrated.seconds)),
@@ -375,15 +516,17 @@ pub fn optimizer_decisions(n: usize) -> Vec<FigRow> {
 /// Sanity check used by tests: every query result matches across engines
 /// at the benchmark scale factor.
 pub fn verify_engines(sf: f64) -> Result<(), String> {
-    let mut cat = voodoo_tpch::generate(sf);
-    voodoo_relational::prepare(&mut cat);
+    let session = Session::tpch(sf);
+    let cat = session.catalog();
     for q in CPU_QUERIES {
-        let h = voodoo_baselines::hyper::run(&cat, q);
-        let v = voodoo_relational::run_compiled(&cat, q, 1);
+        let h = voodoo_baselines::hyper::run(cat, q);
+        let v = session
+            .run_query(q)
+            .map_err(|e| format!("{} failed on the session: {e}", q.name()))?;
         if h != v {
             return Err(format!("{} differs between hyper and voodoo", q.name()));
         }
-        if let Some(o) = voodoo_baselines::ocelot::run(&cat, q) {
+        if let Some(o) = voodoo_baselines::ocelot::run(cat, q) {
             if h != o {
                 return Err(format!("{} differs between hyper and ocelot", q.name()));
             }
@@ -417,7 +560,9 @@ mod tests {
         let r13 = fig13(0.002, 1);
         assert_eq!(r13.len(), CPU_QUERIES.len() * 3);
         // Ocelot gaps present on CPU figure.
-        assert!(r13.iter().any(|r| r.series == "Ocelot" && r.seconds.is_none()));
+        assert!(r13
+            .iter()
+            .any(|r| r.series == "Ocelot" && r.seconds.is_none()));
     }
 
     #[test]

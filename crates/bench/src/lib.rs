@@ -27,7 +27,11 @@ pub struct FigRow {
 impl FigRow {
     /// Construct a row.
     pub fn new(series: &str, x: impl ToString, seconds: Option<f64>) -> FigRow {
-        FigRow { series: series.to_string(), x: x.to_string(), seconds }
+        FigRow {
+            series: series.to_string(),
+            x: x.to_string(),
+            seconds,
+        }
     }
 }
 

@@ -158,12 +158,18 @@ pub fn fkjoin_catalog(n_fact: usize, n_target: usize, seed: u64) -> Catalog {
     ));
     fact.add_column(TableColumn::from_buffer(
         "fk",
-        voodoo_core::Buffer::I64((0..n_fact).map(|_| rng.gen_range(0..n_target as i64)).collect()),
+        voodoo_core::Buffer::I64(
+            (0..n_fact)
+                .map(|_| rng.gen_range(0..n_target as i64))
+                .collect(),
+        ),
     ));
     cat.insert_table(fact);
     cat.put_i64_column(
         "target",
-        &(0..n_target).map(|_| rng.gen_range(0..1000)).collect::<Vec<_>>(),
+        &(0..n_target)
+            .map(|_| rng.gen_range(0..1000))
+            .collect::<Vec<_>>(),
     );
     cat
 }
@@ -203,7 +209,14 @@ pub fn prog_fk_predicated_lookups(c: i64) -> Program {
     let fact = p.load("fact");
     let target = p.load("target");
     let pred = p.binary_const(BinOp::Less, fact, kp(".v"), c, kp(".val"));
-    let pos = p.binary_kp(BinOp::Multiply, fact, kp(".fk"), pred, kp(".val"), kp(".val"));
+    let pos = p.binary_kp(
+        BinOp::Multiply,
+        fact,
+        kp(".fk"),
+        pred,
+        kp(".val"),
+        kp(".val"),
+    );
     let looked = p.gather(target, pos);
     let masked = p.mul(looked, pred);
     let sum = p.fold_sum_global(masked);
@@ -257,7 +270,11 @@ pub enum Pattern {
 impl Pattern {
     /// All patterns in figure order.
     pub fn all() -> [Pattern; 3] {
-        [Pattern::Sequential, Pattern::Random4Mb, Pattern::Random128Mb]
+        [
+            Pattern::Sequential,
+            Pattern::Random4Mb,
+            Pattern::Random128Mb,
+        ]
     }
 
     /// Label used in figure rows.
@@ -294,7 +311,9 @@ pub fn layout_catalog(n_pos: usize, target_rows: usize, random: bool, seed: u64)
     ));
     cat.insert_table(t);
     let pos: Vec<i64> = if random {
-        (0..n_pos).map(|_| rng.gen_range(0..target_rows as i64)).collect()
+        (0..n_pos)
+            .map(|_| rng.gen_range(0..target_rows as i64))
+            .collect()
     } else {
         (0..n_pos as i64).map(|i| i % target_rows as i64).collect()
     };
@@ -372,8 +391,7 @@ pub fn c_layout(c1: &[i64], c2: &[i64], pos: &[i64], which: u8) -> (i64, i64) {
         }
         _ => {
             // Just-in-time transform to row-wise (AoS) layout.
-            let rows: Vec<[i64; 2]> =
-                c1.iter().zip(c2).map(|(&a, &b)| [a, b]).collect();
+            let rows: Vec<[i64; 2]> = c1.iter().zip(c2).map(|(&a, &b)| [a, b]).collect();
             let (mut s1, mut s2) = (0i64, 0i64);
             for &p in pos {
                 let r = rows[p as usize];
@@ -394,7 +412,10 @@ mod tests {
 
     fn run(cat: &Catalog, p: &Program, predicated: bool) -> i64 {
         let cp = Compiler::new(cat).compile(p).unwrap();
-        let exec = Executor::new(ExecOptions { predicated_select: predicated, ..Default::default() });
+        let exec = Executor::new(ExecOptions {
+            predicated_select: predicated,
+            ..Default::default()
+        });
         let (out, _) = exec.run(&cp, cat).unwrap();
         out.returns[0]
             .value_at(0, &KeyPath::val())
@@ -422,8 +443,14 @@ mod tests {
             assert_eq!(c_select_sum_vectorized(&vals, c, 256), expected);
             assert_eq!(run(&cat, &prog_select_sum_branching(c), false), expected);
             assert_eq!(run(&cat, &prog_select_sum_predicated(c), false), expected);
-            assert_eq!(run(&cat, &prog_select_sum_vectorized(c, 256), false), expected);
-            assert_eq!(run(&cat, &prog_select_sum_vectorized(c, 256), true), expected);
+            assert_eq!(
+                run(&cat, &prog_select_sum_vectorized(c, 256), false),
+                expected
+            );
+            assert_eq!(
+                run(&cat, &prog_select_sum_vectorized(c, 256), true),
+                expected
+            );
         }
     }
 
@@ -464,10 +491,32 @@ mod tests {
     fn fk_variants_agree_with_c() {
         let cat = fkjoin_catalog(4000, 512, 3);
         let fact = cat.table("fact").unwrap();
-        let v = fact.column("v").unwrap().data.buffer().as_i64().unwrap().to_vec();
-        let fk = fact.column("fk").unwrap().data.buffer().as_i64().unwrap().to_vec();
-        let target =
-            cat.table("target").unwrap().column("val").unwrap().data.buffer().as_i64().unwrap().to_vec();
+        let v = fact
+            .column("v")
+            .unwrap()
+            .data
+            .buffer()
+            .as_i64()
+            .unwrap()
+            .to_vec();
+        let fk = fact
+            .column("fk")
+            .unwrap()
+            .data
+            .buffer()
+            .as_i64()
+            .unwrap()
+            .to_vec();
+        let target = cat
+            .table("target")
+            .unwrap()
+            .column("val")
+            .unwrap()
+            .data
+            .buffer()
+            .as_i64()
+            .unwrap()
+            .to_vec();
         for c in [5i64, 50, 95] {
             let expected = c_fk_join(&v, &fk, &target, c, 0);
             assert_eq!(c_fk_join(&v, &fk, &target, c, 1), expected);
@@ -483,14 +532,40 @@ mod tests {
         for random in [false, true] {
             let cat = layout_catalog(3000, 1024, random, 11);
             let t = cat.table("target2").unwrap();
-            let c1 = t.column("c1").unwrap().data.buffer().as_i64().unwrap().to_vec();
-            let c2 = t.column("c2").unwrap().data.buffer().as_i64().unwrap().to_vec();
-            let pos =
-                cat.table("positions").unwrap().column("val").unwrap().data.buffer().as_i64().unwrap().to_vec();
+            let c1 = t
+                .column("c1")
+                .unwrap()
+                .data
+                .buffer()
+                .as_i64()
+                .unwrap()
+                .to_vec();
+            let c2 = t
+                .column("c2")
+                .unwrap()
+                .data
+                .buffer()
+                .as_i64()
+                .unwrap()
+                .to_vec();
+            let pos = cat
+                .table("positions")
+                .unwrap()
+                .column("val")
+                .unwrap()
+                .data
+                .buffer()
+                .as_i64()
+                .unwrap()
+                .to_vec();
             let expected = c_layout(&c1, &c2, &pos, 0);
             assert_eq!(c_layout(&c1, &c2, &pos, 1), expected);
             assert_eq!(c_layout(&c1, &c2, &pos, 2), expected);
-            for prog in [prog_layout_single(), prog_layout_separate(), prog_layout_transform()] {
+            for prog in [
+                prog_layout_single(),
+                prog_layout_separate(),
+                prog_layout_transform(),
+            ] {
                 let cp = Compiler::new(&cat).compile(&prog).unwrap();
                 let (out, _) = Executor::single_threaded().run(&cp, &cat).unwrap();
                 let s1 = out.returns[0]
@@ -510,7 +585,9 @@ mod tests {
     fn separate_loops_has_more_fragments_than_single() {
         let cat = layout_catalog(100, 64, false, 1);
         let single = Compiler::new(&cat).compile(&prog_layout_single()).unwrap();
-        let separate = Compiler::new(&cat).compile(&prog_layout_separate()).unwrap();
+        let separate = Compiler::new(&cat)
+            .compile(&prog_layout_separate())
+            .unwrap();
         assert!(
             separate.fragment_count() > single.fragment_count(),
             "Break splits the pipeline: {} vs {}",
@@ -524,7 +601,10 @@ mod tests {
         let cat = selection_catalog(2000, 5);
         let p = prog_filter_materialize(cutoff(0.5));
         let cp = Compiler::new(&cat).compile(&p).unwrap();
-        let b = Executor::new(ExecOptions { count_events: true, ..Default::default() });
+        let b = Executor::new(ExecOptions {
+            count_events: true,
+            ..Default::default()
+        });
         let f = Executor::new(ExecOptions {
             count_events: true,
             predicated_select: true,

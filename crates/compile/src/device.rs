@@ -81,7 +81,9 @@ impl Device {
 
     /// The host CPU with all available cores.
     pub fn cpu_host() -> Device {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Device::cpu_multicore(threads)
     }
 

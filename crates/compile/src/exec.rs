@@ -1,7 +1,7 @@
 //! Execution of compiled plans on the CPU.
 //!
-//! Fragments run their work items data-parallel over a crossbeam thread
-//! scope (chunks of contiguous runs per worker, each producing its own
+//! Fragments run their work items data-parallel over a scoped thread
+//! pool (chunks of contiguous runs per worker, each producing its own
 //! output segments — no synchronization inside a kernel, mirroring the ε
 //! padding argument of §2.2). Bulk units implement `Scatter`, `Partition`
 //! and the two fused patterns (virtual-scatter group aggregation,
@@ -38,7 +38,11 @@ pub struct ExecOptions {
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { predicated_select: false, count_events: false, threads: 1 }
+        ExecOptions {
+            predicated_select: false,
+            count_events: false,
+            threads: 1,
+        }
     }
 }
 
@@ -61,7 +65,10 @@ impl Executor {
 
     /// Multithreaded executor.
     pub fn with_threads(threads: usize) -> Executor {
-        Executor::new(ExecOptions { threads: threads.max(1), ..ExecOptions::default() })
+        Executor::new(ExecOptions {
+            threads: threads.max(1),
+            ..ExecOptions::default()
+        })
     }
 
     /// Run a compiled program against a catalog.
@@ -141,7 +148,7 @@ impl Executor {
         &self,
         cp: &CompiledProgram,
         frag: &Fragment,
-        values: &mut Vec<Option<Arc<MatVec>>>,
+        values: &mut [Option<Arc<MatVec>>],
         profile: &mut EventProfile,
     ) -> Result<()> {
         profile.work_items += frag.extent as u64;
@@ -154,7 +161,10 @@ impl Executor {
         // execution: each group keeps a local cursor and writes its padded
         // output region, "without the need for a global barrier" (§3.1.1
         // case c; the ε padding is what buys the independence).
-        let has_scan = frag.actions.iter().any(|a| matches!(a, Action::FoldScanAct { .. }));
+        let has_scan = frag
+            .actions
+            .iter()
+            .any(|a| matches!(a, Action::FoldScanAct { .. }));
         profile.max_par = match &frag.run {
             RunStructure::Dynamic(_) => 1,
             _ if has_scan => frag.extent as u64,
@@ -169,7 +179,11 @@ impl Executor {
                     RunStructure::Uniform(l) => l,
                     _ => 1,
                 };
-                let total_runs = if domain == 0 { 0 } else { domain.div_ceil(run_len) };
+                let total_runs = if domain == 0 {
+                    0
+                } else {
+                    domain.div_ceil(run_len)
+                };
                 let workers = self.opts.threads.min(total_runs.max(1));
                 let per = total_runs.div_ceil(workers.max(1)).max(1);
                 (0..workers)
@@ -199,12 +213,16 @@ impl Executor {
                 per_chunk.push(segs);
             }
         } else {
-            let results = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> =
-                    chunks.iter().map(|c| scope.spawn(move |_| run_worker(*c))).collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
-            })
-            .expect("scope");
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|c| scope.spawn(move || run_worker(*c)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect::<Vec<_>>()
+            });
             for (segs, prof) in results {
                 profile.merge(&prof);
                 per_chunk.push(segs);
@@ -253,9 +271,11 @@ impl Executor {
             sv.insert(spec.kp.clone(), col);
             let wrapped = match spec.layout {
                 Layout::Full => MatVec::Full(sv),
-                Layout::Dense => {
-                    MatVec::FoldDense { values: sv, run_len, orig_len: domain }
-                }
+                Layout::Dense => MatVec::FoldDense {
+                    values: sv,
+                    run_len,
+                    orig_len: domain,
+                },
             };
             values[stmt.index()] = Some(Arc::new(wrapped));
         }
@@ -270,8 +290,13 @@ impl Executor {
         (run_s, run_e): (usize, usize),
         sources: &[Option<Arc<MatVec>>],
     ) -> (Vec<Column>, EventProfile) {
-        let mut env = Env::new(sources, self.opts.count_events, cp.branch_sites, cp.gather_sites)
-            .with_predication(self.opts.predicated_select);
+        let mut env = Env::new(
+            sources,
+            self.opts.count_events,
+            cp.branch_sites,
+            cp.gather_sites,
+        )
+        .with_predication(self.opts.predicated_select);
         let domain = frag.domain;
         let run_len = match frag.run {
             RunStructure::Uniform(l) => l,
@@ -306,7 +331,15 @@ impl Executor {
                         cursors[ai] = s;
                     }
                     for i in s..e {
-                        self.step(frag, i, elem_s, &mut segs, &mut accs, &mut cursors, &mut env);
+                        self.step(
+                            frag,
+                            i,
+                            elem_s,
+                            &mut segs,
+                            &mut accs,
+                            &mut cursors,
+                            &mut env,
+                        );
                     }
                     // Flush folds at run slot, fix predicated tails.
                     for (ai, action) in frag.actions.iter().enumerate() {
@@ -316,10 +349,10 @@ impl Executor {
                                     segs[*out].set(r - run_s, v);
                                 }
                             }
-                            Action::SelectEmit { out, .. } => {
-                                if self.opts.predicated_select && cursors[ai] < e {
-                                    segs[*out].clear(cursors[ai] - elem_s);
-                                }
+                            Action::SelectEmit { out, .. }
+                                if self.opts.predicated_select && cursors[ai] < e =>
+                            {
+                                segs[*out].clear(cursors[ai] - elem_s);
                             }
                             _ => {}
                         }
@@ -386,7 +419,9 @@ impl Executor {
                         segs[*out].set(i - elem_base, v);
                     }
                 }
-                Action::FoldAggAct { agg, expr, out_ty, .. } => {
+                Action::FoldAggAct {
+                    agg, expr, out_ty, ..
+                } => {
                     if let Some(v) = expr.eval(i, env) {
                         let v = v.cast(*out_ty);
                         accs[ai] = Some(match accs[ai] {
@@ -440,18 +475,33 @@ impl Executor {
         &self,
         cp: &CompiledProgram,
         bulk: &Bulk,
-        values: &mut Vec<Option<Arc<MatVec>>>,
+        values: &mut [Option<Arc<MatVec>>],
         profile: &mut EventProfile,
     ) -> Result<()> {
         match bulk {
-            Bulk::ScatterOp { stmt, domain, out_len, cols, pos } => {
+            Bulk::ScatterOp {
+                stmt,
+                domain,
+                out_len,
+                cols,
+                pos,
+            } => {
                 let sources: &[Option<Arc<MatVec>>] = values;
-                let mut env = Env::new(sources, self.opts.count_events, cp.branch_sites, cp.gather_sites)
-            .with_predication(self.opts.predicated_select);
-                let mut out_cols: Vec<Column> =
-                    cols.iter().map(|(_, ty, _)| Column::empties(*ty, *out_len)).collect();
+                let mut env = Env::new(
+                    sources,
+                    self.opts.count_events,
+                    cp.branch_sites,
+                    cp.gather_sites,
+                )
+                .with_predication(self.opts.predicated_select);
+                let mut out_cols: Vec<Column> = cols
+                    .iter()
+                    .map(|(_, ty, _)| Column::empties(*ty, *out_len))
+                    .collect();
                 for i in 0..*domain {
-                    let Some(p) = pos.eval(i, &mut env) else { continue };
+                    let Some(p) = pos.eval(i, &mut env) else {
+                        continue;
+                    };
                     let p = p.as_i64();
                     if p < 0 || p as usize >= *out_len {
                         continue;
@@ -477,13 +527,26 @@ impl Executor {
                 values[stmt.index()] = Some(Arc::new(MatVec::Full(sv)));
                 Ok(())
             }
-            Bulk::PartitionOp { stmt, domain, out_kp, key, pivot, pivot_len } => {
+            Bulk::PartitionOp {
+                stmt,
+                domain,
+                out_kp,
+                key,
+                pivot,
+                pivot_len,
+            } => {
                 let sources: &[Option<Arc<MatVec>>] = values;
-                let mut env = Env::new(sources, self.opts.count_events, cp.branch_sites, cp.gather_sites)
-            .with_predication(self.opts.predicated_select);
+                let mut env = Env::new(
+                    sources,
+                    self.opts.count_events,
+                    cp.branch_sites,
+                    cp.gather_sites,
+                )
+                .with_predication(self.opts.predicated_select);
                 let piv = eval_pivots(pivot, *pivot_len, &mut env);
-                let keys: Vec<Option<i64>> =
-                    (0..*domain).map(|i| key.eval(i, &mut env).map(to_key)).collect();
+                let keys: Vec<Option<i64>> = (0..*domain)
+                    .map(|i| key.eval(i, &mut env).map(to_key))
+                    .collect();
                 let positions = counting_sort_positions(&keys, &piv);
                 profile.merge(&env.profile);
                 profile.work_items += 1;
@@ -499,10 +562,22 @@ impl Executor {
                 Ok(())
             }
             Bulk::GroupAgg { .. } => self.exec_group_agg(cp, bulk, values, profile),
-            Bulk::VecSelect { select: _, domain, chunk, sel, site, folds } => {
+            Bulk::VecSelect {
+                select: _,
+                domain,
+                chunk,
+                sel,
+                site,
+                folds,
+            } => {
                 let sources: &[Option<Arc<MatVec>>] = values;
-                let mut env = Env::new(sources, self.opts.count_events, cp.branch_sites, cp.gather_sites)
-            .with_predication(self.opts.predicated_select);
+                let mut env = Env::new(
+                    sources,
+                    self.opts.count_events,
+                    cp.branch_sites,
+                    cp.gather_sites,
+                )
+                .with_predication(self.opts.predicated_select);
                 let mut accs: Vec<Option<ScalarValue>> = vec![None; folds.len()];
                 let mut last_pos: Vec<i64> = vec![i64::MIN / 2; folds.len()];
                 let mut posbuf: Vec<usize> = vec![0; *chunk];
@@ -514,7 +589,10 @@ impl Executor {
                     let mut count = 0usize;
                     if self.opts.predicated_select {
                         for i in c0..c1 {
-                            let t = sel.eval(i, &mut env).map(|v| v.is_truthy()).unwrap_or(false);
+                            let t = sel
+                                .eval(i, &mut env)
+                                .map(|v| v.is_truthy())
+                                .unwrap_or(false);
                             posbuf[count] = i;
                             count += t as usize;
                             if env.counting {
@@ -524,7 +602,10 @@ impl Executor {
                         }
                     } else {
                         for i in c0..c1 {
-                            let t = sel.eval(i, &mut env).map(|v| v.is_truthy()).unwrap_or(false);
+                            let t = sel
+                                .eval(i, &mut env)
+                                .map(|v| v.is_truthy())
+                                .unwrap_or(false);
                             env.count_branch(*site, t);
                             if t {
                                 posbuf[count] = i;
@@ -593,7 +674,7 @@ impl Executor {
         &self,
         cp: &CompiledProgram,
         bulk: &Bulk,
-        values: &mut Vec<Option<Arc<MatVec>>>,
+        values: &mut [Option<Arc<MatVec>>],
         profile: &mut EventProfile,
     ) -> Result<()> {
         let Bulk::GroupAgg {
@@ -611,13 +692,19 @@ impl Executor {
             unreachable!()
         };
         let sources: &[Option<Arc<MatVec>>] = values;
-        let mut env = Env::new(sources, self.opts.count_events, cp.branch_sites, cp.gather_sites)
-            .with_predication(self.opts.predicated_select);
+        let mut env = Env::new(
+            sources,
+            self.opts.count_events,
+            cp.branch_sites,
+            cp.gather_sites,
+        )
+        .with_predication(self.opts.predicated_select);
         let piv = eval_pivots(pivot, *pivot_len, &mut env);
         let nb = piv.len().max(1);
         let mut counts = vec![0usize; nb];
         let mut first_key: Vec<Option<Option<i64>>> = vec![None; nb];
-        let mut accs: Vec<Vec<Option<ScalarValue>>> = folds.iter().map(|_| vec![None; nb]).collect();
+        let mut accs: Vec<Vec<Option<ScalarValue>>> =
+            folds.iter().map(|_| vec![None; nb]).collect();
         let mut mismatch = *out_len != *domain;
         if !mismatch {
             for i in 0..*domain {
@@ -686,27 +773,42 @@ impl Executor {
         &self,
         cp: &CompiledProgram,
         bulk: &Bulk,
-        values: &mut Vec<Option<Arc<MatVec>>>,
+        values: &mut [Option<Arc<MatVec>>],
         profile: &mut EventProfile,
     ) -> Result<()> {
         let Bulk::GroupAgg {
-            domain, out_len, key, pivot, pivot_len, folds, scatter_cols, key_col, ..
+            domain,
+            out_len,
+            key,
+            pivot,
+            pivot_len,
+            folds,
+            scatter_cols,
+            key_col,
+            ..
         } = bulk
         else {
             unreachable!()
         };
         let sources: &[Option<Arc<MatVec>>] = values;
-        let mut env = Env::new(sources, self.opts.count_events, cp.branch_sites, cp.gather_sites)
-            .with_predication(self.opts.predicated_select);
+        let mut env = Env::new(
+            sources,
+            self.opts.count_events,
+            cp.branch_sites,
+            cp.gather_sites,
+        )
+        .with_predication(self.opts.predicated_select);
         let piv = eval_pivots(pivot, *pivot_len, &mut env);
-        let keys: Vec<Option<i64>> =
-            (0..*domain).map(|i| key.eval(i, &mut env).map(to_key)).collect();
+        let keys: Vec<Option<i64>> = (0..*domain)
+            .map(|i| key.eval(i, &mut env).map(to_key))
+            .collect();
         let positions = counting_sort_positions(&keys, &piv);
         // Materialize the scattered vector.
-        let mut out_cols: Vec<Column> =
-            scatter_cols.iter().map(|(_, ty, _)| Column::empties(*ty, *out_len)).collect();
-        for i in 0..*domain {
-            let p = positions[i];
+        let mut out_cols: Vec<Column> = scatter_cols
+            .iter()
+            .map(|(_, ty, _)| Column::empties(*ty, *out_len))
+            .collect();
+        for (i, &p) in positions.iter().enumerate() {
             if p >= *out_len {
                 continue;
             }

@@ -215,13 +215,26 @@ impl Expr {
         match self {
             Expr::Const(v) => Some(*v),
             Expr::Form(m) => Some(m.scalar_at(i)),
-            Expr::Col { src, col, width, broadcast } => {
+            Expr::Col {
+                src,
+                col,
+                width,
+                broadcast,
+            } => {
                 let mv = env.sources[*src as usize].as_ref()?.clone();
                 let idx = if *broadcast { 0 } else { i };
                 env.count_read(*width as usize, true);
                 mv.get(*col as usize, idx)
             }
-            Expr::ColAt { src, col, width, pos, sequential, src_len, site } => {
+            Expr::ColAt {
+                src,
+                col,
+                width,
+                pos,
+                sequential,
+                src_len,
+                site,
+            } => {
                 let p = env.eval_shared(pos, i)?.as_i64();
                 if p < 0 || p as usize >= *src_len {
                     return None; // out of bounds → ε (Table 2)
@@ -235,14 +248,23 @@ impl Expr {
                 }
                 mv.get(*col as usize, p as usize)
             }
-            Expr::Bin { op, ty, float, l, r } => {
+            Expr::Bin {
+                op,
+                ty,
+                float,
+                l,
+                r,
+            } => {
                 let a = env.eval_shared(l, i)?;
                 let b = env.eval_shared(r, i)?;
                 env.count_op(*op, *float);
                 Some(op.eval(a, b).cast(*ty))
             }
             Expr::FilterIndex { sel, site } => {
-                let taken = env.eval_shared(sel, i).map(|v| v.is_truthy()).unwrap_or(false);
+                let taken = env
+                    .eval_shared(sel, i)
+                    .map(|v| v.is_truthy())
+                    .unwrap_or(false);
                 env.count_branch(*site, taken);
                 if taken {
                     Some(ScalarValue::I64(i as i64))
@@ -298,7 +320,12 @@ mod tests {
     }
 
     fn col0() -> Expr {
-        Expr::Col { src: 0, col: 0, width: 8, broadcast: false }
+        Expr::Col {
+            src: 0,
+            col: 0,
+            width: 8,
+            broadcast: false,
+        }
     }
 
     #[test]
@@ -329,7 +356,10 @@ mod tests {
     fn filter_counts_branches_and_flips() {
         let sources = src_of(vec![1, 0, 0, 1]);
         let mut env = Env::new(&sources, true, 1, 4);
-        let f = Expr::FilterIndex { sel: Arc::new(col0()), site: 0 };
+        let f = Expr::FilterIndex {
+            sel: Arc::new(col0()),
+            site: 0,
+        };
         assert_eq!(f.eval(0, &mut env), Some(ScalarValue::I64(0)));
         assert_eq!(f.eval(1, &mut env), None);
         assert_eq!(f.eval(2, &mut env), None);
@@ -378,7 +408,12 @@ mod tests {
     fn broadcast_reads_slot_zero() {
         let sources = src_of(vec![42]);
         let mut env = Env::new(&sources, false, 0, 4);
-        let e = Expr::Col { src: 0, col: 0, width: 8, broadcast: true };
+        let e = Expr::Col {
+            src: 0,
+            col: 0,
+            width: 8,
+            broadcast: true,
+        };
         assert_eq!(e.eval(100, &mut env), Some(ScalarValue::I64(42)));
     }
 

@@ -43,7 +43,10 @@ fn render_fragment(out: &mut String, ui: usize, f: &Fragment) {
         }
         RunStructure::Uniform(l) => {
             let _ = writeln!(out, "  size_t run_start = gid * {l};");
-            let _ = writeln!(out, "  for (size_t i = run_start; i < run_start + {l}; ++i) {{");
+            let _ = writeln!(
+                out,
+                "  for (size_t i = run_start; i < run_start + {l}; ++i) {{"
+            );
         }
         RunStructure::Single | RunStructure::Dynamic(_) => {
             let _ = writeln!(out, "  for (size_t i = 0; i < {}; ++i) {{", f.domain);
@@ -55,15 +58,25 @@ fn render_fragment(out: &mut String, ui: usize, f: &Fragment) {
             Action::Write { out: slot, expr } => {
                 format!("    out{}[i] = {};", slot, expr_c_capped(expr, &mut defs))
             }
-            Action::FoldAggAct { out: slot, agg, expr, .. } => {
+            Action::FoldAggAct {
+                out: slot,
+                agg,
+                expr,
+                ..
+            } => {
                 let op = match agg {
                     AggKind::Sum => "+",
                     AggKind::Min => "min",
                     AggKind::Max => "max",
                 };
-                format!("    acc{slot} = acc{slot} {op} ({});", expr_c_capped(expr, &mut defs))
+                format!(
+                    "    acc{slot} = acc{slot} {op} ({});",
+                    expr_c_capped(expr, &mut defs)
+                )
             }
-            Action::FoldScanAct { out: slot, expr, .. } => {
+            Action::FoldScanAct {
+                out: slot, expr, ..
+            } => {
                 format!(
                     "    acc{slot} += ({}); out{slot}[i] = acc{slot};",
                     expr_c_capped(expr, &mut defs)
@@ -94,7 +107,13 @@ fn render_fragment(out: &mut String, ui: usize, f: &Fragment) {
 
 fn render_bulk(out: &mut String, ui: usize, b: &Bulk) {
     match b {
-        Bulk::ScatterOp { stmt, domain, out_len, pos, .. } => {
+        Bulk::ScatterOp {
+            stmt,
+            domain,
+            out_len,
+            pos,
+            ..
+        } => {
             let _ = writeln!(
                 out,
                 "\n// unit {ui}: scatter %{} ({domain} -> {out_len} slots)",
@@ -111,11 +130,23 @@ fn render_bulk(out: &mut String, ui: usize, b: &Bulk) {
             let _ = writeln!(out, "  if (0 <= p && p < {out_len}) out[p] = values[i];");
             let _ = writeln!(out, "}}");
         }
-        Bulk::PartitionOp { stmt, domain, key, .. } => {
-            let _ = writeln!(out, "\n// unit {ui}: partition %{} over {domain} tuples", stmt.0);
+        Bulk::PartitionOp {
+            stmt, domain, key, ..
+        } => {
+            let _ = writeln!(
+                out,
+                "\n// unit {ui}: partition %{} over {domain} tuples",
+                stmt.0
+            );
             let _ = writeln!(out, "// stable counting sort on key = {}", expr_c(key));
         }
-        Bulk::GroupAgg { scatter, domain, folds, key, .. } => {
+        Bulk::GroupAgg {
+            scatter,
+            domain,
+            folds,
+            key,
+            ..
+        } => {
             let _ = writeln!(
                 out,
                 "\n// unit {ui}: virtual scatter %{} — grouped aggregation, {} fold(s), {domain} tuples",
@@ -126,11 +157,23 @@ fn render_bulk(out: &mut String, ui: usize, b: &Bulk) {
             let _ = writeln!(out, "  size_t i = get_global_id(0);");
             let _ = writeln!(out, "  int b = bucket({});", expr_c(key));
             for (fi, f) in folds.iter().enumerate() {
-                let _ = writeln!(out, "  acc{fi}[b] += ({}); // {}", expr_c(&f.val), f.agg.name());
+                let _ = writeln!(
+                    out,
+                    "  acc{fi}[b] += ({}); // {}",
+                    expr_c(&f.val),
+                    f.agg.name()
+                );
             }
             let _ = writeln!(out, "}}");
         }
-        Bulk::VecSelect { select, domain, chunk, sel, folds, .. } => {
+        Bulk::VecSelect {
+            select,
+            domain,
+            chunk,
+            sel,
+            folds,
+            ..
+        } => {
             let _ = writeln!(
                 out,
                 "\n// unit {ui}: vectorized selection %{} (chunk={chunk}, {domain} tuples)",
@@ -143,7 +186,12 @@ fn render_bulk(out: &mut String, ui: usize, b: &Bulk) {
             let _ = writeln!(out, "  }}");
             let _ = writeln!(out, "  for (size_t j = 0; j < n; ++j) {{");
             for (fi, f) in folds.iter().enumerate() {
-                let _ = writeln!(out, "    acc{fi} += src{}[pos[j]]; // {}", f.src.0, f.agg.name());
+                let _ = writeln!(
+                    out,
+                    "    acc{fi} += src{}[pos[j]]; // {}",
+                    f.src.0,
+                    f.agg.name()
+                );
             }
             let _ = writeln!(out, "  }}");
             let _ = writeln!(out, "}}");
@@ -250,7 +298,12 @@ pub fn expr_c(e: &Expr) -> String {
             }
             s
         }
-        Expr::Col { src, col, broadcast, .. } => {
+        Expr::Col {
+            src,
+            col,
+            broadcast,
+            ..
+        } => {
             if *broadcast {
                 format!("v{}_c{}[0]", src, col)
             } else {
@@ -295,7 +348,12 @@ mod tests {
     #[test]
     fn renders_form_closed_form() {
         use voodoo_core::RunMeta;
-        let e = Expr::Form(RunMeta { from: 5, step_num: 1, step_den: 4, cap: Some(3) });
+        let e = Expr::Form(RunMeta {
+            from: 5,
+            step_num: 1,
+            step_den: 4,
+            cap: Some(3),
+        });
         let s = expr_c(&e);
         assert!(s.contains("/ 4"));
         assert!(s.contains("% 3"));

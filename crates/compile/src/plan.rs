@@ -20,9 +20,7 @@
 use std::sync::Arc;
 
 use voodoo_core::typecheck::{self, FoldRuns, Shapes};
-use voodoo_core::{
-    AggKind, KeyPath, Op, Program, Result, ScalarType, VRef, VoodooError,
-};
+use voodoo_core::{AggKind, KeyPath, Op, Program, Result, ScalarType, VRef, VoodooError};
 use voodoo_storage::Catalog;
 
 use crate::expr::Expr;
@@ -322,7 +320,10 @@ pub struct CompiledProgram {
 impl CompiledProgram {
     /// Number of fragments (≙ kernels) in the plan.
     pub fn fragment_count(&self) -> usize {
-        self.units.iter().filter(|u| matches!(u, Unit::Fragment(_))).count()
+        self.units
+            .iter()
+            .filter(|u| matches!(u, Unit::Fragment(_)))
+            .count()
     }
 
     /// The fragments, in execution order.
@@ -427,8 +428,7 @@ impl<'p> Build<'p> {
 
     fn is_returned_or_persisted(&self, v: VRef) -> bool {
         self.program.returns().contains(&v)
-            || self
-                .consumers[v.index()]
+            || self.consumers[v.index()]
                 .iter()
                 .any(|c| matches!(self.program.stmt(*c).op, Op::Persist { .. }))
     }
@@ -480,14 +480,23 @@ impl<'p> Build<'p> {
     fn detect_group_agg(&mut self) {
         for i in 0..self.program.len() {
             let p = VRef(i as u32);
-            let Op::Partition { v: pv, kp: pkp, .. } = &self.program.stmt(p).op else { continue };
+            let Op::Partition { v: pv, kp: pkp, .. } = &self.program.stmt(p).op else {
+                continue;
+            };
             if self.is_returned_or_persisted(p) {
                 continue;
             }
             let p_consumers = self.real_consumers(p);
-            let [s] = p_consumers.as_slice() else { continue };
+            let [s] = p_consumers.as_slice() else {
+                continue;
+            };
             let s = *s;
-            let Op::Scatter { values, positions, .. } = &self.program.stmt(s).op else { continue };
+            let Op::Scatter {
+                values, positions, ..
+            } = &self.program.stmt(s).op
+            else {
+                continue;
+            };
             if self.resolve[positions.index()] != self.resolve[p.index()] {
                 continue;
             }
@@ -504,7 +513,9 @@ impl<'p> Build<'p> {
                 continue;
             }
             let all_ok = folds.iter().all(|f| match &self.program.stmt(*f).op {
-                Op::FoldAgg { fold_kp: Some(fkp), .. } => fkp == pkp,
+                Op::FoldAgg {
+                    fold_kp: Some(fkp), ..
+                } => fkp == pkp,
                 _ => false,
             });
             if !all_ok {
@@ -525,7 +536,9 @@ impl<'p> Build<'p> {
             if self.handling[fs.index()] != Handling::Fold {
                 continue;
             }
-            let Op::FoldSelect { .. } = &self.program.stmt(fs).op else { continue };
+            let Op::FoldSelect { .. } = &self.program.stmt(fs).op else {
+                continue;
+            };
             if self.is_returned_or_persisted(fs) {
                 continue;
             }
@@ -540,9 +553,10 @@ impl<'p> Build<'p> {
             let mut fold_members = Vec::new();
             for g in &gathers {
                 match &self.program.stmt(*g).op {
-                    Op::Gather { source, positions, .. }
-                        if self.resolve[positions.index()] == self.resolve[fs.index()]
-                            && self.resolve[source.index()] != self.resolve[fs.index()] =>
+                    Op::Gather {
+                        source, positions, ..
+                    } if self.resolve[positions.index()] == self.resolve[fs.index()]
+                        && self.resolve[source.index()] != self.resolve[fs.index()] =>
                     {
                         if self.is_returned_or_persisted(*g) {
                             ok = false;
@@ -630,15 +644,16 @@ impl<'p> Build<'p> {
     fn operand(&mut self, v: VRef, kp: &KeyPath) -> Result<Arc<Expr>> {
         let v = self.resolve[v.index()];
         let shape = self.shapes.of(v).clone();
-        let col = shape.schema.index_of(kp).ok_or_else(|| VoodooError::UnknownKeyPath {
-            keypath: kp.clone(),
-            context: format!("operand of {v}"),
-        })?;
+        let col = shape
+            .schema
+            .index_of(kp)
+            .ok_or_else(|| VoodooError::UnknownKeyPath {
+                keypath: kp.clone(),
+                context: format!("operand of {v}"),
+            })?;
         let handled = self.handling[v.index()].clone();
-        let inline_available = matches!(
-            handled,
-            Handling::Inline | Handling::FusedFilter
-        ) && !self.needs_mat_blocks_inline(v);
+        let inline_available = matches!(handled, Handling::Inline | Handling::FusedFilter)
+            && !self.needs_mat_blocks_inline(v);
         if inline_available {
             self.build_exprs(v)?;
             return Ok(self.exprs[v.index()].as_ref().expect("built")[col].clone());
@@ -646,7 +661,12 @@ impl<'p> Build<'p> {
         // Materialized producer (source, fold, bulk, group member, or an
         // inline statement that is also materialized: prefer re-computation
         // only for pure inline statements — materialized ones read back).
-        let ty = shape.schema.iter().nth(col).map(|(_, t)| *t).expect("col exists");
+        let ty = shape
+            .schema
+            .iter()
+            .nth(col)
+            .map(|(_, t)| *t)
+            .expect("col exists");
         Ok(Arc::new(Expr::Col {
             src: v.0,
             col: col as u16,
@@ -689,22 +709,47 @@ impl<'p> Build<'p> {
                     }
                 }
             }
-            Op::Binary { op: bop, lhs, lhs_kp, rhs, rhs_kp, .. } => {
+            Op::Binary {
+                op: bop,
+                lhs,
+                lhs_kp,
+                rhs,
+                rhs_kp,
+                ..
+            } => {
                 let l = self.operand_broadcast(*lhs, lhs_kp)?;
                 let r = self.operand_broadcast(*rhs, rhs_kp)?;
                 let lt = self.col_type(*lhs, lhs_kp)?;
                 let rt = self.col_type(*rhs, rhs_kp)?;
                 let ty = bop.result_type(lt, rt)?;
                 let float = lt.is_float() || rt.is_float();
-                vec![Arc::new(Expr::Bin { op: *bop, ty, float, l, r })]
+                vec![Arc::new(Expr::Bin {
+                    op: *bop,
+                    ty,
+                    float,
+                    l,
+                    r,
+                })]
             }
-            Op::Zip { v1, kp1, v2, kp2, .. } => {
+            Op::Zip {
+                v1, kp1, v2, kp2, ..
+            } => {
                 let mut out = Vec::new();
-                for (rel, _) in self.shapes.of(self.resolve[v1.index()]).schema.resolve(kp1, "zip")? {
+                for (rel, _) in self
+                    .shapes
+                    .of(self.resolve[v1.index()])
+                    .schema
+                    .resolve(kp1, "zip")?
+                {
                     let full = kp1.child(&rel.to_string());
                     out.push(self.operand_broadcast(*v1, &full)?);
                 }
-                for (rel, _) in self.shapes.of(self.resolve[v2.index()]).schema.resolve(kp2, "zip")? {
+                for (rel, _) in self
+                    .shapes
+                    .of(self.resolve[v2.index()])
+                    .schema
+                    .resolve(kp2, "zip")?
+                {
                     let full = kp2.child(&rel.to_string());
                     out.push(self.operand_broadcast(*v2, &full)?);
                 }
@@ -719,15 +764,31 @@ impl<'p> Build<'p> {
             }
             Op::Project { v: src, kp, .. } => {
                 let mut out = Vec::new();
-                for (rel, _) in self.shapes.of(self.resolve[src.index()]).schema.resolve(kp, "project")? {
+                for (rel, _) in self
+                    .shapes
+                    .of(self.resolve[src.index()])
+                    .schema
+                    .resolve(kp, "project")?
+                {
                     let full = kp.child(&rel.to_string());
                     out.push(self.operand_broadcast(*src, &full)?);
                 }
                 out
             }
-            Op::Upsert { v: base, out, src, kp } => {
+            Op::Upsert {
+                v: base,
+                out,
+                src,
+                kp,
+            } => {
                 let mut exprs = Vec::new();
-                for (bkp, _) in self.shapes.of(self.resolve[base.index()]).schema.clone().iter() {
+                for (bkp, _) in self
+                    .shapes
+                    .of(self.resolve[base.index()])
+                    .schema
+                    .clone()
+                    .iter()
+                {
                     if bkp == out {
                         exprs.push(self.operand_broadcast(*src, kp)?);
                     } else {
@@ -740,7 +801,11 @@ impl<'p> Build<'p> {
                 }
                 exprs
             }
-            Op::Gather { source, positions, pos_kp } => {
+            Op::Gather {
+                source,
+                positions,
+                pos_kp,
+            } => {
                 let pos = self.operand_broadcast(*positions, pos_kp)?;
                 let src = self.resolve[source.index()];
                 let src_shape = self.shapes.of(src).clone();
@@ -783,7 +848,9 @@ impl<'p> Build<'p> {
                     })
                     .collect()
             }
-            Op::FoldSelect { v: input, sel_kp, .. } => {
+            Op::FoldSelect {
+                v: input, sel_kp, ..
+            } => {
                 // Only reached for FusedFilter handling.
                 let sel = self.operand_broadcast(*input, sel_kp)?;
                 let site = self.branch_sites;
@@ -816,10 +883,14 @@ impl<'p> Build<'p> {
 
     fn col_type(&self, v: VRef, kp: &KeyPath) -> Result<ScalarType> {
         let v = self.resolve[v.index()];
-        self.shapes.of(v).schema.field_type(kp).ok_or_else(|| VoodooError::UnknownKeyPath {
-            keypath: kp.clone(),
-            context: format!("type of {v}"),
-        })
+        self.shapes
+            .of(v)
+            .schema
+            .field_type(kp)
+            .ok_or_else(|| VoodooError::UnknownKeyPath {
+                keypath: kp.clone(),
+                context: format!("type of {v}"),
+            })
     }
 
     // ------------------------------------------------------------------
@@ -862,7 +933,9 @@ impl<'p> Build<'p> {
             Some(f) => {
                 f.domain != domain
                     || !f.run.compatible(&run)
-                    || reads.iter().any(|r| f.produces.contains(&self.resolve[r.index()]))
+                    || reads
+                        .iter()
+                        .any(|r| f.produces.contains(&self.resolve[r.index()]))
             }
         };
         if conflict {
@@ -985,7 +1058,12 @@ impl<'p> Build<'p> {
         let frag = self.ensure_fragment(shape.len, RunStructure::Map, &reads);
         for ((kp, ty), expr) in schema.into_iter().zip(exprs) {
             let out = frag.outputs.len();
-            frag.outputs.push(OutSpec { stmt: v, kp, ty, layout: Layout::Full });
+            frag.outputs.push(OutSpec {
+                stmt: v,
+                kp,
+                ty,
+                layout: Layout::Full,
+            });
             frag.actions.push(Action::Write { out, expr });
         }
         frag.produces.push(v);
@@ -1015,7 +1093,13 @@ impl<'p> Build<'p> {
         let run = self.fold_structure(v)?;
         let op = self.program.stmt(v).op.clone();
         match op {
-            Op::FoldAgg { agg, out, v: input, val_kp, .. } => {
+            Op::FoldAgg {
+                agg,
+                out,
+                v: input,
+                val_kp,
+                ..
+            } => {
                 let expr = self.operand_broadcast(input, &val_kp)?;
                 let in_ty = self.col_type(input, &val_kp)?;
                 let out_ty = typecheck::fold_output_type(agg, in_ty);
@@ -1028,11 +1112,26 @@ impl<'p> Build<'p> {
                 let domain = self.shapes.of(self.resolve[input.index()]).len;
                 let frag = self.ensure_fragment(domain, run, &reads);
                 let slot = frag.outputs.len();
-                frag.outputs.push(OutSpec { stmt: v, kp: out, ty: out_ty, layout });
-                frag.actions.push(Action::FoldAggAct { out: slot, agg, expr, out_ty });
+                frag.outputs.push(OutSpec {
+                    stmt: v,
+                    kp: out,
+                    ty: out_ty,
+                    layout,
+                });
+                frag.actions.push(Action::FoldAggAct {
+                    out: slot,
+                    agg,
+                    expr,
+                    out_ty,
+                });
                 frag.produces.push(v);
             }
-            Op::FoldScan { out, v: input, val_kp, .. } => {
+            Op::FoldScan {
+                out,
+                v: input,
+                val_kp,
+                ..
+            } => {
                 let expr = self.operand_broadcast(input, &val_kp)?;
                 let in_ty = self.col_type(input, &val_kp)?;
                 let out_ty = typecheck::fold_output_type(AggKind::Sum, in_ty);
@@ -1041,11 +1140,25 @@ impl<'p> Build<'p> {
                 let domain = self.shapes.of(self.resolve[input.index()]).len;
                 let frag = self.ensure_fragment(domain, run, &reads);
                 let slot = frag.outputs.len();
-                frag.outputs.push(OutSpec { stmt: v, kp: out, ty: out_ty, layout: Layout::Full });
-                frag.actions.push(Action::FoldScanAct { out: slot, expr, out_ty });
+                frag.outputs.push(OutSpec {
+                    stmt: v,
+                    kp: out,
+                    ty: out_ty,
+                    layout: Layout::Full,
+                });
+                frag.actions.push(Action::FoldScanAct {
+                    out: slot,
+                    expr,
+                    out_ty,
+                });
                 frag.produces.push(v);
             }
-            Op::FoldSelect { out, v: input, sel_kp, .. } => {
+            Op::FoldSelect {
+                out,
+                v: input,
+                sel_kp,
+                ..
+            } => {
                 let sel = self.operand_broadcast(input, &sel_kp)?;
                 let mut reads = Vec::new();
                 Self::expr_reads(&sel, &mut reads);
@@ -1060,7 +1173,11 @@ impl<'p> Build<'p> {
                     ty: ScalarType::I64,
                     layout: Layout::Full,
                 });
-                frag.actions.push(Action::SelectEmit { out: slot, sel, site });
+                frag.actions.push(Action::SelectEmit {
+                    out: slot,
+                    sel,
+                    site,
+                });
                 frag.produces.push(v);
             }
             _ => unreachable!("emit_fold on non-fold"),
@@ -1072,7 +1189,13 @@ impl<'p> Build<'p> {
         self.close_open();
         let op = self.program.stmt(v).op.clone();
         match op {
-            Op::Scatter { values, size_like, positions, pos_kp, .. } => {
+            Op::Scatter {
+                values,
+                size_like,
+                positions,
+                pos_kp,
+                ..
+            } => {
                 let vshape = self.shapes.of(self.resolve[values.index()]).clone();
                 let pos = self.operand_broadcast(positions, &pos_kp)?;
                 let mut cols = Vec::new();
@@ -1090,7 +1213,13 @@ impl<'p> Build<'p> {
                     pos,
                 }));
             }
-            Op::Partition { out, v: input, kp, pivots, pivot_kp } => {
+            Op::Partition {
+                out,
+                v: input,
+                kp,
+                pivots,
+                pivot_kp,
+            } => {
                 let key = self.operand_broadcast(input, &kp)?;
                 let pivot = self.operand_broadcast(pivots, &pivot_kp)?;
                 self.units.push(Unit::Bulk(Bulk::PartitionOp {
@@ -1109,13 +1238,23 @@ impl<'p> Build<'p> {
 
     fn emit_group_agg(&mut self, scatter: VRef) -> Result<()> {
         self.close_open();
-        let Op::Scatter { values, size_like, positions, .. } = self.program.stmt(scatter).op.clone()
+        let Op::Scatter {
+            values,
+            size_like,
+            positions,
+            ..
+        } = self.program.stmt(scatter).op.clone()
         else {
             unreachable!("group agg anchored at scatter")
         };
         let partition = self.resolve[positions.index()];
-        let Op::Partition { v: pv, kp: pkp, pivots, pivot_kp, .. } =
-            self.program.stmt(partition).op.clone()
+        let Op::Partition {
+            v: pv,
+            kp: pkp,
+            pivots,
+            pivot_kp,
+            ..
+        } = self.program.stmt(partition).op.clone()
         else {
             unreachable!("pattern guaranteed a partition")
         };
@@ -1130,13 +1269,19 @@ impl<'p> Build<'p> {
             let e = self.operand_broadcast(values, kp)?;
             scatter_cols.push((kp.clone(), *ty, e));
         }
-        let key_col = vshape.schema.index_of(&pkp).ok_or_else(|| VoodooError::UnknownKeyPath {
-            keypath: pkp.clone(),
-            context: "group-agg key".to_string(),
-        })?;
+        let key_col = vshape
+            .schema
+            .index_of(&pkp)
+            .ok_or_else(|| VoodooError::UnknownKeyPath {
+                keypath: pkp.clone(),
+                context: "group-agg key".to_string(),
+            })?;
         let mut folds = Vec::new();
         for f in self.real_consumers(scatter) {
-            let Op::FoldAgg { agg, out, val_kp, .. } = self.program.stmt(f).op.clone() else {
+            let Op::FoldAgg {
+                agg, out, val_kp, ..
+            } = self.program.stmt(f).op.clone()
+            else {
                 continue;
             };
             // The fold's value expression, over the *pre-scatter* domain:
@@ -1145,10 +1290,13 @@ impl<'p> Build<'p> {
             let val = self.operand_broadcast(values, &val_kp)?;
             let in_ty = self.col_type(values, &val_kp)?;
             let val_col =
-                vshape.schema.index_of(&val_kp).ok_or_else(|| VoodooError::UnknownKeyPath {
-                    keypath: val_kp.clone(),
-                    context: "group-agg value".to_string(),
-                })?;
+                vshape
+                    .schema
+                    .index_of(&val_kp)
+                    .ok_or_else(|| VoodooError::UnknownKeyPath {
+                        keypath: val_kp.clone(),
+                        context: "group-agg value".to_string(),
+                    })?;
             folds.push(GroupFold {
                 stmt: f,
                 agg,
@@ -1176,7 +1324,10 @@ impl<'p> Build<'p> {
 
     fn emit_vec_select(&mut self, fs: VRef) -> Result<()> {
         self.close_open();
-        let Op::FoldSelect { v: input, sel_kp, .. } = self.program.stmt(fs).op.clone() else {
+        let Op::FoldSelect {
+            v: input, sel_kp, ..
+        } = self.program.stmt(fs).op.clone()
+        else {
             unreachable!("vec select anchored at fold select")
         };
         let sel = self.operand_broadcast(input, &sel_kp)?;
@@ -1188,18 +1339,24 @@ impl<'p> Build<'p> {
         self.branch_sites += 1;
         let mut folds = Vec::new();
         for g in self.real_consumers(fs) {
-            let Op::Gather { source, .. } = self.program.stmt(g).op.clone() else { continue };
+            let Op::Gather { source, .. } = self.program.stmt(g).op.clone() else {
+                continue;
+            };
             let src = self.resolve[source.index()];
             for f in self.real_consumers(g) {
-                let Op::FoldAgg { agg, out, val_kp, .. } = self.program.stmt(f).op.clone() else {
+                let Op::FoldAgg {
+                    agg, out, val_kp, ..
+                } = self.program.stmt(f).op.clone()
+                else {
                     continue;
                 };
                 let src_shape = self.shapes.of(src).clone();
-                let src_col =
-                    src_shape.schema.index_of(&val_kp).ok_or_else(|| VoodooError::UnknownKeyPath {
+                let src_col = src_shape.schema.index_of(&val_kp).ok_or_else(|| {
+                    VoodooError::UnknownKeyPath {
                         keypath: val_kp.clone(),
                         context: "vectorized-select value".to_string(),
-                    })?;
+                    }
+                })?;
                 let in_ty = src_shape.schema.field_type(&val_kp).expect("checked");
                 folds.push(VsFold {
                     stmt: f,
@@ -1211,7 +1368,14 @@ impl<'p> Build<'p> {
                 });
             }
         }
-        self.units.push(Unit::Bulk(Bulk::VecSelect { select: fs, domain, chunk, sel, site, folds }));
+        self.units.push(Unit::Bulk(Bulk::VecSelect {
+            select: fs,
+            domain,
+            chunk,
+            sel,
+            site,
+            folds,
+        }));
         Ok(())
     }
 }

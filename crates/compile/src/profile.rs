@@ -78,8 +78,16 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = EventProfile { branches: 1, int_ops: 2, ..Default::default() };
-        let b = EventProfile { branches: 10, rand_reads: 5, ..Default::default() };
+        let mut a = EventProfile {
+            branches: 1,
+            int_ops: 2,
+            ..Default::default()
+        };
+        let b = EventProfile {
+            branches: 10,
+            rand_reads: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.branches, 11);
         assert_eq!(a.int_ops, 2);
@@ -88,7 +96,11 @@ mod tests {
 
     #[test]
     fn traffic_prices_random_as_lines() {
-        let p = EventProfile { seq_read_bytes: 100, rand_reads: 2, ..Default::default() };
+        let p = EventProfile {
+            seq_read_bytes: 100,
+            rand_reads: 2,
+            ..Default::default()
+        };
         assert_eq!(p.total_traffic_bytes(), 100 + 128);
     }
 }

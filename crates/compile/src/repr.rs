@@ -69,8 +69,10 @@ impl MatVec {
     pub fn get(&self, col: usize, i: usize) -> Option<ScalarValue> {
         match self {
             MatVec::Full(v) => v.scalar_at(i, col),
-            MatVec::FoldDense { values, run_len, .. } => {
-                if *run_len == 0 || i % run_len != 0 {
+            MatVec::FoldDense {
+                values, run_len, ..
+            } => {
+                if *run_len == 0 || !i.is_multiple_of(*run_len) {
                     return None;
                 }
                 let r = i / run_len;
@@ -99,7 +101,11 @@ impl MatVec {
     pub fn expand(&self) -> StructuredVector {
         match self {
             MatVec::Full(v) => v.clone(),
-            MatVec::FoldDense { values, run_len, orig_len } => {
+            MatVec::FoldDense {
+                values,
+                run_len,
+                orig_len,
+            } => {
                 let mut out = StructuredVector::with_len(*orig_len);
                 for (kp, col) in values.fields() {
                     let mut full = Column::empties(col.ty(), *orig_len);
@@ -116,7 +122,11 @@ impl MatVec {
                 }
                 out
             }
-            MatVec::GroupDense { values, starts, orig_len } => {
+            MatVec::GroupDense {
+                values,
+                starts,
+                orig_len,
+            } => {
                 let mut out = StructuredVector::with_len(*orig_len);
                 for (kp, col) in values.fields() {
                     let mut full = Column::empties(col.ty(), *orig_len);
@@ -139,7 +149,9 @@ impl MatVec {
     /// the ablation bench).
     pub fn allocated_bytes(&self) -> usize {
         let v = self.storage();
-        v.fields().map(|(_, c)| c.len() * (c.ty().byte_width() + 1)).sum()
+        v.fields()
+            .map(|(_, c)| c.len() * (c.ty().byte_width() + 1))
+            .sum()
     }
 }
 
@@ -154,7 +166,11 @@ mod tests {
 
     #[test]
     fn fold_dense_semantics() {
-        let m = MatVec::FoldDense { values: sv(vec![10, 26]), run_len: 4, orig_len: 8 };
+        let m = MatVec::FoldDense {
+            values: sv(vec![10, 26]),
+            run_len: 4,
+            orig_len: 8,
+        };
         assert_eq!(m.len(), 8);
         assert_eq!(m.get(0, 0), Some(ScalarValue::I64(10)));
         assert_eq!(m.get(0, 1), None);
@@ -173,7 +189,11 @@ mod tests {
         let mut col = Column::empties(voodoo_core::ScalarType::I64, 2);
         col.set(1, ScalarValue::I64(7));
         values.insert(".val", col);
-        let m = MatVec::FoldDense { values, run_len: 3, orig_len: 6 };
+        let m = MatVec::FoldDense {
+            values,
+            run_len: 3,
+            orig_len: 6,
+        };
         assert_eq!(m.get(0, 0), None);
         assert_eq!(m.get(0, 3), Some(ScalarValue::I64(7)));
     }
@@ -199,7 +219,11 @@ mod tests {
         col.set(0, ScalarValue::I64(5));
         col.set(2, ScalarValue::I64(9));
         values.insert(".val", col);
-        let m = MatVec::GroupDense { values, starts: vec![0, 2, 2], orig_len: 4 };
+        let m = MatVec::GroupDense {
+            values,
+            starts: vec![0, 2, 2],
+            orig_len: 4,
+        };
         assert_eq!(m.get(0, 0), Some(ScalarValue::I64(5)));
         assert_eq!(m.get(0, 2), Some(ScalarValue::I64(9)));
     }

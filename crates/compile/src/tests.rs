@@ -15,10 +15,15 @@ fn kp(s: &str) -> KeyPath {
 
 /// Run both backends and assert every return value matches exactly.
 fn assert_equivalent(cat: &Catalog, p: &Program) {
-    let interp = voodoo_interp::Interpreter::new(cat).run_program(p).expect("interp");
+    let interp = voodoo_interp::Interpreter::new(cat)
+        .run_program(p)
+        .expect("interp");
     let cp = Compiler::new(cat).compile(p).expect("compile");
     for &threads in &[1usize, 3] {
-        let exec = Executor::new(ExecOptions { threads, ..Default::default() });
+        let exec = Executor::new(ExecOptions {
+            threads,
+            ..Default::default()
+        });
         let (compiled, _) = exec.run(&cp, cat).expect("exec");
         assert_eq!(
             interp.returns.len(),
@@ -26,7 +31,11 @@ fn assert_equivalent(cat: &Catalog, p: &Program) {
             "return count ({threads} threads)"
         );
         for (i, (a, b)) in interp.returns.iter().zip(&compiled.returns).enumerate() {
-            assert_vec_eq(a, b, &format!("return {i} ({threads} threads)\nprogram:\n{p}"));
+            assert_vec_eq(
+                a,
+                b,
+                &format!("return {i} ({threads} threads)\nprogram:\n{p}"),
+            );
         }
         for ((na, va), (nb, vb)) in interp.persisted.iter().zip(&compiled.persisted) {
             assert_eq!(na, nb);
@@ -34,7 +43,10 @@ fn assert_equivalent(cat: &Catalog, p: &Program) {
         }
     }
     // Predicated mode must not change results either.
-    let exec = Executor::new(ExecOptions { predicated_select: true, ..Default::default() });
+    let exec = Executor::new(ExecOptions {
+        predicated_select: true,
+        ..Default::default()
+    });
     let (compiled, _) = exec.run(&cp, cat).expect("exec predicated");
     for (a, b) in interp.returns.iter().zip(&compiled.returns) {
         assert_vec_eq(a, b, "predicated mode");
@@ -71,8 +83,14 @@ fn numbers_catalog() -> Catalog {
     cat.put_i64_column("nums", &[5, 12, 3, 20, 8, 15, 1, 9, 30, 2]);
     cat.put_f32_column("floats", &[1.5, -2.0, 3.25, 0.0, 9.5, -1.0]);
     let mut t = Table::new("pairs");
-    t.add_column(TableColumn::from_buffer("a", Buffer::I64(vec![1, 2, 3, 4, 5, 6])));
-    t.add_column(TableColumn::from_buffer("b", Buffer::I64(vec![10, 20, 30, 40, 50, 60])));
+    t.add_column(TableColumn::from_buffer(
+        "a",
+        Buffer::I64(vec![1, 2, 3, 4, 5, 6]),
+    ));
+    t.add_column(TableColumn::from_buffer(
+        "b",
+        Buffer::I64(vec![10, 20, 30, 40, 50, 60]),
+    ));
     cat.insert_table(t);
     cat
 }
@@ -108,14 +126,21 @@ fn figure3_fragments_and_suppression() {
     assert!(matches!(cp.handling[part.index()], Handling::Inline));
 
     let (out, _) = Executor::single_threaded().run(&cp, &cat).unwrap();
-    assert_eq!(out.returns[0].value_at(0, &kp(".val")), Some(ScalarValue::I64(523776)));
+    assert_eq!(
+        out.returns[0].value_at(0, &kp(".val")),
+        Some(ScalarValue::I64(523776))
+    );
 }
 
 /// Empty-slot suppression allocates #runs slots, not n.
 #[test]
 fn suppression_allocates_dense() {
     let values = StructuredVector::from_buffer(".val", Buffer::I64(vec![1, 2]));
-    let dense = MatVec::FoldDense { values, run_len: 512, orig_len: 1024 };
+    let dense = MatVec::FoldDense {
+        values,
+        run_len: 512,
+        orig_len: 1024,
+    };
     assert!(dense.allocated_bytes() < 100);
     assert_eq!(dense.expand().len(), 1024);
 }
@@ -149,8 +174,14 @@ fn q6_style_fuses_to_single_fragment() {
 fn group_by_becomes_virtual_scatter() {
     let mut cat = Catalog::in_memory();
     let mut t = Table::new("t");
-    t.add_column(TableColumn::from_buffer("grp", Buffer::I64(vec![0, 1, 0, 2, 2, 1, 2, 0, 3, 1])));
-    t.add_column(TableColumn::from_buffer("v", Buffer::I64(vec![2, 0, 1, 4, 6, 2, 0, 9, 2, 7])));
+    t.add_column(TableColumn::from_buffer(
+        "grp",
+        Buffer::I64(vec![0, 1, 0, 2, 2, 1, 2, 0, 3, 1]),
+    ));
+    t.add_column(TableColumn::from_buffer(
+        "v",
+        Buffer::I64(vec![2, 0, 1, 4, 6, 2, 0, 9, 2, 7]),
+    ));
     cat.insert_table(t);
 
     let mut p = Program::new();
@@ -158,19 +189,30 @@ fn group_by_becomes_virtual_scatter() {
     let pivots = p.range(0, 4, 1);
     let pos = p.partition(input, kp(".grp"), pivots, kp(".val"));
     let scattered = p.scatter(input, input, pos);
-    let sums = p.fold_agg_kp(AggKind::Sum, scattered, Some(kp(".grp")), kp(".v"), kp(".sum"));
+    let sums = p.fold_agg_kp(
+        AggKind::Sum,
+        scattered,
+        Some(kp(".grp")),
+        kp(".v"),
+        kp(".sum"),
+    );
     p.ret(sums);
 
     let cp = Compiler::new(&cat).compile(&p).unwrap();
-    assert!(cp.units.iter().any(|u| matches!(u, Unit::Bulk(Bulk::GroupAgg { .. }))));
-    assert!(matches!(cp.handling[scattered.index()], Handling::GroupMember));
+    assert!(cp
+        .units
+        .iter()
+        .any(|u| matches!(u, Unit::Bulk(Bulk::GroupAgg { .. }))));
+    assert!(matches!(
+        cp.handling[scattered.index()],
+        Handling::GroupMember
+    ));
     assert_equivalent(&cat, &p);
 }
 
 /// A chunk-controlled selection becomes a vectorized-selection unit.
 #[test]
-fn chunked_select_becomes_vectorized()
-{
+fn chunked_select_becomes_vectorized() {
     let mut cat = Catalog::in_memory();
     cat.put_i64_column("t", &(0..1000i64).rev().collect::<Vec<_>>());
     let mut p = Program::new();
@@ -185,7 +227,9 @@ fn chunked_select_becomes_vectorized()
 
     let cp = Compiler::new(&cat).compile(&p).unwrap();
     assert!(
-        cp.units.iter().any(|u| matches!(u, Unit::Bulk(Bulk::VecSelect { chunk: 128, .. }))),
+        cp.units
+            .iter()
+            .any(|u| matches!(u, Unit::Bulk(Bulk::VecSelect { chunk: 128, .. }))),
         "vectorized pattern detected"
     );
     assert_equivalent(&cat, &p);
@@ -313,8 +357,20 @@ fn diff_virtual_scatter_group_agg() {
     let pivots = p.range(0, 2, 1);
     let pos = p.partition(with_key, kp(".k"), pivots, kp(".val"));
     let scattered = p.scatter(with_key, with_key, pos);
-    let sums = p.fold_agg_kp(AggKind::Sum, scattered, Some(kp(".k")), kp(".b"), kp(".sum"));
-    let maxs = p.fold_agg_kp(AggKind::Max, scattered, Some(kp(".k")), kp(".b"), kp(".max"));
+    let sums = p.fold_agg_kp(
+        AggKind::Sum,
+        scattered,
+        Some(kp(".k")),
+        kp(".b"),
+        kp(".sum"),
+    );
+    let maxs = p.fold_agg_kp(
+        AggKind::Max,
+        scattered,
+        Some(kp(".k")),
+        kp(".b"),
+        kp(".max"),
+    );
     p.ret(sums);
     p.ret(maxs);
     assert_equivalent(&cat, &p);
@@ -326,15 +382,27 @@ fn diff_group_agg_fallback_on_range_pivots() {
     // multiple distinct keys per bucket trigger the generic fallback.
     let mut cat = Catalog::in_memory();
     let mut t = Table::new("t");
-    t.add_column(TableColumn::from_buffer("k", Buffer::I64(vec![0, 7, 1, 9, 7, 0, 3, 9])));
-    t.add_column(TableColumn::from_buffer("v", Buffer::I64(vec![1, 2, 3, 4, 5, 6, 7, 8])));
+    t.add_column(TableColumn::from_buffer(
+        "k",
+        Buffer::I64(vec![0, 7, 1, 9, 7, 0, 3, 9]),
+    ));
+    t.add_column(TableColumn::from_buffer(
+        "v",
+        Buffer::I64(vec![1, 2, 3, 4, 5, 6, 7, 8]),
+    ));
     cat.insert_table(t);
     let mut p = Program::new();
     let input = p.load("t");
     let pivots = p.range(0, 4, 1); // buckets 0..3, keys up to 9 collide
     let pos = p.partition(input, kp(".k"), pivots, kp(".val"));
     let scattered = p.scatter(input, input, pos);
-    let sums = p.fold_agg_kp(AggKind::Sum, scattered, Some(kp(".k")), kp(".v"), kp(".sum"));
+    let sums = p.fold_agg_kp(
+        AggKind::Sum,
+        scattered,
+        Some(kp(".k")),
+        kp(".v"),
+        kp(".sum"),
+    );
     p.ret(sums);
     assert_equivalent(&cat, &p);
 }
@@ -423,7 +491,10 @@ fn profile_counts_events() {
     let sum = p.fold_sum_global(vals);
     p.ret(sum);
     let cp = Compiler::new(&cat).compile(&p).unwrap();
-    let exec = Executor::new(ExecOptions { count_events: true, ..Default::default() });
+    let exec = Executor::new(ExecOptions {
+        count_events: true,
+        ..Default::default()
+    });
     let (_, prof) = exec.run(&cp, &cat).unwrap();
     assert_eq!(prof.branches, 100, "one filter branch per element");
     assert!(prof.cmp_ops >= 100);
@@ -442,7 +513,10 @@ fn profile_predicated_trades_branches_for_ops() {
     p.ret(sel);
     let cp = Compiler::new(&cat).compile(&p).unwrap();
 
-    let branching = Executor::new(ExecOptions { count_events: true, ..Default::default() });
+    let branching = Executor::new(ExecOptions {
+        count_events: true,
+        ..Default::default()
+    });
     let (_, bp) = branching.run(&cp, &cat).unwrap();
     let predicated = Executor::new(ExecOptions {
         count_events: true,
@@ -451,8 +525,14 @@ fn profile_predicated_trades_branches_for_ops() {
     });
     let (_, pp) = predicated.run(&cp, &cat).unwrap();
 
-    assert!(bp.branches > 0 && pp.branches == 0, "predication removes branches");
-    assert!(pp.write_bytes > bp.write_bytes, "predication adds memory traffic");
+    assert!(
+        bp.branches > 0 && pp.branches == 0,
+        "predication removes branches"
+    );
+    assert!(
+        pp.write_bytes > bp.write_bytes,
+        "predication adds memory traffic"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -523,11 +603,8 @@ mod proptests {
             p.ret(back);
             let interp = voodoo_interp::Interpreter::new(&cat).run(&p).unwrap();
             // Round trip is the identity.
-            for i in 0..n {
-                prop_assert_eq!(
-                    interp.value_at(i, &kp(".val")),
-                    Some(ScalarValue::I64(data[i]))
-                );
+            for (i, &d) in data.iter().enumerate() {
+                prop_assert_eq!(interp.value_at(i, &kp(".val")), Some(ScalarValue::I64(d)));
             }
             assert_equivalent(&cat, &p);
         }

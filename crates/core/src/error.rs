@@ -18,11 +18,19 @@ pub enum VoodooError {
     /// A statement referenced a result id that does not precede it (SSA violation).
     InvalidReference { stmt: usize, referenced: usize },
     /// Two operands had types that the operator cannot combine.
-    TypeMismatch { context: String, lhs: ScalarType, rhs: ScalarType },
+    TypeMismatch {
+        context: String,
+        lhs: ScalarType,
+        rhs: ScalarType,
+    },
     /// An operand had a type the operator does not accept.
     UnsupportedType { context: String, ty: ScalarType },
     /// Vector sizes were incompatible (and not broadcastable).
-    SizeMismatch { context: String, lhs: usize, rhs: usize },
+    SizeMismatch {
+        context: String,
+        lhs: usize,
+        rhs: usize,
+    },
     /// A program was empty or had no return value.
     EmptyProgram,
     /// Control-vector bits conflicted with data bits (paper §3.1.1).
@@ -39,7 +47,10 @@ impl fmt::Display for VoodooError {
                 write!(f, "unknown keypath {keypath} in {context}")
             }
             VoodooError::InvalidReference { stmt, referenced } => {
-                write!(f, "statement {stmt} references later/missing result %{referenced}")
+                write!(
+                    f,
+                    "statement {stmt} references later/missing result %{referenced}"
+                )
             }
             VoodooError::TypeMismatch { context, lhs, rhs } => {
                 write!(f, "type mismatch in {context}: {lhs:?} vs {rhs:?}")
@@ -52,7 +63,10 @@ impl fmt::Display for VoodooError {
             }
             VoodooError::EmptyProgram => write!(f, "program has no statements or no return"),
             VoodooError::ControlBitConflict { context } => {
-                write!(f, "control vector bits conflict with data bits in {context}")
+                write!(
+                    f,
+                    "control vector bits conflict with data bits in {context}"
+                )
             }
             VoodooError::Backend(msg) => write!(f, "backend error: {msg}"),
         }

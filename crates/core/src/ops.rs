@@ -17,8 +17,8 @@
 
 use crate::keypath::KeyPath;
 use crate::program::VRef;
-use crate::scalar::ScalarValue;
 pub use crate::scalar::BinOp;
+use crate::scalar::ScalarValue;
 
 /// How a shape operator determines its output length.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,7 +65,11 @@ pub enum Op {
 
     /// A constant vector: `value` broadcast to the length of `like`
     /// (or a single slot when `like` is `None`). Figure 3 line 3.
-    Constant { out: KeyPath, value: ScalarValue, like: Option<VRef> },
+    Constant {
+        out: KeyPath,
+        value: ScalarValue,
+        like: Option<VRef>,
+    },
 
     /// Elementwise binary operator over two aligned attributes
     /// (`Add`, `Greater`, `LogicalAnd`, `BitShift`, ... — Table 2 rows 3-6).
@@ -96,7 +100,12 @@ pub enum Op {
 
     /// `Upsert(V1, .out, V2, .kp)` — copy `V1`, replacing/inserting `.out`
     /// with `V2.kp`.
-    Upsert { v: VRef, out: KeyPath, src: VRef, kp: KeyPath },
+    Upsert {
+        v: VRef,
+        out: KeyPath,
+        src: VRef,
+        kp: KeyPath,
+    },
 
     /// `Scatter(V1, V2, .kp2, V3, .pos)` — new vector of `V2`'s size, filled
     /// by placing each tuple of `V1` at position `V3.pos`. Writes are
@@ -111,41 +120,83 @@ pub enum Op {
 
     /// `Gather(V1, V2, .pos)` — new vector of `V2`'s size, resolving
     /// positions `V2.pos` in `V1`; out-of-bounds / ε positions give ε tuples.
-    Gather { source: VRef, positions: VRef, pos_kp: KeyPath },
+    Gather {
+        source: VRef,
+        positions: VRef,
+        pos_kp: KeyPath,
+    },
 
     /// `Materialize(V1, V2, .kp2)` — force materialization, chunked by the
     /// runs of `V2.kp2` (X100-style processing). Pure tuning, identity on
     /// values.
-    Materialize { v: VRef, ctrl: Option<(VRef, KeyPath)> },
+    Materialize {
+        v: VRef,
+        ctrl: Option<(VRef, KeyPath)>,
+    },
 
     /// `Break(V1, V2, .kp)` — break `V1` into segments according to runs of
     /// `V2.kp` (pure tuning hint; identity on values).
-    Break { v: VRef, ctrl: Option<(VRef, KeyPath)> },
+    Break {
+        v: VRef,
+        ctrl: Option<(VRef, KeyPath)>,
+    },
 
     /// `Partition(.out, V1, .v, V2, .pv)` — generate a scatter position
     /// vector that partitions `V1.v` by the pivot list `V2.pv` (stable
     /// counting sort positions). Output size = `V1`'s size.
-    Partition { out: KeyPath, v: VRef, kp: KeyPath, pivots: VRef, pivot_kp: KeyPath },
+    Partition {
+        out: KeyPath,
+        v: VRef,
+        kp: KeyPath,
+        pivots: VRef,
+        pivot_kp: KeyPath,
+    },
 
     /// `FoldSelect(.out, V1, .fold, .s)` — positions of slots with `.s`
     /// non-zero, aligned to the runs of `.fold` (Figure 7). `fold: None`
     /// means a single global run.
-    FoldSelect { out: KeyPath, v: VRef, fold_kp: Option<KeyPath>, sel_kp: KeyPath },
+    FoldSelect {
+        out: KeyPath,
+        v: VRef,
+        fold_kp: Option<KeyPath>,
+        sel_kp: KeyPath,
+    },
 
     /// `FoldSum/Min/Max(.out, V1, .fold, .agg)` — per-run aggregate, result
     /// at the start of each run, ε elsewhere.
-    FoldAgg { agg: AggKind, out: KeyPath, v: VRef, fold_kp: Option<KeyPath>, val_kp: KeyPath },
+    FoldAgg {
+        agg: AggKind,
+        out: KeyPath,
+        v: VRef,
+        fold_kp: Option<KeyPath>,
+        val_kp: KeyPath,
+    },
 
     /// `FoldScan(.out, V1, .fold, .s)` — per-run inclusive prefix sum.
-    FoldScan { out: KeyPath, v: VRef, fold_kp: Option<KeyPath>, val_kp: KeyPath },
+    FoldScan {
+        out: KeyPath,
+        v: VRef,
+        fold_kp: Option<KeyPath>,
+        val_kp: KeyPath,
+    },
 
     /// `Range(.kp, from, [vInt|v], step)` — `from + i*step` over the
     /// specified length. The primary source of control vectors.
-    Range { out: KeyPath, from: i64, size: SizeSpec, step: i64 },
+    Range {
+        out: KeyPath,
+        from: i64,
+        size: SizeSpec,
+        step: i64,
+    },
 
     /// `Cross(.kp1, v1, .kp2, v2)` — cross product of the *positions* of
     /// `v1` and `v2` (row-major: v1-position varies slowest).
-    Cross { out1: KeyPath, v1: VRef, out2: KeyPath, v2: VRef },
+    Cross {
+        out1: KeyPath,
+        v1: VRef,
+        out2: KeyPath,
+        v2: VRef,
+    },
 }
 
 impl Op {
@@ -197,10 +248,17 @@ impl Op {
             Op::Zip { v1, v2, .. } => vec![*v1, *v2],
             Op::Project { v, .. } => vec![*v],
             Op::Upsert { v, src, .. } => vec![*v, *src],
-            Op::Scatter { values, size_like, positions, .. } => {
+            Op::Scatter {
+                values,
+                size_like,
+                positions,
+                ..
+            } => {
                 vec![*values, *size_like, *positions]
             }
-            Op::Gather { source, positions, .. } => vec![*source, *positions],
+            Op::Gather {
+                source, positions, ..
+            } => vec![*source, *positions],
             Op::Materialize { v, ctrl } => {
                 let mut r = vec![*v];
                 if let Some((c, _)) = ctrl {
@@ -252,12 +310,19 @@ impl Op {
                 *v = f(*v);
                 *src = f(*src);
             }
-            Op::Scatter { values, size_like, positions, .. } => {
+            Op::Scatter {
+                values,
+                size_like,
+                positions,
+                ..
+            } => {
                 *values = f(*values);
                 *size_like = f(*size_like);
                 *positions = f(*positions);
             }
-            Op::Gather { source, positions, .. } => {
+            Op::Gather {
+                source, positions, ..
+            } => {
                 *source = f(*source);
                 *positions = f(*positions);
             }
@@ -296,11 +361,17 @@ impl Op {
 
     /// Whether this is a controlled-fold operator (paper category 3).
     pub fn is_fold(&self) -> bool {
-        matches!(self, Op::FoldSelect { .. } | Op::FoldAgg { .. } | Op::FoldScan { .. })
+        matches!(
+            self,
+            Op::FoldSelect { .. } | Op::FoldAgg { .. } | Op::FoldScan { .. }
+        )
     }
 
     /// Whether this is a shape operator (paper category 4).
     pub fn is_shape(&self) -> bool {
-        matches!(self, Op::Range { .. } | Op::Cross { .. } | Op::Constant { .. })
+        matches!(
+            self,
+            Op::Range { .. } | Op::Cross { .. } | Op::Constant { .. }
+        )
     }
 }

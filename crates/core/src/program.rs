@@ -141,23 +141,36 @@ impl Program {
 
     /// `Load(name)` — load a persistent vector.
     pub fn load(&mut self, name: &str) -> VRef {
-        self.push(Op::Load { name: name.to_string() })
+        self.push(Op::Load {
+            name: name.to_string(),
+        })
     }
 
     /// `Persist(name, v)`.
     pub fn persist(&mut self, name: &str, v: VRef) -> VRef {
-        self.push(Op::Persist { name: name.to_string(), v })
+        self.push(Op::Persist {
+            name: name.to_string(),
+            v,
+        })
     }
 
     /// A length-1 constant vector with attribute `.val`.
     pub fn constant(&mut self, value: impl Into<ScalarValue>) -> VRef {
-        self.push(Op::Constant { out: KeyPath::val(), value: value.into(), like: None })
+        self.push(Op::Constant {
+            out: KeyPath::val(),
+            value: value.into(),
+            like: None,
+        })
     }
 
     /// A constant broadcast to the length of `like` (Figure 8's
     /// `.globalPartition = Constant(0)`).
     pub fn constant_like(&mut self, value: impl Into<ScalarValue>, like: VRef) -> VRef {
-        self.push(Op::Constant { out: KeyPath::val(), value: value.into(), like: Some(like) })
+        self.push(Op::Constant {
+            out: KeyPath::val(),
+            value: value.into(),
+            like: Some(like),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -279,12 +292,23 @@ impl Program {
 
     /// Merge all attributes of `v1` and `v2` into one vector (root zips).
     pub fn zip_merge(&mut self, v1: VRef, v2: VRef) -> VRef {
-        self.zip_kp(KeyPath::root(), v1, KeyPath::root(), KeyPath::root(), v2, KeyPath::root())
+        self.zip_kp(
+            KeyPath::root(),
+            v1,
+            KeyPath::root(),
+            KeyPath::root(),
+            v2,
+            KeyPath::root(),
+        )
     }
 
     /// `Project(.out, v, .kp)`.
     pub fn project(&mut self, v: VRef, kp: impl Into<KeyPath>, out: impl Into<KeyPath>) -> VRef {
-        self.push(Op::Project { out: out.into(), v, kp: kp.into() })
+        self.push(Op::Project {
+            out: out.into(),
+            v,
+            kp: kp.into(),
+        })
     }
 
     /// `Upsert(v, .out, src, .kp)`.
@@ -295,7 +319,12 @@ impl Program {
         src: VRef,
         kp: impl Into<KeyPath>,
     ) -> VRef {
-        self.push(Op::Upsert { v, out: out.into(), src, kp: kp.into() })
+        self.push(Op::Upsert {
+            v,
+            out: out.into(),
+            src,
+            kp: kp.into(),
+        })
     }
 
     /// `Scatter(values, size_like, positions.val)`.
@@ -318,17 +347,31 @@ impl Program {
         positions: VRef,
         pos_kp: impl Into<KeyPath>,
     ) -> VRef {
-        self.push(Op::Scatter { values, size_like, runs_kp, positions, pos_kp: pos_kp.into() })
+        self.push(Op::Scatter {
+            values,
+            size_like,
+            runs_kp,
+            positions,
+            pos_kp: pos_kp.into(),
+        })
     }
 
     /// `Gather(source, positions.val)`.
     pub fn gather(&mut self, source: VRef, positions: VRef) -> VRef {
-        self.push(Op::Gather { source, positions, pos_kp: KeyPath::val() })
+        self.push(Op::Gather {
+            source,
+            positions,
+            pos_kp: KeyPath::val(),
+        })
     }
 
     /// `Gather` with an explicit position attribute.
     pub fn gather_kp(&mut self, source: VRef, positions: VRef, pos_kp: impl Into<KeyPath>) -> VRef {
-        self.push(Op::Gather { source, positions, pos_kp: pos_kp.into() })
+        self.push(Op::Gather {
+            source,
+            positions,
+            pos_kp: pos_kp.into(),
+        })
     }
 
     /// `Materialize(v)` — force full materialization.
@@ -338,7 +381,10 @@ impl Program {
 
     /// `Materialize(v, ctrl.kp)` — chunked (X100-style) materialization.
     pub fn materialize_ctrl(&mut self, v: VRef, ctrl: VRef, kp: impl Into<KeyPath>) -> VRef {
-        self.push(Op::Materialize { v, ctrl: Some((ctrl, kp.into())) })
+        self.push(Op::Materialize {
+            v,
+            ctrl: Some((ctrl, kp.into())),
+        })
     }
 
     /// `Break(v)` — fragment boundary tuning hint.
@@ -348,7 +394,10 @@ impl Program {
 
     /// `Break(v, ctrl.kp)`.
     pub fn break_ctrl(&mut self, v: VRef, ctrl: VRef, kp: impl Into<KeyPath>) -> VRef {
-        self.push(Op::Break { v, ctrl: Some((ctrl, kp.into())) })
+        self.push(Op::Break {
+            v,
+            ctrl: Some((ctrl, kp.into())),
+        })
     }
 
     /// `Partition(.out, v.kp, pivots.pv)` — scatter positions grouping
@@ -381,7 +430,12 @@ impl Program {
         sel_kp: impl Into<KeyPath>,
         out: impl Into<KeyPath>,
     ) -> VRef {
-        self.push(Op::FoldSelect { out: out.into(), v, fold_kp, sel_kp: sel_kp.into() })
+        self.push(Op::FoldSelect {
+            out: out.into(),
+            v,
+            fold_kp,
+            sel_kp: sel_kp.into(),
+        })
     }
 
     /// Global (single-run) `FoldSelect` over `.val`.
@@ -400,7 +454,12 @@ impl Program {
             v,
             KeyPath::val(),
         );
-        self.fold_select_kp(zipped, Some(KeyPath::new(".fold")), KeyPath::val(), KeyPath::val())
+        self.fold_select_kp(
+            zipped,
+            Some(KeyPath::new(".fold")),
+            KeyPath::val(),
+            KeyPath::val(),
+        )
     }
 
     /// Fully general fold aggregate.
@@ -412,7 +471,13 @@ impl Program {
         val_kp: impl Into<KeyPath>,
         out: impl Into<KeyPath>,
     ) -> VRef {
-        self.push(Op::FoldAgg { agg, out: out.into(), v, fold_kp, val_kp: val_kp.into() })
+        self.push(Op::FoldAgg {
+            agg,
+            out: out.into(),
+            v,
+            fold_kp,
+            val_kp: val_kp.into(),
+        })
     }
 
     /// `FoldSum` controlled by a separate control vector (auto-zip).
@@ -425,7 +490,13 @@ impl Program {
             v,
             KeyPath::val(),
         );
-        self.fold_agg_kp(AggKind::Sum, zipped, Some(KeyPath::new(".fold")), KeyPath::val(), KeyPath::val())
+        self.fold_agg_kp(
+            AggKind::Sum,
+            zipped,
+            Some(KeyPath::new(".fold")),
+            KeyPath::val(),
+            KeyPath::val(),
+        )
     }
 
     /// Global `FoldSum` over `.val` (single run).
@@ -455,7 +526,13 @@ impl Program {
             ones,
             KeyPath::val(),
         );
-        self.fold_agg_kp(AggKind::Sum, zipped, fold_kp, KeyPath::new(".__ones"), KeyPath::val())
+        self.fold_agg_kp(
+            AggKind::Sum,
+            zipped,
+            fold_kp,
+            KeyPath::new(".__ones"),
+            KeyPath::val(),
+        )
     }
 
     /// Fully general `FoldScan` (per-run inclusive prefix sum).
@@ -466,7 +543,12 @@ impl Program {
         val_kp: impl Into<KeyPath>,
         out: impl Into<KeyPath>,
     ) -> VRef {
-        self.push(Op::FoldScan { out: out.into(), v, fold_kp, val_kp: val_kp.into() })
+        self.push(Op::FoldScan {
+            out: out.into(),
+            v,
+            fold_kp,
+            val_kp: val_kp.into(),
+        })
     }
 
     /// Global `FoldScan` over `.val`.
@@ -480,12 +562,22 @@ impl Program {
 
     /// `Range(from, len, step)` with a fixed length.
     pub fn range(&mut self, from: i64, len: usize, step: i64) -> VRef {
-        self.push(Op::Range { out: KeyPath::val(), from, size: SizeSpec::Fixed(len), step })
+        self.push(Op::Range {
+            out: KeyPath::val(),
+            from,
+            size: SizeSpec::Fixed(len),
+            step,
+        })
     }
 
     /// `Range(from, |v|, step)` sized like another vector (Figure 3 line 2).
     pub fn range_like(&mut self, from: i64, like: VRef, step: i64) -> VRef {
-        self.push(Op::Range { out: KeyPath::val(), from, size: SizeSpec::Like(like), step })
+        self.push(Op::Range {
+            out: KeyPath::val(),
+            from,
+            size: SizeSpec::Like(like),
+            step,
+        })
     }
 
     /// `Cross(v1, v2)` — position cross product with attributes
@@ -590,10 +682,17 @@ mod tests {
     fn validate_rejects_forward_refs() {
         let mut p = Program::new();
         // Hand-craft an invalid forward reference.
-        p.push(Op::Project { out: KeyPath::val(), v: VRef(5), kp: KeyPath::val() });
+        p.push(Op::Project {
+            out: KeyPath::val(),
+            v: VRef(5),
+            kp: KeyPath::val(),
+        });
         let v = p.load("t");
         p.ret(v);
-        assert!(matches!(p.validate(), Err(VoodooError::InvalidReference { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(VoodooError::InvalidReference { .. })
+        ));
     }
 
     #[test]
@@ -625,7 +724,10 @@ mod tests {
         p.ret(c);
         assert!(matches!(
             p.stmt(c).op,
-            Op::FoldAgg { agg: AggKind::Sum, .. }
+            Op::FoldAgg {
+                agg: AggKind::Sum,
+                ..
+            }
         ));
     }
 }

@@ -37,17 +37,29 @@ pub struct RunMeta {
 impl RunMeta {
     /// Metadata of `Range(from, _, step)`.
     pub fn range(from: i64, step: i64) -> RunMeta {
-        RunMeta { from, step_num: step, step_den: 1, cap: None }
+        RunMeta {
+            from,
+            step_num: step,
+            step_den: 1,
+            cap: None,
+        }
     }
 
     /// Metadata of a constant attribute.
     pub fn constant(value: i64) -> RunMeta {
-        RunMeta { from: value, step_num: 0, step_den: 1, cap: None }
+        RunMeta {
+            from: value,
+            step_num: 0,
+            step_den: 1,
+            cap: None,
+        }
     }
 
     /// Evaluate the closed form at position `i`.
     pub fn value_at(&self, i: usize) -> i64 {
-        let scaled = (i as i64).wrapping_mul(self.step_num).div_euclid(self.step_den);
+        let scaled = (i as i64)
+            .wrapping_mul(self.step_num)
+            .div_euclid(self.step_den);
         let v = match self.cap {
             Some(c) if c > 0 => scaled.rem_euclid(c),
             _ => scaled,
@@ -77,7 +89,12 @@ impl RunMeta {
         if x <= 0 || self.cap.is_some() || self.from != 0 {
             return None;
         }
-        Some(RunMeta { from: 0, step_num: self.step_num, step_den: self.step_den, cap: Some(x) })
+        Some(RunMeta {
+            from: 0,
+            step_num: self.step_num,
+            step_den: self.step_den,
+            cap: Some(x),
+        })
     }
 
     /// Metadata after multiplying by `x`.
@@ -104,7 +121,10 @@ impl RunMeta {
             // from shifts out of the modulo; still exact because `from` is
             // added after the mod in our closed form.
         }
-        Some(RunMeta { from: self.from.checked_add(x)?, ..*self })
+        Some(RunMeta {
+            from: self.from.checked_add(x)?,
+            ..*self
+        })
     }
 
     /// Length of each run of equal values, when statically known.
@@ -151,7 +171,8 @@ impl RunMeta {
         if self.is_single_run() {
             return Some(1);
         }
-        self.run_length().map(|rl| (len as i64 + rl - 1).div_euclid(rl) as usize)
+        self.run_length()
+            .map(|rl| (len as i64 + rl - 1).div_euclid(rl) as usize)
     }
 
     /// Materialize the closed form (used by differential tests and the
@@ -221,7 +242,12 @@ mod tests {
 
     #[test]
     fn closed_form_matches_naive() {
-        let m = RunMeta { from: 3, step_num: 1, step_den: 4, cap: Some(5) };
+        let m = RunMeta {
+            from: 3,
+            step_num: 1,
+            step_den: 4,
+            cap: Some(5),
+        };
         for i in 0..100usize {
             let naive = 3 + ((i as i64) / 4).rem_euclid(5);
             assert_eq!(m.value_at(i), naive, "at {i}");

@@ -237,14 +237,13 @@ impl BinOp {
             }
             return Ok(ScalarType::Bool);
         }
-        if self == BinOp::BitShift || self == BinOp::Modulo {
-            if lhs.is_float() || rhs.is_float() {
-                return Err(VoodooError::TypeMismatch {
-                    context: format!("{self:?}"),
-                    lhs,
-                    rhs,
-                });
-            }
+        if (self == BinOp::BitShift || self == BinOp::Modulo) && (lhs.is_float() || rhs.is_float())
+        {
+            return Err(VoodooError::TypeMismatch {
+                context: format!("{self:?}"),
+                lhs,
+                rhs,
+            });
         }
         Ok(Self::promote(lhs, rhs))
     }
@@ -366,7 +365,9 @@ mod tests {
         let r = BinOp::Greater.eval(ScalarValue::I32(5), ScalarValue::I32(3));
         assert_eq!(r, ScalarValue::Bool(true));
         assert_eq!(
-            BinOp::Greater.result_type(ScalarType::F32, ScalarType::I64).unwrap(),
+            BinOp::Greater
+                .result_type(ScalarType::F32, ScalarType::I64)
+                .unwrap(),
             ScalarType::Bool
         );
     }
@@ -434,7 +435,13 @@ mod tests {
 
     #[test]
     fn casts() {
-        assert_eq!(ScalarValue::F64(3.9).cast(ScalarType::I32), ScalarValue::I32(3));
-        assert_eq!(ScalarValue::I64(0).cast(ScalarType::Bool), ScalarValue::Bool(false));
+        assert_eq!(
+            ScalarValue::F64(3.9).cast(ScalarType::I32),
+            ScalarValue::I32(3)
+        );
+        assert_eq!(
+            ScalarValue::I64(0).cast(ScalarType::Bool),
+            ScalarValue::Bool(false)
+        );
     }
 }

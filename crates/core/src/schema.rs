@@ -23,7 +23,9 @@ impl Schema {
 
     /// A single-field schema.
     pub fn single(kp: impl Into<KeyPath>, ty: ScalarType) -> Self {
-        Schema { fields: vec![(kp.into(), ty)] }
+        Schema {
+            fields: vec![(kp.into(), ty)],
+        }
     }
 
     /// Build from a field list; duplicate keypaths keep the last definition.
@@ -73,7 +75,10 @@ impl Schema {
             .map(|(f, t)| (f.strip_prefix(kp).expect("starts_with checked"), *t))
             .collect();
         if matches.is_empty() {
-            Err(VoodooError::UnknownKeyPath { keypath: kp.clone(), context: context.to_string() })
+            Err(VoodooError::UnknownKeyPath {
+                keypath: kp.clone(),
+                context: context.to_string(),
+            })
         } else {
             Ok(matches)
         }
@@ -95,7 +100,10 @@ impl Schema {
     pub fn project(&self, kp: &KeyPath, out: &KeyPath, context: &str) -> Result<Schema> {
         let leaves = self.resolve(kp, context)?;
         Ok(Schema::from_fields(
-            leaves.into_iter().map(|(rel, ty)| (out.child(&rel.to_string()), ty)).collect(),
+            leaves
+                .into_iter()
+                .map(|(rel, ty)| (out.child(&rel.to_string()), ty))
+                .collect(),
         ))
     }
 
@@ -151,11 +159,21 @@ mod tests {
     #[test]
     fn project_renames_subtree() {
         let s = nested();
-        let p = s.project(&KeyPath::new(".input"), &KeyPath::new(".out"), "t").unwrap();
-        assert_eq!(p.field_type(&KeyPath::new(".out.value")), Some(ScalarType::F32));
-        assert_eq!(p.field_type(&KeyPath::new(".out.flag")), Some(ScalarType::Bool));
+        let p = s
+            .project(&KeyPath::new(".input"), &KeyPath::new(".out"), "t")
+            .unwrap();
+        assert_eq!(
+            p.field_type(&KeyPath::new(".out.value")),
+            Some(ScalarType::F32)
+        );
+        assert_eq!(
+            p.field_type(&KeyPath::new(".out.flag")),
+            Some(ScalarType::Bool)
+        );
 
-        let leaf = s.project(&KeyPath::new(".fold"), &KeyPath::new(".f"), "t").unwrap();
+        let leaf = s
+            .project(&KeyPath::new(".fold"), &KeyPath::new(".f"), "t")
+            .unwrap();
         assert_eq!(leaf.field_type(&KeyPath::new(".f")), Some(ScalarType::I64));
     }
 
@@ -170,7 +188,8 @@ mod tests {
 
     #[test]
     fn merged_appends() {
-        let s = Schema::single(".a", ScalarType::I32).merged(&Schema::single(".b", ScalarType::F64));
+        let s =
+            Schema::single(".a", ScalarType::I32).merged(&Schema::single(".b", ScalarType::F64));
         assert_eq!(s.len(), 2);
     }
 }

@@ -131,7 +131,9 @@ pub fn dce(program: &Program) -> (Program, RewriteStats) {
             dropped += 1;
             continue;
         }
-        let op = stmt.op.map_inputs(|v| remap[v.index()].expect("live statements form a DAG"));
+        let op = stmt
+            .op
+            .map_inputs(|v| remap[v.index()].expect("live statements form a DAG"));
         let nv = out.push(op);
         copy_label(&mut out, nv, stmt);
         remap[i] = Some(nv);
@@ -139,8 +141,12 @@ pub fn dce(program: &Program) -> (Program, RewriteStats) {
     for &r in program.returns() {
         out.ret(remap[r.index()].expect("returns are live"));
     }
-    let stats =
-        RewriteStats { before: n, after: out.len(), merged: 0, dropped };
+    let stats = RewriteStats {
+        before: n,
+        after: out.len(),
+        merged: 0,
+        dropped,
+    };
     (out, stats)
 }
 
@@ -263,7 +269,10 @@ mod tests {
         p.label(a, "incremented");
         p.ret(a);
         let (q, _) = optimize(&p);
-        assert!(q.stmts().iter().any(|s| s.label.as_deref() == Some("incremented")));
+        assert!(q
+            .stmts()
+            .iter()
+            .any(|s| s.label.as_deref() == Some("incremented")));
     }
 
     #[test]

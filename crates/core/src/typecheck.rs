@@ -31,7 +31,11 @@ pub struct ShapeInfo {
 
 impl ShapeInfo {
     fn new(schema: Schema, len: usize) -> ShapeInfo {
-        ShapeInfo { schema, len, meta: HashMap::new() }
+        ShapeInfo {
+            schema,
+            len,
+            meta: HashMap::new(),
+        }
     }
 
     /// Metadata of an attribute, if statically known.
@@ -79,7 +83,9 @@ impl Shapes {
             | Op::FoldScan { v, fold_kp, .. } => (*v, fold_kp.clone()),
             _ => return FoldRuns::SingleRun,
         };
-        let Some(fold_kp) = fold_kp else { return FoldRuns::SingleRun };
+        let Some(fold_kp) = fold_kp else {
+            return FoldRuns::SingleRun;
+        };
         match self.of(input).meta_of(&fold_kp) {
             Some(m) if m.is_single_run() => FoldRuns::SingleRun,
             Some(m) => match m.run_length() {
@@ -143,11 +149,19 @@ fn infer_stmt(
             };
             let mut info = ShapeInfo::new(Schema::single(out.clone(), value.ty()), len);
             if value.ty().is_integer() {
-                info.meta.insert(out.clone(), RunMeta::constant(value.as_i64()));
+                info.meta
+                    .insert(out.clone(), RunMeta::constant(value.as_i64()));
             }
             Ok(info)
         }
-        Op::Binary { op: bop, out, lhs, lhs_kp, rhs, rhs_kp } => {
+        Op::Binary {
+            op: bop,
+            out,
+            lhs,
+            lhs_kp,
+            rhs,
+            rhs_kp,
+        } => {
             let l = &done[lhs.index()];
             let r = &done[rhs.index()];
             let lt = l
@@ -188,7 +202,14 @@ fn infer_stmt(
             }
             Ok(info)
         }
-        Op::Zip { out1, v1, kp1, out2, v2, kp2 } => {
+        Op::Zip {
+            out1,
+            v1,
+            kp1,
+            out2,
+            v2,
+            kp2,
+        } => {
             let a = &done[v1.index()];
             let b = &done[v2.index()];
             let s1 = a.schema.project(kp1, out1, &ctx("Zip v1"))?;
@@ -226,23 +247,37 @@ fn infer_stmt(
             }
             Ok(info)
         }
-        Op::Scatter { values, size_like, positions, pos_kp, .. } => {
+        Op::Scatter {
+            values,
+            size_like,
+            positions,
+            pos_kp,
+            ..
+        } => {
             let vals = &done[values.index()];
             let size = &done[size_like.index()];
             let pos = &done[positions.index()];
-            pos.schema.field_type(pos_kp).ok_or_else(|| VoodooError::UnknownKeyPath {
-                keypath: pos_kp.clone(),
-                context: ctx("Scatter positions"),
-            })?;
+            pos.schema
+                .field_type(pos_kp)
+                .ok_or_else(|| VoodooError::UnknownKeyPath {
+                    keypath: pos_kp.clone(),
+                    context: ctx("Scatter positions"),
+                })?;
             Ok(ShapeInfo::new(vals.schema.clone(), size.len))
         }
-        Op::Gather { source, positions, pos_kp } => {
+        Op::Gather {
+            source,
+            positions,
+            pos_kp,
+        } => {
             let src = &done[source.index()];
             let pos = &done[positions.index()];
-            pos.schema.field_type(pos_kp).ok_or_else(|| VoodooError::UnknownKeyPath {
-                keypath: pos_kp.clone(),
-                context: ctx("Gather positions"),
-            })?;
+            pos.schema
+                .field_type(pos_kp)
+                .ok_or_else(|| VoodooError::UnknownKeyPath {
+                    keypath: pos_kp.clone(),
+                    context: ctx("Gather positions"),
+                })?;
             Ok(ShapeInfo::new(src.schema.clone(), pos.len))
         }
         Op::Materialize { v, .. } | Op::Break { v, .. } => {
@@ -251,49 +286,94 @@ fn infer_stmt(
             info.meta = src.meta.clone();
             Ok(info)
         }
-        Op::Partition { out, v, kp, pivots, pivot_kp } => {
+        Op::Partition {
+            out,
+            v,
+            kp,
+            pivots,
+            pivot_kp,
+        } => {
             let src = &done[v.index()];
-            src.schema.field_type(kp).ok_or_else(|| VoodooError::UnknownKeyPath {
-                keypath: kp.clone(),
-                context: ctx("Partition values"),
-            })?;
+            src.schema
+                .field_type(kp)
+                .ok_or_else(|| VoodooError::UnknownKeyPath {
+                    keypath: kp.clone(),
+                    context: ctx("Partition values"),
+                })?;
             let piv = &done[pivots.index()];
-            piv.schema.field_type(pivot_kp).ok_or_else(|| VoodooError::UnknownKeyPath {
-                keypath: pivot_kp.clone(),
-                context: ctx("Partition pivots"),
-            })?;
-            Ok(ShapeInfo::new(Schema::single(out.clone(), ScalarType::I64), src.len))
+            piv.schema
+                .field_type(pivot_kp)
+                .ok_or_else(|| VoodooError::UnknownKeyPath {
+                    keypath: pivot_kp.clone(),
+                    context: ctx("Partition pivots"),
+                })?;
+            Ok(ShapeInfo::new(
+                Schema::single(out.clone(), ScalarType::I64),
+                src.len,
+            ))
         }
-        Op::FoldSelect { out, v, fold_kp, sel_kp } => {
+        Op::FoldSelect {
+            out,
+            v,
+            fold_kp,
+            sel_kp,
+        } => {
             let src = &done[v.index()];
-            src.schema.field_type(sel_kp).ok_or_else(|| VoodooError::UnknownKeyPath {
-                keypath: sel_kp.clone(),
-                context: ctx("FoldSelect selector"),
-            })?;
+            src.schema
+                .field_type(sel_kp)
+                .ok_or_else(|| VoodooError::UnknownKeyPath {
+                    keypath: sel_kp.clone(),
+                    context: ctx("FoldSelect selector"),
+                })?;
             check_fold_kp(src, fold_kp, &ctx("FoldSelect"))?;
-            Ok(ShapeInfo::new(Schema::single(out.clone(), ScalarType::I64), src.len))
+            Ok(ShapeInfo::new(
+                Schema::single(out.clone(), ScalarType::I64),
+                src.len,
+            ))
         }
-        Op::FoldAgg { agg, out, v, fold_kp, val_kp } => {
+        Op::FoldAgg {
+            agg,
+            out,
+            v,
+            fold_kp,
+            val_kp,
+        } => {
             let src = &done[v.index()];
-            let vt = src.schema.field_type(val_kp).ok_or_else(|| VoodooError::UnknownKeyPath {
-                keypath: val_kp.clone(),
-                context: ctx("FoldAgg value"),
-            })?;
+            let vt = src
+                .schema
+                .field_type(val_kp)
+                .ok_or_else(|| VoodooError::UnknownKeyPath {
+                    keypath: val_kp.clone(),
+                    context: ctx("FoldAgg value"),
+                })?;
             check_fold_kp(src, fold_kp, &ctx("FoldAgg"))?;
             let ty = fold_output_type(*agg, vt);
             Ok(ShapeInfo::new(Schema::single(out.clone(), ty), src.len))
         }
-        Op::FoldScan { out, v, fold_kp, val_kp } => {
+        Op::FoldScan {
+            out,
+            v,
+            fold_kp,
+            val_kp,
+        } => {
             let src = &done[v.index()];
-            let vt = src.schema.field_type(val_kp).ok_or_else(|| VoodooError::UnknownKeyPath {
-                keypath: val_kp.clone(),
-                context: ctx("FoldScan value"),
-            })?;
+            let vt = src
+                .schema
+                .field_type(val_kp)
+                .ok_or_else(|| VoodooError::UnknownKeyPath {
+                    keypath: val_kp.clone(),
+                    context: ctx("FoldScan value"),
+                })?;
             check_fold_kp(src, fold_kp, &ctx("FoldScan"))?;
             let ty = fold_output_type(AggKind::Sum, vt);
             Ok(ShapeInfo::new(Schema::single(out.clone(), ty), src.len))
         }
-        Op::Range { out, from, size, step } => {
+        Op::Range {
+            out,
+            from,
+            size,
+            step,
+        } => {
             let len = match size {
                 SizeSpec::Fixed(n) => *n,
                 SizeSpec::Like(v) => done[v.index()].len,
@@ -305,9 +385,10 @@ fn infer_stmt(
         Op::Cross { out1, v1, out2, v2 } => {
             let a = &done[v1.index()];
             let b = &done[v2.index()];
-            let len = a.len.checked_mul(b.len).ok_or_else(|| VoodooError::Backend(
-                "cross product size overflow".to_string(),
-            ))?;
+            let len = a
+                .len
+                .checked_mul(b.len)
+                .ok_or_else(|| VoodooError::Backend("cross product size overflow".to_string()))?;
             let schema = Schema::from_fields(vec![
                 (out1.clone(), ScalarType::I64),
                 (out2.clone(), ScalarType::I64),
@@ -338,10 +419,12 @@ fn carry_meta(info: &mut ShapeInfo, src: &ShapeInfo, kp: &KeyPath, out: &KeyPath
 
 fn check_fold_kp(src: &ShapeInfo, fold_kp: &Option<KeyPath>, context: &str) -> Result<()> {
     if let Some(kp) = fold_kp {
-        src.schema.field_type(kp).ok_or_else(|| VoodooError::UnknownKeyPath {
-            keypath: kp.clone(),
-            context: context.to_string(),
-        })?;
+        src.schema
+            .field_type(kp)
+            .ok_or_else(|| VoodooError::UnknownKeyPath {
+                keypath: kp.clone(),
+                context: context.to_string(),
+            })?;
     }
     Ok(())
 }
@@ -433,13 +516,19 @@ mod tests {
         let mut p = Program::new();
         let v = p.load("nope");
         p.ret(v);
-        assert!(matches!(infer(&p, &FakeCatalog), Err(VoodooError::UnknownTable(_))));
+        assert!(matches!(
+            infer(&p, &FakeCatalog),
+            Err(VoodooError::UnknownTable(_))
+        ));
 
         let mut p2 = Program::new();
         let v = p2.load("line");
         let bad = p2.binary_kp(BinOp::Add, v, ".missing", v, ".qty", ".x");
         p2.ret(bad);
-        assert!(matches!(infer(&p2, &FakeCatalog), Err(VoodooError::UnknownKeyPath { .. })));
+        assert!(matches!(
+            infer(&p2, &FakeCatalog),
+            Err(VoodooError::UnknownKeyPath { .. })
+        ));
     }
 
     #[test]
@@ -454,7 +543,11 @@ mod tests {
         assert_eq!(shapes.of(z).len, 100);
         assert_eq!(shapes.of(z).schema.len(), 2);
         // The constant's metadata travels through the zip.
-        assert!(shapes.of(z).meta_of(&KeyPath::new(".b")).unwrap().is_single_run());
+        assert!(shapes
+            .of(z)
+            .meta_of(&KeyPath::new(".b"))
+            .unwrap()
+            .is_single_run());
     }
 
     #[test]
@@ -474,8 +567,17 @@ mod tests {
 
     #[test]
     fn fold_type_promotion() {
-        assert_eq!(fold_output_type(AggKind::Sum, ScalarType::I32), ScalarType::I64);
-        assert_eq!(fold_output_type(AggKind::Sum, ScalarType::F32), ScalarType::F64);
-        assert_eq!(fold_output_type(AggKind::Min, ScalarType::F32), ScalarType::F32);
+        assert_eq!(
+            fold_output_type(AggKind::Sum, ScalarType::I32),
+            ScalarType::I64
+        );
+        assert_eq!(
+            fold_output_type(AggKind::Sum, ScalarType::F32),
+            ScalarType::F64
+        );
+        assert_eq!(
+            fold_output_type(AggKind::Min, ScalarType::F32),
+            ScalarType::F32
+        );
     }
 }

@@ -144,13 +144,19 @@ pub struct Column {
 impl Column {
     /// A column of `len` ε slots.
     pub fn empties(ty: ScalarType, len: usize) -> Column {
-        Column { data: Buffer::with_len(ty, len), empty: vec![true; len] }
+        Column {
+            data: Buffer::with_len(ty, len),
+            empty: vec![true; len],
+        }
     }
 
     /// A fully populated column from a buffer (no ε slots).
     pub fn from_buffer(data: Buffer) -> Column {
         let len = data.len();
-        Column { data, empty: vec![false; len] }
+        Column {
+            data,
+            empty: vec![false; len],
+        }
     }
 
     /// Build from parts; `empty.len()` must equal `data.len()`.
@@ -256,13 +262,19 @@ pub struct StructuredVector {
 impl StructuredVector {
     /// A vector of `len` slots with no fields yet.
     pub fn with_len(len: usize) -> StructuredVector {
-        StructuredVector { len, fields: Vec::new() }
+        StructuredVector {
+            len,
+            fields: Vec::new(),
+        }
     }
 
     /// A single-field vector from a fully populated column.
     pub fn from_column(kp: impl Into<KeyPath>, col: Column) -> StructuredVector {
         let len = col.len();
-        StructuredVector { len, fields: vec![(kp.into(), col)] }
+        StructuredVector {
+            len,
+            fields: vec![(kp.into(), col)],
+        }
     }
 
     /// A single-field vector from a plain buffer (no ε).
@@ -287,7 +299,12 @@ impl StructuredVector {
 
     /// The flattened schema.
     pub fn schema(&self) -> Schema {
-        Schema::from_fields(self.fields.iter().map(|(kp, c)| (kp.clone(), c.ty())).collect())
+        Schema::from_fields(
+            self.fields
+                .iter()
+                .map(|(kp, c)| (kp.clone(), c.ty()))
+                .collect(),
+        )
     }
 
     /// Iterate over `(keypath, column)` pairs.
@@ -317,7 +334,10 @@ impl StructuredVector {
             .map(|(f, c)| (f.strip_prefix(kp).expect("starts_with checked"), c))
             .collect();
         if matches.is_empty() {
-            Err(VoodooError::UnknownKeyPath { keypath: kp.clone(), context: context.to_string() })
+            Err(VoodooError::UnknownKeyPath {
+                keypath: kp.clone(),
+                context: context.to_string(),
+            })
         } else {
             Ok(matches)
         }
@@ -325,7 +345,11 @@ impl StructuredVector {
 
     /// Add (or replace) a leaf column; its length must equal the vector's.
     pub fn insert(&mut self, kp: impl Into<KeyPath>, col: Column) {
-        assert_eq!(col.len(), self.len, "column length must match vector length");
+        assert_eq!(
+            col.len(),
+            self.len,
+            "column length must match vector length"
+        );
         let kp = kp.into();
         if let Some(slot) = self.fields.iter_mut().find(|(f, _)| *f == kp) {
             slot.1 = col;
@@ -410,7 +434,10 @@ mod tests {
             v.schema().field_type(&KeyPath::new(".value")),
             Some(ScalarType::F32)
         );
-        assert_eq!(v.value_at(1, &KeyPath::new(".fold")), Some(ScalarValue::I64(1)));
+        assert_eq!(
+            v.value_at(1, &KeyPath::new(".fold")),
+            Some(ScalarValue::I64(1))
+        );
     }
 
     #[test]

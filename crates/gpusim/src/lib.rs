@@ -93,7 +93,11 @@ impl CostModel {
         let d = &self.device;
         // Effective parallelism: the unit's exploitable parallelism (after
         // hierarchical-reduction rewriting), bounded by the device.
-        let exploitable = if p.max_par > 0 { p.max_par } else { p.work_items.max(1) };
+        let exploitable = if p.max_par > 0 {
+            p.max_par
+        } else {
+            p.work_items.max(1)
+        };
         let par = (exploitable.max(1) as f64).min(d.parallelism as f64);
         let alu = p.int_ops as f64 * d.int_op_cost
             + p.cmp_ops as f64 * d.int_op_cost
@@ -130,7 +134,13 @@ impl CostModel {
         };
 
         let barrier = p.barriers as f64 * d.barrier_cost;
-        UnitCost { compute, divergence, seq_memory, rand_memory, barrier }
+        UnitCost {
+            compute,
+            divergence,
+            seq_memory,
+            rand_memory,
+            barrier,
+        }
     }
 
     /// Price a full execution from per-unit profiles.
@@ -144,12 +154,18 @@ impl CostModel {
             seconds += c.total();
             units.push(c);
         }
-        SimReport { profile: total, units, seconds, transfer_seconds: 0.0 }
+        SimReport {
+            profile: total,
+            units,
+            seconds,
+            transfer_seconds: 0.0,
+        }
     }
 }
 
 /// The simulated GPU: compiles, executes for results on the host, and
 /// prices the event trace with the device model.
+#[derive(Debug, Clone)]
 pub struct GpuSimulator {
     model: CostModel,
     predicated: bool,
@@ -159,12 +175,20 @@ pub struct GpuSimulator {
 impl GpuSimulator {
     /// A TITAN-X-class simulator.
     pub fn titan_x() -> GpuSimulator {
-        GpuSimulator { model: CostModel::titan_x(), predicated: false, interconnect: None }
+        GpuSimulator {
+            model: CostModel::titan_x(),
+            predicated: false,
+            interconnect: None,
+        }
     }
 
     /// A simulator over an arbitrary device model.
     pub fn new(model: CostModel) -> GpuSimulator {
-        GpuSimulator { model, predicated: false, interconnect: None }
+        GpuSimulator {
+            model,
+            predicated: false,
+            interconnect: None,
+        }
     }
 
     /// Enable predicated (branch-free) selection emission.
@@ -190,6 +214,16 @@ impl GpuSimulator {
         &self.model
     }
 
+    /// Whether predicated (branch-free) selection emission is enabled.
+    pub fn predicated(&self) -> bool {
+        self.predicated
+    }
+
+    /// The configured interconnect, if transfers are modeled.
+    pub fn interconnect(&self) -> Option<Interconnect> {
+        self.interconnect
+    }
+
     /// Calibrate the device model against one measured reference: scale
     /// every priced parameter so the model predicts `measured_seconds`
     /// for a workload it currently prices at `predicted_seconds`.
@@ -206,7 +240,8 @@ impl GpuSimulator {
         let cp = Compiler::new(catalog).compile(program)?;
         let (out, mut report) = self.run_compiled(&cp, catalog)?;
         if let Some(link) = self.interconnect {
-            report.transfer_seconds = link.transfer_seconds(transfer::input_bytes(program, catalog));
+            report.transfer_seconds =
+                link.transfer_seconds(transfer::input_bytes(program, catalog));
             report.seconds += report.transfer_seconds;
         }
         Ok((out, report))
@@ -274,18 +309,37 @@ mod tests {
     #[test]
     fn sequential_units_cannot_use_the_gpu() {
         let model = CostModel::titan_x();
-        let wide = EventProfile { int_ops: 1 << 20, work_items: 1 << 20, ..Default::default() };
-        let narrow = EventProfile { int_ops: 1 << 20, work_items: 1, ..Default::default() };
+        let wide = EventProfile {
+            int_ops: 1 << 20,
+            work_items: 1 << 20,
+            ..Default::default()
+        };
+        let narrow = EventProfile {
+            int_ops: 1 << 20,
+            work_items: 1,
+            ..Default::default()
+        };
         let tw = model.price_unit(&wide).total();
         let tn = model.price_unit(&narrow).total();
-        assert!(tn > tw * 100.0, "sequential unit is far slower: {tn} vs {tw}");
+        assert!(
+            tn > tw * 100.0,
+            "sequential unit is far slower: {tn} vs {tw}"
+        );
     }
 
     #[test]
     fn integer_ops_cost_more_than_float_on_gpu() {
         let model = CostModel::titan_x();
-        let ints = EventProfile { int_ops: 1 << 20, work_items: 1 << 20, ..Default::default() };
-        let floats = EventProfile { float_ops: 1 << 20, work_items: 1 << 20, ..Default::default() };
+        let ints = EventProfile {
+            int_ops: 1 << 20,
+            work_items: 1 << 20,
+            ..Default::default()
+        };
+        let floats = EventProfile {
+            float_ops: 1 << 20,
+            work_items: 1 << 20,
+            ..Default::default()
+        };
         assert!(model.price_unit(&ints).compute > model.price_unit(&floats).compute * 2.0);
     }
 
@@ -306,7 +360,10 @@ mod tests {
         };
         let th = model.price_unit(&hot).rand_memory;
         let tc = model.price_unit(&cold).rand_memory;
-        assert!(tc > th * 10.0, "cold random access far slower: {tc} vs {th}");
+        assert!(
+            tc > th * 10.0,
+            "cold random access far slower: {tc} vs {th}"
+        );
     }
 
     #[test]
@@ -336,7 +393,11 @@ mod tests {
             work_items: 1 << 20,
             ..Default::default()
         };
-        let sorted = EventProfile { branches: 1 << 20, branch_flips: 2, ..Default::default() };
+        let sorted = EventProfile {
+            branches: 1 << 20,
+            branch_flips: 2,
+            ..Default::default()
+        };
         assert!(cpu.price_unit(&mixed).divergence > cpu.price_unit(&sorted).divergence * 1000.0);
     }
 
@@ -389,7 +450,10 @@ mod tests {
         let cal = GpuSimulator::titan_x().calibrated(3.0 * base, base);
         let scaled = cal.run(&p, &cat).unwrap().1.seconds;
         let ratio = scaled / base;
-        assert!((ratio - 3.0).abs() < 0.15, "calibrated ≈3× base, got {ratio}");
+        assert!(
+            (ratio - 3.0).abs() < 0.15,
+            "calibrated ≈3× base, got {ratio}"
+        );
     }
 
     #[test]
@@ -433,10 +497,17 @@ mod tests {
             seq_read_bytes: 8 << 22,
             ..Default::default()
         };
-        let cpu = CostModel::new(Device::cpu_multicore(8)).price_unit(&wide).total();
-        let phi = CostModel::new(Device::manycore_phi()).price_unit(&wide).total();
+        let cpu = CostModel::new(Device::cpu_multicore(8))
+            .price_unit(&wide)
+            .total();
+        let phi = CostModel::new(Device::manycore_phi())
+            .price_unit(&wide)
+            .total();
         let gpu = CostModel::titan_x().price_unit(&wide).total();
-        assert!(phi < cpu, "64 weak cores beat 8 strong ones on embarrassing scans");
+        assert!(
+            phi < cpu,
+            "64 weak cores beat 8 strong ones on embarrassing scans"
+        );
         assert!(gpu < phi, "the GPU still wins on bandwidth+parallelism");
     }
 }

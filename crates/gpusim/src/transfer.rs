@@ -23,17 +23,26 @@ pub struct Interconnect {
 impl Interconnect {
     /// PCIe 3.0 x16 (the paper-era link of a TITAN X): ~12 GB/s sustained.
     pub fn pcie3_x16() -> Interconnect {
-        Interconnect { bandwidth: 12e9, latency: 10e-6 }
+        Interconnect {
+            bandwidth: 12e9,
+            latency: 10e-6,
+        }
     }
 
     /// PCIe 4.0 x16: ~24 GB/s sustained.
     pub fn pcie4_x16() -> Interconnect {
-        Interconnect { bandwidth: 24e9, latency: 10e-6 }
+        Interconnect {
+            bandwidth: 24e9,
+            latency: 10e-6,
+        }
     }
 
     /// An integrated GPU's "transfer" — same physical memory, zero copy.
     pub fn zero_copy() -> Interconnect {
-        Interconnect { bandwidth: f64::INFINITY, latency: 0.0 }
+        Interconnect {
+            bandwidth: f64::INFINITY,
+            latency: 0.0,
+        }
     }
 
     /// Seconds to ship `bytes` across the link (one transfer).
@@ -57,8 +66,7 @@ pub fn input_bytes(program: &Program, catalog: &Catalog) -> u64 {
                 continue;
             }
             if let Some(table) = catalog.table(name) {
-                let row_bytes: usize =
-                    table.columns.iter().map(|c| c.data.ty().byte_width()).sum();
+                let row_bytes: usize = table.columns.iter().map(|c| c.data.ty().byte_width()).sum();
                 total += (table.len * row_bytes) as u64;
             }
         }

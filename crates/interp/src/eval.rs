@@ -2,8 +2,8 @@
 
 use voodoo_core::typecheck::fold_output_type;
 use voodoo_core::{
-    AggKind, BinOp, Column, KeyPath, Op, Program, Result, ScalarType, ScalarValue,
-    SizeSpec, StructuredVector, VRef, VoodooError,
+    AggKind, BinOp, Column, KeyPath, Op, Program, Result, ScalarType, ScalarValue, SizeSpec,
+    StructuredVector, VRef, VoodooError,
 };
 use voodoo_storage::Catalog;
 
@@ -20,7 +20,12 @@ pub struct ExecOutput {
 impl ExecOutput {
     /// The sole return value (panics if there is not exactly one).
     pub fn sole(self) -> StructuredVector {
-        assert_eq!(self.returns.len(), 1, "program has {} returns", self.returns.len());
+        assert_eq!(
+            self.returns.len(),
+            1,
+            "program has {} returns",
+            self.returns.len()
+        );
         self.returns.into_iter().next().unwrap()
     }
 }
@@ -53,7 +58,11 @@ impl<'a> Interpreter<'a> {
             }
             values.push(v);
         }
-        let returns = program.returns().iter().map(|r| values[r.index()].clone()).collect();
+        let returns = program
+            .returns()
+            .iter()
+            .map(|r| values[r.index()].clone())
+            .collect();
         Ok(ExecOutput { returns, persisted })
     }
 
@@ -73,7 +82,11 @@ impl<'a> Interpreter<'a> {
             }
             values.push(v);
         }
-        let returns = program.returns().iter().map(|r| values[r.index()].clone()).collect();
+        let returns = program
+            .returns()
+            .iter()
+            .map(|r| values[r.index()].clone())
+            .collect();
         Ok((ExecOutput { returns, persisted }, values))
     }
 
@@ -94,10 +107,30 @@ impl<'a> Interpreter<'a> {
                 }
                 Ok(StructuredVector::from_column(out.clone(), col))
             }
-            Op::Binary { op: bop, out, lhs, lhs_kp, rhs, rhs_kp } => {
-                eval_binary(*bop, out, get(*lhs), lhs_kp, get(*rhs), rhs_kp, &ctx("Binary"))
-            }
-            Op::Zip { out1, v1, kp1, out2, v2, kp2 } => {
+            Op::Binary {
+                op: bop,
+                out,
+                lhs,
+                lhs_kp,
+                rhs,
+                rhs_kp,
+            } => eval_binary(
+                *bop,
+                out,
+                get(*lhs),
+                lhs_kp,
+                get(*rhs),
+                rhs_kp,
+                &ctx("Binary"),
+            ),
+            Op::Zip {
+                out1,
+                v1,
+                kp1,
+                out2,
+                v2,
+                kp2,
+            } => {
                 let a = get(*v1);
                 let b = get(*v2);
                 let len = combine_len(a.len(), b.len());
@@ -129,7 +162,13 @@ impl<'a> Interpreter<'a> {
                 dst.insert(out.clone(), col);
                 Ok(dst)
             }
-            Op::Scatter { values, size_like, positions, pos_kp, .. } => {
+            Op::Scatter {
+                values,
+                size_like,
+                positions,
+                pos_kp,
+                ..
+            } => {
                 let vals_v = get(*values);
                 let size_v = get(*size_like);
                 let pos_v = get(*positions);
@@ -160,7 +199,11 @@ impl<'a> Interpreter<'a> {
                 }
                 Ok(out)
             }
-            Op::Gather { source, positions, pos_kp } => {
+            Op::Gather {
+                source,
+                positions,
+                pos_kp,
+            } => {
                 let src = get(*source);
                 let pos_v = get(*positions);
                 let pos_col = pos_v.column_req(pos_kp, &ctx("Gather positions"))?;
@@ -184,7 +227,13 @@ impl<'a> Interpreter<'a> {
                 Ok(out)
             }
             Op::Materialize { v, .. } | Op::Break { v, .. } => Ok(get(*v).clone()),
-            Op::Partition { out, v, kp, pivots, pivot_kp } => {
+            Op::Partition {
+                out,
+                v,
+                kp,
+                pivots,
+                pivot_kp,
+            } => {
                 let src = get(*v);
                 let key = src.column_req(kp, &ctx("Partition values"))?;
                 let piv_v = get(*pivots);
@@ -192,7 +241,12 @@ impl<'a> Interpreter<'a> {
                 let positions = partition_positions(key, piv);
                 Ok(StructuredVector::from_column(out.clone(), positions))
             }
-            Op::FoldSelect { out, v, fold_kp, sel_kp } => {
+            Op::FoldSelect {
+                out,
+                v,
+                fold_kp,
+                sel_kp,
+            } => {
                 let src = get(*v);
                 let sel = src.column_req(sel_kp, &ctx("FoldSelect selector"))?;
                 let runs = fold_runs(src, fold_kp, &ctx("FoldSelect"))?;
@@ -208,7 +262,13 @@ impl<'a> Interpreter<'a> {
                 }
                 Ok(StructuredVector::from_column(out.clone(), col))
             }
-            Op::FoldAgg { agg, out, v, fold_kp, val_kp } => {
+            Op::FoldAgg {
+                agg,
+                out,
+                v,
+                fold_kp,
+                val_kp,
+            } => {
                 let src = get(*v);
                 let val = src.column_req(val_kp, &ctx("FoldAgg value"))?;
                 let runs = fold_runs(src, fold_kp, &ctx("FoldAgg"))?;
@@ -230,7 +290,12 @@ impl<'a> Interpreter<'a> {
                 }
                 Ok(StructuredVector::from_column(out.clone(), col))
             }
-            Op::FoldScan { out, v, fold_kp, val_kp } => {
+            Op::FoldScan {
+                out,
+                v,
+                fold_kp,
+                val_kp,
+            } => {
                 let src = get(*v);
                 let val = src.column_req(val_kp, &ctx("FoldScan value"))?;
                 let runs = fold_runs(src, fold_kp, &ctx("FoldScan"))?;
@@ -252,7 +317,12 @@ impl<'a> Interpreter<'a> {
                 }
                 Ok(StructuredVector::from_column(out.clone(), col))
             }
-            Op::Range { out, from, size, step } => {
+            Op::Range {
+                out,
+                from,
+                size,
+                step,
+            } => {
                 let len = match size {
                     SizeSpec::Fixed(n) => *n,
                     SizeSpec::Like(v) => get(*v).len(),
@@ -424,7 +494,11 @@ pub fn partition_positions(key: &Column, pivots: &Column) -> Column {
         match v {
             None => 0,
             Some(x) => {
-                let x = if x.ty().is_float() { x.as_f64().floor() as i64 } else { x.as_i64() };
+                let x = if x.ty().is_float() {
+                    x.as_f64().floor() as i64
+                } else {
+                    x.as_i64()
+                };
                 let ub = piv.partition_point(|&p| p <= x);
                 ub.saturating_sub(1)
             }

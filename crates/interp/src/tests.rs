@@ -1,9 +1,7 @@
 //! Interpreter semantics tests, including literal reproductions of the
 //! paper's worked figures.
 
-use voodoo_core::{
-    AggKind, BinOp, Buffer, Column, KeyPath, Program, ScalarType, ScalarValue,
-};
+use voodoo_core::{AggKind, BinOp, Buffer, Column, KeyPath, Program, ScalarType, ScalarValue};
 use voodoo_storage::{Catalog, Table, TableColumn};
 
 use crate::Interpreter;
@@ -22,13 +20,25 @@ fn i64s(col: &Column) -> Vec<Option<i64>> {
 fn fold_figure7() {
     let mut cat = Catalog::in_memory();
     let mut t = Table::new("input");
-    t.add_column(TableColumn::from_buffer("fold", Buffer::I64(vec![1, 1, 1, 1, 0, 0, 0, 0])));
-    t.add_column(TableColumn::from_buffer("value", Buffer::I64(vec![2, 0, 4, 1, 3, 1, 5, 0])));
+    t.add_column(TableColumn::from_buffer(
+        "fold",
+        Buffer::I64(vec![1, 1, 1, 1, 0, 0, 0, 0]),
+    ));
+    t.add_column(TableColumn::from_buffer(
+        "value",
+        Buffer::I64(vec![2, 0, 4, 1, 3, 1, 5, 0]),
+    ));
     cat.insert_table(t);
 
     let mut p = Program::new();
     let input = p.load("input");
-    let sum = p.fold_agg_kp(AggKind::Sum, input, Some(kp(".fold")), kp(".value"), kp(".sum"));
+    let sum = p.fold_agg_kp(
+        AggKind::Sum,
+        input,
+        Some(kp(".fold")),
+        kp(".value"),
+        kp(".sum"),
+    );
     p.ret(sum);
 
     let out = Interpreter::new(&cat).run(&p).unwrap();
@@ -51,10 +61,22 @@ fn figure3_hierarchical_aggregation() {
     let ids = p.range_like(0, input, 1);
     let part_ids = p.div_const(ids, 4); // partitionSize := 4
     let positions = p.partition(part_ids, kp(".val"), part_ids, kp(".val"));
-    let with_part = p.zip_kp(kp(".val"), input, kp(".val"), kp(".partition"), part_ids, kp(".val"));
+    let with_part = p.zip_kp(
+        kp(".val"),
+        input,
+        kp(".val"),
+        kp(".partition"),
+        part_ids,
+        kp(".val"),
+    );
     let scattered = p.scatter(with_part, with_part, positions);
-    let psum =
-        p.fold_agg_kp(AggKind::Sum, scattered, Some(kp(".partition")), kp(".val"), kp(".val"));
+    let psum = p.fold_agg_kp(
+        AggKind::Sum,
+        scattered,
+        Some(kp(".partition")),
+        kp(".val"),
+        kp(".val"),
+    );
     let total = p.fold_sum_global(psum);
     p.ret(total);
 
@@ -74,10 +96,22 @@ fn figure4_simd_variant() {
     let ids = p.range_like(0, input, 1);
     let lane_ids = p.mod_const(ids, 2); // laneCount := 2
     let positions = p.partition(lane_ids, kp(".val"), lane_ids, kp(".val"));
-    let with_lane = p.zip_kp(kp(".val"), input, kp(".val"), kp(".partition"), lane_ids, kp(".val"));
+    let with_lane = p.zip_kp(
+        kp(".val"),
+        input,
+        kp(".val"),
+        kp(".partition"),
+        lane_ids,
+        kp(".val"),
+    );
     let scattered = p.scatter(with_lane, with_lane, positions);
-    let psum =
-        p.fold_agg_kp(AggKind::Sum, scattered, Some(kp(".partition")), kp(".val"), kp(".val"));
+    let psum = p.fold_agg_kp(
+        AggKind::Sum,
+        scattered,
+        Some(kp(".partition")),
+        kp(".val"),
+        kp(".val"),
+    );
     let total = p.fold_sum_global(psum);
     p.ret(psum);
     p.ret(total);
@@ -87,7 +121,10 @@ fn figure4_simd_variant() {
     let psums = &out.returns[0];
     assert_eq!(psums.value_at(0, &kp(".val")), Some(ScalarValue::I64(25)));
     assert_eq!(psums.value_at(5, &kp(".val")), Some(ScalarValue::I64(30)));
-    assert_eq!(out.returns[1].value_at(0, &kp(".val")), Some(ScalarValue::I64(55)));
+    assert_eq!(
+        out.returns[1].value_at(0, &kp(".val")),
+        Some(ScalarValue::I64(55))
+    );
 }
 
 /// FoldSelect output is aligned to run starts (paper Figure 9 semantics).
@@ -95,7 +132,10 @@ fn figure4_simd_variant() {
 fn fold_select_run_alignment() {
     let mut cat = Catalog::in_memory();
     let mut t = Table::new("t");
-    t.add_column(TableColumn::from_buffer("fold", Buffer::I64(vec![0, 0, 0, 0, 1, 1, 1, 1])));
+    t.add_column(TableColumn::from_buffer(
+        "fold",
+        Buffer::I64(vec![0, 0, 0, 0, 1, 1, 1, 1]),
+    ));
     t.add_column(TableColumn::from_buffer(
         "v",
         Buffer::I64(vec![1, 3, 7, 9, 4, 2, 1, 7]),
@@ -211,8 +251,14 @@ fn grouped_aggregation_figure10() {
 fn fold_scan_prefix_sums_per_run() {
     let mut cat = Catalog::in_memory();
     let mut t = Table::new("t");
-    t.add_column(TableColumn::from_buffer("fold", Buffer::I64(vec![0, 0, 0, 1, 1])));
-    t.add_column(TableColumn::from_buffer("v", Buffer::I64(vec![1, 2, 3, 4, 5])));
+    t.add_column(TableColumn::from_buffer(
+        "fold",
+        Buffer::I64(vec![0, 0, 0, 1, 1]),
+    ));
+    t.add_column(TableColumn::from_buffer(
+        "v",
+        Buffer::I64(vec![1, 2, 3, 4, 5]),
+    ));
     cat.insert_table(t);
 
     let mut p = Program::new();
@@ -238,8 +284,14 @@ fn fold_min_max_keep_type() {
     p.ret(mx);
 
     let out = Interpreter::new(&cat).run_program(&p).unwrap();
-    assert_eq!(out.returns[0].value_at(0, &kp(".val")), Some(ScalarValue::F32(-1.25)));
-    assert_eq!(out.returns[1].value_at(0, &kp(".val")), Some(ScalarValue::F32(9.0)));
+    assert_eq!(
+        out.returns[0].value_at(0, &kp(".val")),
+        Some(ScalarValue::F32(-1.25))
+    );
+    assert_eq!(
+        out.returns[1].value_at(0, &kp(".val")),
+        Some(ScalarValue::F32(9.0))
+    );
 }
 
 #[test]
@@ -289,8 +341,14 @@ fn cross_positions() {
     assert_eq!(out.len(), 6);
     let p1 = out.column(&kp(".pos1")).unwrap();
     let p2 = out.column(&kp(".pos2")).unwrap();
-    assert_eq!(i64s(p1), vec![Some(0), Some(0), Some(0), Some(1), Some(1), Some(1)]);
-    assert_eq!(i64s(p2), vec![Some(0), Some(1), Some(2), Some(0), Some(1), Some(2)]);
+    assert_eq!(
+        i64s(p1),
+        vec![Some(0), Some(0), Some(0), Some(1), Some(1), Some(1)]
+    );
+    assert_eq!(
+        i64s(p2),
+        vec![Some(0), Some(1), Some(2), Some(0), Some(1), Some(2)]
+    );
 }
 
 #[test]
@@ -472,7 +530,13 @@ fn virtual_scatter_figure11_semantics() {
     let pivots = p.range(0, 4, 1);
     let pos = p.partition(input, kp(".grp"), pivots, kp(".val"));
     let scattered = p.scatter(input, input, pos);
-    let sums = p.fold_agg_kp(AggKind::Sum, scattered, Some(kp(".grp")), kp(".v"), kp(".sum"));
+    let sums = p.fold_agg_kp(
+        AggKind::Sum,
+        scattered,
+        Some(kp(".grp")),
+        kp(".v"),
+        kp(".sum"),
+    );
     p.ret(sums);
 
     let out = Interpreter::new(&cat).run(&p).unwrap();
@@ -633,8 +697,14 @@ mod op_edges {
         let u = p.upsert(t, kp(".tag"), e, kp(".val"));
         p.ret(u);
         let out = Interpreter::new(&cat).run(&p).unwrap();
-        assert_eq!(i64s(out.column(&kp(".val")).unwrap()), vec![Some(1), Some(2)]);
-        assert_eq!(i64s(out.column(&kp(".tag")).unwrap()), vec![Some(9), Some(9)]);
+        assert_eq!(
+            i64s(out.column(&kp(".val")).unwrap()),
+            vec![Some(1), Some(2)]
+        );
+        assert_eq!(
+            i64s(out.column(&kp(".tag")).unwrap()),
+            vec![Some(9), Some(9)]
+        );
     }
 
     #[test]
@@ -665,8 +735,12 @@ mod op_edges {
         let s = p.scatter(k, k, pos);
         p.ret(s);
         let out = Interpreter::new(&cat).run(&p).unwrap();
-        let got: Vec<i64> =
-            out.column(&kp(".val")).unwrap().present().map(|v| v.as_i64()).collect();
+        let got: Vec<i64> = out
+            .column(&kp(".val"))
+            .unwrap()
+            .present()
+            .map(|v| v.as_i64())
+            .collect();
         assert_eq!(got, vec![0, 0, 1, 2, 2], "stable counting sort by bucket");
     }
 
@@ -691,8 +765,14 @@ mod op_edges {
     fn fold_scan_restarts_at_run_boundaries() {
         let mut cat = Catalog::in_memory();
         let mut t = Table::new("t");
-        t.add_column(TableColumn::from_buffer("fold", Buffer::I64(vec![0, 0, 1, 1, 1])));
-        t.add_column(TableColumn::from_buffer("v", Buffer::I64(vec![1, 2, 3, 4, 5])));
+        t.add_column(TableColumn::from_buffer(
+            "fold",
+            Buffer::I64(vec![0, 0, 1, 1, 1]),
+        ));
+        t.add_column(TableColumn::from_buffer(
+            "v",
+            Buffer::I64(vec![1, 2, 3, 4, 5]),
+        ));
         cat.insert_table(t);
         let mut p = Program::new();
         let t = p.load("t");

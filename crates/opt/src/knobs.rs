@@ -39,7 +39,10 @@ impl Decision {
     /// Human-readable label (used in reports and tests).
     pub fn label(&self) -> String {
         match self {
-            Decision::Selection { strategy, predicated } => {
+            Decision::Selection {
+                strategy,
+                predicated,
+            } => {
                 let base = match strategy {
                     SelectionStrategy::Plain => "plain".to_string(),
                     SelectionStrategy::PredicatedAggregation => "predicated-agg".to_string(),
@@ -76,11 +79,19 @@ pub struct Candidate {
 impl Candidate {
     /// Candidate with default (branching) execution flags.
     pub fn new(decision: Decision, program: Program) -> Candidate {
-        Candidate { decision, program, predicated_select: false }
+        Candidate {
+            decision,
+            program,
+            predicated_select: false,
+        }
     }
 
     /// Candidate with branch-free position emission.
     pub fn predicated(decision: Decision, program: Program) -> Candidate {
-        Candidate { decision, program, predicated_select: true }
+        Candidate {
+            decision,
+            program,
+            predicated_select: true,
+        }
     }
 }

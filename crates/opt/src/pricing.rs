@@ -13,8 +13,9 @@
 //! predicates (all the paper's microbenchmarks); a production system
 //! would stratify.
 
-use voodoo_compile::exec::{ExecOptions, Executor};
-use voodoo_compile::{Compiler, Device};
+use voodoo_backend::{Backend, CpuBackend};
+use voodoo_compile::exec::ExecOptions;
+use voodoo_compile::Device;
 use voodoo_core::Result;
 use voodoo_gpusim::CostModel;
 use voodoo_storage::{Catalog, Table, TableColumn};
@@ -96,13 +97,15 @@ pub fn price_candidate_at(
     scale: f64,
     sampled_driver_len: usize,
 ) -> Result<f64> {
-    let cp = Compiler::new(sampled).compile(&candidate.program)?;
-    let exec = Executor::new(ExecOptions {
-        count_events: true,
+    // The candidate's executor flags ride on the unified CPU backend;
+    // profile() runs single-threaded in event-counting mode — the same
+    // canonical trace the gpusim figures price.
+    let backend = CpuBackend::new(ExecOptions {
         predicated_select: candidate.predicated_select,
-        threads: 1,
+        ..Default::default()
     });
-    let (_, _, unit_profiles) = exec.run_with_unit_profiles(&cp, sampled)?;
+    let plan = backend.prepare(&candidate.program, sampled)?;
+    let unit_profiles = plan.profile(sampled)?.unit_events;
     let model = CostModel::new(device.clone());
     let scale = scale.max(1.0);
     let scaled: Vec<_> = unit_profiles
@@ -111,7 +114,7 @@ pub fn price_candidate_at(
             if unit_is_driver_proportional(p, sampled_driver_len) {
                 extrapolate(p, scale)
             } else {
-                p.clone()
+                *p
             }
         })
         .collect();
@@ -123,7 +126,10 @@ pub fn price_candidate_at(
 /// the units whose cost grows with the full cardinality. Units over other
 /// tables (lookup targets, transforms of them) have domains set by those
 /// tables' (un-sampled) sizes and fall outside the window.
-fn unit_is_driver_proportional(p: &voodoo_compile::EventProfile, sampled_driver_len: usize) -> bool {
+fn unit_is_driver_proportional(
+    p: &voodoo_compile::EventProfile,
+    sampled_driver_len: usize,
+) -> bool {
     if sampled_driver_len == 0 {
         return true;
     }
@@ -142,29 +148,26 @@ pub fn measure_candidate(
     device: &Device,
     scale: f64,
 ) -> Result<f64> {
-    let cp = Compiler::new(sampled).compile(&candidate.program)?;
-    let exec = Executor::new(ExecOptions {
+    let backend = CpuBackend::new(ExecOptions {
         count_events: false,
         predicated_select: candidate.predicated_select,
         threads: device.threads.max(1),
     });
-    // Warm up once, then take the best of three (standard microbench
-    // hygiene at sample scale).
-    exec.run(&cp, sampled)?;
+    // Prepared once, executed repeatedly — warm up, then best of three
+    // (standard microbench hygiene at sample scale).
+    let plan = backend.prepare(&candidate.program, sampled)?;
+    plan.execute(sampled)?;
     let mut best = f64::INFINITY;
     for _ in 0..3 {
         let t0 = std::time::Instant::now();
-        exec.run(&cp, sampled)?;
+        plan.execute(sampled)?;
         best = best.min(t0.elapsed().as_secs_f64());
     }
     Ok(best * scale.max(1.0))
 }
 
 /// Scale a unit's data-proportional events by `scale`.
-fn extrapolate(
-    p: &voodoo_compile::EventProfile,
-    scale: f64,
-) -> voodoo_compile::EventProfile {
+fn extrapolate(p: &voodoo_compile::EventProfile, scale: f64) -> voodoo_compile::EventProfile {
     let s = |x: u64| -> u64 { (x as f64 * scale).round() as u64 };
     voodoo_compile::EventProfile {
         branches: s(p.branches),

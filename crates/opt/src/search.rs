@@ -124,7 +124,10 @@ impl Optimizer {
             .ok_or_else(|| {
                 voodoo_core::VoodooError::Backend("workload produced no candidates".into())
             })?;
-        Ok(Choice { best, report: priced })
+        Ok(Choice {
+            best,
+            report: priced,
+        })
     }
 
     fn price_one(

@@ -19,7 +19,10 @@ const N: usize = 1 << 16;
 fn selection_catalog(n: usize) -> Catalog {
     let mut rng = SmallRng::seed_from_u64(7);
     let mut cat = Catalog::in_memory();
-    cat.put_i64_column("vals", &(0..n).map(|_| rng.gen_range(0..1000)).collect::<Vec<_>>());
+    cat.put_i64_column(
+        "vals",
+        &(0..n).map(|_| rng.gen_range(0..1000)).collect::<Vec<_>>(),
+    );
     cat
 }
 
@@ -43,13 +46,17 @@ fn fk_catalog(n_fact: usize, n_target: usize) -> Catalog {
     fact.add_column(TableColumn::from_buffer(
         "fk",
         voodoo_core::Buffer::I64(
-            (0..n_fact).map(|_| rng.gen_range(0..n_target as i64)).collect(),
+            (0..n_fact)
+                .map(|_| rng.gen_range(0..n_target as i64))
+                .collect(),
         ),
     ));
     cat.insert_table(fact);
     cat.put_i64_column(
         "target",
-        &(0..n_target).map(|_| rng.gen_range(0..1000)).collect::<Vec<_>>(),
+        &(0..n_target)
+            .map(|_| rng.gen_range(0..1000))
+            .collect::<Vec<_>>(),
     );
     cat
 }
@@ -68,7 +75,9 @@ fn lookup_catalog(n_pos: usize, n_target: usize, random: bool) -> Catalog {
     ));
     cat.insert_table(t);
     let pos: Vec<i64> = if random {
-        (0..n_pos).map(|_| rng.gen_range(0..n_target as i64)).collect()
+        (0..n_pos)
+            .map(|_| rng.gen_range(0..n_target as i64))
+            .collect()
     } else {
         (0..n_pos as i64).map(|i| i % n_target as i64).collect()
     };
@@ -78,7 +87,10 @@ fn lookup_catalog(n_pos: usize, n_target: usize, random: bool) -> Catalog {
 
 fn selection_decision(choice: &crate::search::Choice) -> (SelectionStrategy, bool) {
     match choice.best.candidate.decision {
-        Decision::Selection { strategy, predicated } => (strategy, predicated),
+        Decision::Selection {
+            strategy,
+            predicated,
+        } => (strategy, predicated),
         other => panic!("expected a selection decision, got {other:?}"),
     }
 }
@@ -120,7 +132,10 @@ fn cpu_mid_selectivity_prefers_branch_free() {
     let branching = seconds_of(&choice, |d| {
         matches!(
             d,
-            Decision::Selection { strategy: SelectionStrategy::Plain, predicated: false }
+            Decision::Selection {
+                strategy: SelectionStrategy::Plain,
+                predicated: false
+            }
         )
     });
     assert!(
@@ -134,7 +149,11 @@ fn cpu_mid_selectivity_prefers_branch_free() {
             selection_decision(&choice).0,
             SelectionStrategy::PredicatedAggregation
         );
-    assert!(is_branch_free, "winner should be branch-free: {:?}", choice.table());
+    assert!(
+        is_branch_free,
+        "winner should be branch-free: {:?}",
+        choice.table()
+    );
 }
 
 #[test]
@@ -177,12 +196,21 @@ fn gpu_vectorization_is_priced_as_a_loss() {
     let opt = Optimizer::for_device(Device::gpu_titan_x());
     let choice = opt.choose(&select_workload(500), &cat).expect("choose");
     let plain = seconds_of(&choice, |d| {
-        matches!(d, Decision::Selection { strategy: SelectionStrategy::Plain, .. })
+        matches!(
+            d,
+            Decision::Selection {
+                strategy: SelectionStrategy::Plain,
+                ..
+            }
+        )
     });
     let vectorized = seconds_of(&choice, |d| {
         matches!(
             d,
-            Decision::Selection { strategy: SelectionStrategy::Vectorized { .. }, .. }
+            Decision::Selection {
+                strategy: SelectionStrategy::Vectorized { .. },
+                ..
+            }
         )
     });
     assert!(
@@ -212,12 +240,26 @@ fn cpu_fk_join_hot_line_trick_beats_full_predication() {
         };
         let choice = opt.choose(&wl, &cat).expect("choose");
         let pl = seconds_of(&choice, |d| {
-            matches!(d, Decision::FkJoin { strategy: FkJoinStrategy::PredicatedLookups })
+            matches!(
+                d,
+                Decision::FkJoin {
+                    strategy: FkJoinStrategy::PredicatedLookups
+                }
+            )
         });
         let pagg = seconds_of(&choice, |d| {
-            matches!(d, Decision::FkJoin { strategy: FkJoinStrategy::PredicatedAggregation })
+            matches!(
+                d,
+                Decision::FkJoin {
+                    strategy: FkJoinStrategy::PredicatedAggregation
+                }
+            )
         });
-        assert!(pl < pagg, "c={c}: hot-line lookups must beat full predication: {:?}", choice.table());
+        assert!(
+            pl < pagg,
+            "c={c}: hot-line lookups must beat full predication: {:?}",
+            choice.table()
+        );
         assert_ne!(
             fk_decision(&choice),
             FkJoinStrategy::PredicatedAggregation,
@@ -239,7 +281,12 @@ fn gpu_fk_join_prefers_branching_at_mid_selectivity() {
     };
     let opt = Optimizer::for_device(Device::gpu_titan_x());
     let choice = opt.choose(&wl, &cat).expect("choose");
-    assert_eq!(fk_decision(&choice), FkJoinStrategy::Branching, "{:?}", choice.table());
+    assert_eq!(
+        fk_decision(&choice),
+        FkJoinStrategy::Branching,
+        "{:?}",
+        choice.table()
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -260,7 +307,12 @@ fn sequential_lookups_prefer_single_loop() {
     };
     let opt = Optimizer::for_device(Device::cpu_single_thread());
     let choice = opt.choose(&wl, &cat).expect("choose");
-    assert_eq!(lookup_decision(&choice), LayoutStrategy::SingleLoop, "{:?}", choice.table());
+    assert_eq!(
+        lookup_decision(&choice),
+        LayoutStrategy::SingleLoop,
+        "{:?}",
+        choice.table()
+    );
 }
 
 #[test]
@@ -295,10 +347,20 @@ fn gpu_random_lookups_transform_beats_separate_loops() {
     let opt = Optimizer::for_device(Device::gpu_titan_x());
     let choice = opt.choose(&wl, &cat).expect("choose");
     let separate = seconds_of(&choice, |d| {
-        matches!(d, Decision::Lookup { strategy: LayoutStrategy::SeparateLoops })
+        matches!(
+            d,
+            Decision::Lookup {
+                strategy: LayoutStrategy::SeparateLoops
+            }
+        )
     });
     let transform = seconds_of(&choice, |d| {
-        matches!(d, Decision::Lookup { strategy: LayoutStrategy::LayoutTransform })
+        matches!(
+            d,
+            Decision::Lookup {
+                strategy: LayoutStrategy::LayoutTransform
+            }
+        )
     });
     assert!(
         transform <= separate,
@@ -328,11 +390,18 @@ fn fold_strategy_lane_scatter_costs_more_than_logical_partitions() {
     let partitions = seconds_of(&choice, |d| {
         matches!(
             d,
-            Decision::Fold { strategy: voodoo_algos::FoldStrategy::Partitions { .. } }
+            Decision::Fold {
+                strategy: voodoo_algos::FoldStrategy::Partitions { .. }
+            }
         )
     });
     let lanes = seconds_of(&choice, |d| {
-        matches!(d, Decision::Fold { strategy: voodoo_algos::FoldStrategy::Lanes { .. } })
+        matches!(
+            d,
+            Decision::Fold {
+                strategy: voodoo_algos::FoldStrategy::Lanes { .. }
+            }
+        )
     });
     assert!(
         partitions < lanes,
@@ -347,7 +416,9 @@ fn measured_mode_multicore_prefers_partitioned_fold() {
     // fold executes as one sequential loop; a partitioned fold spreads
     // runs over the worker pool. On any multicore host the partitioned
     // plan must win by a real margin.
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     if threads < 2 {
         return; // single-core host: nothing to assert
     }
@@ -362,12 +433,19 @@ fn measured_mode_multicore_prefers_partitioned_fold() {
         .with_cost_source(CostSource::Measured);
     let choice = opt.choose(&wl, &cat).expect("choose");
     let global = seconds_of(&choice, |d| {
-        matches!(d, Decision::Fold { strategy: voodoo_algos::FoldStrategy::Global })
+        matches!(
+            d,
+            Decision::Fold {
+                strategy: voodoo_algos::FoldStrategy::Global
+            }
+        )
     });
     let partitioned = seconds_of(&choice, |d| {
         matches!(
             d,
-            Decision::Fold { strategy: voodoo_algos::FoldStrategy::Partitions { .. } }
+            Decision::Fold {
+                strategy: voodoo_algos::FoldStrategy::Partitions { .. }
+            }
         )
     });
     assert!(
@@ -390,10 +468,24 @@ fn sampling_preserves_non_driver_tables() {
         c: 50,
     };
     let sampled = crate::pricing::sample_catalog(&cat, &wl, 1_000);
-    assert_eq!(sampled.table("fact").unwrap().len, 1_000, "driver truncated");
-    assert_eq!(sampled.table("target").unwrap().len, 5_000, "target kept whole");
+    assert_eq!(
+        sampled.table("fact").unwrap().len,
+        1_000,
+        "driver truncated"
+    );
+    assert_eq!(
+        sampled.table("target").unwrap().len,
+        5_000,
+        "target kept whole"
+    );
     // Stats and FKs survive truncation.
-    assert!(sampled.table("fact").unwrap().column("v").unwrap().stats.is_some());
+    assert!(sampled
+        .table("fact")
+        .unwrap()
+        .column("v")
+        .unwrap()
+        .stats
+        .is_some());
 }
 
 #[test]
@@ -411,7 +503,10 @@ fn exhaustive_report_covers_every_candidate() {
     let opt = Optimizer::for_device(Device::cpu_single_thread()).with_sample_rows(1_024);
     let choice = opt.choose(&wl, &cat).expect("choose");
     assert_eq!(choice.report.len(), wl.candidates().len());
-    assert!(choice.report.iter().all(|pc| pc.seconds.is_finite() && pc.seconds > 0.0));
+    assert!(choice
+        .report
+        .iter()
+        .all(|pc| pc.seconds.is_finite() && pc.seconds > 0.0));
 }
 
 #[test]

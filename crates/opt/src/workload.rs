@@ -54,7 +54,12 @@ impl Workload {
     /// Enumerate every candidate physical plan for this workload.
     pub fn candidates(&self) -> Vec<Candidate> {
         match self {
-            Workload::SelectSum { table, lo, hi, chunks } => {
+            Workload::SelectSum {
+                table,
+                lo,
+                hi,
+                chunks,
+            } => {
                 let mut out = Vec::new();
                 // Plain shape, both position-emission modes.
                 for predicated in [false, true] {
@@ -63,7 +68,11 @@ impl Workload {
                         predicated,
                     };
                     let p = selection::select_sum(table, *lo, *hi, SelectionStrategy::Plain);
-                    out.push(Candidate { decision: d, program: p, predicated_select: predicated });
+                    out.push(Candidate {
+                        decision: d,
+                        program: p,
+                        predicated_select: predicated,
+                    });
                 }
                 // Predicated aggregation (no position list at all).
                 let d = Decision::Selection {
@@ -72,13 +81,21 @@ impl Workload {
                 };
                 out.push(Candidate::new(
                     d,
-                    selection::select_sum(table, *lo, *hi, SelectionStrategy::PredicatedAggregation),
+                    selection::select_sum(
+                        table,
+                        *lo,
+                        *hi,
+                        SelectionStrategy::PredicatedAggregation,
+                    ),
                 ));
                 // Vectorized, branch-free chunks (the paper's vectorized
                 // variant always uses the branch-free inner loop).
                 for &chunk in chunks {
                     let strategy = SelectionStrategy::Vectorized { chunk };
-                    let d = Decision::Selection { strategy, predicated: true };
+                    let d = Decision::Selection {
+                        strategy,
+                        predicated: true,
+                    };
                     out.push(Candidate::predicated(
                         d,
                         selection::select_sum(table, *lo, *hi, strategy),
@@ -104,10 +121,22 @@ impl Workload {
                     )
                 })
                 .collect(),
-            Workload::HierarchicalSum { table, partition_sizes, lane_counts } => {
+            Workload::HierarchicalSum {
+                table,
+                partition_sizes,
+                lane_counts,
+            } => {
                 let mut strategies = vec![FoldStrategy::Global];
-                strategies.extend(partition_sizes.iter().map(|&size| FoldStrategy::Partitions { size }));
-                strategies.extend(lane_counts.iter().map(|&lanes| FoldStrategy::Lanes { lanes }));
+                strategies.extend(
+                    partition_sizes
+                        .iter()
+                        .map(|&size| FoldStrategy::Partitions { size }),
+                );
+                strategies.extend(
+                    lane_counts
+                        .iter()
+                        .map(|&lanes| FoldStrategy::Lanes { lanes }),
+                );
                 strategies
                     .into_iter()
                     .map(|s| {

@@ -19,12 +19,18 @@ fn fk_catalog(n_fact: usize, n_target: usize) -> Catalog {
     ));
     fact.add_column(TableColumn::from_buffer(
         "fk",
-        voodoo_core::Buffer::I64((0..n_fact).map(|_| rng.gen_range(0..n_target as i64)).collect()),
+        voodoo_core::Buffer::I64(
+            (0..n_fact)
+                .map(|_| rng.gen_range(0..n_target as i64))
+                .collect(),
+        ),
     ));
     cat.insert_table(fact);
     cat.put_i64_column(
         "target",
-        &(0..n_target).map(|_| rng.gen_range(0..1000)).collect::<Vec<_>>(),
+        &(0..n_target)
+            .map(|_| rng.gen_range(0..1000))
+            .collect::<Vec<_>>(),
     );
     cat
 }
@@ -37,7 +43,12 @@ fn pricer_matches_gpusim_without_sampling() {
         let cand = Candidate::new(Decision::FkJoin { strategy: strat }, prog.clone());
         let mine = price_candidate(&cand, &cat, &Device::gpu_titan_x(), 1.0).unwrap();
         let (_, report) = GpuSimulator::titan_x().run(&prog, &cat).unwrap();
-        eprintln!("{:<24} opt={:.6e} gpusim={:.6e}", strat.label(), mine, report.seconds);
+        eprintln!(
+            "{:<24} opt={:.6e} gpusim={:.6e}",
+            strat.label(),
+            mine,
+            report.seconds
+        );
         assert!(
             (mine - report.seconds).abs() / report.seconds < 0.05,
             "{}: {} vs {}",

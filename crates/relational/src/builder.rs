@@ -21,12 +21,20 @@ impl QB {
 
     /// Elementwise binary over explicit attributes, output `.val`.
     pub fn bin(&mut self, op: BinOp, l: VRef, lkp: &str, r: VRef, rkp: &str) -> VRef {
-        self.p.binary_kp(op, l, KeyPath::new(lkp), r, KeyPath::new(rkp), KeyPath::val())
+        self.p.binary_kp(
+            op,
+            l,
+            KeyPath::new(lkp),
+            r,
+            KeyPath::new(rkp),
+            KeyPath::val(),
+        )
     }
 
     /// Elementwise binary against a constant, output `.val`.
     pub fn bin_c(&mut self, op: BinOp, l: VRef, lkp: &str, c: i64) -> VRef {
-        self.p.binary_const(op, l, KeyPath::new(lkp), c, KeyPath::val())
+        self.p
+            .binary_const(op, l, KeyPath::new(lkp), c, KeyPath::val())
     }
 
     /// `lo <= v.kp < hi` as a boolean column.
@@ -73,13 +81,27 @@ impl QB {
     /// `100 - v.kp` etc. — constant on the left.
     pub fn rsub_c(&mut self, c: i64, v: VRef, kp: &str) -> VRef {
         let cc = self.p.constant(c);
-        self.p.binary_kp(BinOp::Subtract, cc, KeyPath::val(), v, KeyPath::new(kp), KeyPath::val())
+        self.p.binary_kp(
+            BinOp::Subtract,
+            cc,
+            KeyPath::val(),
+            v,
+            KeyPath::new(kp),
+            KeyPath::val(),
+        )
     }
 
     /// Revenue: `ext.kp1 * (100 - disc.kp2)` (cents × 100).
     pub fn revenue(&mut self, li: VRef, ext_kp: &str, disc_kp: &str) -> VRef {
         let d = self.rsub_c(100, li, disc_kp);
-        self.p.binary_kp(BinOp::Multiply, li, KeyPath::new(ext_kp), d, KeyPath::val(), KeyPath::val())
+        self.p.binary_kp(
+            BinOp::Multiply,
+            li,
+            KeyPath::new(ext_kp),
+            d,
+            KeyPath::val(),
+            KeyPath::val(),
+        )
     }
 
     /// Dense-domain grouped aggregation (the Figure 10/11 pattern):
@@ -89,9 +111,22 @@ impl QB {
     ///
     /// Compiles to a single virtual-scatter pass (paper §3.1.3).
     pub fn group_sums(&mut self, key: VRef, domain: usize, vals: &[VRef]) -> (VRef, Vec<VRef>) {
+        let with_kinds: Vec<(VRef, AggKind)> = vals.iter().map(|&v| (v, AggKind::Sum)).collect();
+        self.group_aggs(key, domain, &with_kinds)
+    }
+
+    /// [`Self::group_sums`] with a per-column aggregation kind — the SQL
+    /// frontend's `MIN`/`MAX` lowering path. Same single virtual-scatter
+    /// pattern; only the per-run combine differs.
+    pub fn group_aggs(
+        &mut self,
+        key: VRef,
+        domain: usize,
+        vals: &[(VRef, AggKind)],
+    ) -> (VRef, Vec<VRef>) {
         // Assemble the scattered tuple: key as .k plus each value as .vI.
         let mut tuple = self.p.project(key, KeyPath::val(), KeyPath::new(".k"));
-        for (i, &v) in vals.iter().enumerate() {
+        for (i, &(v, _)) in vals.iter().enumerate() {
             tuple = self.p.zip_kp(
                 KeyPath::root(),
                 tuple,
@@ -102,7 +137,9 @@ impl QB {
             );
         }
         let pivots = self.p.range(0, domain, 1);
-        let pos = self.p.partition(tuple, KeyPath::new(".k"), pivots, KeyPath::val());
+        let pos = self
+            .p
+            .partition(tuple, KeyPath::new(".k"), pivots, KeyPath::val());
         let scattered = self.p.scatter(tuple, tuple, pos);
         let key_fold = self.p.fold_agg_kp(
             AggKind::Max,
@@ -111,10 +148,12 @@ impl QB {
             KeyPath::new(".k"),
             KeyPath::val(),
         );
-        let sums = (0..vals.len())
-            .map(|i| {
+        let sums = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, kind))| {
                 self.p.fold_agg_kp(
-                    AggKind::Sum,
+                    kind,
                     scattered,
                     Some(KeyPath::new(".k")),
                     KeyPath::new(&format!(".v{i}")),
@@ -150,7 +189,10 @@ impl Default for QB {
 /// Extract grouped results from padded-aligned returned vectors: the first
 /// vector carries group keys (non-ε at group starts), the rest the
 /// aggregates (ε read as 0).
-pub fn extract_grouped(key_vec: &StructuredVector, sums: &[&StructuredVector]) -> Vec<(i64, Vec<i64>)> {
+pub fn extract_grouped(
+    key_vec: &StructuredVector,
+    sums: &[&StructuredVector],
+) -> Vec<(i64, Vec<i64>)> {
     let kp = KeyPath::val();
     let kcol = key_vec.column(&kp).expect("key column");
     let mut rows = Vec::new();
@@ -158,7 +200,12 @@ pub fn extract_grouped(key_vec: &StructuredVector, sums: &[&StructuredVector]) -
         if let Some(k) = kcol.get(i) {
             let vals = sums
                 .iter()
-                .map(|s| s.column(&kp).and_then(|c| c.get(i)).map(|v| v.as_i64()).unwrap_or(0))
+                .map(|s| {
+                    s.column(&kp)
+                        .and_then(|c| c.get(i))
+                        .map(|v| v.as_i64())
+                        .unwrap_or(0)
+                })
                 .collect();
             rows.push((k.as_i64(), vals));
         }
@@ -171,19 +218,25 @@ pub fn extract_scalar(v: &StructuredVector) -> i64 {
     if v.is_empty() {
         return 0;
     }
-    v.value_at(0, &KeyPath::val()).map(|x| x.as_i64()).unwrap_or(0)
+    v.value_at(0, &KeyPath::val())
+        .map(|x| x.as_i64())
+        .unwrap_or(0)
 }
 
 /// Extract every non-ε `(position, value)` of a padded vector.
 pub fn extract_present(v: &StructuredVector) -> Vec<(usize, i64)> {
     let kp = KeyPath::val();
     let col = v.column(&kp).expect("val column");
-    (0..v.len()).filter_map(|i| col.get(i).map(|x| (i, x.as_i64()))).collect()
+    (0..v.len())
+        .filter_map(|i| col.get(i).map(|x| (i, x.as_i64())))
+        .collect()
 }
 
 /// ε-tolerant dense read: value at slot `i` or 0.
 pub fn at_or_zero(v: &StructuredVector, i: usize) -> i64 {
-    v.value_at(i, &KeyPath::val()).map(|x| x.as_i64()).unwrap_or(0)
+    v.value_at(i, &KeyPath::val())
+        .map(|x| x.as_i64())
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

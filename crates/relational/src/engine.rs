@@ -1,38 +1,54 @@
 //! Backend-agnostic query execution.
+//!
+//! The one real entry point is [`run_query_on`]: run a TPC-H query on any
+//! [`Backend`]. The historical per-backend free functions ([`run_interp`],
+//! [`run_compiled`], [`run_compiled_optimized`], [`run_with`]) survive as
+//! thin deprecated shims over it — new code should go through
+//! [`crate::Session`], which adds the backend registry and the
+//! prepared-plan cache.
 
-use voodoo_compile::exec::{ExecOptions, Executor};
-use voodoo_compile::Compiler;
-use voodoo_core::Program;
-use voodoo_interp::{ExecOutput, Interpreter};
+use voodoo_backend::{Backend, CpuBackend, InterpBackend};
+use voodoo_compile::exec::ExecOptions;
+use voodoo_core::{Program, Result};
+use voodoo_interp::ExecOutput;
 use voodoo_storage::Catalog;
 use voodoo_tpch::queries::{Query, QueryResult};
 
 use crate::queries;
 
-/// Run a query through an arbitrary executor callback (e.g. the simulated
-/// GPU, or a timing wrapper).
+/// Run a TPC-H query on an arbitrary backend (no caching; see
+/// [`crate::Session`] for the cached path).
+pub fn run_query_on(backend: &dyn Backend, cat: &Catalog, q: Query) -> Result<QueryResult> {
+    queries::run_query(cat, q, &mut |p: &Program, c: &Catalog| {
+        backend.prepare(p, c)?.execute(c)
+    })
+}
+
+/// Run a query through an arbitrary executor callback (e.g. a timing
+/// wrapper).
+#[deprecated(note = "use Session (or run_query_on with a custom Backend) instead")]
 pub fn run_with<F>(cat: &Catalog, q: Query, mut exec: F) -> QueryResult
 where
     F: FnMut(&Program, &Catalog) -> ExecOutput,
 {
-    queries::run_query(cat, q, &mut exec)
+    queries::run_query(cat, q, &mut |p: &Program, c: &Catalog| Ok(exec(p, c)))
+        .expect("infallible executor callback")
 }
 
 /// Run a query on the reference interpreter backend.
+#[deprecated(note = "use Session::query(q).run_on(\"interp\") instead")]
 pub fn run_interp(cat: &Catalog, q: Query) -> QueryResult {
-    run_with(cat, q, |p, c| {
-        Interpreter::new(c).run_program(p).expect("interpreter execution")
-    })
+    run_query_on(&InterpBackend::new(), cat, q).expect("interpreter execution")
 }
 
 /// Run a query on the compiled CPU backend.
+#[deprecated(note = "use Session::query(q).run() instead")]
 pub fn run_compiled(cat: &Catalog, q: Query, threads: usize) -> QueryResult {
-    run_with(cat, q, |p, c| {
-        let cp = Compiler::new(c).compile(p).expect("compilation");
-        let exec = Executor::new(ExecOptions { threads, ..Default::default() });
-        let (out, _) = exec.run(&cp, c).expect("compiled execution");
-        out
-    })
+    let backend = CpuBackend::new(ExecOptions {
+        threads,
+        ..Default::default()
+    });
+    run_query_on(&backend, cat, q).expect("compiled execution")
 }
 
 /// Run a query on the compiled backend with the CSE+DCE normalization
@@ -40,12 +56,12 @@ pub fn run_compiled(cat: &Catalog, q: Query, threads: usize) -> QueryResult {
 /// enables; see `voodoo_core::transform`). Results are identical to
 /// [`run_compiled`] by construction — pinned by tests — while plans
 /// shrink wherever the frontend emitted redundant control vectors.
+#[deprecated(note = "use Session (its cpu backend normalizes by default) instead")]
 pub fn run_compiled_optimized(cat: &Catalog, q: Query, threads: usize) -> QueryResult {
-    run_with(cat, q, |p, c| {
-        let (opt, _) = voodoo_core::transform::optimize(p);
-        let cp = Compiler::new(c).compile(&opt).expect("compilation");
-        let exec = Executor::new(ExecOptions { threads, ..Default::default() });
-        let (out, _) = exec.run(&cp, c).expect("compiled execution");
-        out
+    let backend = CpuBackend::new(ExecOptions {
+        threads,
+        ..Default::default()
     })
+    .with_optimize(true);
+    run_query_on(&backend, cat, q).expect("compiled execution")
 }

@@ -16,8 +16,11 @@
 //! * [`prepare`] — auxiliary tables staged at load time (dictionary flag
 //!   columns, the day→year lookup),
 //! * [`queries`] — one Voodoo plan per evaluated TPC-H query,
-//! * [`engine`] — backend-agnostic execution (interpreter, compiled CPU,
-//!   or any custom executor such as the simulated GPU),
+//! * [`session`] — the [`Session`] facade: one entry point over every
+//!   frontend (raw programs, TPC-H queries, SQL) and every registered
+//!   [`voodoo_backend::Backend`], with prepared-plan caching,
+//! * [`engine`] — [`engine::run_query_on`] plus deprecated per-backend
+//!   shims,
 //! * [`sql`] — a small SQL subset parser lowered through the same builder
 //!   (single-table `SELECT ... FROM ... WHERE ... GROUP BY`).
 
@@ -25,10 +28,14 @@ pub mod builder;
 pub mod engine;
 pub mod prepare;
 pub mod queries;
+pub mod session;
 pub mod sql;
 
+pub use engine::run_query_on;
+#[allow(deprecated)]
 pub use engine::{run_compiled, run_compiled_optimized, run_interp, run_with};
 pub use prepare::prepare;
+pub use session::{RunProfile, Session, Statement, StatementOutput};
 
 #[cfg(test)]
 mod tests;

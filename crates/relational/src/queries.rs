@@ -19,7 +19,7 @@
 
 use voodoo_baselines::cols::{canon_ranks, code_of, len_of};
 use voodoo_baselines::hyper::{nation_key, region_key};
-use voodoo_core::{BinOp, KeyPath, Program};
+use voodoo_core::{BinOp, KeyPath, Program, Result};
 use voodoo_interp::ExecOutput;
 use voodoo_storage::{Catalog, Table};
 use voodoo_tpch::queries::{params, Query, QueryResult};
@@ -28,10 +28,10 @@ use crate::builder::{extract_grouped, extract_scalar, QB};
 use crate::prepare::aux;
 
 /// An executor callback: runs one program against a catalog.
-pub type Exec<'a> = dyn FnMut(&Program, &Catalog) -> ExecOutput + 'a;
+pub type Exec<'a> = dyn FnMut(&Program, &Catalog) -> Result<ExecOutput> + 'a;
 
 /// Build and run the Voodoo plan for one query.
-pub fn run_query(cat: &Catalog, q: Query, exec: &mut Exec<'_>) -> QueryResult {
+pub fn run_query(cat: &Catalog, q: Query, exec: &mut Exec<'_>) -> Result<QueryResult> {
     match q {
         Query::Q1 => q1(cat, exec),
         Query::Q4 => q4(cat, exec),
@@ -50,7 +50,7 @@ pub fn run_query(cat: &Catalog, q: Query, exec: &mut Exec<'_>) -> QueryResult {
     }
 }
 
-fn q1(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
+fn q1(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let rf_rank = canon_ranks(cat, "lineitem", "l_returnflag");
     let ls_rank = canon_ranks(cat, "lineitem", "l_linestatus");
     let nls = ls_rank.len().max(1) as i64;
@@ -72,8 +72,10 @@ fn q1(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     // charge = rev * (100 + tax)
     let t100 = qb.bin_c(BinOp::Add, li, ".l_tax", 100);
     let charge = qb.p.binary(BinOp::Multiply, rev, t100);
-    let qty = qb.p.project(li, KeyPath::new(".l_quantity"), KeyPath::val());
-    let ext = qb.p.project(li, KeyPath::new(".l_extendedprice"), KeyPath::val());
+    let qty =
+        qb.p.project(li, KeyPath::new(".l_quantity"), KeyPath::val());
+    let ext =
+        qb.p.project(li, KeyPath::new(".l_extendedprice"), KeyPath::val());
     let mqty = qb.masked(qty, m);
     let mext = qb.masked(ext, m);
     let mrev = qb.masked(rev, m);
@@ -83,12 +85,18 @@ fn q1(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     for s in &sums {
         qb.ret(*s);
     }
-    let out = exec(&qb.finish(), cat);
+    let out = exec(&qb.finish(), cat)?;
     let rows = extract_grouped(
         &out.returns[0],
-        &[&out.returns[1], &out.returns[2], &out.returns[3], &out.returns[4], &out.returns[5]],
+        &[
+            &out.returns[1],
+            &out.returns[2],
+            &out.returns[3],
+            &out.returns[4],
+            &out.returns[5],
+        ],
     );
-    QueryResult::new(
+    Ok(QueryResult::new(
         rows.into_iter()
             .filter(|(_, v)| v[4] > 0)
             .map(|(k, v)| {
@@ -103,10 +111,10 @@ fn q1(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
                 ]
             })
             .collect(),
-    )
+    ))
 }
 
-fn q4(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
+fn q4(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let (lo, hi) = params::q4_window();
     let prio_rank = canon_ranks(cat, "orders", "o_orderpriority");
     let mut qb = QB::new();
@@ -123,21 +131,22 @@ fn q4(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     // Orders side: date window × (ε-padded) exists flag.
     let datem = qb.in_range(orders, ".o_orderdate", lo, hi);
     let ind = qb.masked(flags, datem);
-    let key = qb.p.project(orders, KeyPath::new(".o_orderpriority"), KeyPath::val());
+    let key =
+        qb.p.project(orders, KeyPath::new(".o_orderpriority"), KeyPath::val());
     let (kf, sums) = qb.group_sums(key, prio_rank.len().max(1), &[ind]);
     qb.ret(kf);
     qb.ret(sums[0]);
-    let out = exec(&qb.finish(), cat);
+    let out = exec(&qb.finish(), cat)?;
     let rows = extract_grouped(&out.returns[0], &[&out.returns[1]]);
-    QueryResult::new(
+    Ok(QueryResult::new(
         rows.into_iter()
             .filter(|(_, v)| v[0] > 0)
             .map(|(k, v)| vec![prio_rank[k as usize], v[0]])
             .collect(),
-    )
+    ))
 }
 
-fn q5(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
+fn q5(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let (region, lo, hi) = params::q5();
     let rk = region_key(cat, region);
     let mut qb = QB::new();
@@ -156,18 +165,22 @@ fn q5(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     let m = qb.and(&[datem, same, inreg]);
     let rev = qb.revenue(li, ".l_extendedprice", ".l_discount");
     let mrev = qb.masked(rev, m);
-    let key = qb.p.project(supp, KeyPath::new(".s_nationkey"), KeyPath::val());
+    let key =
+        qb.p.project(supp, KeyPath::new(".s_nationkey"), KeyPath::val());
     let (kf, sums) = qb.group_sums(key, 25, &[mrev]);
     qb.ret(kf);
     qb.ret(sums[0]);
-    let out = exec(&qb.finish(), cat);
+    let out = exec(&qb.finish(), cat)?;
     let rows = extract_grouped(&out.returns[0], &[&out.returns[1]]);
-    QueryResult::new(
-        rows.into_iter().filter(|(_, v)| v[0] != 0).map(|(k, v)| vec![k, v[0]]).collect(),
-    )
+    Ok(QueryResult::new(
+        rows.into_iter()
+            .filter(|(_, v)| v[0] != 0)
+            .map(|(k, v)| vec![k, v[0]])
+            .collect(),
+    ))
 }
 
-fn q6(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
+fn q6(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let (lo, hi, dlo, dhi, qmax) = params::q6();
     let mut qb = QB::new();
     let li = qb.table("lineitem");
@@ -179,11 +192,13 @@ fn q6(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     let masked = qb.masked(prod, m);
     let s = qb.global_sum(masked);
     qb.ret(s);
-    let out = exec(&qb.finish(), cat);
-    QueryResult::new(vec![vec![extract_scalar(&out.returns[0])]])
+    let out = exec(&qb.finish(), cat)?;
+    Ok(QueryResult::new(vec![vec![extract_scalar(
+        &out.returns[0],
+    )]]))
 }
 
-fn q7(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
+fn q7(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let (na, nb, lo, hi) = params::q7();
     let (ka, kb) = (nation_key(cat, na), nation_key(cat, nb));
     let ys96 = voodoo_tpch::dates::year_start(1996);
@@ -217,9 +232,9 @@ fn q7(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     qb.ret(kf);
     qb.ret(sums[0]);
     qb.ret(sums[1]);
-    let out = exec(&qb.finish(), cat);
+    let out = exec(&qb.finish(), cat)?;
     let rows = extract_grouped(&out.returns[0], &[&out.returns[1], &out.returns[2]]);
-    QueryResult::new(
+    Ok(QueryResult::new(
         rows.into_iter()
             .filter(|(_, v)| v[1] > 0 && v[0] != 0)
             .map(|(k, v)| {
@@ -228,10 +243,10 @@ fn q7(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
                 vec![s, c, year, v[0]]
             })
             .collect(),
-    )
+    ))
 }
 
-fn q8(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
+fn q8(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let (nation, region, ptype, lo, hi) = params::q8();
     let bk = nation_key(cat, nation);
     let rk = region_key(cat, region);
@@ -263,17 +278,17 @@ fn q8(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     qb.ret(kf);
     qb.ret(sums[0]);
     qb.ret(sums[1]);
-    let out = exec(&qb.finish(), cat);
+    let out = exec(&qb.finish(), cat)?;
     let rows = extract_grouped(&out.returns[0], &[&out.returns[1], &out.returns[2]]);
-    QueryResult::new(
+    Ok(QueryResult::new(
         rows.into_iter()
             .filter(|(_, v)| v[1] != 0)
             .map(|(k, v)| vec![1995 + k, v[0], v[1]])
             .collect(),
-    )
+    ))
 }
 
-fn q9(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
+fn q9(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let n_supp = len_of(cat, "supplier") as i64;
     let stride = (n_supp / 4).max(1);
     let mut qb = QB::new();
@@ -316,17 +331,17 @@ fn q9(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     qb.ret(kf);
     qb.ret(sums[0]);
     qb.ret(sums[1]);
-    let out = exec(&qb.finish(), cat);
+    let out = exec(&qb.finish(), cat)?;
     let rows = extract_grouped(&out.returns[0], &[&out.returns[1], &out.returns[2]]);
-    QueryResult::new(
+    Ok(QueryResult::new(
         rows.into_iter()
             .filter(|(_, v)| v[1] > 0)
             .map(|(k, v)| vec![k / 8, 1992 + k % 8, v[0]])
             .collect(),
-    )
+    ))
 }
 
-fn q10(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
+fn q10(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let (lo, hi) = params::q10_window();
     let rcode = code_of(cat, "lineitem", "l_returnflag", "R");
     let n_cust = len_of(cat, "customer");
@@ -339,19 +354,23 @@ fn q10(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     let m = qb.and(&[isr, datem]);
     let rev = qb.revenue(li, ".l_extendedprice", ".l_discount");
     let mrev = qb.masked(rev, m);
-    let key_raw = qb.p.project(ord, KeyPath::new(".o_custkey"), KeyPath::val());
+    let key_raw =
+        qb.p.project(ord, KeyPath::new(".o_custkey"), KeyPath::val());
     let key = qb.masked(key_raw, m);
     let (kf, sums) = qb.group_sums(key, n_cust, &[mrev]);
     qb.ret(kf);
     qb.ret(sums[0]);
-    let out = exec(&qb.finish(), cat);
+    let out = exec(&qb.finish(), cat)?;
     let rows = extract_grouped(&out.returns[0], &[&out.returns[1]]);
-    QueryResult::new(
-        rows.into_iter().filter(|(_, v)| v[0] != 0).map(|(k, v)| vec![k, v[0]]).collect(),
-    )
+    Ok(QueryResult::new(
+        rows.into_iter()
+            .filter(|(_, v)| v[0] != 0)
+            .map(|(k, v)| vec![k, v[0]])
+            .collect(),
+    ))
 }
 
-fn q11(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
+fn q11(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let (nation, frac_den) = params::q11();
     let nk = nation_key(cat, nation);
     let n_part = len_of(cat, "part");
@@ -363,23 +382,24 @@ fn q11(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     let value = qb.bin(BinOp::Multiply, ps, ".ps_supplycost", ps, ".ps_availqty");
     let mvalue = qb.masked(value, m);
     let total = qb.global_sum(mvalue);
-    let key = qb.p.project(ps, KeyPath::new(".ps_partkey"), KeyPath::val());
+    let key =
+        qb.p.project(ps, KeyPath::new(".ps_partkey"), KeyPath::val());
     let (kf, sums) = qb.group_sums(key, n_part, &[mvalue]);
     qb.ret(kf);
     qb.ret(sums[0]);
     qb.ret(total);
-    let out = exec(&qb.finish(), cat);
+    let out = exec(&qb.finish(), cat)?;
     let total = extract_scalar(&out.returns[2]);
     let rows = extract_grouped(&out.returns[0], &[&out.returns[1]]);
-    QueryResult::new(
+    Ok(QueryResult::new(
         rows.into_iter()
             .filter(|(_, v)| v[0] * frac_den > total)
             .map(|(k, v)| vec![k, v[0]])
             .collect(),
-    )
+    ))
 }
 
-fn q12(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
+fn q12(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let (m1, m2, lo, hi) = params::q12();
     let c1 = code_of(cat, "lineitem", "l_shipmode", m1);
     let c2 = code_of(cat, "lineitem", "l_shipmode", m2);
@@ -403,7 +423,8 @@ fn q12(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     let mh = qb.and(&[m, ishigh]);
     let high_cnt = qb.p.project(mh, KeyPath::val(), KeyPath::val());
     let ml = qb.p.binary(BinOp::Subtract, m, mh);
-    let key_raw = qb.p.project(li, KeyPath::new(".l_shipmode"), KeyPath::val());
+    let key_raw =
+        qb.p.project(li, KeyPath::new(".l_shipmode"), KeyPath::val());
     let key = qb.masked(key_raw, m);
     let mcount = qb.p.project(m, KeyPath::val(), KeyPath::val());
     let (kf, sums) = qb.group_sums(key, mode_rank.len().max(1), &[high_cnt, ml, mcount]);
@@ -411,17 +432,20 @@ fn q12(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     for s in &sums {
         qb.ret(*s);
     }
-    let out = exec(&qb.finish(), cat);
-    let rows = extract_grouped(&out.returns[0], &[&out.returns[1], &out.returns[2], &out.returns[3]]);
-    QueryResult::new(
+    let out = exec(&qb.finish(), cat)?;
+    let rows = extract_grouped(
+        &out.returns[0],
+        &[&out.returns[1], &out.returns[2], &out.returns[3]],
+    );
+    Ok(QueryResult::new(
         rows.into_iter()
             .filter(|(_, v)| v[2] > 0)
             .map(|(k, v)| vec![mode_rank[k as usize], v[0], v[1]])
             .collect(),
-    )
+    ))
 }
 
-fn q14(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
+fn q14(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let (lo, hi) = params::q14_window();
     let mut qb = QB::new();
     let li = qb.table("lineitem");
@@ -438,14 +462,14 @@ fn q14(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     let promo_rev = qb.global_sum(prev);
     qb.ret(promo_rev);
     qb.ret(total);
-    let out = exec(&qb.finish(), cat);
-    QueryResult::new(vec![vec![
+    let out = exec(&qb.finish(), cat)?;
+    Ok(QueryResult::new(vec![vec![
         extract_scalar(&out.returns[0]),
         extract_scalar(&out.returns[1]),
-    ]])
+    ]]))
 }
 
-fn q15(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
+fn q15(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let (lo, hi) = params::q15_window();
     let n_supp = len_of(cat, "supplier");
     let mut qb = QB::new();
@@ -458,19 +482,19 @@ fn q15(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     let (kf, sums) = qb.group_sums(key, n_supp, &[mrev]);
     qb.ret(kf);
     qb.ret(sums[0]);
-    let out = exec(&qb.finish(), cat);
+    let out = exec(&qb.finish(), cat)?;
     let rows = extract_grouped(&out.returns[0], &[&out.returns[1]]);
     // Finishing arg-max over the (small) grouped output.
     let max = rows.iter().map(|(_, v)| v[0]).max().unwrap_or(0);
-    QueryResult::new(
+    Ok(QueryResult::new(
         rows.into_iter()
             .filter(|(_, v)| v[0] == max && v[0] > 0)
             .map(|(k, v)| vec![k, v[0]])
             .collect(),
-    )
+    ))
 }
 
-fn q19(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
+fn q19(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let triples = params::q19();
     let air = code_of(cat, "lineitem", "l_shipmode", "AIR");
     let regair = code_of(cat, "lineitem", "l_shipmode", "REG AIR");
@@ -503,11 +527,13 @@ fn q19(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     let mrev = qb.masked(rev, m);
     let s = qb.global_sum(mrev);
     qb.ret(s);
-    let out = exec(&qb.finish(), cat);
-    QueryResult::new(vec![vec![extract_scalar(&out.returns[0])]])
+    let out = exec(&qb.finish(), cat)?;
+    Ok(QueryResult::new(vec![vec![extract_scalar(
+        &out.returns[0],
+    )]]))
 }
 
-fn q20(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
+fn q20(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let (_, nation, lo, hi) = params::q20();
     let nk = nation_key(cat, nation);
     let n_supp = len_of(cat, "supplier") as i64;
@@ -526,14 +552,15 @@ fn q20(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     let pk4 = qb.bin_c(BinOp::Multiply, li, ".l_partkey", 4);
     let psidx_raw = qb.p.add(pk4, j);
     let key = qb.masked(psidx_raw, m);
-    let qty = qb.p.project(li, KeyPath::new(".l_quantity"), KeyPath::val());
+    let qty =
+        qb.p.project(li, KeyPath::new(".l_quantity"), KeyPath::val());
     let mqty = qb.masked(qty, m);
     let mcnt = qb.p.project(m, KeyPath::val(), KeyPath::val());
     let (kf, sums) = qb.group_sums(key, n_ps, &[mqty, mcnt]);
     qb.ret(kf);
     qb.ret(sums[0]);
     qb.ret(sums[1]);
-    let out = exec(&qb.finish(), cat);
+    let out = exec(&qb.finish(), cat)?;
     let rows = extract_grouped(&out.returns[0], &[&out.returns[1], &out.returns[2]]);
     let mut shipped = vec![0i64; n_ps];
     for (k, v) in rows {
@@ -565,7 +592,9 @@ fn q20(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
         }
     }
     stage.insert_table(part_copy);
-    let forest_t = cat.table(aux::NAME_FOREST).expect("prepare() staged aux tables");
+    let forest_t = cat
+        .table(aux::NAME_FOREST)
+        .expect("prepare() staged aux tables");
     let mut forest_copy = Table::new(aux::NAME_FOREST);
     for c in &forest_t.columns {
         forest_copy.add_column(c.clone());
@@ -589,16 +618,19 @@ fn q20(cat: &Catalog, exec: &mut Exec<'_>) -> QueryResult {
     let supp = qb.fk_gather(supplier, ps, ".ps_suppkey");
     let isnat = qb.eq_c(supp, ".s_nationkey", nk);
     let m = qb.and(&[isf, has, enough, isnat]);
-    let key_raw = qb.p.project(ps, KeyPath::new(".ps_suppkey"), KeyPath::val());
+    let key_raw =
+        qb.p.project(ps, KeyPath::new(".ps_suppkey"), KeyPath::val());
     let key = qb.masked(key_raw, m);
     let mcnt = qb.p.project(m, KeyPath::val(), KeyPath::val());
     let (kf, sums) = qb.group_sums(key, n_supp as usize, &[mcnt]);
     qb.ret(kf);
     qb.ret(sums[0]);
-    let out = exec(&qb.finish(), &stage);
+    let out = exec(&qb.finish(), &stage)?;
     let rows = extract_grouped(&out.returns[0], &[&out.returns[1]]);
-    QueryResult::new(
-        rows.into_iter().filter(|(_, v)| v[0] > 0).map(|(k, _)| vec![k]).collect(),
-    )
+    Ok(QueryResult::new(
+        rows.into_iter()
+            .filter(|(_, v)| v[0] > 0)
+            .map(|(k, _)| vec![k])
+            .collect(),
+    ))
 }
-

@@ -1,0 +1,555 @@
+//! The `Session` facade: one entry point for every frontend and backend.
+//!
+//! The paper's Figure 4 story — one program, many targets, re-targeted by
+//! a one-line diff — only holds if the *API* is target-agnostic. A
+//! [`Session`] owns the [`Catalog`], a registry of named
+//! [`voodoo_backend::Backend`]s (by default `"interp"`, `"cpu"`, `"gpu"`),
+//! and a keyed [`voodoo_backend::PlanCache`], so repeated statements skip
+//! recompilation entirely (compile once, run many).
+//!
+//! Statements come from three frontends and share one handle type:
+//!
+//! ```
+//! use voodoo_relational::Session;
+//! use voodoo_tpch::queries::Query;
+//!
+//! let mut session = Session::tpch(0.002);
+//! // Named TPC-H query, on the default (compiled CPU) backend …
+//! let q6 = session.query(Query::Q6).run().unwrap();
+//! // … and the same statement on the simulated GPU: a one-word diff.
+//! let q6_gpu = session.query(Query::Q6).run_on("gpu").unwrap();
+//! assert_eq!(q6.rows(), q6_gpu.rows());
+//! // Ad-hoc SQL through the parser.
+//! let sql = session
+//!     .sql("SELECT SUM(l_extendedprice) FROM lineitem WHERE l_discount >= 5")
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(sql.rows().len(), 1);
+//! // Re-running a statement skips recompilation: the prepared plan is
+//! // served from the cache.
+//! let misses = session.cache_stats().misses;
+//! let again = session.query(Query::Q6).run().unwrap();
+//! assert_eq!(q6.rows(), again.rows());
+//! assert_eq!(session.cache_stats().misses, misses);
+//! assert!(session.cache_stats().hits > 0);
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use voodoo_backend::{
+    Backend, CacheStats, CpuBackend, InterpBackend, PlanCache, PlanProfile, SimGpuBackend,
+};
+use voodoo_compile::EventProfile;
+use voodoo_core::{Program, Result, VoodooError};
+use voodoo_interp::ExecOutput;
+use voodoo_storage::Catalog;
+use voodoo_tpch::queries::{Query, QueryResult};
+
+use crate::sql::{self, SqlQuery};
+use crate::{prepare, queries};
+
+/// The default backend names registered by [`Session::new`].
+pub mod backends {
+    /// The reference interpreter.
+    pub const INTERP: &str = "interp";
+    /// The compiled, multithreaded CPU executor (the default).
+    pub const CPU: &str = "cpu";
+    /// The simulated TITAN-X-class GPU.
+    pub const GPU: &str = "gpu";
+}
+
+/// Aggregate profile of one statement execution (all programs of its plan).
+#[derive(Debug, Clone)]
+pub struct RunProfile {
+    /// Number of Voodoo programs executed (most queries: 1; Q20: 2).
+    pub programs: usize,
+    /// Merged architectural events across programs.
+    pub events: EventProfile,
+    /// Per-execution-unit events, concatenated in execution order.
+    pub unit_events: Vec<EventProfile>,
+    /// Total simulated seconds, when the backend prices a device model.
+    pub simulated_seconds: Option<f64>,
+}
+
+impl RunProfile {
+    fn absorb(&mut self, p: PlanProfile) {
+        self.programs += 1;
+        self.events.merge(&p.events);
+        self.unit_events.extend(p.unit_events.iter().cloned());
+        if let Some(s) = p.simulated_seconds() {
+            *self.simulated_seconds.get_or_insert(0.0) += s;
+        }
+    }
+}
+
+/// What a statement produced: canonical rows for relational frontends,
+/// raw program outputs for the algebra frontend.
+#[derive(Debug, Clone)]
+pub enum StatementOutput {
+    /// Canonical sorted integer rows (TPC-H queries, SQL).
+    Rows(QueryResult),
+    /// Raw program outputs (raw [`Program`] statements).
+    Raw(ExecOutput),
+}
+
+impl StatementOutput {
+    /// The canonical rows (panics on a raw-program statement).
+    pub fn rows(&self) -> &QueryResult {
+        match self {
+            StatementOutput::Rows(r) => r,
+            StatementOutput::Raw(_) => panic!("raw-program statement has no canonical rows"),
+        }
+    }
+
+    /// Consume into canonical rows (panics on a raw-program statement).
+    pub fn into_rows(self) -> QueryResult {
+        match self {
+            StatementOutput::Rows(r) => r,
+            StatementOutput::Raw(_) => panic!("raw-program statement has no canonical rows"),
+        }
+    }
+
+    /// The raw program output (panics on a relational statement).
+    pub fn raw(&self) -> &ExecOutput {
+        match self {
+            StatementOutput::Raw(o) => o,
+            StatementOutput::Rows(_) => panic!("relational statement has no raw output"),
+        }
+    }
+
+    /// Consume into the raw program output (panics on a relational
+    /// statement).
+    pub fn into_raw(self) -> ExecOutput {
+        match self {
+            StatementOutput::Raw(o) => o,
+            StatementOutput::Rows(_) => panic!("relational statement has no raw output"),
+        }
+    }
+}
+
+enum StatementKind {
+    Program(Program),
+    Tpch(Query),
+    Sql(SqlQuery),
+}
+
+/// A prepared statement handle: run, re-target, explain or profile one
+/// logical statement without caring which frontend produced it.
+pub struct Statement<'s> {
+    session: &'s Session,
+    kind: StatementKind,
+}
+
+impl Statement<'_> {
+    /// Execute on the session's default backend.
+    pub fn run(&self) -> Result<StatementOutput> {
+        self.run_on(&self.session.default_backend)
+    }
+
+    /// Execute on a named backend — the Figure 4 one-word re-target.
+    pub fn run_on(&self, backend: &str) -> Result<StatementOutput> {
+        let backend = self.session.backend(backend)?;
+        match &self.kind {
+            StatementKind::Program(p) => {
+                let plan = self.session.plan_for(&*backend, p, &self.session.catalog)?;
+                Ok(StatementOutput::Raw(plan.execute(&self.session.catalog)?))
+            }
+            StatementKind::Tpch(q) => {
+                let result = queries::run_query(
+                    &self.session.catalog,
+                    *q,
+                    &mut |p: &Program, c: &Catalog| {
+                        self.session.plan_for(&*backend, p, c)?.execute(c)
+                    },
+                )?;
+                Ok(StatementOutput::Rows(result))
+            }
+            StatementKind::Sql(q) => {
+                let lowered = sql::lower(&self.session.catalog, q)?;
+                let plan =
+                    self.session
+                        .plan_for(&*backend, &lowered.program, &self.session.catalog)?;
+                let out = plan.execute(&self.session.catalog)?;
+                let rows = sql::extract_rows(&lowered, &out);
+                Ok(StatementOutput::Rows(QueryResult::new(rows)))
+            }
+        }
+    }
+
+    /// The physical plan on the default backend: fragment structure and —
+    /// for the compiling backends — the rendered OpenCL-style kernels.
+    pub fn explain(&self) -> Result<String> {
+        self.explain_on(&self.session.default_backend)
+    }
+
+    /// [`Self::explain`] on a named backend.
+    ///
+    /// Multi-program plans (Q20) stage intermediate results, so explaining
+    /// them executes the earlier programs to discover the later ones.
+    pub fn explain_on(&self, backend: &str) -> Result<String> {
+        let backend = self.session.backend(backend)?;
+        match &self.kind {
+            StatementKind::Program(p) => Ok(self
+                .session
+                .plan_for(&*backend, p, &self.session.catalog)?
+                .explain()),
+            StatementKind::Sql(q) => {
+                let lowered = sql::lower(&self.session.catalog, q)?;
+                Ok(self
+                    .session
+                    .plan_for(&*backend, &lowered.program, &self.session.catalog)?
+                    .explain())
+            }
+            StatementKind::Tpch(q) => {
+                let mut sections = Vec::new();
+                let _ = queries::run_query(
+                    &self.session.catalog,
+                    *q,
+                    &mut |p: &Program, c: &Catalog| {
+                        let plan = self.session.plan_for(&*backend, p, c)?;
+                        sections.push(plan.explain());
+                        plan.execute(c)
+                    },
+                )?;
+                let mut s = String::new();
+                for (i, sec) in sections.iter().enumerate() {
+                    s.push_str(&format!(
+                        "== {} program {}/{} ==\n",
+                        q.name(),
+                        i + 1,
+                        sections.len()
+                    ));
+                    s.push_str(sec);
+                    s.push('\n');
+                }
+                Ok(s)
+            }
+        }
+    }
+
+    /// Execute on the default backend while profiling.
+    pub fn profile(&self) -> Result<RunProfile> {
+        self.profile_on(&self.session.default_backend)
+    }
+
+    /// Execute on a named backend while counting architectural events
+    /// (and pricing them, on device-model backends).
+    pub fn profile_on(&self, backend: &str) -> Result<RunProfile> {
+        let backend = self.session.backend(backend)?;
+        let mut acc = RunProfile {
+            programs: 0,
+            events: EventProfile::default(),
+            unit_events: Vec::new(),
+            simulated_seconds: None,
+        };
+        match &self.kind {
+            StatementKind::Program(p) => {
+                let plan = self.session.plan_for(&*backend, p, &self.session.catalog)?;
+                acc.absorb(plan.profile(&self.session.catalog)?);
+            }
+            StatementKind::Sql(q) => {
+                let lowered = sql::lower(&self.session.catalog, q)?;
+                let plan =
+                    self.session
+                        .plan_for(&*backend, &lowered.program, &self.session.catalog)?;
+                acc.absorb(plan.profile(&self.session.catalog)?);
+            }
+            StatementKind::Tpch(q) => {
+                let _ = queries::run_query(
+                    &self.session.catalog,
+                    *q,
+                    &mut |p: &Program, c: &Catalog| {
+                        let plan = self.session.plan_for(&*backend, p, c)?;
+                        let prof = plan.profile(c)?;
+                        let out = prof.output.clone();
+                        acc.absorb(prof);
+                        Ok(out)
+                    },
+                )?;
+            }
+        }
+        Ok(acc)
+    }
+}
+
+/// The execution facade: catalog + backend registry + prepared-plan cache.
+pub struct Session {
+    catalog: Catalog,
+    registry: Vec<(String, Arc<dyn Backend>)>,
+    default_backend: String,
+    cache: Mutex<PlanCache>,
+}
+
+impl Session {
+    /// A session over a catalog, with the three standard backends
+    /// registered (`"interp"`, `"cpu"`, `"gpu"`) and `"cpu"` as default.
+    ///
+    /// If the catalog holds TPC-H tables, the auxiliary dictionary-flag
+    /// tables the Voodoo plans read ([`crate::prepare`]) are staged
+    /// automatically.
+    pub fn new(mut catalog: Catalog) -> Session {
+        if catalog.table("part").is_some() && catalog.table("lineitem").is_some() {
+            prepare(&mut catalog);
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(8);
+        let registry: Vec<(String, Arc<dyn Backend>)> = vec![
+            (backends::INTERP.to_string(), Arc::new(InterpBackend::new())),
+            (
+                backends::CPU.to_string(),
+                Arc::new(CpuBackend::with_threads(threads).with_optimize(true)),
+            ),
+            (
+                backends::GPU.to_string(),
+                Arc::new(SimGpuBackend::titan_x()),
+            ),
+        ];
+        Session {
+            catalog,
+            registry,
+            default_backend: backends::CPU.to_string(),
+            cache: Mutex::new(PlanCache::new()),
+        }
+    }
+
+    /// Generate TPC-H at the given scale factor and open a session over it.
+    pub fn tpch(sf: f64) -> Session {
+        Session::new(voodoo_tpch::generate(sf))
+    }
+
+    /// Register (or replace) a backend under a name.
+    ///
+    /// Replacing drops every cached plan: the cache keys plans by backend
+    /// *name*, so plans prepared by the replaced backend must not be
+    /// served on behalf of the new one.
+    pub fn register(&mut self, name: &str, backend: Arc<dyn Backend>) -> &mut Self {
+        if let Some(slot) = self.registry.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = backend;
+            self.clear_plan_cache();
+        } else {
+            self.registry.push((name.to_string(), backend));
+        }
+        self
+    }
+
+    /// Set the default backend for [`Statement::run`].
+    pub fn set_default_backend(&mut self, name: &str) -> Result<()> {
+        self.backend(name)?;
+        self.default_backend = name.to_string();
+        Ok(())
+    }
+
+    /// The default backend's name.
+    pub fn default_backend(&self) -> &str {
+        &self.default_backend
+    }
+
+    /// Registered backend names, in registration order.
+    pub fn backend_names(&self) -> Vec<&str> {
+        self.registry.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// The session's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access. Mutation bumps the catalog version, which
+    /// invalidates cached plans automatically.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Prepared-plan cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("plan cache lock").stats()
+    }
+
+    /// Drop all cached plans and reset the counters.
+    pub fn clear_plan_cache(&self) {
+        self.cache.lock().expect("plan cache lock").clear();
+    }
+
+    /// A statement from a raw Voodoo program (the algebra frontend).
+    pub fn program(&self, program: Program) -> Statement<'_> {
+        Statement {
+            session: self,
+            kind: StatementKind::Program(program),
+        }
+    }
+
+    /// A statement from a named TPC-H query (the planner frontend).
+    pub fn query(&self, query: Query) -> Statement<'_> {
+        Statement {
+            session: self,
+            kind: StatementKind::Tpch(query),
+        }
+    }
+
+    /// A statement from a SQL string (parsed eagerly; lowering happens at
+    /// run time against the current catalog).
+    pub fn sql(&self, text: &str) -> Result<Statement<'_>> {
+        let parsed = sql::parse(text)?;
+        Ok(Statement {
+            session: self,
+            kind: StatementKind::Sql(parsed),
+        })
+    }
+
+    /// Convenience: run a TPC-H query on the default backend.
+    pub fn run_query(&self, query: Query) -> Result<QueryResult> {
+        Ok(self.query(query).run()?.into_rows())
+    }
+
+    /// Convenience: run a SQL string on the default backend.
+    pub fn run_sql(&self, text: &str) -> Result<Vec<Vec<i64>>> {
+        Ok(self.sql(text)?.run()?.into_rows().rows)
+    }
+
+    fn backend(&self, name: &str) -> Result<Arc<dyn Backend>> {
+        self.registry
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| Arc::clone(b))
+            .ok_or_else(|| {
+                VoodooError::Backend(format!(
+                    "unknown backend {name:?} (registered: {})",
+                    self.registry
+                        .iter()
+                        .map(|(n, _)| n.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })
+    }
+
+    fn plan_for(
+        &self,
+        backend: &dyn Backend,
+        program: &Program,
+        catalog: &Catalog,
+    ) -> Result<Arc<dyn voodoo_backend::PreparedPlan>> {
+        self.cache
+            .lock()
+            .expect("plan cache lock")
+            .get_or_prepare(backend, program, catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        Session::tpch(0.002)
+    }
+
+    #[test]
+    fn one_statement_three_backends() {
+        let s = session();
+        let stmt = s.query(Query::Q6);
+        let cpu = stmt.run().unwrap();
+        let interp = stmt.run_on(backends::INTERP).unwrap();
+        let gpu = stmt.run_on(backends::GPU).unwrap();
+        assert_eq!(cpu.rows(), interp.rows());
+        assert_eq!(cpu.rows(), gpu.rows());
+        assert!(!cpu.rows().is_empty());
+    }
+
+    #[test]
+    fn second_run_hits_the_plan_cache() {
+        let s = session();
+        let stmt = s.query(Query::Q1);
+        stmt.run().unwrap();
+        let before = s.cache_stats();
+        stmt.run().unwrap();
+        let after = s.cache_stats();
+        assert_eq!(after.misses, before.misses, "no recompilation on re-run");
+        assert!(after.hits > before.hits, "re-run served from cache");
+    }
+
+    #[test]
+    fn raw_program_statements_work() {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("input", &[1, 2, 3, 4]);
+        let s = Session::new(cat);
+        let mut p = Program::new();
+        let t = p.load("input");
+        let sum = p.fold_sum_global(t);
+        p.ret(sum);
+        for b in [backends::INTERP, backends::CPU, backends::GPU] {
+            let out = s.program(p.clone()).run_on(b).unwrap();
+            assert_eq!(
+                out.raw().returns[0]
+                    .value_at(0, &voodoo_core::KeyPath::val())
+                    .map(|v| v.as_i64()),
+                Some(10),
+                "backend {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn sql_statements_run_and_cache() {
+        let s = session();
+        let sql = "SELECT SUM(l_quantity), COUNT(*) FROM lineitem WHERE l_discount >= 5";
+        let first = s.run_sql(sql).unwrap();
+        assert_eq!(first.len(), 1);
+        let misses = s.cache_stats().misses;
+        let second = s.run_sql(sql).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(s.cache_stats().misses, misses, "SQL re-run reuses the plan");
+    }
+
+    #[test]
+    fn explain_renders_kernels_on_compiling_backends() {
+        let s = session();
+        let plan = s.query(Query::Q6).explain().unwrap();
+        assert!(plan.contains("fragment"), "{plan}");
+        assert!(plan.contains("__kernel"), "{plan}");
+        let interp = s.query(Query::Q6).explain_on(backends::INTERP).unwrap();
+        assert!(interp.contains("interp"), "{interp}");
+    }
+
+    #[test]
+    fn profile_prices_the_gpu_and_counts_cpu_events() {
+        let s = session();
+        let gpu = s.query(Query::Q6).profile_on(backends::GPU).unwrap();
+        assert!(gpu.simulated_seconds.unwrap() > 0.0);
+        assert_eq!(gpu.programs, 1);
+        let cpu = s.query(Query::Q6).profile_on(backends::CPU).unwrap();
+        assert!(cpu.events.seq_read_bytes > 0);
+        assert!(cpu.simulated_seconds.is_none());
+    }
+
+    #[test]
+    fn catalog_mutation_invalidates_plans() {
+        let mut s = session();
+        s.query(Query::Q6).run().unwrap();
+        let misses = s.cache_stats().misses;
+        // Any shape-affecting mutation bumps the version …
+        s.catalog_mut().put_i64_column("__scratch", &[1, 2, 3]);
+        s.query(Query::Q6).run().unwrap();
+        // … so the statement re-prepared rather than reusing a stale plan.
+        assert!(s.cache_stats().misses > misses);
+    }
+
+    #[test]
+    fn unknown_backend_is_a_clean_error() {
+        let s = session();
+        let err = s.query(Query::Q6).run_on("tpu").unwrap_err();
+        assert!(format!("{err}").contains("unknown backend"), "{err}");
+    }
+
+    #[test]
+    fn default_backend_is_switchable() {
+        let mut s = session();
+        assert_eq!(s.default_backend(), backends::CPU);
+        s.set_default_backend(backends::INTERP).unwrap();
+        assert!(!s.query(Query::Q6).run().unwrap().rows().is_empty());
+        assert!(s.set_default_backend("nope").is_err());
+    }
+}

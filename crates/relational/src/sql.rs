@@ -7,7 +7,8 @@
 //! ```text
 //! query   := SELECT items FROM ident [WHERE conj] [GROUP BY ident]
 //! items   := item (',' item)*
-//! item    := SUM '(' expr ')' | COUNT '(' '*' ')' | ident
+//! item    := SUM '(' expr ')' | MIN '(' expr ')' | MAX '(' expr ')'
+//!          | AVG '(' expr ')' | COUNT '(' '*' ')' | ident
 //! expr    := term (('+'|'-') term)*
 //! term    := factor (('*'|'/') factor)*
 //! factor  := ident | number | '(' expr ')'
@@ -16,11 +17,15 @@
 //!          | expr BETWEEN number AND number
 //! ```
 //!
+//! `AVG` is integer average (`SUM/COUNT`, truncating), matching the
+//! engine-wide integer arithmetic; over zero qualifying rows the
+//! `MIN`/`MAX`/`AVG` of an ungrouped query is reported as 0.
+//!
 //! Grouping columns must be dense non-negative integers (the planner sizes
 //! the group domain from the column's min/max statistics — the paper's
 //! "identity hashing ... using only min and max").
 
-use voodoo_core::{BinOp, KeyPath, Program, Result, VoodooError, VRef};
+use voodoo_core::{AggKind, BinOp, KeyPath, Program, Result, VRef, VoodooError};
 use voodoo_storage::Catalog;
 
 use crate::builder::{extract_grouped, extract_scalar, QB};
@@ -43,6 +48,12 @@ pub struct SqlQuery {
 pub enum Item {
     /// `SUM(expr)`.
     Sum(Expr),
+    /// `MIN(expr)`.
+    Min(Expr),
+    /// `MAX(expr)`.
+    Max(Expr),
+    /// `AVG(expr)` — integer average, lowered as `SUM`/`COUNT`.
+    Avg(Expr),
     /// `COUNT(*)`.
     CountStar,
     /// A bare column (must be the group-by column).
@@ -98,9 +109,17 @@ fn tokenize(input: &str) -> Result<Vec<Tok>> {
             while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
                 i += 1;
             }
-            out.push(Tok::Ident(b[s..i].iter().collect::<String>().to_uppercase()));
+            out.push(Tok::Ident(
+                b[s..i].iter().collect::<String>().to_uppercase(),
+            ));
         } else if c.is_ascii_digit()
-            || (c == '-' && i + 1 < b.len() && b[i + 1].is_ascii_digit() && matches!(out.last(), None | Some(Tok::Sym(_)) | Some(Tok::Le) | Some(Tok::Ge) | Some(Tok::Ne)))
+            || (c == '-'
+                && i + 1 < b.len()
+                && b[i + 1].is_ascii_digit()
+                && matches!(
+                    out.last(),
+                    None | Some(Tok::Sym(_)) | Some(Tok::Le) | Some(Tok::Ge) | Some(Tok::Ne)
+                ))
         {
             let s = i;
             i += 1;
@@ -108,9 +127,9 @@ fn tokenize(input: &str) -> Result<Vec<Tok>> {
                 i += 1;
             }
             let text: String = b[s..i].iter().collect();
-            out.push(Tok::Num(text.parse().map_err(|_| VoodooError::Backend(
-                format!("bad number {text}"),
-            ))?));
+            out.push(Tok::Num(text.parse().map_err(|_| {
+                VoodooError::Backend(format!("bad number {text}"))
+            })?));
         } else if c == '<' && i + 1 < b.len() && b[i + 1] == '=' {
             out.push(Tok::Le);
             i += 2;
@@ -151,14 +170,18 @@ impl Parser {
     fn expect_kw(&mut self, kw: &str) -> Result<()> {
         match self.next() {
             Some(Tok::Ident(s)) if s == kw => Ok(()),
-            other => Err(VoodooError::Backend(format!("expected {kw}, got {other:?}"))),
+            other => Err(VoodooError::Backend(format!(
+                "expected {kw}, got {other:?}"
+            ))),
         }
     }
 
     fn expect_sym(&mut self, c: char) -> Result<()> {
         match self.next() {
             Some(Tok::Sym(s)) if s == c => Ok(()),
-            other => Err(VoodooError::Backend(format!("expected {c:?}, got {other:?}"))),
+            other => Err(VoodooError::Backend(format!(
+                "expected {c:?}, got {other:?}"
+            ))),
         }
     }
 
@@ -166,13 +189,23 @@ impl Parser {
         matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
     }
 
+    fn parse_agg_arg(&mut self) -> Result<Expr> {
+        self.next();
+        self.expect_sym('(')?;
+        let e = self.parse_expr()?;
+        self.expect_sym(')')?;
+        Ok(e)
+    }
+
     fn parse_item(&mut self) -> Result<Item> {
         if self.at_kw("SUM") {
-            self.next();
-            self.expect_sym('(')?;
-            let e = self.parse_expr()?;
-            self.expect_sym(')')?;
-            Ok(Item::Sum(e))
+            Ok(Item::Sum(self.parse_agg_arg()?))
+        } else if self.at_kw("MIN") {
+            Ok(Item::Min(self.parse_agg_arg()?))
+        } else if self.at_kw("MAX") {
+            Ok(Item::Max(self.parse_agg_arg()?))
+        } else if self.at_kw("AVG") {
+            Ok(Item::Avg(self.parse_agg_arg()?))
         } else if self.at_kw("COUNT") {
             self.next();
             self.expect_sym('(')?;
@@ -182,7 +215,9 @@ impl Parser {
         } else {
             match self.next() {
                 Some(Tok::Ident(s)) => Ok(Item::Column(s.to_lowercase())),
-                other => Err(VoodooError::Backend(format!("expected item, got {other:?}"))),
+                other => Err(VoodooError::Backend(format!(
+                    "expected item, got {other:?}"
+                ))),
             }
         }
     }
@@ -210,7 +245,11 @@ impl Parser {
             match self.peek() {
                 Some(Tok::Sym('*')) => {
                     self.next();
-                    lhs = Expr::Bin(BinOp::Multiply, Box::new(lhs), Box::new(self.parse_factor()?));
+                    lhs = Expr::Bin(
+                        BinOp::Multiply,
+                        Box::new(lhs),
+                        Box::new(self.parse_factor()?),
+                    );
                 }
                 Some(Tok::Sym('/')) => {
                     self.next();
@@ -230,7 +269,9 @@ impl Parser {
                 self.expect_sym(')')?;
                 Ok(e)
             }
-            other => Err(VoodooError::Backend(format!("expected factor, got {other:?}"))),
+            other => Err(VoodooError::Backend(format!(
+                "expected factor, got {other:?}"
+            ))),
         }
     }
 
@@ -246,8 +287,16 @@ impl Parser {
             // second through a synthetic token rewind — simpler: represent
             // BETWEEN directly as two Cmps via a marker. We return the GE
             // half and stash the LE half.
-            self.pending = Some(Cmp { op: BinOp::LessEquals, lhs: lhs.clone(), rhs: hi });
-            return Ok(Cmp { op: BinOp::GreaterEquals, lhs, rhs: lo });
+            self.pending = Some(Cmp {
+                op: BinOp::LessEquals,
+                lhs: lhs.clone(),
+                rhs: hi,
+            });
+            return Ok(Cmp {
+                op: BinOp::GreaterEquals,
+                lhs,
+                rhs: lo,
+            });
         }
         let op = match self.next() {
             Some(Tok::Sym('<')) => BinOp::Less,
@@ -256,7 +305,11 @@ impl Parser {
             Some(Tok::Le) => BinOp::LessEquals,
             Some(Tok::Ge) => BinOp::GreaterEquals,
             Some(Tok::Ne) => BinOp::NotEquals,
-            other => return Err(VoodooError::Backend(format!("expected operator, got {other:?}"))),
+            other => {
+                return Err(VoodooError::Backend(format!(
+                    "expected operator, got {other:?}"
+                )))
+            }
         };
         let rhs = self.parse_expr()?;
         Ok(Cmp { op, lhs, rhs })
@@ -265,7 +318,11 @@ impl Parser {
 
 /// Parse a SQL string.
 pub fn parse(input: &str) -> Result<SqlQuery> {
-    let mut p = Parser { toks: tokenize(input)?, pos: 0, pending: None };
+    let mut p = Parser {
+        toks: tokenize(input)?,
+        pos: 0,
+        pending: None,
+    };
     let mut q = p.parse_query_with_pending()?;
     // Bare columns are only allowed when they name the group-by key.
     for item in &q.items {
@@ -293,7 +350,11 @@ impl Parser {
         self.expect_kw("FROM")?;
         let table = match self.next() {
             Some(Tok::Ident(s)) => s.to_lowercase(),
-            other => return Err(VoodooError::Backend(format!("expected table, got {other:?}"))),
+            other => {
+                return Err(VoodooError::Backend(format!(
+                    "expected table, got {other:?}"
+                )))
+            }
         };
         let mut predicate = Vec::new();
         if self.at_kw("WHERE") {
@@ -318,20 +379,42 @@ impl Parser {
             group_by = Some(match self.next() {
                 Some(Tok::Ident(s)) => s.to_lowercase(),
                 other => {
-                    return Err(VoodooError::Backend(format!("expected column, got {other:?}")))
+                    return Err(VoodooError::Backend(format!(
+                        "expected column, got {other:?}"
+                    )))
                 }
             });
         }
         if self.pos != self.toks.len() {
-            return Err(VoodooError::Backend("trailing tokens after query".to_string()));
+            return Err(VoodooError::Backend(
+                "trailing tokens after query".to_string(),
+            ));
         }
-        Ok(SqlQuery { items, table, predicate, group_by })
+        Ok(SqlQuery {
+            items,
+            table,
+            predicate,
+            group_by,
+        })
     }
 }
 
 // ---------------------------------------------------------------------
 // Lowering
 // ---------------------------------------------------------------------
+
+/// How one visible output column is computed from the returned aggregate
+/// vectors (slots index the agg vectors after the group key, if any).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutCol {
+    /// The slot's folded value, as-is (`SUM`, `COUNT(*)`).
+    Plain(usize),
+    /// The slot's folded value, but 0 when no row qualified — `MIN`/`MAX`,
+    /// whose masked lowering substitutes an identity sentinel.
+    Guarded(usize),
+    /// `AVG`: the slot holds the sum; divide by the count slot.
+    Avg(usize),
+}
 
 /// Lower a parsed query to a Voodoo program (returned alongside metadata
 /// needed to extract rows).
@@ -340,9 +423,21 @@ pub struct LoweredQuery {
     pub program: Program,
     /// Whether results are grouped (vs a single global row).
     pub grouped: bool,
-    /// Number of aggregates.
+    /// Number of visible aggregate output columns.
     pub aggs: usize,
+    /// Recipe for each visible output column, in `SELECT` order.
+    pub outputs: Vec<OutCol>,
+    /// Slot index of the qualifying-row count (always present for grouped
+    /// queries; present globally when `MIN`/`MAX`/`AVG` need the guard).
+    pub count_slot: Option<usize>,
 }
+
+/// `MIN`'s identity sentinel: masked-out rows contribute this value, which
+/// never wins against a real row. (Degenerate only if actual data contains
+/// `i64::MAX` itself.)
+const MIN_IDENTITY: i64 = i64::MAX;
+/// `MAX`'s identity sentinel.
+const MAX_IDENTITY: i64 = i64::MIN;
 
 fn lower_expr(qb: &mut QB, table: VRef, e: &Expr) -> Result<VRef> {
     Ok(match e {
@@ -383,45 +478,174 @@ pub fn lower(cat: &Catalog, q: &SqlQuery) -> Result<LoweredQuery> {
             Some(m) => qb.p.binary(BinOp::LogicalAnd, m, c),
         });
     }
-    // Aggregate values (masked).
-    let mut vals = Vec::new();
+
+    // Multiply-masking is correct for SUM/COUNT (masked-out rows add 0)
+    // but not for MIN/MAX, whose masked rows instead contribute the
+    // aggregation's identity element so they can never win the fold.
+    let sentinel_masked = |qb: &mut QB, v: VRef, m: VRef, identity: i64| -> VRef {
+        let keep = qb.masked(v, m);
+        let inv = qb.rsub_c(1, m, ".val");
+        let fill = qb.p.mul_const(inv, identity);
+        qb.p.add(keep, fill)
+    };
+
+    // One aggregate slot per item (AVG reuses the count slot for its
+    // denominator); `outputs` records how to read each visible column.
+    let mut vals: Vec<(VRef, AggKind)> = Vec::new();
+    let mut outputs = Vec::new();
+    let mut needs_count = q.group_by.is_some();
     for item in &q.items {
-        let v = match item {
-            Item::Sum(e) => lower_expr(&mut qb, table, e)?,
-            Item::CountStar => qb.p.constant_like(1i64, table),
+        match item {
+            Item::Sum(e) => {
+                let v = lower_expr(&mut qb, table, e)?;
+                let v = match mask {
+                    Some(m) => qb.masked(v, m),
+                    None => v,
+                };
+                outputs.push(OutCol::Plain(vals.len()));
+                vals.push((v, AggKind::Sum));
+            }
+            Item::CountStar => {
+                let ones = qb.p.constant_like(1i64, table);
+                let v = match mask {
+                    Some(m) => qb.masked(ones, m),
+                    None => ones,
+                };
+                outputs.push(OutCol::Plain(vals.len()));
+                vals.push((v, AggKind::Sum));
+            }
+            Item::Min(e) | Item::Max(e) => {
+                let (kind, identity) = match item {
+                    Item::Min(_) => (AggKind::Min, MIN_IDENTITY),
+                    _ => (AggKind::Max, MAX_IDENTITY),
+                };
+                let v = lower_expr(&mut qb, table, e)?;
+                let v = match mask {
+                    Some(m) => sentinel_masked(&mut qb, v, m, identity),
+                    None => v,
+                };
+                outputs.push(OutCol::Guarded(vals.len()));
+                vals.push((v, kind));
+                needs_count = true;
+            }
+            Item::Avg(e) => {
+                let v = lower_expr(&mut qb, table, e)?;
+                let v = match mask {
+                    Some(m) => qb.masked(v, m),
+                    None => v,
+                };
+                outputs.push(OutCol::Avg(vals.len()));
+                vals.push((v, AggKind::Sum));
+                needs_count = true;
+            }
             Item::Column(_) => continue,
-        };
-        let v = match mask {
-            Some(m) => qb.masked(v, m),
-            None => v,
-        };
-        vals.push(v);
+        }
     }
-    let aggs = vals.len();
+    let aggs = outputs.len();
+
+    // Qualifying-row count: group-emptiness filter, MIN/MAX guard and AVG
+    // denominator, staged as the trailing slot.
+    let count_slot = if needs_count {
+        let count_src = match mask {
+            Some(m) => qb.p.project(m, KeyPath::val(), KeyPath::val()),
+            None => qb.p.constant_like(1i64, table),
+        };
+        let slot = vals.len();
+        vals.push((count_src, AggKind::Sum));
+        Some(slot)
+    } else {
+        None
+    };
+
     match &q.group_by {
         Some(col) => {
             let domain = stats_domain(col)?;
             let key = qb.p.project(table, KeyPath::new(col), KeyPath::val());
-            // Count per group (for row filtering) comes last.
-            let count_src = match mask {
-                Some(m) => qb.p.project(m, KeyPath::val(), KeyPath::val()),
-                None => qb.p.constant_like(1i64, table),
-            };
-            vals.push(count_src);
-            let (kf, sums) = qb.group_sums(key, domain, &vals);
+            let (kf, sums) = qb.group_aggs(key, domain, &vals);
             qb.ret(kf);
             for s in sums {
                 qb.ret(s);
             }
-            Ok(LoweredQuery { program: qb.finish(), grouped: true, aggs })
+            Ok(LoweredQuery {
+                program: qb.finish(),
+                grouped: true,
+                aggs,
+                outputs,
+                count_slot,
+            })
         }
         None => {
-            for v in vals {
-                let s = qb.global_sum(v);
+            for (v, kind) in vals {
+                let s =
+                    qb.p.fold_agg_kp(kind, v, None, KeyPath::val(), KeyPath::val());
                 qb.ret(s);
             }
-            Ok(LoweredQuery { program: qb.finish(), grouped: false, aggs })
+            Ok(LoweredQuery {
+                program: qb.finish(),
+                grouped: false,
+                aggs,
+                outputs,
+                count_slot,
+            })
         }
+    }
+}
+
+/// Extract the final result rows from a lowered query's outputs.
+pub fn extract_rows(lowered: &LoweredQuery, out: &voodoo_interp::ExecOutput) -> Vec<Vec<i64>> {
+    // Resolve one visible column from the folded slot values (tolerating
+    // short outputs, e.g. a caller substituting a default ExecOutput after
+    // an engine error).
+    let resolve = |col: &OutCol, slots: &[i64], count: i64| -> i64 {
+        let at = |s: &usize| slots.get(*s).copied().unwrap_or(0);
+        match col {
+            OutCol::Plain(s) => at(s),
+            OutCol::Guarded(s) => {
+                if count > 0 {
+                    at(s)
+                } else {
+                    0
+                }
+            }
+            OutCol::Avg(s) => {
+                if count > 0 {
+                    at(s) / count
+                } else {
+                    0
+                }
+            }
+        }
+    };
+    if lowered.grouped {
+        if out.returns.is_empty() {
+            return Vec::new();
+        }
+        let sums: Vec<&voodoo_core::StructuredVector> = out.returns[1..].iter().collect();
+        let rows = extract_grouped(&out.returns[0], &sums);
+        let count_slot = lowered.count_slot.expect("grouped queries always count");
+        let mut result: Vec<Vec<i64>> = rows
+            .into_iter()
+            .filter(|(_, v)| v[count_slot] > 0)
+            .map(|(k, v)| {
+                let count = v[count_slot];
+                let mut row = vec![k];
+                row.extend(lowered.outputs.iter().map(|c| resolve(c, &v, count)));
+                row
+            })
+            .collect();
+        result.sort_unstable();
+        result
+    } else {
+        let slots: Vec<i64> = out.returns.iter().map(extract_scalar).collect();
+        let count = lowered
+            .count_slot
+            .map(|s| slots.get(s).copied().unwrap_or(0))
+            .unwrap_or(i64::MAX);
+        vec![lowered
+            .outputs
+            .iter()
+            .map(|c| resolve(c, &slots, count))
+            .collect()]
     }
 }
 
@@ -433,24 +657,7 @@ where
     let q = parse(sql)?;
     let lowered = lower(cat, &q)?;
     let out = exec(&lowered.program, cat);
-    if lowered.grouped {
-        let sums: Vec<&voodoo_core::StructuredVector> = out.returns[1..].iter().collect();
-        let rows = extract_grouped(&out.returns[0], &sums);
-        let mut result: Vec<Vec<i64>> = rows
-            .into_iter()
-            .filter(|(_, v)| *v.last().unwrap_or(&0) > 0)
-            .map(|(k, mut v)| {
-                v.truncate(lowered.aggs);
-                let mut row = vec![k];
-                row.extend(v);
-                row
-            })
-            .collect();
-        result.sort_unstable();
-        Ok(result)
-    } else {
-        Ok(vec![out.returns.iter().map(extract_scalar).collect()])
-    }
+    Ok(extract_rows(&lowered, &out))
 }
 
 #[cfg(test)]
@@ -479,7 +686,10 @@ mod tests {
 
     fn run(sql: &str) -> Vec<Vec<i64>> {
         let cat = cat();
-        execute(&cat, sql, |p, c| Interpreter::new(c).run_program(p).unwrap()).unwrap()
+        execute(&cat, sql, |p, c| {
+            Interpreter::new(c).run_program(p).unwrap()
+        })
+        .unwrap()
     }
 
     #[test]
@@ -518,6 +728,98 @@ mod tests {
     fn arithmetic_in_aggregate() {
         let rows = run("SELECT SUM(amount * qty) FROM sales WHERE region = 0");
         assert_eq!(rows, vec![vec![10 + 90 + 360]]);
+    }
+
+    #[test]
+    fn min_max_global() {
+        let rows = run("SELECT MIN(amount), MAX(amount) FROM sales");
+        assert_eq!(rows, vec![vec![10, 60]]);
+    }
+
+    #[test]
+    fn min_max_respect_where_mask() {
+        // Without sentinel masking a multiply-masked MIN would see 0s.
+        let rows = run("SELECT MIN(amount), MAX(amount), COUNT(*) FROM sales WHERE qty > 2");
+        assert_eq!(rows, vec![vec![30, 60, 4]]);
+    }
+
+    #[test]
+    fn min_max_empty_selection_reports_zero() {
+        let rows = run("SELECT MIN(amount), MAX(amount), COUNT(*) FROM sales WHERE qty > 100");
+        assert_eq!(rows, vec![vec![0, 0, 0]]);
+    }
+
+    #[test]
+    fn min_of_negative_values() {
+        let cat = {
+            let mut cat = Catalog::in_memory();
+            let mut t = voodoo_storage::Table::new("t");
+            t.add_column(voodoo_storage::TableColumn::from_buffer(
+                "v",
+                voodoo_core::Buffer::I64(vec![-7, 3, -2, 9]),
+            ));
+            t.add_column(voodoo_storage::TableColumn::from_buffer(
+                "keep",
+                voodoo_core::Buffer::I64(vec![1, 1, 0, 1]),
+            ));
+            cat.insert_table(t);
+            cat
+        };
+        let rows = execute(
+            &cat,
+            "SELECT MIN(v), MAX(v) FROM t WHERE keep = 1",
+            |p, c| Interpreter::new(c).run_program(p).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(rows, vec![vec![-7, 9]]);
+    }
+
+    #[test]
+    fn grouped_min_max() {
+        let rows = run("SELECT region, MIN(amount), MAX(amount) FROM sales GROUP BY region");
+        assert_eq!(
+            rows,
+            vec![vec![0, 10, 60], vec![1, 20, 50], vec![2, 40, 40]]
+        );
+    }
+
+    #[test]
+    fn grouped_min_with_filter_ignores_masked_rows() {
+        // region 0 holds amounts {10, 30, 60}; the filter keeps {30, 60}.
+        let rows = run("SELECT region, MIN(amount) FROM sales WHERE amount >= 30 GROUP BY region");
+        assert_eq!(rows, vec![vec![0, 30], vec![1, 50], vec![2, 40]]);
+    }
+
+    #[test]
+    fn avg_is_integer_sum_over_count() {
+        let rows = run("SELECT AVG(amount) FROM sales");
+        assert_eq!(rows, vec![vec![210 / 6]]);
+        let rows = run("SELECT AVG(amount) FROM sales WHERE qty > 2");
+        assert_eq!(rows, vec![vec![(30 + 40 + 50 + 60) / 4]]);
+        let rows = run("SELECT region, AVG(amount) FROM sales GROUP BY region");
+        assert_eq!(rows, vec![vec![0, 100 / 3], vec![1, 35], vec![2, 40]]);
+    }
+
+    #[test]
+    fn avg_of_empty_selection_is_zero() {
+        let rows = run("SELECT AVG(amount) FROM sales WHERE qty > 100");
+        assert_eq!(rows, vec![vec![0]]);
+    }
+
+    #[test]
+    fn mixed_aggregates_in_one_query() {
+        let rows = run(
+            "SELECT region, SUM(amount), MIN(qty), MAX(qty), AVG(amount), COUNT(*) \
+             FROM sales GROUP BY region",
+        );
+        assert_eq!(
+            rows,
+            vec![
+                vec![0, 100, 1, 6, 33, 3],
+                vec![1, 70, 2, 5, 35, 2],
+                vec![2, 40, 4, 4, 40, 1],
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate provides the (small) subset of the `rand 0.8` API the Voodoo
+//! workspace uses: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer ranges, and [`Rng::gen_bool`].
+//!
+//! The generator is xoshiro256++ (the same family `rand`'s `SmallRng` uses
+//! on 64-bit platforms), seeded through SplitMix64 exactly like
+//! `SeedableRng::seed_from_u64`. It is deterministic and high-quality, but —
+//! like the real `SmallRng` — not cryptographically secure, and its streams
+//! are not guaranteed to match the real crate's bit-for-bit.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleRange: Copy {
+    /// Sample uniformly from `[lo, hi)`.
+    fn sample(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+    /// The next representable value (used to desugar inclusive ranges).
+    fn successor(self) -> Self;
+}
+
+/// Range shapes accepted by [`Rng::gen_range`] (half-open and inclusive).
+pub trait SampleBounds<T> {
+    /// Decompose into `(lo, hi_exclusive)`.
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: SampleRange> SampleBounds<T> for Range<T> {
+    fn bounds(self) -> (T, T) {
+        (self.start, self.end)
+    }
+}
+
+impl<T: SampleRange> SampleBounds<T> for RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        let (lo, hi) = self.into_inner();
+        (lo, hi.successor())
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+                assert!(lo < hi, "gen_range called with empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Multiply-shift rejection-free mapping; span ≤ 2^64 here.
+                let r = rng.next_u64() as u128;
+                (lo as i128 + ((r * span) >> 64) as i128) as $t
+            }
+            fn successor(self) -> Self {
+                self.checked_add(1).expect("inclusive range ends at type max")
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, u8, u16, u32, usize, isize);
+
+impl SampleRange for u64 {
+    fn sample(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        assert!(lo < hi, "gen_range called with empty range");
+        let span = (hi - lo) as u128;
+        let r = rng.next_u64() as u128;
+        lo + ((r * span) >> 64) as u64
+    }
+    fn successor(self) -> Self {
+        self.checked_add(1)
+            .expect("inclusive range ends at type max")
+    }
+}
+
+impl SampleRange for f64 {
+    fn sample(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        assert!(lo < hi, "gen_range called with empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+    fn successor(self) -> Self {
+        self
+    }
+}
+
+/// The raw 64-bit source every RNG implements.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// The user-facing sampling interface (the subset of `rand::Rng` used here).
+pub trait Rng: RngCore + Sized {
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T: SampleRange>(&mut self, range: impl SampleBounds<T>) -> T {
+        let (lo, hi) = range.bounds();
+        T::sample(lo, hi, self)
+    }
+
+    /// A biased coin flip: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// A uniformly random value (`i64`/`u64`/`bool`/`f64`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard {
+    /// Draw one value.
+    fn standard(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for u64 {
+    fn standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for i64 {
+    fn standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for bool {
+    fn standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn standard(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Seedable construction (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64 expansion, like
+    /// the real crate).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the small fast generator.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    /// The "standard" generator; same engine as [`SmallRng`] here.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5..17i64);
+            assert!((-5..17).contains(&v));
+            let u = rng.gen_range(0..3usize);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4000..6000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn distribution_covers_small_domains() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 25];
+        for _ in 0..2_000 {
+            seen[rng.gen_range(0..25usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

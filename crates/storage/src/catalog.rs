@@ -43,7 +43,12 @@ impl TableColumn {
     pub fn from_buffer(name: &str, data: Buffer) -> TableColumn {
         let col = Column::from_buffer(data);
         let stats = compute_stats(&col);
-        TableColumn { name: name.to_string(), data: col, dict: None, stats }
+        TableColumn {
+            name: name.to_string(),
+            data: col,
+            dict: None,
+            stats,
+        }
     }
 
     /// Dictionary-encode a string column (MonetDB-style).
@@ -62,12 +67,20 @@ impl TableColumn {
         }
         let col = Column::from_buffer(Buffer::I32(codes));
         let stats = compute_stats(&col);
-        TableColumn { name: name.to_string(), data: col, dict: Some(dict), stats }
+        TableColumn {
+            name: name.to_string(),
+            data: col,
+            dict: Some(dict),
+            stats,
+        }
     }
 
     /// Decode a dictionary code back to its string.
     pub fn decode(&self, code: i32) -> Option<&str> {
-        self.dict.as_ref().and_then(|d| d.get(code as usize)).map(|s| s.as_str())
+        self.dict
+            .as_ref()
+            .and_then(|d| d.get(code as usize))
+            .map(|s| s.as_str())
     }
 
     /// Look up the code of a string value, if present in the dictionary.
@@ -120,7 +133,10 @@ pub struct Table {
 impl Table {
     /// An empty table with a name.
     pub fn new(name: &str) -> Table {
-        Table { name: name.to_string(), ..Default::default() }
+        Table {
+            name: name.to_string(),
+            ..Default::default()
+        }
     }
 
     /// Add a column; first column fixes the row count.
@@ -136,8 +152,10 @@ impl Table {
 
     /// Declare a foreign key `column → target_table.target_column`.
     pub fn add_foreign_key(&mut self, column: &str, target_table: &str, target_column: &str) {
-        self.foreign_keys
-            .insert(column.to_string(), (target_table.to_string(), target_column.to_string()));
+        self.foreign_keys.insert(
+            column.to_string(),
+            (target_table.to_string(), target_column.to_string()),
+        );
     }
 
     /// Find a column by name.
@@ -148,7 +166,10 @@ impl Table {
     /// The table's flattened Voodoo schema (`.colname` per column).
     pub fn schema(&self) -> Schema {
         Schema::from_fields(
-            self.columns.iter().map(|c| (KeyPath::new(&c.name), c.ty())).collect(),
+            self.columns
+                .iter()
+                .map(|c| (KeyPath::new(&c.name), c.ty()))
+                .collect(),
         )
     }
 
@@ -166,6 +187,7 @@ impl Table {
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
+    version: u64,
 }
 
 impl Catalog {
@@ -174,8 +196,16 @@ impl Catalog {
         Catalog::default()
     }
 
+    /// A monotonic mutation counter: bumped whenever a table is inserted,
+    /// replaced, or handed out mutably. Prepared-plan caches key on this
+    /// to invalidate plans compiled against stale schemas or sizes.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Insert (or replace) a table.
     pub fn insert_table(&mut self, table: Table) {
+        self.version += 1;
         self.tables.insert(table.name.clone(), table);
     }
 
@@ -184,8 +214,9 @@ impl Catalog {
         self.tables.get(name)
     }
 
-    /// Mutable table lookup.
+    /// Mutable table lookup (conservatively counts as a mutation).
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.version += 1;
         self.tables.get_mut(name)
     }
 
@@ -207,21 +238,30 @@ impl Catalog {
     /// Create a single-column table named `name` with column `val`.
     pub fn put_i64_column(&mut self, name: &str, values: &[i64]) {
         let mut t = Table::new(name);
-        t.add_column(TableColumn::from_buffer("val", Buffer::I64(values.to_vec())));
+        t.add_column(TableColumn::from_buffer(
+            "val",
+            Buffer::I64(values.to_vec()),
+        ));
         self.insert_table(t);
     }
 
     /// Create a single-column `f32` table (column `val`).
     pub fn put_f32_column(&mut self, name: &str, values: &[f32]) {
         let mut t = Table::new(name);
-        t.add_column(TableColumn::from_buffer("val", Buffer::F32(values.to_vec())));
+        t.add_column(TableColumn::from_buffer(
+            "val",
+            Buffer::F32(values.to_vec()),
+        ));
         self.insert_table(t);
     }
 
     /// Create a single-column `i32` table (column `val`).
     pub fn put_i32_column(&mut self, name: &str, values: &[i32]) {
         let mut t = Table::new(name);
-        t.add_column(TableColumn::from_buffer("val", Buffer::I32(values.to_vec())));
+        t.add_column(TableColumn::from_buffer(
+            "val",
+            Buffer::I32(values.to_vec()),
+        ));
         self.insert_table(t);
     }
 
@@ -288,7 +328,10 @@ mod tests {
     fn table_schema_and_vector() {
         let mut t = Table::new("line");
         t.add_column(TableColumn::from_buffer("qty", Buffer::I64(vec![1, 2])));
-        t.add_column(TableColumn::from_buffer("price", Buffer::F64(vec![1.5, 2.5])));
+        t.add_column(TableColumn::from_buffer(
+            "price",
+            Buffer::F64(vec![1.5, 2.5]),
+        ));
         assert_eq!(t.len, 2);
         let v = t.to_vector();
         assert_eq!(v.len(), 2);
@@ -312,7 +355,9 @@ mod tests {
         cat.put_i64_column("input", &[1, 2, 3]);
         assert_eq!(cat.table_len("input"), Some(3));
         assert_eq!(
-            cat.table_schema("input").unwrap().field_type(&KeyPath::new(".val")),
+            cat.table_schema("input")
+                .unwrap()
+                .field_type(&KeyPath::new(".val")),
             Some(ScalarType::I64)
         );
         assert_eq!(cat.table_len("nope"), None);
@@ -325,7 +370,10 @@ mod tests {
         v.insert(".sum", Column::from_buffer(Buffer::I64(vec![10, 20])));
         cat.persist_vector("result", &v);
         let back = cat.load_vector("result").unwrap();
-        assert_eq!(back.value_at(0, &KeyPath::new(".sum")), Some(ScalarValue::I64(10)));
+        assert_eq!(
+            back.value_at(0, &KeyPath::new(".sum")),
+            Some(ScalarValue::I64(10))
+        );
     }
 
     #[test]

@@ -148,9 +148,7 @@ pub fn read_column(r: &mut impl Read, name: &str) -> io::Result<TableColumn> {
     let ty = tag_type(magic & 0xF)?;
     let len = read_u64(r)? as usize;
     let buffer = match ty {
-        ScalarType::Bool => {
-            Buffer::Bool(read_items::<bool, 1>(r, len, |b| b[0] != 0)?)
-        }
+        ScalarType::Bool => Buffer::Bool(read_items::<bool, 1>(r, len, |b| b[0] != 0)?),
         ScalarType::I32 => Buffer::I32(read_items(r, len, i32::from_le_bytes)?),
         ScalarType::I64 => Buffer::I64(read_items(r, len, i64::from_le_bytes)?),
         ScalarType::F32 => Buffer::F32(read_items(r, len, f32::from_le_bytes)?),
@@ -172,7 +170,12 @@ pub fn read_column(r: &mut impl Read, name: &str) -> io::Result<TableColumn> {
         Some(d)
     };
     let data = Column::from_parts(buffer, empty);
-    let mut col = TableColumn { name: name.to_string(), data, dict, stats: None };
+    let mut col = TableColumn {
+        name: name.to_string(),
+        data,
+        dict,
+        stats: None,
+    };
     // Recompute stats on load (cheap, keeps the file format minimal).
     col.stats = {
         let tmp = TableColumn::from_buffer("tmp", col.data.buffer().clone());
@@ -298,7 +301,8 @@ mod tests {
         let t2 = back.table("line").unwrap();
         assert_eq!(t2.len, 3);
         assert_eq!(
-            t2.to_vector().value_at(2, &voodoo_core::KeyPath::new(".qty")),
+            t2.to_vector()
+                .value_at(2, &voodoo_core::KeyPath::new(".qty")),
             Some(ScalarValue::I64(4))
         );
         assert_eq!(t2.column("flag").unwrap().decode(1), Some("R"));

@@ -72,7 +72,10 @@ fn absurd_dictionary_count_fails_cleanly() {
     // The dict count is the 4 bytes right after data+mask; locate it by
     // re-encoding without the dict and diffing lengths.
     let plain = {
-        let no_dict = TableColumn { dict: None, ..col.clone() };
+        let no_dict = TableColumn {
+            dict: None,
+            ..col.clone()
+        };
         encode(&no_dict)
     };
     let dict_count_off = plain.len() - 4;
@@ -102,7 +105,10 @@ fn save_dir_load_dir_roundtrip_with_fks_and_dicts() {
     let mut cat = Catalog::in_memory();
     let mut t = Table::new("orders");
     t.add_column(TableColumn::from_buffer("o_id", Buffer::I64(vec![1, 2, 3])));
-    t.add_column(TableColumn::from_strings("o_status", &["open", "done", "open"]));
+    t.add_column(TableColumn::from_strings(
+        "o_status",
+        &["open", "done", "open"],
+    ));
     t.add_foreign_key("o_id", "customers", "c_id");
     cat.insert_table(t);
     cat.save_dir(&dir).expect("save");
@@ -122,8 +128,11 @@ fn load_dir_with_corrupt_manifest_errors() {
     let dir = std::env::temp_dir().join(format!("voodoo-manifest-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
-    std::fs::write(dir.join("MANIFEST"), b"table orders\ncolumn but no table header???\n\0\xFF")
-        .unwrap();
+    std::fs::write(
+        dir.join("MANIFEST"),
+        b"table orders\ncolumn but no table header???\n\0\xFF",
+    )
+    .unwrap();
     // Ok-with-empty or Err are both acceptable; a panic is not.
     let _ = Catalog::load_dir(&dir);
     let _ = std::fs::remove_dir_all(&dir);

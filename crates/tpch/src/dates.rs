@@ -27,8 +27,8 @@ pub fn date(year: i64, month: i64, day: i64) -> i64 {
             days -= if is_leap(y) { 366 } else { 365 };
         }
     }
-    for m in 0..(month - 1) as usize {
-        days += MONTH_DAYS[m];
+    for (m, &len) in MONTH_DAYS.iter().enumerate().take((month - 1) as usize) {
+        days += len;
         if m == 1 && is_leap(year) {
             days += 1;
         }

@@ -20,7 +20,10 @@ pub struct TpchParams {
 
 impl Default for TpchParams {
     fn default() -> Self {
-        TpchParams { scale: 0.01, seed: 0x7CDB_5EED }
+        TpchParams {
+            scale: 0.01,
+            seed: 0x7CDB_5EED,
+        }
     }
 }
 
@@ -57,26 +60,51 @@ pub const NATIONS: [(&str, i64); 25] = [
 ];
 
 /// Market segments.
-pub const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// Order priorities.
-pub const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// Ship modes.
 pub const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// Ship instructions.
-pub const INSTRUCTIONS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// Part name color vocabulary (subset of the spec's 92; includes the
 /// colors queries match on).
 pub const COLORS: [&str; 20] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "chartreuse", "chocolate", "coral", "forest", "green", "honeydew",
-    "hot", "ivory",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "chartreuse",
+    "chocolate",
+    "coral",
+    "forest",
+    "green",
+    "honeydew",
+    "hot",
+    "ivory",
 ];
 
 /// Container size words × container kinds.
@@ -99,7 +127,13 @@ fn max_orderdate() -> i64 {
 /// Generate a catalog at the given scale with the default seed.
 pub fn generate(scale: f64) -> Catalog {
     let mut cat = Catalog::in_memory();
-    generate_into(&mut cat, TpchParams { scale, ..Default::default() });
+    generate_into(
+        &mut cat,
+        TpchParams {
+            scale,
+            ..Default::default()
+        },
+    );
     cat
 }
 
@@ -149,7 +183,11 @@ pub fn generate_into(cat: &mut Catalog, params: TpchParams) {
     ));
     supplier.add_column(TableColumn::from_buffer(
         "s_acctbal",
-        Buffer::I64((0..n_supplier).map(|_| rng.gen_range(-99999..999999)).collect()),
+        Buffer::I64(
+            (0..n_supplier)
+                .map(|_| rng.gen_range(-99999..999999))
+                .collect(),
+        ),
     ));
     supplier.add_foreign_key("s_nationkey", "nation", "n_nationkey");
     cat.insert_table(supplier);
@@ -164,12 +202,17 @@ pub fn generate_into(cat: &mut Catalog, params: TpchParams) {
         "c_nationkey",
         Buffer::I64((0..n_customer).map(|_| rng.gen_range(0..25)).collect()),
     ));
-    let seg_vals: Vec<&str> =
-        (0..n_customer).map(|_| SEGMENTS[rng.gen_range(0..SEGMENTS.len())]).collect();
+    let seg_vals: Vec<&str> = (0..n_customer)
+        .map(|_| SEGMENTS[rng.gen_range(0..SEGMENTS.len())])
+        .collect();
     customer.add_column(TableColumn::from_strings("c_mktsegment", &seg_vals));
     customer.add_column(TableColumn::from_buffer(
         "c_acctbal",
-        Buffer::I64((0..n_customer).map(|_| rng.gen_range(-99999..999999)).collect()),
+        Buffer::I64(
+            (0..n_customer)
+                .map(|_| rng.gen_range(-99999..999999))
+                .collect(),
+        ),
     ));
     customer.add_foreign_key("c_nationkey", "nation", "n_nationkey");
     cat.insert_table(customer);
@@ -225,7 +268,9 @@ pub fn generate_into(cat: &mut Catalog, params: TpchParams) {
     part.add_column(TableColumn::from_buffer(
         "p_retailprice",
         Buffer::I64(
-            (0..n_part as i64).map(|k| 90000 + (k % 20001) * 100 / 100 + (k % 1000) * 100).collect(),
+            (0..n_part as i64)
+                .map(|k| 90000 + (k % 20001) * 100 / 100 + (k % 1000) * 100)
+                .collect(),
         ),
     ));
     cat.insert_table(part);
@@ -257,7 +302,11 @@ pub fn generate_into(cat: &mut Catalog, params: TpchParams) {
     ));
     partsupp.add_column(TableColumn::from_buffer(
         "ps_supplycost",
-        Buffer::I64((0..n_partsupp).map(|_| rng.gen_range(100..100001)).collect()),
+        Buffer::I64(
+            (0..n_partsupp)
+                .map(|_| rng.gen_range(100..100001))
+                .collect(),
+        ),
     ));
     partsupp.add_foreign_key("ps_partkey", "part", "p_partkey");
     partsupp.add_foreign_key("ps_suppkey", "supplier", "s_suppkey");
@@ -308,7 +357,7 @@ pub fn generate_into(cat: &mut Catalog, params: TpchParams) {
             l_suppkey.push((pk + j * stride) % n_supplier as i64);
             let qty = rng.gen_range(1..51i64);
             l_quantity.push(qty);
-            let price = 90000 + (pk % 20001) / 1 + (pk % 1000) * 100;
+            let price = 90000 + (pk % 20001) + (pk % 1000) * 100;
             l_extendedprice.push(qty * price / 100 * 100 / 100); // cents
             l_discount.push(rng.gen_range(0..11i64)); // hundredths
             l_tax.push(rng.gen_range(0..9i64));
@@ -330,28 +379,66 @@ pub fn generate_into(cat: &mut Catalog, params: TpchParams) {
     }
 
     let mut orders = Table::new("orders");
-    orders.add_column(TableColumn::from_buffer("o_orderkey", Buffer::I64(o_orderkey)));
-    orders.add_column(TableColumn::from_buffer("o_custkey", Buffer::I64(o_custkey)));
-    orders.add_column(TableColumn::from_buffer("o_orderdate", Buffer::I64(o_orderdate)));
+    orders.add_column(TableColumn::from_buffer(
+        "o_orderkey",
+        Buffer::I64(o_orderkey),
+    ));
+    orders.add_column(TableColumn::from_buffer(
+        "o_custkey",
+        Buffer::I64(o_custkey),
+    ));
+    orders.add_column(TableColumn::from_buffer(
+        "o_orderdate",
+        Buffer::I64(o_orderdate),
+    ));
     orders.add_column(TableColumn::from_strings("o_orderpriority", &o_priority));
     orders.add_foreign_key("o_custkey", "customer", "c_custkey");
     cat.insert_table(orders);
 
     let mut lineitem = Table::new("lineitem");
-    lineitem.add_column(TableColumn::from_buffer("l_orderkey", Buffer::I64(l_orderkey)));
-    lineitem.add_column(TableColumn::from_buffer("l_partkey", Buffer::I64(l_partkey)));
-    lineitem.add_column(TableColumn::from_buffer("l_suppkey", Buffer::I64(l_suppkey)));
-    lineitem.add_column(TableColumn::from_buffer("l_linenumber", Buffer::I64(l_linenumber)));
-    lineitem.add_column(TableColumn::from_buffer("l_quantity", Buffer::I64(l_quantity)));
-    lineitem
-        .add_column(TableColumn::from_buffer("l_extendedprice", Buffer::I64(l_extendedprice)));
-    lineitem.add_column(TableColumn::from_buffer("l_discount", Buffer::I64(l_discount)));
+    lineitem.add_column(TableColumn::from_buffer(
+        "l_orderkey",
+        Buffer::I64(l_orderkey),
+    ));
+    lineitem.add_column(TableColumn::from_buffer(
+        "l_partkey",
+        Buffer::I64(l_partkey),
+    ));
+    lineitem.add_column(TableColumn::from_buffer(
+        "l_suppkey",
+        Buffer::I64(l_suppkey),
+    ));
+    lineitem.add_column(TableColumn::from_buffer(
+        "l_linenumber",
+        Buffer::I64(l_linenumber),
+    ));
+    lineitem.add_column(TableColumn::from_buffer(
+        "l_quantity",
+        Buffer::I64(l_quantity),
+    ));
+    lineitem.add_column(TableColumn::from_buffer(
+        "l_extendedprice",
+        Buffer::I64(l_extendedprice),
+    ));
+    lineitem.add_column(TableColumn::from_buffer(
+        "l_discount",
+        Buffer::I64(l_discount),
+    ));
     lineitem.add_column(TableColumn::from_buffer("l_tax", Buffer::I64(l_tax)));
     lineitem.add_column(TableColumn::from_strings("l_returnflag", &l_returnflag));
     lineitem.add_column(TableColumn::from_strings("l_linestatus", &l_linestatus));
-    lineitem.add_column(TableColumn::from_buffer("l_shipdate", Buffer::I64(l_shipdate)));
-    lineitem.add_column(TableColumn::from_buffer("l_commitdate", Buffer::I64(l_commitdate)));
-    lineitem.add_column(TableColumn::from_buffer("l_receiptdate", Buffer::I64(l_receiptdate)));
+    lineitem.add_column(TableColumn::from_buffer(
+        "l_shipdate",
+        Buffer::I64(l_shipdate),
+    ));
+    lineitem.add_column(TableColumn::from_buffer(
+        "l_commitdate",
+        Buffer::I64(l_commitdate),
+    ));
+    lineitem.add_column(TableColumn::from_buffer(
+        "l_receiptdate",
+        Buffer::I64(l_receiptdate),
+    ));
     lineitem.add_column(TableColumn::from_strings("l_shipmode", &l_shipmode));
     lineitem.add_column(TableColumn::from_strings("l_shipinstruct", &l_shipinstruct));
     lineitem.add_foreign_key("l_orderkey", "orders", "o_orderkey");
@@ -390,7 +477,11 @@ mod tests {
         let tb = b.table("lineitem").unwrap();
         assert_eq!(ta.len, tb.len);
         for c in 0..ta.columns.len() {
-            assert_eq!(ta.columns[c].data, tb.columns[c].data, "column {}", ta.columns[c].name);
+            assert_eq!(
+                ta.columns[c].data, tb.columns[c].data,
+                "column {}",
+                ta.columns[c].name
+            );
         }
     }
 
@@ -449,13 +540,28 @@ mod tests {
     fn dictionaries_cover_vocabulary() {
         let cat = small();
         let li = cat.table("lineitem").unwrap();
-        let modes = li.column("l_shipmode").unwrap().dict.as_ref().unwrap().len();
+        let modes = li
+            .column("l_shipmode")
+            .unwrap()
+            .dict
+            .as_ref()
+            .unwrap()
+            .len();
         assert!(modes <= 7);
-        let seg = cat.table("customer").unwrap().column("c_mktsegment").unwrap();
+        let seg = cat
+            .table("customer")
+            .unwrap()
+            .column("c_mktsegment")
+            .unwrap();
         assert!(seg.dict.as_ref().unwrap().len() <= 5);
         // p_name contains the colors Q9 greps for.
         let names = cat.table("part").unwrap().column("p_name").unwrap();
-        assert!(names.dict.as_ref().unwrap().iter().any(|n| n.contains("green")));
+        assert!(names
+            .dict
+            .as_ref()
+            .unwrap()
+            .iter()
+            .any(|n| n.contains("green")));
     }
 
     #[test]

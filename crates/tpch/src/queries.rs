@@ -64,8 +64,15 @@ pub const CPU_QUERIES: [Query; 14] = [
 ];
 
 /// GPU-figure queries (Figure 12).
-pub const GPU_QUERIES: [Query; 7] =
-    [Query::Q1, Query::Q4, Query::Q5, Query::Q6, Query::Q8, Query::Q12, Query::Q19];
+pub const GPU_QUERIES: [Query; 7] = [
+    Query::Q1,
+    Query::Q4,
+    Query::Q5,
+    Query::Q6,
+    Query::Q8,
+    Query::Q12,
+    Query::Q19,
+];
 
 impl Query {
     /// TPC-H query number.
@@ -150,7 +157,13 @@ pub mod params {
 
     /// Q8: nation, region, part type, order date window.
     pub fn q8() -> (&'static str, &'static str, &'static str, i64, i64) {
-        ("BRAZIL", "AMERICA", "ECONOMY ANODIZED STEEL", date(1995, 1, 1), date(1996, 12, 31))
+        (
+            "BRAZIL",
+            "AMERICA",
+            "ECONOMY ANODIZED STEEL",
+            date(1995, 1, 1),
+            date(1996, 12, 31),
+        )
     }
 
     /// Q9: part name infix.
@@ -186,7 +199,11 @@ pub mod params {
     /// Q19: the three (brand, container kind, min qty) triples; quantity
     /// band width is 10, sizes 1..=5, 1..=10, 1..=15.
     pub fn q19() -> [(&'static str, &'static str, i64); 3] {
-        [("Brand#12", "CASE", 1), ("Brand#23", "BOX", 10), ("Brand#34", "PKG", 20)]
+        [
+            ("Brand#12", "CASE", 1),
+            ("Brand#23", "BOX", 10),
+            ("Brand#34", "PKG", 20),
+        ]
     }
 
     /// Q20: part-name color, nation, shipdate window (1994).

@@ -4,9 +4,9 @@
 //! exploration of the database design space." This example lets the
 //! cost-based optimizer choose a physical plan for the same logical
 //! selective-aggregation query at three selectivities, on a CPU and on
-//! the simulated GPU — and shows it re-deriving the paper's Figure 1/15
-//! tradeoffs: branching at the selectivity extremes on the CPU,
-//! branch-free in the middle, and plain branching everywhere on the GPU.
+//! the simulated GPU — re-deriving the paper's Figure 1/15 tradeoffs —
+//! then executes each winner through the unified backend API (the same
+//! `Backend` seam the optimizer priced it on).
 //!
 //! ```sh
 //! cargo run --release --example autotune
@@ -14,7 +14,10 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use voodoo::backend::{Backend, CpuBackend};
+use voodoo::compile::exec::ExecOptions;
 use voodoo::compile::Device;
+use voodoo::core::KeyPath;
 use voodoo::opt::{Optimizer, Workload};
 use voodoo::storage::Catalog;
 
@@ -24,7 +27,9 @@ fn main() {
     let mut cat = Catalog::in_memory();
     cat.put_i64_column(
         "vals",
-        &(0..n).map(|_| rng.gen_range(0..1000i64)).collect::<Vec<_>>(),
+        &(0..n)
+            .map(|_| rng.gen_range(0..1000i64))
+            .collect::<Vec<_>>(),
     );
 
     for (device_name, device) in [
@@ -33,10 +38,11 @@ fn main() {
     ] {
         println!("=== target device: {device_name} ===");
         for sel_pct in [1i64, 50, 99] {
+            let hi = sel_pct * 10; // vals uniform in [0, 1000)
             let wl = Workload::SelectSum {
                 table: "vals".into(),
                 lo: 0,
-                hi: sel_pct * 10, // vals uniform in [0, 1000)
+                hi,
                 chunks: vec![1 << 12],
             };
             let choice = Optimizer::for_device(device.clone())
@@ -52,6 +58,24 @@ fn main() {
                 };
                 println!("    {label:<28} {secs:>12.6}s{marker}");
             }
+
+            // The winner is an ordinary program + executor flags: run it
+            // through the same Backend seam the optimizer priced it on.
+            let winner = &choice.best.candidate;
+            let backend = CpuBackend::new(ExecOptions {
+                predicated_select: winner.predicated_select,
+                ..Default::default()
+            });
+            let out = backend
+                .prepare(&winner.program, &cat)
+                .expect("prepare winner")
+                .execute(&cat)
+                .expect("execute winner");
+            let got = out.returns[0]
+                .value_at(0, &KeyPath::val())
+                .map(|v| v.as_i64())
+                .unwrap_or(0);
+            println!("    winner executes end-to-end: sum = {got}");
         }
         println!();
     }

@@ -1,4 +1,5 @@
-//! Device tour: one program, five devices, one transfer ablation.
+//! Device tour: one program, five devices, one transfer ablation — every
+//! device a `Backend` behind the same two calls (`prepare` + `profile`).
 //!
 //! The paper's thesis is portability: a single Voodoo program should be
 //! *priceable* — and tunable — across architectures without rewriting.
@@ -17,6 +18,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use voodoo::algos::selection::{self, SelectionStrategy};
 use voodoo::algos::{aggregate, FoldStrategy};
+use voodoo::backend::{Backend, SimGpuBackend};
 use voodoo::compile::Device;
 use voodoo::gpusim::{CostModel, GpuSimulator, Interconnect};
 use voodoo::storage::Catalog;
@@ -27,7 +29,9 @@ fn main() {
     let mut cat = Catalog::in_memory();
     cat.put_i64_column(
         "input",
-        &(0..n).map(|_| rng.gen_range(0..1000i64)).collect::<Vec<_>>(),
+        &(0..n)
+            .map(|_| rng.gen_range(0..1000i64))
+            .collect::<Vec<_>>(),
     );
 
     let programs = [
@@ -51,18 +55,30 @@ fn main() {
     for (name, program) in &programs {
         println!("== {name} over {n} rows ==");
         for device in &devices {
-            let sim = GpuSimulator::new(CostModel::new(device.clone()));
-            let (_, report) = sim.run(program, &cat).expect("simulate");
-            println!("  {:<16} {:>12.6}s", device.name, report.seconds);
+            // Every simulated device is just another Backend.
+            let backend = SimGpuBackend::new(GpuSimulator::new(CostModel::new(device.clone())));
+            let plan = backend.prepare(program, &cat).expect("prepare");
+            let secs = plan
+                .profile(&cat)
+                .expect("simulate")
+                .simulated_seconds()
+                .unwrap();
+            println!("  {:<16} {:>12.6}s", device.name, secs);
         }
-        // The excluded cost, made explicit.
-        let (_, shipped) = GpuSimulator::titan_x()
-            .with_interconnect(Interconnect::pcie3_x16())
-            .run(program, &cat)
-            .expect("simulate");
+        // The excluded cost, made explicit: same backend + an interconnect.
+        let shipped = SimGpuBackend::new(
+            GpuSimulator::titan_x().with_interconnect(Interconnect::pcie3_x16()),
+        );
+        let report = shipped
+            .prepare(program, &cat)
+            .expect("prepare")
+            .profile(&cat)
+            .expect("simulate")
+            .simulated
+            .unwrap();
         println!(
             "  {:<16} {:>12.6}s   (of which {:.6}s is PCIe 3.0 shipping)",
-            "gpu-titanx+pcie", shipped.seconds, shipped.transfer_seconds
+            "gpu-titanx+pcie", report.seconds, report.transfer_seconds
         );
         println!();
     }

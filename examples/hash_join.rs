@@ -1,4 +1,5 @@
-//! Write-once hash joins in pure Voodoo (§6 related work, executable).
+//! Write-once hash joins in pure Voodoo (§6 related work, executable),
+//! run through the `Session` facade on the reference interpreter.
 //!
 //! Builds an open-addressing hash table with bounded (loop-unrolled)
 //! probe rounds — no `if`, no `while`, no hidden state, exactly the
@@ -13,7 +14,7 @@
 
 use voodoo::algos::hashtable;
 use voodoo::core::KeyPath;
-use voodoo::interp::Interpreter;
+use voodoo::relational::Session;
 use voodoo::storage::Catalog;
 
 fn main() {
@@ -25,6 +26,12 @@ fn main() {
     let mut cat = Catalog::in_memory();
     cat.put_i64_column("customers", &customers);
     cat.put_i64_column("orders", &orders);
+    let mut session = Session::new(cat);
+    // The hash-table programs materialize every intermediate by design —
+    // keep them on the reference interpreter.
+    session
+        .set_default_backend("interp")
+        .expect("interp registered");
 
     // ---- linear probing ------------------------------------------------
     let cap = 128; // load factor 48/128
@@ -35,7 +42,7 @@ fn main() {
         "program: {} statements for {rounds} unrolled probe rounds",
         p.stmts().len()
     );
-    let out = Interpreter::new(&cat).run_program(&p).expect("run");
+    let out = session.program(p).run().expect("run").into_raw();
     let rids = &out.returns[0];
     for (i, &o) in orders.iter().enumerate() {
         let rid = rids
@@ -48,7 +55,10 @@ fn main() {
             println!("  order key {o:>5} -> customer row {rid:?}");
         }
     }
-    println!("  ... all {} probes matched the reference join\n", orders.len());
+    println!(
+        "  ... all {} probes matched the reference join\n",
+        orders.len()
+    );
 
     // ---- bounded cuckoo ------------------------------------------------
     println!("== bounded cuckoo table ==");
@@ -60,13 +70,24 @@ fn main() {
         );
     }
     let build = hashtable::build_cuckoo_bounded("customers", 64, 16, "ck");
-    let out = Interpreter::new(&cat).run_program(&build).expect("build");
+    let out = session.program(build).run().expect("build").into_raw();
     let (name, table) = &out.persisted[0];
-    cat.persist_vector(name, table);
+    session.catalog_mut().persist_vector(name, table);
     let probe = hashtable::probe_cuckoo("ck", "orders", 64);
-    let out = Interpreter::new(&cat).run_program(&probe).expect("probe");
-    let c1 = out.returns[0].value_at(0, &KeyPath::val()).map(|v| v.as_i64()).unwrap_or(0);
-    let c2 = out.returns[1].value_at(0, &KeyPath::val()).map(|v| v.as_i64()).unwrap_or(0);
-    println!("  probed {} order keys: {} found in region 1, {} in region 2", orders.len(), c1, c2);
+    let out = session.program(probe).run().expect("probe").into_raw();
+    let c1 = out.returns[0]
+        .value_at(0, &KeyPath::val())
+        .map(|v| v.as_i64())
+        .unwrap_or(0);
+    let c2 = out.returns[1]
+        .value_at(0, &KeyPath::val())
+        .map(|v| v.as_i64())
+        .unwrap_or(0);
+    println!(
+        "  probed {} order keys: {} found in region 1, {} in region 2",
+        orders.len(),
+        c1,
+        c2
+    );
     assert_eq!(c1 + c2, orders.len() as i64);
 }

@@ -3,19 +3,24 @@
 //! One positional multi-column lookup, three physical strategies — each a
 //! one-operator change in Voodoo (`Break` to split loops, `Zip` +
 //! `Materialize` to transform the layout) — evaluated per access pattern
-//! on the CPU and the simulated GPU.
+//! on the CPU and the simulated GPU, both behind the unified backend API:
+//! prepare once, execute for wall clock, profile for priced device time.
 //!
 //! ```sh
 //! cargo run --release --example layout_transform
 //! ```
 
-use voodoo::compile::{Compiler, Executor};
-use voodoo::gpusim::GpuSimulator;
+use voodoo::backend::{Backend, CpuBackend, SimGpuBackend};
 use voodoo_bench::micro::{self, Pattern};
 
 fn main() {
     let n_pos = 1 << 18;
-    println!("{:>14} {:>18} {:>12} {:>12}", "pattern", "strategy", "cpu µs", "gpu µs");
+    let cpu = CpuBackend::single_threaded();
+    let gpu = SimGpuBackend::titan_x();
+    println!(
+        "{:>14} {:>18} {:>12} {:>12}",
+        "pattern", "strategy", "cpu µs", "gpu µs"
+    );
     for pattern in Pattern::all() {
         let random = pattern != Pattern::Sequential;
         let rows = pattern.target_rows((16 << 20) / 16);
@@ -25,18 +30,23 @@ fn main() {
             ("Separate Loops", micro::prog_layout_separate()),
             ("Layout Transform", micro::prog_layout_transform()),
         ] {
-            let cp = Compiler::new(&cat).compile(&prog).expect("compile");
+            let plan = cpu.prepare(&prog, &cat).expect("compile");
             let t = std::time::Instant::now();
-            let (out, _) = Executor::single_threaded().run(&cp, &cat).expect("run");
-            std::hint::black_box(out);
-            let cpu = t.elapsed().as_secs_f64() * 1e6;
-            let (_, report) = GpuSimulator::titan_x().run(&prog, &cat).expect("sim");
+            std::hint::black_box(plan.execute(&cat).expect("run"));
+            let cpu_us = t.elapsed().as_secs_f64() * 1e6;
+            let gpu_plan = gpu.prepare(&prog, &cat).expect("compile");
+            let gpu_us = gpu_plan
+                .profile(&cat)
+                .expect("sim")
+                .simulated_seconds()
+                .expect("priced")
+                * 1e6;
             println!(
                 "{:>14} {:>18} {:>12.0} {:>12.1}",
                 pattern.label(),
                 name,
-                cpu,
-                report.seconds * 1e6
+                cpu_us,
+                gpu_us
             );
         }
     }

@@ -1,22 +1,44 @@
 //! Tunability demo: the three selection strategies of Figure 15 (and the
-//! predication flag of Figure 1), on the CPU and the simulated GPU.
+//! predication flag of Figure 1), on the CPU and the simulated GPU —
+//! driven entirely through the unified backend API.
 //!
 //! The same scan-select-aggregate query is expressed three ways — each a
 //! one-operator (or one-flag) change — and behaves very differently per
 //! device, reproducing the paper's §5.3 "Selective Aggregation" study.
+//! Each variant is a registered `Session` backend; the statements
+//! themselves never change.
 //!
 //! ```sh
 //! cargo run --release --example predication
 //! ```
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use voodoo::backend::{CpuBackend, SimGpuBackend};
 use voodoo::compile::exec::ExecOptions;
-use voodoo::compile::{Compiler, Executor};
 use voodoo::gpusim::GpuSimulator;
+use voodoo::relational::Session;
 use voodoo_bench::micro;
 
 fn main() {
     let n = 1 << 18;
-    let cat = micro::selection_catalog(n, 42);
+    let mut session = Session::new(micro::selection_catalog(n, 42));
+    // The §4 physical tuning flag, exposed as two extra backends.
+    session.register(
+        "cpu-branchfree",
+        Arc::new(CpuBackend::new(ExecOptions {
+            predicated_select: true,
+            ..Default::default()
+        })),
+    );
+    session.register(
+        "gpu-branchfree",
+        Arc::new(SimGpuBackend::new(
+            GpuSimulator::titan_x().with_predication(true),
+        )),
+    );
+
     println!("selection over {n} values; times in microseconds\n");
     println!(
         "{:>6} {:>14} {:>14} {:>14}   (device)",
@@ -24,33 +46,44 @@ fn main() {
     );
     for sel in [1.0, 10.0, 50.0, 90.0] {
         let c = micro::cutoff(sel / 100.0);
-        let branching = micro::prog_select_sum_branching(c);
-        let branch_free = micro::prog_select_sum_predicated(c);
-        let vectorized = micro::prog_select_sum_vectorized(c, 4096);
+        let variants = [
+            (micro::prog_select_sum_branching(c), "cpu", "gpu"),
+            (micro::prog_select_sum_predicated(c), "cpu", "gpu"),
+            (
+                micro::prog_select_sum_vectorized(c, 4096),
+                "cpu-branchfree",
+                "gpu-branchfree",
+            ),
+        ];
 
-        // CPU, measured.
+        // CPU, measured (plans come pre-compiled from the session cache
+        // after the first call).
         let mut cpu = Vec::new();
-        for (p, pred) in [(&branching, false), (&branch_free, false), (&vectorized, true)] {
-            let cp = Compiler::new(&cat).compile(p).expect("compile");
-            let exec = Executor::new(ExecOptions {
-                predicated_select: pred,
-                ..Default::default()
-            });
-            let t = std::time::Instant::now();
-            let (out, _) = exec.run(&cp, &cat).expect("run");
-            std::hint::black_box(out);
+        for (p, cpu_backend, _) in &variants {
+            let stmt = session.program(p.clone());
+            stmt.run_on(cpu_backend).expect("warmup");
+            let t = Instant::now();
+            std::hint::black_box(stmt.run_on(cpu_backend).expect("run"));
             cpu.push(t.elapsed().as_secs_f64() * 1e6);
         }
-        println!("{sel:>6} {:>14.1} {:>14.1} {:>14.1}   (CPU measured)", cpu[0], cpu[1], cpu[2]);
+        println!(
+            "{sel:>6} {:>14.1} {:>14.1} {:>14.1}   (CPU measured)",
+            cpu[0], cpu[1], cpu[2]
+        );
 
-        // GPU, simulated.
+        // GPU, simulated: profile() prices the event trace.
         let mut gpu = Vec::new();
-        for (p, pred) in [(&branching, false), (&branch_free, false), (&vectorized, true)] {
-            let sim = GpuSimulator::titan_x().with_predication(pred);
-            let (_, report) = sim.run(p, &cat).expect("sim");
-            gpu.push(report.seconds * 1e6);
+        for (p, _, gpu_backend) in &variants {
+            let prof = session
+                .program(p.clone())
+                .profile_on(gpu_backend)
+                .expect("sim");
+            gpu.push(prof.simulated_seconds.expect("priced") * 1e6);
         }
-        println!("{sel:>6} {:>14.2} {:>14.2} {:>14.2}   (GPU simulated)", gpu[0], gpu[1], gpu[2]);
+        println!(
+            "{sel:>6} {:>14.2} {:>14.2} {:>14.2}   (GPU simulated)",
+            gpu[0], gpu[1], gpu[2]
+        );
     }
     println!("\nNote how the ordering flips between devices — the paper's");
     println!("point: the right technique is hardware- AND data-dependent.");

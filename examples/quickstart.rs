@@ -1,17 +1,18 @@
-//! Quickstart: the paper's Figure 3 / Figure 4 walkthrough.
+//! Quickstart: the paper's Figure 3 / Figure 4 walkthrough, through the
+//! unified `Session` API.
 //!
-//! Builds the multithreaded hierarchical aggregation of Figure 3, runs it
-//! on both backends, then applies the paper's famous two-line diff
-//! (Figure 4: `Divide` → `Modulo`) to re-target the same program from
-//! multicore partitions to SIMD lanes.
+//! Builds the multithreaded hierarchical aggregation of Figure 3, runs the
+//! *same statement* on the interpreter, the compiled CPU and the simulated
+//! GPU (`.run_on("...")` is the whole re-target), then applies the paper's
+//! famous two-line diff (Figure 4: `Divide` → `Modulo`) to re-target the
+//! program from multicore partitions to SIMD lanes.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use voodoo::compile::{kernel, Compiler, Executor};
 use voodoo::core::{KeyPath, Program, ScalarValue};
-use voodoo::interp::Interpreter;
+use voodoo::relational::Session;
 use voodoo::storage::Catalog;
 
 fn hierarchical_sum(simd: bool) -> Program {
@@ -19,7 +20,7 @@ fn hierarchical_sum(simd: bool) -> Program {
     let input = p.load("input");
     let ids = p.range_like(0, input, 1);
     // The Figure 4 diff: one operator changes, the rest of the program —
-    // and the backend — stay identical.
+    // and every backend — stay identical.
     let part_ids = if simd {
         p.mod_const(ids, 8) // laneCount := 8  (SIMD lanes)
     } else {
@@ -37,32 +38,34 @@ fn main() {
     cat.put_i64_column("input", &(1..=n as i64).collect::<Vec<_>>());
     let expected = (n as i64) * (n as i64 + 1) / 2;
 
-    for (name, simd) in [("multicore (Figure 3)", false), ("SIMD lanes (Figure 4)", true)] {
+    let session = Session::new(cat);
+    for (name, simd) in [
+        ("multicore (Figure 3)", false),
+        ("SIMD lanes (Figure 4)", true),
+    ] {
         let p = hierarchical_sum(simd);
         println!("== {name} ==");
         println!("{p}");
 
-        // Reference interpreter (the paper's debugging backend).
-        let out = Interpreter::new(&cat).run(&p).expect("interpret");
-        assert_eq!(out.value_at(0, &KeyPath::val()), Some(ScalarValue::I64(expected)));
-
-        // Compiled backend: fragments with extents and intents.
-        let cp = Compiler::new(&cat).compile(&p).expect("compile");
-        for f in cp.fragments() {
-            println!(
-                "fragment {}: extent={} intent={} ({:?})",
-                f.id,
-                f.extent,
-                f.intent,
-                f.kind()
+        // One statement, three backends — the portability claim as API.
+        let stmt = session.program(p);
+        for backend in ["interp", "cpu", "gpu"] {
+            let out = stmt.run_on(backend).expect("run");
+            assert_eq!(
+                out.raw().returns[0].value_at(0, &KeyPath::val()),
+                Some(ScalarValue::I64(expected))
             );
+            println!("{backend:>7}: total = {expected}");
         }
-        let (out, profile) = Executor::with_threads(4).run(&cp, &cat).expect("execute");
-        assert_eq!(
-            out.returns[0].value_at(0, &KeyPath::val()),
-            Some(ScalarValue::I64(expected))
-        );
-        println!("total = {expected}, barriers = {}", profile.barriers);
-        println!("\ngenerated kernels:\n{}", kernel::render_opencl(&cp));
+
+        // The compiled physical plan: fragments with extents and intents,
+        // plus the generated OpenCL-style kernels.
+        println!("\n{}", stmt.explain().expect("explain"));
     }
+
+    let stats = session.cache_stats();
+    println!(
+        "plan cache: {} prepared, {} served from cache",
+        stats.misses, stats.hits
+    );
 }

@@ -1,6 +1,7 @@
-//! The relational frontend end to end: generate TPC-H data, run Q6 and Q1
-//! through the Voodoo engine on every backend, plus an ad-hoc query
-//! through the SQL subset — and cross-check all of them.
+//! The relational frontend end to end through one `Session`: generate
+//! TPC-H data, run paper queries on all three backends, re-run them to hit
+//! the prepared-plan cache, and finish with ad-hoc SQL (including the
+//! MIN/MAX/AVG aggregates) — cross-checking everything.
 //!
 //! ```sh
 //! cargo run --release --example tpch_sql
@@ -8,50 +9,63 @@
 
 use std::time::Instant;
 
-use voodoo::relational;
+use voodoo::relational::Session;
 use voodoo::tpch::queries::Query;
 
 fn main() {
     let sf = 0.01;
     println!("generating TPC-H at SF {sf}...");
-    let mut cat = voodoo::tpch::generate(sf);
-    relational::prepare(&mut cat);
+    let session = Session::tpch(sf);
     println!(
         "lineitem rows: {}",
-        cat.table("lineitem").map(|t| t.len).unwrap_or(0)
+        session
+            .catalog()
+            .table("lineitem")
+            .map(|t| t.len)
+            .unwrap_or(0)
     );
 
     for q in [Query::Q6, Query::Q1, Query::Q5, Query::Q19] {
         let t = Instant::now();
-        let hyper = voodoo::baselines::hyper::run(&cat, q);
+        let hyper = voodoo::baselines::hyper::run(session.catalog(), q);
         let t_hyper = t.elapsed();
 
+        let stmt = session.query(q);
         let t = Instant::now();
-        let voodoo_res = relational::run_compiled(&cat, q, 1);
-        let t_voodoo = t.elapsed();
+        let cold = stmt.run().expect("voodoo").into_rows();
+        let t_cold = t.elapsed();
+        let t = Instant::now();
+        let warm = stmt.run().expect("voodoo warm").into_rows();
+        let t_warm = t.elapsed();
 
-        assert_eq!(hyper, voodoo_res, "{} results must agree", q.name());
+        assert_eq!(hyper, cold, "{} results must agree", q.name());
+        assert_eq!(cold, warm);
+        assert_eq!(cold, stmt.run_on("interp").expect("interp").into_rows());
+        assert_eq!(cold, stmt.run_on("gpu").expect("gpu").into_rows());
         println!(
-            "{:>4}: {} row(s) | hyper {:>9.3?} | voodoo {:>9.3?} | first row: {:?}",
+            "{:>4}: {} row(s) | hyper {:>9.3?} | voodoo cold {:>9.3?} | warm (cached plan) {:>9.3?}",
             q.name(),
-            voodoo_res.len(),
+            cold.len(),
             t_hyper,
-            t_voodoo,
-            voodoo_res.rows.first()
+            t_cold,
+            t_warm,
         );
     }
+    let stats = session.cache_stats();
+    println!(
+        "plan cache: {} prepared, {} cache hits across the re-runs and re-targets",
+        stats.misses, stats.hits
+    );
 
-    // Ad-hoc SQL through the parser + lowering.
-    let sql = "SELECT l_returnflag, SUM(l_quantity), COUNT(*) FROM lineitem \
+    // Ad-hoc SQL through the parser + lowering — same Session, any backend.
+    let sql = "SELECT l_returnflag, SUM(l_quantity), AVG(l_extendedprice), \
+               MIN(l_discount), MAX(l_discount), COUNT(*) FROM lineitem \
                WHERE l_discount BETWEEN 5 AND 7 GROUP BY l_returnflag";
     println!("\nSQL: {sql}");
-    let rows = relational::sql::execute(&cat, sql, |p, c| {
-        let cp = voodoo::compile::Compiler::new(c).compile(p).expect("compile");
-        let (out, _) = voodoo::compile::Executor::single_threaded().run(&cp, c).expect("run");
-        out
-    })
-    .expect("sql");
-    for row in rows {
+    let stmt = session.sql(sql).expect("parse");
+    let rows = stmt.run().expect("run").into_rows();
+    assert_eq!(rows, stmt.run_on("interp").expect("interp").into_rows());
+    for row in &rows.rows {
         println!("  {row:?}");
     }
 }

@@ -10,9 +10,12 @@
 //! * [`interp`] — the reference (bulk) interpreter backend
 //! * [`compile`] — the fragment compiler and parallel CPU backend
 //! * [`gpusim`] — the simulated GPU device (cost model)
+//! * [`backend`] — the unified `Backend`/`PreparedPlan` API over all
+//!   executors, plus the keyed prepared-plan cache
 //! * [`storage`] — MonetDB-style columnar storage substrate
 //! * [`tpch`] — TPC-H data generator and reference answers
-//! * [`relational`] — relational frontend (logical plans, SQL subset, lowering)
+//! * [`relational`] — relational frontend (logical plans, SQL subset,
+//!   lowering) and the [`relational::Session`] execution facade
 //! * [`baselines`] — HyPeR-style and Ocelot-style comparison engines
 //! * [`algos`] — cookbook of canonical Voodoo programs (paper listings +
 //!   §6 related-work translations: hashing, bounded cuckoo, compaction)
@@ -21,9 +24,15 @@
 //!
 //! ## Quickstart
 //!
+//! One `Session` is the entry point for every frontend (raw Voodoo
+//! programs, named TPC-H queries, SQL strings) and every backend (the
+//! interpreter, the compiled CPU, the simulated GPU). Statements are
+//! prepared once and cached; re-targeting a statement to different
+//! hardware is a one-word diff — the paper's portability claim as API.
+//!
 //! ```
-//! use voodoo::core::{Program, ScalarValue};
-//! use voodoo::interp::Interpreter;
+//! use voodoo::core::{KeyPath, Program, ScalarValue};
+//! use voodoo::relational::Session;
 //! use voodoo::storage::Catalog;
 //!
 //! // Hierarchical summation (paper Figure 3).
@@ -37,10 +46,40 @@
 //!
 //! let mut cat = Catalog::in_memory();
 //! cat.put_i64_column("input", &[1, 2, 3, 4, 5, 6, 7, 8]);
-//! let out = Interpreter::new(&cat).run(&p).unwrap();
-//! assert_eq!(out.scalar_at(0, 0), Some(ScalarValue::I64(36)));
+//! let session = Session::new(cat);
+//!
+//! // The same statement on three backends — bit-identical by construction.
+//! let stmt = session.program(p);
+//! for backend in ["interp", "cpu", "gpu"] {
+//!     let out = stmt.run_on(backend).unwrap();
+//!     assert_eq!(
+//!         out.raw().returns[0].value_at(0, &KeyPath::val()),
+//!         Some(ScalarValue::I64(36)),
+//!     );
+//! }
+//! // Re-runs hit the prepared-plan cache instead of recompiling.
+//! assert!(session.cache_stats().misses >= 3);
+//! let _ = stmt.run().unwrap();
+//! assert!(session.cache_stats().hits >= 1);
+//! ```
+//!
+//! The relational frontends ride the same facade:
+//!
+//! ```
+//! use voodoo::relational::Session;
+//! use voodoo::tpch::queries::Query;
+//!
+//! let session = Session::tpch(0.002); // generate + prepare TPC-H
+//! let q6 = session.run_query(Query::Q6).unwrap();
+//! let gpu = session.query(Query::Q6).run_on("gpu").unwrap();
+//! assert_eq!(&q6, gpu.rows());
+//! let adhoc = session
+//!     .run_sql("SELECT MIN(l_quantity), MAX(l_quantity) FROM lineitem")
+//!     .unwrap();
+//! assert_eq!(adhoc.len(), 1);
 //! ```
 pub use voodoo_algos as algos;
+pub use voodoo_backend as backend;
 pub use voodoo_baselines as baselines;
 pub use voodoo_compile as compile;
 pub use voodoo_core as core;

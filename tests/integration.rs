@@ -1,27 +1,28 @@
 //! Cross-crate integration tests: the full pipeline from SQL / relational
-//! plans through the algebra, both backends, storage persistence and the
-//! simulated GPU.
+//! plans through the algebra, every backend behind the unified `Session`
+//! facade, storage persistence and the simulated GPU.
 
 use voodoo::compile::exec::ExecOptions;
 use voodoo::compile::{Compiler, Executor};
 use voodoo::core::{KeyPath, Program, ScalarValue};
-use voodoo::gpusim::GpuSimulator;
 use voodoo::interp::Interpreter;
+use voodoo::relational::Session;
 use voodoo::storage::Catalog;
 use voodoo::tpch::queries::{Query, CPU_QUERIES, GPU_QUERIES};
 
-/// End-to-end: every engine and every backend agrees on every paper query.
+/// End-to-end: every engine and every backend agrees on every paper query
+/// through the one `Session` entry point.
 #[test]
 fn all_engines_agree_on_the_paper_query_set() {
-    let mut cat = voodoo::tpch::generate(0.002);
-    voodoo::relational::prepare(&mut cat);
+    let session = Session::tpch(0.002);
     for q in CPU_QUERIES {
-        let hyper = voodoo::baselines::hyper::run(&cat, q);
-        let interp = voodoo::relational::run_interp(&cat, q);
-        let compiled = voodoo::relational::run_compiled(&cat, q, 2);
-        assert_eq!(hyper, interp, "{} interp", q.name());
-        assert_eq!(hyper, compiled, "{} compiled", q.name());
-        if let Some(ocelot) = voodoo::baselines::ocelot::run(&cat, q) {
+        let hyper = voodoo::baselines::hyper::run(session.catalog(), q);
+        let stmt = session.query(q);
+        let interp = stmt.run_on("interp").expect("interp");
+        let compiled = stmt.run().expect("cpu");
+        assert_eq!(&hyper, interp.rows(), "{} interp", q.name());
+        assert_eq!(&hyper, compiled.rows(), "{} compiled", q.name());
+        if let Some(ocelot) = voodoo::baselines::ocelot::run(session.catalog(), q) {
             assert_eq!(hyper, ocelot, "{} ocelot", q.name());
         }
     }
@@ -31,19 +32,17 @@ fn all_engines_agree_on_the_paper_query_set() {
 /// compiled plans) with a positive simulated cost.
 #[test]
 fn gpu_simulation_preserves_results() {
-    let mut cat = voodoo::tpch::generate(0.002);
-    voodoo::relational::prepare(&mut cat);
-    let gpu = GpuSimulator::titan_x();
+    let session = Session::tpch(0.002);
     for q in GPU_QUERIES {
-        let hyper = voodoo::baselines::hyper::run(&cat, q);
-        let mut total = 0.0;
-        let res = voodoo::relational::run_with(&cat, q, |p, c| {
-            let (out, report) = gpu.run(p, c).expect("sim");
-            total += report.seconds;
-            out
-        });
-        assert_eq!(hyper, res, "{} gpu", q.name());
-        assert!(total > 0.0, "{} has positive simulated time", q.name());
+        let hyper = voodoo::baselines::hyper::run(session.catalog(), q);
+        let res = session.query(q).run_on("gpu").expect("gpu");
+        assert_eq!(&hyper, res.rows(), "{} gpu", q.name());
+        let prof = session.query(q).profile_on("gpu").expect("gpu profile");
+        assert!(
+            prof.simulated_seconds.unwrap_or(0.0) > 0.0,
+            "{} has positive simulated time",
+            q.name()
+        );
     }
 }
 
@@ -56,16 +55,18 @@ fn persisted_catalog_round_trips_through_queries() {
     let dir = std::env::temp_dir().join(format!("voodoo_it_{}", std::process::id()));
     cat.save_dir(&dir).expect("save");
     let loaded = Catalog::load_dir(&dir).expect("load");
+    let original = Session::new(cat);
+    let reloaded = Session::new(loaded);
     for q in [Query::Q1, Query::Q6, Query::Q12] {
         assert_eq!(
-            voodoo::baselines::hyper::run(&cat, q),
-            voodoo::baselines::hyper::run(&loaded, q),
+            voodoo::baselines::hyper::run(original.catalog(), q),
+            voodoo::baselines::hyper::run(reloaded.catalog(), q),
             "{} after reload",
             q.name()
         );
         assert_eq!(
-            voodoo::relational::run_compiled(&cat, q, 1),
-            voodoo::relational::run_compiled(&loaded, q, 1),
+            original.run_query(q).expect("original"),
+            reloaded.run_query(q).expect("reloaded"),
             "{} voodoo after reload",
             q.name()
         );
@@ -91,7 +92,10 @@ fn readme_flow() {
 
     let cp = Compiler::new(&cat).compile(&p).unwrap();
     let (out, profile) = Executor::single_threaded().run(&cp, &cat).unwrap();
-    assert_eq!(out.returns[0].value_at(0, &KeyPath::val()), Some(ScalarValue::I64(36)));
+    assert_eq!(
+        out.returns[0].value_at(0, &KeyPath::val()),
+        Some(ScalarValue::I64(36))
+    );
     assert!(profile.barriers >= 1);
 }
 
@@ -110,7 +114,10 @@ fn microbench_variants_agree_everywhere() {
         (micro::prog_select_sum_vectorized(c, 512), true),
     ] {
         let cp = Compiler::new(&cat).compile(&p).unwrap();
-        let exec = Executor::new(ExecOptions { predicated_select: pred, ..Default::default() });
+        let exec = Executor::new(ExecOptions {
+            predicated_select: pred,
+            ..Default::default()
+        });
         let (out, _) = exec.run(&cp, &cat).unwrap();
         answers.push(out.returns[0].value_at(0, &KeyPath::val()));
         // Interpreter agrees too.
@@ -134,15 +141,25 @@ fn sql_frontend_matches_native_rust() {
         let hi = rng.gen_range(0..50);
         let mut cat = Catalog::in_memory();
         cat.put_i64_column("t", &vals);
-        let sql = format!("SELECT SUM(val), COUNT(*) FROM t WHERE val >= {lo} AND val < {hi}");
-        let rows = voodoo::relational::sql::execute(&cat, &sql, |p, c| {
-            let cp = Compiler::new(c).compile(p).unwrap();
-            Executor::single_threaded().run(&cp, c).unwrap().0
-        })
-        .unwrap();
-        let expect_sum: i64 = vals.iter().filter(|&&v| v >= lo && v < hi).sum();
-        let expect_cnt = vals.iter().filter(|&&v| v >= lo && v < hi).count() as i64;
-        assert_eq!(rows, vec![vec![expect_sum, expect_cnt]]);
+        let session = Session::new(cat);
+        let sql = format!(
+            "SELECT SUM(val), COUNT(*), MIN(val), MAX(val) FROM t \
+             WHERE val >= {lo} AND val < {hi}"
+        );
+        let rows = session.run_sql(&sql).unwrap();
+        let hits: Vec<i64> = vals
+            .iter()
+            .copied()
+            .filter(|&v| v >= lo && v < hi)
+            .collect();
+        let expect_sum: i64 = hits.iter().sum();
+        let expect_cnt = hits.len() as i64;
+        let expect_min = hits.iter().min().copied().unwrap_or(0);
+        let expect_max = hits.iter().max().copied().unwrap_or(0);
+        assert_eq!(
+            rows,
+            vec![vec![expect_sum, expect_cnt, expect_min, expect_max]]
+        );
     }
 }
 
@@ -164,14 +181,18 @@ fn cookbook_grouped_agg_matches_sql_on_tpch() {
         .column("l_returnflag")
         .expect("flag col");
     let domain = flags.dict.as_ref().map(|d| d.len()).unwrap_or(3);
-    let p = aggregate::grouped_agg("lineitem", "l_returnflag", "l_quantity", domain,
-        voodoo::core::AggKind::Sum);
+    let p = aggregate::grouped_agg(
+        "lineitem",
+        "l_returnflag",
+        "l_quantity",
+        domain,
+        voodoo::core::AggKind::Sum,
+    );
     let out = Interpreter::new(&cat).run_program(&p).expect("interp");
     let rows = extract_padded(&out.returns[0], &[&out.returns[1]]);
 
     // Reference: straight Rust over the raw columns.
-    let flag_vals: Vec<i64> =
-        flags.data.present().map(|v| v.as_i64()).collect();
+    let flag_vals: Vec<i64> = flags.data.present().map(|v| v.as_i64()).collect();
     let qty: Vec<i64> = cat
         .table("lineitem")
         .unwrap()
@@ -207,7 +228,9 @@ fn optimizer_plans_are_executable_end_to_end() {
     let mut cat = Catalog::in_memory();
     cat.put_i64_column(
         "vals",
-        &(0..50_000i64).map(|i| (i * 2654435761) % 1000).collect::<Vec<_>>(),
+        &(0..50_000i64)
+            .map(|i| (i * 2654435761) % 1000)
+            .collect::<Vec<_>>(),
     );
     let expected: i64 = (0..50_000i64)
         .map(|i| (i * 2654435761) % 1000)
@@ -230,7 +253,9 @@ fn optimizer_plans_are_executable_end_to_end() {
             .with_sample_rows(8_192)
             .choose(&wl, &cat)
             .expect("choose");
-        let cp = Compiler::new(&cat).compile(&choice.best.candidate.program).expect("compile");
+        let cp = Compiler::new(&cat)
+            .compile(&choice.best.candidate.program)
+            .expect("compile");
         let exec = Executor::new(ExecOptions {
             predicated_select: choice.best.candidate.predicated_select,
             ..Default::default()

@@ -1,0 +1,91 @@
+//! The ISSUE-1 acceptance tests: every TPC-H query and a set of
+//! SQL-subset queries return bit-identical results on all three backends
+//! through the single `Session` API at SF 0.01, and re-running a prepared
+//! statement skips recompilation (asserted via the cache-hit counter).
+
+use voodoo::relational::Session;
+use voodoo::tpch::queries::CPU_QUERIES;
+
+const BACKENDS: [&str; 3] = ["interp", "cpu", "gpu"];
+
+#[test]
+fn all_backends_bit_identical_on_every_tpch_query_at_sf_001() {
+    let session = Session::tpch(0.01);
+    for q in CPU_QUERIES {
+        let stmt = session.query(q);
+        let reference = stmt.run_on(BACKENDS[0]).expect("interp").into_rows();
+        for backend in &BACKENDS[1..] {
+            let got = stmt.run_on(backend).expect(backend).into_rows();
+            assert_eq!(reference, got, "{} differs on {backend}", q.name());
+        }
+        // And the independent HyPeR-style engine agrees too.
+        let hyper = voodoo::baselines::hyper::run(session.catalog(), q);
+        assert_eq!(hyper, reference, "{} differs from hyper", q.name());
+    }
+}
+
+#[test]
+fn all_backends_bit_identical_on_sql_subset_queries() {
+    let session = Session::tpch(0.01);
+    let queries = [
+        "SELECT SUM(l_extendedprice * l_discount) FROM lineitem \
+         WHERE l_shipdate >= 700 AND l_shipdate < 1100 AND l_quantity < 24",
+        "SELECT COUNT(*) FROM lineitem",
+        "SELECT l_returnflag, SUM(l_quantity), COUNT(*) FROM lineitem GROUP BY l_returnflag",
+        "SELECT l_linestatus, MIN(l_extendedprice), MAX(l_extendedprice) \
+         FROM lineitem WHERE l_discount BETWEEN 2 AND 8 GROUP BY l_linestatus",
+        "SELECT AVG(l_quantity), MIN(l_shipdate), MAX(l_shipdate) FROM lineitem \
+         WHERE l_quantity >= 10",
+        "SELECT l_returnflag, AVG(l_extendedprice), MIN(l_quantity), MAX(l_quantity), \
+         SUM(l_tax), COUNT(*) FROM lineitem WHERE l_shipdate < 1500 GROUP BY l_returnflag",
+        // An empty selection: MIN/MAX/AVG must report 0, identically.
+        "SELECT MIN(l_quantity), MAX(l_quantity), AVG(l_quantity), COUNT(*) \
+         FROM lineitem WHERE l_quantity > 1000000",
+    ];
+    for sql in queries {
+        let stmt = session.sql(sql).expect("parse");
+        let reference = stmt.run_on(BACKENDS[0]).expect("interp").into_rows();
+        for backend in &BACKENDS[1..] {
+            let got = stmt.run_on(backend).expect(backend).into_rows();
+            assert_eq!(reference, got, "SQL differs on {backend}: {sql}");
+        }
+    }
+}
+
+#[test]
+fn second_run_skips_recompilation_via_the_plan_cache() {
+    let session = Session::tpch(0.01);
+
+    // TPC-H statement: first run prepares, second run only hits.
+    let stmt = session.query(voodoo::tpch::queries::Query::Q1);
+    stmt.run().expect("cold run");
+    let cold = session.cache_stats();
+    assert!(cold.misses > 0, "cold run must prepare at least one plan");
+    stmt.run().expect("warm run");
+    let warm = session.cache_stats();
+    assert_eq!(warm.misses, cold.misses, "warm run must not recompile");
+    assert!(
+        warm.hits > cold.hits,
+        "warm run must be served from the cache"
+    );
+
+    // Same for a SQL statement.
+    let sql = "SELECT l_returnflag, SUM(l_quantity) FROM lineitem GROUP BY l_returnflag";
+    session.run_sql(sql).expect("cold sql");
+    let cold = session.cache_stats();
+    session.run_sql(sql).expect("warm sql");
+    let warm = session.cache_stats();
+    assert_eq!(warm.misses, cold.misses, "SQL warm run must not recompile");
+    assert!(warm.hits > cold.hits, "SQL warm run must hit the cache");
+
+    // Distinct backends prepare distinct plans (no false sharing) …
+    let misses_before = session.cache_stats().misses;
+    stmt.run_on("gpu").expect("gpu");
+    assert!(session.cache_stats().misses > misses_before);
+    // … but repeating the re-targeted run is cached as well.
+    let stats_before = session.cache_stats();
+    stmt.run_on("gpu").expect("gpu again");
+    let stats_after = session.cache_stats();
+    assert_eq!(stats_after.misses, stats_before.misses);
+    assert!(stats_after.hits > stats_before.hits);
+}

@@ -13,16 +13,25 @@ use voodoo::storage::{Catalog, Table, TableColumn};
 fn assert_equivalent_after_optimize(cat: &Catalog, p: &Program) {
     let (q, stats) = optimize(p);
     q.validate().expect("optimized program is valid SSA");
-    let a = Interpreter::new(cat).run_program(p).expect("original interp");
-    let b = Interpreter::new(cat).run_program(&q).expect("optimized interp");
+    let a = Interpreter::new(cat)
+        .run_program(p)
+        .expect("original interp");
+    let b = Interpreter::new(cat)
+        .run_program(&q)
+        .expect("optimized interp");
     assert_eq!(a.returns.len(), b.returns.len());
     for (x, y) in a.returns.iter().zip(&b.returns) {
-        assert_eq!(x, y, "interp returns differ (stats {stats:?})\n{p}\nvs\n{q}");
+        assert_eq!(
+            x, y,
+            "interp returns differ (stats {stats:?})\n{p}\nvs\n{q}"
+        );
     }
     assert_eq!(a.persisted, b.persisted, "persists differ");
 
     let cp = Compiler::new(cat).compile(&q).expect("optimized compiles");
-    let (c, _) = Executor::with_threads(2).run(&cp, cat).expect("optimized runs");
+    let (c, _) = Executor::with_threads(2)
+        .run(&cp, cat)
+        .expect("optimized runs");
     for (x, y) in a.returns.iter().zip(&c.returns) {
         assert_eq!(x, y, "compiled returns differ after optimize");
     }
@@ -30,7 +39,10 @@ fn assert_equivalent_after_optimize(cat: &Catalog, p: &Program) {
 
 fn cookbook_catalog() -> Catalog {
     let mut cat = Catalog::in_memory();
-    cat.put_i64_column("input", &(0..512i64).map(|i| (i * 37) % 101).collect::<Vec<_>>());
+    cat.put_i64_column(
+        "input",
+        &(0..512i64).map(|i| (i * 37) % 101).collect::<Vec<_>>(),
+    );
     cat.put_i64_column("keys", &(0..48i64).map(|i| i * 7 + 1).collect::<Vec<_>>());
     cat.put_i64_column("probe", &(0..24i64).map(|i| i * 14 + 1).collect::<Vec<_>>());
     let mut fact = Table::new("fact");
@@ -54,7 +66,10 @@ fn cookbook_catalog() -> Catalog {
         voodoo::core::Buffer::I64((0..64i64).map(|x| x * 3).collect()),
     ));
     cat.insert_table(t2);
-    cat.put_i64_column("positions", &(0..256i64).map(|i| (i * 17) % 64).collect::<Vec<_>>());
+    cat.put_i64_column(
+        "positions",
+        &(0..256i64).map(|i| (i * 17) % 64).collect::<Vec<_>>(),
+    );
     cat
 }
 
@@ -127,18 +142,21 @@ fn cse_merges_repeated_control_zips() {
 /// reference results exactly.
 #[test]
 fn tpch_plans_invariant_under_optimize() {
+    use voodoo::backend::InterpBackend;
+    use voodoo::relational::{queries, run_query_on};
     use voodoo::tpch::queries::CPU_QUERIES;
     let mut cat = voodoo::tpch::generate(0.002);
     voodoo::relational::prepare(&mut cat);
     for q in CPU_QUERIES {
-        let reference = voodoo::relational::run_interp(&cat, q);
+        let reference = run_query_on(&InterpBackend::new(), &cat, q).expect("reference");
         let mut total_removed = 0usize;
-        let optimized = voodoo::relational::run_with(&cat, q, |p, c| {
+        let optimized = queries::run_query(&cat, q, &mut |p: &Program, c: &Catalog| {
             let (opt, stats) = optimize(p);
             opt.validate().expect("valid after optimize");
             total_removed += stats.removed();
-            Interpreter::new(c).run_program(&opt).expect("optimized interp")
-        });
+            Interpreter::new(c).run_program(&opt)
+        })
+        .expect("optimized");
         assert_eq!(reference, optimized, "{}", q.name());
     }
 }
