@@ -9,14 +9,33 @@
 //! whenever table shapes can have changed; the program key is the full
 //! rendered SSA text, so two structurally identical plans share one entry
 //! and hash collisions are impossible.
+//!
+//! Two cache shapes ship here:
+//!
+//! * [`PlanCache`] — a single-owner, capacity-bounded LRU map. This is
+//!   one shard's worth of state; it needs `&mut self`.
+//! * [`ShardedPlanCache`] — N lock-striped [`PlanCache`] shards behind one
+//!   `&self` API. Statements hash to a shard by key, so concurrent
+//!   sessions contend only when they prepare statements that land on the
+//!   same stripe — and never while *executing* (execution happens outside
+//!   every cache lock).
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 use voodoo_core::{Program, Result};
 use voodoo_storage::Catalog;
 
 use crate::{Backend, PreparedPlan};
+
+/// Default total plan capacity ([`PlanCache::new`] and
+/// [`ShardedPlanCache::new`]).
+pub const DEFAULT_PLAN_CAPACITY: usize = 256;
+
+/// Default shard count for [`ShardedPlanCache::new`].
+pub const DEFAULT_SHARDS: usize = 8;
 
 /// Cache key: backend identity, catalog mutation counter, program text.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -32,37 +51,93 @@ pub struct PlanKey {
 impl PlanKey {
     /// Build the key for a program on a backend against a catalog state.
     pub fn new(backend: &dyn Backend, catalog: &Catalog, program: &Program) -> PlanKey {
+        PlanKey::named(backend.name(), catalog, program)
+    }
+
+    /// Build the key under an explicit backend identity instead of the
+    /// backend's self-reported [`Backend::name`].
+    ///
+    /// Registries that let callers register *differently configured*
+    /// backends of the same type under distinct names (or replace a
+    /// backend under one name) must key plans by their own identity —
+    /// e.g. `"registry-name#registration-epoch"` — or two backends
+    /// reporting the same `name()` would silently share plans.
+    pub fn named(identity: &str, catalog: &Catalog, program: &Program) -> PlanKey {
         PlanKey {
-            backend: backend.name().to_string(),
+            backend: identity.to_string(),
             catalog_version: catalog.version(),
             program: program.to_string(),
         }
     }
 }
 
-/// Hit/miss counters (cumulative since construction or [`PlanCache::clear`]).
+/// Hit/miss/eviction counters (cumulative since construction or
+/// [`PlanCache::clear`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: u64,
     /// Lookups that had to prepare.
     pub misses: u64,
+    /// Entries dropped — stale catalog versions plus LRU capacity
+    /// evictions.
+    pub evictions: u64,
     /// Entries currently cached.
     pub entries: usize,
+    /// Maximum entries the cache will hold (summed over shards).
+    pub capacity: usize,
 }
 
-/// A keyed cache of prepared plans.
-#[derive(Default)]
+struct Entry {
+    plan: Arc<dyn PreparedPlan>,
+    /// Logical last-use time for LRU eviction.
+    tick: u64,
+}
+
+/// A keyed, capacity-bounded LRU cache of prepared plans (one shard).
 pub struct PlanCache {
-    map: HashMap<PlanKey, Arc<dyn PreparedPlan>>,
+    map: HashMap<PlanKey, Entry>,
+    capacity: usize,
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_capacity(DEFAULT_PLAN_CAPACITY)
+    }
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache holding up to [`DEFAULT_PLAN_CAPACITY`] plans.
     pub fn new() -> PlanCache {
         PlanCache::default()
+    }
+
+    /// An empty cache bounded to `capacity` plans (minimum 1).
+    pub fn with_capacity(capacity: usize) -> PlanCache {
+        PlanCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Re-bound the cache, evicting least-recently-used plans if it
+    /// currently holds more than the new capacity.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        self.evict_to_capacity();
     }
 
     /// Fetch the prepared plan for `program` on `backend`, preparing (and
@@ -70,8 +145,8 @@ impl PlanCache {
     ///
     /// Inserting a plan evicts entries for the same `(backend, program)`
     /// at other catalog versions: they can never hit again (versions are
-    /// monotonic per catalog), so dropping them bounds memory on sessions
-    /// that interleave catalog mutations with query runs.
+    /// monotonic per catalog), so dropping them eagerly keeps stale plans
+    /// from squatting on LRU capacity.
     pub fn get_or_prepare(
         &mut self,
         backend: &dyn Backend,
@@ -79,19 +154,59 @@ impl PlanCache {
         catalog: &Catalog,
     ) -> Result<Arc<dyn PreparedPlan>> {
         let key = PlanKey::new(backend, catalog, program);
-        if let Some(plan) = self.map.get(&key) {
+        self.get_or_prepare_keyed(key, backend, program, catalog)
+    }
+
+    /// [`Self::get_or_prepare`] with a caller-built key (avoids rendering
+    /// the program text twice on the sharded path, and lets registries key
+    /// by their own backend identity).
+    pub fn get_or_prepare_keyed(
+        &mut self,
+        key: PlanKey,
+        backend: &dyn Backend,
+        program: &Program,
+        catalog: &Catalog,
+    ) -> Result<Arc<dyn PreparedPlan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.tick = tick;
             self.hits += 1;
-            return Ok(Arc::clone(plan));
+            return Ok(Arc::clone(&entry.plan));
         }
         let plan = backend.prepare(program, catalog)?;
         self.misses += 1;
+        let before = self.map.len();
         self.map.retain(|k, _| {
             k.catalog_version == key.catalog_version
                 || k.backend != key.backend
                 || k.program != key.program
         });
-        self.map.insert(key, Arc::clone(&plan));
+        self.evictions += (before - self.map.len()) as u64;
+        self.map.insert(
+            key,
+            Entry {
+                plan: Arc::clone(&plan),
+                tick,
+            },
+        );
+        self.evict_to_capacity();
         Ok(plan)
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.map.len() > self.capacity {
+            // Capacity-per-shard is small; a min-scan beats maintaining an
+            // intrusive LRU list at this size.
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map above capacity");
+            self.map.remove(&lru);
+            self.evictions += 1;
+        }
     }
 
     /// Current counters.
@@ -99,15 +214,161 @@ impl PlanCache {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
+            evictions: self.evictions,
             entries: self.map.len(),
+            capacity: self.capacity,
         }
     }
 
-    /// Drop every entry and reset the counters.
+    /// Drop every entry while preserving the cumulative counters; the
+    /// dropped entries are counted as evictions.
+    pub fn evict_all(&mut self) {
+        self.evictions += self.map.len() as u64;
+        self.map.clear();
+    }
+
+    /// Drop every entry and reset the counters (capacity is kept).
     pub fn clear(&mut self) {
         self.map.clear();
+        self.tick = 0;
         self.hits = 0;
         self.misses = 0;
+        self.evictions = 0;
+    }
+}
+
+/// A thread-safe prepared-plan cache: N lock-striped [`PlanCache`] shards.
+///
+/// Keys hash to one shard, so concurrent statement preparation contends
+/// per-stripe instead of on one global lock. The shard mutex *is* held
+/// while the backend compiles a missing plan — that makes preparation
+/// single-flight per stripe (two sessions racing on the same cold
+/// statement produce one compile, one miss), which keeps the hit/miss
+/// accounting exact under concurrency. Execution of the returned plan
+/// happens entirely outside the cache.
+pub struct ShardedPlanCache {
+    shards: Box<[Mutex<PlanCache>]>,
+}
+
+impl Default for ShardedPlanCache {
+    fn default() -> Self {
+        ShardedPlanCache::with_shards(DEFAULT_SHARDS, DEFAULT_PLAN_CAPACITY)
+    }
+}
+
+impl ShardedPlanCache {
+    /// [`DEFAULT_SHARDS`] stripes bounding [`DEFAULT_PLAN_CAPACITY`] plans
+    /// in total.
+    pub fn new() -> ShardedPlanCache {
+        ShardedPlanCache::default()
+    }
+
+    /// A cache with an explicit stripe count and *total* capacity (split
+    /// evenly across shards, rounding up).
+    pub fn with_shards(shards: usize, total_capacity: usize) -> ShardedPlanCache {
+        let shards = shards.max(1);
+        let per_shard = total_capacity.div_ceil(shards).max(1);
+        ShardedPlanCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(PlanCache::with_capacity(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity summed over shards.
+    pub fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| Self::lock_shard(s).capacity())
+            .sum()
+    }
+
+    /// Re-bound the total capacity (split evenly across shards, rounding
+    /// up), evicting LRU plans from over-full shards.
+    pub fn set_capacity(&self, total_capacity: usize) {
+        let per_shard = total_capacity.div_ceil(self.shards.len()).max(1);
+        for shard in self.shards.iter() {
+            Self::lock_shard(shard).set_capacity(per_shard);
+        }
+    }
+
+    /// Lock a shard, recovering from poisoning: a backend that panicked
+    /// mid-`prepare` must not take 1/N of all statements down with it.
+    /// The shard's own state is consistent at every panic point (the map
+    /// is only touched after a successful prepare), so the poison flag
+    /// carries no information here.
+    fn lock_shard(shard: &Mutex<PlanCache>) -> std::sync::MutexGuard<'_, PlanCache> {
+        shard.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn shard_for(&self, key: &PlanKey) -> &Mutex<PlanCache> {
+        // Shard by (backend, program) only — NOT the catalog version — so
+        // every version of one statement lands in the same shard and the
+        // insert-time stale-version eviction can see (and drop) its
+        // predecessors.
+        let mut h = DefaultHasher::new();
+        key.backend.hash(&mut h);
+        key.program.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Fetch (or prepare and cache) the plan for `program` on `backend`.
+    pub fn get_or_prepare(
+        &self,
+        backend: &dyn Backend,
+        program: &Program,
+        catalog: &Catalog,
+    ) -> Result<Arc<dyn PreparedPlan>> {
+        self.get_or_prepare_named(backend.name(), backend, program, catalog)
+    }
+
+    /// [`Self::get_or_prepare`] keyed by an explicit backend identity
+    /// (see [`PlanKey::named`]) rather than `backend.name()`.
+    pub fn get_or_prepare_named(
+        &self,
+        identity: &str,
+        backend: &dyn Backend,
+        program: &Program,
+        catalog: &Catalog,
+    ) -> Result<Arc<dyn PreparedPlan>> {
+        let key = PlanKey::named(identity, catalog, program);
+        Self::lock_shard(self.shard_for(&key)).get_or_prepare_keyed(key, backend, program, catalog)
+    }
+
+    /// Counters summed over every shard.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in self.shards.iter() {
+            let s = Self::lock_shard(shard).stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.entries += s.entries;
+            total.capacity += s.capacity;
+        }
+        total
+    }
+
+    /// Drop every entry and reset all counters (capacity is kept).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            Self::lock_shard(shard).clear();
+        }
+    }
+
+    /// Drop every entry while PRESERVING the cumulative counters (the
+    /// dropped entries count as evictions). For callers that must
+    /// invalidate plans without zeroing an operator dashboard's hit/miss
+    /// history — e.g. a backend registry replacing a backend.
+    pub fn evict_all(&self) {
+        for shard in self.shards.iter() {
+            Self::lock_shard(shard).evict_all();
+        }
     }
 }
 
@@ -127,6 +388,17 @@ mod tests {
         (cat, p)
     }
 
+    /// A distinct single-table sum program per `i` (different constants →
+    /// different SSA text → different cache keys).
+    fn distinct_program(i: i64) -> Program {
+        let mut p = Program::new();
+        let t = p.load("t");
+        let t = p.add_const(t, i);
+        let s = p.fold_sum_global(t);
+        p.ret(s);
+        p
+    }
+
     #[test]
     fn second_lookup_hits() {
         let (cat, p) = fixture();
@@ -135,14 +407,8 @@ mod tests {
         let a = cache.get_or_prepare(&backend, &p, &cat).unwrap();
         let b = cache.get_or_prepare(&backend, &p, &cat).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "same prepared plan instance");
-        assert_eq!(
-            cache.stats(),
-            CacheStats {
-                hits: 1,
-                misses: 1,
-                entries: 1
-            }
-        );
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.entries), (1, 1, 0, 1));
         let out = b.execute(&cat).unwrap();
         assert_eq!(
             out.returns[0]
@@ -173,8 +439,10 @@ mod tests {
         // Replacing the table changes the version — the old plan is stale.
         cat.put_i64_column("t", &[10, 20, 30, 40, 50]);
         let plan = cache.get_or_prepare(&backend, &p, &cat).unwrap();
-        assert_eq!(cache.stats().hits, 0);
-        assert_eq!(cache.stats().misses, 2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 2));
+        assert_eq!(s.evictions, 1, "the stale-version plan was evicted");
+        assert_eq!(s.entries, 1, "stale plan dropped, not retained");
         let out = plan.execute(&cat).unwrap();
         assert_eq!(
             out.returns[0]
@@ -185,12 +453,173 @@ mod tests {
     }
 
     #[test]
+    fn capacity_bounds_entries_with_lru_eviction() {
+        let (cat, _) = fixture();
+        let backend = CpuBackend::single_threaded();
+        let mut cache = PlanCache::with_capacity(3);
+        for i in 0..5 {
+            cache
+                .get_or_prepare(&backend, &distinct_program(i), &cat)
+                .unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.capacity, 3);
+        // Plans 0 and 1 were evicted (LRU); 2..5 still hit.
+        for i in 2..5 {
+            cache
+                .get_or_prepare(&backend, &distinct_program(i), &cat)
+                .unwrap();
+        }
+        assert_eq!(cache.stats().hits, 3);
+        // A re-prepare of an evicted plan is a miss again.
+        cache
+            .get_or_prepare(&backend, &distinct_program(0), &cat)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 6);
+    }
+
+    #[test]
+    fn lru_favors_recently_used_plans() {
+        let (cat, _) = fixture();
+        let backend = CpuBackend::single_threaded();
+        let mut cache = PlanCache::with_capacity(2);
+        cache
+            .get_or_prepare(&backend, &distinct_program(0), &cat)
+            .unwrap();
+        cache
+            .get_or_prepare(&backend, &distinct_program(1), &cat)
+            .unwrap();
+        // Touch plan 0 so plan 1 becomes the LRU victim.
+        cache
+            .get_or_prepare(&backend, &distinct_program(0), &cat)
+            .unwrap();
+        cache
+            .get_or_prepare(&backend, &distinct_program(2), &cat)
+            .unwrap();
+        let hits = cache.stats().hits;
+        cache
+            .get_or_prepare(&backend, &distinct_program(0), &cat)
+            .unwrap();
+        assert_eq!(cache.stats().hits, hits + 1, "recently-used plan kept");
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let (cat, _) = fixture();
+        let backend = CpuBackend::single_threaded();
+        let mut cache = PlanCache::with_capacity(8);
+        for i in 0..4 {
+            cache
+                .get_or_prepare(&backend, &distinct_program(i), &cat)
+                .unwrap();
+        }
+        cache.set_capacity(2);
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 2);
+    }
+
+    #[test]
     fn clear_resets_everything() {
         let (cat, p) = fixture();
         let backend = CpuBackend::single_threaded();
         let mut cache = PlanCache::new();
         cache.get_or_prepare(&backend, &p, &cat).unwrap();
         cache.clear();
-        assert_eq!(cache.stats(), CacheStats::default());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.entries), (0, 0, 0, 0));
+        assert_eq!(s.capacity, DEFAULT_PLAN_CAPACITY, "capacity survives");
+    }
+
+    #[test]
+    fn sharded_cache_serves_hits_across_threads() {
+        let (cat, _) = fixture();
+        let backend = CpuBackend::single_threaded();
+        let cache = ShardedPlanCache::new();
+        let programs: Vec<Program> = (0..4).map(distinct_program).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for p in &programs {
+                        cache.get_or_prepare(&backend, p, &cat).unwrap();
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(
+            s.misses, 4,
+            "single-flight per stripe: one compile per distinct program"
+        );
+        assert_eq!(s.hits, 12);
+        assert_eq!(s.entries, 4);
+    }
+
+    #[test]
+    fn distinct_identities_separate_same_named_backends() {
+        // Two differently-configured backends both report name() == "cpu";
+        // keying by a registry-owned identity keeps their plans apart.
+        let (cat, p) = fixture();
+        let single = CpuBackend::single_threaded();
+        let multi = CpuBackend::with_threads(4);
+        let cache = ShardedPlanCache::new();
+        let a = cache
+            .get_or_prepare_named("cpu#0", &single, &p, &cat)
+            .unwrap();
+        let b = cache
+            .get_or_prepare_named("cpu-mt#1", &multi, &p, &cat)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "no false sharing across identities");
+        let s = cache.stats();
+        assert_eq!((s.misses, s.entries), (2, 2));
+        // Same identity still hits.
+        cache
+            .get_or_prepare_named("cpu#0", &single, &p, &cat)
+            .unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn sharded_cache_evicts_stale_versions_across_mutations() {
+        let (mut cat, p) = fixture();
+        let backend = CpuBackend::single_threaded();
+        let cache = ShardedPlanCache::new();
+        cache.get_or_prepare(&backend, &p, &cat).unwrap();
+        // Bump the catalog version: the re-prepared plan must land in the
+        // SAME shard (sharding ignores the version) and replace the stale
+        // entry rather than accumulate next to it.
+        cat.put_i64_column("t", &[5, 5]);
+        cache.get_or_prepare(&backend, &p, &cat).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.entries, 1, "stale version replaced, not retained");
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn evict_all_drops_entries_but_keeps_counter_history() {
+        let (cat, p) = fixture();
+        let backend = CpuBackend::single_threaded();
+        let cache = ShardedPlanCache::new();
+        cache.get_or_prepare(&backend, &p, &cat).unwrap();
+        cache.get_or_prepare(&backend, &p, &cat).unwrap();
+        cache.evict_all();
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!((s.hits, s.misses), (1, 1), "history survives eviction");
+        assert_eq!(s.evictions, 1, "dropped entries count as evictions");
+    }
+
+    #[test]
+    fn sharded_capacity_is_split_and_settable() {
+        let cache = ShardedPlanCache::with_shards(4, 16);
+        assert_eq!(cache.shard_count(), 4);
+        assert_eq!(cache.capacity(), 16);
+        cache.set_capacity(4);
+        assert_eq!(cache.capacity(), 4);
+        // Capacity never drops below one plan per shard.
+        cache.set_capacity(0);
+        assert_eq!(cache.capacity(), 4);
     }
 }

@@ -25,8 +25,11 @@
 //! future backend (a real GPU, a sharded executor, an async pipeline)
 //! plugs into.
 //!
-//! [`PlanCache`] adds the compile-once-run-many piece: a keyed cache of
-//! prepared plans, invalidated by catalog version, with hit/miss counters.
+//! [`PlanCache`] adds the compile-once-run-many piece: a keyed,
+//! LRU-bounded cache of prepared plans, invalidated by catalog version,
+//! with hit/miss/eviction counters. [`ShardedPlanCache`] is its
+//! thread-safe form — N lock-striped shards — which is what the
+//! relational `Engine` mounts to serve many sessions concurrently.
 
 pub mod cache;
 
@@ -41,7 +44,9 @@ use voodoo_gpusim::{GpuSimulator, SimReport};
 use voodoo_interp::{ExecOutput, Interpreter};
 use voodoo_storage::Catalog;
 
-pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use cache::{
+    CacheStats, PlanCache, PlanKey, ShardedPlanCache, DEFAULT_PLAN_CAPACITY, DEFAULT_SHARDS,
+};
 
 /// A profiled execution: results plus the architectural trace, and — for
 /// simulated devices — the priced device time.

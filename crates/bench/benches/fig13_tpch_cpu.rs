@@ -10,11 +10,12 @@ use voodoo_tpch::queries::Query;
 
 fn bench(c: &mut Criterion) {
     let session = Session::tpch(0.005);
+    let cat = session.catalog();
     let mut g = c.benchmark_group("fig13_tpch_cpu");
     g.sample_size(10);
     for q in [Query::Q1, Query::Q6, Query::Q12, Query::Q19] {
         g.bench_with_input(BenchmarkId::new("hyper", q.name()), &q, |b, &q| {
-            b.iter(|| voodoo_baselines::hyper::run(session.catalog(), q));
+            b.iter(|| voodoo_baselines::hyper::run(&cat, q));
         });
         g.bench_with_input(BenchmarkId::new("voodoo", q.name()), &q, |b, &q| {
             let stmt = session.query(q);
@@ -22,7 +23,7 @@ fn bench(c: &mut Criterion) {
         });
         if voodoo_baselines::ocelot::supported(q) {
             g.bench_with_input(BenchmarkId::new("ocelot", q.name()), &q, |b, &q| {
-                b.iter(|| voodoo_baselines::ocelot::run(session.catalog(), q));
+                b.iter(|| voodoo_baselines::ocelot::run(&cat, q));
             });
         }
     }

@@ -1,0 +1,53 @@
+//! Criterion bench for the serving-throughput figure: one shared engine,
+//! N client threads replaying a warmed TPC-H + SQL statement mix.
+//!
+//! Each iteration runs one full mix per client across a scoped thread
+//! pool, so per-iteration time shrinking as `clients` grows (up to the
+//! core count) is the concurrency win the `Engine` redesign buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use voodoo_relational::Session;
+use voodoo_tpch::queries::Query;
+
+fn bench(c: &mut Criterion) {
+    let session = Session::tpch(0.005);
+    let sql = "SELECT l_returnflag, SUM(l_quantity), COUNT(*) FROM lineitem \
+               GROUP BY l_returnflag";
+    let mix = [
+        session.query(Query::Q1),
+        session.query(Query::Q6),
+        session.query(Query::Q12),
+        session.query(Query::Q19),
+        session.sql(sql).expect("mix sql"),
+    ];
+    // Warm the plan cache: the timed loops measure serving, not compiling.
+    for stmt in &mix {
+        stmt.run().expect("warmup");
+    }
+    let mut g = c.benchmark_group("throughput");
+    g.sample_size(10);
+    for clients in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("clients", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for _ in 0..clients {
+                            let mix = &mix;
+                            scope.spawn(move || {
+                                for stmt in mix {
+                                    criterion::black_box(stmt.run().expect("statement"));
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

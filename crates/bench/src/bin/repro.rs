@@ -1,10 +1,11 @@
 //! `repro` — regenerate every table and figure of the Voodoo paper.
 //!
 //! ```text
-//! repro <fig1/fig9/fig12/fig13/fig14/fig15/fig16/ablate/opt/all> [options]
+//! repro <fig1/fig9/fig12/fig13/fig14/fig15/fig16/throughput/ablate/opt/all> [options]
 //!   --n=<elements>      microbenchmark input size   (default 1048576)
 //!   --sf=<scale>        TPC-H scale factor          (default 0.02)
 //!   --threads=<t>       CPU threads                 (default available)
+//!   --iters=<i>         throughput iterations/client (default 25)
 //! ```
 //!
 //! Absolute times will differ from the paper's 2016 testbed; the shapes
@@ -17,6 +18,7 @@ struct Opts {
     n: usize,
     sf: f64,
     threads: usize,
+    iters: usize,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -26,6 +28,7 @@ fn parse_opts(args: &[String]) -> Opts {
         threads: std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1),
+        iters: 25,
     };
     for a in args {
         if let Some(v) = a.strip_prefix("--n=") {
@@ -34,6 +37,8 @@ fn parse_opts(args: &[String]) -> Opts {
             o.sf = v.parse().expect("--sf");
         } else if let Some(v) = a.strip_prefix("--threads=") {
             o.threads = v.parse().expect("--threads");
+        } else if let Some(v) = a.strip_prefix("--iters=") {
+            o.iters = v.parse().expect("--iters");
         }
     }
     o
@@ -76,6 +81,13 @@ fn main() {
             "Figure 16: selective foreign-key join (time in s, selectivity in %)",
             &figures::fig16(o.n, 1 << 23),
         ),
+        "throughput" => print_rows(
+            &format!(
+                "Throughput: queries/sec vs client threads over one shared engine, SF {}",
+                o.sf
+            ),
+            &figures::throughput(o.sf, &[1, 2, 4, 8], o.iters),
+        ),
         "ablate" => {
             print_rows(
                 "Ablation: empty-slot suppression (write bytes)",
@@ -109,7 +121,16 @@ fn main() {
         }
         println!("# cross-engine verification passed");
         for f in [
-            "fig1", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16", "ablate", "opt",
+            "fig1",
+            "fig9",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "throughput",
+            "ablate",
+            "opt",
         ] {
             run_fig(f);
         }

@@ -108,6 +108,7 @@ pub fn fig9_kernel_dump(n: usize) -> String {
 pub fn fig12(sf: f64) -> Vec<FigRow> {
     let session = Session::tpch(sf);
     let model = CostModel::titan_x();
+    let cat = session.catalog();
     let mut rows = Vec::new();
     for q in GPU_QUERIES {
         // Voodoo: profile the statement on the session's gpu backend; the
@@ -118,7 +119,7 @@ pub fn fig12(sf: f64) -> Vec<FigRow> {
         // Ocelot: bulk-processor traffic priced at GPU bandwidth plus one
         // kernel launch per materializing operator.
         voodoo_baselines::ocelot::stats_reset();
-        let r = voodoo_baselines::ocelot::run(session.catalog(), q);
+        let r = voodoo_baselines::ocelot::run(&cat, q);
         let (traffic, ops) = voodoo_baselines::ocelot::stats();
         let secs = r.map(|_| {
             traffic as f64 / model.device.mem_bandwidth + ops as f64 * model.device.barrier_cost
@@ -134,23 +135,22 @@ pub fn fig12(sf: f64) -> Vec<FigRow> {
 /// the first run compiles and caches, the timed runs hit the plan cache —
 /// the compile-once-run-many serving path.
 pub fn fig13(sf: f64, threads: usize) -> Vec<FigRow> {
-    let mut session = Session::tpch(sf);
+    let session = Session::tpch(sf);
     session.register(
         "cpu",
         std::sync::Arc::new(CpuBackend::with_threads(threads)),
     );
+    let cat = session.catalog();
     let mut rows = Vec::new();
     for q in CPU_QUERIES {
-        let cat = session.catalog();
-        let h = time_secs(3, || consume(voodoo_baselines::hyper::run(cat, q)));
+        let h = time_secs(3, || consume(voodoo_baselines::hyper::run(&cat, q)));
         rows.push(FigRow::new("HyPeR", q.name(), Some(h)));
         let stmt = session.query(q);
         let v = time_secs(3, || consume(stmt.run().expect("voodoo run")));
         rows.push(FigRow::new("Voodoo", q.name(), Some(v)));
         let o = if voodoo_baselines::ocelot::supported(q) {
-            let cat = session.catalog();
             Some(time_secs(3, || {
-                consume(voodoo_baselines::ocelot::run(cat, q))
+                consume(voodoo_baselines::ocelot::run(&cat, q))
             }))
         } else {
             None
@@ -413,6 +413,56 @@ pub fn fig16(n_fact: usize, n_target: usize) -> Vec<FigRow> {
     rows
 }
 
+/// Serving throughput: queries/second vs concurrent client threads, per
+/// backend, over ONE shared engine (the ROADMAP's many-users story).
+///
+/// Each client thread clones the session handle and replays a fixed
+/// TPC-H + SQL statement mix `iters` times; the plan cache is warmed
+/// first, so the measured regime is the compile-once-run-many serving
+/// path. The row value is queries/sec (not seconds).
+pub fn throughput(sf: f64, client_threads: &[usize], iters: usize) -> Vec<FigRow> {
+    use voodoo_tpch::queries::Query;
+
+    let session = Session::tpch(sf);
+    let sql = "SELECT l_returnflag, SUM(l_quantity), COUNT(*) FROM lineitem \
+               GROUP BY l_returnflag";
+    // Statements are Send + Sync: build the mix once, share it across
+    // every client thread.
+    let mix = [
+        session.query(Query::Q1),
+        session.query(Query::Q6),
+        session.query(Query::Q12),
+        session.query(Query::Q19),
+        session.sql(sql).expect("mix sql"),
+    ];
+    let mut rows = Vec::new();
+    for backend in ["interp", "cpu", "gpu"] {
+        // Warm the plan cache so every timed run is a cache hit.
+        for stmt in &mix {
+            stmt.run_on(backend).expect("warmup statement");
+        }
+        for &clients in client_threads {
+            let started = std::time::Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..clients {
+                    let mix = &mix;
+                    scope.spawn(move || {
+                        for _ in 0..iters {
+                            for stmt in mix {
+                                consume(stmt.run_on(backend).expect("statement"));
+                            }
+                        }
+                    });
+                }
+            });
+            let elapsed = started.elapsed().as_secs_f64();
+            let queries = (clients * iters * mix.len()) as f64;
+            rows.push(FigRow::new(backend, clients, Some(queries / elapsed)));
+        }
+    }
+    rows
+}
+
 /// Ablation: the effect of empty-slot suppression and virtual scatter on
 /// memory traffic (DESIGN.md calls these out as the key §3.1.2/§3.1.3
 /// design choices).
@@ -519,14 +569,14 @@ pub fn verify_engines(sf: f64) -> Result<(), String> {
     let session = Session::tpch(sf);
     let cat = session.catalog();
     for q in CPU_QUERIES {
-        let h = voodoo_baselines::hyper::run(cat, q);
+        let h = voodoo_baselines::hyper::run(&cat, q);
         let v = session
             .run_query(q)
             .map_err(|e| format!("{} failed on the session: {e}", q.name()))?;
         if h != v {
             return Err(format!("{} differs between hyper and voodoo", q.name()));
         }
-        if let Some(o) = voodoo_baselines::ocelot::run(cat, q) {
+        if let Some(o) = voodoo_baselines::ocelot::run(&cat, q) {
             if h != o {
                 return Err(format!("{} differs between hyper and ocelot", q.name()));
             }
@@ -563,6 +613,20 @@ mod tests {
         assert!(r13
             .iter()
             .any(|r| r.series == "Ocelot" && r.seconds.is_none()));
+    }
+
+    #[test]
+    fn throughput_scales_rows_per_backend_and_client_count() {
+        let rows = throughput(0.002, &[1, 2], 2);
+        assert_eq!(rows.len(), 3 * 2, "3 backends x 2 client counts");
+        for r in &rows {
+            assert!(
+                r.seconds.unwrap() > 0.0,
+                "{}@{} clients served no queries",
+                r.series,
+                r.x
+            );
+        }
     }
 
     #[test]

@@ -1,23 +1,563 @@
-//! Backend-agnostic query execution.
+//! The shared, thread-safe [`Engine`] — one execution core, many
+//! concurrent [`crate::Session`] handles.
 //!
-//! The one real entry point is [`run_query_on`]: run a TPC-H query on any
-//! [`Backend`]. The historical per-backend free functions ([`run_interp`],
-//! [`run_compiled`], [`run_compiled_optimized`], [`run_with`]) survive as
-//! thin deprecated shims over it — new code should go through
-//! [`crate::Session`], which adds the backend registry and the
-//! prepared-plan cache.
+//! The paper's portability story (one Voodoo program, many targets) meets
+//! serving reality here: an `Engine` owns the catalog behind copy-on-write
+//! snapshots, the named backend registry, a lock-striped LRU plan cache
+//! ([`voodoo_backend::ShardedPlanCache`]) and throughput metrics. Every
+//! method takes `&self`; statements pin an immutable
+//! [`voodoo_storage::CatalogSnapshot`] at start and hold **no lock during
+//! execution**, so any number of threads can prepare/run/profile against
+//! one engine.
+//!
+//! * Readers: [`Engine::snapshot`] — an `Arc` bump under a briefly-held
+//!   read lock.
+//! * Writers: [`Engine::mutate_catalog`] / [`Engine::catalog_mut`] —
+//!   clone the (Arc-shared, O(#tables)) catalog, mutate the copy, publish
+//!   it. The existing version counter bumps on mutation, which is what
+//!   invalidates cached plans.
+//! * Batches: [`Engine::run_batch`] fans a slice of [`StatementSpec`]s
+//!   across a scoped thread pool.
+//!
+//! The free functions at the bottom ([`run_query_on`] and the deprecated
+//! per-backend shims) predate the engine and survive for callers that
+//! hold a bare [`Backend`] and a `&Catalog`.
 
-use voodoo_backend::{Backend, CpuBackend, InterpBackend};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use voodoo_backend::{
+    Backend, CacheStats, CpuBackend, InterpBackend, ShardedPlanCache, SimGpuBackend,
+};
 use voodoo_compile::exec::ExecOptions;
-use voodoo_core::{Program, Result};
+use voodoo_core::{Program, Result, VoodooError};
 use voodoo_interp::ExecOutput;
-use voodoo_storage::Catalog;
+use voodoo_storage::{Catalog, CatalogSnapshot};
 use voodoo_tpch::queries::{Query, QueryResult};
 
 use crate::queries;
+use crate::session::{backends, StatementOutput};
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+/// How many latency samples the engine's reservoir retains (a sliding
+/// window over the most recent executions).
+const RESERVOIR_CAPACITY: usize = 1024;
+
+/// A snapshot of an engine's serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineMetrics {
+    /// Statement executions completed (successful or not).
+    pub queries_served: u64,
+    /// Statement executions that returned an error.
+    pub failures: u64,
+    /// [`Engine::run_batch`] invocations.
+    pub batches_served: u64,
+    /// Median execution latency over the reservoir window, in seconds.
+    pub p50_seconds: Option<f64>,
+    /// 99th-percentile execution latency over the window, in seconds.
+    pub p99_seconds: Option<f64>,
+    /// Latency samples currently in the reservoir (≤ its capacity).
+    pub latency_samples: usize,
+}
+
+/// A fixed-size sliding-window latency reservoir.
+struct Reservoir {
+    samples: Vec<f64>,
+    /// Next slot to overwrite once the window is full.
+    next: usize,
+}
+
+impl Reservoir {
+    fn new() -> Reservoir {
+        Reservoir {
+            samples: Vec::with_capacity(RESERVOIR_CAPACITY),
+            next: 0,
+        }
+    }
+
+    fn record(&mut self, seconds: f64) {
+        if self.samples.len() < RESERVOIR_CAPACITY {
+            self.samples.push(seconds);
+        } else {
+            self.samples[self.next] = seconds;
+            self.next = (self.next + 1) % RESERVOIR_CAPACITY;
+        }
+    }
+
+    fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
+        if sorted.is_empty() {
+            return None;
+        }
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(sorted[idx])
+    }
+}
+
+struct Metrics {
+    queries: AtomicU64,
+    failures: AtomicU64,
+    batches: AtomicU64,
+    reservoir: Mutex<Reservoir>,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            queries: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            reservoir: Mutex::new(Reservoir::new()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+/// One registered backend: its registry name, the epoch it was
+/// (re-)registered at, and the backend itself.
+struct Registration {
+    name: String,
+    epoch: u64,
+    backend: Arc<dyn Backend>,
+}
+
+/// A backend resolved at statement start: the backend plus the cache
+/// identity (`"name#epoch"`) plans prepared through it are keyed under.
+/// Keying by registry name + epoch (instead of the backend's
+/// self-reported [`Backend::name`]) means (a) two differently-configured
+/// backends of one type registered under distinct names never share
+/// plans, and (b) replacing a backend starts a fresh epoch, so plans a
+/// racing statement prepared through the replaced backend can never be
+/// served on behalf of the new one.
+pub(crate) struct ResolvedBackend {
+    backend: Arc<dyn Backend>,
+    cache_identity: String,
+}
+
+/// The mutable (lock-guarded) part of an engine: the published catalog
+/// snapshot, the backend registry, and the default backend name. Held
+/// only long enough to clone an `Arc` or swap a snapshot — never across
+/// a statement execution.
+struct Shared {
+    catalog: CatalogSnapshot,
+    registry: Vec<Registration>,
+    next_epoch: u64,
+    default_backend: String,
+}
+
+/// The shared execution core: catalog snapshots + backend registry +
+/// sharded plan cache + serving metrics. Construct one, wrap it in an
+/// [`Arc`], and hand [`crate::Session`] clones to as many threads as you
+/// like (or call [`Engine::session`] / [`crate::Session::new`], which do
+/// the wrapping for you).
+pub struct Engine {
+    shared: RwLock<Shared>,
+    cache: ShardedPlanCache,
+    metrics: Metrics,
+}
+
+impl Engine {
+    /// Lock the shared state, recovering from poisoning: a panic in one
+    /// serving thread (or in a user closure passed to
+    /// [`Engine::mutate_catalog`]) must not take the whole engine down.
+    /// Every panic point leaves `Shared` consistent — the catalog
+    /// snapshot is only swapped as the final, non-panicking step of a
+    /// write — so the poison flag carries no information here.
+    fn state_read(&self) -> std::sync::RwLockReadGuard<'_, Shared> {
+        self.shared.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn state_write(&self) -> std::sync::RwLockWriteGuard<'_, Shared> {
+        self.shared.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// An engine over a catalog, with the three standard backends
+    /// registered (`"interp"`, `"cpu"`, `"gpu"`) and `"cpu"` as default.
+    ///
+    /// If the catalog holds TPC-H tables, the auxiliary dictionary-flag
+    /// tables the Voodoo plans read ([`crate::prepare`]) are staged
+    /// automatically.
+    pub fn new(mut catalog: Catalog) -> Engine {
+        if catalog.table("part").is_some() && catalog.table("lineitem").is_some() {
+            crate::prepare(&mut catalog);
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(8);
+        let defaults: [(&str, Arc<dyn Backend>); 3] = [
+            (backends::INTERP, Arc::new(InterpBackend::new())),
+            (
+                backends::CPU,
+                Arc::new(CpuBackend::with_threads(threads).with_optimize(true)),
+            ),
+            (backends::GPU, Arc::new(SimGpuBackend::titan_x())),
+        ];
+        let registry: Vec<Registration> = defaults
+            .into_iter()
+            .enumerate()
+            .map(|(epoch, (name, backend))| Registration {
+                name: name.to_string(),
+                epoch: epoch as u64,
+                backend,
+            })
+            .collect();
+        let next_epoch = registry.len() as u64;
+        Engine {
+            shared: RwLock::new(Shared {
+                catalog: CatalogSnapshot::new(catalog),
+                registry,
+                next_epoch,
+                default_backend: backends::CPU.to_string(),
+            }),
+            cache: ShardedPlanCache::new(),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Generate TPC-H at the given scale factor and open an engine over it.
+    pub fn tpch(sf: f64) -> Engine {
+        Engine::new(voodoo_tpch::generate(sf))
+    }
+
+    /// A cheap, clonable, `Send` session handle onto this engine.
+    pub fn session(self: &Arc<Self>) -> crate::Session {
+        crate::Session::from_engine(Arc::clone(self))
+    }
+
+    // -- catalog ------------------------------------------------------
+
+    /// The current catalog snapshot: an `Arc` bump, immutable, safe to
+    /// read for as long as the caller likes.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        self.state_read().catalog.clone()
+    }
+
+    /// Apply a mutation to a private copy of the catalog and publish the
+    /// result (copy-on-write: concurrent readers keep their snapshots).
+    /// Mutation bumps the catalog version, invalidating cached plans.
+    pub fn mutate_catalog<T>(&self, f: impl FnOnce(&mut Catalog) -> T) -> T {
+        let mut shared = self.state_write();
+        let mut working: Catalog = (*shared.catalog).clone();
+        let out = f(&mut working);
+        shared.catalog = CatalogSnapshot::new(working);
+        out
+    }
+
+    /// A write guard over the catalog: deref-mutate it like a `&mut
+    /// Catalog`; the new snapshot is published when the guard drops.
+    ///
+    /// Writers serialize on the guard (it holds the engine's write lock),
+    /// but readers already holding a snapshot are never blocked.
+    pub fn catalog_mut(&self) -> CatalogWrite<'_> {
+        let shared = self.state_write();
+        let working = (*shared.catalog).clone();
+        CatalogWrite {
+            shared,
+            working: Some(working),
+        }
+    }
+
+    // -- backends -----------------------------------------------------
+
+    /// Register (or replace) a backend under a name.
+    ///
+    /// Every (re-)registration gets a fresh epoch, and cached plans are
+    /// keyed by `name#epoch`: plans prepared by a replaced backend —
+    /// including ones a racing statement inserts *after* the swap —
+    /// become unreachable rather than being served on behalf of the new
+    /// backend. Replacing additionally evicts every cached plan to
+    /// reclaim their memory promptly (correctness does not depend on it);
+    /// the cumulative hit/miss/eviction counters survive.
+    pub fn register(&self, name: &str, backend: Arc<dyn Backend>) -> &Self {
+        let mut shared = self.state_write();
+        let epoch = shared.next_epoch;
+        shared.next_epoch += 1;
+        if let Some(slot) = shared.registry.iter_mut().find(|r| r.name == name) {
+            slot.backend = backend;
+            slot.epoch = epoch;
+            drop(shared);
+            self.cache.evict_all();
+        } else {
+            shared.registry.push(Registration {
+                name: name.to_string(),
+                epoch,
+                backend,
+            });
+        }
+        self
+    }
+
+    /// Set the default backend for [`crate::Statement::run`].
+    pub fn set_default_backend(&self, name: &str) -> Result<()> {
+        self.backend_arc(name)?;
+        self.state_write().default_backend = name.to_string();
+        Ok(())
+    }
+
+    /// The default backend's name.
+    pub fn default_backend(&self) -> String {
+        self.state_read().default_backend.clone()
+    }
+
+    /// Registered backend names, in registration order.
+    pub fn backend_names(&self) -> Vec<String> {
+        self.state_read()
+            .registry
+            .iter()
+            .map(|r| r.name.clone())
+            .collect()
+    }
+
+    pub(crate) fn backend_arc(&self, name: &str) -> Result<ResolvedBackend> {
+        let shared = self.state_read();
+        shared
+            .registry
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| ResolvedBackend {
+                backend: Arc::clone(&r.backend),
+                cache_identity: format!("{}#{}", r.name, r.epoch),
+            })
+            .ok_or_else(|| {
+                VoodooError::Backend(format!(
+                    "unknown backend {name:?} (registered: {})",
+                    shared
+                        .registry
+                        .iter()
+                        .map(|r| r.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })
+    }
+
+    // -- plan cache ---------------------------------------------------
+
+    /// Prepared-plan cache counters, combined over every shard.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop all cached plans and reset the counters.
+    pub fn clear_plan_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Re-bound the plan cache's total capacity (default
+    /// [`voodoo_backend::DEFAULT_PLAN_CAPACITY`] plans), evicting
+    /// least-recently-used plans if it currently holds more.
+    pub fn set_cache_capacity(&self, plans: usize) {
+        self.cache.set_capacity(plans);
+    }
+
+    pub(crate) fn plan_for(
+        &self,
+        backend: &ResolvedBackend,
+        program: &Program,
+        catalog: &Catalog,
+    ) -> Result<Arc<dyn voodoo_backend::PreparedPlan>> {
+        self.cache.get_or_prepare_named(
+            &backend.cache_identity,
+            &*backend.backend,
+            program,
+            catalog,
+        )
+    }
+
+    // -- metrics ------------------------------------------------------
+
+    /// A snapshot of the engine's serving counters: executions, failures,
+    /// batches, and p50/p99 latency over the recent-execution reservoir.
+    pub fn metrics(&self) -> EngineMetrics {
+        let mut sorted = {
+            let r = self
+                .metrics
+                .reservoir
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            r.samples.clone()
+        };
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        EngineMetrics {
+            queries_served: self.metrics.queries.load(Ordering::Relaxed),
+            failures: self.metrics.failures.load(Ordering::Relaxed),
+            batches_served: self.metrics.batches.load(Ordering::Relaxed),
+            p50_seconds: Reservoir::quantile(&sorted, 0.50),
+            p99_seconds: Reservoir::quantile(&sorted, 0.99),
+            latency_samples: sorted.len(),
+        }
+    }
+
+    pub(crate) fn record_execution(&self, started: Instant, ok: bool) {
+        self.metrics.queries.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.metrics.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        self.metrics
+            .reservoir
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(started.elapsed().as_secs_f64());
+    }
+
+    // -- batch execution ----------------------------------------------
+
+    /// Execute a batch of statements, fanned across a scoped thread pool
+    /// (one worker per available core, capped by the batch size).
+    ///
+    /// Results come back in input order; each statement fails or succeeds
+    /// independently, like a serving loop would want.
+    pub fn run_batch(self: &Arc<Self>, specs: &[StatementSpec]) -> Vec<Result<StatementOutput>> {
+        self.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(specs.len());
+        let next = AtomicU64::new(0);
+        let slots: Vec<Mutex<Option<Result<StatementOutput>>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let out = self.run_spec(&specs[i]);
+                    *slots[i].lock().expect("batch slot") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("batch slot").expect("worker filled"))
+            .collect()
+    }
+
+    fn run_spec(self: &Arc<Self>, spec: &StatementSpec) -> Result<StatementOutput> {
+        let started = Instant::now();
+        let stmt = match &spec.kind {
+            SpecKind::Program(p) => self.program(p.clone()),
+            SpecKind::Tpch(q) => self.query(*q),
+            // A statement that cannot even be built (SQL parse error)
+            // still counts toward the serving metrics: failure-rate
+            // monitoring must cover the whole request, like run_on does.
+            SpecKind::Sql(text) => match self.sql(text) {
+                Ok(stmt) => stmt,
+                Err(e) => {
+                    self.record_execution(started, false);
+                    return Err(e);
+                }
+            },
+        };
+        match &spec.backend {
+            Some(b) => stmt.run_on(b),
+            None => stmt.run(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Catalog write guard
+// ---------------------------------------------------------------------
+
+/// A copy-on-write transaction over an [`Engine`]'s catalog. Mutate it
+/// through `Deref`/`DerefMut`; the new snapshot is published atomically
+/// when the guard drops.
+pub struct CatalogWrite<'e> {
+    shared: std::sync::RwLockWriteGuard<'e, Shared>,
+    working: Option<Catalog>,
+}
+
+impl std::ops::Deref for CatalogWrite<'_> {
+    type Target = Catalog;
+
+    fn deref(&self) -> &Catalog {
+        self.working.as_ref().expect("live guard")
+    }
+}
+
+impl std::ops::DerefMut for CatalogWrite<'_> {
+    fn deref_mut(&mut self) -> &mut Catalog {
+        self.working.as_mut().expect("live guard")
+    }
+}
+
+impl Drop for CatalogWrite<'_> {
+    fn drop(&mut self) {
+        let working = self.working.take().expect("live guard");
+        self.shared.catalog = CatalogSnapshot::new(working);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batch statement specs
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+enum SpecKind {
+    Program(Program),
+    Tpch(Query),
+    Sql(String),
+}
+
+/// One statement of a [`Engine::run_batch`] batch: what to run and
+/// (optionally) which backend to run it on.
+#[derive(Clone)]
+pub struct StatementSpec {
+    kind: SpecKind,
+    backend: Option<String>,
+}
+
+impl StatementSpec {
+    /// A raw Voodoo program.
+    pub fn program(p: Program) -> StatementSpec {
+        StatementSpec {
+            kind: SpecKind::Program(p),
+            backend: None,
+        }
+    }
+
+    /// A named TPC-H query.
+    pub fn tpch(q: Query) -> StatementSpec {
+        StatementSpec {
+            kind: SpecKind::Tpch(q),
+            backend: None,
+        }
+    }
+
+    /// A SQL string (parsed when the batch runs; a parse error fails only
+    /// this statement's slot).
+    pub fn sql(text: impl Into<String>) -> StatementSpec {
+        StatementSpec {
+            kind: SpecKind::Sql(text.into()),
+            backend: None,
+        }
+    }
+
+    /// Pin this statement to a named backend instead of the default.
+    pub fn on(mut self, backend: &str) -> StatementSpec {
+        self.backend = Some(backend.to_string());
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Free functions (pre-engine API)
+// ---------------------------------------------------------------------
 
 /// Run a TPC-H query on an arbitrary backend (no caching; see
-/// [`crate::Session`] for the cached path).
+/// [`Engine`] / [`crate::Session`] for the cached path).
 pub fn run_query_on(backend: &dyn Backend, cat: &Catalog, q: Query) -> Result<QueryResult> {
     queries::run_query(cat, q, &mut |p: &Program, c: &Catalog| {
         backend.prepare(p, c)?.execute(c)
@@ -25,14 +565,13 @@ pub fn run_query_on(backend: &dyn Backend, cat: &Catalog, q: Query) -> Result<Qu
 }
 
 /// Run a query through an arbitrary executor callback (e.g. a timing
-/// wrapper).
+/// wrapper). Executor failures propagate instead of panicking.
 #[deprecated(note = "use Session (or run_query_on with a custom Backend) instead")]
-pub fn run_with<F>(cat: &Catalog, q: Query, mut exec: F) -> QueryResult
+pub fn run_with<F>(cat: &Catalog, q: Query, mut exec: F) -> Result<QueryResult>
 where
-    F: FnMut(&Program, &Catalog) -> ExecOutput,
+    F: FnMut(&Program, &Catalog) -> Result<ExecOutput>,
 {
-    queries::run_query(cat, q, &mut |p: &Program, c: &Catalog| Ok(exec(p, c)))
-        .expect("infallible executor callback")
+    queries::run_query(cat, q, &mut |p: &Program, c: &Catalog| exec(p, c))
 }
 
 /// Run a query on the reference interpreter backend.

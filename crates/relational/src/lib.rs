@@ -16,11 +16,15 @@
 //! * [`prepare`] — auxiliary tables staged at load time (dictionary flag
 //!   columns, the day→year lookup),
 //! * [`queries`] — one Voodoo plan per evaluated TPC-H query,
-//! * [`session`] — the [`Session`] facade: one entry point over every
-//!   frontend (raw programs, TPC-H queries, SQL) and every registered
-//!   [`voodoo_backend::Backend`], with prepared-plan caching,
-//! * [`engine`] — [`engine::run_query_on`] plus deprecated per-backend
-//!   shims,
+//! * [`engine`] — the shared, thread-safe [`Engine`]: catalog snapshots
+//!   (copy-on-write), the backend registry, the sharded LRU plan cache,
+//!   serving metrics, and [`Engine::run_batch`]; plus
+//!   [`engine::run_query_on`] and the deprecated per-backend shims,
+//! * [`session`] — the [`Session`] handle: a cheap clone onto a shared
+//!   engine, one entry point over every frontend (raw programs, TPC-H
+//!   queries, SQL) and every registered [`voodoo_backend::Backend`];
+//!   [`Statement`]s are `Send`, so many threads can prepare/run/profile
+//!   concurrently against one engine,
 //! * [`sql`] — a small SQL subset parser lowered through the same builder
 //!   (single-table `SELECT ... FROM ... WHERE ... GROUP BY`).
 
@@ -31,9 +35,9 @@ pub mod queries;
 pub mod session;
 pub mod sql;
 
-pub use engine::run_query_on;
 #[allow(deprecated)]
 pub use engine::{run_compiled, run_compiled_optimized, run_interp, run_with};
+pub use engine::{run_query_on, CatalogWrite, Engine, EngineMetrics, StatementSpec};
 pub use prepare::prepare;
 pub use session::{RunProfile, Session, Statement, StatementOutput};
 

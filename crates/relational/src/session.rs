@@ -1,11 +1,12 @@
-//! The `Session` facade: one entry point for every frontend and backend.
+//! The `Session` handle: one entry point for every frontend and backend.
 //!
-//! The paper's Figure 4 story — one program, many targets, re-targeted by
-//! a one-line diff — only holds if the *API* is target-agnostic. A
-//! [`Session`] owns the [`Catalog`], a registry of named
-//! [`voodoo_backend::Backend`]s (by default `"interp"`, `"cpu"`, `"gpu"`),
-//! and a keyed [`voodoo_backend::PlanCache`], so repeated statements skip
-//! recompilation entirely (compile once, run many).
+//! A [`Session`] is a cheap, clonable handle onto a shared
+//! [`crate::Engine`] (the thread-safe core owning the catalog snapshots,
+//! the backend registry — by default `"interp"`, `"cpu"`, `"gpu"` — and
+//! the sharded prepared-plan cache). Clone a session per thread, or ship
+//! [`Statement`]s (they are `Send`) into workers: every handle serves
+//! queries against the same engine, shares its plan cache, and never
+//! blocks other handles while executing.
 //!
 //! Statements come from three frontends and share one handle type:
 //!
@@ -13,7 +14,7 @@
 //! use voodoo_relational::Session;
 //! use voodoo_tpch::queries::Query;
 //!
-//! let mut session = Session::tpch(0.002);
+//! let session = Session::tpch(0.002);
 //! // Named TPC-H query, on the default (compiled CPU) backend …
 //! let q6 = session.query(Query::Q6).run().unwrap();
 //! // … and the same statement on the simulated GPU: a one-word diff.
@@ -34,22 +35,43 @@
 //! assert_eq!(session.cache_stats().misses, misses);
 //! assert!(session.cache_stats().hits > 0);
 //! ```
+//!
+//! Concurrency is a clone away — every thread drives the same engine:
+//!
+//! ```
+//! use voodoo_relational::Session;
+//! use voodoo_tpch::queries::Query;
+//!
+//! let session = Session::tpch(0.002);
+//! let serial = session.query(Query::Q6).run().unwrap();
+//! std::thread::scope(|scope| {
+//!     for _ in 0..4 {
+//!         let handle = session.clone();
+//!         let serial = &serial;
+//!         scope.spawn(move || {
+//!             let out = handle.query(Query::Q6).run().unwrap();
+//!             assert_eq!(out.rows(), serial.rows());
+//!         });
+//!     }
+//! });
+//! assert!(session.metrics().queries_served >= 5);
+//! ```
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+use std::time::Instant;
 
-use voodoo_backend::{
-    Backend, CacheStats, CpuBackend, InterpBackend, PlanCache, PlanProfile, SimGpuBackend,
-};
+use voodoo_backend::{Backend, CacheStats, PlanProfile};
 use voodoo_compile::EventProfile;
-use voodoo_core::{Program, Result, VoodooError};
+use voodoo_core::{Program, Result};
 use voodoo_interp::ExecOutput;
-use voodoo_storage::Catalog;
+use voodoo_storage::{Catalog, CatalogSnapshot};
 use voodoo_tpch::queries::{Query, QueryResult};
 
+use crate::engine::{CatalogWrite, Engine, EngineMetrics, ResolvedBackend, StatementSpec};
+use crate::queries;
 use crate::sql::{self, SqlQuery};
-use crate::{prepare, queries};
 
-/// The default backend names registered by [`Session::new`].
+/// The default backend names registered by [`Engine::new`].
 pub mod backends {
     /// The reference interpreter.
     pub const INTERP: &str = "interp";
@@ -136,41 +158,54 @@ enum StatementKind {
 
 /// A prepared statement handle: run, re-target, explain or profile one
 /// logical statement without caring which frontend produced it.
-pub struct Statement<'s> {
-    session: &'s Session,
+///
+/// Statements own an [`Arc`] onto their engine, so they are `Send` and
+/// `'static`: build them on one thread, run them on another. Every
+/// execution pins the engine's *current* catalog snapshot at start and
+/// holds no engine lock while running.
+pub struct Statement {
+    engine: Arc<Engine>,
     kind: StatementKind,
 }
 
-impl Statement<'_> {
-    /// Execute on the session's default backend.
+impl Statement {
+    /// Execute on the engine's default backend.
     pub fn run(&self) -> Result<StatementOutput> {
-        self.run_on(&self.session.default_backend)
+        self.run_on(&self.engine.default_backend())
     }
 
     /// Execute on a named backend — the Figure 4 one-word re-target.
+    ///
+    /// Every call counts toward the engine's serving metrics, including
+    /// ones that fail before execution starts (e.g. an unknown backend
+    /// name): a serving loop wants its failure rate to cover those.
     pub fn run_on(&self, backend: &str) -> Result<StatementOutput> {
-        let backend = self.session.backend(backend)?;
+        let started = Instant::now();
+        let result = (|| {
+            let backend = self.engine.backend_arc(backend)?;
+            let cat = self.engine.snapshot();
+            self.execute_with(&backend, &cat)
+        })();
+        self.engine.record_execution(started, result.is_ok());
+        result
+    }
+
+    fn execute_with(&self, backend: &ResolvedBackend, cat: &Catalog) -> Result<StatementOutput> {
         match &self.kind {
             StatementKind::Program(p) => {
-                let plan = self.session.plan_for(&*backend, p, &self.session.catalog)?;
-                Ok(StatementOutput::Raw(plan.execute(&self.session.catalog)?))
+                let plan = self.engine.plan_for(backend, p, cat)?;
+                Ok(StatementOutput::Raw(plan.execute(cat)?))
             }
             StatementKind::Tpch(q) => {
-                let result = queries::run_query(
-                    &self.session.catalog,
-                    *q,
-                    &mut |p: &Program, c: &Catalog| {
-                        self.session.plan_for(&*backend, p, c)?.execute(c)
-                    },
-                )?;
+                let result = queries::run_query(cat, *q, &mut |p: &Program, c: &Catalog| {
+                    self.engine.plan_for(backend, p, c)?.execute(c)
+                })?;
                 Ok(StatementOutput::Rows(result))
             }
             StatementKind::Sql(q) => {
-                let lowered = sql::lower(&self.session.catalog, q)?;
-                let plan =
-                    self.session
-                        .plan_for(&*backend, &lowered.program, &self.session.catalog)?;
-                let out = plan.execute(&self.session.catalog)?;
+                let lowered = sql::lower(cat, q)?;
+                let plan = self.engine.plan_for(backend, &lowered.program, cat)?;
+                let out = plan.execute(cat)?;
                 let rows = sql::extract_rows(&lowered, &out);
                 Ok(StatementOutput::Rows(QueryResult::new(rows)))
             }
@@ -180,7 +215,7 @@ impl Statement<'_> {
     /// The physical plan on the default backend: fragment structure and —
     /// for the compiling backends — the rendered OpenCL-style kernels.
     pub fn explain(&self) -> Result<String> {
-        self.explain_on(&self.session.default_backend)
+        self.explain_on(&self.engine.default_backend())
     }
 
     /// [`Self::explain`] on a named backend.
@@ -188,30 +223,24 @@ impl Statement<'_> {
     /// Multi-program plans (Q20) stage intermediate results, so explaining
     /// them executes the earlier programs to discover the later ones.
     pub fn explain_on(&self, backend: &str) -> Result<String> {
-        let backend = self.session.backend(backend)?;
+        let backend = self.engine.backend_arc(backend)?;
+        let cat = self.engine.snapshot();
         match &self.kind {
-            StatementKind::Program(p) => Ok(self
-                .session
-                .plan_for(&*backend, p, &self.session.catalog)?
-                .explain()),
+            StatementKind::Program(p) => Ok(self.engine.plan_for(&backend, p, &cat)?.explain()),
             StatementKind::Sql(q) => {
-                let lowered = sql::lower(&self.session.catalog, q)?;
+                let lowered = sql::lower(&cat, q)?;
                 Ok(self
-                    .session
-                    .plan_for(&*backend, &lowered.program, &self.session.catalog)?
+                    .engine
+                    .plan_for(&backend, &lowered.program, &cat)?
                     .explain())
             }
             StatementKind::Tpch(q) => {
                 let mut sections = Vec::new();
-                let _ = queries::run_query(
-                    &self.session.catalog,
-                    *q,
-                    &mut |p: &Program, c: &Catalog| {
-                        let plan = self.session.plan_for(&*backend, p, c)?;
-                        sections.push(plan.explain());
-                        plan.execute(c)
-                    },
-                )?;
+                let _ = queries::run_query(&cat, *q, &mut |p: &Program, c: &Catalog| {
+                    let plan = self.engine.plan_for(&backend, p, c)?;
+                    sections.push(plan.explain());
+                    plan.execute(c)
+                })?;
                 let mut s = String::new();
                 for (i, sec) in sections.iter().enumerate() {
                     s.push_str(&format!(
@@ -230,88 +259,97 @@ impl Statement<'_> {
 
     /// Execute on the default backend while profiling.
     pub fn profile(&self) -> Result<RunProfile> {
-        self.profile_on(&self.session.default_backend)
+        self.profile_on(&self.engine.default_backend())
     }
 
     /// Execute on a named backend while counting architectural events
     /// (and pricing them, on device-model backends).
     pub fn profile_on(&self, backend: &str) -> Result<RunProfile> {
-        let backend = self.session.backend(backend)?;
+        let backend = self.engine.backend_arc(backend)?;
+        let cat = self.engine.snapshot();
         let mut acc = RunProfile {
             programs: 0,
             events: EventProfile::default(),
             unit_events: Vec::new(),
             simulated_seconds: None,
         };
-        match &self.kind {
+        let started = Instant::now();
+        let result = (|| match &self.kind {
             StatementKind::Program(p) => {
-                let plan = self.session.plan_for(&*backend, p, &self.session.catalog)?;
-                acc.absorb(plan.profile(&self.session.catalog)?);
+                let plan = self.engine.plan_for(&backend, p, &cat)?;
+                acc.absorb(plan.profile(&cat)?);
+                Ok(())
             }
             StatementKind::Sql(q) => {
-                let lowered = sql::lower(&self.session.catalog, q)?;
-                let plan =
-                    self.session
-                        .plan_for(&*backend, &lowered.program, &self.session.catalog)?;
-                acc.absorb(plan.profile(&self.session.catalog)?);
+                let lowered = sql::lower(&cat, q)?;
+                let plan = self.engine.plan_for(&backend, &lowered.program, &cat)?;
+                acc.absorb(plan.profile(&cat)?);
+                Ok(())
             }
             StatementKind::Tpch(q) => {
-                let _ = queries::run_query(
-                    &self.session.catalog,
-                    *q,
-                    &mut |p: &Program, c: &Catalog| {
-                        let plan = self.session.plan_for(&*backend, p, c)?;
-                        let prof = plan.profile(c)?;
-                        let out = prof.output.clone();
-                        acc.absorb(prof);
-                        Ok(out)
-                    },
-                )?;
+                let _ = queries::run_query(&cat, *q, &mut |p: &Program, c: &Catalog| {
+                    let plan = self.engine.plan_for(&backend, p, c)?;
+                    let prof = plan.profile(c)?;
+                    let out = prof.output.clone();
+                    acc.absorb(prof);
+                    Ok(out)
+                })?;
+                Ok(())
             }
-        }
-        Ok(acc)
+        })();
+        self.engine.record_execution(started, result.is_ok());
+        result.map(|()| acc)
     }
 }
 
-/// The execution facade: catalog + backend registry + prepared-plan cache.
+/// Statement constructors live on the engine so both [`Session`] and
+/// direct `Arc<Engine>` holders can build [`Statement`]s.
+impl Engine {
+    /// A statement from a raw Voodoo program (the algebra frontend).
+    pub fn program(self: &Arc<Self>, program: Program) -> Statement {
+        Statement {
+            engine: Arc::clone(self),
+            kind: StatementKind::Program(program),
+        }
+    }
+
+    /// A statement from a named TPC-H query (the planner frontend).
+    pub fn query(self: &Arc<Self>, query: Query) -> Statement {
+        Statement {
+            engine: Arc::clone(self),
+            kind: StatementKind::Tpch(query),
+        }
+    }
+
+    /// A statement from a SQL string (parsed eagerly; lowering happens at
+    /// run time against the then-current catalog snapshot).
+    pub fn sql(self: &Arc<Self>, text: &str) -> Result<Statement> {
+        let parsed = sql::parse(text)?;
+        Ok(Statement {
+            engine: Arc::clone(self),
+            kind: StatementKind::Sql(parsed),
+        })
+    }
+}
+
+/// A cheap, clonable handle onto a shared [`Engine`].
+///
+/// Cloning is an `Arc` bump; every clone (and every [`Statement`] built
+/// from one) drives the same engine: same catalog, same backend registry,
+/// same plan cache, same metrics. All methods take `&self`, so a session
+/// can be shared or sent freely across threads.
+#[derive(Clone)]
 pub struct Session {
-    catalog: Catalog,
-    registry: Vec<(String, Arc<dyn Backend>)>,
-    default_backend: String,
-    cache: Mutex<PlanCache>,
+    engine: Arc<Engine>,
 }
 
 impl Session {
-    /// A session over a catalog, with the three standard backends
-    /// registered (`"interp"`, `"cpu"`, `"gpu"`) and `"cpu"` as default.
-    ///
-    /// If the catalog holds TPC-H tables, the auxiliary dictionary-flag
-    /// tables the Voodoo plans read ([`crate::prepare`]) are staged
-    /// automatically.
-    pub fn new(mut catalog: Catalog) -> Session {
-        if catalog.table("part").is_some() && catalog.table("lineitem").is_some() {
-            prepare(&mut catalog);
-        }
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(8);
-        let registry: Vec<(String, Arc<dyn Backend>)> = vec![
-            (backends::INTERP.to_string(), Arc::new(InterpBackend::new())),
-            (
-                backends::CPU.to_string(),
-                Arc::new(CpuBackend::with_threads(threads).with_optimize(true)),
-            ),
-            (
-                backends::GPU.to_string(),
-                Arc::new(SimGpuBackend::titan_x()),
-            ),
-        ];
+    /// A session over a fresh engine wrapping the catalog, with the three
+    /// standard backends registered (`"interp"`, `"cpu"`, `"gpu"`) and
+    /// `"cpu"` as default. See [`Engine::new`].
+    pub fn new(catalog: Catalog) -> Session {
         Session {
-            catalog,
-            registry,
-            default_backend: backends::CPU.to_string(),
-            cache: Mutex::new(PlanCache::new()),
+            engine: Arc::new(Engine::new(catalog)),
         }
     }
 
@@ -320,83 +358,97 @@ impl Session {
         Session::new(voodoo_tpch::generate(sf))
     }
 
-    /// Register (or replace) a backend under a name.
-    ///
-    /// Replacing drops every cached plan: the cache keys plans by backend
-    /// *name*, so plans prepared by the replaced backend must not be
-    /// served on behalf of the new one.
-    pub fn register(&mut self, name: &str, backend: Arc<dyn Backend>) -> &mut Self {
-        if let Some(slot) = self.registry.iter_mut().find(|(n, _)| n == name) {
-            slot.1 = backend;
-            self.clear_plan_cache();
-        } else {
-            self.registry.push((name.to_string(), backend));
-        }
+    /// A session handle onto an existing shared engine.
+    pub fn from_engine(engine: Arc<Engine>) -> Session {
+        Session { engine }
+    }
+
+    /// The shared engine this session drives.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Register (or replace) a backend under a name. See
+    /// [`Engine::register`].
+    pub fn register(&self, name: &str, backend: Arc<dyn Backend>) -> &Self {
+        self.engine.register(name, backend);
         self
     }
 
     /// Set the default backend for [`Statement::run`].
-    pub fn set_default_backend(&mut self, name: &str) -> Result<()> {
-        self.backend(name)?;
-        self.default_backend = name.to_string();
-        Ok(())
+    pub fn set_default_backend(&self, name: &str) -> Result<()> {
+        self.engine.set_default_backend(name)
     }
 
     /// The default backend's name.
-    pub fn default_backend(&self) -> &str {
-        &self.default_backend
+    pub fn default_backend(&self) -> String {
+        self.engine.default_backend()
     }
 
     /// Registered backend names, in registration order.
-    pub fn backend_names(&self) -> Vec<&str> {
-        self.registry.iter().map(|(n, _)| n.as_str()).collect()
+    pub fn backend_names(&self) -> Vec<String> {
+        self.engine.backend_names()
     }
 
-    /// The session's catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// The current catalog snapshot (immutable, lock-free to read).
+    pub fn catalog(&self) -> CatalogSnapshot {
+        self.engine.snapshot()
     }
 
-    /// Mutable catalog access. Mutation bumps the catalog version, which
-    /// invalidates cached plans automatically.
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+    /// A copy-on-write write guard over the catalog; the mutation is
+    /// published (and the catalog version bumped, invalidating cached
+    /// plans) when the guard drops. See [`Engine::catalog_mut`].
+    pub fn catalog_mut(&self) -> CatalogWrite<'_> {
+        self.engine.catalog_mut()
     }
 
-    /// Prepared-plan cache counters.
+    /// Apply a catalog mutation functionally. See
+    /// [`Engine::mutate_catalog`].
+    pub fn mutate_catalog<T>(&self, f: impl FnOnce(&mut Catalog) -> T) -> T {
+        self.engine.mutate_catalog(f)
+    }
+
+    /// Prepared-plan cache counters (combined over all shards).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("plan cache lock").stats()
+        self.engine.cache_stats()
     }
 
     /// Drop all cached plans and reset the counters.
     pub fn clear_plan_cache(&self) {
-        self.cache.lock().expect("plan cache lock").clear();
+        self.engine.clear_plan_cache()
+    }
+
+    /// Re-bound the plan cache's total capacity, evicting LRU plans if
+    /// needed. See [`Engine::set_cache_capacity`].
+    pub fn set_cache_capacity(&self, plans: usize) {
+        self.engine.set_cache_capacity(plans)
+    }
+
+    /// The engine's serving metrics (executions, failures, p50/p99).
+    pub fn metrics(&self) -> EngineMetrics {
+        self.engine.metrics()
     }
 
     /// A statement from a raw Voodoo program (the algebra frontend).
-    pub fn program(&self, program: Program) -> Statement<'_> {
-        Statement {
-            session: self,
-            kind: StatementKind::Program(program),
-        }
+    pub fn program(&self, program: Program) -> Statement {
+        self.engine.program(program)
     }
 
     /// A statement from a named TPC-H query (the planner frontend).
-    pub fn query(&self, query: Query) -> Statement<'_> {
-        Statement {
-            session: self,
-            kind: StatementKind::Tpch(query),
-        }
+    pub fn query(&self, query: Query) -> Statement {
+        self.engine.query(query)
     }
 
     /// A statement from a SQL string (parsed eagerly; lowering happens at
-    /// run time against the current catalog).
-    pub fn sql(&self, text: &str) -> Result<Statement<'_>> {
-        let parsed = sql::parse(text)?;
-        Ok(Statement {
-            session: self,
-            kind: StatementKind::Sql(parsed),
-        })
+    /// run time against the then-current catalog snapshot).
+    pub fn sql(&self, text: &str) -> Result<Statement> {
+        self.engine.sql(text)
+    }
+
+    /// Execute a batch of statements across a scoped thread pool. See
+    /// [`Engine::run_batch`].
+    pub fn run_batch(&self, specs: &[StatementSpec]) -> Vec<Result<StatementOutput>> {
+        self.engine.run_batch(specs)
     }
 
     /// Convenience: run a TPC-H query on the default backend.
@@ -407,35 +459,6 @@ impl Session {
     /// Convenience: run a SQL string on the default backend.
     pub fn run_sql(&self, text: &str) -> Result<Vec<Vec<i64>>> {
         Ok(self.sql(text)?.run()?.into_rows().rows)
-    }
-
-    fn backend(&self, name: &str) -> Result<Arc<dyn Backend>> {
-        self.registry
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, b)| Arc::clone(b))
-            .ok_or_else(|| {
-                VoodooError::Backend(format!(
-                    "unknown backend {name:?} (registered: {})",
-                    self.registry
-                        .iter()
-                        .map(|(n, _)| n.as_str())
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                ))
-            })
-    }
-
-    fn plan_for(
-        &self,
-        backend: &dyn Backend,
-        program: &Program,
-        catalog: &Catalog,
-    ) -> Result<Arc<dyn voodoo_backend::PreparedPlan>> {
-        self.cache
-            .lock()
-            .expect("plan cache lock")
-            .get_or_prepare(backend, program, catalog)
     }
 }
 
@@ -527,7 +550,7 @@ mod tests {
 
     #[test]
     fn catalog_mutation_invalidates_plans() {
-        let mut s = session();
+        let s = session();
         s.query(Query::Q6).run().unwrap();
         let misses = s.cache_stats().misses;
         // Any shape-affecting mutation bumps the version …
@@ -546,10 +569,109 @@ mod tests {
 
     #[test]
     fn default_backend_is_switchable() {
-        let mut s = session();
+        let s = session();
         assert_eq!(s.default_backend(), backends::CPU);
         s.set_default_backend(backends::INTERP).unwrap();
         assert!(!s.query(Query::Q6).run().unwrap().rows().is_empty());
         assert!(s.set_default_backend("nope").is_err());
+    }
+
+    #[test]
+    fn same_type_backends_under_distinct_names_get_distinct_plans() {
+        use voodoo_backend::CpuBackend;
+        let s = session();
+        // Both backends self-report name() == "cpu", but they are keyed by
+        // their registry identity, so their plans must not be shared.
+        s.register("cpu-st", Arc::new(CpuBackend::single_threaded()));
+        s.query(Query::Q6).run_on(backends::CPU).unwrap();
+        let misses = s.cache_stats().misses;
+        s.query(Query::Q6).run_on("cpu-st").unwrap();
+        assert!(
+            s.cache_stats().misses > misses,
+            "differently-registered backend must prepare its own plan"
+        );
+    }
+
+    #[test]
+    fn replacing_a_backend_starts_a_fresh_cache_epoch() {
+        use voodoo_backend::CpuBackend;
+        let s = session();
+        let stmt = s.query(Query::Q6);
+        let before = stmt.run().unwrap();
+        // Replace "cpu": cached plans for the old registration must never
+        // be served on behalf of the new backend.
+        let history = s.cache_stats();
+        s.register("cpu", Arc::new(CpuBackend::single_threaded()));
+        let misses = s.cache_stats().misses;
+        assert_eq!(
+            misses, history.misses,
+            "replacement must not zero counter history"
+        );
+        let after = stmt.run().unwrap();
+        assert_eq!(before.rows(), after.rows());
+        assert!(
+            s.cache_stats().misses > misses,
+            "replacement backend must re-prepare"
+        );
+    }
+
+    #[test]
+    fn cloned_sessions_share_engine_state() {
+        let s = session();
+        let clone = s.clone();
+        s.query(Query::Q6).run().unwrap();
+        let stats = clone.cache_stats();
+        assert!(stats.misses > 0, "clone sees the shared cache");
+        clone.query(Query::Q6).run().unwrap();
+        assert!(clone.cache_stats().hits > 0, "clone hits the shared plans");
+        assert_eq!(s.metrics().queries_served, 2);
+    }
+
+    #[test]
+    fn statements_are_send_and_run_off_thread() {
+        let s = session();
+        let stmt = s.query(Query::Q6);
+        let serial = stmt.run().unwrap();
+        let handle = std::thread::spawn(move || stmt.run().unwrap());
+        let threaded = handle.join().unwrap();
+        assert_eq!(serial.rows(), threaded.rows());
+    }
+
+    #[test]
+    fn metrics_track_latency_quantiles() {
+        let s = session();
+        for _ in 0..4 {
+            s.query(Query::Q6).run().unwrap();
+        }
+        let m = s.metrics();
+        assert_eq!(m.queries_served, 4);
+        assert_eq!(m.failures, 0);
+        assert_eq!(m.latency_samples, 4);
+        let (p50, p99) = (m.p50_seconds.unwrap(), m.p99_seconds.unwrap());
+        assert!(p50 > 0.0 && p99 >= p50, "p50={p50} p99={p99}");
+    }
+
+    #[test]
+    fn run_batch_fans_out_and_preserves_order() {
+        let s = session();
+        let specs = [
+            StatementSpec::tpch(Query::Q6),
+            StatementSpec::tpch(Query::Q6).on(backends::GPU),
+            StatementSpec::sql("SELECT COUNT(*) FROM lineitem"),
+            StatementSpec::sql("SELECT nonsense FROM"),
+        ];
+        let results = s.run_batch(&specs);
+        assert_eq!(results.len(), 4);
+        let q6 = s.query(Query::Q6).run().unwrap();
+        assert_eq!(results[0].as_ref().unwrap().rows(), q6.rows());
+        assert_eq!(results[1].as_ref().unwrap().rows(), q6.rows());
+        assert_eq!(results[2].as_ref().unwrap().rows().rows.len(), 1);
+        assert!(results[3].is_err(), "parse error fails only its own slot");
+        let m = s.metrics();
+        assert_eq!(m.batches_served, 1);
+        assert!(
+            m.failures >= 1,
+            "a parse-failed batch slot counts toward the failure rate"
+        );
     }
 }

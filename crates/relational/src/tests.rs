@@ -69,11 +69,15 @@ fn legacy_engine_shims_still_answer() {
     assert_eq!(
         h,
         crate::run_with(&cat, Query::Q6, |p, c| {
-            voodoo_interp::Interpreter::new(c)
-                .run_program(p)
-                .expect("interp")
+            voodoo_interp::Interpreter::new(c).run_program(p)
         })
+        .expect("run_with propagates executor results")
     );
+    // Executor failures propagate as errors instead of panicking.
+    let err = crate::run_with(&cat, Query::Q6, |_, _| {
+        Err(voodoo_core::VoodooError::Backend("boom".into()))
+    });
+    assert!(err.is_err());
 }
 
 #[test]

@@ -1,6 +1,14 @@
 //! The in-memory catalog: tables, columns, dictionaries, metadata.
+//!
+//! Tables are stored behind [`Arc`], so cloning a [`Catalog`] — and taking
+//! a [`CatalogSnapshot`] — is O(#tables), sharing every column buffer.
+//! Mutation copies only the touched table (copy-on-write via
+//! [`Arc::make_mut`]) and bumps the version counter, which is what the
+//! engine layer's prepared-plan caches key on.
 
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use voodoo_core::{
     Buffer, Column, KeyPath, ScalarType, ScalarValue, Schema, StructuredVector, TableProvider,
@@ -186,7 +194,7 @@ impl Table {
 /// The catalog: the persistent namespace `Load`/`Persist` operate on.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: HashMap<String, Table>,
+    tables: HashMap<String, Arc<Table>>,
     version: u64,
 }
 
@@ -203,21 +211,31 @@ impl Catalog {
         self.version
     }
 
+    /// An immutable, cheaply clonable snapshot of this catalog. Column
+    /// buffers are shared (tables sit behind [`Arc`]), so the snapshot is
+    /// O(#tables) regardless of data volume.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        CatalogSnapshot(Arc::new(self.clone()))
+    }
+
     /// Insert (or replace) a table.
     pub fn insert_table(&mut self, table: Table) {
         self.version += 1;
-        self.tables.insert(table.name.clone(), table);
+        self.tables.insert(table.name.clone(), Arc::new(table));
     }
 
     /// Look up a table.
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.get(name)
+        self.tables.get(name).map(|t| t.as_ref())
     }
 
     /// Mutable table lookup (conservatively counts as a mutation).
+    ///
+    /// Copy-on-write: if the table is shared with snapshots, it is cloned
+    /// first, so existing snapshots keep their view.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
         self.version += 1;
-        self.tables.get_mut(name)
+        self.tables.get_mut(name).map(Arc::make_mut)
     }
 
     /// Names of all tables (unordered).
@@ -301,6 +319,49 @@ impl TableProvider for Catalog {
     }
 }
 
+/// An immutable, reference-counted view of a [`Catalog`] at a fixed
+/// version.
+///
+/// Snapshots are what concurrent readers execute against: a statement
+/// grabs one at start and holds no lock for the rest of its run. Cloning
+/// a snapshot is a reference-count bump; the underlying column buffers
+/// are shared with the live catalog until a writer copies-on-write the
+/// touched table.
+#[derive(Debug, Clone)]
+pub struct CatalogSnapshot(Arc<Catalog>);
+
+impl CatalogSnapshot {
+    /// Snapshot an owned catalog (no copy beyond the table map).
+    pub fn new(catalog: Catalog) -> CatalogSnapshot {
+        CatalogSnapshot(Arc::new(catalog))
+    }
+
+    /// The catalog version this snapshot pinned.
+    pub fn version(&self) -> u64 {
+        self.0.version()
+    }
+}
+
+impl Deref for CatalogSnapshot {
+    type Target = Catalog;
+
+    fn deref(&self) -> &Catalog {
+        &self.0
+    }
+}
+
+impl From<Catalog> for CatalogSnapshot {
+    fn from(catalog: Catalog) -> CatalogSnapshot {
+        CatalogSnapshot::new(catalog)
+    }
+}
+
+impl AsRef<Catalog> for CatalogSnapshot {
+    fn as_ref(&self) -> &Catalog {
+        &self.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +435,29 @@ mod tests {
             back.value_at(0, &KeyPath::new(".sum")),
             Some(ScalarValue::I64(10))
         );
+    }
+
+    #[test]
+    fn snapshots_share_buffers_and_survive_mutation() {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("t", &[1, 2, 3]);
+        let snap = cat.snapshot();
+        assert_eq!(snap.version(), cat.version());
+        // Mutating the live catalog copies-on-write; the snapshot keeps
+        // its view and its version.
+        cat.put_i64_column("t", &[9, 9]);
+        assert_eq!(snap.table("t").unwrap().len, 3);
+        assert_eq!(cat.table("t").unwrap().len, 2);
+        assert!(cat.version() > snap.version());
+        // table_mut on a shared table must not bleed into the snapshot.
+        let mut cat2 = Catalog::in_memory();
+        cat2.put_i64_column("u", &[1]);
+        let snap2 = cat2.snapshot();
+        cat2.table_mut("u")
+            .unwrap()
+            .add_foreign_key("val", "t", "val");
+        assert!(snap2.table("u").unwrap().foreign_keys.is_empty());
+        assert_eq!(cat2.table("u").unwrap().foreign_keys.len(), 1);
     }
 
     #[test]

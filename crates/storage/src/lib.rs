@@ -15,4 +15,4 @@
 pub mod catalog;
 pub mod persist;
 
-pub use catalog::{Catalog, ColumnStats, Table, TableColumn};
+pub use catalog::{Catalog, CatalogSnapshot, ColumnStats, Table, TableColumn};

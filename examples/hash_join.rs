@@ -26,7 +26,7 @@ fn main() {
     let mut cat = Catalog::in_memory();
     cat.put_i64_column("customers", &customers);
     cat.put_i64_column("orders", &orders);
-    let mut session = Session::new(cat);
+    let session = Session::new(cat);
     // The hash-table programs materialize every intermediate by design —
     // keep them on the reference interpreter.
     session

@@ -23,7 +23,7 @@ use voodoo_bench::micro;
 
 fn main() {
     let n = 1 << 18;
-    let mut session = Session::new(micro::selection_catalog(n, 42));
+    let session = Session::new(micro::selection_catalog(n, 42));
     // The §4 physical tuning flag, exposed as two extra backends.
     session.register(
         "cpu-branchfree",

@@ -27,7 +27,7 @@ fn main() {
 
     for q in [Query::Q6, Query::Q1, Query::Q5, Query::Q19] {
         let t = Instant::now();
-        let hyper = voodoo::baselines::hyper::run(session.catalog(), q);
+        let hyper = voodoo::baselines::hyper::run(&session.catalog(), q);
         let t_hyper = t.elapsed();
 
         let stmt = session.query(q);

@@ -15,7 +15,8 @@
 //! * [`storage`] — MonetDB-style columnar storage substrate
 //! * [`tpch`] — TPC-H data generator and reference answers
 //! * [`relational`] — relational frontend (logical plans, SQL subset,
-//!   lowering) and the [`relational::Session`] execution facade
+//!   lowering), the shared [`relational::Engine`], and the
+//!   [`relational::Session`] handles onto it
 //! * [`baselines`] — HyPeR-style and Ocelot-style comparison engines
 //! * [`algos`] — cookbook of canonical Voodoo programs (paper listings +
 //!   §6 related-work translations: hashing, bounded cuckoo, compaction)
@@ -24,10 +25,13 @@
 //!
 //! ## Quickstart
 //!
-//! One `Session` is the entry point for every frontend (raw Voodoo
+//! One shared [`relational::Engine`] serves every frontend (raw Voodoo
 //! programs, named TPC-H queries, SQL strings) and every backend (the
-//! interpreter, the compiled CPU, the simulated GPU). Statements are
-//! prepared once and cached; re-targeting a statement to different
+//! interpreter, the compiled CPU, the simulated GPU) — from as many
+//! threads as you like. A [`relational::Session`] is a cheap clonable
+//! handle onto an engine; statements are prepared once into a sharded,
+//! LRU-bounded plan cache, execute against immutable catalog snapshots
+//! (no lock held while running), and re-targeting one to different
 //! hardware is a one-word diff — the paper's portability claim as API.
 //!
 //! ```
@@ -63,10 +67,13 @@
 //! assert!(session.cache_stats().hits >= 1);
 //! ```
 //!
-//! The relational frontends ride the same facade:
+//! The relational frontends ride the same facade, and serving many
+//! clients is a `.clone()` per thread — every handle shares the engine's
+//! catalog, plan cache and metrics ([`relational::Statement`]s are `Send`
+//! too, so they can cross threads themselves):
 //!
 //! ```
-//! use voodoo::relational::Session;
+//! use voodoo::relational::{Session, StatementSpec};
 //! use voodoo::tpch::queries::Query;
 //!
 //! let session = Session::tpch(0.002); // generate + prepare TPC-H
@@ -77,6 +84,27 @@
 //!     .run_sql("SELECT MIN(l_quantity), MAX(l_quantity) FROM lineitem")
 //!     .unwrap();
 //! assert_eq!(adhoc.len(), 1);
+//!
+//! // Concurrency: cloned handles, one engine, shared plan cache.
+//! std::thread::scope(|scope| {
+//!     for _ in 0..4 {
+//!         let handle = session.clone();
+//!         let q6 = &q6;
+//!         scope.spawn(move || {
+//!             assert_eq!(&handle.run_query(Query::Q6).unwrap(), q6);
+//!         });
+//!     }
+//! });
+//! // Or: fan a whole batch across a scoped thread pool.
+//! let batch = session.run_batch(&[
+//!     StatementSpec::tpch(Query::Q6),
+//!     StatementSpec::tpch(Query::Q6).on("gpu"),
+//!     StatementSpec::sql("SELECT COUNT(*) FROM lineitem"),
+//! ]);
+//! assert!(batch.iter().all(|r| r.is_ok()));
+//! // The engine kept score.
+//! let m = session.metrics();
+//! assert!(m.queries_served >= 9 && m.p99_seconds.is_some());
 //! ```
 pub use voodoo_algos as algos;
 pub use voodoo_backend as backend;

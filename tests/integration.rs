@@ -16,13 +16,13 @@ use voodoo::tpch::queries::{Query, CPU_QUERIES, GPU_QUERIES};
 fn all_engines_agree_on_the_paper_query_set() {
     let session = Session::tpch(0.002);
     for q in CPU_QUERIES {
-        let hyper = voodoo::baselines::hyper::run(session.catalog(), q);
+        let hyper = voodoo::baselines::hyper::run(&session.catalog(), q);
         let stmt = session.query(q);
         let interp = stmt.run_on("interp").expect("interp");
         let compiled = stmt.run().expect("cpu");
         assert_eq!(&hyper, interp.rows(), "{} interp", q.name());
         assert_eq!(&hyper, compiled.rows(), "{} compiled", q.name());
-        if let Some(ocelot) = voodoo::baselines::ocelot::run(session.catalog(), q) {
+        if let Some(ocelot) = voodoo::baselines::ocelot::run(&session.catalog(), q) {
             assert_eq!(hyper, ocelot, "{} ocelot", q.name());
         }
     }
@@ -34,7 +34,7 @@ fn all_engines_agree_on_the_paper_query_set() {
 fn gpu_simulation_preserves_results() {
     let session = Session::tpch(0.002);
     for q in GPU_QUERIES {
-        let hyper = voodoo::baselines::hyper::run(session.catalog(), q);
+        let hyper = voodoo::baselines::hyper::run(&session.catalog(), q);
         let res = session.query(q).run_on("gpu").expect("gpu");
         assert_eq!(&hyper, res.rows(), "{} gpu", q.name());
         let prof = session.query(q).profile_on("gpu").expect("gpu profile");
@@ -59,8 +59,8 @@ fn persisted_catalog_round_trips_through_queries() {
     let reloaded = Session::new(loaded);
     for q in [Query::Q1, Query::Q6, Query::Q12] {
         assert_eq!(
-            voodoo::baselines::hyper::run(original.catalog(), q),
-            voodoo::baselines::hyper::run(reloaded.catalog(), q),
+            voodoo::baselines::hyper::run(&original.catalog(), q),
+            voodoo::baselines::hyper::run(&reloaded.catalog(), q),
             "{} after reload",
             q.name()
         );

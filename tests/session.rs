@@ -19,7 +19,7 @@ fn all_backends_bit_identical_on_every_tpch_query_at_sf_001() {
             assert_eq!(reference, got, "{} differs on {backend}", q.name());
         }
         // And the independent HyPeR-style engine agrees too.
-        let hyper = voodoo::baselines::hyper::run(session.catalog(), q);
+        let hyper = voodoo::baselines::hyper::run(&session.catalog(), q);
         assert_eq!(hyper, reference, "{} differs from hyper", q.name());
     }
 }
