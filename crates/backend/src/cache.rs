@@ -44,7 +44,12 @@ pub struct PlanKey {
     pub backend: String,
     /// [`Catalog::version`] at preparation time.
     pub catalog_version: u64,
-    /// The program's rendered SSA text (exact, collision-free).
+    /// The program's exhaustive [`Program::cache_key`] rendering. NOT
+    /// the pretty SSA `Display` text: that omits operator parameters
+    /// (e.g. `Project` key paths), so two semantically different
+    /// programs can share it — the cache-key form carries every
+    /// operator field (and skips pretty-printing labels, which carry no
+    /// semantics).
     pub program: String,
 }
 
@@ -66,7 +71,7 @@ impl PlanKey {
         PlanKey {
             backend: identity.to_string(),
             catalog_version: catalog.version(),
-            program: program.to_string(),
+            program: program.cache_key(),
         }
     }
 }
@@ -167,12 +172,26 @@ impl PlanCache {
         program: &Program,
         catalog: &Catalog,
     ) -> Result<Arc<dyn PreparedPlan>> {
+        self.get_or_prepare_keyed_traced(key, backend, program, catalog)
+            .map(|(plan, _)| plan)
+    }
+
+    /// [`Self::get_or_prepare_keyed`], additionally reporting whether the
+    /// lookup hit (`true`) or had to prepare (`false`) — for callers that
+    /// attribute cache traffic to a session or tenant.
+    pub fn get_or_prepare_keyed_traced(
+        &mut self,
+        key: PlanKey,
+        backend: &dyn Backend,
+        program: &Program,
+        catalog: &Catalog,
+    ) -> Result<(Arc<dyn PreparedPlan>, bool)> {
         self.tick += 1;
         let tick = self.tick;
         if let Some(entry) = self.map.get_mut(&key) {
             entry.tick = tick;
             self.hits += 1;
-            return Ok(Arc::clone(&entry.plan));
+            return Ok((Arc::clone(&entry.plan), true));
         }
         let plan = backend.prepare(program, catalog)?;
         self.misses += 1;
@@ -191,7 +210,7 @@ impl PlanCache {
             },
         );
         self.evict_to_capacity();
-        Ok(plan)
+        Ok((plan, false))
     }
 
     fn evict_to_capacity(&mut self) {
@@ -336,8 +355,24 @@ impl ShardedPlanCache {
         program: &Program,
         catalog: &Catalog,
     ) -> Result<Arc<dyn PreparedPlan>> {
+        self.get_or_prepare_named_traced(identity, backend, program, catalog)
+            .map(|(plan, _)| plan)
+    }
+
+    /// [`Self::get_or_prepare_named`], additionally reporting whether the
+    /// lookup hit (`true`) or prepared (`false`). Serving layers use this
+    /// to attribute cache traffic per session without re-reading (racy)
+    /// global counters.
+    pub fn get_or_prepare_named_traced(
+        &self,
+        identity: &str,
+        backend: &dyn Backend,
+        program: &Program,
+        catalog: &Catalog,
+    ) -> Result<(Arc<dyn PreparedPlan>, bool)> {
         let key = PlanKey::named(identity, catalog, program);
-        Self::lock_shard(self.shard_for(&key)).get_or_prepare_keyed(key, backend, program, catalog)
+        Self::lock_shard(self.shard_for(&key))
+            .get_or_prepare_keyed_traced(key, backend, program, catalog)
     }
 
     /// Counters summed over every shard.
@@ -416,6 +451,71 @@ mod tests {
                 .map(|v| v.as_i64()),
             Some(10)
         );
+    }
+
+    #[test]
+    fn programs_differing_only_in_keypaths_get_distinct_entries() {
+        // Regression: the pretty SSA rendering omits operator parameters
+        // like Project key paths, so keying on it conflated "project
+        // column a" with "project column b" and served the wrong plan.
+        let mut cat = Catalog::in_memory();
+        let mut t = voodoo_storage::Table::new("t");
+        t.add_column(voodoo_storage::TableColumn::from_buffer(
+            "a",
+            voodoo_core::Buffer::I64(vec![1, 2]),
+        ));
+        t.add_column(voodoo_storage::TableColumn::from_buffer(
+            "b",
+            voodoo_core::Buffer::I64(vec![10, 20]),
+        ));
+        cat.insert_table(t);
+        let prog_for = |col: &str| {
+            let mut p = Program::new();
+            let t = p.load("t");
+            let v = p.project(t, KeyPath::new(col), KeyPath::val());
+            let s = p.fold_sum_global(v);
+            p.ret(s);
+            p
+        };
+        let backend = InterpBackend::new();
+        let mut cache = PlanCache::new();
+        let sum = |cache: &mut PlanCache, col: &str| {
+            cache
+                .get_or_prepare(&backend, &prog_for(col), &cat)
+                .unwrap()
+                .execute(&cat)
+                .unwrap()
+                .returns[0]
+                .value_at(0, &KeyPath::val())
+                .map(|v| v.as_i64())
+                .unwrap()
+        };
+        assert_eq!(sum(&mut cache, "a"), 3);
+        assert_eq!(sum(&mut cache, "b"), 30, "must not serve the 'a' plan");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
+    }
+
+    #[test]
+    fn pretty_printing_labels_do_not_fragment_the_cache() {
+        // Labels are documented as pretty-printing only: two programs
+        // differing solely in labels are the same program and must share
+        // one cache entry.
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("t", &[1, 2, 3, 4]);
+        let mut plain = Program::new();
+        let t = plain.load("t");
+        let s = plain.fold_sum_global(t);
+        plain.ret(s);
+        let mut labeled = plain.clone();
+        labeled.label(t, "debugName");
+        let backend = InterpBackend::new();
+        let mut cache = PlanCache::new();
+        let a = cache.get_or_prepare(&backend, &plain, &cat).unwrap();
+        let b = cache.get_or_prepare(&backend, &labeled, &cat).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "labels must not change the key");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
     }
 
     #[test]

@@ -1,12 +1,14 @@
-//! Criterion bench for the serving-throughput figure: one shared engine,
-//! N client threads replaying a warmed TPC-H + SQL statement mix.
+//! Criterion bench for the serving front door: N client threads submit a
+//! warmed TPC-H + SQL statement mix through one admission-controlled
+//! `ServerHandle` (bounded queue + fixed worker pool) and wait for their
+//! receipts.
 //!
-//! Each iteration runs one full mix per client across a scoped thread
-//! pool, so per-iteration time shrinking as `clients` grows (up to the
-//! core count) is the concurrency win the `Engine` redesign buys.
+//! Per-iteration time shrinking as `clients` grows (up to the worker
+//! count) is the concurrency win; admission staying non-blocking under
+//! saturation is the serve-layer win.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use voodoo_relational::Session;
+use voodoo_relational::{ServeConfig, Session, StatementSpec};
 use voodoo_tpch::queries::Query;
 
 fn bench(c: &mut Criterion) {
@@ -14,16 +16,17 @@ fn bench(c: &mut Criterion) {
     let sql = "SELECT l_returnflag, SUM(l_quantity), COUNT(*) FROM lineitem \
                GROUP BY l_returnflag";
     let mix = [
-        session.query(Query::Q1),
-        session.query(Query::Q6),
-        session.query(Query::Q12),
-        session.query(Query::Q19),
-        session.sql(sql).expect("mix sql"),
+        StatementSpec::tpch(Query::Q1),
+        StatementSpec::tpch(Query::Q6),
+        StatementSpec::tpch(Query::Q12),
+        StatementSpec::tpch(Query::Q19),
+        StatementSpec::sql(sql),
     ];
     // Warm the plan cache: the timed loops measure serving, not compiling.
-    for stmt in &mix {
-        stmt.run().expect("warmup");
+    for result in session.run_batch(&mix) {
+        result.expect("warmup");
     }
+    let server = session.serve(ServeConfig::default().with_queue_capacity(256));
     let mut g = c.benchmark_group("throughput");
     g.sample_size(10);
     for clients in [1usize, 2, 4, 8] {
@@ -35,9 +38,18 @@ fn bench(c: &mut Criterion) {
                     std::thread::scope(|scope| {
                         for _ in 0..clients {
                             let mix = &mix;
+                            let server = &server;
                             scope.spawn(move || {
-                                for stmt in mix {
-                                    criterion::black_box(stmt.run().expect("statement"));
+                                let receipts: Vec<_> = mix
+                                    .iter()
+                                    .map(|spec| {
+                                        server
+                                            .submit_wait(spec.clone(), None)
+                                            .expect("blocking admission")
+                                    })
+                                    .collect();
+                                for r in receipts {
+                                    criterion::black_box(r.wait().expect("statement"));
                                 }
                             });
                         }
@@ -47,6 +59,7 @@ fn bench(c: &mut Criterion) {
         );
     }
     g.finish();
+    server.shutdown();
 }
 
 criterion_group!(benches, bench);

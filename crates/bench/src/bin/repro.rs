@@ -5,7 +5,7 @@
 //!   --n=<elements>      microbenchmark input size   (default 1048576)
 //!   --sf=<scale>        TPC-H scale factor          (default 0.02)
 //!   --threads=<t>       CPU threads                 (default available)
-//!   --iters=<i>         throughput iterations/client (default 25)
+//!   --iters=<i>         throughput mix repetitions per load point (default 25)
 //! ```
 //!
 //! Absolute times will differ from the paper's 2016 testbed; the shapes
@@ -81,13 +81,25 @@ fn main() {
             "Figure 16: selective foreign-key join (time in s, selectivity in %)",
             &figures::fig16(o.n, 1 << 23),
         ),
-        "throughput" => print_rows(
-            &format!(
-                "Throughput: queries/sec vs client threads over one shared engine, SF {}",
-                o.sf
-            ),
-            &figures::throughput(o.sf, &[1, 2, 4, 8], o.iters),
-        ),
+        "throughput" => {
+            let rows = figures::throughput(o.sf, &[0.5, 1.0, 2.0, 4.0], o.iters);
+            print_rows(
+                &format!(
+                    "Serving: offered load vs sustained qps / p99 sojourn / shed rate, SF {}",
+                    o.sf
+                ),
+                &rows,
+            );
+            println!("\nshed rate per load point:");
+            for r in rows.iter().filter(|r| r.series.ends_with("shed-pct")) {
+                println!(
+                    "  {:<10} offered {:>5}: {:>6.2}% shed",
+                    r.series.trim_end_matches("/shed-pct"),
+                    r.x,
+                    r.seconds.unwrap_or(0.0)
+                );
+            }
+        }
         "ablate" => {
             print_rows(
                 "Ablation: empty-slot suppression (write bytes)",

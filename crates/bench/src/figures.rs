@@ -413,51 +413,126 @@ pub fn fig16(n_fact: usize, n_target: usize) -> Vec<FigRow> {
     rows
 }
 
-/// Serving throughput: queries/second vs concurrent client threads, per
-/// backend, over ONE shared engine (the ROADMAP's many-users story).
+/// The serving figure: **offered load vs sustained throughput, tail
+/// latency and shed rate** over the admission-controlled front door
+/// (`relational::serve`) — the classic open-loop hockey-stick.
 ///
-/// Each client thread clones the session handle and replays a fixed
-/// TPC-H + SQL statement mix `iters` times; the plan cache is warmed
-/// first, so the measured regime is the compile-once-run-many serving
-/// path. The row value is queries/sec (not seconds).
-pub fn throughput(sf: f64, client_threads: &[usize], iters: usize) -> Vec<FigRow> {
+/// For each backend the statement mix is warmed (so the measured regime
+/// is the compile-once-run-many serving path), the pool's closed-loop
+/// capacity is estimated, and then an open-loop arrival process submits
+/// at `multiplier × capacity` for each multiplier in `load_multipliers`.
+/// Arrivals beyond the bounded queue are shed, not queued: past the
+/// knee, sustained throughput plateaus at capacity, p99 sojourn jumps to
+/// the queue-drain time, and the shed rate absorbs the rest.
+///
+/// Three rows per (backend, load point):
+/// `<backend>/sustained-qps`, `<backend>/p99-sojourn-ms` and
+/// `<backend>/shed-pct`, with the offered multiplier as the x label.
+pub fn throughput(sf: f64, load_multipliers: &[f64], iters: usize) -> Vec<FigRow> {
+    use std::time::{Duration, Instant};
+    use voodoo_relational::{ServeConfig, StatementSpec, SubmitError};
     use voodoo_tpch::queries::Query;
 
     let session = Session::tpch(sf);
     let sql = "SELECT l_returnflag, SUM(l_quantity), COUNT(*) FROM lineitem \
                GROUP BY l_returnflag";
-    // Statements are Send + Sync: build the mix once, share it across
-    // every client thread.
-    let mix = [
-        session.query(Query::Q1),
-        session.query(Query::Q6),
-        session.query(Query::Q12),
-        session.query(Query::Q19),
-        session.sql(sql).expect("mix sql"),
-    ];
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(4);
     let mut rows = Vec::new();
     for backend in ["interp", "cpu", "gpu"] {
-        // Warm the plan cache so every timed run is a cache hit.
-        for stmt in &mix {
-            stmt.run_on(backend).expect("warmup statement");
+        let mix: Vec<StatementSpec> = vec![
+            StatementSpec::tpch(Query::Q1).on(backend),
+            StatementSpec::tpch(Query::Q6).on(backend),
+            StatementSpec::tpch(Query::Q12).on(backend),
+            StatementSpec::tpch(Query::Q19).on(backend),
+            StatementSpec::sql(sql).on(backend),
+        ];
+        // Warm the plan cache (every statement compiles here), then
+        // calibrate capacity by driving the SAME pool shape the sweep
+        // uses, closed-loop and cache-warm: a different worker count or
+        // cold compile time in the timed window would mis-place the knee.
+        session.run_batch(&mix).into_iter().for_each(|r| {
+            consume(r.expect("warmup statement"));
+        });
+        let calibrator = session.serve(
+            ServeConfig::default()
+                .with_workers(workers)
+                .with_queue_capacity(2 * workers),
+        );
+        let passes = 2;
+        let warm_started = Instant::now();
+        for _ in 0..passes {
+            let receipts: Vec<_> = mix
+                .iter()
+                .map(|spec| {
+                    calibrator
+                        .submit_wait(spec.clone(), None)
+                        .expect("blocking admission")
+                })
+                .collect();
+            for r in receipts {
+                consume(r.wait().expect("calibration statement"));
+            }
         }
-        for &clients in client_threads {
-            let started = std::time::Instant::now();
-            std::thread::scope(|scope| {
-                for _ in 0..clients {
-                    let mix = &mix;
-                    scope.spawn(move || {
-                        for _ in 0..iters {
-                            for stmt in mix {
-                                consume(stmt.run_on(backend).expect("statement"));
-                            }
-                        }
-                    });
+        let capacity_qps =
+            ((passes * mix.len()) as f64 / warm_started.elapsed().as_secs_f64()).max(1.0);
+        calibrator.shutdown();
+
+        for &multiplier in load_multipliers {
+            let offered_qps = capacity_qps * multiplier;
+            let interval = Duration::from_secs_f64(1.0 / offered_qps);
+            let total = (iters * mix.len()).max(1);
+            let server = session.serve(
+                ServeConfig::default()
+                    .with_workers(workers)
+                    .with_queue_capacity(2 * workers),
+            );
+            let started = Instant::now();
+            let mut receipts = Vec::new();
+            let mut shed = 0usize;
+            for i in 0..total {
+                let arrival = started + interval * i as u32;
+                if let Some(wait) = arrival.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
                 }
-            });
+                match server.submit(mix[i % mix.len()].clone()) {
+                    Ok(r) => receipts.push(r),
+                    Err(SubmitError::QueueFull) => shed += 1,
+                    Err(e) => panic!("unexpected admission error: {e}"),
+                }
+            }
+            let mut sojourns: Vec<f64> = receipts
+                .into_iter()
+                .map(|r| {
+                    let c = r.wait_completion();
+                    c.result.expect("mix statement");
+                    c.sojourn.as_secs_f64()
+                })
+                .collect();
             let elapsed = started.elapsed().as_secs_f64();
-            let queries = (clients * iters * mix.len()) as f64;
-            rows.push(FigRow::new(backend, clients, Some(queries / elapsed)));
+            server.shutdown();
+            sojourns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let p99 = sojourns
+                .get(((sojourns.len().saturating_sub(1)) as f64 * 0.99).round() as usize)
+                .copied();
+            let x = format!("{multiplier}x");
+            rows.push(FigRow::new(
+                &format!("{backend}/sustained-qps"),
+                &x,
+                Some(sojourns.len() as f64 / elapsed),
+            ));
+            rows.push(FigRow::new(
+                &format!("{backend}/p99-sojourn-ms"),
+                &x,
+                p99.map(|s| s * 1e3),
+            ));
+            rows.push(FigRow::new(
+                &format!("{backend}/shed-pct"),
+                &x,
+                Some(100.0 * shed as f64 / total as f64),
+            ));
         }
     }
     rows
@@ -616,16 +691,24 @@ mod tests {
     }
 
     #[test]
-    fn throughput_scales_rows_per_backend_and_client_count() {
-        let rows = throughput(0.002, &[1, 2], 2);
-        assert_eq!(rows.len(), 3 * 2, "3 backends x 2 client counts");
-        for r in &rows {
+    fn throughput_sweeps_offered_load_with_shed_rates() {
+        let rows = throughput(0.002, &[0.5, 4.0], 2);
+        assert_eq!(
+            rows.len(),
+            3 * 2 * 3,
+            "3 backends x 2 load points x 3 metrics"
+        );
+        for r in rows.iter().filter(|r| r.series.ends_with("sustained-qps")) {
             assert!(
                 r.seconds.unwrap() > 0.0,
-                "{}@{} clients served no queries",
+                "{}@{} served no queries",
                 r.series,
                 r.x
             );
+        }
+        for r in rows.iter().filter(|r| r.series.ends_with("shed-pct")) {
+            let pct = r.seconds.unwrap();
+            assert!((0.0..=100.0).contains(&pct), "{}@{}: {pct}", r.series, r.x);
         }
     }
 

@@ -88,6 +88,21 @@ impl Program {
         &self.returns
     }
 
+    /// An exhaustive, collision-free rendering for keying caches: every
+    /// operator field is included (unlike `Display`, which elides
+    /// parameters like `Project` key paths for readability), while the
+    /// pretty-printing-only statement labels are excluded (two programs
+    /// differing only in labels are the same program).
+    pub fn cache_key(&self) -> String {
+        use fmt::Write;
+        let mut s = String::new();
+        for stmt in &self.stmts {
+            let _ = writeln!(s, "{:?}", stmt.op);
+        }
+        let _ = write!(s, "returns {:?}", self.returns);
+        s
+    }
+
     /// Number of statements.
     pub fn len(&self) -> usize {
         self.stmts.len()

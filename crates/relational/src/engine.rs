@@ -56,6 +56,12 @@ pub struct EngineMetrics {
     pub failures: u64,
     /// [`Engine::run_batch`] invocations.
     pub batches_served: u64,
+    /// Statements admitted to serving queues and not yet executing
+    /// (a gauge, summed over every live [`crate::ServerHandle`]).
+    pub queue_depth: u64,
+    /// Statements refused admission — queue-full sheds plus admission
+    /// deadline expiries, across every server over this engine.
+    pub sheds: u64,
     /// Median execution latency over the reservoir window, in seconds.
     pub p50_seconds: Option<f64>,
     /// 99th-percentile execution latency over the window, in seconds.
@@ -101,6 +107,8 @@ struct Metrics {
     queries: AtomicU64,
     failures: AtomicU64,
     batches: AtomicU64,
+    queue_depth: AtomicU64,
+    sheds: AtomicU64,
     reservoir: Mutex<Reservoir>,
 }
 
@@ -110,9 +118,36 @@ impl Metrics {
             queries: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
             reservoir: Mutex::new(Reservoir::new()),
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Per-session cache attribution
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// When serving through [`crate::ServerHandle`], the worker thread
+    /// opens a trace around each execution so plan-cache hits/misses can
+    /// be attributed to the submitting serve-session. `None` outside a
+    /// traced execution.
+    static CACHE_TRACE: std::cell::Cell<Option<(u64, u64)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+fn cache_trace_note(hit: bool) {
+    CACHE_TRACE.with(|t| {
+        if let Some((hits, misses)) = t.get() {
+            t.set(Some(if hit {
+                (hits + 1, misses)
+            } else {
+                (hits, misses + 1)
+            }));
+        }
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -363,12 +398,14 @@ impl Engine {
         program: &Program,
         catalog: &Catalog,
     ) -> Result<Arc<dyn voodoo_backend::PreparedPlan>> {
-        self.cache.get_or_prepare_named(
+        let (plan, hit) = self.cache.get_or_prepare_named_traced(
             &backend.cache_identity,
             &*backend.backend,
             program,
             catalog,
-        )
+        )?;
+        cache_trace_note(hit);
+        Ok(plan)
     }
 
     // -- metrics ------------------------------------------------------
@@ -389,6 +426,8 @@ impl Engine {
             queries_served: self.metrics.queries.load(Ordering::Relaxed),
             failures: self.metrics.failures.load(Ordering::Relaxed),
             batches_served: self.metrics.batches.load(Ordering::Relaxed),
+            queue_depth: self.metrics.queue_depth.load(Ordering::Relaxed),
+            sheds: self.metrics.sheds.load(Ordering::Relaxed),
             p50_seconds: Reservoir::quantile(&sorted, 0.50),
             p99_seconds: Reservoir::quantile(&sorted, 0.99),
             latency_samples: sorted.len(),
@@ -407,10 +446,44 @@ impl Engine {
             .record(started.elapsed().as_secs_f64());
     }
 
-    // -- batch execution ----------------------------------------------
+    pub(crate) fn record_shed(&self) {
+        self.metrics.sheds.fetch_add(1, Ordering::Relaxed);
+    }
 
-    /// Execute a batch of statements, fanned across a scoped thread pool
-    /// (one worker per available core, capped by the batch size).
+    pub(crate) fn queue_depth_inc(&self) {
+        self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn queue_depth_dec(&self) {
+        self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Start attributing plan-cache hits/misses on this thread (serve
+    /// workers bracket each execution with begin/end).
+    pub(crate) fn cache_trace_begin(&self) {
+        CACHE_TRACE.with(|t| t.set(Some((0, 0))));
+    }
+
+    /// Stop attributing and return `(hits, misses)` seen since begin.
+    pub(crate) fn cache_trace_end(&self) -> (u64, u64) {
+        CACHE_TRACE.with(|t| t.take()).unwrap_or((0, 0))
+    }
+
+    // -- serving ------------------------------------------------------
+
+    /// Start a serving front door over this engine: a bounded admission
+    /// queue drained by a fixed worker pool with per-session weighted-
+    /// fair scheduling and explicit overload shedding. See
+    /// [`crate::serve`].
+    pub fn serve(self: &Arc<Self>, config: crate::ServeConfig) -> crate::ServerHandle {
+        crate::ServerHandle::start(Arc::clone(self), config)
+    }
+
+    /// Execute a batch of statements through a transient admission queue
+    /// (capacity = batch size, one worker per available core capped by
+    /// the batch size) — the same queue-aware path [`Engine::serve`]
+    /// uses, so batch work shows up in the queue-depth gauge and a
+    /// panicking statement fails only its own slot.
     ///
     /// Results come back in input order; each statement fails or succeeds
     /// independently, like a serving loop would want.
@@ -423,28 +496,28 @@ impl Engine {
             .map(|p| p.get())
             .unwrap_or(1)
             .min(specs.len());
-        let next = AtomicU64::new(0);
-        let slots: Vec<Mutex<Option<Result<StatementOutput>>>> =
-            specs.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
-                    if i >= specs.len() {
-                        break;
-                    }
-                    let out = self.run_spec(&specs[i]);
-                    *slots[i].lock().expect("batch slot") = Some(out);
-                });
-            }
-        });
-        slots
+        let server = self.serve(
+            crate::ServeConfig::default()
+                .with_queue_capacity(specs.len())
+                .with_workers(workers),
+        );
+        let receipts: Vec<crate::Receipt> = specs
+            .iter()
+            .map(|spec| {
+                server
+                    .submit(spec.clone())
+                    .expect("queue sized to the batch cannot shed")
+            })
+            .collect();
+        let results = receipts
             .into_iter()
-            .map(|s| s.into_inner().expect("batch slot").expect("worker filled"))
-            .collect()
+            .map(|r| r.wait().map_err(crate::ServeError::into_engine_error))
+            .collect();
+        server.shutdown();
+        results
     }
 
-    fn run_spec(self: &Arc<Self>, spec: &StatementSpec) -> Result<StatementOutput> {
+    pub(crate) fn run_spec(self: &Arc<Self>, spec: &StatementSpec) -> Result<StatementOutput> {
         let started = Instant::now();
         let stmt = match &spec.kind {
             SpecKind::Program(p) => self.program(p.clone()),
@@ -574,10 +647,34 @@ where
     queries::run_query(cat, q, &mut |p: &Program, c: &Catalog| exec(p, c))
 }
 
+/// Shared body of the deprecated per-backend shims: stand up a one-shot
+/// engine over (an Arc-shared clone of) the caller's catalog, register
+/// the requested backend, and execute through the serving queue — the
+/// same admission path [`Engine::serve`] and [`Engine::run_batch`] use —
+/// so even legacy callers flow through the plan cache and metrics.
+fn run_shim_through_queue(cat: &Catalog, q: Query, backend: Arc<dyn Backend>) -> QueryResult {
+    let engine = Arc::new(Engine::new(cat.clone()));
+    engine.register("shim", backend);
+    let server = engine.serve(
+        crate::ServeConfig::default()
+            .with_queue_capacity(1)
+            .with_workers(1),
+    );
+    let receipt = server
+        .submit_wait(StatementSpec::tpch(q).on("shim"), None)
+        .expect("one-slot queue admits the only statement");
+    let out = receipt
+        .wait()
+        .map_err(crate::ServeError::into_engine_error)
+        .expect("shim execution");
+    server.shutdown();
+    out.into_rows()
+}
+
 /// Run a query on the reference interpreter backend.
 #[deprecated(note = "use Session::query(q).run_on(\"interp\") instead")]
 pub fn run_interp(cat: &Catalog, q: Query) -> QueryResult {
-    run_query_on(&InterpBackend::new(), cat, q).expect("interpreter execution")
+    run_shim_through_queue(cat, q, Arc::new(InterpBackend::new()))
 }
 
 /// Run a query on the compiled CPU backend.
@@ -587,7 +684,7 @@ pub fn run_compiled(cat: &Catalog, q: Query, threads: usize) -> QueryResult {
         threads,
         ..Default::default()
     });
-    run_query_on(&backend, cat, q).expect("compiled execution")
+    run_shim_through_queue(cat, q, Arc::new(backend))
 }
 
 /// Run a query on the compiled backend with the CSE+DCE normalization
@@ -602,5 +699,5 @@ pub fn run_compiled_optimized(cat: &Catalog, q: Query, threads: usize) -> QueryR
         ..Default::default()
     })
     .with_optimize(true);
-    run_query_on(&backend, cat, q).expect("compiled execution")
+    run_shim_through_queue(cat, q, Arc::new(backend))
 }

@@ -20,6 +20,10 @@
 //!   (copy-on-write), the backend registry, the sharded LRU plan cache,
 //!   serving metrics, and [`Engine::run_batch`]; plus
 //!   [`engine::run_query_on`] and the deprecated per-backend shims,
+//! * [`serve`] — the admission-controlled serving front door: a bounded
+//!   queue over one engine, drained by a fixed worker pool in
+//!   weighted-fair session order, shedding explicitly on overload
+//!   ([`ServerHandle`], [`ServeSession`], [`Receipt`]),
 //! * [`session`] — the [`Session`] handle: a cheap clone onto a shared
 //!   engine, one entry point over every frontend (raw programs, TPC-H
 //!   queries, SQL) and every registered [`voodoo_backend::Backend`];
@@ -32,6 +36,7 @@ pub mod builder;
 pub mod engine;
 pub mod prepare;
 pub mod queries;
+pub mod serve;
 pub mod session;
 pub mod sql;
 
@@ -39,6 +44,10 @@ pub mod sql;
 pub use engine::{run_compiled, run_compiled_optimized, run_interp, run_with};
 pub use engine::{run_query_on, CatalogWrite, Engine, EngineMetrics, StatementSpec};
 pub use prepare::prepare;
+pub use serve::{
+    Completion, Receipt, ServeConfig, ServeError, ServeResult, ServeSession, ServeStats,
+    ServerHandle, SessionServeStats, SubmitError, DEFAULT_QUEUE_CAPACITY,
+};
 pub use session::{RunProfile, Session, Statement, StatementOutput};
 
 #[cfg(test)]

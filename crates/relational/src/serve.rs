@@ -1,0 +1,706 @@
+//! The serving front door: a bounded admission queue in front of a
+//! shared [`Engine`], drained by a fixed worker pool with per-session
+//! weighted-fair dequeueing and explicit overload shedding.
+//!
+//! PR 2 made the stack thread-safe, but a thread-per-statement fan-out
+//! has no backpressure: under offered load beyond capacity it just grows
+//! threads and latency without bound. This module is the missing front
+//! door. Requests are [`StatementSpec`]s; admission is explicit:
+//!
+//! * [`ServeSession::submit`] — non-blocking. A full queue **sheds** the
+//!   request ([`SubmitError::QueueFull`]) instead of queueing it; the
+//!   shed is counted per session and on the engine
+//!   ([`crate::EngineMetrics::sheds`]).
+//! * [`ServeSession::submit_wait`] — blocking admission with an optional
+//!   deadline; expiry returns [`SubmitError::Timeout`], never a hang.
+//!
+//! Admitted work returns a [`Receipt`] — a one-shot future on std
+//! primitives (`Mutex` + `Condvar`, no new dependencies). Workers drain
+//! the queue in **weighted-fair** order across sessions (min virtual
+//! time, FIFO within a session), execute through the engine's plan cache
+//! and record into its latency reservoir; a worker panic fails only the
+//! panicking receipt ([`ServeError::WorkerPanic`]) while the pool keeps
+//! serving.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use voodoo_relational::{Engine, ServeConfig, StatementSpec};
+//! use voodoo_tpch::queries::Query;
+//!
+//! let engine = Arc::new(Engine::tpch(0.002));
+//! let server = engine.serve(ServeConfig::default().with_workers(2));
+//! let alice = server.session(1);
+//! let receipt = alice.submit(StatementSpec::tpch(Query::Q6)).unwrap();
+//! let rows = receipt.wait().unwrap().into_rows();
+//! assert!(!rows.is_empty());
+//! assert_eq!(alice.stats().served, 1);
+//! assert!(engine.metrics().queries_served >= 1);
+//! server.shutdown();
+//! ```
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use voodoo_core::VoodooError;
+
+use crate::engine::{Engine, StatementSpec};
+use crate::session::StatementOutput;
+
+/// Default bound on admitted-but-not-yet-executing statements.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Weight granularity for the fair scheduler's virtual clock.
+const WFQ_SCALE: u64 = 1 << 20;
+
+// ---------------------------------------------------------------------
+// Configuration and error types
+// ---------------------------------------------------------------------
+
+/// Sizing for a [`ServerHandle`]: how much work may wait, and how many
+/// workers drain it.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Maximum admitted statements waiting to execute (excess is shed).
+    pub queue_capacity: usize,
+    /// Fixed worker-pool size.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(8),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Override the queue capacity (minimum 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> ServeConfig {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Override the worker count (minimum 1).
+    pub fn with_workers(mut self, workers: usize) -> ServeConfig {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// Why a submission was refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity and [`ServeSession::submit`] does not
+    /// block: the request was shed.
+    QueueFull,
+    /// [`ServeSession::submit_wait`]'s deadline expired before space
+    /// opened up.
+    Timeout,
+    /// The server has shut down.
+    Shutdown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "admission queue full: request shed"),
+            SubmitError::Timeout => write!(f, "admission deadline expired"),
+            SubmitError::Shutdown => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an *admitted* statement failed to produce output.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The engine executed the statement and returned an error.
+    Engine(VoodooError),
+    /// The executing worker panicked; only this receipt fails — the pool
+    /// keeps serving.
+    WorkerPanic(String),
+    /// [`Receipt::wait_deadline`] expired before the statement completed.
+    /// (Shutdown is not a receipt failure: [`ServerHandle::shutdown`]
+    /// drains every admitted statement before the workers exit.)
+    Timeout,
+}
+
+impl ServeError {
+    /// Collapse into the engine-wide error type (used by
+    /// [`Engine::run_batch`], whose callers predate the serve layer).
+    pub fn into_engine_error(self) -> VoodooError {
+        match self {
+            ServeError::Engine(e) => e,
+            ServeError::WorkerPanic(msg) => {
+                VoodooError::Backend(format!("worker panicked during execution: {msg}"))
+            }
+            ServeError::Timeout => VoodooError::Backend("serve deadline expired".to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            ServeError::Timeout => write!(f, "deadline expired before completion"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Result of one admitted statement.
+pub type ServeResult = std::result::Result<StatementOutput, ServeError>;
+
+// ---------------------------------------------------------------------
+// Receipt: a one-shot completion future on std primitives
+// ---------------------------------------------------------------------
+
+/// A finished statement: its result plus the admission-to-completion
+/// sojourn (queue wait + execution) — the open-loop latency a client
+/// observes.
+#[derive(Debug)]
+pub struct Completion {
+    /// The statement's outcome.
+    pub result: ServeResult,
+    /// Submit-to-completion time.
+    pub sojourn: Duration,
+}
+
+struct ReceiptState {
+    slot: Mutex<Option<(ServeResult, Duration)>>,
+    done: Condvar,
+    submitted_at: Instant,
+}
+
+impl ReceiptState {
+    fn fulfill(&self, result: ServeResult) {
+        let sojourn = self.submitted_at.elapsed();
+        *self.slot.lock().unwrap_or_else(|e| e.into_inner()) = Some((result, sojourn));
+        self.done.notify_all();
+    }
+}
+
+/// A typed completion handle for one admitted statement — a one-shot
+/// channel on `Mutex` + `Condvar`.
+pub struct Receipt {
+    state: Arc<ReceiptState>,
+}
+
+impl std::fmt::Debug for Receipt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let done = self.state.slot.lock().map(|s| s.is_some()).unwrap_or(false);
+        f.debug_struct("Receipt").field("done", &done).finish()
+    }
+}
+
+impl Receipt {
+    /// Block until the statement completes.
+    pub fn wait(self) -> ServeResult {
+        self.wait_completion().result
+    }
+
+    /// Block until completion, also reporting the sojourn time.
+    pub fn wait_completion(self) -> Completion {
+        let mut slot = self.state.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some((result, sojourn)) = slot.take() {
+                return Completion { result, sojourn };
+            }
+            slot = self
+                .state
+                .done
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Block until the statement completes or `deadline` passes —
+    /// expiry returns [`ServeError::Timeout`], never a hang. (The
+    /// statement itself stays queued and will still execute; only the
+    /// caller stops waiting.)
+    pub fn wait_deadline(self, deadline: Instant) -> ServeResult {
+        let mut slot = self.state.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some((result, _)) = slot.take() {
+                return result;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServeError::Timeout);
+            }
+            slot = self
+                .state
+                .done
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// Whether the statement has completed (non-blocking, non-consuming).
+    pub fn is_done(&self) -> bool {
+        self.state
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+
+    /// Non-blocking poll: the completion if the statement has finished,
+    /// or the receipt back if it has not. Consuming `self` keeps the
+    /// one-shot contract honest — a receipt whose result was taken can
+    /// no longer be `wait`ed on (which would block forever).
+    pub fn try_take(self) -> std::result::Result<Completion, Receipt> {
+        let taken = self
+            .state
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        match taken {
+            Some((result, sojourn)) => Ok(Completion { result, sojourn }),
+            None => Err(self),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Queue state
+// ---------------------------------------------------------------------
+
+/// Per-session serving counters (cumulative since the session opened).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionServeStats {
+    /// Statements admitted to the queue.
+    pub submitted: u64,
+    /// Statements executed to completion (successfully or not).
+    pub served: u64,
+    /// Statements refused admission (queue full / deadline expiry).
+    pub shed: u64,
+    /// Plan-cache hits attributed to this session's executions.
+    pub cache_hits: u64,
+    /// Plan-cache misses (preparations) attributed to this session.
+    pub cache_misses: u64,
+}
+
+#[derive(Default)]
+struct SessionCounters {
+    submitted: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl SessionCounters {
+    fn snapshot(&self) -> SessionServeStats {
+        SessionServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Job {
+    spec: StatementSpec,
+    receipt: Arc<ReceiptState>,
+    /// The submitting session's counters, carried with the job so the
+    /// executing worker never re-locks the queue to attribute work.
+    counters: Arc<SessionCounters>,
+}
+
+struct SessionSlot {
+    weight: u64,
+    /// Virtual time consumed: advances by `WFQ_SCALE / weight` per
+    /// dequeued statement, so heavier sessions advance slower and get
+    /// proportionally more turns.
+    vtime: u64,
+    queue: VecDeque<Job>,
+    counters: Arc<SessionCounters>,
+}
+
+struct QueueState {
+    sessions: Vec<SessionSlot>,
+    /// Admitted statements not yet handed to a worker (sum of queues).
+    queued: usize,
+    /// Virtual start time of the most recently dequeued statement; new
+    /// or re-activated sessions join at this clock so an idle session
+    /// cannot bank credit and starve the others.
+    global_vtime: u64,
+    shutdown: bool,
+}
+
+struct ServeShared {
+    engine: Arc<Engine>,
+    capacity: usize,
+    state: Mutex<QueueState>,
+    /// Workers wait here for jobs.
+    job_ready: Condvar,
+    /// Blocking submitters wait here for queue space.
+    space_ready: Condvar,
+    submitted: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl ServeShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        // A panicking worker fulfills its receipt and never poisons the
+        // queue mid-update, so the poison flag carries no information.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pop the next job in weighted-fair order: the non-empty session
+    /// with the smallest virtual time (ties broken by session id), FIFO
+    /// within the session.
+    fn dequeue(&self, st: &mut QueueState) -> Option<Job> {
+        let idx = st
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.queue.is_empty())
+            .min_by_key(|(i, s)| (s.vtime, *i))
+            .map(|(i, _)| i)?;
+        let slot = &mut st.sessions[idx];
+        st.global_vtime = slot.vtime;
+        // `.max(1)`: a weight above WFQ_SCALE must still advance the
+        // clock, or that session would win every tie and starve the rest.
+        slot.vtime += (WFQ_SCALE / slot.weight).max(1);
+        let job = slot.queue.pop_front().expect("non-empty by filter");
+        st.queued -= 1;
+        self.engine.queue_depth_dec();
+        Some(job)
+    }
+
+    fn admit(&self, st: &mut QueueState, session: usize, spec: StatementSpec) -> Receipt {
+        let receipt = Arc::new(ReceiptState {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+            submitted_at: Instant::now(),
+        });
+        let slot = &mut st.sessions[session];
+        if slot.queue.is_empty() {
+            // Re-activating after idling: join at the current clock.
+            slot.vtime = slot.vtime.max(st.global_vtime);
+        }
+        slot.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        slot.queue.push_back(Job {
+            spec,
+            receipt: Arc::clone(&receipt),
+            counters: Arc::clone(&slot.counters),
+        });
+        st.queued += 1;
+        self.engine.queue_depth_inc();
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.job_ready.notify_one();
+        Receipt { state: receipt }
+    }
+
+    fn record_shed(&self, st: &QueueState, session: usize) {
+        st.sessions[session]
+            .counters
+            .shed
+            .fetch_add(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.engine.record_shed();
+    }
+
+    fn submit(&self, session: usize, spec: StatementSpec) -> Result<Receipt, SubmitError> {
+        let mut st = self.lock();
+        if st.shutdown {
+            return Err(SubmitError::Shutdown);
+        }
+        if st.queued >= self.capacity {
+            self.record_shed(&st, session);
+            return Err(SubmitError::QueueFull);
+        }
+        Ok(self.admit(&mut st, session, spec))
+    }
+
+    fn submit_wait(
+        &self,
+        session: usize,
+        spec: StatementSpec,
+        deadline: Option<Instant>,
+    ) -> Result<Receipt, SubmitError> {
+        let mut st = self.lock();
+        loop {
+            if st.shutdown {
+                return Err(SubmitError::Shutdown);
+            }
+            if st.queued < self.capacity {
+                return Ok(self.admit(&mut st, session, spec));
+            }
+            match deadline {
+                None => {
+                    st = self.space_ready.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        self.record_shed(&st, session);
+                        return Err(SubmitError::Timeout);
+                    }
+                    st = self
+                        .space_ready
+                        .wait_timeout(st, d - now)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker loop
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: Arc<ServeShared>) {
+    loop {
+        let job = {
+            let mut st = shared.lock();
+            loop {
+                if let Some(job) = shared.dequeue(&mut st) {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.job_ready.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // A slot just opened: wake one blocked submitter.
+        shared.space_ready.notify_one();
+
+        let counters = &job.counters;
+        let started = Instant::now();
+        shared.engine.cache_trace_begin();
+        let outcome = catch_unwind(AssertUnwindSafe(|| shared.engine.run_spec(&job.spec)));
+        let (hits, misses) = shared.engine.cache_trace_end();
+        counters.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        counters.cache_misses.fetch_add(misses, Ordering::Relaxed);
+        let result = match outcome {
+            Ok(Ok(output)) => Ok(output),
+            Ok(Err(e)) => Err(ServeError::Engine(e)),
+            Err(panic) => {
+                // The statement never reached its own metrics record;
+                // count the failure here so the failure rate covers
+                // panics too.
+                shared.engine.record_execution(started, false);
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(ServeError::WorkerPanic(msg))
+            }
+        };
+        counters.served.fetch_add(1, Ordering::Relaxed);
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        job.receipt.fulfill(result);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public handles
+// ---------------------------------------------------------------------
+
+/// Aggregate serving counters for one [`ServerHandle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Statements admitted since the server started.
+    pub submitted: u64,
+    /// Statements executed to completion.
+    pub served: u64,
+    /// Statements refused admission.
+    pub shed: u64,
+    /// Admitted statements currently waiting for a worker.
+    pub queue_depth: usize,
+    /// The admission bound.
+    pub capacity: usize,
+    /// Worker-pool size.
+    pub workers: usize,
+}
+
+/// The serving front door over one shared [`Engine`]: accepts
+/// [`StatementSpec`]s from any thread, sheds on overload, and drains
+/// through a fixed worker pool in weighted-fair session order.
+///
+/// Dropping the handle shuts the pool down gracefully (queued work is
+/// drained first); [`ServerHandle::shutdown`] does the same explicitly.
+pub struct ServerHandle {
+    shared: Arc<ServeShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    worker_count: usize,
+}
+
+impl ServerHandle {
+    pub(crate) fn start(engine: Arc<Engine>, config: ServeConfig) -> ServerHandle {
+        let capacity = config.queue_capacity.max(1);
+        let worker_count = config.workers.max(1);
+        let shared = Arc::new(ServeShared {
+            engine,
+            capacity,
+            state: Mutex::new(QueueState {
+                // Session 0 backs the handle-level submit helpers.
+                sessions: vec![SessionSlot {
+                    weight: 1,
+                    vtime: 0,
+                    queue: VecDeque::new(),
+                    counters: Arc::new(SessionCounters::default()),
+                }],
+                queued: 0,
+                global_vtime: 0,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("voodoo-serve-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ServerHandle {
+            shared,
+            workers: Mutex::new(workers),
+            worker_count,
+        }
+    }
+
+    /// Open a weighted serving session. Weights are relative: under
+    /// saturation a session receives `weight / total_weight` of the
+    /// worker pool's attention; FIFO order holds within a session.
+    pub fn session(&self, weight: u32) -> ServeSession {
+        let counters = Arc::new(SessionCounters::default());
+        let mut st = self.shared.lock();
+        let idx = st.sessions.len();
+        let vtime = st.global_vtime;
+        st.sessions.push(SessionSlot {
+            weight: weight.max(1) as u64,
+            vtime,
+            queue: VecDeque::new(),
+            counters: Arc::clone(&counters),
+        });
+        drop(st);
+        ServeSession {
+            shared: Arc::clone(&self.shared),
+            idx,
+            counters,
+        }
+    }
+
+    /// Non-blocking admission on the handle's built-in session 0; a full
+    /// queue sheds ([`SubmitError::QueueFull`]).
+    pub fn submit(&self, spec: StatementSpec) -> Result<Receipt, SubmitError> {
+        self.shared.submit(0, spec)
+    }
+
+    /// Blocking admission on session 0: waits for queue space until the
+    /// optional deadline ([`SubmitError::Timeout`] on expiry).
+    pub fn submit_wait(
+        &self,
+        spec: StatementSpec,
+        deadline: Option<Instant>,
+    ) -> Result<Receipt, SubmitError> {
+        self.shared.submit_wait(0, spec, deadline)
+    }
+
+    /// Aggregate serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let queue_depth = self.shared.lock().queued;
+        ServeStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            served: self.shared.served.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            queue_depth,
+            capacity: self.shared.capacity,
+            workers: self.worker_count,
+        }
+    }
+
+    /// Admitted statements currently waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock().queued
+    }
+
+    /// Stop accepting work, drain the queue, and join the workers.
+    /// Already-admitted statements still execute; blocked submitters get
+    /// [`SubmitError::Shutdown`]. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A weighted admission handle onto a [`ServerHandle`]. Cheap to clone;
+/// safe to share across threads.
+#[derive(Clone)]
+pub struct ServeSession {
+    shared: Arc<ServeShared>,
+    idx: usize,
+    /// Captured at creation so [`ServeSession::stats`] never touches the
+    /// admission-queue lock (the counters are plain atomics).
+    counters: Arc<SessionCounters>,
+}
+
+impl ServeSession {
+    /// Non-blocking admission; a full queue sheds the request
+    /// ([`SubmitError::QueueFull`]) and bumps the shed counters.
+    pub fn submit(&self, spec: StatementSpec) -> Result<Receipt, SubmitError> {
+        self.shared.submit(self.idx, spec)
+    }
+
+    /// Blocking admission: waits for queue space until the optional
+    /// deadline; expiry returns [`SubmitError::Timeout`], never a hang.
+    pub fn submit_wait(
+        &self,
+        spec: StatementSpec,
+        deadline: Option<Instant>,
+    ) -> Result<Receipt, SubmitError> {
+        self.shared.submit_wait(self.idx, spec, deadline)
+    }
+
+    /// This session's cumulative serving counters (lock-free: the
+    /// counters are atomics captured at session creation).
+    pub fn stats(&self) -> SessionServeStats {
+        self.counters.snapshot()
+    }
+}

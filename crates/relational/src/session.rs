@@ -56,6 +56,31 @@
 //! });
 //! assert!(session.metrics().queries_served >= 5);
 //! ```
+//!
+//! # Serving
+//!
+//! For sustained traffic, put the [`crate::serve`] front door in front
+//! of the engine instead of spawning a thread per statement: a bounded
+//! admission queue (a full queue **sheds** — `submit` never blocks; use
+//! `submit_wait` with a deadline for blocking admission), a fixed worker
+//! pool, and weighted-fair scheduling across [`crate::ServeSession`]s.
+//! Size the queue to your latency budget (worst-case wait ≈ `capacity /
+//! workers ×` mean service time); give each tenant a session whose
+//! weight sets its saturation share:
+//!
+//! ```
+//! use voodoo_relational::{ServeConfig, Session, StatementSpec};
+//! use voodoo_tpch::queries::Query;
+//!
+//! let session = Session::tpch(0.002);
+//! let server = session.serve(ServeConfig::default().with_workers(2));
+//! let tenant = server.session(1);
+//! let receipt = tenant.submit(StatementSpec::tpch(Query::Q6)).unwrap();
+//! assert!(!receipt.wait().unwrap().rows().is_empty());
+//! assert_eq!(tenant.stats().served, 1);
+//! assert_eq!(session.metrics().sheds, 0);
+//! server.shutdown();
+//! ```
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -445,10 +470,16 @@ impl Session {
         self.engine.sql(text)
     }
 
-    /// Execute a batch of statements across a scoped thread pool. See
-    /// [`Engine::run_batch`].
+    /// Execute a batch of statements through a transient admission
+    /// queue. See [`Engine::run_batch`].
     pub fn run_batch(&self, specs: &[StatementSpec]) -> Vec<Result<StatementOutput>> {
         self.engine.run_batch(specs)
+    }
+
+    /// Start an admission-controlled serving front door over this
+    /// session's engine. See [`Engine::serve`] and [`crate::serve`].
+    pub fn serve(&self, config: crate::ServeConfig) -> crate::ServerHandle {
+        self.engine.serve(config)
     }
 
     /// Convenience: run a TPC-H query on the default backend.

@@ -15,8 +15,9 @@
 //! * [`storage`] — MonetDB-style columnar storage substrate
 //! * [`tpch`] — TPC-H data generator and reference answers
 //! * [`relational`] — relational frontend (logical plans, SQL subset,
-//!   lowering), the shared [`relational::Engine`], and the
-//!   [`relational::Session`] handles onto it
+//!   lowering), the shared [`relational::Engine`], the
+//!   [`relational::Session`] handles onto it, and the
+//!   [`relational::serve`] admission-controlled serving front door
 //! * [`baselines`] — HyPeR-style and Ocelot-style comparison engines
 //! * [`algos`] — cookbook of canonical Voodoo programs (paper listings +
 //!   §6 related-work translations: hashing, bounded cuckoo, compaction)
@@ -105,6 +106,50 @@
 //! // The engine kept score.
 //! let m = session.metrics();
 //! assert!(m.queries_served >= 9 && m.p99_seconds.is_some());
+//! ```
+//!
+//! ## Serving
+//!
+//! Under real traffic you don't want a thread per statement — you want a
+//! **front door**: [`relational::serve`] puts a bounded admission queue
+//! and a fixed worker pool in front of the engine. Admission is
+//! explicit: `submit` never blocks (a full queue *sheds* the request and
+//! bumps the shed counters), `submit_wait` blocks for space with an
+//! optional deadline (expiry returns `Timeout`, never a hang). Admitted
+//! work comes back through a typed [`relational::Receipt`].
+//!
+//! *Queue sizing*: capacity bounds worst-case queueing latency —
+//! roughly `capacity / workers × mean service time`; size it to the
+//! latency budget, not the burst size, and let the shed path absorb
+//! overload. *Fairness*: open one weighted
+//! [`relational::ServeSession`] per tenant; under saturation each
+//! session receives `weight / total_weight` of the pool (FIFO within a
+//! session), so one chatty tenant cannot starve the rest. *Shed
+//! semantics*: a shed is counted (per session, per server, and on
+//! [`relational::EngineMetrics::sheds`]) and reported to the caller —
+//! it is never silent, and queued work is never dropped.
+//!
+//! ```
+//! use voodoo::relational::{ServeConfig, Session, StatementSpec};
+//! use voodoo::tpch::queries::Query;
+//!
+//! let session = Session::tpch(0.002);
+//! let server = session.serve(
+//!     ServeConfig::default().with_queue_capacity(16).with_workers(2),
+//! );
+//! // Two tenants, 2:1 weighted under saturation.
+//! let alice = server.session(2);
+//! let bob = server.session(1);
+//! let a = alice.submit(StatementSpec::tpch(Query::Q6)).unwrap();
+//! let b = bob.submit(StatementSpec::sql("SELECT COUNT(*) FROM lineitem")).unwrap();
+//! assert!(!a.wait().unwrap().rows().is_empty());
+//! assert_eq!(b.wait().unwrap().rows().rows.len(), 1);
+//! assert_eq!(alice.stats().served, 1);
+//! // Queue depth and sheds are first-class engine metrics.
+//! let m = session.metrics();
+//! assert_eq!(m.queue_depth, 0);
+//! assert_eq!(m.sheds, 0);
+//! server.shutdown();
 //! ```
 pub use voodoo_algos as algos;
 pub use voodoo_backend as backend;

@@ -1,0 +1,501 @@
+//! The ISSUE-3 acceptance tests for the serving front door
+//! (`relational::serve`): deterministic admission control — queue-full
+//! sheds exactly beyond capacity, FIFO order within one session,
+//! weighted fairness across sessions, deadline expiry returns `Timeout`
+//! (never a hang), a worker panic fails only its own receipt — plus an
+//! 8-thread saturation run pinned bit-identical to serial execution.
+//!
+//! Determinism comes from two purpose-built backends rather than timing:
+//! a *gate* backend whose executions block until the test opens the
+//! gate (so the queue's contents are exactly known when admission
+//! decisions happen), and a *panic* backend that panics on negative
+//! tags.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use voodoo::backend::{Backend, PlanProfile, PreparedPlan};
+use voodoo::compile::EventProfile;
+use voodoo::core::{KeyPath, Program, Result};
+use voodoo::interp::{ExecOutput, Interpreter};
+use voodoo::relational::{Engine, ServeConfig, ServeError, Session, StatementSpec, SubmitError};
+use voodoo::storage::Catalog;
+use voodoo::tpch::queries::{Query, QueryResult};
+
+// ---------------------------------------------------------------------
+// Test backends
+// ---------------------------------------------------------------------
+
+/// A latch: executions block in `enter` until `open`; the test can wait
+/// until a known number of executions have started.
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    opened: Condvar,
+    entered: Mutex<u64>,
+    entered_cv: Condvar,
+}
+
+impl Gate {
+    fn enter(&self) {
+        {
+            let mut n = self.entered.lock().unwrap();
+            *n += 1;
+            self.entered_cv.notify_all();
+        }
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.opened.wait(open).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.opened.notify_all();
+    }
+
+    fn await_entered(&self, n: u64) {
+        let mut e = self.entered.lock().unwrap();
+        while *e < n {
+            e = self.entered_cv.wait(e).unwrap();
+        }
+    }
+}
+
+/// A one-statement program whose single return value is `tag` — the
+/// job identity the test backends recover at execution time.
+fn tagged_program(tag: i64) -> Program {
+    let mut p = Program::new();
+    let c = p.constant(tag);
+    p.ret(c);
+    p
+}
+
+fn tag_of(out: &ExecOutput) -> i64 {
+    out.returns[0]
+        .value_at(0, &KeyPath::val())
+        .map(|v| v.as_i64())
+        .expect("tagged return")
+}
+
+fn interp_profile(out: ExecOutput) -> PlanProfile {
+    PlanProfile {
+        output: out,
+        events: EventProfile::default(),
+        unit_events: Vec::new(),
+        simulated: None,
+    }
+}
+
+/// Executions block on the gate, then append their tag to the log.
+struct GateBackend {
+    gate: Arc<Gate>,
+    log: Arc<Mutex<Vec<i64>>>,
+}
+
+struct GatePlan {
+    program: Program,
+    gate: Arc<Gate>,
+    log: Arc<Mutex<Vec<i64>>>,
+}
+
+impl PreparedPlan for GatePlan {
+    fn backend_name(&self) -> &str {
+        "gate"
+    }
+
+    fn execute(&self, catalog: &Catalog) -> Result<ExecOutput> {
+        self.gate.enter();
+        let out = Interpreter::new(catalog).run_program(&self.program)?;
+        self.log.lock().unwrap().push(tag_of(&out));
+        Ok(out)
+    }
+
+    fn explain(&self) -> String {
+        "gate test backend".to_string()
+    }
+
+    fn profile(&self, catalog: &Catalog) -> Result<PlanProfile> {
+        self.execute(catalog).map(interp_profile)
+    }
+}
+
+impl Backend for GateBackend {
+    fn name(&self) -> &str {
+        "gate"
+    }
+
+    fn prepare(&self, program: &Program, _catalog: &Catalog) -> Result<Arc<dyn PreparedPlan>> {
+        Ok(Arc::new(GatePlan {
+            program: program.clone(),
+            gate: Arc::clone(&self.gate),
+            log: Arc::clone(&self.log),
+        }))
+    }
+}
+
+/// Panics while executing any negative tag; even tags run normally.
+struct PanicBackend;
+
+struct PanicPlan {
+    program: Program,
+}
+
+impl PreparedPlan for PanicPlan {
+    fn backend_name(&self) -> &str {
+        "boom"
+    }
+
+    fn execute(&self, catalog: &Catalog) -> Result<ExecOutput> {
+        let out = Interpreter::new(catalog).run_program(&self.program)?;
+        let tag = tag_of(&out);
+        assert!(tag >= 0, "test backend panics on negative tag {tag}");
+        Ok(out)
+    }
+
+    fn explain(&self) -> String {
+        "panic test backend".to_string()
+    }
+
+    fn profile(&self, catalog: &Catalog) -> Result<PlanProfile> {
+        self.execute(catalog).map(interp_profile)
+    }
+}
+
+impl Backend for PanicBackend {
+    fn name(&self) -> &str {
+        "boom"
+    }
+
+    fn prepare(&self, program: &Program, _catalog: &Catalog) -> Result<Arc<dyn PreparedPlan>> {
+        Ok(Arc::new(PanicPlan {
+            program: program.clone(),
+        }))
+    }
+}
+
+/// An engine over a trivial catalog with the gate backend registered.
+fn gated_engine() -> (Arc<Engine>, Arc<Gate>, Arc<Mutex<Vec<i64>>>) {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("input", &[1, 2, 3]);
+    let engine = Arc::new(Engine::new(cat));
+    let gate = Arc::new(Gate::default());
+    let log = Arc::new(Mutex::new(Vec::new()));
+    engine.register(
+        "gate",
+        Arc::new(GateBackend {
+            gate: Arc::clone(&gate),
+            log: Arc::clone(&log),
+        }),
+    );
+    (engine, gate, log)
+}
+
+fn gated_spec(tag: i64) -> StatementSpec {
+    StatementSpec::program(tagged_program(tag)).on("gate")
+}
+
+// ---------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------
+
+#[test]
+fn queue_full_sheds_exactly_beyond_capacity() {
+    let (engine, gate, _log) = gated_engine();
+    const CAPACITY: usize = 4;
+    let server = engine.serve(
+        ServeConfig::default()
+            .with_queue_capacity(CAPACITY)
+            .with_workers(1),
+    );
+
+    // Occupy the only worker, then fill the queue to exactly capacity.
+    let head = server.submit(gated_spec(100)).expect("worker slot");
+    gate.await_entered(1);
+    let queued: Vec<_> = (0..CAPACITY as i64)
+        .map(|t| server.submit(gated_spec(t)).expect("within capacity"))
+        .collect();
+
+    // The (capacity+1)-th concurrent request — and only it — is shed.
+    match server.submit(gated_spec(999)) {
+        Err(SubmitError::QueueFull) => {}
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    let m = engine.metrics();
+    assert_eq!(m.queue_depth, CAPACITY as u64, "gauge counts admitted work");
+    assert_eq!(m.sheds, 1, "exactly one request shed");
+    assert_eq!(server.stats().shed, 1);
+    assert_eq!(server.stats().submitted, (CAPACITY + 1) as u64);
+
+    // Draining restores service: everything admitted completes.
+    gate.open();
+    assert_eq!(tag_of(head.wait().expect("head").raw()), 100);
+    for (t, r) in queued.into_iter().enumerate() {
+        assert_eq!(tag_of(r.wait().expect("queued").raw()), t as i64);
+    }
+    assert_eq!(engine.metrics().queue_depth, 0, "gauge returns to zero");
+    assert_eq!(server.stats().served, (CAPACITY + 1) as u64);
+    server.shutdown();
+}
+
+#[test]
+fn fifo_order_holds_within_one_session() {
+    let (engine, gate, log) = gated_engine();
+    let server = engine.serve(
+        ServeConfig::default()
+            .with_queue_capacity(32)
+            .with_workers(1),
+    );
+    // Block the worker so every later submission queues behind it …
+    let head = server.submit(gated_spec(999)).expect("head");
+    gate.await_entered(1);
+    let receipts: Vec<_> = (0..8)
+        .map(|t| server.submit(gated_spec(t)).expect("queue"))
+        .collect();
+    // … then drain: one worker + one session ⇒ strict submission order.
+    gate.open();
+    head.wait().expect("head");
+    for r in receipts {
+        r.wait().expect("queued");
+    }
+    assert_eq!(*log.lock().unwrap(), vec![999, 0, 1, 2, 3, 4, 5, 6, 7]);
+    server.shutdown();
+}
+
+#[test]
+fn equal_weights_split_the_worker_fairly_under_saturation() {
+    let (engine, gate, log) = gated_engine();
+    let server = engine.serve(
+        ServeConfig::default()
+            .with_queue_capacity(64)
+            .with_workers(1),
+    );
+    let alice = server.session(1);
+    let bob = server.session(1);
+
+    // Park the worker on a session-0 dummy, then saturate both sessions.
+    let head = server.submit(gated_spec(999)).expect("head");
+    gate.await_entered(1);
+    let mut receipts = Vec::new();
+    for t in 0..10 {
+        receipts.push(alice.submit(gated_spec(t)).expect("alice"));
+        receipts.push(bob.submit(gated_spec(100 + t)).expect("bob"));
+    }
+    gate.open();
+    head.wait().expect("head");
+    for r in receipts {
+        r.wait().expect("queued");
+    }
+
+    // Weighted-fair dequeueing at weight 1:1 must give each session at
+    // least 40% of any saturated window; min-virtual-time scheduling in
+    // fact alternates strictly.
+    let order = log.lock().unwrap().clone();
+    let window = &order[1..11]; // first 10 after the dummy
+    let alice_served = window.iter().filter(|&&t| t < 100).count();
+    let bob_served = window.len() - alice_served;
+    assert!(
+        alice_served >= 4 && bob_served >= 4,
+        "unfair split in {window:?}: alice {alice_served}, bob {bob_served}"
+    );
+    assert_eq!(alice.stats().served, 10);
+    assert_eq!(bob.stats().served, 10);
+    server.shutdown();
+}
+
+#[test]
+fn weights_bias_the_split_proportionally() {
+    let (engine, gate, log) = gated_engine();
+    let server = engine.serve(
+        ServeConfig::default()
+            .with_queue_capacity(64)
+            .with_workers(1),
+    );
+    let heavy = server.session(2);
+    let light = server.session(1);
+    let head = server.submit(gated_spec(999)).expect("head");
+    gate.await_entered(1);
+    let mut receipts = Vec::new();
+    for t in 0..12 {
+        receipts.push(heavy.submit(gated_spec(t)).expect("heavy"));
+        receipts.push(light.submit(gated_spec(100 + t)).expect("light"));
+    }
+    gate.open();
+    head.wait().expect("head");
+    for r in receipts {
+        r.wait().expect("queued");
+    }
+    let order = log.lock().unwrap().clone();
+    let window = &order[1..10]; // first 9 after the dummy
+    let heavy_served = window.iter().filter(|&&t| t < 100).count() as f64;
+    let light_served = window.len() as f64 - heavy_served;
+    assert!(
+        heavy_served >= 1.5 * light_served,
+        "2:1 weights must skew the window, got {heavy_served}:{light_served} in {window:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn deadline_expiry_returns_timeout_not_a_hang() {
+    let (engine, gate, _log) = gated_engine();
+    let server = engine.serve(
+        ServeConfig::default()
+            .with_queue_capacity(1)
+            .with_workers(1),
+    );
+    // Worker busy + queue full: admission cannot succeed until drain.
+    let head = server.submit(gated_spec(1)).expect("worker slot");
+    gate.await_entered(1);
+    let queued = server.submit(gated_spec(2)).expect("fills the queue");
+
+    // Blocking admission with a deadline: Timeout, promptly.
+    let started = Instant::now();
+    match server.submit_wait(
+        gated_spec(3),
+        Some(Instant::now() + Duration::from_millis(50)),
+    ) {
+        Err(SubmitError::Timeout) => {}
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "deadline must not hang"
+    );
+    assert!(
+        engine.metrics().sheds >= 1,
+        "an expired wait counts as shed"
+    );
+
+    // A receipt deadline on a statement stuck in the queue: Timeout too.
+    match queued.wait_deadline(Instant::now() + Duration::from_millis(50)) {
+        Err(ServeError::Timeout) => {}
+        other => panic!("expected ServeError::Timeout, got {other:?}"),
+    }
+
+    // The statements themselves were never lost: drain and shut down.
+    gate.open();
+    head.wait().expect("head");
+    server.shutdown();
+    assert_eq!(engine.metrics().queue_depth, 0);
+}
+
+#[test]
+fn worker_panic_fails_only_its_receipt_and_the_pool_keeps_serving() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("input", &[1]);
+    let engine = Arc::new(Engine::new(cat));
+    engine.register("boom", Arc::new(PanicBackend));
+    let server = engine.serve(
+        ServeConfig::default()
+            .with_queue_capacity(16)
+            .with_workers(2),
+    );
+    let spec = |tag: i64| StatementSpec::program(tagged_program(tag)).on("boom");
+
+    let receipts: Vec<_> = [1, -1, 2, 3]
+        .into_iter()
+        .map(|t| server.submit(spec(t)).expect("admit"))
+        .collect();
+    let results: Vec<_> = receipts.into_iter().map(|r| r.wait()).collect();
+    assert_eq!(tag_of(results[0].as_ref().expect("tag 1").raw()), 1);
+    match &results[1] {
+        Err(ServeError::WorkerPanic(msg)) => {
+            assert!(
+                msg.contains("negative tag"),
+                "panic payload surfaced: {msg}"
+            )
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+    assert_eq!(tag_of(results[2].as_ref().expect("tag 2").raw()), 2);
+    assert_eq!(tag_of(results[3].as_ref().expect("tag 3").raw()), 3);
+
+    // The pool survived: a fresh submission still executes …
+    let again = server.submit(spec(7)).expect("pool alive");
+    assert_eq!(tag_of(again.wait().expect("served after panic").raw()), 7);
+    assert_eq!(server.stats().served, 5);
+    // … and the panic shows up in the engine's failure metrics.
+    let m = engine.metrics();
+    assert!(m.failures >= 1, "panic counted as a failure");
+    server.shutdown();
+
+    // run_batch rides the same queue: a panicking slot no longer takes
+    // the whole batch down.
+    let batch = engine.run_batch(&[spec(4), spec(-4), spec(5)]);
+    assert_eq!(tag_of(batch[0].as_ref().expect("slot 0").raw()), 4);
+    let err = format!("{}", batch[1].as_ref().unwrap_err());
+    assert!(err.contains("panicked"), "{err}");
+    assert_eq!(tag_of(batch[2].as_ref().expect("slot 2").raw()), 5);
+}
+
+// ---------------------------------------------------------------------
+// Saturation: real workload, many submitters, no starvation
+// ---------------------------------------------------------------------
+
+#[test]
+fn saturated_sessions_all_progress_and_match_serial_results() {
+    const THREADS: usize = 8;
+    let session = Session::tpch(0.005);
+    let queries = [Query::Q1, Query::Q6, Query::Q12, Query::Q19];
+    let sql = "SELECT l_returnflag, SUM(l_quantity), COUNT(*) FROM lineitem \
+               GROUP BY l_returnflag";
+    // Serial reference results.
+    let mut reference: Vec<QueryResult> = queries
+        .iter()
+        .map(|&q| session.run_query(q).expect("serial query"))
+        .collect();
+    reference.push(QueryResult::new(session.run_sql(sql).expect("serial sql")));
+
+    // A deliberately tight queue so submitters really block on admission.
+    let server = session.serve(
+        ServeConfig::default()
+            .with_queue_capacity(4)
+            .with_workers(4),
+    );
+    let alice = server.session(1);
+    let bob = server.session(1);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let lane = if t % 2 == 0 {
+                alice.clone()
+            } else {
+                bob.clone()
+            };
+            let reference = &reference;
+            scope.spawn(move || {
+                for round in 0..3 {
+                    for (i, &q) in queries.iter().enumerate() {
+                        let receipt = lane
+                            .submit_wait(StatementSpec::tpch(q), None)
+                            .expect("blocking admission");
+                        let rows = receipt.wait().expect("statement").into_rows();
+                        assert_eq!(
+                            rows, reference[i],
+                            "thread {t} round {round} query {i} differs from serial"
+                        );
+                    }
+                    let receipt = lane
+                        .submit_wait(StatementSpec::sql(sql), None)
+                        .expect("blocking admission");
+                    let rows = receipt.wait().expect("sql").into_rows();
+                    assert_eq!(rows, reference[queries.len()], "thread {t} sql differs");
+                }
+            });
+        }
+    });
+
+    // Both sessions made progress — no starvation under saturation.
+    let (a, b) = (alice.stats(), bob.stats());
+    let per_lane = (THREADS / 2 * 3 * (queries.len() + 1)) as u64;
+    assert_eq!(a.served, per_lane, "alice served everything she submitted");
+    assert_eq!(b.served, per_lane, "bob served everything he submitted");
+    // Per-session cache attribution: the mix was warmed by the serial
+    // reference run, so served statements mostly hit the shared cache.
+    assert!(a.cache_hits > 0, "alice's executions hit the plan cache");
+    assert!(b.cache_hits > 0, "bob's executions hit the plan cache");
+    assert_eq!(session.metrics().queue_depth, 0, "queue drained");
+    server.shutdown();
+    // Blocking admission never sheds.
+    assert_eq!(a.shed + b.shed, 0);
+}

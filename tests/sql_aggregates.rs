@@ -1,0 +1,147 @@
+//! SQL aggregate edge cases pinned bit-identical across the interp, cpu
+//! and (simulated) gpu backends: MIN/MAX/AVG over empty groups, empty
+//! selections, and columns consisting entirely of the aggregates' own
+//! identity sentinels (`i64::MAX` for MIN, `i64::MIN` for MAX) — the
+//! worst case for the sentinel-masked lowering, where real data is
+//! indistinguishable from masked-out filler.
+
+use voodoo::core::Buffer;
+use voodoo::relational::Session;
+use voodoo::storage::{Catalog, Table, TableColumn};
+
+const BACKENDS: [&str; 3] = ["interp", "cpu", "gpu"];
+
+/// `t`: group key `g` over a dense domain [0, 4) where groups 1 and 2
+/// have no rows; `v` mixes positive and negative values; `smax`/`smin`
+/// are all-sentinel columns.
+fn catalog() -> Catalog {
+    let mut cat = Catalog::in_memory();
+    let mut t = Table::new("t");
+    t.add_column(TableColumn::from_buffer("g", Buffer::I64(vec![0, 0, 3, 3])));
+    t.add_column(TableColumn::from_buffer(
+        "v",
+        Buffer::I64(vec![5, 7, -7, -2]),
+    ));
+    t.add_column(TableColumn::from_buffer(
+        "smax",
+        Buffer::I64(vec![i64::MAX; 4]),
+    ));
+    t.add_column(TableColumn::from_buffer(
+        "smin",
+        Buffer::I64(vec![i64::MIN; 4]),
+    ));
+    cat.insert_table(t);
+    cat
+}
+
+/// Run `sql` on every backend, assert the results are bit-identical, and
+/// return them.
+fn pinned(session: &Session, sql: &str) -> Vec<Vec<i64>> {
+    let reference = session
+        .sql(sql)
+        .expect("parse")
+        .run_on(BACKENDS[0])
+        .unwrap_or_else(|e| panic!("{sql:?} failed on {}: {e}", BACKENDS[0]))
+        .into_rows()
+        .rows;
+    for backend in &BACKENDS[1..] {
+        let got = session
+            .sql(sql)
+            .expect("parse")
+            .run_on(backend)
+            .unwrap_or_else(|e| panic!("{sql:?} failed on {backend}: {e}"))
+            .into_rows()
+            .rows;
+        assert_eq!(
+            reference, got,
+            "{sql:?} differs between interp and {backend}"
+        );
+    }
+    reference
+}
+
+#[test]
+fn empty_groups_are_dropped_not_fabricated() {
+    let session = Session::new(catalog());
+    let rows = pinned(
+        &session,
+        "SELECT g, MIN(v), MAX(v), AVG(v), COUNT(*) FROM t GROUP BY g",
+    );
+    // Groups 1 and 2 exist in the dense domain but hold no rows: they
+    // must not appear (and MIN's identity sentinel must not leak out as
+    // a fabricated value). AVG truncates toward zero: -9/2 == -4.
+    assert_eq!(rows, vec![vec![0, 5, 7, 6, 2], vec![3, -7, -2, -4, 2]],);
+}
+
+#[test]
+fn a_filter_can_empty_every_group() {
+    let session = Session::new(catalog());
+    let rows = pinned(
+        &session,
+        "SELECT g, MIN(v), MAX(v), AVG(v) FROM t WHERE v > 100 GROUP BY g",
+    );
+    assert_eq!(rows, Vec::<Vec<i64>>::new(), "all groups emptied: no rows");
+}
+
+#[test]
+fn empty_global_selection_reports_guarded_zeros() {
+    let session = Session::new(catalog());
+    let rows = pinned(
+        &session,
+        "SELECT MIN(v), MAX(v), AVG(v), COUNT(*) FROM t WHERE v > 100",
+    );
+    // Guarded aggregates report 0 over zero qualifying rows (never the
+    // fold identity), and AVG must not divide by zero.
+    assert_eq!(rows, vec![vec![0, 0, 0, 0]]);
+}
+
+#[test]
+fn all_sentinel_columns_survive_min_max() {
+    let session = Session::new(catalog());
+    // Every value *is* MIN's identity: the fold must still report it as
+    // a real result, not confuse it with masked-out filler.
+    let rows = pinned(&session, "SELECT MIN(smax), MAX(smax) FROM t");
+    assert_eq!(rows, vec![vec![i64::MAX, i64::MAX]]);
+    let rows = pinned(&session, "SELECT MIN(smin), MAX(smin) FROM t");
+    assert_eq!(rows, vec![vec![i64::MIN, i64::MIN]]);
+}
+
+#[test]
+fn all_sentinel_columns_survive_a_partial_filter() {
+    let session = Session::new(catalog());
+    // The WHERE mask engages the sentinel-masked lowering: masked rows
+    // contribute the identity — which here equals the data itself.
+    let rows = pinned(&session, "SELECT MIN(smax), COUNT(*) FROM t WHERE v > 0");
+    assert_eq!(rows, vec![vec![i64::MAX, 2]]);
+    let rows = pinned(&session, "SELECT MAX(smin), COUNT(*) FROM t WHERE v < 0");
+    assert_eq!(rows, vec![vec![i64::MIN, 2]]);
+}
+
+#[test]
+fn empty_selection_beats_sentinel_data() {
+    let session = Session::new(catalog());
+    // Zero qualifying rows must report the guarded 0 even when the
+    // column's real data equals the fold identity — only the count can
+    // distinguish "no rows" from "rows that look like the identity".
+    let rows = pinned(
+        &session,
+        "SELECT MIN(smax), MAX(smin), COUNT(*) FROM t WHERE v > 100",
+    );
+    assert_eq!(rows, vec![vec![0, 0, 0]]);
+}
+
+#[test]
+fn grouped_sentinels_and_negatives_agree_across_backends() {
+    let session = Session::new(catalog());
+    let rows = pinned(
+        &session,
+        "SELECT g, MIN(smax), MAX(smin), COUNT(*) FROM t WHERE v <> 5 GROUP BY g",
+    );
+    assert_eq!(
+        rows,
+        vec![
+            vec![0, i64::MAX, i64::MIN, 1],
+            vec![3, i64::MAX, i64::MIN, 2],
+        ],
+    );
+}
