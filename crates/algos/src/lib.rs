@@ -90,6 +90,21 @@ pub enum FoldStrategy {
 }
 
 impl FoldStrategy {
+    /// The strategy mirroring an engine-side morsel layout: contiguous
+    /// partitions sized exactly like [`voodoo_storage::Partitioning`]
+    /// slices `len` rows into (at most) `parts` extents. A hand-built
+    /// algebra program folded under this strategy distributes its work
+    /// the same way the compiled executor fans statements across morsels
+    /// — the paper's "parallelism is data layout" claim closed end to
+    /// end. `parts <= 1` (or an empty input) is [`FoldStrategy::Global`].
+    pub fn for_parallelism(len: usize, parts: usize) -> FoldStrategy {
+        let layout = voodoo_storage::Partitioning::for_len(len, parts);
+        match layout.morsels().first() {
+            Some(m) if layout.count() > 1 => FoldStrategy::Partitions { size: m.len() },
+            _ => FoldStrategy::Global,
+        }
+    }
+
     /// Emit the control vector for folding `like` under this strategy, or
     /// `None` for [`FoldStrategy::Global`].
     ///

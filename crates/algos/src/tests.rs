@@ -27,7 +27,10 @@ fn run_both(cat: &Catalog, p: &Program) -> Vec<StructuredVector> {
     for &threads in &[1usize, 4] {
         for &pred in &[false, true] {
             let exec = Executor::new(ExecOptions {
-                threads,
+                parallelism: voodoo_compile::exec::Parallelism::Fixed(threads),
+                // Cookbook fixtures are tiny; exercise the morsel path
+                // anyway so every program is pinned parallel ≡ serial.
+                min_parallel_domain: 1,
                 predicated_select: pred,
                 ..Default::default()
             });
@@ -88,6 +91,30 @@ fn hierarchical_sum_all_strategies_agree() {
         let out = run_both(&cat, &p);
         assert_eq!(scalar_i64(&out[0]), expected, "{strat:?}");
     }
+}
+
+#[test]
+fn for_parallelism_mirrors_the_storage_morsel_layout() {
+    // The algebra-level strategy and the engine's morsel partitioning
+    // must agree on extent sizing for the same (len, parts).
+    let layout = voodoo_storage::Partitioning::for_len(1000, 4);
+    let strat = FoldStrategy::for_parallelism(1000, 4);
+    match strat {
+        FoldStrategy::Partitions { size } => {
+            assert_eq!(size, layout.morsels()[0].len());
+        }
+        other => panic!("expected Partitions, got {other:?}"),
+    }
+    // Degenerate shapes collapse to Global.
+    assert_eq!(FoldStrategy::for_parallelism(1000, 1), FoldStrategy::Global);
+    assert_eq!(FoldStrategy::for_parallelism(0, 8), FoldStrategy::Global);
+    assert_eq!(FoldStrategy::for_parallelism(1, 8), FoldStrategy::Global);
+    // And the strategy computes the right answer on both backends.
+    let vals: Vec<i64> = (1..=1000).collect();
+    let cat = single_col(&vals);
+    let p = aggregate::hierarchical_sum("input", strat);
+    let out = run_both(&cat, &p);
+    assert_eq!(scalar_i64(&out[0]), vals.iter().sum::<i64>());
 }
 
 #[test]

@@ -4,11 +4,14 @@
 //! information about factors such as datasizes at compile time", footnote
 //! 1); a serving system re-runs the same queries against the same loaded
 //! data, so recompiling per execution is pure waste. [`PlanCache`] maps
-//! `(backend, catalog version, program)` to the prepared plan. The catalog
-//! version ([`voodoo_storage::Catalog::version`]) invalidates every entry
-//! whenever table shapes can have changed; the program key is the full
-//! rendered SSA text, so two structurally identical plans share one entry
-//! and hash collisions are impossible.
+//! `(backend, touched-table state, program, backend knobs)` to the
+//! prepared plan. Invalidation is **per table**: the key fingerprints the
+//! versions ([`voodoo_storage::Catalog::table_version`]) of exactly the
+//! tables the program loads or persists, so mutating table A never evicts
+//! plans that only read table B. The program key is the full exhaustive
+//! rendering and the knob key ([`crate::Backend::cache_params`]) carries
+//! physical tuning flags (parallelism, predication), so two structurally
+//! identical plans share one entry and collisions are impossible.
 //!
 //! Two cache shapes ship here:
 //!
@@ -37,13 +40,19 @@ pub const DEFAULT_PLAN_CAPACITY: usize = 256;
 /// Default shard count for [`ShardedPlanCache::new`].
 pub const DEFAULT_SHARDS: usize = 8;
 
-/// Cache key: backend identity, catalog mutation counter, program text.
+/// Cache key: backend identity, touched-table state, program text,
+/// backend knobs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// Backend name the plan was prepared by.
     pub backend: String,
-    /// [`Catalog::version`] at preparation time.
-    pub catalog_version: u64,
+    /// Fingerprint of the per-table versions of exactly the tables the
+    /// program touches ([`Catalog::table_state`] over
+    /// [`Program::table_deps`]) at preparation time. A plan can only
+    /// depend on the shapes of the tables it loads/persists, so keying on
+    /// their versions — and nothing else — keeps unrelated mutations from
+    /// invalidating it.
+    pub table_state: String,
     /// The program's exhaustive [`Program::cache_key`] rendering. NOT
     /// the pretty SSA `Display` text: that omits operator parameters
     /// (e.g. `Project` key paths), so two semantically different
@@ -51,12 +60,17 @@ pub struct PlanKey {
     /// operator field (and skips pretty-printing labels, which carry no
     /// semantics).
     pub program: String,
+    /// The backend's physical tuning knobs
+    /// ([`crate::Backend::cache_params`]): the partitioning/parallelism
+    /// setting, predication, etc. Plans bake these in at prepare time, so
+    /// they are part of the identity.
+    pub params: String,
 }
 
 impl PlanKey {
     /// Build the key for a program on a backend against a catalog state.
     pub fn new(backend: &dyn Backend, catalog: &Catalog, program: &Program) -> PlanKey {
-        PlanKey::named(backend.name(), catalog, program)
+        PlanKey::named(backend.name(), backend, catalog, program)
     }
 
     /// Build the key under an explicit backend identity instead of the
@@ -67,11 +81,17 @@ impl PlanKey {
     /// backend under one name) must key plans by their own identity —
     /// e.g. `"registry-name#registration-epoch"` — or two backends
     /// reporting the same `name()` would silently share plans.
-    pub fn named(identity: &str, catalog: &Catalog, program: &Program) -> PlanKey {
+    pub fn named(
+        identity: &str,
+        backend: &dyn Backend,
+        catalog: &Catalog,
+        program: &Program,
+    ) -> PlanKey {
         PlanKey {
             backend: identity.to_string(),
-            catalog_version: catalog.version(),
+            table_state: catalog.table_state(program.table_deps()),
             program: program.cache_key(),
+            params: backend.cache_params(),
         }
     }
 }
@@ -148,10 +168,10 @@ impl PlanCache {
     /// Fetch the prepared plan for `program` on `backend`, preparing (and
     /// caching) it on first use.
     ///
-    /// Inserting a plan evicts entries for the same `(backend, program)`
-    /// at other catalog versions: they can never hit again (versions are
-    /// monotonic per catalog), so dropping them eagerly keeps stale plans
-    /// from squatting on LRU capacity.
+    /// Inserting a plan evicts entries for the same `(backend, program,
+    /// params)` at other touched-table states: they can never hit again
+    /// (table versions are monotonic per catalog), so dropping them
+    /// eagerly keeps stale plans from squatting on LRU capacity.
     pub fn get_or_prepare(
         &mut self,
         backend: &dyn Backend,
@@ -197,9 +217,10 @@ impl PlanCache {
         self.misses += 1;
         let before = self.map.len();
         self.map.retain(|k, _| {
-            k.catalog_version == key.catalog_version
+            k.table_state == key.table_state
                 || k.backend != key.backend
                 || k.program != key.program
+                || k.params != key.params
         });
         self.evictions += (before - self.map.len()) as u64;
         self.map.insert(
@@ -326,13 +347,14 @@ impl ShardedPlanCache {
     }
 
     fn shard_for(&self, key: &PlanKey) -> &Mutex<PlanCache> {
-        // Shard by (backend, program) only — NOT the catalog version — so
-        // every version of one statement lands in the same shard and the
-        // insert-time stale-version eviction can see (and drop) its
+        // Shard by (backend, program, params) only — NOT the table state
+        // — so every version of one statement lands in the same shard and
+        // the insert-time stale-state eviction can see (and drop) its
         // predecessors.
         let mut h = DefaultHasher::new();
         key.backend.hash(&mut h);
         key.program.hash(&mut h);
+        key.params.hash(&mut h);
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
@@ -370,7 +392,7 @@ impl ShardedPlanCache {
         program: &Program,
         catalog: &Catalog,
     ) -> Result<(Arc<dyn PreparedPlan>, bool)> {
-        let key = PlanKey::named(identity, catalog, program);
+        let key = PlanKey::named(identity, backend, catalog, program);
         Self::lock_shard(self.shard_for(&key))
             .get_or_prepare_keyed_traced(key, backend, program, catalog)
     }
@@ -550,6 +572,45 @@ mod tests {
                 .map(|v| v.as_i64()),
             Some(150)
         );
+    }
+
+    #[test]
+    fn unrelated_table_mutations_leave_plans_hot() {
+        // Invalidation is per table: the fixture program loads only "t",
+        // so mutating any other table must not cost it its cached plan.
+        let (mut cat, p) = fixture();
+        let backend = CpuBackend::single_threaded();
+        let mut cache = PlanCache::new();
+        cache.get_or_prepare(&backend, &p, &cat).unwrap();
+        cat.put_i64_column("other", &[1, 2, 3]);
+        cache.get_or_prepare(&backend, &p, &cat).unwrap();
+        let s = cache.stats();
+        assert_eq!(
+            (s.hits, s.misses, s.evictions),
+            (1, 1, 0),
+            "plan over t must stay hot across an unrelated mutation"
+        );
+        // Touching t itself (even without changing data) invalidates.
+        cat.table_mut("t");
+        cache.get_or_prepare(&backend, &p, &cat).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.misses, s.evictions), (2, 1));
+    }
+
+    #[test]
+    fn differing_knobs_get_distinct_plans_under_one_name() {
+        // The partitioning knob is part of the plan identity: two
+        // backends that self-report the same name but carry different
+        // parallelism settings must not share a cached plan.
+        let (cat, p) = fixture();
+        let serial = CpuBackend::single_threaded();
+        let parallel = CpuBackend::with_threads(4);
+        let mut cache = PlanCache::new();
+        let a = cache.get_or_prepare(&serial, &p, &cat).unwrap();
+        let b = cache.get_or_prepare(&parallel, &p, &cat).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "knobs are part of the key");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
     }
 
     #[test]

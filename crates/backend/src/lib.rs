@@ -47,6 +47,7 @@ use voodoo_storage::Catalog;
 pub use cache::{
     CacheStats, PlanCache, PlanKey, ShardedPlanCache, DEFAULT_PLAN_CAPACITY, DEFAULT_SHARDS,
 };
+pub use voodoo_compile::exec::Parallelism;
 
 /// A profiled execution: results plus the architectural trace, and — for
 /// simulated devices — the priced device time.
@@ -107,6 +108,14 @@ pub trait Backend: Send + Sync {
 
     /// Prepare a program against a catalog's shape.
     fn prepare(&self, program: &Program, catalog: &Catalog) -> Result<Arc<dyn PreparedPlan>>;
+
+    /// The physical tuning knobs baked into plans this backend prepares
+    /// (parallelism, predication, …), rendered for cache keying: two
+    /// backends of one type with different knobs must never share a
+    /// cached plan. Knob-free backends return `""`.
+    fn cache_params(&self) -> String {
+        String::new()
+    }
 }
 
 /// Shared explain rendering for the compiling backends: fragment
@@ -210,17 +219,33 @@ impl CpuBackend {
         }
     }
 
-    /// Single-threaded CPU backend with default flags.
+    /// Single-threaded CPU backend with default flags — the serial
+    /// reference configuration partition-parallel runs are pinned
+    /// bit-identical against.
     pub fn single_threaded() -> CpuBackend {
         CpuBackend::new(ExecOptions::default())
     }
 
-    /// Multithreaded CPU backend.
+    /// Multithreaded CPU backend with a fixed morsel-worker count.
     pub fn with_threads(threads: usize) -> CpuBackend {
+        CpuBackend::parallel(Parallelism::Fixed(threads.max(1)))
+    }
+
+    /// CPU backend with an explicit [`Parallelism`] setting
+    /// (`Auto` resolves per machine, capped by the executing thread's
+    /// parallelism budget — see
+    /// [`voodoo_compile::exec::set_parallelism_budget`]).
+    pub fn parallel(parallelism: Parallelism) -> CpuBackend {
         CpuBackend::new(ExecOptions {
-            threads: threads.max(1),
+            parallelism,
             ..ExecOptions::default()
         })
+    }
+
+    /// CPU backend that fans each statement across the machine
+    /// ([`Parallelism::Auto`]).
+    pub fn auto() -> CpuBackend {
+        CpuBackend::parallel(Parallelism::Auto)
     }
 
     /// Enable (or disable) the CSE+DCE normalization pass before
@@ -262,8 +287,8 @@ impl PreparedPlan for CpuPlan {
 
     fn explain(&self) -> String {
         let mut header = format!(
-            "backend: cpu (fragment compiler, {} thread(s), predicated_select={})\n",
-            self.opts.threads, self.opts.predicated_select
+            "backend: cpu (fragment compiler, parallelism={:?}, predicated_select={})\n",
+            self.opts.parallelism, self.opts.predicated_select
         );
         if let Some(r) = &self.rewrite {
             header.push_str(&format!(
@@ -279,8 +304,9 @@ impl PreparedPlan for CpuPlan {
         // the device cost models price (matching the gpusim methodology).
         let exec = Executor::new(ExecOptions {
             count_events: true,
-            threads: 1,
+            parallelism: Parallelism::Off,
             predicated_select: self.opts.predicated_select,
+            ..ExecOptions::default()
         });
         let (output, events, unit_events) = exec.run_with_unit_profiles(&self.cp, catalog)?;
         Ok(PlanProfile {
@@ -295,6 +321,16 @@ impl PreparedPlan for CpuPlan {
 impl Backend for CpuBackend {
     fn name(&self) -> &str {
         "cpu"
+    }
+
+    fn cache_params(&self) -> String {
+        format!(
+            "par={:?};pred={};minpd={};opt={}",
+            self.opts.parallelism,
+            self.opts.predicated_select,
+            self.opts.min_parallel_domain,
+            self.optimize
+        )
     }
 
     fn prepare(&self, program: &Program, catalog: &Catalog) -> Result<Arc<dyn PreparedPlan>> {
@@ -378,7 +414,8 @@ impl PreparedPlan for SimGpuPlan {
         let exec = Executor::new(ExecOptions {
             count_events: true,
             predicated_select: self.sim.predicated(),
-            threads: 1,
+            parallelism: Parallelism::Off,
+            ..ExecOptions::default()
         });
         let (output, events, unit_events) = exec.run_with_unit_profiles(&self.cp, catalog)?;
         let mut report = self.sim.model().price(&unit_events);
@@ -399,6 +436,10 @@ impl PreparedPlan for SimGpuPlan {
 impl Backend for SimGpuBackend {
     fn name(&self) -> &str {
         "gpu"
+    }
+
+    fn cache_params(&self) -> String {
+        format!("pred={}", self.sim.predicated())
     }
 
     fn prepare(&self, program: &Program, catalog: &Catalog) -> Result<Arc<dyn PreparedPlan>> {

@@ -7,8 +7,11 @@
 //!    `evict_all`, which keeps counter history),
 //! 2. **bounding** — `entries <= capacity`,
 //! 3. **freshness** — a returned plan is only ever served for the exact
-//!    `(backend identity, catalog version, program)` it was prepared
+//!    `(backend identity, touched-table state, program)` it was prepared
 //!    under: no stale-version and no stale-epoch plan ever escapes.
+//!    Invalidation is per table: every program here loads only `t`, so
+//!    freshness keys on `t`'s version and mutations of *other* tables
+//!    must keep `t`-plans live (also asserted below).
 //!
 //! Freshness is checked by pointer identity: every `Arc<dyn PreparedPlan>`
 //! the cache hands back is recorded against its key; seeing the same
@@ -45,7 +48,7 @@ proptest! {
 
     #[test]
     fn random_interleavings_preserve_cache_invariants(
-        ops in collection::vec((0u8..10, 0usize..5, 0usize..3, 1usize..7), 20..80),
+        ops in collection::vec((0u8..11, 0usize..5, 0usize..3, 1usize..7), 20..80),
     ) {
         let backend = InterpBackend::new();
         let cache = ShardedPlanCache::with_shards(4, 4);
@@ -55,7 +58,8 @@ proptest! {
         // that bumps when the backend is "replaced".
         let mut epochs = [0u64; 3];
         let mut lookups = 0u64;
-        // plan pointer -> the exact key it was prepared under.
+        // plan pointer -> the exact key it was prepared under (freshness
+        // keys on the version of `t`, the one table every program loads).
         let mut plan_keys: HashMap<usize, (String, u64, usize)> = HashMap::new();
         let mut keepalive: Vec<Arc<dyn PreparedPlan>> = Vec::new();
         let mut version_bumps = 0i64;
@@ -75,7 +79,8 @@ proptest! {
                         .map_err(|e| format!("prepare failed: {e}"))?
                         .0;
                     lookups += 1;
-                    let key = (identity, cat.version(), prog_idx);
+                    let t_version = cat.table_version("t").expect("t exists");
+                    let key = (identity, t_version, prog_idx);
                     let ptr = Arc::as_ptr(&plan) as *const () as usize;
                     if let Some(seen) = plan_keys.get(&ptr) {
                         prop_assert_eq!(
@@ -88,7 +93,8 @@ proptest! {
                     }
                     keepalive.push(plan);
                 }
-                // Catalog mutation: bumps the version, staling all plans.
+                // Unrelated-table mutation: bumps the catalog version but
+                // NOT `t`'s — per-table invalidation keeps `t`-plans live.
                 6 => {
                     version_bumps += 1;
                     cat.put_i64_column("scratch", &[version_bumps]);
@@ -97,6 +103,11 @@ proptest! {
                 7 => cache.set_capacity(cap),
                 // Backend replacement: a fresh epoch for this identity.
                 8 => epochs[ident_idx] += 1,
+                // Mutation of `t` itself: stales every plan.
+                9 => {
+                    version_bumps += 1;
+                    cat.put_i64_column("t", &[1, 2, 3, version_bumps]);
+                }
                 // Eviction that must keep the counter history.
                 _ => cache.evict_all(),
             }
@@ -126,7 +137,7 @@ proptest! {
         let cache = ShardedPlanCache::with_shards(4, 6);
         let old_cat = small_catalog();
         let mut new_cat = old_cat.clone();
-        new_cat.put_i64_column("scratch", &[1]); // higher version
+        new_cat.put_i64_column("t", &[9, 9, 9]); // higher version of `t`
         let programs: Vec<Program> = (0..4).map(|i| distinct_program(i as i64)).collect();
         let plan_keys = std::sync::Mutex::new(HashMap::<usize, (u64, usize)>::new());
         let keepalive = std::sync::Mutex::new(Vec::<Arc<dyn PreparedPlan>>::new());
@@ -155,7 +166,7 @@ proptest! {
                         let plan = cache
                             .get_or_prepare(backend, &programs[prog_idx], cat)
                             .expect("prepare");
-                        let key = (cat.version(), prog_idx);
+                        let key = (cat.table_version("t").expect("t exists"), prog_idx);
                         let ptr = Arc::as_ptr(&plan) as *const () as usize;
                         let mut seen = plan_keys.lock().unwrap();
                         if let Some(prev) = seen.get(&ptr) {

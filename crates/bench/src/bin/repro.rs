@@ -1,10 +1,10 @@
 //! `repro` — regenerate every table and figure of the Voodoo paper.
 //!
 //! ```text
-//! repro <fig1/fig9/fig12/fig13/fig14/fig15/fig16/throughput/ablate/opt/all> [options]
+//! repro <fig1/fig9/fig12/fig13/fig14/fig15/fig16/scaling/throughput/ablate/opt/all> [options]
 //!   --n=<elements>      microbenchmark input size   (default 1048576)
 //!   --sf=<scale>        TPC-H scale factor          (default 0.02)
-//!   --threads=<t>       CPU threads                 (default available)
+//!   --threads=<t>       CPU threads (scaling: the sweep's max) (default available)
 //!   --iters=<i>         throughput mix repetitions per load point (default 25)
 //! ```
 //!
@@ -81,6 +81,25 @@ fn main() {
             "Figure 16: selective foreign-key join (time in s, selectivity in %)",
             &figures::fig16(o.n, 1 << 23),
         ),
+        "scaling" => {
+            let rows = figures::scaling(o.n, o.sf, o.threads.max(2));
+            print_rows(
+                &format!(
+                    "Scaling: morsel workers vs time (and speedup), n = {}, SF {}",
+                    o.n, o.sf
+                ),
+                &rows,
+            );
+            println!("\nspeedup per worker count (t1 / tN):");
+            for r in rows.iter().filter(|r| r.series.ends_with(" speedup")) {
+                println!(
+                    "  {:<24} {:>4}: {:>5.2}x",
+                    r.series.trim_end_matches(" speedup"),
+                    r.x,
+                    r.seconds.unwrap_or(0.0)
+                );
+            }
+        }
         "throughput" => {
             let rows = figures::throughput(o.sf, &[0.5, 1.0, 2.0, 4.0], o.iters);
             print_rows(
@@ -140,6 +159,7 @@ fn main() {
             "fig14",
             "fig15",
             "fig16",
+            "scaling",
             "throughput",
             "ablate",
             "opt",

@@ -5,7 +5,7 @@
 //! prepared once and the prepared plan is what the timing loops re-run —
 //! the compile-once-run-many path a serving system would take.
 
-use voodoo_backend::{Backend, CpuBackend, SimGpuBackend};
+use voodoo_backend::{Backend, CpuBackend, Parallelism, SimGpuBackend};
 use voodoo_compile::exec::ExecOptions;
 use voodoo_compile::{kernel, Compiler, Device};
 use voodoo_gpusim::{CostModel, GpuSimulator};
@@ -20,7 +20,11 @@ use crate::FigRow;
 fn run_cpu(cat: &Catalog, p: &voodoo_core::Program, predicated: bool, threads: usize) -> f64 {
     let backend = CpuBackend::new(ExecOptions {
         predicated_select: predicated,
-        threads,
+        parallelism: if threads > 1 {
+            Parallelism::Fixed(threads)
+        } else {
+            Parallelism::Off
+        },
         ..Default::default()
     });
     let plan = backend.prepare(p, cat).expect("prepare");
@@ -638,6 +642,100 @@ pub fn optimizer_decisions(n: usize) -> Vec<FigRow> {
     rows
 }
 
+/// Intra-statement scaling sweep (the morsel-parallelism figure): the
+/// same prepared statements re-executed with 1..=`max_threads` morsel
+/// workers, on the selection and grouped-aggregation microbenchmarks
+/// plus two TPC-H queries at scale factor `sf`.
+///
+/// Rows come in pairs per benchmark: `<name>` carries seconds per
+/// execution at each worker count, and `<name> speedup` carries the
+/// ratio `t1 / tN` (so >1.5 at 4T is the acceptance bar on multicore
+/// hardware; on 1-core containers the curve is flat by construction —
+/// `Fixed(n)` still partitions, but the workers time-slice one core).
+pub fn scaling(n: usize, sf: f64, max_threads: usize) -> Vec<FigRow> {
+    use voodoo_relational::run_query_on;
+
+    let max_threads = max_threads.max(1);
+    let mut threads: Vec<usize> = vec![1];
+    let mut t = 2;
+    while t <= max_threads {
+        threads.push(t);
+        t *= 2;
+    }
+    if threads.last() != Some(&max_threads) {
+        threads.push(max_threads);
+    }
+
+    let mut rows = Vec::new();
+    let backend_for = |t: usize| {
+        CpuBackend::new(ExecOptions {
+            parallelism: if t > 1 {
+                Parallelism::Fixed(t)
+            } else {
+                Parallelism::Off
+            },
+            ..Default::default()
+        })
+    };
+
+    // Microbenchmarks: prepared once per worker count, timed hot.
+    let micro_cat = micro::selection_catalog(n, 42);
+    let benches: [(&str, voodoo_core::Program); 2] = [
+        (
+            "selection",
+            micro::prog_select_sum_branching(micro::cutoff(0.5)),
+        ),
+        (
+            "grouped-agg",
+            voodoo_algos::aggregate::grouped_sum_count("vals", "val", "val", 10_000),
+        ),
+    ];
+    for (name, prog) in &benches {
+        let mut base = None;
+        for &t in &threads {
+            let plan = backend_for(t).prepare(prog, &micro_cat).expect("prepare");
+            consume(plan.execute(&micro_cat).expect("warmup"));
+            let secs = time_secs(3, || consume(plan.execute(&micro_cat).expect("run")));
+            rows.push(FigRow::new(name, format!("{t}T"), Some(secs)));
+            if t == 1 {
+                base = Some(secs);
+            } else if let Some(b) = base {
+                rows.push(FigRow::new(
+                    &format!("{name} speedup"),
+                    format!("{t}T"),
+                    Some(b / secs),
+                ));
+            }
+        }
+    }
+
+    // TPC-H: selection-heavy Q6 and grouped-aggregation Q1 end to end.
+    let session = Session::tpch(sf);
+    let cat = session.catalog();
+    for q in [Query::Q6, Query::Q1] {
+        let name = format!("tpch-{}", q.name().to_lowercase());
+        let mut base = None;
+        for &t in &threads {
+            let backend = backend_for(t);
+            run_query_on(&backend, &cat, q).expect("warmup");
+            let secs = time_secs(3, || {
+                run_query_on(&backend, &cat, q).expect("run");
+            });
+            rows.push(FigRow::new(&name, format!("{t}T"), Some(secs)));
+            if t == 1 {
+                base = Some(secs);
+            } else if let Some(b) = base {
+                rows.push(FigRow::new(
+                    &format!("{name} speedup"),
+                    format!("{t}T"),
+                    Some(b / secs),
+                ));
+            }
+        }
+    }
+    rows
+}
+
 /// Sanity check used by tests: every query result matches across engines
 /// at the benchmark scale factor.
 pub fn verify_engines(sf: f64) -> Result<(), String> {
@@ -709,6 +807,25 @@ mod tests {
         for r in rows.iter().filter(|r| r.series.ends_with("shed-pct")) {
             let pct = r.seconds.unwrap();
             assert!((0.0..=100.0).contains(&pct), "{}@{}: {pct}", r.series, r.x);
+        }
+    }
+
+    #[test]
+    fn scaling_rows_cover_every_worker_count() {
+        let rows = scaling(1 << 14, 0.002, 2);
+        for series in ["selection", "grouped-agg", "tpch-q6", "tpch-q1"] {
+            for x in ["1T", "2T"] {
+                assert!(
+                    rows.iter()
+                        .any(|r| r.series == series && r.x == x && r.seconds.unwrap() > 0.0),
+                    "missing {series}@{x}"
+                );
+            }
+            assert!(
+                rows.iter()
+                    .any(|r| r.series == format!("{series} speedup") && r.seconds.is_some()),
+                "missing {series} speedup"
+            );
         }
     }
 

@@ -7,9 +7,25 @@
 //! and the two fused patterns (virtual-scatter group aggregation,
 //! vectorized selection).
 //!
+//! **Morsel-driven intra-statement parallelism**: when [`ExecOptions::
+//! parallelism`] resolves to more than one thread, the hot kernels — the
+//! global-run fragments (selection emission, folds, elementwise maps),
+//! vectorized selection, the fused grouped aggregation and the
+//! expression side of scatters (the build side of joins) — slice their
+//! domain into [`voodoo_storage::Partitioning`] morsels, fan the morsels
+//! across a scoped worker pool, and merge the partials **in morsel
+//! order**, so results are bit-identical to the serial path (the
+//! interpreter remains the independent oracle). Floating-point `Sum`
+//! folds stay serial: float addition is not associative, and bit-identity
+//! outranks speedup here.
+//!
 //! The executor exposes the paper's physical tuning flags (§4): predicated
 //! vs. branching position emission, and event counting for the GPU model.
+//! Serving layers bound intra-statement fan-out with a per-thread
+//! [`set_parallelism_budget`] so statement workers and an admission
+//! worker pool never oversubscribe the machine together.
 
+use std::cell::Cell;
 use std::sync::Arc;
 
 use voodoo_core::{
@@ -17,23 +33,131 @@ use voodoo_core::{
     VoodooError,
 };
 use voodoo_interp::ExecOutput;
-use voodoo_storage::Catalog;
+use voodoo_storage::{Catalog, Morsel, Partitioning};
 
 use crate::expr::{Env, Expr};
-use crate::plan::{Action, Bulk, CompiledProgram, Fragment, Layout, RunStructure, Unit};
+use crate::plan::{
+    Action, Bulk, CompiledProgram, Fragment, GroupFold, Layout, RunStructure, Unit, VsFold,
+};
 use crate::profile::EventProfile;
 use crate::repr::MatVec;
 
+/// One morsel's (or the serial range's) partial grouped aggregation:
+/// bucket counts, the single key seen per bucket, per-fold accumulators.
+struct GroupPartial {
+    counts: Vec<usize>,
+    first_key: Vec<Option<Option<i64>>>,
+    accs: Vec<Vec<Option<ScalarValue>>>,
+    mismatch: bool,
+    profile: EventProfile,
+}
+
+/// Upper bound on what [`Parallelism::Auto`] resolves to: past this,
+/// morsel merge overhead beats marginal cores for these kernel sizes.
+pub const MAX_AUTO_THREADS: usize = 8;
+
+/// Domains below this many elements run serially by default: scoped
+/// thread spawn costs more than the scan. Override with
+/// [`ExecOptions::min_parallel_domain`] (tests pin it to 1 to exercise
+/// partition boundaries on tiny inputs).
+pub const DEFAULT_MIN_PARALLEL_DOMAIN: usize = 4096;
+
+thread_local! {
+    /// Per-thread cap on intra-statement worker fan-out (serving layers
+    /// divide the machine between admission workers and morsel workers).
+    static PAR_BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Morsel accounting for the statement executing on this thread:
+    /// the maximum partition fan-out any unit used. `None` outside a
+    /// trace.
+    static PARTITION_TRACE: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Cap intra-statement parallelism for work executed on this thread
+/// (`None` lifts the cap). Returns the previous budget so callers can
+/// scope and restore. A serving worker pool of `W` workers on `C` cores
+/// typically sets `C / W` so statement fan-out and the pool compose to
+/// the machine, not to `W × C`.
+pub fn set_parallelism_budget(budget: Option<usize>) -> Option<usize> {
+    PAR_BUDGET.with(|b| b.replace(budget))
+}
+
+/// The current thread's intra-statement parallelism cap, if any.
+pub fn parallelism_budget() -> Option<usize> {
+    PAR_BUDGET.with(|b| b.get())
+}
+
+/// Start recording partition fan-out on this thread (engines bracket each
+/// statement execution to feed their `partitions_used` metrics).
+pub fn partition_trace_begin() {
+    PARTITION_TRACE.with(|t| t.set(Some(1)));
+}
+
+/// Stop recording and return the maximum morsel fan-out any execution
+/// unit used since [`partition_trace_begin`] (1 = fully serial, also
+/// returned when no trace was open).
+pub fn partition_trace_end() -> u64 {
+    PARTITION_TRACE.with(|t| t.take()).unwrap_or(1)
+}
+
+fn note_partitions(n: usize) {
+    PARTITION_TRACE.with(|t| {
+        if let Some(cur) = t.get() {
+            t.set(Some(cur.max(n as u64)));
+        }
+    });
+}
+
+/// How a statement distributes across cores — the engine-facing knob.
+///
+/// The same prepared plan serves all three settings: parallelism is
+/// resolved at execution time (per the paper's thesis that parallelism is
+/// layout-controlled, not program-controlled), capped by the executing
+/// thread's [`set_parallelism_budget`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Strictly serial execution (the default; also the test oracle
+    /// configuration for the compiled backend).
+    #[default]
+    Off,
+    /// Exactly `n` morsel workers (clamped to ≥ 1, then by the budget).
+    Fixed(usize),
+    /// One worker per available core, capped at [`MAX_AUTO_THREADS`] and
+    /// by the budget.
+    Auto,
+}
+
+impl Parallelism {
+    /// The worker count this setting resolves to on this thread, after
+    /// applying the machine size and the thread's parallelism budget.
+    pub fn effective(self) -> usize {
+        let base = match self {
+            Parallelism::Off => 1,
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(MAX_AUTO_THREADS),
+        };
+        match parallelism_budget() {
+            Some(budget) => base.min(budget.max(1)),
+            None => base,
+        }
+    }
+}
+
 /// Physical execution options (the paper's §4 "optimization flags").
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecOptions {
     /// Emit selection positions branch-free (cursor arithmetic) instead of
     /// with an `if` — the predication flag.
     pub predicated_select: bool,
     /// Count architectural events (for the GPU cost model / ablations).
     pub count_events: bool,
-    /// Worker threads for fragment execution.
-    pub threads: usize,
+    /// Intra-statement morsel parallelism for fragment and bulk kernels.
+    pub parallelism: Parallelism,
+    /// Smallest domain worth fanning out
+    /// ([`DEFAULT_MIN_PARALLEL_DOMAIN`]); smaller domains run serially.
+    pub min_parallel_domain: usize,
 }
 
 impl Default for ExecOptions {
@@ -41,8 +165,22 @@ impl Default for ExecOptions {
         ExecOptions {
             predicated_select: false,
             count_events: false,
-            threads: 1,
+            parallelism: Parallelism::Off,
+            min_parallel_domain: DEFAULT_MIN_PARALLEL_DOMAIN,
         }
+    }
+}
+
+impl ExecOptions {
+    /// The morsel worker count in effect on this thread (resolves
+    /// [`Parallelism`] against the machine and the thread budget).
+    pub fn effective_threads(&self) -> usize {
+        self.parallelism.effective()
+    }
+
+    /// Whether `domain` is worth partitioning under these options.
+    fn worth_partitioning(&self, domain: usize) -> bool {
+        domain >= self.min_parallel_domain.max(2)
     }
 }
 
@@ -63,10 +201,10 @@ impl Executor {
         Executor::new(ExecOptions::default())
     }
 
-    /// Multithreaded executor.
+    /// Multithreaded executor (a fixed morsel-worker count).
     pub fn with_threads(threads: usize) -> Executor {
         Executor::new(ExecOptions {
-            threads: threads.max(1),
+            parallelism: Parallelism::Fixed(threads.max(1)),
             ..ExecOptions::default()
         })
     }
@@ -172,6 +310,25 @@ impl Executor {
             RunStructure::Single => (frag.domain as u64 / 1024).max(1),
         };
         let domain = frag.domain;
+        let threads = self.opts.effective_threads();
+        // Morsel path for global (Single) runs — the hot kernels of
+        // selection, fold and fused map fragments. Prefix scans are
+        // order-dependent and float sums are non-associative, so both
+        // stay on the serial path (bit-identity to the oracle wins).
+        if matches!(frag.run, RunStructure::Single)
+            && threads > 1
+            && self.opts.worth_partitioning(domain)
+            && frag.actions.iter().all(|a| match a {
+                Action::Write { .. } | Action::SelectEmit { .. } => true,
+                Action::FoldAggAct { out_ty, .. } => !out_ty.is_float(),
+                Action::FoldScanAct { .. } => false,
+            })
+        {
+            let parts = Partitioning::for_len(domain, threads);
+            if parts.count() > 1 {
+                return self.exec_fragment_morsels(cp, frag, values, profile, &parts);
+            }
+        }
         // Chunk boundaries (in runs for folds, elements for maps).
         let chunks: Vec<(usize, usize)> = match &frag.run {
             RunStructure::Map | RunStructure::Uniform(_) => {
@@ -184,7 +341,14 @@ impl Executor {
                 } else {
                     domain.div_ceil(run_len)
                 };
-                let workers = self.opts.threads.min(total_runs.max(1));
+                // Tiny domains run serially here too: scoped thread
+                // spawn costs more than the scan (the same
+                // `min_parallel_domain` gate the morsel paths apply).
+                let workers = if self.opts.worth_partitioning(domain) {
+                    threads.min(total_runs.max(1))
+                } else {
+                    1
+                };
                 let per = total_runs.div_ceil(workers.max(1)).max(1);
                 (0..workers)
                     .map(|w| (w * per, ((w + 1) * per).min(total_runs)))
@@ -199,6 +363,9 @@ impl Executor {
                 }
             }
         };
+        if chunks.len() > 1 {
+            note_partitions(chunks.len());
+        }
 
         let sources: &[Option<Arc<MatVec>>] = values;
         let run_worker = |run_range: (usize, usize)| -> (Vec<Column>, EventProfile) {
@@ -236,16 +403,7 @@ impl Executor {
             _ => domain.max(1),
         };
         for (oi, spec) in frag.outputs.iter().enumerate() {
-            let full_len = match spec.layout {
-                Layout::Full => domain,
-                Layout::Dense => {
-                    if domain == 0 {
-                        0
-                    } else {
-                        domain.div_ceil(run_len)
-                    }
-                }
-            };
+            let full_len = full_len_of(spec.layout, domain, run_len);
             let mut col = Column::empties(spec.ty, full_len);
             let mut off = 0usize;
             for segs in &per_chunk {
@@ -261,25 +419,173 @@ impl Executor {
             if self.opts.count_events {
                 profile.write_bytes += (full_len * spec.ty.byte_width()) as u64;
             }
-            // Attach to (or create) the statement's vector.
-            let stmt = spec.stmt;
-            let existing = values[stmt.index()].take();
-            let mut sv = match existing {
-                Some(m) => m.storage().clone(),
-                None => StructuredVector::with_len(full_len),
+            let bounds = if chunks.len() > 1 && matches!(spec.layout, Layout::Full) {
+                // Record the chunk fence posts (in elements) this output
+                // was produced across — the §2.3 layout metadata.
+                let chunk_run_len = match frag.run {
+                    RunStructure::Uniform(l) => l,
+                    _ => 1,
+                };
+                let mut b: Vec<usize> = chunks.iter().map(|(s, _)| s * chunk_run_len).collect();
+                b.push(domain);
+                Some(b)
+            } else {
+                None
             };
-            sv.insert(spec.kp.clone(), col);
-            let wrapped = match spec.layout {
-                Layout::Full => MatVec::Full(sv),
-                Layout::Dense => MatVec::FoldDense {
-                    values: sv,
-                    run_len,
-                    orig_len: domain,
-                },
-            };
-            values[stmt.index()] = Some(Arc::new(wrapped));
+            attach_fragment_output(values, spec, col, full_len, run_len, domain, bounds);
         }
         Ok(())
+    }
+
+    /// Execute a global-run fragment partition-parallel: fan the domain's
+    /// morsels across a scoped worker pool, then merge partials in morsel
+    /// order so the result is bit-identical to the serial path.
+    ///
+    /// Merge rules per output:
+    /// * `Write` (elementwise) — stitch the morsel segments by offset;
+    /// * `SelectEmit` — concatenate each morsel's compacted position
+    ///   prefix (positions are emitted in ascending order within a
+    ///   morsel, so the concatenation is exactly the serial ordering),
+    ///   ε-padding the tail — the §2.2 padding argument is what makes
+    ///   the morsels independent;
+    /// * `FoldAggAct` — combine the per-morsel accumulators left-to-right
+    ///   (integer folds only reach this path, so the regrouping is exact).
+    fn exec_fragment_morsels(
+        &self,
+        cp: &CompiledProgram,
+        frag: &Fragment,
+        values: &mut [Option<Arc<MatVec>>],
+        profile: &mut EventProfile,
+        parts: &Partitioning,
+    ) -> Result<()> {
+        let domain = frag.domain;
+        let morsels = parts.morsels();
+        note_partitions(morsels.len());
+        let sources: &[Option<Arc<MatVec>>] = values;
+        let run_worker = |m: Morsel| -> (Vec<Column>, Vec<Option<ScalarValue>>, EventProfile) {
+            self.run_morsel(cp, frag, (m.start, m.end), sources)
+        };
+        let results: Vec<(Vec<Column>, Vec<Option<ScalarValue>>, EventProfile)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = morsels
+                    .iter()
+                    .map(|m| scope.spawn(move || run_worker(*m)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("morsel worker panicked"))
+                    .collect()
+            });
+        for (_, _, prof) in &results {
+            profile.merge(prof);
+        }
+
+        let run_len = domain.max(1); // Single: the whole domain is one run.
+        for (oi, spec) in frag.outputs.iter().enumerate() {
+            let fold_action = frag.actions.iter().enumerate().find_map(|(ai, a)| match a {
+                Action::FoldAggAct { out, agg, .. } if *out == oi => Some((ai, *agg)),
+                _ => None,
+            });
+            let is_select = frag
+                .actions
+                .iter()
+                .any(|a| matches!(a, Action::SelectEmit { out, .. } if *out == oi));
+            let full_len = full_len_of(spec.layout, domain, run_len);
+            let mut col = Column::empties(spec.ty, full_len);
+            if let Some((ai, agg)) = fold_action {
+                let mut acc: Option<ScalarValue> = None;
+                for (_, accs, _) in &results {
+                    if let Some(v) = accs[ai] {
+                        acc = Some(match acc {
+                            None => v,
+                            Some(a) => combine(agg, a, v),
+                        });
+                    }
+                }
+                if let Some(v) = acc {
+                    col.set(0, v);
+                }
+            } else if is_select {
+                let mut off = 0usize;
+                for (segs, _, _) in &results {
+                    let seg = &segs[oi];
+                    for i in 0..seg.len() {
+                        match seg.get(i) {
+                            Some(v) => {
+                                col.set(off, v);
+                                off += 1;
+                            }
+                            // Positions are emitted as a compact prefix;
+                            // the first ε ends this morsel's output.
+                            None => break,
+                        }
+                    }
+                }
+            } else {
+                let mut off = 0usize;
+                for (segs, _, _) in &results {
+                    let seg = &segs[oi];
+                    for i in 0..seg.len() {
+                        match seg.get(i) {
+                            Some(v) => col.set(off + i, v),
+                            None => col.clear(off + i),
+                        }
+                    }
+                    off += seg.len();
+                }
+            }
+            if self.opts.count_events {
+                profile.write_bytes += (full_len * spec.ty.byte_width()) as u64;
+            }
+            let bounds = matches!(spec.layout, Layout::Full).then(|| parts.boundaries());
+            attach_fragment_output(values, spec, col, full_len, run_len, domain, bounds);
+        }
+        Ok(())
+    }
+
+    /// Execute one morsel of a global-run fragment: the serial `step`
+    /// loop over `[s, e)` with morsel-local segments, accumulators and
+    /// cursors. Fold partials come back separately (the caller merges
+    /// them); selection output is the morsel's compact position prefix.
+    fn run_morsel(
+        &self,
+        cp: &CompiledProgram,
+        frag: &Fragment,
+        (s, e): (usize, usize),
+        sources: &[Option<Arc<MatVec>>],
+    ) -> (Vec<Column>, Vec<Option<ScalarValue>>, EventProfile) {
+        let mut env = Env::new(
+            sources,
+            self.opts.count_events,
+            cp.branch_sites,
+            cp.gather_sites,
+        )
+        .with_predication(self.opts.predicated_select);
+        let mut segs: Vec<Column> = frag
+            .outputs
+            .iter()
+            .map(|spec| match spec.layout {
+                Layout::Full => Column::empties(spec.ty, e - s),
+                // Dense outputs are fold results; the accumulators carry
+                // them, so the segment stays empty.
+                Layout::Dense => Column::empties(spec.ty, 0),
+            })
+            .collect();
+        let mut accs: Vec<Option<ScalarValue>> = vec![None; frag.actions.len()];
+        let mut cursors: Vec<usize> = vec![s; frag.actions.len()];
+        for i in s..e {
+            self.step(frag, i, s, &mut segs, &mut accs, &mut cursors, &mut env);
+        }
+        // Fix predicated selection tails, as the serial run flush does.
+        for (ai, action) in frag.actions.iter().enumerate() {
+            if let Action::SelectEmit { out, .. } = action {
+                if self.opts.predicated_select && cursors[ai] < e {
+                    segs[*out].clear(cursors[ai] - s);
+                }
+            }
+        }
+        let profile = env.profile;
+        (segs, accs, profile)
     }
 
     /// Execute one chunk of runs, producing output segments.
@@ -487,36 +793,76 @@ impl Executor {
                 pos,
             } => {
                 let sources: &[Option<Arc<MatVec>>] = values;
-                let mut env = Env::new(
-                    sources,
-                    self.opts.count_events,
-                    cp.branch_sites,
-                    cp.gather_sites,
-                )
-                .with_predication(self.opts.predicated_select);
+                let threads = self.opts.effective_threads();
                 let mut out_cols: Vec<Column> = cols
                     .iter()
                     .map(|(_, ty, _)| Column::empties(*ty, *out_len))
                     .collect();
-                for i in 0..*domain {
-                    let Some(p) = pos.eval(i, &mut env) else {
-                        continue;
+                let parts = if threads > 1 && self.opts.worth_partitioning(*domain) {
+                    Partitioning::for_len(*domain, threads)
+                } else {
+                    Partitioning::for_len(*domain, 1)
+                };
+                if parts.count() > 1 {
+                    // The build side of joins: evaluate the position and
+                    // value expressions (the gather-heavy half) morsel-
+                    // parallel, then apply the writes serially in morsel
+                    // order — preserving the serial last-write-wins
+                    // semantics bit for bit.
+                    note_partitions(parts.count());
+                    let run_worker = |m: Morsel| -> (Vec<usize>, Vec<Column>, EventProfile) {
+                        self.scatter_eval_range(cp, cols, pos, *out_len, (m.start, m.end), sources)
                     };
-                    let p = p.as_i64();
-                    if p < 0 || p as usize >= *out_len {
-                        continue;
-                    }
-                    for (ci, (_, _, expr)) in cols.iter().enumerate() {
-                        match expr.eval(i, &mut env) {
-                            Some(v) => out_cols[ci].set(p as usize, v),
-                            None => out_cols[ci].clear(p as usize),
+                    let results: Vec<_> = std::thread::scope(|scope| {
+                        let handles: Vec<_> = parts
+                            .morsels()
+                            .iter()
+                            .map(|m| scope.spawn(move || run_worker(*m)))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("scatter worker panicked"))
+                            .collect()
+                    });
+                    for (hits, vals, prof) in &results {
+                        profile.merge(prof);
+                        for (k, &p) in hits.iter().enumerate() {
+                            for (ci, vcol) in vals.iter().enumerate() {
+                                match vcol.get(k) {
+                                    Some(v) => out_cols[ci].set(p, v),
+                                    None => out_cols[ci].clear(p),
+                                }
+                            }
                         }
                     }
-                    if env.counting {
-                        env.profile.rand_writes += cols.len() as u64;
+                } else {
+                    let mut env = Env::new(
+                        sources,
+                        self.opts.count_events,
+                        cp.branch_sites,
+                        cp.gather_sites,
+                    )
+                    .with_predication(self.opts.predicated_select);
+                    for i in 0..*domain {
+                        let Some(p) = pos.eval(i, &mut env) else {
+                            continue;
+                        };
+                        let p = p.as_i64();
+                        if p < 0 || p as usize >= *out_len {
+                            continue;
+                        }
+                        for (ci, (_, _, expr)) in cols.iter().enumerate() {
+                            match expr.eval(i, &mut env) {
+                                Some(v) => out_cols[ci].set(p as usize, v),
+                                None => out_cols[ci].clear(p as usize),
+                            }
+                        }
+                        if env.counting {
+                            env.profile.rand_writes += cols.len() as u64;
+                        }
                     }
+                    profile.merge(&env.profile);
                 }
-                profile.merge(&env.profile);
                 profile.work_items += *domain as u64;
                 profile.elements += *domain as u64;
                 profile.max_par = (*domain as u64 / 1024).max(1);
@@ -571,84 +917,74 @@ impl Executor {
                 folds,
             } => {
                 let sources: &[Option<Arc<MatVec>>] = values;
-                let mut env = Env::new(
-                    sources,
-                    self.opts.count_events,
-                    cp.branch_sites,
-                    cp.gather_sites,
-                )
-                .with_predication(self.opts.predicated_select);
-                let mut accs: Vec<Option<ScalarValue>> = vec![None; folds.len()];
-                let mut last_pos: Vec<i64> = vec![i64::MIN / 2; folds.len()];
-                let mut posbuf: Vec<usize> = vec![0; *chunk];
-                let mut c0 = 0usize;
-                while c0 < *domain {
-                    let c1 = (c0 + chunk).min(*domain);
-                    // Loop 1: emit qualifying positions into the chunk-local
-                    // buffer (cache resident).
-                    let mut count = 0usize;
-                    if self.opts.predicated_select {
-                        for i in c0..c1 {
-                            let t = sel
-                                .eval(i, &mut env)
-                                .map(|v| v.is_truthy())
-                                .unwrap_or(false);
-                            posbuf[count] = i;
-                            count += t as usize;
-                            if env.counting {
-                                env.profile.int_ops += 1;
-                                env.profile.write_bytes += 8;
-                            }
-                        }
-                    } else {
-                        for i in c0..c1 {
-                            let t = sel
-                                .eval(i, &mut env)
-                                .map(|v| v.is_truthy())
-                                .unwrap_or(false);
-                            env.count_branch(*site, t);
-                            if t {
-                                posbuf[count] = i;
-                                count += 1;
-                                if env.counting {
-                                    env.profile.write_bytes += 8;
-                                }
-                            }
-                        }
-                    }
-                    // Loop 2: resolve positions and accumulate.
-                    for &p in &posbuf[..count] {
-                        for (fi, f) in folds.iter().enumerate() {
-                            let src = sources[f.src.index()].as_ref().expect("vs source").clone();
-                            if let Some(v) = src.get(f.src_col, p) {
-                                let v = v.cast(f.out_ty);
+                let n_chunks = domain.div_ceil(*chunk);
+                let threads = self.opts.effective_threads();
+                // Chunks are already independent (each fills its own
+                // cache-resident position buffer), so the morsel unit is
+                // a run of whole chunks. Float sums stay serial (the
+                // regrouped accumulation would not be bit-identical).
+                let par_ok = threads > 1
+                    && n_chunks > 1
+                    && self.opts.worth_partitioning(*domain)
+                    && folds.iter().all(|f| !f.out_ty.is_float());
+                let (accs, prof) = if par_ok {
+                    let parts = Partitioning::for_len(n_chunks, threads);
+                    note_partitions(parts.count());
+                    let run_worker = |m: Morsel| -> (Vec<Option<ScalarValue>>, EventProfile) {
+                        self.vec_select_chunks(
+                            cp,
+                            *domain,
+                            *chunk,
+                            sel.as_ref(),
+                            *site,
+                            folds,
+                            (m.start, m.end),
+                            sources,
+                        )
+                    };
+                    let results: Vec<_> = std::thread::scope(|scope| {
+                        let handles: Vec<_> = parts
+                            .morsels()
+                            .iter()
+                            .map(|m| scope.spawn(move || run_worker(*m)))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("vec-select worker panicked"))
+                            .collect()
+                    });
+                    let mut accs: Vec<Option<ScalarValue>> = vec![None; folds.len()];
+                    let mut prof = EventProfile::default();
+                    for (partial, p) in results {
+                        for (fi, v) in partial.into_iter().enumerate() {
+                            if let Some(v) = v {
                                 accs[fi] = Some(match accs[fi] {
                                     None => v,
-                                    Some(a) => combine(f.agg, a, v),
+                                    Some(a) => combine(folds[fi].agg, a, v),
                                 });
-                                if env.counting {
-                                    // Monotone positions: near-previous is a
-                                    // cache hit, jumps are random accesses.
-                                    let lastp = last_pos[fi];
-                                    last_pos[fi] = p as i64;
-                                    if (p as i64 - lastp).unsigned_abs() <= 8 {
-                                        env.profile.seq_read_bytes += 8;
-                                    } else {
-                                        env.profile.rand_reads += 1;
-                                    }
-                                }
-                                count_acc(&mut env, f.out_ty);
                             }
                         }
+                        prof.merge(&p);
                     }
-                    c0 = c1;
-                }
-                profile.merge(&env.profile);
-                profile.work_items += domain.div_ceil(*chunk) as u64;
+                    (accs, prof)
+                } else {
+                    self.vec_select_chunks(
+                        cp,
+                        *domain,
+                        *chunk,
+                        sel.as_ref(),
+                        *site,
+                        folds,
+                        (0, n_chunks),
+                        sources,
+                    )
+                };
+                profile.merge(&prof);
+                profile.work_items += n_chunks as u64;
                 profile.elements += *domain as u64;
                 // Chunk-local buffers fill sequentially: parallelism is
                 // capped at the number of chunks (paper §5.3).
-                profile.max_par = domain.div_ceil(*chunk) as u64;
+                profile.max_par = n_chunks as u64;
                 for (fi, f) in folds.iter().enumerate() {
                     let mut col = Column::empties(f.out_ty, 1);
                     if let Some(v) = accs[fi] {
@@ -667,9 +1003,211 @@ impl Executor {
         }
     }
 
+    /// One chunk-run of a vectorized selection: loop 1 emits qualifying
+    /// positions into the chunk-local buffer, loop 2 resolves them and
+    /// accumulates. Shared by the serial path (one run covering every
+    /// chunk) and the morsel workers (a run of whole chunks each), so the
+    /// two paths cannot drift.
+    #[allow(clippy::too_many_arguments)]
+    fn vec_select_chunks(
+        &self,
+        cp: &CompiledProgram,
+        domain: usize,
+        chunk: usize,
+        sel: &Expr,
+        site: usize,
+        folds: &[VsFold],
+        (chunk_s, chunk_e): (usize, usize),
+        sources: &[Option<Arc<MatVec>>],
+    ) -> (Vec<Option<ScalarValue>>, EventProfile) {
+        let mut env = Env::new(
+            sources,
+            self.opts.count_events,
+            cp.branch_sites,
+            cp.gather_sites,
+        )
+        .with_predication(self.opts.predicated_select);
+        let mut accs: Vec<Option<ScalarValue>> = vec![None; folds.len()];
+        let mut last_pos: Vec<i64> = vec![i64::MIN / 2; folds.len()];
+        let mut posbuf: Vec<usize> = vec![0; chunk];
+        for ci in chunk_s..chunk_e {
+            let c0 = ci * chunk;
+            let c1 = (c0 + chunk).min(domain);
+            // Loop 1: emit qualifying positions into the chunk-local
+            // buffer (cache resident).
+            let mut count = 0usize;
+            if self.opts.predicated_select {
+                for i in c0..c1 {
+                    let t = sel
+                        .eval(i, &mut env)
+                        .map(|v| v.is_truthy())
+                        .unwrap_or(false);
+                    posbuf[count] = i;
+                    count += t as usize;
+                    if env.counting {
+                        env.profile.int_ops += 1;
+                        env.profile.write_bytes += 8;
+                    }
+                }
+            } else {
+                for i in c0..c1 {
+                    let t = sel
+                        .eval(i, &mut env)
+                        .map(|v| v.is_truthy())
+                        .unwrap_or(false);
+                    env.count_branch(site, t);
+                    if t {
+                        posbuf[count] = i;
+                        count += 1;
+                        if env.counting {
+                            env.profile.write_bytes += 8;
+                        }
+                    }
+                }
+            }
+            // Loop 2: resolve positions and accumulate.
+            for &p in &posbuf[..count] {
+                for (fi, f) in folds.iter().enumerate() {
+                    let src = sources[f.src.index()].as_ref().expect("vs source").clone();
+                    if let Some(v) = src.get(f.src_col, p) {
+                        let v = v.cast(f.out_ty);
+                        accs[fi] = Some(match accs[fi] {
+                            None => v,
+                            Some(a) => combine(f.agg, a, v),
+                        });
+                        if env.counting {
+                            // Monotone positions: near-previous is a
+                            // cache hit, jumps are random accesses.
+                            let lastp = last_pos[fi];
+                            last_pos[fi] = p as i64;
+                            if (p as i64 - lastp).unsigned_abs() <= 8 {
+                                env.profile.seq_read_bytes += 8;
+                            } else {
+                                env.profile.rand_reads += 1;
+                            }
+                        }
+                        count_acc(&mut env, f.out_ty);
+                    }
+                }
+            }
+        }
+        (accs, env.profile)
+    }
+
+    /// Evaluate a scatter's position and value expressions over one
+    /// morsel, compacting the qualifying rows. The caller applies the
+    /// writes serially in morsel order (input order), so conflicting
+    /// positions resolve exactly as the serial loop would.
+    fn scatter_eval_range(
+        &self,
+        cp: &CompiledProgram,
+        cols: &[(voodoo_core::KeyPath, ScalarType, Arc<Expr>)],
+        pos: &Expr,
+        out_len: usize,
+        (s, e): (usize, usize),
+        sources: &[Option<Arc<MatVec>>],
+    ) -> (Vec<usize>, Vec<Column>, EventProfile) {
+        let mut env = Env::new(
+            sources,
+            self.opts.count_events,
+            cp.branch_sites,
+            cp.gather_sites,
+        )
+        .with_predication(self.opts.predicated_select);
+        let mut hits: Vec<usize> = Vec::new();
+        let mut vals: Vec<Column> = cols
+            .iter()
+            .map(|(_, ty, _)| Column::empties(*ty, 0))
+            .collect();
+        for i in s..e {
+            let Some(p) = pos.eval(i, &mut env) else {
+                continue;
+            };
+            let p = p.as_i64();
+            if p < 0 || p as usize >= out_len {
+                continue;
+            }
+            hits.push(p as usize);
+            for (ci, (_, _, expr)) in cols.iter().enumerate() {
+                vals[ci].push(expr.eval(i, &mut env));
+            }
+            if env.counting {
+                env.profile.rand_writes += cols.len() as u64;
+            }
+        }
+        (hits, vals, env.profile)
+    }
+
+    /// Partial grouped aggregation over one element range: per-bucket
+    /// counts, the bucket's (single) key, and per-fold accumulators.
+    /// Shared by the serial fused path (one range covering the domain)
+    /// and the morsel workers; `mismatch` reports a bucket holding more
+    /// than one key run, which sends the whole unit to the generic
+    /// fallback.
+    #[allow(clippy::too_many_arguments)]
+    fn group_agg_range(
+        &self,
+        cp: &CompiledProgram,
+        key: &Expr,
+        folds: &[GroupFold],
+        piv: &[i64],
+        nb: usize,
+        (s, e): (usize, usize),
+        sources: &[Option<Arc<MatVec>>],
+    ) -> GroupPartial {
+        let mut env = Env::new(
+            sources,
+            self.opts.count_events,
+            cp.branch_sites,
+            cp.gather_sites,
+        )
+        .with_predication(self.opts.predicated_select);
+        let mut counts = vec![0usize; nb];
+        let mut first_key: Vec<Option<Option<i64>>> = vec![None; nb];
+        let mut accs: Vec<Vec<Option<ScalarValue>>> =
+            folds.iter().map(|_| vec![None; nb]).collect();
+        let mut mismatch = false;
+        for i in s..e {
+            let kv = key.eval(i, &mut env).map(to_key);
+            let b = bucket_of(piv, kv);
+            match &first_key[b] {
+                None => first_key[b] = Some(kv),
+                Some(prev) if *prev != kv => {
+                    mismatch = true;
+                    break;
+                }
+                _ => {}
+            }
+            counts[b] += 1;
+            for (fi, f) in folds.iter().enumerate() {
+                if let Some(v) = f.val.eval(i, &mut env) {
+                    let v = v.cast(f.out_ty);
+                    accs[fi][b] = Some(match accs[fi][b] {
+                        None => v,
+                        Some(a) => combine(f.agg, a, v),
+                    });
+                    count_acc(&mut env, f.out_ty);
+                }
+            }
+            if env.counting {
+                env.profile.int_ops += 1; // bucket computation
+            }
+        }
+        GroupPartial {
+            counts,
+            first_key,
+            accs,
+            mismatch,
+            profile: env.profile,
+        }
+    }
+
     /// Virtual scatter (§3.1.3): one accumulation pass over dense buckets,
     /// with a runtime guard that each bucket holds a single key run (else
-    /// it falls back to the generic scatter + dynamic fold).
+    /// it falls back to the generic scatter + dynamic fold). With morsel
+    /// parallelism the pass runs as per-morsel partial aggregations
+    /// (partial per-partition tables) merged in morsel order; a bucket
+    /// whose key disagrees *across* morsels is a mismatch too.
     fn exec_group_agg(
         &self,
         cp: &CompiledProgram,
@@ -692,14 +1230,18 @@ impl Executor {
             unreachable!()
         };
         let sources: &[Option<Arc<MatVec>>] = values;
-        let mut env = Env::new(
-            sources,
-            self.opts.count_events,
-            cp.branch_sites,
-            cp.gather_sites,
-        )
-        .with_predication(self.opts.predicated_select);
-        let piv = eval_pivots(pivot, *pivot_len, &mut env);
+        let piv = {
+            let mut env = Env::new(
+                sources,
+                self.opts.count_events,
+                cp.branch_sites,
+                cp.gather_sites,
+            )
+            .with_predication(self.opts.predicated_select);
+            let piv = eval_pivots(pivot, *pivot_len, &mut env);
+            profile.merge(&env.profile);
+            piv
+        };
         let nb = piv.len().max(1);
         let mut counts = vec![0usize; nb];
         let mut first_key: Vec<Option<Option<i64>>> = vec![None; nb];
@@ -707,34 +1249,80 @@ impl Executor {
             folds.iter().map(|_| vec![None; nb]).collect();
         let mut mismatch = *out_len != *domain;
         if !mismatch {
-            for i in 0..*domain {
-                let kv = key.eval(i, &mut env).map(to_key);
-                let b = bucket_of(&piv, kv);
-                match &first_key[b] {
-                    None => first_key[b] = Some(kv),
-                    Some(prev) if *prev != kv => {
-                        mismatch = true;
+            let threads = self.opts.effective_threads();
+            let par_ok = threads > 1
+                && self.opts.worth_partitioning(*domain)
+                && folds.iter().all(|f| !f.out_ty.is_float());
+            let parts = Partitioning::for_len(*domain, if par_ok { threads } else { 1 });
+            if parts.count() > 1 {
+                note_partitions(parts.count());
+                let key_expr: &Expr = key.as_ref();
+                let piv_ref: &[i64] = &piv;
+                let run_worker = |m: Morsel| -> GroupPartial {
+                    self.group_agg_range(
+                        cp,
+                        key_expr,
+                        folds,
+                        piv_ref,
+                        nb,
+                        (m.start, m.end),
+                        sources,
+                    )
+                };
+                let partials: Vec<GroupPartial> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = parts
+                        .morsels()
+                        .iter()
+                        .map(|m| scope.spawn(move || run_worker(*m)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("group-agg worker panicked"))
+                        .collect()
+                });
+                for p in &partials {
+                    profile.merge(&p.profile);
+                }
+                for p in partials {
+                    mismatch |= p.mismatch;
+                    if mismatch {
                         break;
                     }
-                    _ => {}
-                }
-                counts[b] += 1;
-                for (fi, f) in folds.iter().enumerate() {
-                    if let Some(v) = f.val.eval(i, &mut env) {
-                        let v = v.cast(f.out_ty);
-                        accs[fi][b] = Some(match accs[fi][b] {
-                            None => v,
-                            Some(a) => combine(f.agg, a, v),
-                        });
-                        count_acc(&mut env, f.out_ty);
+                    for b in 0..nb {
+                        if let Some(kv) = p.first_key[b] {
+                            match &first_key[b] {
+                                None => first_key[b] = Some(kv),
+                                Some(prev) if *prev != kv => mismatch = true,
+                                _ => {}
+                            }
+                        }
+                        counts[b] += p.counts[b];
+                    }
+                    for (fi, partial_accs) in p.accs.into_iter().enumerate() {
+                        for (b, v) in partial_accs.into_iter().enumerate() {
+                            if let Some(v) = v {
+                                accs[fi][b] = Some(match accs[fi][b] {
+                                    None => v,
+                                    Some(a) => combine(folds[fi].agg, a, v),
+                                });
+                            }
+                        }
+                    }
+                    if mismatch {
+                        break;
                     }
                 }
-                if env.counting {
-                    env.profile.int_ops += 1; // bucket computation
-                }
+            } else {
+                let p =
+                    self.group_agg_range(cp, key.as_ref(), folds, &piv, nb, (0, *domain), sources);
+                profile.merge(&p.profile);
+                mismatch |= p.mismatch;
+                counts = p.counts;
+                first_key = p.first_key;
+                accs = p.accs;
             }
         }
-        profile.merge(&env.profile);
+        let _ = &first_key;
         profile.work_items += *domain as u64;
         profile.elements += *domain as u64;
         profile.max_par = (*domain as u64 / 1024).max(1);
@@ -863,6 +1451,53 @@ impl Executor {
         profile.merge(&env_profile);
         Ok(())
     }
+}
+
+/// Slots an output column occupies: the whole domain for `Full` layout,
+/// one slot per run for `Dense` (fold results).
+fn full_len_of(layout: Layout, domain: usize, run_len: usize) -> usize {
+    match layout {
+        Layout::Full => domain,
+        Layout::Dense => {
+            if domain == 0 {
+                0
+            } else {
+                domain.div_ceil(run_len)
+            }
+        }
+    }
+}
+
+/// Shared epilogue of the serial and morsel fragment paths: attach the
+/// merged output column to (or create) its statement's vector, record
+/// optional partition-bounds metadata, and wrap per layout.
+fn attach_fragment_output(
+    values: &mut [Option<Arc<MatVec>>],
+    spec: &crate::plan::OutSpec,
+    col: Column,
+    full_len: usize,
+    run_len: usize,
+    domain: usize,
+    bounds: Option<Vec<usize>>,
+) {
+    let existing = values[spec.stmt.index()].take();
+    let mut sv = match existing {
+        Some(m) => m.storage().clone(),
+        None => StructuredVector::with_len(full_len),
+    };
+    sv.insert(spec.kp.clone(), col);
+    if let Some(b) = bounds {
+        sv.set_partition_bounds(b);
+    }
+    let wrapped = match spec.layout {
+        Layout::Full => MatVec::Full(sv),
+        Layout::Dense => MatVec::FoldDense {
+            values: sv,
+            run_len,
+            orig_len: domain,
+        },
+    };
+    values[spec.stmt.index()] = Some(Arc::new(wrapped));
 }
 
 fn combine(agg: AggKind, a: ScalarValue, b: ScalarValue) -> ScalarValue {

@@ -21,7 +21,9 @@ fn assert_equivalent(cat: &Catalog, p: &Program) {
     let cp = Compiler::new(cat).compile(p).expect("compile");
     for &threads in &[1usize, 3] {
         let exec = Executor::new(ExecOptions {
-            threads,
+            parallelism: crate::exec::Parallelism::Fixed(threads),
+            // Tiny fixture domains must still exercise the morsel path.
+            min_parallel_domain: 1,
             ..Default::default()
         });
         let (compiled, _) = exec.run(&cp, cat).expect("exec");

@@ -253,10 +253,29 @@ impl Column {
 /// A structured vector: a fixed number of slots with columnar leaf fields.
 ///
 /// Invariant: every column has exactly `len` slots.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Vectors optionally carry **partition metadata** — the fence-post
+/// boundaries of the morsels they were produced across when a backend
+/// executed the producing operator partition-parallel. The metadata is
+/// advisory layout information (paper §2.3: parallelism is data-layout
+/// controlled): it never affects the values, and two vectors differing
+/// only in partition bounds compare equal.
+#[derive(Debug, Clone)]
 pub struct StructuredVector {
     len: usize,
     fields: Vec<(KeyPath, Column)>,
+    /// Morsel fence posts (`starts` + final `end`) when produced
+    /// partition-parallel; `None` for serially produced vectors.
+    partitions: Option<std::sync::Arc<Vec<usize>>>,
+}
+
+impl PartialEq for StructuredVector {
+    /// Value equality: slot count and fields only. Partition metadata is
+    /// a layout annotation, not data — partition-parallel results must
+    /// compare equal to their serial oracles.
+    fn eq(&self, other: &StructuredVector) -> bool {
+        self.len == other.len && self.fields == other.fields
+    }
 }
 
 impl StructuredVector {
@@ -265,6 +284,7 @@ impl StructuredVector {
         StructuredVector {
             len,
             fields: Vec::new(),
+            partitions: None,
         }
     }
 
@@ -274,6 +294,7 @@ impl StructuredVector {
         StructuredVector {
             len,
             fields: vec![(kp.into(), col)],
+            partitions: None,
         }
     }
 
@@ -373,6 +394,28 @@ impl StructuredVector {
         self.fields.iter().map(|(_, c)| c.get(row)).collect()
     }
 
+    /// Record the morsel boundaries this vector was produced across
+    /// (fence posts: morsel starts plus the final end). Backends call
+    /// this on partition-parallel outputs; it never changes the values.
+    pub fn set_partition_bounds(&mut self, bounds: Vec<usize>) {
+        self.partitions = Some(std::sync::Arc::new(bounds));
+    }
+
+    /// The morsel fence posts this vector was produced across, if it was
+    /// produced partition-parallel.
+    pub fn partition_bounds(&self) -> Option<&[usize]> {
+        self.partitions.as_deref().map(|v| v.as_slice())
+    }
+
+    /// Number of morsels this vector was produced across (1 when it was
+    /// produced serially).
+    pub fn partition_count(&self) -> usize {
+        self.partitions
+            .as_deref()
+            .map(|b| b.len().saturating_sub(1).max(1))
+            .unwrap_or(1)
+    }
+
     /// A convenience single-column accessor for 1-field vectors.
     pub fn sole_column(&self) -> Option<(&KeyPath, &Column)> {
         if self.fields.len() == 1 {
@@ -456,6 +499,20 @@ mod tests {
     fn insert_checks_length() {
         let mut v = StructuredVector::with_len(2);
         v.insert(".x", Column::from_buffer(Buffer::I32(vec![1])));
+    }
+
+    #[test]
+    fn partition_bounds_are_metadata_not_data() {
+        let mut a = StructuredVector::with_len(4);
+        a.insert(".x", Column::from_buffer(Buffer::I64(vec![1, 2, 3, 4])));
+        let mut b = a.clone();
+        assert_eq!(a.partition_count(), 1);
+        assert!(a.partition_bounds().is_none());
+        b.set_partition_bounds(vec![0, 2, 4]);
+        assert_eq!(b.partition_count(), 2);
+        assert_eq!(b.partition_bounds(), Some(&[0, 2, 4][..]));
+        // Bit-identical data ⇒ equal, regardless of how it was produced.
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -257,7 +257,7 @@ impl GpuSimulator {
         let exec = Executor::new(ExecOptions {
             count_events: true,
             predicated_select: self.predicated,
-            threads: 1,
+            ..ExecOptions::default()
         });
         let (out, _, unit_profiles) = exec.run_with_unit_profiles(cp, catalog)?;
         Ok((out, self.model.price(&unit_profiles)))

@@ -9,6 +9,13 @@
 //! materializes every intermediate [`StructuredVector`]. It defines the
 //! *semantics* of every operator; the compiled backend
 //! (`voodoo-compile`) is differentially tested against it.
+//!
+//! The interpreter is deliberately **strictly serial** — it never
+//! partitions work, whatever the engine's parallelism settings. That
+//! makes it the reference oracle for morsel-driven partitioned
+//! execution: every partition-parallel result the compiled CPU backend
+//! produces is pinned bit-identical to this evaluator (the `partition`
+//! integration suite sweeps partition counts against it).
 
 mod eval;
 

@@ -151,7 +151,8 @@ pub fn measure_candidate(
     let backend = CpuBackend::new(ExecOptions {
         count_events: false,
         predicated_select: candidate.predicated_select,
-        threads: device.threads.max(1),
+        parallelism: voodoo_compile::exec::Parallelism::Fixed(device.threads.max(1)),
+        ..ExecOptions::default()
     });
     // Prepared once, executed repeatedly — warm up, then best of three
     // (standard microbench hygiene at sample scale).

@@ -28,9 +28,8 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use voodoo_backend::{
-    Backend, CacheStats, CpuBackend, InterpBackend, ShardedPlanCache, SimGpuBackend,
+    Backend, CacheStats, CpuBackend, InterpBackend, Parallelism, ShardedPlanCache, SimGpuBackend,
 };
-use voodoo_compile::exec::ExecOptions;
 use voodoo_core::{Program, Result, VoodooError};
 use voodoo_interp::ExecOutput;
 use voodoo_storage::{Catalog, CatalogSnapshot};
@@ -62,12 +61,33 @@ pub struct EngineMetrics {
     /// Statements refused admission — queue-full sheds plus admission
     /// deadline expiries, across every server over this engine.
     pub sheds: u64,
+    /// Cumulative morsel fan-out: the maximum partition count any
+    /// execution unit used, summed over statements (a fully serial
+    /// statement contributes 1). `partitions_used / queries_served` is
+    /// the mean per-statement fan-out — the engine's parallel-speedup
+    /// upper-bound accounting.
+    pub partitions_used: u64,
+    /// Statements whose execution fanned across more than one partition.
+    pub parallel_statements: u64,
     /// Median execution latency over the reservoir window, in seconds.
     pub p50_seconds: Option<f64>,
     /// 99th-percentile execution latency over the window, in seconds.
     pub p99_seconds: Option<f64>,
     /// Latency samples currently in the reservoir (≤ its capacity).
     pub latency_samples: usize,
+}
+
+impl EngineMetrics {
+    /// Mean morsel fan-out per served statement (1.0 = fully serial
+    /// serving): the idealized intra-statement speedup bound implied by
+    /// the partition accounting.
+    pub fn mean_partitions(&self) -> f64 {
+        if self.queries_served == 0 {
+            1.0
+        } else {
+            self.partitions_used as f64 / self.queries_served as f64
+        }
+    }
 }
 
 /// A fixed-size sliding-window latency reservoir.
@@ -109,6 +129,8 @@ struct Metrics {
     batches: AtomicU64,
     queue_depth: AtomicU64,
     sheds: AtomicU64,
+    partitions: AtomicU64,
+    parallel_statements: AtomicU64,
     reservoir: Mutex<Reservoir>,
 }
 
@@ -120,6 +142,8 @@ impl Metrics {
             batches: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             sheds: AtomicU64::new(0),
+            partitions: AtomicU64::new(0),
+            parallel_statements: AtomicU64::new(0),
             reservoir: Mutex::new(Reservoir::new()),
         }
     }
@@ -222,15 +246,17 @@ impl Engine {
         if catalog.table("part").is_some() && catalog.table("lineitem").is_some() {
             crate::prepare(&mut catalog);
         }
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(8);
         let defaults: [(&str, Arc<dyn Backend>); 3] = [
+            // The interpreter stays strictly serial: it is the reference
+            // oracle every partition-parallel result is pinned against.
             (backends::INTERP, Arc::new(InterpBackend::new())),
+            // The default CPU backend fans statements across the machine
+            // (`Parallelism::Auto`), capped per serving thread by the
+            // worker pool's parallelism budget so intra-statement morsels
+            // and admission workers never oversubscribe cores together.
             (
                 backends::CPU,
-                Arc::new(CpuBackend::with_threads(threads).with_optimize(true)),
+                Arc::new(CpuBackend::auto().with_optimize(true)),
             ),
             (backends::GPU, Arc::new(SimGpuBackend::titan_x())),
         ];
@@ -327,6 +353,21 @@ impl Engine {
             });
         }
         self
+    }
+
+    /// Re-register the `"cpu"` backend with a new intra-statement
+    /// [`Parallelism`] setting (`Auto` per machine, `Fixed(n)` morsels,
+    /// `Off` for strictly serial execution).
+    ///
+    /// Replacement starts a fresh cache epoch — and the partitioning knob
+    /// is itself part of every plan key ([`Backend::cache_params`]) — so
+    /// plans prepared under the old setting are never served under the
+    /// new one.
+    pub fn set_cpu_parallelism(&self, parallelism: Parallelism) -> &Self {
+        self.register(
+            backends::CPU,
+            Arc::new(CpuBackend::parallel(parallelism).with_optimize(true)),
+        )
     }
 
     /// Set the default backend for [`crate::Statement::run`].
@@ -428,22 +469,39 @@ impl Engine {
             batches_served: self.metrics.batches.load(Ordering::Relaxed),
             queue_depth: self.metrics.queue_depth.load(Ordering::Relaxed),
             sheds: self.metrics.sheds.load(Ordering::Relaxed),
+            partitions_used: self.metrics.partitions.load(Ordering::Relaxed),
+            parallel_statements: self.metrics.parallel_statements.load(Ordering::Relaxed),
             p50_seconds: Reservoir::quantile(&sorted, 0.50),
             p99_seconds: Reservoir::quantile(&sorted, 0.99),
             latency_samples: sorted.len(),
         }
     }
 
-    pub(crate) fn record_execution(&self, started: Instant, ok: bool) {
+    /// Record one statement execution: latency, outcome, and the morsel
+    /// fan-out its execution units reached (1 = fully serial).
+    pub(crate) fn record_execution_partitioned(&self, started: Instant, ok: bool, partitions: u64) {
         self.metrics.queries.fetch_add(1, Ordering::Relaxed);
         if !ok {
             self.metrics.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        let partitions = partitions.max(1);
+        self.metrics
+            .partitions
+            .fetch_add(partitions, Ordering::Relaxed);
+        if partitions > 1 {
+            self.metrics
+                .parallel_statements
+                .fetch_add(1, Ordering::Relaxed);
         }
         self.metrics
             .reservoir
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .record(started.elapsed().as_secs_f64());
+    }
+
+    pub(crate) fn record_execution(&self, started: Instant, ok: bool) {
+        self.record_execution_partitioned(started, ok, 1);
     }
 
     pub(crate) fn record_shed(&self) {
@@ -485,6 +543,12 @@ impl Engine {
     /// uses, so batch work shows up in the queue-depth gauge and a
     /// panicking statement fails only its own slot.
     ///
+    /// The whole batch executes against **one** catalog snapshot, pinned
+    /// here before admission: every slot shares the pin instead of
+    /// re-taking the engine's read lock (and bumping the snapshot `Arc`)
+    /// per statement, and a writer publishing mid-batch cannot make two
+    /// slots of one batch see different catalogs.
+    ///
     /// Results come back in input order; each statement fails or succeeds
     /// independently, like a serving loop would want.
     pub fn run_batch(self: &Arc<Self>, specs: &[StatementSpec]) -> Vec<Result<StatementOutput>> {
@@ -492,6 +556,7 @@ impl Engine {
         if specs.is_empty() {
             return Vec::new();
         }
+        let snapshot = self.snapshot();
         let workers = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
@@ -505,7 +570,7 @@ impl Engine {
             .iter()
             .map(|spec| {
                 server
-                    .submit(spec.clone())
+                    .submit(spec.clone().pinned_to(snapshot.clone()))
                     .expect("queue sized to the batch cannot shed")
             })
             .collect();
@@ -533,10 +598,13 @@ impl Engine {
                 }
             },
         };
-        match &spec.backend {
-            Some(b) => stmt.run_on(b),
-            None => stmt.run(),
-        }
+        let backend = match &spec.backend {
+            Some(b) => b.clone(),
+            None => self.default_backend(),
+        };
+        // Batch statements run against their batch's pinned snapshot
+        // (no per-slot re-pin); ad-hoc specs pin the current one.
+        stmt.run_on_pinned(&backend, spec.pinned.as_ref())
     }
 }
 
@@ -590,6 +658,10 @@ enum SpecKind {
 pub struct StatementSpec {
     kind: SpecKind,
     backend: Option<String>,
+    /// A catalog snapshot this statement must execute against instead of
+    /// pinning the engine's current one ([`Engine::run_batch`] pins once
+    /// per batch and shares the pin across every slot).
+    pinned: Option<CatalogSnapshot>,
 }
 
 impl StatementSpec {
@@ -598,6 +670,7 @@ impl StatementSpec {
         StatementSpec {
             kind: SpecKind::Program(p),
             backend: None,
+            pinned: None,
         }
     }
 
@@ -606,6 +679,7 @@ impl StatementSpec {
         StatementSpec {
             kind: SpecKind::Tpch(q),
             backend: None,
+            pinned: None,
         }
     }
 
@@ -615,12 +689,19 @@ impl StatementSpec {
         StatementSpec {
             kind: SpecKind::Sql(text.into()),
             backend: None,
+            pinned: None,
         }
     }
 
     /// Pin this statement to a named backend instead of the default.
     pub fn on(mut self, backend: &str) -> StatementSpec {
         self.backend = Some(backend.to_string());
+        self
+    }
+
+    /// Pin this statement to a specific catalog snapshot.
+    pub(crate) fn pinned_to(mut self, snapshot: CatalogSnapshot) -> StatementSpec {
+        self.pinned = Some(snapshot);
         self
     }
 }
@@ -680,10 +761,7 @@ pub fn run_interp(cat: &Catalog, q: Query) -> QueryResult {
 /// Run a query on the compiled CPU backend.
 #[deprecated(note = "use Session::query(q).run() instead")]
 pub fn run_compiled(cat: &Catalog, q: Query, threads: usize) -> QueryResult {
-    let backend = CpuBackend::new(ExecOptions {
-        threads,
-        ..Default::default()
-    });
+    let backend = CpuBackend::with_threads(threads);
     run_shim_through_queue(cat, q, Arc::new(backend))
 }
 
@@ -694,10 +772,6 @@ pub fn run_compiled(cat: &Catalog, q: Query, threads: usize) -> QueryResult {
 /// shrink wherever the frontend emitted redundant control vectors.
 #[deprecated(note = "use Session (its cpu backend normalizes by default) instead")]
 pub fn run_compiled_optimized(cat: &Catalog, q: Query, threads: usize) -> QueryResult {
-    let backend = CpuBackend::new(ExecOptions {
-        threads,
-        ..Default::default()
-    })
-    .with_optimize(true);
+    let backend = CpuBackend::with_threads(threads).with_optimize(true);
     run_shim_through_queue(cat, q, Arc::new(backend))
 }

@@ -31,6 +31,27 @@
 //!   concurrently against one engine,
 //! * [`sql`] — a small SQL subset parser lowered through the same builder
 //!   (single-table `SELECT ... FROM ... WHERE ... GROUP BY`).
+//!
+//! # Parallel execution
+//!
+//! The engine is parallel on two axes. *Across* statements: any number
+//! of sessions/serve workers execute concurrently against immutable
+//! catalog snapshots. *Within* a statement: the compiled CPU backend
+//! fans hot kernels across storage-layer morsels
+//! (`voodoo_storage::Partitioning`), merged in morsel order so results
+//! are bit-identical to the serial interpreter oracle. The knob is
+//! [`Engine::set_cpu_parallelism`] /
+//! [`session::Session::set_cpu_parallelism`]
+//! (`Off` | `Fixed(n)` | `Auto`); plan caching keys on it, so switching
+//! never serves a plan compiled under another setting. Under
+//! [`serve`], each worker thread carries an intra-statement parallelism
+//! budget of `cores / workers` — statement fan-out and the admission
+//! pool compose to the machine rather than oversubscribing it (prefer
+//! fewer serve workers when statements are big and scan-bound, more
+//! when they are small and latency-bound). [`EngineMetrics`] reports
+//! `partitions_used` / `parallel_statements` (and
+//! [`EngineMetrics::mean_partitions`]) so serving dashboards can see
+//! the realized fan-out.
 
 pub mod builder;
 pub mod engine;

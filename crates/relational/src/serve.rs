@@ -575,12 +575,24 @@ impl ServerHandle {
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
         });
+        // Split the machine between the admission pool and intra-statement
+        // morsel workers: each worker thread carries a parallelism budget
+        // of `cores / workers`, which caps what `Parallelism::Auto` (and
+        // even `Fixed(n)`) statements fan out to, so a saturated pool
+        // composes to the machine instead of `workers × cores`.
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let intra_budget = (cores / worker_count).max(1);
         let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("voodoo-serve-{i}"))
-                    .spawn(move || worker_loop(shared))
+                    .spawn(move || {
+                        voodoo_compile::exec::set_parallelism_budget(Some(intra_budget));
+                        worker_loop(shared)
+                    })
                     .expect("spawn serve worker")
             })
             .collect();

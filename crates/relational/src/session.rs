@@ -205,13 +205,34 @@ impl Statement {
     /// ones that fail before execution starts (e.g. an unknown backend
     /// name): a serving loop wants its failure rate to cover those.
     pub fn run_on(&self, backend: &str) -> Result<StatementOutput> {
+        self.run_on_pinned(backend, None)
+    }
+
+    /// [`Self::run_on`] against an explicit catalog snapshot (`None` pins
+    /// the engine's current one). Batch execution passes the batch-wide
+    /// pin here so slots share one snapshot instead of re-pinning each.
+    pub(crate) fn run_on_pinned(
+        &self,
+        backend: &str,
+        pinned: Option<&CatalogSnapshot>,
+    ) -> Result<StatementOutput> {
         let started = Instant::now();
+        voodoo_compile::exec::partition_trace_begin();
         let result = (|| {
             let backend = self.engine.backend_arc(backend)?;
-            let cat = self.engine.snapshot();
-            self.execute_with(&backend, &cat)
+            let held;
+            let cat: &CatalogSnapshot = match pinned {
+                Some(snapshot) => snapshot,
+                None => {
+                    held = self.engine.snapshot();
+                    &held
+                }
+            };
+            self.execute_with(&backend, cat)
         })();
-        self.engine.record_execution(started, result.is_ok());
+        let partitions = voodoo_compile::exec::partition_trace_end();
+        self.engine
+            .record_execution_partitioned(started, result.is_ok(), partitions);
         result
     }
 
@@ -299,6 +320,7 @@ impl Statement {
             simulated_seconds: None,
         };
         let started = Instant::now();
+        voodoo_compile::exec::partition_trace_begin();
         let result = (|| match &self.kind {
             StatementKind::Program(p) => {
                 let plan = self.engine.plan_for(&backend, p, &cat)?;
@@ -322,7 +344,9 @@ impl Statement {
                 Ok(())
             }
         })();
-        self.engine.record_execution(started, result.is_ok());
+        let partitions = voodoo_compile::exec::partition_trace_end();
+        self.engine
+            .record_execution_partitioned(started, result.is_ok(), partitions);
         result.map(|()| acc)
     }
 }
@@ -403,6 +427,14 @@ impl Session {
     /// Set the default backend for [`Statement::run`].
     pub fn set_default_backend(&self, name: &str) -> Result<()> {
         self.engine.set_default_backend(name)
+    }
+
+    /// Re-register the `"cpu"` backend with a new intra-statement
+    /// [`voodoo_backend::Parallelism`] setting. See
+    /// [`Engine::set_cpu_parallelism`].
+    pub fn set_cpu_parallelism(&self, parallelism: voodoo_backend::Parallelism) -> &Self {
+        self.engine.set_cpu_parallelism(parallelism);
+        self
     }
 
     /// The default backend's name.
@@ -580,15 +612,88 @@ mod tests {
     }
 
     #[test]
-    fn catalog_mutation_invalidates_plans() {
+    fn catalog_mutation_invalidates_only_touched_tables() {
         let s = session();
         s.query(Query::Q6).run().unwrap();
         let misses = s.cache_stats().misses;
-        // Any shape-affecting mutation bumps the version …
+        // Mutating an UNRELATED table must leave Q6's plans hot — the
+        // whole point of per-table versioning (Q6 reads only lineitem).
         s.catalog_mut().put_i64_column("__scratch", &[1, 2, 3]);
         s.query(Query::Q6).run().unwrap();
-        // … so the statement re-prepared rather than reusing a stale plan.
+        assert_eq!(
+            s.cache_stats().misses,
+            misses,
+            "unrelated mutation must not invalidate lineitem plans"
+        );
+        // Touching lineitem itself invalidates: the statement re-prepares
+        // rather than reusing a stale plan.
+        s.catalog_mut().table_mut("lineitem");
+        s.query(Query::Q6).run().unwrap();
         assert!(s.cache_stats().misses > misses);
+    }
+
+    #[test]
+    fn run_batch_executes_against_one_pinned_snapshot() {
+        // The batch pins its snapshot before admission; a statement-slot
+        // execution must use that pin even if the live catalog moved on.
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("t", &[1, 2, 3, 4]);
+        let s = Session::new(cat);
+        let snapshot = s.catalog();
+        // Drop the table from the LIVE catalog…
+        s.mutate_catalog(|c| c.put_i64_column("t", &[100]));
+        // …then run a spec carrying the OLD pin through the engine's
+        // spec path: it must see the pinned 4-row table.
+        let mut p = Program::new();
+        let t = p.load("t");
+        let sum = p.fold_sum_global(t);
+        p.ret(sum);
+        let spec = StatementSpec::program(p).pinned_to(snapshot);
+        let out = s.engine().run_spec(&spec).unwrap();
+        assert_eq!(
+            out.raw().returns[0]
+                .value_at(0, &voodoo_core::KeyPath::val())
+                .map(|v| v.as_i64()),
+            Some(10),
+            "pinned snapshot, not the mutated live catalog"
+        );
+    }
+
+    #[test]
+    fn partition_metrics_track_morsel_fanout() {
+        use voodoo_backend::{CpuBackend, Parallelism};
+        use voodoo_compile::exec::ExecOptions;
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("t", &(0..10_000).collect::<Vec<_>>());
+        let s = Session::new(cat);
+        // A deliberately partition-eager backend (tiny min domain).
+        s.register(
+            "cpu-p4",
+            Arc::new(CpuBackend::new(ExecOptions {
+                parallelism: Parallelism::Fixed(4),
+                min_parallel_domain: 1,
+                ..ExecOptions::default()
+            })),
+        );
+        let mut p = Program::new();
+        let t = p.load("t");
+        let sum = p.fold_sum_global(t);
+        p.ret(sum);
+        let serial = s.program(p.clone()).run_on(backends::INTERP).unwrap();
+        let parallel = s.program(p).run_on("cpu-p4").unwrap();
+        assert_eq!(serial.raw().returns[0], parallel.raw().returns[0]);
+        let m = s.metrics();
+        assert!(
+            m.parallel_statements >= 1,
+            "the cpu-p4 run must count as parallel: {m:?}"
+        );
+        assert!(
+            m.partitions_used >= m.queries_served + 3,
+            "4-way fan-out recorded (partitions {} over {} statements)",
+            m.partitions_used,
+            m.queries_served
+        );
+        assert!(m.mean_partitions() > 1.0);
     }
 
     #[test]

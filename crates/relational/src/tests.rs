@@ -236,7 +236,8 @@ fn optimized_plans_match_unoptimized_on_all_queries() {
     crate::prepare(&mut cat);
     let plain_backend = CpuBackend::single_threaded();
     let optimized_backend = CpuBackend::new(ExecOptions {
-        threads: 2,
+        parallelism: voodoo_backend::Parallelism::Fixed(2),
+        min_parallel_domain: 1,
         ..Default::default()
     })
     .with_optimize(true);

@@ -3,8 +3,14 @@
 //! Tables are stored behind [`Arc`], so cloning a [`Catalog`] — and taking
 //! a [`CatalogSnapshot`] — is O(#tables), sharing every column buffer.
 //! Mutation copies only the touched table (copy-on-write via
-//! [`Arc::make_mut`]) and bumps the version counter, which is what the
-//! engine layer's prepared-plan caches key on.
+//! [`Arc::make_mut`]) and bumps the version counters. Versioning is
+//! **per table**: every table remembers the catalog-wide mutation tick at
+//! which it last changed ([`Catalog::table_version`]), and the engine
+//! layer's prepared-plan caches key on the versions of exactly the tables
+//! a program reads ([`Catalog::table_state`]) — so mutating table A never
+//! invalidates plans that only touch table B. The catalog-wide counter
+//! ([`Catalog::version`]) survives as a coarse "anything changed" tick
+//! for snapshot ordering and diagnostics.
 
 use std::collections::HashMap;
 use std::ops::Deref;
@@ -13,6 +19,8 @@ use std::sync::Arc;
 use voodoo_core::{
     Buffer, Column, KeyPath, ScalarType, ScalarValue, Schema, StructuredVector, TableProvider,
 };
+
+use crate::partition::{PartitionCache, Partitioning};
 
 /// Per-column statistics maintained on ingest.
 ///
@@ -136,6 +144,9 @@ pub struct Table {
     pub columns: Vec<TableColumn>,
     /// Declared foreign keys: column name → (target table, target column).
     pub foreign_keys: HashMap<String, (String, String)>,
+    /// The catalog mutation tick at which this table last changed
+    /// (maintained by [`Catalog`]; 0 for a table not yet inserted).
+    pub version: u64,
 }
 
 impl Table {
@@ -196,6 +207,9 @@ impl Table {
 pub struct Catalog {
     tables: HashMap<String, Arc<Table>>,
     version: u64,
+    /// Cached morsel layouts, shared across clones/snapshots (entries are
+    /// keyed by per-table version, so sharing is always safe).
+    partitions: PartitionCache,
 }
 
 impl Catalog {
@@ -204,11 +218,50 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// A monotonic mutation counter: bumped whenever a table is inserted,
-    /// replaced, or handed out mutably. Prepared-plan caches key on this
-    /// to invalidate plans compiled against stale schemas or sizes.
+    /// A monotonic mutation counter: bumped whenever *any* table is
+    /// inserted, replaced, or handed out mutably. Plan invalidation keys
+    /// on the finer-grained [`Catalog::table_state`]; this coarse tick
+    /// orders snapshots and feeds diagnostics.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The mutation tick at which `name` last changed, or `None` for an
+    /// unknown table. Monotonic per catalog lineage: any insert, replace
+    /// or mutable hand-out of the table bumps it.
+    pub fn table_version(&self, name: &str) -> Option<u64> {
+        self.tables.get(name).map(|t| t.version)
+    }
+
+    /// A collision-free fingerprint of the current state of the named
+    /// tables: `"name@version"` per table (`"name@-"` for an absent one),
+    /// `;`-joined in input order. Prepared-plan caches key on the
+    /// fingerprint of exactly the tables a program loads or persists, so
+    /// unrelated mutations leave cached plans hot.
+    pub fn table_state<'a>(&self, tables: impl IntoIterator<Item = &'a str>) -> String {
+        let mut s = String::new();
+        for name in tables {
+            if !s.is_empty() {
+                s.push(';');
+            }
+            s.push_str(name);
+            s.push('@');
+            match self.table_version(name) {
+                Some(v) => s.push_str(&v.to_string()),
+                None => s.push('-'),
+            }
+        }
+        s
+    }
+
+    /// The cached morsel layout slicing table `name` into at most `parts`
+    /// extents, or `None` for an unknown table. Layouts are computed once
+    /// per `(table, table-version, parts)` and shared across every clone
+    /// and snapshot of this catalog; mutating the table bumps its version
+    /// and thereby invalidates exactly its own layouts.
+    pub fn table_partitioning(&self, name: &str, parts: usize) -> Option<Arc<Partitioning>> {
+        let t = self.tables.get(name)?;
+        Some(self.partitions.get(name, t.version, t.len, parts))
     }
 
     /// An immutable, cheaply clonable snapshot of this catalog. Column
@@ -219,8 +272,9 @@ impl Catalog {
     }
 
     /// Insert (or replace) a table.
-    pub fn insert_table(&mut self, table: Table) {
+    pub fn insert_table(&mut self, mut table: Table) {
         self.version += 1;
+        table.version = self.version;
         self.tables.insert(table.name.clone(), Arc::new(table));
     }
 
@@ -235,7 +289,12 @@ impl Catalog {
     /// first, so existing snapshots keep their view.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
         self.version += 1;
-        self.tables.get_mut(name).map(Arc::make_mut)
+        let version = self.version;
+        self.tables.get_mut(name).map(|t| {
+            let t = Arc::make_mut(t);
+            t.version = version;
+            t
+        })
     }
 
     /// Names of all tables (unordered).
@@ -458,6 +517,49 @@ mod tests {
             .add_foreign_key("val", "t", "val");
         assert!(snap2.table("u").unwrap().foreign_keys.is_empty());
         assert_eq!(cat2.table("u").unwrap().foreign_keys.len(), 1);
+    }
+
+    #[test]
+    fn table_versions_move_independently() {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("a", &[1, 2]);
+        cat.put_i64_column("b", &[3, 4]);
+        let (va, vb) = (
+            cat.table_version("a").unwrap(),
+            cat.table_version("b").unwrap(),
+        );
+        assert_ne!(va, vb);
+        let state_b = cat.table_state(["b"]);
+        // Mutating `a` leaves `b`'s version — and fingerprint — untouched.
+        cat.put_i64_column("a", &[9]);
+        assert!(cat.table_version("a").unwrap() > va);
+        assert_eq!(cat.table_version("b"), Some(vb));
+        assert_eq!(cat.table_state(["b"]), state_b);
+        assert_ne!(cat.table_state(["a", "b"]), state_b);
+        // table_mut conservatively bumps the touched table only.
+        cat.table_mut("b").unwrap();
+        assert!(cat.table_version("b").unwrap() > vb);
+        // Absent tables fingerprint distinctly from any present version.
+        assert_eq!(cat.table_state(["nope"]), "nope@-");
+    }
+
+    #[test]
+    fn table_partitioning_is_cached_per_version() {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("t", &(0..10_000).collect::<Vec<_>>());
+        let a = cat.table_partitioning("t", 4).unwrap();
+        let b = cat.table_partitioning("t", 4).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "layout computed once per version");
+        assert_eq!(a.total_len(), 10_000);
+        // Snapshots share the cache (same Arc-ed layout)…
+        let snap = cat.snapshot();
+        assert!(Arc::ptr_eq(&snap.table_partitioning("t", 4).unwrap(), &a));
+        // …and mutating the table invalidates its layouts.
+        cat.put_i64_column("t", &(0..5_000).collect::<Vec<_>>());
+        let c = cat.table_partitioning("t", 4).unwrap();
+        assert_eq!(c.total_len(), 5_000);
+        assert!(!Arc::ptr_eq(&c, &a));
+        assert!(cat.table_partitioning("missing", 4).is_none());
     }
 
     #[test]

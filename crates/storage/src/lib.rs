@@ -11,8 +11,19 @@
 //! Tables are flat collections of named columns; loading a table as a
 //! Voodoo [`voodoo_core::StructuredVector`] exposes each column as a
 //! `.name` attribute.
+//!
+//! [`partition`] adds the morsel layer: a [`Partitioning`] slices a
+//! table's aligned columns into `P` contiguous extents — what the
+//! compiled executor fans statements across for intra-statement
+//! parallelism (per domain, via [`Partitioning::for_len`]); base-table
+//! layouts are additionally cached per `(table, table-version, P)`
+//! behind [`Catalog::table_partitioning`]. Versioning is per table
+//! ([`Catalog::table_version`] / [`Catalog::table_state`]), so mutating
+//! one table invalidates only its own plans and layouts.
 
 pub mod catalog;
+pub mod partition;
 pub mod persist;
 
 pub use catalog::{Catalog, CatalogSnapshot, ColumnStats, Table, TableColumn};
+pub use partition::{Morsel, PartitionCache, Partitioning, MORSEL_ALIGN};

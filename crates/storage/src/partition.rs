@@ -1,0 +1,257 @@
+//! Morsel partitioning: slicing a table's aligned columns into extents.
+//!
+//! The paper's central claim is that parallelism is *data-layout
+//! controlled*: the same algebra program runs sequential, SIMD-laned or
+//! multicore purely by how vectors are partitioned into extents (§2.3).
+//! This module is the storage-side half of that claim for the serving
+//! engine: a [`Partitioning`] slices the row range `[0, len)` of a table
+//! (every column shares the same row count, so one partitioning covers
+//! all of a table's columns) into `P` contiguous, cache-line-friendly
+//! **morsels**. The compiled executor fans hot kernels — selections,
+//! folds, grouped aggregation, the build side of joins — across these
+//! morsels on a scoped worker pool and merges the partials back into
+//! results bit-identical to the serial path.
+//!
+//! The executor computes layouts per *domain* with
+//! [`Partitioning::for_len`] (its domains include intermediates that are
+//! not tables). For base tables, [`crate::Catalog::table_partitioning`]
+//! additionally caches layouts keyed by `(table, table-version, P)` —
+//! the table-level entry point for engine-side consumers (dashboards,
+//! algebra-level program builders sizing their fold strategies) — and a
+//! table mutation (which bumps the table's version counter) invalidates
+//! exactly the affected layouts.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Morsel boundaries are aligned to this many rows (when the input is
+/// large enough to afford it): whole cache lines per worker, no false
+/// sharing on the write side, and SIMD-friendly extents.
+pub const MORSEL_ALIGN: usize = 1024;
+
+/// One contiguous extent of rows: `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// First row of the extent.
+    pub start: usize,
+    /// One past the last row.
+    pub end: usize,
+}
+
+impl Morsel {
+    /// Rows in the extent.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the extent holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// A slicing of `[0, len)` into at most `P` aligned, non-empty morsels.
+///
+/// Invariants: morsels are contiguous, in order, non-overlapping, and
+/// cover `[0, len)` exactly (an empty input has zero morsels). Every
+/// morsel start except the first is a multiple of [`MORSEL_ALIGN`]
+/// whenever `len >= P * MORSEL_ALIGN`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    len: usize,
+    morsels: Vec<Morsel>,
+}
+
+impl Partitioning {
+    /// Slice `[0, len)` into at most `parts` morsels.
+    ///
+    /// `parts` above `len` is clamped (a morsel is never empty); small
+    /// inputs split unaligned so `P`-way parallelism is still exercised,
+    /// large inputs get [`MORSEL_ALIGN`]-aligned boundaries.
+    pub fn for_len(len: usize, parts: usize) -> Partitioning {
+        let parts = parts.max(1);
+        if len == 0 {
+            return Partitioning {
+                len,
+                morsels: Vec::new(),
+            };
+        }
+        let target = parts.min(len);
+        let mut per = len.div_ceil(target);
+        if per >= MORSEL_ALIGN {
+            // Round the extent up to whole aligned blocks; the last
+            // morsel absorbs the remainder.
+            per = per.div_ceil(MORSEL_ALIGN) * MORSEL_ALIGN;
+        }
+        let morsels = (0..target)
+            .map(|i| Morsel {
+                start: i * per,
+                end: ((i + 1) * per).min(len),
+            })
+            .filter(|m| !m.is_empty())
+            .collect();
+        Partitioning { len, morsels }
+    }
+
+    /// The partitioned row count.
+    pub fn total_len(&self) -> usize {
+        self.len
+    }
+
+    /// The morsels, in row order.
+    pub fn morsels(&self) -> &[Morsel] {
+        &self.morsels
+    }
+
+    /// Number of morsels.
+    pub fn count(&self) -> usize {
+        self.morsels.len()
+    }
+
+    /// Fence-post boundaries (`starts` plus the final `end`): the
+    /// partition metadata recorded on vectors produced partition-parallel
+    /// (`voodoo_core::StructuredVector::partition_bounds`).
+    pub fn boundaries(&self) -> Vec<usize> {
+        let mut b: Vec<usize> = self.morsels.iter().map(|m| m.start).collect();
+        b.push(self.len);
+        b
+    }
+}
+
+/// A per-catalog cache of table partitionings, keyed by
+/// `(table name, table version, parts)`.
+///
+/// Shared (behind an [`Arc`]) across catalog clones and snapshots: the
+/// key carries the table's own version counter, so entries for a mutated
+/// table simply stop being looked up — and are pruned on the next insert
+/// — while other tables' layouts stay hot.
+#[derive(Clone, Default)]
+pub struct PartitionCache {
+    cached: Arc<Mutex<LayoutMap>>,
+}
+
+/// `(table name, table version, parts)` → cached layout.
+type LayoutMap = HashMap<(String, u64, usize), Arc<Partitioning>>;
+
+impl std::fmt::Debug for PartitionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entries = self
+            .cached
+            .lock()
+            .map(|m| m.len())
+            .unwrap_or_else(|e| e.into_inner().len());
+        f.debug_struct("PartitionCache")
+            .field("entries", &entries)
+            .finish()
+    }
+}
+
+impl PartitionCache {
+    /// Fetch (or compute and cache) the partitioning of a table with the
+    /// given row count at its current version.
+    ///
+    /// A hit is only served if its `total_len` matches `len`: two forked
+    /// catalog clones can independently assign one table the same version
+    /// number with *different* row counts (versions are monotonic per
+    /// lineage, not globally unique), and a layout covering the wrong row
+    /// range must never escape.
+    pub fn get(
+        &self,
+        table: &str,
+        table_version: u64,
+        len: usize,
+        parts: usize,
+    ) -> Arc<Partitioning> {
+        let key = (table.to_string(), table_version, parts.max(1));
+        let mut map = self.cached.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(p) = map.get(&key) {
+            if p.total_len() == len {
+                return Arc::clone(p);
+            }
+        }
+        // Prune layouts of stale versions of this table: they can never
+        // be looked up again (versions are monotonic), so dropping them
+        // keeps the cache bounded by live (table, parts) combinations.
+        map.retain(|(name, version, _), _| name != table || *version == table_version);
+        let p = Arc::new(Partitioning::for_len(len, parts));
+        map.insert(key, Arc::clone(&p));
+        p
+    }
+
+    /// Number of cached layouts (for tests and diagnostics).
+    pub fn entries(&self) -> usize {
+        self.cached.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_exactly_without_overlap() {
+        for (len, parts) in [(0usize, 4usize), (1, 4), (7, 3), (10_000, 4), (4096, 8)] {
+            let p = Partitioning::for_len(len, parts);
+            let mut covered = 0usize;
+            let mut prev_end = 0usize;
+            for m in p.morsels() {
+                assert_eq!(m.start, prev_end, "contiguous ({len}, {parts})");
+                assert!(!m.is_empty(), "no empty morsels ({len}, {parts})");
+                covered += m.len();
+                prev_end = m.end;
+            }
+            assert_eq!(covered, len, "full coverage ({len}, {parts})");
+            assert!(p.count() <= parts.max(1));
+        }
+    }
+
+    #[test]
+    fn large_inputs_get_aligned_boundaries() {
+        let p = Partitioning::for_len(10 * MORSEL_ALIGN + 17, 4);
+        for m in &p.morsels()[1..] {
+            assert_eq!(m.start % MORSEL_ALIGN, 0, "aligned start {}", m.start);
+        }
+        assert_eq!(p.boundaries().last(), Some(&(10 * MORSEL_ALIGN + 17)));
+    }
+
+    #[test]
+    fn parts_beyond_rows_clamp_to_singleton_morsels() {
+        let p = Partitioning::for_len(3, 8);
+        assert_eq!(p.count(), 3);
+        assert!(p.morsels().iter().all(|m| m.len() == 1));
+        let empty = Partitioning::for_len(0, 8);
+        assert_eq!(empty.count(), 0);
+        assert!(empty.boundaries() == vec![0]);
+    }
+
+    #[test]
+    fn cache_hit_requires_matching_len() {
+        // Forked clones can assign one table the same version with
+        // different row counts; a layout of the wrong length must be
+        // recomputed, not served.
+        let cache = PartitionCache::default();
+        let a = cache.get("t", 5, 10_000, 4);
+        assert_eq!(a.total_len(), 10_000);
+        let b = cache.get("t", 5, 6_000, 4);
+        assert_eq!(b.total_len(), 6_000, "stale-len layout must not escape");
+    }
+
+    #[test]
+    fn cache_shares_layouts_and_invalidates_per_version() {
+        let cache = PartitionCache::default();
+        let a = cache.get("t", 1, 10_000, 4);
+        let b = cache.get("t", 1, 10_000, 4);
+        assert!(Arc::ptr_eq(&a, &b), "same layout instance served");
+        assert_eq!(cache.entries(), 1);
+        // A different P is a distinct layout; a new version prunes both.
+        let _ = cache.get("t", 1, 10_000, 2);
+        assert_eq!(cache.entries(), 2);
+        let c = cache.get("t", 2, 12_000, 4);
+        assert_eq!(c.total_len(), 12_000);
+        assert_eq!(cache.entries(), 1, "stale-version layouts pruned");
+        // Other tables are untouched by pruning.
+        let _ = cache.get("u", 7, 100, 4);
+        let _ = cache.get("t", 3, 100, 4);
+        assert_eq!(cache.entries(), 2);
+    }
+}

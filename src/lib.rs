@@ -108,6 +108,42 @@
 //! assert!(m.queries_served >= 9 && m.p99_seconds.is_some());
 //! ```
 //!
+//! ## Parallel execution
+//!
+//! Statements don't just run concurrently — each statement can fan
+//! **across** cores. The storage layer slices a table's columns into
+//! aligned morsels ([`storage::Partitioning`], cached per table
+//! version), and the compiled CPU backend executes the hot kernels —
+//! selection, folds, grouped aggregation (partial per-partition tables
+//! merged in morsel order), the expression side of join builds —
+//! partition-parallel, **bit-identical** to the serial interpreter
+//! oracle (float sums stay serial: bit-identity beats reassociation).
+//! One knob picks the layout: `Parallelism::Off` (serial),
+//! `Fixed(n)`, or `Auto` (machine-sized, capped per serving thread).
+//!
+//! ```
+//! use voodoo::backend::Parallelism;
+//! use voodoo::relational::Session;
+//! use voodoo::tpch::queries::Query;
+//!
+//! let session = Session::tpch(0.002);
+//! let serial = session.query(Query::Q1).run_on("interp").unwrap();
+//! session.set_cpu_parallelism(Parallelism::Fixed(4));
+//! let partitioned = session.query(Query::Q1).run().unwrap();
+//! assert_eq!(serial.rows(), partitioned.rows()); // bit-identical
+//! // Morsel fan-out is first-class accounting.
+//! assert!(session.metrics().partitions_used >= session.metrics().queries_served);
+//! ```
+//!
+//! *Choosing P*: `Auto` is right for dedicated statements (it resolves
+//! to the core count, max 8); under the serving front door each worker
+//! thread carries a budget of `cores / workers`, so intra-statement
+//! morsels and the admission pool compose to the machine instead of
+//! oversubscribing it. `Fixed(n)` pins the layout regardless (still
+//! budget-capped when serving); small domains (< 4096 rows by default)
+//! stay serial because a thread spawn costs more than the scan. See
+//! `examples/scaling.rs` and `repro scaling` for the speedup sweep.
+//!
 //! ## Serving
 //!
 //! Under real traffic you don't want a thread per statement — you want a

@@ -182,15 +182,26 @@ fn catalog_mutation_mid_stream_evicts_stale_plans_instead_of_serving_them() {
 
     // A statement handle created *before* the mutation…
     let stmt = session.query(Query::Q6);
-    // …mid-stream registration of a new table bumps the catalog version.
+    // …mid-stream registration of an UNRELATED table bumps the catalog
+    // version but not lineitem's: per-table invalidation keeps Q6's
+    // plans hot.
     session
         .catalog_mut()
         .put_i64_column("mid_stream", &[1, 2, 3]);
     assert!(session.catalog().table("mid_stream").is_some());
+    let warm_rows = stmt.run().expect("warm").into_rows();
+    assert_eq!(before_rows, warm_rows);
+    assert_eq!(
+        session.cache_stats().misses,
+        before.misses,
+        "unrelated mutation must leave lineitem plans hot"
+    );
 
-    // The old handle re-prepares against the new snapshot: same rows,
-    // a new miss, and the stale plan is *evicted*, not served.
-    let after_rows = stmt.run().expect("warm").into_rows();
+    // Touching lineitem itself stales the plan: the old handle
+    // re-prepares against the new snapshot — same rows, a new miss, and
+    // the stale plan is *evicted*, not served.
+    session.catalog_mut().table_mut("lineitem");
+    let after_rows = stmt.run().expect("re-prepared").into_rows();
     assert_eq!(before_rows, after_rows);
     let after = session.cache_stats();
     assert!(after.misses > before.misses, "stale plan must re-prepare");
