@@ -733,6 +733,39 @@ pub fn scaling(n: usize, sf: f64, max_threads: usize) -> Vec<FigRow> {
             }
         }
     }
+
+    // Pooled execution: the same grouped-aggregation microbenchmark on
+    // dedicated persistent work-stealing pools of 2 and 8 workers
+    // (independent of the machine's core count, so the rows exist even
+    // on 1-core runners). The companion `pool …` rows report the
+    // scheduler's own accounting — tasks queued and tasks stolen —
+    // as counts, not seconds.
+    let (_, pooled_prog) = &benches[1];
+    for w in [2usize, 8] {
+        let pool = voodoo_compile::MorselPool::new(w);
+        let _guard = voodoo_compile::pool::enter(pool.clone());
+        let backend = backend_for(w);
+        let plan = backend.prepare(pooled_prog, &micro_cat).expect("prepare");
+        consume(plan.execute(&micro_cat).expect("warmup"));
+        let secs = time_secs(3, || consume(plan.execute(&micro_cat).expect("run")));
+        rows.push(FigRow::new(
+            "pooled grouped-agg",
+            format!("{w}W"),
+            Some(secs),
+        ));
+        let stats = pool.stats();
+        rows.push(FigRow::new(
+            "pool tasks (count)",
+            format!("{w}W"),
+            Some(stats.tasks as f64),
+        ));
+        rows.push(FigRow::new(
+            "pool steals (count)",
+            format!("{w}W"),
+            Some(stats.steals as f64),
+        ));
+        pool.shutdown();
+    }
     rows
 }
 
@@ -825,6 +858,20 @@ mod tests {
                 rows.iter()
                     .any(|r| r.series == format!("{series} speedup") && r.seconds.is_some()),
                 "missing {series} speedup"
+            );
+        }
+        // The persistent-pool rows exist at both fixed worker counts.
+        for x in ["2W", "8W"] {
+            assert!(
+                rows.iter()
+                    .any(|r| r.series == "pooled grouped-agg" && r.x == x && r.seconds.is_some()),
+                "missing pooled row @{x}"
+            );
+            assert!(
+                rows.iter().any(|r| r.series == "pool tasks (count)"
+                    && r.x == x
+                    && r.seconds.unwrap() > 0.0),
+                "pooled execution must queue tasks @{x}"
             );
         }
     }

@@ -133,7 +133,8 @@ pub fn c_filter_branching(vals: &[i64], c: i64, out: &mut Vec<i64>) {
     }
 }
 
-/// Hand-written branch-free filter (Figure 1): cursor arithmetic [28].
+/// Hand-written branch-free filter (Figure 1): cursor arithmetic
+/// (Ross-style predication, the paper's reference \[28\]).
 pub fn c_filter_predicated(vals: &[i64], c: i64, out: &mut [i64]) -> usize {
     let mut cursor = 0usize;
     for &v in vals {

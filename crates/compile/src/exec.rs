@@ -1,29 +1,32 @@
 //! Execution of compiled plans on the CPU.
 //!
-//! Fragments run their work items data-parallel over a scoped thread
-//! pool (chunks of contiguous runs per worker, each producing its own
-//! output segments — no synchronization inside a kernel, mirroring the ε
-//! padding argument of §2.2). Bulk units implement `Scatter`, `Partition`
-//! and the two fused patterns (virtual-scatter group aggregation,
-//! vectorized selection).
+//! Fragments run their work items data-parallel (chunks of contiguous
+//! runs per worker, each producing its own output segments — no
+//! synchronization inside a kernel, mirroring the ε padding argument of
+//! §2.2). Bulk units implement `Scatter`, `Partition` and the two fused
+//! patterns (virtual-scatter group aggregation, vectorized selection).
 //!
 //! **Morsel-driven intra-statement parallelism**: when [`ExecOptions::
 //! parallelism`] resolves to more than one thread, the hot kernels — the
 //! global-run fragments (selection emission, folds, elementwise maps),
 //! vectorized selection, the fused grouped aggregation and the
 //! expression side of scatters (the build side of joins) — slice their
-//! domain into [`voodoo_storage::Partitioning`] morsels, fan the morsels
-//! across a scoped worker pool, and merge the partials **in morsel
-//! order**, so results are bit-identical to the serial path (the
-//! interpreter remains the independent oracle). Floating-point `Sum`
-//! folds stay serial: float addition is not associative, and bit-identity
+//! domain into [`voodoo_storage::Partitioning`] morsels (over-decomposed
+//! by [`ExecOptions::steal_grain`] so skew can rebalance), submit them
+//! to the **persistent work-stealing pool** ([`crate::pool`] — no
+//! per-unit thread spawns anywhere in this module), and merge the
+//! partials **in morsel order**, so results are bit-identical to the
+//! serial path (the interpreter remains the independent oracle) no
+//! matter which worker ran which morsel. Floating-point `Sum` folds
+//! stay serial: float addition is not associative, and bit-identity
 //! outranks speedup here.
 //!
 //! The executor exposes the paper's physical tuning flags (§4): predicated
 //! vs. branching position emission, and event counting for the GPU model.
 //! Serving layers bound intra-statement fan-out with a per-thread
-//! [`set_parallelism_budget`] so statement workers and an admission
-//! worker pool never oversubscribe the machine together.
+//! [`set_parallelism_budget`] — the *lease* a serve worker takes on the
+//! shared pool — so statement morsels and an admission worker pool
+//! compose to the machine instead of oversubscribing it.
 
 use std::cell::Cell;
 use std::sync::Arc;
@@ -33,7 +36,7 @@ use voodoo_core::{
     VoodooError,
 };
 use voodoo_interp::ExecOutput;
-use voodoo_storage::{Catalog, Morsel, Partitioning};
+use voodoo_storage::{Catalog, Morsel, Partitioning, DEFAULT_STEAL_GRAIN};
 
 use crate::expr::{Env, Expr};
 use crate::plan::{
@@ -66,10 +69,9 @@ thread_local! {
     /// Per-thread cap on intra-statement worker fan-out (serving layers
     /// divide the machine between admission workers and morsel workers).
     static PAR_BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
-    /// Morsel accounting for the statement executing on this thread:
-    /// the maximum partition fan-out any unit used. `None` outside a
-    /// trace.
-    static PARTITION_TRACE: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Scheduling accounting for the statement executing on this
+    /// thread. `None` outside a trace.
+    static STATEMENT_TRACE: Cell<Option<StatementTrace>> = const { Cell::new(None) };
 }
 
 /// Cap intra-statement parallelism for work executed on this thread
@@ -86,23 +88,63 @@ pub fn parallelism_budget() -> Option<usize> {
     PAR_BUDGET.with(|b| b.get())
 }
 
-/// Start recording partition fan-out on this thread (engines bracket each
-/// statement execution to feed their `partitions_used` metrics).
-pub fn partition_trace_begin() {
-    PARTITION_TRACE.with(|t| t.set(Some(1)));
+/// Per-statement scheduling accounting, recorded between
+/// [`statement_trace_begin`] and [`statement_trace_end`] on the thread
+/// driving the statement (engines bracket every execution with the pair
+/// to feed their serving metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatementTrace {
+    /// Maximum morsel fan-out any execution unit used (1 = fully
+    /// serial).
+    pub partitions: u64,
+    /// Morsel tasks this statement submitted to the persistent pool.
+    pub pool_tasks: u64,
+    /// Of those, tasks executed by a pool worker other than their home
+    /// worker — the work-stealing rebalances this statement benefited
+    /// from.
+    pub steals: u64,
 }
 
-/// Stop recording and return the maximum morsel fan-out any execution
-/// unit used since [`partition_trace_begin`] (1 = fully serial, also
-/// returned when no trace was open).
-pub fn partition_trace_end() -> u64 {
-    PARTITION_TRACE.with(|t| t.take()).unwrap_or(1)
+impl Default for StatementTrace {
+    fn default() -> Self {
+        StatementTrace {
+            partitions: 1,
+            pool_tasks: 0,
+            steals: 0,
+        }
+    }
+}
+
+/// Start recording morsel fan-out, pool tasks and steals on this thread.
+pub fn statement_trace_begin() {
+    STATEMENT_TRACE.with(|t| t.set(Some(StatementTrace::default())));
+}
+
+/// Stop recording and return what the statement used since
+/// [`statement_trace_begin`] (the all-serial default is also returned
+/// when no trace was open).
+pub fn statement_trace_end() -> StatementTrace {
+    STATEMENT_TRACE.with(|t| t.take()).unwrap_or_default()
 }
 
 fn note_partitions(n: usize) {
-    PARTITION_TRACE.with(|t| {
-        if let Some(cur) = t.get() {
-            t.set(Some(cur.max(n as u64)));
+    STATEMENT_TRACE.with(|t| {
+        if let Some(mut cur) = t.get() {
+            cur.partitions = cur.partitions.max(n as u64);
+            t.set(Some(cur));
+        }
+    });
+}
+
+/// Credit one pool batch (its task count and how many of them were
+/// stolen) to the statement tracing on this thread. Called by
+/// [`crate::pool::MorselPool::run`] after its batch latch clears.
+pub(crate) fn note_pool_batch(tasks: u64, steals: u64) {
+    STATEMENT_TRACE.with(|t| {
+        if let Some(mut cur) = t.get() {
+            cur.pool_tasks += tasks;
+            cur.steals += steals;
+            t.set(Some(cur));
         }
     });
 }
@@ -158,6 +200,12 @@ pub struct ExecOptions {
     /// Smallest domain worth fanning out
     /// ([`DEFAULT_MIN_PARALLEL_DOMAIN`]); smaller domains run serially.
     pub min_parallel_domain: usize,
+    /// Morsels offered to the stealing pool *per resolved worker*
+    /// ([`voodoo_storage::DEFAULT_STEAL_GRAIN`]): fan-out is
+    /// `effective_threads × steal_grain` morsels, giving idle pool
+    /// workers spare units to steal when a morsel runs long. `1`
+    /// restores the static one-morsel-per-worker split.
+    pub steal_grain: usize,
 }
 
 impl Default for ExecOptions {
@@ -167,6 +215,7 @@ impl Default for ExecOptions {
             count_events: false,
             parallelism: Parallelism::Off,
             min_parallel_domain: DEFAULT_MIN_PARALLEL_DOMAIN,
+            steal_grain: DEFAULT_STEAL_GRAIN,
         }
     }
 }
@@ -182,6 +231,24 @@ impl ExecOptions {
     fn worth_partitioning(&self, domain: usize) -> bool {
         domain >= self.min_parallel_domain.max(2)
     }
+
+    /// Slice a domain for the stealing pool: `workers × steal_grain`
+    /// morsels (see [`voodoo_storage::Partitioning::for_stealing`]).
+    fn stealing_parts(&self, domain: usize, workers: usize) -> Partitioning {
+        Partitioning::for_stealing(domain, workers, self.steal_grain)
+    }
+}
+
+/// Run indexed morsel tasks on the current thread's persistent pool
+/// ([`crate::pool::current`]), returning results in task (= morsel)
+/// order. The single shared entry point of every partition-parallel
+/// kernel: no execution unit spawns threads of its own.
+fn run_on_pool<T, F>(tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    crate::pool::current().run(tasks)
 }
 
 /// Executes compiled programs.
@@ -324,7 +391,7 @@ impl Executor {
                 Action::FoldScanAct { .. } => false,
             })
         {
-            let parts = Partitioning::for_len(domain, threads);
+            let parts = self.opts.stealing_parts(domain, threads);
             if parts.count() > 1 {
                 return self.exec_fragment_morsels(cp, frag, values, profile, &parts);
             }
@@ -341,11 +408,15 @@ impl Executor {
                 } else {
                     domain.div_ceil(run_len)
                 };
-                // Tiny domains run serially here too: scoped thread
-                // spawn costs more than the scan (the same
+                // Tiny domains run serially here too: a pool handoff
+                // costs more than the scan (the same
                 // `min_parallel_domain` gate the morsel paths apply).
-                let workers = if self.opts.worth_partitioning(domain) {
-                    threads.min(total_runs.max(1))
+                // Parallel chunk counts are over-decomposed by the
+                // steal grain like every other morsel path.
+                let workers = if threads > 1 && self.opts.worth_partitioning(domain) {
+                    threads
+                        .saturating_mul(self.opts.steal_grain.max(1))
+                        .min(total_runs.max(1))
                 } else {
                     1
                 };
@@ -380,16 +451,16 @@ impl Executor {
                 per_chunk.push(segs);
             }
         } else {
-            let results = std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
+            let run_worker = &run_worker;
+            let results = run_on_pool(
+                chunks
                     .iter()
-                    .map(|c| scope.spawn(move || run_worker(*c)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect::<Vec<_>>()
-            });
+                    .map(|c| {
+                        let c = *c;
+                        move || run_worker(c)
+                    })
+                    .collect(),
+            );
             for (segs, prof) in results {
                 profile.merge(&prof);
                 per_chunk.push(segs);
@@ -465,17 +536,16 @@ impl Executor {
         let run_worker = |m: Morsel| -> (Vec<Column>, Vec<Option<ScalarValue>>, EventProfile) {
             self.run_morsel(cp, frag, (m.start, m.end), sources)
         };
-        let results: Vec<(Vec<Column>, Vec<Option<ScalarValue>>, EventProfile)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = morsels
-                    .iter()
-                    .map(|m| scope.spawn(move || run_worker(*m)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("morsel worker panicked"))
-                    .collect()
-            });
+        let run_worker = &run_worker;
+        let results: Vec<(Vec<Column>, Vec<Option<ScalarValue>>, EventProfile)> = run_on_pool(
+            morsels
+                .iter()
+                .map(|m| {
+                    let m = *m;
+                    move || run_worker(m)
+                })
+                .collect(),
+        );
         for (_, _, prof) in &results {
             profile.merge(prof);
         }
@@ -799,7 +869,7 @@ impl Executor {
                     .map(|(_, ty, _)| Column::empties(*ty, *out_len))
                     .collect();
                 let parts = if threads > 1 && self.opts.worth_partitioning(*domain) {
-                    Partitioning::for_len(*domain, threads)
+                    self.opts.stealing_parts(*domain, threads)
                 } else {
                     Partitioning::for_len(*domain, 1)
                 };
@@ -813,17 +883,17 @@ impl Executor {
                     let run_worker = |m: Morsel| -> (Vec<usize>, Vec<Column>, EventProfile) {
                         self.scatter_eval_range(cp, cols, pos, *out_len, (m.start, m.end), sources)
                     };
-                    let results: Vec<_> = std::thread::scope(|scope| {
-                        let handles: Vec<_> = parts
+                    let run_worker = &run_worker;
+                    let results: Vec<_> = run_on_pool(
+                        parts
                             .morsels()
                             .iter()
-                            .map(|m| scope.spawn(move || run_worker(*m)))
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("scatter worker panicked"))
-                            .collect()
-                    });
+                            .map(|m| {
+                                let m = *m;
+                                move || run_worker(m)
+                            })
+                            .collect(),
+                    );
                     for (hits, vals, prof) in &results {
                         profile.merge(prof);
                         for (k, &p) in hits.iter().enumerate() {
@@ -928,7 +998,7 @@ impl Executor {
                     && self.opts.worth_partitioning(*domain)
                     && folds.iter().all(|f| !f.out_ty.is_float());
                 let (accs, prof) = if par_ok {
-                    let parts = Partitioning::for_len(n_chunks, threads);
+                    let parts = self.opts.stealing_parts(n_chunks, threads);
                     note_partitions(parts.count());
                     let run_worker = |m: Morsel| -> (Vec<Option<ScalarValue>>, EventProfile) {
                         self.vec_select_chunks(
@@ -942,17 +1012,17 @@ impl Executor {
                             sources,
                         )
                     };
-                    let results: Vec<_> = std::thread::scope(|scope| {
-                        let handles: Vec<_> = parts
+                    let run_worker = &run_worker;
+                    let results: Vec<_> = run_on_pool(
+                        parts
                             .morsels()
                             .iter()
-                            .map(|m| scope.spawn(move || run_worker(*m)))
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("vec-select worker panicked"))
-                            .collect()
-                    });
+                            .map(|m| {
+                                let m = *m;
+                                move || run_worker(m)
+                            })
+                            .collect(),
+                    );
                     let mut accs: Vec<Option<ScalarValue>> = vec![None; folds.len()];
                     let mut prof = EventProfile::default();
                     for (partial, p) in results {
@@ -1253,7 +1323,11 @@ impl Executor {
             let par_ok = threads > 1
                 && self.opts.worth_partitioning(*domain)
                 && folds.iter().all(|f| !f.out_ty.is_float());
-            let parts = Partitioning::for_len(*domain, if par_ok { threads } else { 1 });
+            let parts = if par_ok {
+                self.opts.stealing_parts(*domain, threads)
+            } else {
+                Partitioning::for_len(*domain, 1)
+            };
             if parts.count() > 1 {
                 note_partitions(parts.count());
                 let key_expr: &Expr = key.as_ref();
@@ -1269,17 +1343,17 @@ impl Executor {
                         sources,
                     )
                 };
-                let partials: Vec<GroupPartial> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = parts
+                let run_worker = &run_worker;
+                let partials: Vec<GroupPartial> = run_on_pool(
+                    parts
                         .morsels()
                         .iter()
-                        .map(|m| scope.spawn(move || run_worker(*m)))
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("group-agg worker panicked"))
-                        .collect()
-                });
+                        .map(|m| {
+                            let m = *m;
+                            move || run_worker(m)
+                        })
+                        .collect(),
+                );
                 for p in &partials {
                     profile.merge(&p.profile);
                 }

@@ -1,6 +1,6 @@
 //! OpenCL-C-like kernel source rendering.
 //!
-//! The paper's backend "generat[es] fully inlined, function-call-free
+//! The paper's backend "generat\[es\] fully inlined, function-call-free
 //! OpenCL kernels from sequences of multiple Voodoo operators" (§3.1). Our
 //! execution happens in Rust, but the *structure* of those kernels — one
 //! kernel per fragment, fused expressions, run-controlled inner loops,
@@ -227,7 +227,7 @@ fn tree_size(e: &Expr, memo: &mut std::collections::HashMap<usize, u64>) -> u64 
 /// nodes (rendered more than once) become `const long tK = ...;`
 /// definitions appended to `defs`, keeping the output linear in DAG size.
 /// Used automatically by the fragment renderer when the fully inlined
-/// form would exceed [`INLINE_NODE_BUDGET`] nodes.
+/// form would exceed `INLINE_NODE_BUDGET` nodes.
 pub fn expr_c_cse(e: &Expr, defs: &mut Vec<String>) -> String {
     let mut names = std::collections::HashMap::new();
     expr_c_cse_inner(e, defs, &mut names)

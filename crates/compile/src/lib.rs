@@ -39,12 +39,14 @@ pub mod exec;
 pub mod expr;
 pub mod kernel;
 pub mod plan;
+pub mod pool;
 pub mod profile;
 pub mod repr;
 
 pub use device::Device;
 pub use exec::{ExecOptions, Executor};
 pub use plan::{CompiledProgram, Compiler, Fragment, FragmentKind};
+pub use pool::MorselPool;
 pub use profile::EventProfile;
 pub use repr::MatVec;
 

@@ -1,12 +1,12 @@
 //! # voodoo-interp — the reference interpreter backend
 //!
 //! The paper's interpreter "mainly serves as a reference implementation ...
-//! [it] materializes all intermediate vectors and is, in that respect, a
+//! \[it\] materializes all intermediate vectors and is, in that respect, a
 //! classic bulk-processor ... useful for debugging and verification because
 //! all intermediates are materialized and, thus, inspectable" (§3.2).
 //!
 //! This crate is exactly that: a statement-at-a-time evaluator that
-//! materializes every intermediate [`StructuredVector`]. It defines the
+//! materializes every intermediate [`voodoo_core::StructuredVector`]. It defines the
 //! *semantics* of every operator; the compiled backend
 //! (`voodoo-compile`) is differentially tested against it.
 //!

@@ -18,7 +18,8 @@
 //!    constant(s)", §3.1.1), candidates differ in one or two statements.
 //! 3. The **cost model** ([`pricing`]) runs each candidate on a small
 //!    prefix *sample* of the data in event-counting mode and prices the
-//!    architectural trace with the target [`Device`] model — the same
+//!    architectural trace with the target [`voodoo_compile::Device`]
+//!    model — the same
 //!    pricing the `voodoo-gpusim` figures use. Pricing is data-dependent
 //!    (selectivity changes branch flips and random-access counts), which
 //!    is precisely the Figure 1 phenomenon the paper opens with.

@@ -30,6 +30,8 @@ use std::time::Instant;
 use voodoo_backend::{
     Backend, CacheStats, CpuBackend, InterpBackend, Parallelism, ShardedPlanCache, SimGpuBackend,
 };
+use voodoo_compile::exec::StatementTrace;
+use voodoo_compile::MorselPool;
 use voodoo_core::{Program, Result, VoodooError};
 use voodoo_interp::ExecOutput;
 use voodoo_storage::{Catalog, CatalogSnapshot};
@@ -69,6 +71,16 @@ pub struct EngineMetrics {
     pub partitions_used: u64,
     /// Statements whose execution fanned across more than one partition.
     pub parallel_statements: u64,
+    /// Morsel tasks statements of this engine submitted to the
+    /// persistent worker pool ([`Engine::morsel_pool`]).
+    pub pool_tasks: u64,
+    /// Of those, tasks executed by a pool worker other than the one
+    /// they were queued on — the work-stealing rebalances that absorbed
+    /// skew instead of idling workers. Read alongside
+    /// [`EngineMetrics::partitions_used`]: fan-out says how wide
+    /// statements *offered* work, steals say how much the scheduler
+    /// had to move it.
+    pub steals: u64,
     /// Median execution latency over the reservoir window, in seconds.
     pub p50_seconds: Option<f64>,
     /// 99th-percentile execution latency over the window, in seconds.
@@ -131,6 +143,8 @@ struct Metrics {
     sheds: AtomicU64,
     partitions: AtomicU64,
     parallel_statements: AtomicU64,
+    pool_tasks: AtomicU64,
+    steals: AtomicU64,
     reservoir: Mutex<Reservoir>,
 }
 
@@ -144,6 +158,8 @@ impl Metrics {
             sheds: AtomicU64::new(0),
             partitions: AtomicU64::new(0),
             parallel_statements: AtomicU64::new(0),
+            pool_tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
             reservoir: Mutex::new(Reservoir::new()),
         }
     }
@@ -208,6 +224,9 @@ struct Shared {
     registry: Vec<Registration>,
     next_epoch: u64,
     default_backend: String,
+    /// The persistent morsel pool this engine's statements execute on
+    /// (installed around every execution; see [`Engine::morsel_pool`]).
+    pool: MorselPool,
 }
 
 /// The shared execution core: catalog snapshots + backend registry +
@@ -240,7 +259,7 @@ impl Engine {
     /// registered (`"interp"`, `"cpu"`, `"gpu"`) and `"cpu"` as default.
     ///
     /// If the catalog holds TPC-H tables, the auxiliary dictionary-flag
-    /// tables the Voodoo plans read ([`crate::prepare`]) are staged
+    /// tables the Voodoo plans read ([`crate::prepare()`]) are staged
     /// automatically.
     pub fn new(mut catalog: Catalog) -> Engine {
         if catalog.table("part").is_some() && catalog.table("lineitem").is_some() {
@@ -276,10 +295,36 @@ impl Engine {
                 registry,
                 next_epoch,
                 default_backend: backends::CPU.to_string(),
+                // Engines share the machine-sized process pool unless a
+                // caller installs a private one (tests, dedicated
+                // tenants): morsel workers are a per-machine resource,
+                // not a per-engine one.
+                pool: MorselPool::global(),
             }),
             cache: ShardedPlanCache::new(),
             metrics: Metrics::new(),
         }
+    }
+
+    // -- morsel pool --------------------------------------------------
+
+    /// The persistent work-stealing pool this engine's statements
+    /// execute their morsels on. Installed ([`voodoo_compile::pool::
+    /// enter`]) around every statement execution, so serve workers and
+    /// session threads all lease slots from the same workers instead of
+    /// spawning per-unit threads. Defaults to the process-wide
+    /// [`MorselPool::global`].
+    pub fn morsel_pool(&self) -> MorselPool {
+        self.state_read().pool.clone()
+    }
+
+    /// Install a different morsel pool (e.g. a smaller private pool for
+    /// an isolated tenant, or a fresh one after [`MorselPool::shutdown`]
+    /// — "restart" is handing the engine a new pool). In-flight
+    /// statements finish on the pool they started with.
+    pub fn set_morsel_pool(&self, pool: MorselPool) -> &Self {
+        self.state_write().pool = pool;
+        self
     }
 
     /// Generate TPC-H at the given scale factor and open an engine over it.
@@ -471,20 +516,28 @@ impl Engine {
             sheds: self.metrics.sheds.load(Ordering::Relaxed),
             partitions_used: self.metrics.partitions.load(Ordering::Relaxed),
             parallel_statements: self.metrics.parallel_statements.load(Ordering::Relaxed),
+            pool_tasks: self.metrics.pool_tasks.load(Ordering::Relaxed),
+            steals: self.metrics.steals.load(Ordering::Relaxed),
             p50_seconds: Reservoir::quantile(&sorted, 0.50),
             p99_seconds: Reservoir::quantile(&sorted, 0.99),
             latency_samples: sorted.len(),
         }
     }
 
-    /// Record one statement execution: latency, outcome, and the morsel
-    /// fan-out its execution units reached (1 = fully serial).
-    pub(crate) fn record_execution_partitioned(&self, started: Instant, ok: bool, partitions: u64) {
+    /// Record one statement execution: latency, outcome, and the
+    /// scheduling trace its execution left behind (morsel fan-out, pool
+    /// tasks, steals; the default trace = fully serial).
+    pub(crate) fn record_execution_traced(
+        &self,
+        started: Instant,
+        ok: bool,
+        trace: StatementTrace,
+    ) {
         self.metrics.queries.fetch_add(1, Ordering::Relaxed);
         if !ok {
             self.metrics.failures.fetch_add(1, Ordering::Relaxed);
         }
-        let partitions = partitions.max(1);
+        let partitions = trace.partitions.max(1);
         self.metrics
             .partitions
             .fetch_add(partitions, Ordering::Relaxed);
@@ -494,6 +547,12 @@ impl Engine {
                 .fetch_add(1, Ordering::Relaxed);
         }
         self.metrics
+            .pool_tasks
+            .fetch_add(trace.pool_tasks, Ordering::Relaxed);
+        self.metrics
+            .steals
+            .fetch_add(trace.steals, Ordering::Relaxed);
+        self.metrics
             .reservoir
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -501,7 +560,7 @@ impl Engine {
     }
 
     pub(crate) fn record_execution(&self, started: Instant, ok: bool) {
-        self.record_execution_partitioned(started, ok, 1);
+        self.record_execution_traced(started, ok, StatementTrace::default());
     }
 
     pub(crate) fn record_shed(&self) {

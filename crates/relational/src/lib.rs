@@ -13,7 +13,7 @@
 //! * [`builder`] — plan-construction helpers over [`voodoo_core::Program`]
 //!   (masked predicates, dense-domain grouped aggregation, FK gathers) and
 //!   padded-result extraction,
-//! * [`prepare`] — auxiliary tables staged at load time (dictionary flag
+//! * [`mod@prepare`] — auxiliary tables staged at load time (dictionary flag
 //!   columns, the day→year lookup),
 //! * [`queries`] — one Voodoo plan per evaluated TPC-H query,
 //! * [`engine`] — the shared, thread-safe [`Engine`]: catalog snapshots
@@ -43,15 +43,33 @@
 //! [`Engine::set_cpu_parallelism`] /
 //! [`session::Session::set_cpu_parallelism`]
 //! (`Off` | `Fixed(n)` | `Auto`); plan caching keys on it, so switching
-//! never serves a plan compiled under another setting. Under
-//! [`serve`], each worker thread carries an intra-statement parallelism
-//! budget of `cores / workers` — statement fan-out and the admission
-//! pool compose to the machine rather than oversubscribing it (prefer
-//! fewer serve workers when statements are big and scan-bound, more
-//! when they are small and latency-bound). [`EngineMetrics`] reports
-//! `partitions_used` / `parallel_statements` (and
-//! [`EngineMetrics::mean_partitions`]) so serving dashboards can see
-//! the realized fan-out.
+//! never serves a plan compiled under another setting.
+//!
+//! Morsels execute on a **persistent work-stealing pool**
+//! ([`voodoo_compile::pool`], reached via [`Engine::morsel_pool`]):
+//! long-lived workers with per-worker deques, LIFO-local pops and
+//! FIFO steals, so a skewed morsel rebalances onto idle workers
+//! instead of stalling the statement — and serving QPS no longer pays
+//! a thread spawn per execution unit. Statements over-decompose their
+//! domains (`steal_grain` morsels per worker) to leave the scheduler
+//! units to move. Under [`serve`], each admission worker carries an
+//! intra-statement parallelism budget of `cores / workers` — the
+//! *lease* it takes on the shared pool — so statement fan-out and the
+//! admission pool compose to the machine rather than oversubscribing
+//! it (prefer fewer serve workers when statements are big and
+//! scan-bound, more when they are small and latency-bound).
+//! [`EngineMetrics`] reports `partitions_used` / `parallel_statements`
+//! (and [`EngineMetrics::mean_partitions`]) for the offered fan-out,
+//! plus `pool_tasks` / `steals` for what the scheduler actually did
+//! with it. A panic inside a morsel task fails only its statement; the
+//! pool keeps serving.
+//!
+//! The repo-level `ARCHITECTURE.md` maps how these pieces — and the
+//! other eleven crates — fit together.
+
+// The serving surface is the public face of the reproduction: every
+// exported item carries documentation, enforced at build time.
+#![warn(missing_docs)]
 
 pub mod builder;
 pub mod engine;

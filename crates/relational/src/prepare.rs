@@ -2,7 +2,7 @@
 //!
 //! MonetDB evaluates string predicates (`LIKE '%green%'`) once against the
 //! dictionary, not once per row; the resulting per-code flag vector is an
-//! ordinary column. [`prepare`] stages those flag vectors (plus a
+//! ordinary column. [`prepare()`] stages those flag vectors (plus a
 //! day→year lookup for `extract(year ...)`) as single-column tables that
 //! Voodoo plans `Gather` from — keeping the algebra free of string
 //! operations, exactly as in the paper's MonetDB integration.

@@ -11,7 +11,7 @@
 //! * group-bys are the `Partition → Scatter → Fold` pattern (Figure 10),
 //!   which the compiled backend executes as a virtual scatter (§3.1.3),
 //! * string predicates read load-time dictionary flag tables
-//!   ([`crate::prepare`]), `extract(year)` reads the day→year table,
+//!   ([`crate::prepare()`]), `extract(year)` reads the day→year table,
 //! * the rare non-vectorizable finishing steps (Q11's threshold against
 //!   the grand total, Q15's arg-max, Q20's staging of a subquery result)
 //!   happen host-side on the (small) grouped outputs, like MonetDB's

@@ -22,6 +22,14 @@
 //! panicking receipt ([`ServeError::WorkerPanic`]) while the pool keeps
 //! serving.
 //!
+//! Serve workers do not nest thread spawns for intra-statement
+//! parallelism: each worker carries a parallelism *budget* of
+//! `cores / workers` ([`voodoo_compile::exec::set_parallelism_budget`])
+//! that caps how many morsels its statements offer the engine's
+//! persistent work-stealing pool ([`Engine::morsel_pool`]) — admission
+//! workers and morsel workers lease the same machine instead of
+//! multiplying against each other.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use voodoo_relational::{Engine, ServeConfig, StatementSpec};
@@ -575,11 +583,15 @@ impl ServerHandle {
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
         });
-        // Split the machine between the admission pool and intra-statement
-        // morsel workers: each worker thread carries a parallelism budget
-        // of `cores / workers`, which caps what `Parallelism::Auto` (and
-        // even `Fixed(n)`) statements fan out to, so a saturated pool
-        // composes to the machine instead of `workers × cores`.
+        // Lease the machine between the admission pool and the shared
+        // morsel pool: each serve worker carries a parallelism budget of
+        // `cores / workers`, which caps how many morsel workers a
+        // statement's `Parallelism::Auto` (and even `Fixed(n)`) resolves
+        // to — i.e. how many slots of the engine's persistent
+        // work-stealing pool it *offers* work for. The pool's own worker
+        // count bounds what actually runs at once, so a saturated serve
+        // pool composes to the machine instead of `workers × cores` —
+        // and no statement spawns threads of its own anymore.
         let cores = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);

@@ -217,7 +217,10 @@ impl Statement {
         pinned: Option<&CatalogSnapshot>,
     ) -> Result<StatementOutput> {
         let started = Instant::now();
-        voodoo_compile::exec::partition_trace_begin();
+        // Execute on the engine's persistent morsel pool, tracing the
+        // scheduling (fan-out, pool tasks, steals) into its metrics.
+        let _pool = voodoo_compile::pool::enter(self.engine.morsel_pool());
+        voodoo_compile::exec::statement_trace_begin();
         let result = (|| {
             let backend = self.engine.backend_arc(backend)?;
             let held;
@@ -230,9 +233,9 @@ impl Statement {
             };
             self.execute_with(&backend, cat)
         })();
-        let partitions = voodoo_compile::exec::partition_trace_end();
+        let trace = voodoo_compile::exec::statement_trace_end();
         self.engine
-            .record_execution_partitioned(started, result.is_ok(), partitions);
+            .record_execution_traced(started, result.is_ok(), trace);
         result
     }
 
@@ -320,7 +323,8 @@ impl Statement {
             simulated_seconds: None,
         };
         let started = Instant::now();
-        voodoo_compile::exec::partition_trace_begin();
+        let _pool = voodoo_compile::pool::enter(self.engine.morsel_pool());
+        voodoo_compile::exec::statement_trace_begin();
         let result = (|| match &self.kind {
             StatementKind::Program(p) => {
                 let plan = self.engine.plan_for(&backend, p, &cat)?;
@@ -344,9 +348,9 @@ impl Statement {
                 Ok(())
             }
         })();
-        let partitions = voodoo_compile::exec::partition_trace_end();
+        let trace = voodoo_compile::exec::statement_trace_end();
         self.engine
-            .record_execution_partitioned(started, result.is_ok(), partitions);
+            .record_execution_traced(started, result.is_ok(), trace);
         result.map(|()| acc)
     }
 }

@@ -1,6 +1,6 @@
 //! # voodoo-storage — MonetDB-style columnar storage substrate
 //!
-//! The paper integrates Voodoo into MonetDB, "effectively reduc[ing] its
+//! The paper integrates Voodoo into MonetDB, "effectively reduc\[ing\] its
 //! role to data loading and query parsing" (§4). This crate is that reduced
 //! role: a binary, column-wise catalog with **dictionary encoding for
 //! strings** (exactly MonetDB's string storage the paper reuses), per-column
@@ -26,4 +26,4 @@ pub mod partition;
 pub mod persist;
 
 pub use catalog::{Catalog, CatalogSnapshot, ColumnStats, Table, TableColumn};
-pub use partition::{Morsel, PartitionCache, Partitioning, MORSEL_ALIGN};
+pub use partition::{Morsel, PartitionCache, Partitioning, DEFAULT_STEAL_GRAIN, MORSEL_ALIGN};

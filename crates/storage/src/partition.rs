@@ -20,6 +20,20 @@
 //! algebra-level program builders sizing their fold strategies) — and a
 //! table mutation (which bumps the table's version counter) invalidates
 //! exactly the affected layouts.
+//!
+//! # Granularity for work stealing
+//!
+//! With the persistent morsel pool (`voodoo_compile::pool`), morsels are
+//! *stolen* between long-lived workers rather than statically assigned
+//! one-per-thread. A static `P == workers` split cannot rebalance: if
+//! one morsel is slow (skewed selectivity, cold cache, a preempted
+//! core), every other worker idles behind it. [`Partitioning::
+//! for_stealing`] therefore over-decomposes the domain by a small
+//! *steal grain* ([`DEFAULT_STEAL_GRAIN`] morsels per worker), so an
+//! idle worker always has units left to take from a loaded peer's
+//! deque. The morsels stay [`MORSEL_ALIGN`]-aligned and in row order —
+//! merging partials in morsel order is what keeps pooled results
+//! bit-identical to the serial path.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -28,6 +42,12 @@ use std::sync::{Arc, Mutex};
 /// large enough to afford it): whole cache lines per worker, no false
 /// sharing on the write side, and SIMD-friendly extents.
 pub const MORSEL_ALIGN: usize = 1024;
+
+/// Default morsels *per worker* when partitioning for a stealing
+/// scheduler ([`Partitioning::for_stealing`]): enough spare units that
+/// an idle worker can rebalance a skewed split, few enough that the
+/// morsel-order merge stays cheap.
+pub const DEFAULT_STEAL_GRAIN: usize = 4;
 
 /// One contiguous extent of rows: `[start, end)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +111,17 @@ impl Partitioning {
             .filter(|m| !m.is_empty())
             .collect();
         Partitioning { len, morsels }
+    }
+
+    /// Slice `[0, len)` for a *stealing* scheduler: up to
+    /// `workers × grain` morsels (grain clamped to ≥ 1; see
+    /// [`DEFAULT_STEAL_GRAIN`]), so a pool of `workers` long-lived
+    /// threads has spare units to rebalance skew by stealing. Alignment
+    /// and ordering invariants are exactly [`Partitioning::for_len`]'s:
+    /// results merged in morsel order are independent of how many
+    /// morsels the domain was cut into.
+    pub fn for_stealing(len: usize, workers: usize, grain: usize) -> Partitioning {
+        Partitioning::for_len(len, workers.max(1).saturating_mul(grain.max(1)))
     }
 
     /// The partitioned row count.
@@ -222,6 +253,25 @@ mod tests {
         let empty = Partitioning::for_len(0, 8);
         assert_eq!(empty.count(), 0);
         assert!(empty.boundaries() == vec![0]);
+    }
+
+    #[test]
+    fn stealing_layouts_over_decompose_but_keep_invariants() {
+        let p = Partitioning::for_stealing(100 * MORSEL_ALIGN, 4, DEFAULT_STEAL_GRAIN);
+        assert!(p.count() > 4, "spare units for stealing: {}", p.count());
+        assert!(p.count() <= 4 * DEFAULT_STEAL_GRAIN);
+        let mut prev_end = 0usize;
+        for m in p.morsels() {
+            assert_eq!(m.start, prev_end);
+            prev_end = m.end;
+        }
+        assert_eq!(prev_end, 100 * MORSEL_ALIGN);
+        for m in &p.morsels()[1..] {
+            assert_eq!(m.start % MORSEL_ALIGN, 0);
+        }
+        // Degenerate grains clamp instead of collapsing to zero morsels.
+        assert_eq!(Partitioning::for_stealing(10, 4, 0).count(), 4);
+        assert_eq!(Partitioning::for_stealing(0, 4, 4).count(), 0);
     }
 
     #[test]

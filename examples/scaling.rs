@@ -5,8 +5,12 @@
 //! morsel fan-out (`Fixed(n)`), or machine-sized (`Auto`) — bit-identical
 //! results each way, pinned against the serial interpreter oracle —
 //! then prints per-statement partition accounting and a small worker
-//! sweep. On a 1-core container the timing curve is flat by
-//! construction; the fan-out accounting still shows the morsels.
+//! sweep. Morsels execute on the engine's **persistent work-stealing
+//! pool** (`voodoo::compile::pool`), so the sweep re-uses the same
+//! long-lived workers at every setting and the scheduler's task/steal
+//! counters show up in the metrics. On a 1-core container the timing
+//! curve is flat by construction; the fan-out accounting still shows
+//! the morsels.
 //!
 //! ```sh
 //! cargo run --release --example scaling
@@ -49,6 +53,12 @@ fn main() {
         m.queries_served,
         m.mean_partitions(),
         m.parallel_statements
+    );
+    println!(
+        "pool scheduling: {} morsel tasks queued, {} stolen (pool of {} workers)",
+        m.pool_tasks,
+        m.steals,
+        session.engine().morsel_pool().worker_count()
     );
 
     // A small sweep: same prepared plans, growing morsel-worker counts.

@@ -24,6 +24,13 @@
 //! * [`opt`] — cost-model-driven plan optimizer (the §7 "automatic
 //!   exploration of the design space" future work)
 //!
+//! For the map of how these crates compose — the execution pipeline
+//! from SQL/TPC-H text to morsel tasks, the bit-identity and versioning
+//! invariants, and the serving/scheduler architecture — see
+//! `ARCHITECTURE.md` at the repository root. All code blocks below
+//! compile and run as doctests (`cargo test --doc`), so the quickstart
+//! cannot rot.
+//!
 //! ## Quickstart
 //!
 //! One shared [`relational::Engine`] serves every frontend (raw Voodoo
@@ -121,6 +128,17 @@
 //! One knob picks the layout: `Parallelism::Off` (serial),
 //! `Fixed(n)`, or `Auto` (machine-sized, capped per serving thread).
 //!
+//! Morsels execute on a **persistent work-stealing pool**
+//! ([`compile::pool`]) rather than per-statement thread spawns: a
+//! statement's morsels are queued on one long-lived worker's deque
+//! (LIFO for locality), and idle workers *steal* the oldest entries
+//! (FIFO), so a skewed morsel rebalances across the machine instead of
+//! stalling its statement. Domains are over-decomposed
+//! (`steal_grain`, default 4 morsels per worker) to leave the
+//! scheduler units to move; results still merge in morsel order, so
+//! scheduling never changes a bit of output. A panicking morsel task
+//! fails only its own statement — the pool keeps serving.
+//!
 //! ```
 //! use voodoo::backend::Parallelism;
 //! use voodoo::relational::Session;
@@ -131,18 +149,25 @@
 //! session.set_cpu_parallelism(Parallelism::Fixed(4));
 //! let partitioned = session.query(Query::Q1).run().unwrap();
 //! assert_eq!(serial.rows(), partitioned.rows()); // bit-identical
-//! // Morsel fan-out is first-class accounting.
-//! assert!(session.metrics().partitions_used >= session.metrics().queries_served);
+//! // Morsel fan-out and pool scheduling are first-class accounting.
+//! let m = session.metrics();
+//! assert!(m.partitions_used >= m.queries_served);
+//! assert!(m.steals <= m.pool_tasks);
 //! ```
 //!
 //! *Choosing P*: `Auto` is right for dedicated statements (it resolves
 //! to the core count, max 8); under the serving front door each worker
-//! thread carries a budget of `cores / workers`, so intra-statement
-//! morsels and the admission pool compose to the machine instead of
-//! oversubscribing it. `Fixed(n)` pins the layout regardless (still
-//! budget-capped when serving); small domains (< 4096 rows by default)
-//! stay serial because a thread spawn costs more than the scan. See
-//! `examples/scaling.rs` and `repro scaling` for the speedup sweep.
+//! thread carries a budget of `cores / workers` — the lease it takes
+//! on the shared pool — so intra-statement morsels and the admission
+//! pool compose to the machine instead of oversubscribing it.
+//! `Fixed(n)` pins the offered fan-out regardless (still budget-capped
+//! when serving); small domains (< 4096 rows by default) stay serial
+//! because even a pool handoff costs more than the scan. Watch
+//! [`relational::EngineMetrics`]: `partitions_used` is the fan-out
+//! statements *offered*, `pool_tasks`/`steals` are what the scheduler
+//! did with it (steals > 0 means skew was absorbed, not suffered). See
+//! `examples/scaling.rs` and `repro scaling` for the speedup sweep,
+//! including pooled rows at 2 and 8 workers.
 //!
 //! ## Serving
 //!

@@ -7,6 +7,13 @@
 //! and the SQL aggregate set, plus the partition-boundary edge cases
 //! (empty inputs, `P > rows`, all-sentinel groups).
 //!
+//! Since the persistent pool landed, partition-parallel kernels execute
+//! on long-lived work-stealing workers ([`voodoo::compile::pool`])
+//! instead of scoped per-unit spawns; the same bit-identity contract
+//! holds no matter which worker ran which morsel, and this suite
+//! additionally pins the pool's scheduling behavior (skew rebalanced by
+//! stealing, clean shutdown/restart, engine pool lifecycle).
+//!
 //! CI runs this suite in release mode with `VOODOO_SCALE_THREADS=2` and
 //! `=8`, which widens the exercised `P` set.
 
@@ -14,6 +21,7 @@ use std::sync::Arc;
 
 use voodoo::backend::{CpuBackend, Parallelism};
 use voodoo::compile::exec::ExecOptions;
+use voodoo::compile::pool::MorselPool;
 use voodoo::core::{KeyPath, Program};
 use voodoo::relational::{Session, StatementSpec};
 use voodoo::storage::Catalog;
@@ -243,6 +251,138 @@ fn partitioned_outputs_carry_partition_metadata() {
         v.value_at(49_999, &KeyPath::val()).map(|x| x.as_i64()),
         Some(99_998)
     );
+}
+
+/// A deliberately skewed pool workload: one heavy morsel task pins its
+/// home worker while many light ones wait behind it on the same deque —
+/// the batch only finishes promptly because idle workers steal. Pins
+/// result order (the executor's bit-identity merge contract) and that
+/// at ≥ 4 workers the scheduler actually rebalanced (`steals > 0`).
+#[test]
+fn skewed_pool_batches_rebalance_by_stealing() {
+    let pool = MorselPool::new(4);
+    let out = pool.run(
+        (0..16usize)
+            .map(|i| {
+                move || {
+                    // Task 0 is ~20× heavier than the rest; all 16 are
+                    // homed on one worker's deque, so lights MUST be
+                    // stolen while the heavy one runs (a sleeping home
+                    // worker yields its core, so this holds even on a
+                    // single hardware thread).
+                    let ms = if i == 0 { 40 } else { 2 };
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                    i * i
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    assert_eq!(
+        out,
+        (0..16).map(|i| i * i).collect::<Vec<_>>(),
+        "results merge in morsel order regardless of who ran what"
+    );
+    let stats = pool.stats();
+    assert!(
+        stats.steals > 0,
+        "skew must rebalance by stealing: {stats:?}"
+    );
+    assert_eq!(stats.tasks, 16);
+    pool.shutdown();
+}
+
+/// The same skew assertion end to end through a statement: a
+/// partition-eager backend on an engine that owns a private 4-worker
+/// pool. Bit-identity to the interpreter oracle is unconditional; the
+/// steal observation is retried (scheduling is real concurrency) but
+/// must happen within a few rounds on any machine — every round's
+/// morsels land on one home deque while three workers sit idle.
+#[test]
+fn skewed_statements_steal_and_stay_bit_identical() {
+    let mut cat = Catalog::in_memory();
+    let vals: Vec<i64> = (0..400_000).map(|i| (i * 31 + 7) % 2000 - 1000).collect();
+    cat.put_i64_column("t", &vals);
+    let session = Session::new(cat);
+    let pool = MorselPool::new(4);
+    session.engine().set_morsel_pool(pool.clone());
+    session.register("cpu-p8", Arc::new(cpu_p(8)));
+
+    let program = voodoo::algos::aggregate::grouped_sum_count("t", "val", "val", 4000);
+    let oracle = session
+        .program(program.clone())
+        .run_on("interp")
+        .expect("oracle");
+    let mut stole = false;
+    for round in 0..20 {
+        let parallel = session
+            .program(program.clone())
+            .run_on("cpu-p8")
+            .expect("pooled");
+        assert_eq!(
+            oracle.raw().returns,
+            parallel.raw().returns,
+            "bit-identical on the stealing pool (round {round})"
+        );
+        let m = session.metrics();
+        assert!(m.pool_tasks > 0, "statements must route through the pool");
+        if m.steals > 0 {
+            stole = true;
+            break;
+        }
+    }
+    assert!(
+        stole,
+        "P=8 morsels over a 4-worker pool must observe ≥ 1 steal: {:?} / {:?}",
+        session.metrics(),
+        pool.stats()
+    );
+    pool.shutdown();
+}
+
+/// Pool lifecycle through the engine: shutdown degrades to inline (still
+/// bit-identical), and installing a fresh pool "restarts" pooled
+/// execution.
+#[test]
+fn engine_pool_shutdown_and_restart_keep_serving() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("t", &(0..50_000).collect::<Vec<_>>());
+    let session = Session::new(cat);
+    session.register("cpu-p4", Arc::new(cpu_p(4)));
+    let mut p = Program::new();
+    let t = p.load("t");
+    let pred = p.greater_const(t, 100);
+    let sel = p.fold_select_global(pred);
+    let sum = p.fold_sum_global(t);
+    p.ret(sel);
+    p.ret(sum);
+    let oracle = session.program(p.clone()).run_on("interp").unwrap();
+
+    let pool = MorselPool::new(2);
+    session.engine().set_morsel_pool(pool.clone());
+    let pooled = session.program(p.clone()).run_on("cpu-p4").unwrap();
+    assert_eq!(oracle.raw().returns, pooled.raw().returns);
+    let tasks_before = pool.stats().tasks;
+    assert!(tasks_before > 0, "pooled execution queued tasks");
+
+    // Shut the pool down mid-service: statements fall back to inline
+    // execution on the submitting thread — correct, just serial.
+    pool.shutdown();
+    assert!(pool.is_shut_down());
+    let inline = session.program(p.clone()).run_on("cpu-p4").unwrap();
+    assert_eq!(oracle.raw().returns, inline.raw().returns);
+    assert_eq!(
+        pool.stats().tasks,
+        tasks_before,
+        "a shut-down pool queues nothing new"
+    );
+
+    // Restart = hand the engine a fresh pool.
+    let fresh = MorselPool::new(2);
+    session.engine().set_morsel_pool(fresh.clone());
+    let restarted = session.program(p).run_on("cpu-p4").unwrap();
+    assert_eq!(oracle.raw().returns, restarted.raw().returns);
+    assert!(fresh.stats().tasks > 0, "fresh pool serves the morsels");
+    fresh.shutdown();
 }
 
 #[test]

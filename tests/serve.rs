@@ -430,6 +430,109 @@ fn worker_panic_fails_only_its_receipt_and_the_pool_keeps_serving() {
 }
 
 // ---------------------------------------------------------------------
+// Morsel-pool composition: a poisoned pool task fails only its statement
+// ---------------------------------------------------------------------
+
+/// A backend whose plan fans tasks across the *current* morsel pool
+/// (exactly like the compiled executor's kernels) and panics inside one
+/// pool task when the tag is negative.
+struct PoolBackend;
+
+struct PoolPlan {
+    program: Program,
+}
+
+impl PreparedPlan for PoolPlan {
+    fn backend_name(&self) -> &str {
+        "pool"
+    }
+
+    fn execute(&self, catalog: &Catalog) -> Result<ExecOutput> {
+        let out = Interpreter::new(catalog).run_program(&self.program)?;
+        let tag = tag_of(&out);
+        let partials = voodoo::compile::pool::current().run(
+            (0..4i64)
+                .map(|i| {
+                    move || {
+                        assert!(
+                            !(tag < 0 && i == 2),
+                            "pool task poisoned by negative tag {tag}"
+                        );
+                        i
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(partials, vec![0, 1, 2, 3], "morsel-order merge");
+        Ok(out)
+    }
+
+    fn explain(&self) -> String {
+        "morsel-pool test backend".to_string()
+    }
+
+    fn profile(&self, catalog: &Catalog) -> Result<PlanProfile> {
+        self.execute(catalog).map(interp_profile)
+    }
+}
+
+impl Backend for PoolBackend {
+    fn name(&self) -> &str {
+        "pool"
+    }
+
+    fn prepare(&self, program: &Program, _catalog: &Catalog) -> Result<Arc<dyn PreparedPlan>> {
+        Ok(Arc::new(PoolPlan {
+            program: program.clone(),
+        }))
+    }
+}
+
+/// A panic inside a *pool task* resumes on the serve worker driving the
+/// statement: it fails that receipt alone (`WorkerPanic`), while both
+/// the admission pool and the engine's morsel pool keep serving — the
+/// two-level panic isolation the persistent scheduler promises.
+#[test]
+fn pool_task_panic_fails_its_statement_but_both_pools_survive() {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("input", &[1]);
+    let engine = Arc::new(Engine::new(cat));
+    let pool = voodoo::compile::pool::MorselPool::new(2);
+    engine.set_morsel_pool(pool.clone());
+    engine.register("pool", Arc::new(PoolBackend));
+    let server = engine.serve(
+        ServeConfig::default()
+            .with_queue_capacity(8)
+            .with_workers(2),
+    );
+    let spec = |tag: i64| StatementSpec::program(tagged_program(tag)).on("pool");
+
+    let receipts: Vec<_> = [1, -7, 2]
+        .into_iter()
+        .map(|t| server.submit(spec(t)).expect("admit"))
+        .collect();
+    let results: Vec<_> = receipts.into_iter().map(|r| r.wait()).collect();
+    assert_eq!(tag_of(results[0].as_ref().expect("tag 1").raw()), 1);
+    match &results[1] {
+        Err(ServeError::WorkerPanic(msg)) => {
+            assert!(msg.contains("poisoned"), "pool panic surfaced: {msg}")
+        }
+        other => panic!("expected WorkerPanic from the pool task, got {other:?}"),
+    }
+    assert_eq!(tag_of(results[2].as_ref().expect("tag 2").raw()), 2);
+
+    // Both pools kept serving: new statements still fan across the
+    // morsel pool, and the engine counted the poisoned statement.
+    let again = server.submit(spec(9)).expect("admission pool alive");
+    assert_eq!(tag_of(again.wait().expect("served").raw()), 9);
+    assert!(engine.metrics().failures >= 1);
+    assert!(engine.metrics().pool_tasks >= 3 * 4, "batches kept flowing");
+    assert!(!pool.is_shut_down());
+    server.shutdown();
+    pool.shutdown();
+}
+
+// ---------------------------------------------------------------------
 // Saturation: real workload, many submitters, no starvation
 // ---------------------------------------------------------------------
 
