@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the Voodoo paper.
 //!
 //! ```text
-//! repro <fig1/fig9/fig12/fig13/fig14/fig15/fig16/scaling/throughput/ablate/opt/all> [options]
+//! repro <fig1/fig9/fig12/fig13/fig14/fig15/fig16/scaling/throughput/views/ablate/opt/all> [options]
 //!   --n=<elements>      microbenchmark input size   (default 1048576)
 //!   --sf=<scale>        TPC-H scale factor          (default 0.02)
 //!   --threads=<t>       CPU threads (scaling: the sweep's max) (default available)
@@ -137,6 +137,30 @@ fn main() {
             "Optimizer decisions (§7 future work): winner per device × selectivity",
             &figures::optimizer_decisions(o.n),
         ),
+        "views" => {
+            let rows = figures::views(o.n, 5);
+            print_rows(
+                "Views: full recompute vs 1%-mutation delta refresh (time in s)",
+                &rows,
+            );
+            println!("\ndelta refresh vs full recompute per view shape:");
+            for shape in ["filter", "group-by", "join"] {
+                let get = |metric: &str| {
+                    rows.iter()
+                        .find(|r| r.series == format!("{shape}/{metric}"))
+                        .and_then(|r| r.seconds)
+                        .unwrap_or(0.0)
+                };
+                println!(
+                    "  {:<10} {:>8.1}x faster, touching {:>6.2}% of the data \
+                     ({} full-recompute fallbacks, all forced by rewrites)",
+                    shape,
+                    get("full-recompute") / get("delta-1pct").max(1e-9),
+                    100.0 * get("delta-row-fraction"),
+                    get("full-fallbacks") as u64,
+                );
+            }
+        }
         other => {
             eprintln!("unknown figure {other:?}");
             std::process::exit(2);
@@ -161,6 +185,7 @@ fn main() {
             "fig16",
             "scaling",
             "throughput",
+            "views",
             "ablate",
             "opt",
         ] {

@@ -769,6 +769,125 @@ pub fn scaling(n: usize, sf: f64, max_threads: usize) -> Vec<FigRow> {
     rows
 }
 
+/// Incremental view maintenance: per-read latency of a full recompute
+/// (forced by a wholesale table rewrite) vs a delta refresh after a
+/// 1%-of-`n` batched append, for three maintained view shapes — a
+/// filtered global aggregate, a grouped aggregate, and a join view —
+/// plus the fraction of the base data each delta refresh touched.
+pub fn views(n: usize, iters: usize) -> Vec<FigRow> {
+    use voodoo_core::Buffer;
+    use voodoo_relational::views::{AggDef, AggFn, AggSpec, JoinDef, SExpr, Source, ViewDef};
+    use voodoo_storage::{Table, TableColumn};
+
+    fn kv_table(name: &str, rows: impl Iterator<Item = (i64, i64)> + Clone) -> Table {
+        let mut t = Table::new(name);
+        t.add_column(TableColumn::from_buffer(
+            "k",
+            Buffer::I64(rows.clone().map(|r| r.0).collect()),
+        ));
+        t.add_column(TableColumn::from_buffer(
+            "v",
+            Buffer::I64(rows.map(|r| r.1).collect()),
+        ));
+        t
+    }
+
+    let n = n.max(256);
+    let fact = kv_table("fact", (0..n as i64).map(|i| (i % 64, i)));
+    let dim = kv_table("dim", (0..64i64).map(|k| (k, k * 10)));
+
+    let agg = |key: Option<usize>, exprs: &[SExpr]| AggDef {
+        key,
+        specs: exprs
+            .iter()
+            .map(|e| AggSpec {
+                agg: AggFn::Sum,
+                expr: e.clone(),
+            })
+            .chain(std::iter::once(AggSpec {
+                agg: AggFn::Count,
+                expr: SExpr::Lit(1),
+            }))
+            .collect(),
+    };
+    let filter_view = ViewDef::of(Source {
+        filter: vec![voodoo_relational::views::Pred {
+            op: voodoo_core::BinOp::Greater,
+            lhs: SExpr::Col(1),
+            rhs: SExpr::Lit(n as i64 / 2),
+        }],
+        ..Source::scan("fact", &["k", "v"])
+    })
+    .aggregate(agg(None, &[SExpr::Col(1)]));
+    let grouped_view =
+        ViewDef::of(Source::scan("fact", &["k", "v"])).aggregate(agg(Some(0), &[SExpr::Col(1)]));
+    // Joined stream is [fact.k, fact.v, dim.k, dim.v]: group by the fact
+    // key, summing a measure from each side.
+    let join_view = ViewDef::of(Source::scan("fact", &["k", "v"]))
+        .join(JoinDef {
+            right: Source::scan("dim", &["k", "v"]),
+            left_key: 0,
+            right_key: 0,
+        })
+        .aggregate(agg(Some(0), &[SExpr::Col(1), SExpr::Col(3)]));
+
+    let batch: Vec<Vec<i64>> = (0..(n as i64 / 100).max(1))
+        .map(|i| vec![i % 64, n as i64 + i])
+        .collect();
+    let mut rows = Vec::new();
+    for (shape, def) in [
+        ("filter", filter_view),
+        ("group-by", grouped_view),
+        ("join", join_view),
+    ] {
+        let mut cat = Catalog::in_memory();
+        cat.insert_table(fact.clone());
+        cat.insert_table(dim.clone());
+        let session = Session::new(cat);
+        session.create_view_def("view", def).expect("create view");
+
+        // Delta path: a 1% batched append is captured row-by-row, so the
+        // refresh processes the delta, not the table.
+        let before = session.metrics();
+        let delta_secs = time_secs(iters, || {
+            session.mutate_catalog(|c| c.append_rows("fact", &batch));
+            consume(session.read_view("view").expect("delta refresh"));
+        });
+        let after = session.metrics();
+        let refreshes = (after.delta_refreshes - before.delta_refreshes).max(1);
+        let per_refresh = (after.rows_delta - before.rows_delta) as f64 / refreshes as f64;
+
+        // Full path: replacing the table wholesale is not row-capturable,
+        // forcing the counted full-recompute fallback on every read.
+        let full_secs = time_secs(iters, || {
+            session.mutate_catalog(|c| c.insert_table(fact.clone()));
+            consume(session.read_view("view").expect("full recompute"));
+        });
+
+        rows.push(FigRow::new(
+            &format!("{shape}/full-recompute"),
+            n,
+            Some(full_secs),
+        ));
+        rows.push(FigRow::new(
+            &format!("{shape}/delta-1pct"),
+            n,
+            Some(delta_secs),
+        ));
+        rows.push(FigRow::new(
+            &format!("{shape}/delta-row-fraction"),
+            n,
+            Some(per_refresh / n as f64),
+        ));
+        rows.push(FigRow::new(
+            &format!("{shape}/full-fallbacks"),
+            n,
+            Some(session.metrics().full_recomputes as f64),
+        ));
+    }
+    rows
+}
+
 /// Sanity check used by tests: every query result matches across engines
 /// at the benchmark scale factor.
 pub fn verify_engines(sf: f64) -> Result<(), String> {
@@ -840,6 +959,37 @@ mod tests {
         for r in rows.iter().filter(|r| r.series.ends_with("shed-pct")) {
             let pct = r.seconds.unwrap();
             assert!((0.0..=100.0).contains(&pct), "{}@{}: {pct}", r.series, r.x);
+        }
+    }
+
+    #[test]
+    fn views_rows_cover_every_shape_and_deltas_stay_small() {
+        let rows = views(4096, 2);
+        assert_eq!(rows.len(), 3 * 4, "3 shapes x 4 metrics");
+        for shape in ["filter", "group-by", "join"] {
+            for metric in [
+                "full-recompute",
+                "delta-1pct",
+                "delta-row-fraction",
+                "full-fallbacks",
+            ] {
+                assert!(
+                    rows.iter()
+                        .any(|r| r.series == format!("{shape}/{metric}") && r.seconds.is_some()),
+                    "missing {shape}/{metric}"
+                );
+            }
+            // A 1% mutation must touch a small fraction of the base data
+            // (the staged delta plus what it streams, never the table).
+            let frac = rows
+                .iter()
+                .find(|r| r.series == format!("{shape}/delta-row-fraction"))
+                .and_then(|r| r.seconds)
+                .unwrap();
+            assert!(
+                frac < 0.1,
+                "{shape} delta refresh touched {frac} of the data"
+            );
         }
     }
 

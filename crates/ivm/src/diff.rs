@@ -1,0 +1,277 @@
+//! Per-operator differentiation: compile a source [`Program`] into a
+//! delta program.
+//!
+//! The DBSP recipe: a linear operator `f` satisfies
+//! `f(X + ΔX) = f(X) + f(ΔX)`, so its delta rule is *itself* applied to
+//! the delta. Voodoo's elementwise operators (`Binary`, `Project`, `Zip`,
+//! `Constant like`, the `Materialize`/`Break` tuning hints) are all linear
+//! per row, and a `Gather` whose positions derive from the delta is a
+//! per-row lookup into unchanged state — so the delta program is the source
+//! program with its `Load` retargeted at a staged delta table (the batch's
+//! columns plus a [`WEIGHT_COL`] multiplicity column). A global `SUM` fold
+//! is linear too once each row is weighted, so `FoldAgg(Sum)` becomes
+//! `FoldAgg(Sum)` of `value × weight`.
+//!
+//! Everything else — `Scatter`/`Partition` (positional state), `MIN`/`MAX`
+//! folds (not linear under retraction), selections, scans, `Cross` — has
+//! no local rule here; [`differentiate`] returns `None` and the caller
+//! falls back to a full recompute (the fallback is *counted*, so coverage
+//! regressions are visible in metrics). The stateful delta rules for
+//! joins and grouped aggregates live in [`crate::view`], which keeps the
+//! arranged state those rules need.
+
+use voodoo_core::{AggKind, BinOp, KeyPath, Op, Program, VRef};
+
+/// Name of the signed-multiplicity column on staged delta tables.
+pub const WEIGHT_COL: &str = "__w";
+
+/// A differentiated program plus where its weight column is returned.
+#[derive(Debug, Clone)]
+pub struct DeltaProgram {
+    /// The delta program: run it against a catalog in which the delta
+    /// batch has been staged under the delta table name.
+    pub program: Program,
+    /// Index into the program's returns of the per-row weight column,
+    /// present iff any return is row-level (aligned with the delta rows).
+    pub weights_slot: Option<usize>,
+}
+
+/// How a statement's output relates to the differentiated table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Cls {
+    /// Independent of any table's rows (broadcast scalars).
+    Scalar,
+    /// Derived from tables other than the differentiated one — treated as
+    /// constant state, re-evaluated as-is.
+    Base,
+    /// Row-aligned with the differentiated table: in the delta program,
+    /// one slot per *delta* row.
+    Delta,
+}
+
+fn join(a: Cls, b: Cls) -> Option<Cls> {
+    use Cls::*;
+    match (a, b) {
+        (Scalar, x) | (x, Scalar) => Some(x),
+        (Delta, Delta) => Some(Delta),
+        (Base, Base) => Some(Base),
+        (Delta, Base) | (Base, Delta) => None,
+    }
+}
+
+/// Differentiate `src` with respect to `table`, producing a program over
+/// the staged delta table `delta_table` (schema: the table's columns plus
+/// [`WEIGHT_COL`]). Other tables are treated as constant state. Returns
+/// `None` when any operator on the delta's dataflow path has no delta
+/// rule, when the program loads `table` more than once, or when it does
+/// not read `table` at all — the caller must then recompute in full.
+pub fn differentiate(src: &Program, table: &str, delta_table: &str) -> Option<DeltaProgram> {
+    let mut out = Program::new();
+    let mut map: Vec<VRef> = Vec::with_capacity(src.stmts().len());
+    let mut cls: Vec<Cls> = Vec::with_capacity(src.stmts().len());
+    let mut delta_load: Option<VRef> = None;
+
+    for stmt in src.stmts() {
+        let c = |v: VRef| cls[v.index()];
+        let (new_ref, new_cls) = match &stmt.op {
+            Op::Load { name } if name == table => {
+                if delta_load.is_some() {
+                    return None; // one Load of the target only
+                }
+                let r = out.load(delta_table);
+                delta_load = Some(r);
+                (r, Cls::Delta)
+            }
+            Op::Load { .. } => (out.push(stmt.op.clone()), Cls::Base),
+            Op::Persist { .. } => return None,
+            Op::Constant { like, .. } => {
+                let k = like.map(c).unwrap_or(Cls::Scalar);
+                (out.push(stmt.op.map_inputs(|v| map[v.index()])), k)
+            }
+            Op::Binary { lhs, rhs, .. } => {
+                let k = join(c(*lhs), c(*rhs))?;
+                (out.push(stmt.op.map_inputs(|v| map[v.index()])), k)
+            }
+            Op::Zip { v1, v2, .. } => {
+                let k = join(c(*v1), c(*v2))?;
+                (out.push(stmt.op.map_inputs(|v| map[v.index()])), k)
+            }
+            Op::Project { v, .. } => {
+                let k = c(*v);
+                (out.push(stmt.op.map_inputs(|v| map[v.index()])), k)
+            }
+            Op::Upsert { v, src: s, .. } => {
+                let k = join(c(*v), c(*s))?;
+                (out.push(stmt.op.map_inputs(|v| map[v.index()])), k)
+            }
+            Op::Gather {
+                source, positions, ..
+            } => {
+                // A lookup into unchanged state, driven per delta row, is
+                // linear; a gather *from* changed state is not.
+                if c(*source) == Cls::Delta {
+                    return None;
+                }
+                let k = c(*positions);
+                (out.push(stmt.op.map_inputs(|v| map[v.index()])), k)
+            }
+            Op::Materialize { v, ctrl } | Op::Break { v, ctrl } => {
+                let k = match ctrl {
+                    Some((cv, _)) => join(c(*v), c(*cv))?,
+                    None => c(*v),
+                };
+                (out.push(stmt.op.map_inputs(|v| map[v.index()])), k)
+            }
+            Op::FoldAgg {
+                agg,
+                out: out_kp,
+                v,
+                fold_kp,
+                val_kp,
+            } => match c(*v) {
+                Cls::Delta => {
+                    // Only the linear aggregate has a local rule, and only
+                    // globally (grouped folds need arranged state).
+                    if *agg != AggKind::Sum || fold_kp.is_some() {
+                        return None;
+                    }
+                    let dl = delta_load?;
+                    let w = out.project(dl, KeyPath::new(WEIGHT_COL), KeyPath::val());
+                    let val = out.project(map[v.index()], val_kp.clone(), KeyPath::val());
+                    let weighted = out.binary(BinOp::Multiply, val, w);
+                    let r = out.push(Op::FoldAgg {
+                        agg: AggKind::Sum,
+                        out: out_kp.clone(),
+                        v: weighted,
+                        fold_kp: None,
+                        val_kp: KeyPath::val(),
+                    });
+                    (r, Cls::Scalar)
+                }
+                k => (out.push(stmt.op.map_inputs(|v| map[v.index()])), k),
+            },
+            // Positional / order-sensitive / non-linear operators: no
+            // local delta rule over changed state.
+            Op::Scatter { .. }
+            | Op::Partition { .. }
+            | Op::FoldSelect { .. }
+            | Op::FoldScan { .. }
+            | Op::Range { .. }
+            | Op::Cross { .. } => {
+                if stmt.op.inputs().iter().any(|&v| c(v) == Cls::Delta) {
+                    return None;
+                }
+                (out.push(stmt.op.map_inputs(|v| map[v.index()])), Cls::Base)
+            }
+        };
+        map.push(new_ref);
+        cls.push(new_cls);
+    }
+
+    let dl = delta_load?; // program never reads `table`: nothing to differentiate
+    let mut row_level = false;
+    for &r in src.returns() {
+        out.ret(map[r.index()]);
+        row_level |= cls[r.index()] == Cls::Delta;
+    }
+    let weights_slot = row_level.then(|| {
+        let w = out.project(dl, KeyPath::new(WEIGHT_COL), KeyPath::val());
+        out.ret(w);
+        out.returns().len() - 1
+    });
+    Some(DeltaProgram {
+        program: out,
+        weights_slot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voodoo_core::Buffer;
+    use voodoo_interp::Interpreter;
+    use voodoo_storage::{Catalog, Table, TableColumn};
+
+    fn cat_with(name: &str, cols: &[(&str, Vec<i64>)]) -> Catalog {
+        let mut cat = Catalog::in_memory();
+        let mut t = Table::new(name);
+        for (c, vals) in cols {
+            t.add_column(TableColumn::from_buffer(c, Buffer::I64(vals.clone())));
+        }
+        cat.insert_table(t);
+        cat
+    }
+
+    fn scalar(out: &voodoo_interp::ExecOutput, slot: usize) -> i64 {
+        out.returns[slot]
+            .value_at(0, &KeyPath::val())
+            .map(|v| v.as_i64())
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn weighted_sum_matches_recompute() {
+        // sum(v * (v > 3)) over t — a masked global sum.
+        let mut p = Program::new();
+        let t = p.load("t");
+        let v = p.project(t, KeyPath::new("v"), KeyPath::val());
+        let mask = p.greater_const(v, 3);
+        let masked = p.mul(v, mask);
+        let s = p.fold_sum_global(masked);
+        p.ret(s);
+
+        let cat0 = cat_with("t", &[("v", vec![1, 5, 9])]);
+        let full0 = Interpreter::new(&cat0).run_program(&p).unwrap();
+        assert_eq!(scalar(&full0, 0), 14);
+
+        // Apply a delta: insert 7, retract 5.
+        let d = differentiate(&p, "t", "__d").unwrap();
+        assert_eq!(d.weights_slot, None); // fold program: no row-level return
+        let mut dcat = cat0.clone();
+        let mut z = crate::ZBatch::new(["v"]);
+        z.push(vec![7], 1);
+        z.push(vec![5], -1);
+        z.stage(&mut dcat, "__d");
+        let dout = Interpreter::new(&dcat).run_program(&d.program).unwrap();
+        // Δsum = 7*1 + 5*(-1) = 2; new sum = 14 + 2 = 16 = full recompute.
+        assert_eq!(scalar(&dout, 0), 2);
+        let cat1 = cat_with("t", &[("v", vec![1, 9, 7])]);
+        let full1 = Interpreter::new(&cat1).run_program(&p).unwrap();
+        assert_eq!(scalar(&full1, 0), scalar(&full0, 0) + scalar(&dout, 0));
+    }
+
+    #[test]
+    fn row_level_returns_carry_weights() {
+        let mut p = Program::new();
+        let t = p.load("t");
+        let v = p.project(t, KeyPath::new("v"), KeyPath::val());
+        let mask = p.greater_const(v, 0);
+        p.ret(v);
+        p.ret(mask);
+        let d = differentiate(&p, "t", "__d").unwrap();
+        assert_eq!(d.weights_slot, Some(2));
+        let mut cat = Catalog::in_memory();
+        let mut z = crate::ZBatch::new(["v"]);
+        z.push(vec![4], -1);
+        z.stage(&mut cat, "__d");
+        let out = Interpreter::new(&cat).run_program(&d.program).unwrap();
+        assert_eq!(scalar(&out, 0), 4);
+        assert_eq!(scalar(&out, 2), -1);
+    }
+
+    #[test]
+    fn unsupported_operators_refuse() {
+        // MIN is not linear: no local delta rule.
+        let mut p = Program::new();
+        let t = p.load("t");
+        let v = p.project(t, KeyPath::new("v"), KeyPath::val());
+        let m = p.fold_min_global(v);
+        p.ret(m);
+        assert!(differentiate(&p, "t", "__d").is_none());
+        // A program that never reads the table has nothing to differentiate.
+        let mut q = Program::new();
+        let u = q.load("u");
+        q.ret(u);
+        assert!(differentiate(&q, "t", "__d").is_none());
+    }
+}

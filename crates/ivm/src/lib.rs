@@ -1,0 +1,41 @@
+//! # voodoo-ivm — DBSP-style incremental view maintenance
+//!
+//! The serving stack answers repeated dashboard-style queries; without this
+//! crate every repeat recomputes from scratch. DBSP (Budiu et al., see
+//! PAPERS.md) shows that lifting a dataflow to **Z-sets** — bags of rows
+//! with signed `i64` multiplicities — turns each operator into a *delta*
+//! operator, so a cached result refreshes in `O(changes)` instead of
+//! `O(data)`. This crate applies that recipe to Voodoo's vector algebra:
+//!
+//! - [`ZBatch`] ([`zset`]) is the delta representation: row images plus
+//!   multiplicities, layered on [`voodoo_core::StructuredVector`] for
+//!   interchange with the backends and on
+//!   [`voodoo_storage::RowDelta`] for interchange with change capture.
+//! - [`differentiate`] ([`diff`]) compiles a source [`voodoo_core::Program`]
+//!   into a delta program: `Load` is retargeted at a staged delta table,
+//!   linear operators (filter masks, projections, elementwise maps) pass
+//!   through unchanged, and global `SUM` folds become weight-multiplied
+//!   folds. Operators with no delta rule make it return `None` — the
+//!   caller falls back to a (counted) full recompute.
+//! - [`MaintainedView`] ([`view`]) keeps a view's *arranged state* — join
+//!   index per side, per-group aggregate entries with value histograms for
+//!   `MIN`/`MAX` under retraction — and refreshes it from captured
+//!   [`voodoo_storage::RowDelta`]s, executing the differentiated stage
+//!   programs through a caller-supplied executor (any Voodoo backend).
+//!
+//! The correctness contract is crisp and the test suites hold it: after
+//! any mutation sequence, an incrementally maintained view is bit-identical
+//! to a fresh full recompute of the same definition.
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod view;
+pub mod zset;
+
+pub use diff::{differentiate, DeltaProgram, WEIGHT_COL};
+pub use view::{
+    AggDef, AggFn, AggSpec, JoinDef, MaintainedView, Pred, Refresh, RefreshKind, SExpr, Source,
+    ViewDef,
+};
+pub use zset::ZBatch;

@@ -1,0 +1,1040 @@
+//! Maintained views: definition IR, arranged state, and the refresh driver.
+//!
+//! A [`ViewDef`] is a small dataflow over base tables: one or two
+//! [`Source`] stages (scan → elementwise map → filter), an optional
+//! equi-[`JoinDef`], and an optional grouped [`AggDef`]. The *stage*
+//! programs are ordinary Voodoo [`Program`]s executed on any backend; the
+//! stateful operators (join, group-by aggregation) run here over arranged
+//! state, exactly the DBSP arrangement construction:
+//!
+//! - each join side keeps a `key → row → weight` index; a delta joins the
+//!   *other* side's arranged index (`ΔL ⋈ R` then, after installing `ΔL`,
+//!   `L ⋈ ΔR` — the bilinear rule),
+//! - each group keeps its row count, per-slot linear sums, and per-slot
+//!   value histograms so `MIN`/`MAX` stay exact under retraction
+//!   (re-aggregation touches only the group's own histogram).
+//!
+//! A full recompute is the same pipeline fed from an empty state — the
+//! delta and full paths share every line of aggregation code, which is
+//! what makes the bit-identity invariant (incremental ≡ fresh recompute)
+//! hold by construction rather than by luck.
+
+use std::collections::{BTreeMap, HashMap};
+
+use voodoo_core::{BinOp, KeyPath, Program, Result, VRef, VoodooError};
+use voodoo_interp::ExecOutput;
+use voodoo_storage::Catalog;
+
+use crate::diff::differentiate;
+use crate::zset::ZBatch;
+
+/// The executor callback views refresh through: run a stage [`Program`]
+/// against a catalog. The engine layer plugs its prepared-plan cache and
+/// backend selection in here; tests plug the interpreter.
+pub type Exec<'a> = dyn FnMut(&Program, &Catalog) -> Result<ExecOutput> + 'a;
+
+/// Prefix of scratch tables deltas are staged under during a refresh.
+pub const DELTA_TABLE_PREFIX: &str = "__ivm_delta__";
+
+/// A scalar expression over a row of named columns (by index).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SExpr {
+    /// The `i`-th column of the enclosing row.
+    Col(usize),
+    /// An integer literal.
+    Lit(i64),
+    /// An elementwise binary over two subexpressions.
+    Bin(BinOp, Box<SExpr>, Box<SExpr>),
+}
+
+impl SExpr {
+    /// Convenience constructor for [`SExpr::Bin`].
+    pub fn bin(op: BinOp, l: SExpr, r: SExpr) -> SExpr {
+        SExpr::Bin(op, Box::new(l), Box::new(r))
+    }
+
+    fn max_col(&self) -> Option<usize> {
+        match self {
+            SExpr::Col(i) => Some(*i),
+            SExpr::Lit(_) => None,
+            SExpr::Bin(_, l, r) => l.max_col().max(r.max_col()),
+        }
+    }
+
+    /// Evaluate against a row image (integer semantics, matching the
+    /// backends' elementwise operators; division by zero yields 0).
+    pub fn eval_row(&self, row: &[i64]) -> i64 {
+        match self {
+            SExpr::Col(i) => row[*i],
+            SExpr::Lit(v) => *v,
+            SExpr::Bin(op, l, r) => {
+                let (a, b) = (l.eval_row(row), r.eval_row(row));
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Subtract => a.wrapping_sub(b),
+                    BinOp::Multiply => a.wrapping_mul(b),
+                    BinOp::Divide => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    BinOp::Modulo => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_rem(b)
+                        }
+                    }
+                    BinOp::BitShift => a.wrapping_shl(b as u32),
+                    BinOp::LogicalAnd => ((a != 0) && (b != 0)) as i64,
+                    BinOp::LogicalOr => ((a != 0) || (b != 0)) as i64,
+                    BinOp::Greater => (a > b) as i64,
+                    BinOp::GreaterEquals => (a >= b) as i64,
+                    BinOp::Less => (a < b) as i64,
+                    BinOp::LessEquals => (a <= b) as i64,
+                    BinOp::Equals => (a == b) as i64,
+                    BinOp::NotEquals => (a != b) as i64,
+                }
+            }
+        }
+    }
+}
+
+/// A filter predicate: `lhs op rhs`, kept when the result is non-zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pred {
+    /// Comparison (or any boolean-producing) operator.
+    pub op: BinOp,
+    /// Left operand, over the source's columns.
+    pub lhs: SExpr,
+    /// Right operand, over the source's columns.
+    pub rhs: SExpr,
+}
+
+/// One scan stage: a base table, the columns its expressions read, a
+/// conjunctive filter, and the mapped output columns it streams onward.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Source {
+    /// Base table name.
+    pub table: String,
+    /// Names of the table columns the expressions index (in order).
+    pub cols: Vec<String>,
+    /// Conjunction of predicates over `cols`.
+    pub filter: Vec<Pred>,
+    /// Output stream columns, as expressions over `cols`.
+    pub maps: Vec<SExpr>,
+}
+
+impl Source {
+    /// A pass-through source over the named columns (no filter, identity
+    /// maps).
+    pub fn scan(table: &str, cols: &[&str]) -> Source {
+        Source {
+            table: table.to_string(),
+            cols: cols.iter().map(|c| c.to_string()).collect(),
+            filter: Vec::new(),
+            maps: (0..cols.len()).map(SExpr::Col).collect(),
+        }
+    }
+
+    fn lower(&self, p: &mut Program, tbl: VRef, e: &SExpr) -> VRef {
+        match e {
+            SExpr::Col(i) => p.project(tbl, KeyPath::new(&self.cols[*i]), KeyPath::val()),
+            // Broadcast literals to table length so masks stay row-aligned
+            // even for constant-only expressions.
+            SExpr::Lit(v) => p.constant_like(*v, tbl),
+            SExpr::Bin(op, l, r) => {
+                let lv = self.lower(p, tbl, l);
+                let rv = self.lower(p, tbl, r);
+                p.binary(*op, lv, rv)
+            }
+        }
+    }
+
+    /// The stage program: load the table, evaluate every map expression,
+    /// and return them followed by the 0/1 filter mask. Entirely linear —
+    /// [`differentiate`] always accepts it.
+    pub fn full_program(&self) -> Program {
+        let mut p = Program::new();
+        let t = p.load(&self.table);
+        let outs: Vec<VRef> = self.maps.iter().map(|m| self.lower(&mut p, t, m)).collect();
+        let mut mask: Option<VRef> = None;
+        for pred in &self.filter {
+            let l = self.lower(&mut p, t, &pred.lhs);
+            let r = self.lower(&mut p, t, &pred.rhs);
+            let m = p.binary(pred.op, l, r);
+            mask = Some(match mask {
+                Some(acc) => p.binary(BinOp::LogicalAnd, acc, m),
+                None => m,
+            });
+        }
+        let mask = mask.unwrap_or_else(|| p.constant_like(1i64, t));
+        for o in outs {
+            p.ret(o);
+        }
+        p.ret(mask);
+        p
+    }
+
+    /// The scratch name this source's deltas are staged under.
+    pub fn delta_table(&self) -> String {
+        format!("{DELTA_TABLE_PREFIX}{}", self.table)
+    }
+
+    fn validate(&self) -> Result<()> {
+        let width = self.cols.len();
+        let exprs = self.maps.iter().chain(
+            self.filter
+                .iter()
+                .flat_map(|p| [&p.lhs, &p.rhs].into_iter()),
+        );
+        for e in exprs {
+            if let Some(i) = e.max_col() {
+                if i >= width {
+                    return Err(VoodooError::Backend(format!(
+                        "view source over {:?} references column index {i} (have {width})",
+                        self.table
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An equi-join stage: the right-hand [`Source`] plus the key positions in
+/// each side's output stream. The joined stream is the left stream's
+/// columns followed by the right stream's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinDef {
+    /// The probe/build counterpart source (deltas on either side work).
+    pub right: Source,
+    /// Key column index in the left stream.
+    pub left_key: usize,
+    /// Key column index in the right stream.
+    pub right_key: usize,
+}
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggFn {
+    /// Linear sum of the expression.
+    Sum,
+    /// Row count (`COUNT(*)`; the expression is ignored).
+    Count,
+    /// Minimum of the expression (histogram-arranged under retraction).
+    Min,
+    /// Maximum of the expression (histogram-arranged under retraction).
+    Max,
+    /// Truncating integer average (`SUM / COUNT`).
+    Avg,
+}
+
+/// One output aggregate: a function over an expression of the (joined)
+/// stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub agg: AggFn,
+    /// Input expression over the joined stream (ignored for `Count`).
+    pub expr: SExpr,
+}
+
+/// The aggregation stage: an optional group key (a joined-stream column)
+/// and the output aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggDef {
+    /// Group-by column index in the joined stream; `None` for a global
+    /// (single-row) aggregate.
+    pub key: Option<usize>,
+    /// Output aggregates, in result-column order.
+    pub specs: Vec<AggSpec>,
+}
+
+/// A maintained view definition: scan (→ join) (→ aggregate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewDef {
+    /// The left (or only) scan stage.
+    pub source: Source,
+    /// Optional equi-join with a second scan stage.
+    pub join: Option<JoinDef>,
+    /// Optional aggregation over the (joined) stream.
+    pub agg: Option<AggDef>,
+}
+
+impl ViewDef {
+    /// A plain scan-filter-map view.
+    pub fn of(source: Source) -> ViewDef {
+        ViewDef {
+            source,
+            join: None,
+            agg: None,
+        }
+    }
+
+    /// Attach an equi-join stage.
+    pub fn join(mut self, join: JoinDef) -> ViewDef {
+        self.join = Some(join);
+        self
+    }
+
+    /// Attach an aggregation stage.
+    pub fn aggregate(mut self, agg: AggDef) -> ViewDef {
+        self.agg = Some(agg);
+        self
+    }
+
+    /// The base tables the view reads, in stage order.
+    pub fn table_deps(&self) -> Vec<String> {
+        let mut deps = vec![self.source.table.clone()];
+        if let Some(j) = &self.join {
+            if !deps.contains(&j.right.table) {
+                deps.push(j.right.table.clone());
+            }
+        }
+        deps
+    }
+
+    /// Width of the (joined) stream the aggregation stage sees.
+    fn stream_width(&self) -> usize {
+        self.source.maps.len() + self.join.as_ref().map_or(0, |j| j.right.maps.len())
+    }
+
+    /// Number of columns in the rendered result.
+    pub fn result_width(&self) -> usize {
+        match &self.agg {
+            Some(a) => a.specs.len() + usize::from(a.key.is_some()),
+            None => self.stream_width(),
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        self.source.validate()?;
+        let width = self.stream_width();
+        let check = |i: usize, what: &str| {
+            if i >= width {
+                Err(VoodooError::Backend(format!(
+                    "view {what} index {i} out of stream width {width}"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        if let Some(j) = &self.join {
+            j.right.validate()?;
+            if j.left_key >= self.source.maps.len() {
+                return Err(VoodooError::Backend(format!(
+                    "join left key {} out of left stream width {}",
+                    j.left_key,
+                    self.source.maps.len()
+                )));
+            }
+            if j.right_key >= j.right.maps.len() {
+                return Err(VoodooError::Backend(format!(
+                    "join right key {} out of right stream width {}",
+                    j.right_key,
+                    j.right.maps.len()
+                )));
+            }
+        }
+        if let Some(a) = &self.agg {
+            if let Some(k) = a.key {
+                check(k, "group key")?;
+            }
+            for s in &a.specs {
+                if let Some(i) = s.expr.max_col() {
+                    check(i, "aggregate input")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-group arranged state: row count, linear sums, and per-slot value
+/// histograms (value → multiplicity) for order statistics.
+#[derive(Debug, Clone, Default)]
+struct GroupEntry {
+    count: i64,
+    sums: Vec<i64>,
+    hists: Vec<BTreeMap<i64, i64>>,
+}
+
+/// key → row → weight: one join side's arrangement.
+type JoinIndex = HashMap<i64, HashMap<Vec<i64>, i64>>;
+
+/// The view's arranged state (all stages).
+#[derive(Debug, Clone, Default)]
+struct ViewState {
+    left_index: JoinIndex,
+    right_index: JoinIndex,
+    groups: HashMap<i64, GroupEntry>,
+    rows: HashMap<Vec<i64>, i64>,
+}
+
+/// How a read was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefreshKind {
+    /// No dependency version drifted: the cached result was served as-is.
+    Hit,
+    /// Captured row deltas were applied through the delta programs.
+    Delta,
+    /// State was rebuilt from a full scan (first materialization, a
+    /// non-capturable mutation, or a trimmed change log).
+    Full,
+}
+
+/// The outcome of [`MaintainedView::refresh`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Refresh {
+    /// How the read was satisfied.
+    pub kind: RefreshKind,
+    /// Rows pushed through the pipeline: delta rows for
+    /// [`RefreshKind::Delta`], base-table rows scanned for
+    /// [`RefreshKind::Full`], `0` for a hit.
+    pub rows_processed: u64,
+}
+
+/// A materialized view plus everything needed to maintain it: the
+/// definition, the arranged state, the per-dependency versions of the last
+/// refresh, and the cached rendered result.
+#[derive(Debug, Clone)]
+pub struct MaintainedView {
+    def: ViewDef,
+    state: ViewState,
+    versions: HashMap<String, u64>,
+    initialized: bool,
+    cached_rows: Vec<Vec<i64>>,
+    cached: voodoo_core::StructuredVector,
+}
+
+impl MaintainedView {
+    /// Validate a definition and wrap it, unmaterialized (the first
+    /// [`MaintainedView::refresh`] performs the initial full build).
+    pub fn new(def: ViewDef) -> Result<MaintainedView> {
+        def.validate()?;
+        Ok(MaintainedView {
+            def,
+            state: ViewState::default(),
+            versions: HashMap::new(),
+            initialized: false,
+            cached_rows: Vec::new(),
+            cached: voodoo_core::StructuredVector::with_len(0),
+        })
+    }
+
+    /// The definition.
+    pub fn def(&self) -> &ViewDef {
+        &self.def
+    }
+
+    /// The base tables the view reads.
+    pub fn table_deps(&self) -> Vec<String> {
+        self.def.table_deps()
+    }
+
+    /// The cached result rows (call [`MaintainedView::refresh`] first).
+    pub fn rows(&self) -> &[Vec<i64>] {
+        &self.cached_rows
+    }
+
+    /// The cached result as a [`voodoo_core::StructuredVector`] with
+    /// columns `.c0`, `.c1`, … in result order.
+    pub fn cached_vector(&self) -> &voodoo_core::StructuredVector {
+        &self.cached
+    }
+
+    /// One-shot evaluation of a definition: fresh state, full build,
+    /// result rows. This is the oracle the test suites compare against.
+    pub fn evaluate(def: ViewDef, cat: &Catalog, exec: &mut Exec) -> Result<Vec<Vec<i64>>> {
+        let mut v = MaintainedView::new(def)?;
+        v.refresh(cat, exec)?;
+        Ok(v.cached_rows)
+    }
+
+    /// Bring the cached result up to date with `cat`, preferring captured
+    /// row deltas and falling back to a full rebuild when row-level
+    /// capture is unavailable. Returns how the read was satisfied.
+    pub fn refresh(&mut self, cat: &Catalog, exec: &mut Exec) -> Result<Refresh> {
+        let deps = self.def.table_deps();
+        for t in &deps {
+            if cat.table_version(t).is_none() {
+                return Err(VoodooError::UnknownTable(t.clone()));
+            }
+        }
+        if self.initialized
+            && deps
+                .iter()
+                .all(|t| cat.table_version(t) == self.versions.get(t).copied())
+        {
+            return Ok(Refresh {
+                kind: RefreshKind::Hit,
+                rows_processed: 0,
+            });
+        }
+
+        let refresh = if self.initialized {
+            match self.try_delta_refresh(cat, exec)? {
+                Some(n) => Refresh {
+                    kind: RefreshKind::Delta,
+                    rows_processed: n,
+                },
+                None => Refresh {
+                    kind: RefreshKind::Full,
+                    rows_processed: self.full_rebuild(cat, exec)?,
+                },
+            }
+        } else {
+            Refresh {
+                kind: RefreshKind::Full,
+                rows_processed: self.full_rebuild(cat, exec)?,
+            }
+        };
+
+        for t in deps {
+            let v = cat.table_version(&t).unwrap_or(0);
+            self.versions.insert(t, v);
+        }
+        self.initialized = true;
+        self.render();
+        Ok(refresh)
+    }
+
+    /// Gather captured deltas for every drifted dependency; `None` when
+    /// any dependency lacks row-level capture (→ caller rebuilds).
+    fn try_delta_refresh(&mut self, cat: &Catalog, exec: &mut Exec) -> Result<Option<u64>> {
+        let mut staged: HashMap<String, ZBatch> = HashMap::new();
+        for t in self.def.table_deps() {
+            let since = self.versions.get(&t).copied().unwrap_or(0);
+            if cat.table_version(&t) == Some(since) {
+                continue;
+            }
+            let Some(delta) = cat.changes_since(&t, since) else {
+                return Ok(None);
+            };
+            let table = cat
+                .table(&t)
+                .ok_or_else(|| VoodooError::UnknownTable(t.clone()))?;
+            let cols: Vec<String> = table.columns.iter().map(|c| c.name.clone()).collect();
+            staged.insert(t.clone(), ZBatch::from_delta(cols, &delta));
+        }
+
+        // Stage every changed table's delta into one scratch catalog
+        // (cloning a catalog is O(#tables); buffers are shared).
+        let mut scratch = cat.clone();
+        let mut rows_processed = 0u64;
+        for (t, z) in &staged {
+            z.stage(&mut scratch, &format!("{DELTA_TABLE_PREFIX}{t}"));
+            rows_processed += z.len() as u64;
+        }
+
+        let left_delta = match staged.get(&self.def.source.table) {
+            Some(z) if !z.is_empty() => Some(run_delta_stage(&self.def.source, &scratch, exec)?),
+            _ => None,
+        };
+        let right_delta = match &self.def.join {
+            Some(j) => match staged.get(&j.right.table) {
+                Some(z) if !z.is_empty() => Some(run_delta_stage(&j.right, &scratch, exec)?),
+                _ => None,
+            },
+            None => None,
+        };
+
+        let joined = self.apply_join(left_delta.unwrap_or_default(), right_delta);
+        rows_processed += joined.len() as u64;
+        self.apply_result(joined);
+        Ok(Some(rows_processed))
+    }
+
+    /// Rebuild from scratch: the delta pipeline fed from an empty state
+    /// with every base row at weight `+1`.
+    fn full_rebuild(&mut self, cat: &Catalog, exec: &mut Exec) -> Result<u64> {
+        self.state = ViewState::default();
+        let mut rows_processed = 0u64;
+        let left = run_full_stage(&self.def.source, cat, exec)?;
+        rows_processed += cat.table(&self.def.source.table).map_or(0, |t| t.len) as u64;
+        let right = match &self.def.join {
+            Some(j) => {
+                rows_processed += cat.table(&j.right.table).map_or(0, |t| t.len) as u64;
+                Some(run_full_stage(&j.right, cat, exec)?)
+            }
+            None => None,
+        };
+        let joined = self.apply_join(left, right);
+        self.apply_result(joined);
+        Ok(rows_processed)
+    }
+
+    /// Push per-side stream deltas through the (optional) join, updating
+    /// the arrangements, and return the joined-stream delta. Order is the
+    /// bilinear rule: `ΔL ⋈ R_old`, install `ΔL`, then `L_new ⋈ ΔR`.
+    fn apply_join(
+        &mut self,
+        left: Vec<(Vec<i64>, i64)>,
+        right: Option<Vec<(Vec<i64>, i64)>>,
+    ) -> Vec<(Vec<i64>, i64)> {
+        let Some(j) = &self.def.join else {
+            return left;
+        };
+        let (lk, rk) = (j.left_key, j.right_key);
+        let mut out = Vec::new();
+        for (row, w) in &left {
+            if let Some(matches) = self.state.right_index.get(&row[lk]) {
+                for (rrow, rw) in matches {
+                    if rw * w != 0 {
+                        let mut joined = row.clone();
+                        joined.extend_from_slice(rrow);
+                        out.push((joined, w * rw));
+                    }
+                }
+            }
+        }
+        for (row, w) in left {
+            index_add(&mut self.state.left_index, row[lk], row, w);
+        }
+        if let Some(right) = right {
+            for (rrow, rw) in &right {
+                if let Some(matches) = self.state.left_index.get(&rrow[rk]) {
+                    for (lrow, lw) in matches {
+                        if lw * rw != 0 {
+                            let mut joined = lrow.clone();
+                            joined.extend_from_slice(rrow);
+                            out.push((joined, lw * rw));
+                        }
+                    }
+                }
+            }
+            for (rrow, rw) in right {
+                index_add(&mut self.state.right_index, rrow[rk], rrow, rw);
+            }
+        }
+        out
+    }
+
+    /// Fold a joined-stream delta into the result state (groups or rows).
+    fn apply_result(&mut self, delta: Vec<(Vec<i64>, i64)>) {
+        match &self.def.agg {
+            Some(agg) => {
+                let nspecs = agg.specs.len();
+                for (row, w) in delta {
+                    let key = agg.key.map(|k| row[k]).unwrap_or(0);
+                    let g = self.state.groups.entry(key).or_insert_with(|| GroupEntry {
+                        count: 0,
+                        sums: vec![0; nspecs],
+                        hists: vec![BTreeMap::new(); nspecs],
+                    });
+                    g.count += w;
+                    for (i, spec) in agg.specs.iter().enumerate() {
+                        match spec.agg {
+                            AggFn::Sum | AggFn::Avg => {
+                                g.sums[i] += w * spec.expr.eval_row(&row);
+                            }
+                            AggFn::Count => {}
+                            AggFn::Min | AggFn::Max => {
+                                let v = spec.expr.eval_row(&row);
+                                let e = g.hists[i].entry(v).or_insert(0);
+                                *e += w;
+                                if *e == 0 {
+                                    g.hists[i].remove(&v);
+                                }
+                            }
+                        }
+                    }
+                    if g.count == 0 {
+                        self.state.groups.remove(&key);
+                    }
+                }
+            }
+            None => {
+                for (row, w) in delta {
+                    *self.state.rows.entry(row).or_insert(0) += w;
+                }
+                self.state.rows.retain(|_, w| *w != 0);
+            }
+        }
+    }
+
+    /// Render the arranged state into the cached result rows (sorted,
+    /// deterministic) and the cached [`voodoo_core::StructuredVector`].
+    fn render(&mut self) {
+        let rows = match &self.def.agg {
+            Some(agg) => {
+                let spec_value = |g: &GroupEntry, i: usize, spec: &AggSpec| -> i64 {
+                    match spec.agg {
+                        AggFn::Sum => g.sums[i],
+                        AggFn::Count => g.count,
+                        AggFn::Avg => {
+                            if g.count > 0 {
+                                g.sums[i] / g.count
+                            } else {
+                                0
+                            }
+                        }
+                        AggFn::Min => g.hists[i].keys().next().copied().unwrap_or(0),
+                        AggFn::Max => g.hists[i].keys().next_back().copied().unwrap_or(0),
+                    }
+                };
+                match agg.key {
+                    Some(_) => {
+                        let mut keys: Vec<i64> = self.state.groups.keys().copied().collect();
+                        keys.sort_unstable();
+                        keys.into_iter()
+                            .filter_map(|k| {
+                                let g = &self.state.groups[&k];
+                                if g.count <= 0 {
+                                    return None;
+                                }
+                                let mut row = vec![k];
+                                for (i, spec) in agg.specs.iter().enumerate() {
+                                    row.push(spec_value(g, i, spec));
+                                }
+                                Some(row)
+                            })
+                            .collect()
+                    }
+                    None => {
+                        // Global aggregates always yield one row; guarded
+                        // outputs (MIN/MAX/AVG of nothing) render as 0.
+                        let empty = GroupEntry {
+                            count: 0,
+                            sums: vec![0; agg.specs.len()],
+                            hists: vec![BTreeMap::new(); agg.specs.len()],
+                        };
+                        let g = self.state.groups.get(&0).unwrap_or(&empty);
+                        let row = agg
+                            .specs
+                            .iter()
+                            .enumerate()
+                            .map(|(i, spec)| {
+                                if g.count > 0 {
+                                    spec_value(g, i, spec)
+                                } else {
+                                    0
+                                }
+                            })
+                            .collect();
+                        vec![row]
+                    }
+                }
+            }
+            None => {
+                let mut rows: Vec<Vec<i64>> = Vec::new();
+                let mut entries: Vec<(&Vec<i64>, i64)> =
+                    self.state.rows.iter().map(|(r, &w)| (r, w)).collect();
+                entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+                for (row, w) in entries {
+                    for _ in 0..w.max(0) {
+                        rows.push(row.clone());
+                    }
+                }
+                rows
+            }
+        };
+        let width = self.def.result_width();
+        let mut v = voodoo_core::StructuredVector::with_len(rows.len());
+        for c in 0..width {
+            let col: Vec<i64> = rows.iter().map(|r| r[c]).collect();
+            v.insert(
+                format!(".c{c}").as_str(),
+                voodoo_core::Column::from_buffer(voodoo_core::Buffer::I64(col)),
+            );
+        }
+        self.cached_rows = rows;
+        self.cached = v;
+    }
+}
+
+fn index_add(index: &mut JoinIndex, key: i64, row: Vec<i64>, w: i64) {
+    let bucket = index.entry(key).or_default();
+    let e = bucket.entry(row).or_insert(0);
+    *e += w;
+    if *e == 0 {
+        bucket.retain(|_, w| *w != 0);
+        if bucket.is_empty() {
+            index.remove(&key);
+        }
+    }
+}
+
+/// Run a source's full stage program and extract the weighted stream
+/// (every surviving row at weight `+1`).
+fn run_full_stage(src: &Source, cat: &Catalog, exec: &mut Exec) -> Result<Vec<(Vec<i64>, i64)>> {
+    let out = exec(&src.full_program(), cat)?;
+    extract_stream(&out, src.maps.len(), None)
+}
+
+/// Differentiate a source's stage program, run it against the scratch
+/// catalog the delta was staged into, and extract the weighted stream.
+fn run_delta_stage(
+    src: &Source,
+    scratch: &Catalog,
+    exec: &mut Exec,
+) -> Result<Vec<(Vec<i64>, i64)>> {
+    let full = src.full_program();
+    let d = differentiate(&full, &src.table, &src.delta_table())
+        .expect("source stage programs are linear by construction");
+    debug_assert_eq!(d.weights_slot, Some(src.maps.len() + 1));
+    let out = exec(&d.program, scratch)?;
+    extract_stream(&out, src.maps.len(), d.weights_slot)
+}
+
+/// Read a stage program's returns — `width` map columns, then the mask,
+/// then (optionally) weights — into a weighted row stream.
+fn extract_stream(
+    out: &ExecOutput,
+    width: usize,
+    weights_slot: Option<usize>,
+) -> Result<Vec<(Vec<i64>, i64)>> {
+    let expected = width + 1 + usize::from(weights_slot.is_some());
+    if out.returns.len() != expected {
+        return Err(VoodooError::Backend(format!(
+            "stage program returned {} vectors, expected {expected}",
+            out.returns.len()
+        )));
+    }
+    let val = KeyPath::val();
+    let at = |slot: usize, i: usize| -> i64 {
+        out.returns[slot]
+            .value_at(i, &val)
+            .map(|v| v.as_i64())
+            .unwrap_or(0)
+    };
+    let len = out.returns[width].len();
+    let mut stream = Vec::new();
+    for i in 0..len {
+        if at(width, i) == 0 {
+            continue;
+        }
+        let w = weights_slot.map_or(1, |s| at(s, i));
+        if w == 0 {
+            continue;
+        }
+        stream.push(((0..width).map(|c| at(c, i)).collect(), w));
+    }
+    Ok(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voodoo_core::Buffer;
+    use voodoo_interp::Interpreter;
+    use voodoo_storage::{Table, TableColumn};
+
+    fn interp_exec(p: &Program, cat: &Catalog) -> Result<ExecOutput> {
+        Interpreter::new(cat).run_program(p)
+    }
+
+    fn put(cat: &mut Catalog, name: &str, cols: &[(&str, Vec<i64>)]) {
+        let mut t = Table::new(name);
+        for (c, vals) in cols {
+            t.add_column(TableColumn::from_buffer(c, Buffer::I64(vals.clone())));
+        }
+        cat.insert_table(t);
+    }
+
+    fn grouped_def() -> ViewDef {
+        // SELECT k, sum(v), count(*), min(v), max(v) FROM t WHERE v > 0 GROUP BY k
+        ViewDef::of(Source {
+            table: "t".into(),
+            cols: vec!["k".into(), "v".into()],
+            filter: vec![Pred {
+                op: BinOp::Greater,
+                lhs: SExpr::Col(1),
+                rhs: SExpr::Lit(0),
+            }],
+            maps: vec![SExpr::Col(0), SExpr::Col(1)],
+        })
+        .aggregate(AggDef {
+            key: Some(0),
+            specs: vec![
+                AggSpec {
+                    agg: AggFn::Sum,
+                    expr: SExpr::Col(1),
+                },
+                AggSpec {
+                    agg: AggFn::Count,
+                    expr: SExpr::Lit(1),
+                },
+                AggSpec {
+                    agg: AggFn::Min,
+                    expr: SExpr::Col(1),
+                },
+                AggSpec {
+                    agg: AggFn::Max,
+                    expr: SExpr::Col(1),
+                },
+            ],
+        })
+    }
+
+    #[test]
+    fn delta_refresh_matches_oracle_through_mutations() {
+        let mut cat = Catalog::in_memory();
+        put(
+            &mut cat,
+            "t",
+            &[("k", vec![0, 1, 0, 2]), ("v", vec![5, 3, -1, 8])],
+        );
+        let mut view = MaintainedView::new(grouped_def()).unwrap();
+        let r = view.refresh(&cat, &mut interp_exec).unwrap();
+        assert_eq!(r.kind, RefreshKind::Full);
+        assert_eq!(
+            view.rows(),
+            &[
+                vec![0, 5, 1, 5, 5],
+                vec![1, 3, 1, 3, 3],
+                vec![2, 8, 1, 8, 8]
+            ]
+        );
+
+        // Unchanged catalog: a hit.
+        let r = view.refresh(&cat, &mut interp_exec).unwrap();
+        assert_eq!(r.kind, RefreshKind::Hit);
+
+        // Row-captured mutations refresh incrementally and stay
+        // bit-identical to a fresh full evaluation.
+        cat.append_rows("t", &[vec![1, 10], vec![3, 2]]);
+        cat.update_rows("t", &[(0, vec![0, 7])]);
+        cat.delete_rows("t", &[3]);
+        let r = view.refresh(&cat, &mut interp_exec).unwrap();
+        assert_eq!(r.kind, RefreshKind::Delta);
+        assert!(r.rows_processed > 0);
+        let oracle = MaintainedView::evaluate(grouped_def(), &cat, &mut interp_exec).unwrap();
+        assert_eq!(view.rows(), oracle.as_slice());
+
+        // A rewrite forces a counted full recompute.
+        cat.table_mut("t").unwrap();
+        let r = view.refresh(&cat, &mut interp_exec).unwrap();
+        assert_eq!(r.kind, RefreshKind::Full);
+        let oracle = MaintainedView::evaluate(grouped_def(), &cat, &mut interp_exec).unwrap();
+        assert_eq!(view.rows(), oracle.as_slice());
+    }
+
+    #[test]
+    fn delete_to_empty_group_drops_the_group() {
+        let mut cat = Catalog::in_memory();
+        put(&mut cat, "t", &[("k", vec![0, 1]), ("v", vec![5, 3])]);
+        let mut view = MaintainedView::new(grouped_def()).unwrap();
+        view.refresh(&cat, &mut interp_exec).unwrap();
+        cat.delete_rows("t", &[1]);
+        let r = view.refresh(&cat, &mut interp_exec).unwrap();
+        assert_eq!(r.kind, RefreshKind::Delta);
+        assert_eq!(view.rows(), &[vec![0, 5, 1, 5, 5]]);
+        // Delete the remaining group too: the view empties.
+        cat.delete_rows("t", &[0]);
+        view.refresh(&cat, &mut interp_exec).unwrap();
+        assert!(view.rows().is_empty());
+        assert_eq!(view.cached_vector().len(), 0);
+    }
+
+    #[test]
+    fn join_deltas_on_both_sides() {
+        let mut cat = Catalog::in_memory();
+        put(
+            &mut cat,
+            "fact",
+            &[("fk", vec![0, 1, 1]), ("q", vec![2, 3, 4])],
+        );
+        put(&mut cat, "dim", &[("id", vec![0, 1]), ("p", vec![10, 100])]);
+        // SELECT sum(q * p) FROM fact JOIN dim ON fk = id
+        let def = ViewDef::of(Source::scan("fact", &["fk", "q"]))
+            .join(JoinDef {
+                right: Source::scan("dim", &["id", "p"]),
+                left_key: 0,
+                right_key: 0,
+            })
+            .aggregate(AggDef {
+                key: None,
+                specs: vec![AggSpec {
+                    agg: AggFn::Sum,
+                    expr: SExpr::bin(BinOp::Multiply, SExpr::Col(1), SExpr::Col(3)),
+                }],
+            });
+        let mut view = MaintainedView::new(def.clone()).unwrap();
+        view.refresh(&cat, &mut interp_exec).unwrap();
+        assert_eq!(view.rows(), &[vec![2 * 10 + 3 * 100 + 4 * 100]]);
+
+        // Build-side and probe-side deltas in one refresh.
+        cat.append_rows("fact", &[vec![1, 5]]);
+        cat.update_rows("dim", &[(0, vec![0, 20])]);
+        let r = view.refresh(&cat, &mut interp_exec).unwrap();
+        assert_eq!(r.kind, RefreshKind::Delta);
+        let oracle = MaintainedView::evaluate(def, &cat, &mut interp_exec).unwrap();
+        assert_eq!(view.rows(), oracle.as_slice());
+        assert_eq!(view.rows(), &[vec![2 * 20 + (3 + 4 + 5) * 100]]);
+    }
+
+    #[test]
+    fn ungrouped_view_of_nothing_renders_guarded_zeros() {
+        let mut cat = Catalog::in_memory();
+        put(&mut cat, "t", &[("k", vec![]), ("v", vec![])]);
+        let def = ViewDef::of(Source::scan("t", &["k", "v"])).aggregate(AggDef {
+            key: None,
+            specs: vec![
+                AggSpec {
+                    agg: AggFn::Sum,
+                    expr: SExpr::Col(1),
+                },
+                AggSpec {
+                    agg: AggFn::Min,
+                    expr: SExpr::Col(1),
+                },
+                AggSpec {
+                    agg: AggFn::Avg,
+                    expr: SExpr::Col(1),
+                },
+            ],
+        });
+        let mut view = MaintainedView::new(def).unwrap();
+        view.refresh(&cat, &mut interp_exec).unwrap();
+        assert_eq!(view.rows(), &[vec![0, 0, 0]]);
+    }
+
+    #[test]
+    fn filter_only_view_expands_multiplicities() {
+        let mut cat = Catalog::in_memory();
+        put(&mut cat, "t", &[("v", vec![4, 4, 1])]);
+        let def = ViewDef::of(Source {
+            table: "t".into(),
+            cols: vec!["v".into()],
+            filter: vec![Pred {
+                op: BinOp::Greater,
+                lhs: SExpr::Col(0),
+                rhs: SExpr::Lit(2),
+            }],
+            maps: vec![SExpr::Col(0)],
+        });
+        let mut view = MaintainedView::new(def.clone()).unwrap();
+        view.refresh(&cat, &mut interp_exec).unwrap();
+        assert_eq!(view.rows(), &[vec![4], vec![4]]);
+        cat.delete_rows("t", &[0]);
+        cat.append_rows("t", &[vec![9]]);
+        let r = view.refresh(&cat, &mut interp_exec).unwrap();
+        assert_eq!(r.kind, RefreshKind::Delta);
+        assert_eq!(view.rows(), &[vec![4], vec![9]]);
+        let oracle = MaintainedView::evaluate(def, &cat, &mut interp_exec).unwrap();
+        assert_eq!(view.rows(), oracle.as_slice());
+    }
+
+    #[test]
+    fn sentinel_values_are_ordinary_data() {
+        // i64::MIN / i64::MAX are the SQL layer's fold identities; the
+        // arranged MIN/MAX path must treat them as plain values.
+        let mut cat = Catalog::in_memory();
+        put(
+            &mut cat,
+            "t",
+            &[("k", vec![0, 0]), ("v", vec![i64::MAX, i64::MIN])],
+        );
+        let mut view = MaintainedView::new(grouped_def()).unwrap();
+        view.refresh(&cat, &mut interp_exec).unwrap();
+        // Filter v > 0 keeps only i64::MAX.
+        assert_eq!(view.rows(), &[vec![0, i64::MAX, 1, i64::MAX, i64::MAX]]);
+        cat.delete_rows("t", &[0]);
+        view.refresh(&cat, &mut interp_exec).unwrap();
+        assert!(view.rows().is_empty());
+    }
+}

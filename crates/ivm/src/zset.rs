@@ -1,0 +1,178 @@
+//! Z-set delta batches: rows with signed multiplicities.
+//!
+//! A [`ZBatch`] is the unit of change this subsystem moves around: a named
+//! column schema, row images (`i64` per column), and one signed weight per
+//! row (`+1` insert, `-1` delete). It converts to and from the storage
+//! layer's [`RowDelta`] capture format, renders as a
+//! [`StructuredVector`] for interchange with backends, and stages into a
+//! [`Catalog`] as a scratch table (columns plus the [`WEIGHT_COL`] weight
+//! column) that differentiated programs `Load`.
+
+use voodoo_core::{Buffer, StructuredVector};
+use voodoo_storage::{Catalog, RowDelta, Table, TableColumn};
+
+use crate::diff::WEIGHT_COL;
+
+/// A batch of weighted rows — a Z-set delta over a fixed column schema.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ZBatch {
+    /// Column names, in row-image order (no leading dots).
+    pub cols: Vec<String>,
+    /// Row images, one `i64` per column.
+    pub rows: Vec<Vec<i64>>,
+    /// Signed multiplicity per row, aligned with `rows`.
+    pub weights: Vec<i64>,
+}
+
+impl ZBatch {
+    /// An empty batch over the given columns.
+    pub fn new(cols: impl IntoIterator<Item = impl Into<String>>) -> ZBatch {
+        ZBatch {
+            cols: cols.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Wrap a captured [`RowDelta`] with the owning table's column names.
+    pub fn from_delta(cols: impl IntoIterator<Item = impl Into<String>>, d: &RowDelta) -> ZBatch {
+        let mut z = ZBatch::new(cols);
+        z.rows = d.rows.clone();
+        z.weights = d.weights.clone();
+        z
+    }
+
+    /// Number of (row, weight) pairs.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the batch carries no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Add one weighted row.
+    pub fn push(&mut self, row: Vec<i64>, weight: i64) {
+        debug_assert_eq!(row.len(), self.cols.len());
+        self.rows.push(row);
+        self.weights.push(weight);
+    }
+
+    /// Z-set addition: concatenate another batch of the same schema.
+    pub fn merge(&mut self, other: &ZBatch) {
+        debug_assert_eq!(self.cols, other.cols);
+        self.rows.extend(other.rows.iter().cloned());
+        self.weights.extend(other.weights.iter().copied());
+    }
+
+    /// Canonicalize: sort rows, combine equal rows by summing weights,
+    /// and drop rows whose net weight is zero.
+    pub fn consolidate(&mut self) {
+        let mut paired: Vec<(Vec<i64>, i64)> = self
+            .rows
+            .drain(..)
+            .zip(self.weights.drain(..))
+            .filter(|&(_, w)| w != 0)
+            .collect();
+        paired.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (row, w) in paired {
+            match self.rows.last() {
+                Some(last) if *last == row => {
+                    *self.weights.last_mut().unwrap() += w;
+                    if *self.weights.last().unwrap() == 0 {
+                        self.rows.pop();
+                        self.weights.pop();
+                    }
+                }
+                _ => {
+                    self.rows.push(row);
+                    self.weights.push(w);
+                }
+            }
+        }
+    }
+
+    /// Render as a [`StructuredVector`]: one `.name` field per column plus
+    /// the `.__w` weight field — the wire format backends consume.
+    pub fn to_vector(&self) -> StructuredVector {
+        let mut v = StructuredVector::with_len(self.len());
+        for (c, name) in self.cols.iter().enumerate() {
+            let vals: Vec<i64> = self.rows.iter().map(|r| r[c]).collect();
+            v.insert(
+                name.as_str(),
+                voodoo_core::Column::from_buffer(Buffer::I64(vals)),
+            );
+        }
+        v.insert(
+            WEIGHT_COL,
+            voodoo_core::Column::from_buffer(Buffer::I64(self.weights.clone())),
+        );
+        v
+    }
+
+    /// Build the scratch table a differentiated program `Load`s: the
+    /// batch's columns plus the [`WEIGHT_COL`] weight column.
+    pub fn to_table(&self, name: &str) -> Table {
+        let mut t = Table::new(name);
+        for (c, col) in self.cols.iter().enumerate() {
+            let vals: Vec<i64> = self.rows.iter().map(|r| r[c]).collect();
+            t.add_column(TableColumn::from_buffer(col, Buffer::I64(vals)));
+        }
+        t.add_column(TableColumn::from_buffer(
+            WEIGHT_COL,
+            Buffer::I64(self.weights.clone()),
+        ));
+        t
+    }
+
+    /// Stage the batch into a catalog under `name`, with the per-table
+    /// version pinned to the row count. Pinning keeps
+    /// [`Catalog::table_state`] fingerprints — and thus prepared-plan
+    /// cache keys — identical across refreshes that stage same-sized
+    /// deltas, so delta programs stay hot in the plan cache.
+    pub fn stage(&self, cat: &mut Catalog, name: &str) {
+        cat.insert_table_pinned(self.to_table(name), self.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consolidate_merges_and_drops() {
+        let mut z = ZBatch::new(["k", "v"]);
+        z.push(vec![1, 10], 1);
+        z.push(vec![0, 5], 1);
+        z.push(vec![1, 10], 2);
+        z.push(vec![0, 5], -1);
+        z.push(vec![2, 7], 0);
+        z.consolidate();
+        assert_eq!(z.rows, vec![vec![1, 10]]);
+        assert_eq!(z.weights, vec![3]);
+    }
+
+    #[test]
+    fn staging_pins_version_to_len() {
+        let mut z = ZBatch::new(["a"]);
+        z.push(vec![4], 1);
+        z.push(vec![5], -1);
+        let mut cat = Catalog::in_memory();
+        z.stage(&mut cat, "__d");
+        assert_eq!(cat.table_version("__d"), Some(2));
+        let t = cat.table("__d").unwrap();
+        assert_eq!(t.len, 2);
+        assert_eq!(
+            t.column(WEIGHT_COL)
+                .unwrap()
+                .data
+                .buffer()
+                .as_i64()
+                .unwrap(),
+            &[1, -1]
+        );
+        let v = z.to_vector();
+        assert_eq!(v.len(), 2);
+    }
+}

@@ -23,6 +23,7 @@
 //! per-backend shims) predate the engine and survive for callers that
 //! hold a bare [`Backend`] and a `&Catalog`.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -34,6 +35,7 @@ use voodoo_compile::exec::StatementTrace;
 use voodoo_compile::MorselPool;
 use voodoo_core::{Program, Result, VoodooError};
 use voodoo_interp::ExecOutput;
+use voodoo_ivm::{MaintainedView, Refresh, RefreshKind, ViewDef};
 use voodoo_storage::{Catalog, CatalogSnapshot};
 use voodoo_tpch::queries::{Query, QueryResult};
 
@@ -81,6 +83,23 @@ pub struct EngineMetrics {
     /// statements *offered* work, steals say how much the scheduler
     /// had to move it.
     pub steals: u64,
+    /// Materialized-view reads satisfied from the cached result with no
+    /// maintenance work (no dependency version drifted).
+    pub view_hits: u64,
+    /// Materialized-view refreshes applied from captured row deltas —
+    /// the `O(changes)` path.
+    pub delta_refreshes: u64,
+    /// Materialized-view refreshes that fell back to a full recompute
+    /// (initial materialization, a non-capturable rewrite, or a trimmed
+    /// change log). A rising rate here means maintenance coverage is
+    /// slipping.
+    pub full_recomputes: u64,
+    /// Rows pushed through view delta pipelines, cumulative. Compare
+    /// against [`EngineMetrics::rows_full`]: their ratio is the work
+    /// saved by incremental maintenance.
+    pub rows_delta: u64,
+    /// Rows scanned by view full recomputes, cumulative.
+    pub rows_full: u64,
     /// Median execution latency over the reservoir window, in seconds.
     pub p50_seconds: Option<f64>,
     /// 99th-percentile execution latency over the window, in seconds.
@@ -98,6 +117,18 @@ impl EngineMetrics {
             1.0
         } else {
             self.partitions_used as f64 / self.queries_served as f64
+        }
+    }
+
+    /// Fraction of all view-maintenance row traffic that went through the
+    /// delta path (`1.0` = every refresh was incremental; `0.0` with no
+    /// refreshes recorded).
+    pub fn delta_row_fraction(&self) -> f64 {
+        let total = self.rows_delta + self.rows_full;
+        if total == 0 {
+            0.0
+        } else {
+            self.rows_delta as f64 / total as f64
         }
     }
 }
@@ -145,6 +176,11 @@ struct Metrics {
     parallel_statements: AtomicU64,
     pool_tasks: AtomicU64,
     steals: AtomicU64,
+    view_hits: AtomicU64,
+    delta_refreshes: AtomicU64,
+    full_recomputes: AtomicU64,
+    rows_delta: AtomicU64,
+    rows_full: AtomicU64,
     reservoir: Mutex<Reservoir>,
 }
 
@@ -160,6 +196,11 @@ impl Metrics {
             parallel_statements: AtomicU64::new(0),
             pool_tasks: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            view_hits: AtomicU64::new(0),
+            delta_refreshes: AtomicU64::new(0),
+            full_recomputes: AtomicU64::new(0),
+            rows_delta: AtomicU64::new(0),
+            rows_full: AtomicU64::new(0),
             reservoir: Mutex::new(Reservoir::new()),
         }
     }
@@ -238,6 +279,11 @@ pub struct Engine {
     shared: RwLock<Shared>,
     cache: ShardedPlanCache,
     metrics: Metrics,
+    /// Registered materialized views. The outer lock is held only to look
+    /// up or insert a slot; each view's own lock serializes its refreshes,
+    /// so two views never block each other and readers of an up-to-date
+    /// view only wait on an in-flight refresh of that same view.
+    views: Mutex<HashMap<String, Arc<Mutex<MaintainedView>>>>,
 }
 
 impl Engine {
@@ -303,6 +349,7 @@ impl Engine {
             }),
             cache: ShardedPlanCache::new(),
             metrics: Metrics::new(),
+            views: Mutex::new(HashMap::new()),
         }
     }
 
@@ -518,6 +565,11 @@ impl Engine {
             parallel_statements: self.metrics.parallel_statements.load(Ordering::Relaxed),
             pool_tasks: self.metrics.pool_tasks.load(Ordering::Relaxed),
             steals: self.metrics.steals.load(Ordering::Relaxed),
+            view_hits: self.metrics.view_hits.load(Ordering::Relaxed),
+            delta_refreshes: self.metrics.delta_refreshes.load(Ordering::Relaxed),
+            full_recomputes: self.metrics.full_recomputes.load(Ordering::Relaxed),
+            rows_delta: self.metrics.rows_delta.load(Ordering::Relaxed),
+            rows_full: self.metrics.rows_full.load(Ordering::Relaxed),
             p50_seconds: Reservoir::quantile(&sorted, 0.50),
             p99_seconds: Reservoir::quantile(&sorted, 0.99),
             latency_samples: sorted.len(),
@@ -575,6 +627,26 @@ impl Engine {
         self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
+    fn record_view_refresh(&self, r: &Refresh) {
+        match r.kind {
+            RefreshKind::Hit => {
+                self.metrics.view_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            RefreshKind::Delta => {
+                self.metrics.delta_refreshes.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .rows_delta
+                    .fetch_add(r.rows_processed, Ordering::Relaxed);
+            }
+            RefreshKind::Full => {
+                self.metrics.full_recomputes.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .rows_full
+                    .fetch_add(r.rows_processed, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Start attributing plan-cache hits/misses on this thread (serve
     /// workers bracket each execution with begin/end).
     pub(crate) fn cache_trace_begin(&self) {
@@ -584,6 +656,120 @@ impl Engine {
     /// Stop attributing and return `(hits, misses)` seen since begin.
     pub(crate) fn cache_trace_end(&self) -> (u64, u64) {
         CACHE_TRACE.with(|t| t.take()).unwrap_or((0, 0))
+    }
+
+    // -- materialized views -------------------------------------------
+
+    /// Register a materialized view over a SQL statement (the same subset
+    /// [`Engine::sql`] accepts) and materialize it eagerly — the initial
+    /// build is a counted full recompute. Subsequent [`Engine::read_view`]
+    /// calls serve the cached result, refreshing it from captured row
+    /// deltas when dependency versions drift.
+    ///
+    /// Re-creating under an existing name replaces the old view.
+    pub fn create_view(&self, name: &str, stmt: &str) -> Result<()> {
+        let def = crate::views::view_def_from_sql(&crate::sql::parse(stmt)?)?;
+        self.create_view_def(name, def)
+    }
+
+    /// Register a materialized view from an explicit [`ViewDef`] — the
+    /// route to join views, which the SQL subset cannot express.
+    pub fn create_view_def(&self, name: &str, def: ViewDef) -> Result<()> {
+        let slot = Arc::new(Mutex::new(MaintainedView::new(def)?));
+        // Build before publishing: a failed initial materialization
+        // (unknown table) leaves no half-registered view behind, and a
+        // racing reader can never observe an unbuilt one.
+        self.refresh_view_slot(&slot, &self.default_backend())?;
+        self.views
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), slot);
+        Ok(())
+    }
+
+    /// Registered view names, sorted.
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .views
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The definition of a registered view, if any.
+    pub fn view_def(&self, name: &str) -> Option<ViewDef> {
+        let slot = self
+            .views
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()?;
+        let guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+        Some(guard.def().clone())
+    }
+
+    /// Unregister a view; returns whether it existed.
+    pub fn drop_view(&self, name: &str) -> bool {
+        self.views
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(name)
+            .is_some()
+    }
+
+    /// Read a materialized view on the default backend, refreshing it
+    /// first if any dependency changed since the last read. Counts toward
+    /// the serving metrics like any statement, plus the view counters
+    /// ([`EngineMetrics::view_hits`] / `delta_refreshes` /
+    /// `full_recomputes`).
+    pub fn read_view(&self, name: &str) -> Result<QueryResult> {
+        self.read_view_on(name, &self.default_backend())
+    }
+
+    /// [`Engine::read_view`] with the refresh's stage programs executed
+    /// on a named backend.
+    pub fn read_view_on(&self, name: &str, backend: &str) -> Result<QueryResult> {
+        let started = Instant::now();
+        let result = self.view_rows_on(name, backend);
+        self.record_execution(started, result.is_ok());
+        result
+    }
+
+    /// Look up + refresh + render, without serving-metrics accounting
+    /// (callers wrap it: `read_view_on` directly, `run_spec` through the
+    /// admission queue).
+    fn view_rows_on(&self, name: &str, backend: &str) -> Result<QueryResult> {
+        let slot = self
+            .views
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+            .ok_or_else(|| VoodooError::Backend(format!("unknown view {name:?}")))?;
+        self.refresh_view_slot(&slot, backend)
+    }
+
+    /// Refresh one view against the current catalog snapshot, executing
+    /// its (differentiated) stage programs through the prepared-plan
+    /// cache on the given backend. The slot lock serializes concurrent
+    /// refreshes; the snapshot is pinned before the state is read, so a
+    /// writer publishing mid-refresh is simply picked up by the next read.
+    fn refresh_view_slot(
+        &self,
+        slot: &Arc<Mutex<MaintainedView>>,
+        backend: &str,
+    ) -> Result<QueryResult> {
+        let resolved = self.backend_arc(backend)?;
+        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+        let snapshot = self.snapshot();
+        let mut exec = |p: &Program, c: &Catalog| self.plan_for(&resolved, p, c)?.execute(c);
+        let refresh = guard.refresh(&snapshot, &mut exec)?;
+        self.record_view_refresh(&refresh);
+        Ok(QueryResult::new(guard.rows().to_vec()))
     }
 
     // -- serving ------------------------------------------------------
@@ -656,6 +842,19 @@ impl Engine {
                     return Err(e);
                 }
             },
+            // View reads maintain state against the LIVE catalog — they
+            // ignore `spec.pinned` by design: a maintained view's whole
+            // contract is convergence with the current data, and its
+            // internal snapshot pin already makes each refresh atomic.
+            SpecKind::View(name) => {
+                let backend = match &spec.backend {
+                    Some(b) => b.clone(),
+                    None => self.default_backend(),
+                };
+                let result = self.view_rows_on(name, &backend);
+                self.record_execution(started, result.is_ok());
+                return result.map(StatementOutput::Rows);
+            }
         };
         let backend = match &spec.backend {
             Some(b) => b.clone(),
@@ -709,6 +908,7 @@ enum SpecKind {
     Program(Program),
     Tpch(Query),
     Sql(String),
+    View(String),
 }
 
 /// One statement of a [`Engine::run_batch`] batch: what to run and
@@ -747,6 +947,18 @@ impl StatementSpec {
     pub fn sql(text: impl Into<String>) -> StatementSpec {
         StatementSpec {
             kind: SpecKind::Sql(text.into()),
+            backend: None,
+            pinned: None,
+        }
+    }
+
+    /// A read of a registered materialized view ([`Engine::create_view`]),
+    /// refreshed on read. Unlike the other spec kinds a view read ignores
+    /// any batch-pinned snapshot: the view maintains state against the
+    /// live catalog (its refresh pins its own snapshot internally).
+    pub fn view(name: impl Into<String>) -> StatementSpec {
+        StatementSpec {
+            kind: SpecKind::View(name.into()),
             backend: None,
             pinned: None,
         }

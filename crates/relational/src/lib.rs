@@ -30,7 +30,12 @@
 //!   [`Statement`]s are `Send`, so many threads can prepare/run/profile
 //!   concurrently against one engine,
 //! * [`sql`] — a small SQL subset parser lowered through the same builder
-//!   (single-table `SELECT ... FROM ... WHERE ... GROUP BY`).
+//!   (single-table `SELECT ... FROM ... WHERE ... GROUP BY`),
+//! * [`views`] — materialized views maintained incrementally by the
+//!   `voodoo-ivm` delta subsystem: [`Engine::create_view`] caches a
+//!   query's result; reads refresh it from captured row deltas in
+//!   `O(changes)`, falling back to a counted full recompute when
+//!   row-level capture is unavailable.
 //!
 //! # Parallel execution
 //!
@@ -78,6 +83,7 @@ pub mod queries;
 pub mod serve;
 pub mod session;
 pub mod sql;
+pub mod views;
 
 #[allow(deprecated)]
 pub use engine::{run_compiled, run_compiled_optimized, run_interp, run_with};
@@ -88,6 +94,9 @@ pub use serve::{
     ServerHandle, SessionServeStats, SubmitError, DEFAULT_QUEUE_CAPACITY,
 };
 pub use session::{RunProfile, Session, Statement, StatementOutput};
+pub use views::{
+    AggDef, AggFn, AggSpec, JoinDef, MaintainedView, Pred, RefreshKind, SExpr, Source, ViewDef,
+};
 
 #[cfg(test)]
 mod tests;

@@ -81,6 +81,46 @@
 //! assert_eq!(session.metrics().sheds, 0);
 //! server.shutdown();
 //! ```
+//!
+//! # Materialized views
+//!
+//! Results that are re-read far more often than the data changes
+//! shouldn't be recomputed per read: [`Session::create_view`]
+//! materializes a statement's result once, and later reads refresh the
+//! cache from captured row deltas in `O(changes)` (see [`crate::views`]
+//! for the delta algebra and the SQL→IR bridge):
+//!
+//! ```
+//! use voodoo_core::Buffer;
+//! use voodoo_relational::Session;
+//! use voodoo_storage::{Catalog, Table, TableColumn};
+//!
+//! let mut cat = Catalog::in_memory();
+//! let mut sales = Table::new("sales");
+//! sales.add_column(TableColumn::from_buffer("region", Buffer::I64(vec![0, 1, 0])));
+//! sales.add_column(TableColumn::from_buffer("amount", Buffer::I64(vec![10, 20, 30])));
+//! cat.insert_table(sales);
+//!
+//! let session = Session::new(cat);
+//! session
+//!     .create_view(
+//!         "by_region",
+//!         "SELECT region, SUM(amount), COUNT(*) FROM sales GROUP BY region",
+//!     )
+//!     .unwrap();
+//! assert_eq!(
+//!     session.read_view("by_region").unwrap(),
+//!     vec![vec![0, 40, 2], vec![1, 20, 1]],
+//! );
+//! // A captured append refreshes the view from the 1-row delta — the
+//! // base table is never rescanned.
+//! session.mutate_catalog(|c| c.append_rows("sales", &[vec![1, 5]]));
+//! assert_eq!(
+//!     session.read_view("by_region").unwrap(),
+//!     vec![vec![0, 40, 2], vec![1, 25, 2]],
+//! );
+//! assert_eq!(session.metrics().delta_refreshes, 1);
+//! ```
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -526,6 +566,40 @@ impl Session {
     /// Convenience: run a SQL string on the default backend.
     pub fn run_sql(&self, text: &str) -> Result<Vec<Vec<i64>>> {
         Ok(self.sql(text)?.run()?.into_rows().rows)
+    }
+
+    /// Register a materialized view over a SQL statement and build it
+    /// eagerly. See [`Engine::create_view`].
+    pub fn create_view(&self, name: &str, stmt: &str) -> Result<()> {
+        self.engine.create_view(name, stmt)
+    }
+
+    /// Register a materialized view from an explicit
+    /// [`crate::views::ViewDef`] (the route to join views). See
+    /// [`Engine::create_view_def`].
+    pub fn create_view_def(&self, name: &str, def: crate::views::ViewDef) -> Result<()> {
+        self.engine.create_view_def(name, def)
+    }
+
+    /// Read a materialized view (refreshed on read when dependencies
+    /// changed). See [`Engine::read_view`].
+    pub fn read_view(&self, name: &str) -> Result<Vec<Vec<i64>>> {
+        Ok(self.engine.read_view(name)?.rows)
+    }
+
+    /// [`Session::read_view`] on a named backend.
+    pub fn read_view_on(&self, name: &str, backend: &str) -> Result<Vec<Vec<i64>>> {
+        Ok(self.engine.read_view_on(name, backend)?.rows)
+    }
+
+    /// Unregister a view; returns whether it existed.
+    pub fn drop_view(&self, name: &str) -> bool {
+        self.engine.drop_view(name)
+    }
+
+    /// Registered view names, sorted.
+    pub fn view_names(&self) -> Vec<String> {
+        self.engine.view_names()
     }
 }
 

@@ -1,0 +1,157 @@
+//! Materialized views over the SQL frontend.
+//!
+//! This module is the thin bridge between the relational layer and the
+//! [`voodoo_ivm`] delta subsystem: it translates a parsed [`SqlQuery`]
+//! into the IVM crate's [`ViewDef`] dataflow IR and re-exports the IVM
+//! vocabulary so downstream crates (benches, tests, examples) need no
+//! direct `voodoo-ivm` dependency. The engine entry points live on
+//! [`crate::Engine`]: [`crate::Engine::create_view`] (SQL),
+//! [`crate::Engine::create_view_def`] (explicit IR, e.g. join views) and
+//! [`crate::Engine::read_view`] / [`crate::StatementSpec::view`] (reads,
+//! refreshed in `O(delta)` from captured row changes when possible).
+//!
+//! Translation notes:
+//!
+//! - The source stage's column list is exactly the set of base columns
+//!   the query references (group key, aggregate inputs, predicate), in
+//!   first-reference order, streamed onward as identity maps.
+//! - `COUNT(*)` becomes [`AggFn::Count`]; `AVG` stays truncating integer
+//!   `SUM/COUNT`, matching the SQL layer bit for bit.
+//! - Unlike the SQL layer's stats-sized dense group domains, the view
+//!   path groups through a hash arrangement, so any `i64` key works —
+//!   views are a superset of what `GROUP BY` accepts live.
+
+pub use voodoo_ivm::{
+    differentiate, AggDef, AggFn, AggSpec, DeltaProgram, JoinDef, MaintainedView, Pred, Refresh,
+    RefreshKind, SExpr, Source, ViewDef, ZBatch, WEIGHT_COL,
+};
+
+use voodoo_core::{Result, VoodooError};
+
+use crate::sql::{Cmp, Expr, Item, SqlQuery};
+
+/// Index of `name` in `cols`, appending it if unseen.
+fn col_slot(cols: &mut Vec<String>, name: &str) -> usize {
+    match cols.iter().position(|c| c == name) {
+        Some(i) => i,
+        None => {
+            cols.push(name.to_string());
+            cols.len() - 1
+        }
+    }
+}
+
+/// Rewrite a SQL expression over named columns into an [`SExpr`] over the
+/// source's column slots (allocating slots as references appear).
+fn sexpr(e: &Expr, cols: &mut Vec<String>) -> SExpr {
+    match e {
+        Expr::Col(c) => SExpr::Col(col_slot(cols, c)),
+        Expr::Lit(v) => SExpr::Lit(*v),
+        Expr::Bin(op, l, r) => SExpr::bin(*op, sexpr(l, cols), sexpr(r, cols)),
+    }
+}
+
+/// Translate a parsed SQL query into a maintained-view definition.
+///
+/// The whole SQL subset translates except a query with no aggregates and
+/// no grouping, which the parser already rejects; every [`Item`] maps to
+/// one [`AggSpec`].
+pub fn view_def_from_sql(q: &SqlQuery) -> Result<ViewDef> {
+    let mut cols: Vec<String> = Vec::new();
+    // The group key takes slot 0 when present, so the rendered rows match
+    // the SQL layer's key-first column order.
+    let key = q.group_by.as_deref().map(|g| col_slot(&mut cols, g));
+    let specs: Vec<AggSpec> = q
+        .items
+        .iter()
+        .map(|item| match item {
+            Item::Sum(e) => AggSpec {
+                agg: AggFn::Sum,
+                expr: sexpr(e, &mut cols),
+            },
+            Item::Min(e) => AggSpec {
+                agg: AggFn::Min,
+                expr: sexpr(e, &mut cols),
+            },
+            Item::Max(e) => AggSpec {
+                agg: AggFn::Max,
+                expr: sexpr(e, &mut cols),
+            },
+            Item::Avg(e) => AggSpec {
+                agg: AggFn::Avg,
+                expr: sexpr(e, &mut cols),
+            },
+            Item::CountStar => AggSpec {
+                agg: AggFn::Count,
+                expr: SExpr::Lit(1),
+            },
+            // parse() strips bare columns after checking they name the
+            // group key; reaching one here means the caller bypassed it.
+            Item::Column(c) => AggSpec {
+                agg: AggFn::Count,
+                expr: SExpr::Col(col_slot(&mut cols, c)),
+            },
+        })
+        .collect();
+    if specs.is_empty() && key.is_none() {
+        return Err(VoodooError::Backend(
+            "view query selects nothing to maintain".to_string(),
+        ));
+    }
+    let filter: Vec<Pred> = q
+        .predicate
+        .iter()
+        .map(|Cmp { op, lhs, rhs }| Pred {
+            op: *op,
+            lhs: sexpr(lhs, &mut cols),
+            rhs: sexpr(rhs, &mut cols),
+        })
+        .collect();
+    let maps: Vec<SExpr> = (0..cols.len()).map(SExpr::Col).collect();
+    let def = ViewDef::of(Source {
+        table: q.table.clone(),
+        cols,
+        filter,
+        maps,
+    })
+    .aggregate(AggDef { key, specs });
+    Ok(def)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql;
+
+    #[test]
+    fn grouped_query_translates_with_key_first() {
+        let q = sql::parse(
+            "SELECT region, SUM(amount * qty), COUNT(*) FROM sales \
+             WHERE qty > 2 GROUP BY region",
+        )
+        .unwrap();
+        let def = view_def_from_sql(&q).unwrap();
+        assert_eq!(def.source.table, "sales");
+        assert_eq!(def.source.cols, vec!["region", "amount", "qty"]);
+        let agg = def.agg.as_ref().unwrap();
+        assert_eq!(agg.key, Some(0));
+        assert_eq!(agg.specs.len(), 2);
+        assert_eq!(agg.specs[0].agg, AggFn::Sum);
+        assert_eq!(agg.specs[1].agg, AggFn::Count);
+        assert_eq!(def.source.filter.len(), 1);
+        // Builds into a valid maintained view.
+        MaintainedView::new(def).unwrap();
+    }
+
+    #[test]
+    fn global_query_translates_without_key() {
+        let q = sql::parse("SELECT MIN(v), AVG(v) FROM t WHERE v BETWEEN 1 AND 9").unwrap();
+        let def = view_def_from_sql(&q).unwrap();
+        let agg = def.agg.as_ref().unwrap();
+        assert_eq!(agg.key, None);
+        assert_eq!(agg.specs[0].agg, AggFn::Min);
+        assert_eq!(agg.specs[1].agg, AggFn::Avg);
+        // BETWEEN desugars to two predicates.
+        assert_eq!(def.source.filter.len(), 2);
+    }
+}

@@ -12,7 +12,7 @@
 //! ([`Catalog::version`]) survives as a coarse "anything changed" tick
 //! for snapshot ordering and diagnostics.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::ops::Deref;
 use std::sync::Arc;
 
@@ -182,6 +182,55 @@ impl Table {
         self.columns.iter().find(|c| c.name == name)
     }
 
+    /// Append rows in bulk, one `Vec<i64>` per row in column order.
+    ///
+    /// Values are cast to each column's stored type on push (the write-path
+    /// counterpart of [`ScalarValue::as_i64`] reads), so no column buffer is
+    /// rebuilt — this is the ingest path change capture rides on. Column
+    /// stats widen to cover the new values. Panics if a row's arity does
+    /// not match the table.
+    pub fn append_rows(&mut self, rows: &[Vec<i64>]) {
+        for row in rows {
+            assert_eq!(row.len(), self.columns.len(), "row arity must match table");
+        }
+        for (c, col) in self.columns.iter_mut().enumerate() {
+            for row in rows {
+                col.data.push(Some(ScalarValue::I64(row[c])));
+            }
+            if !rows.is_empty() {
+                let (mut min, mut max) = match col.stats {
+                    Some(s) => (s.min, s.max),
+                    None => (i64::MAX, i64::MIN),
+                };
+                for row in rows {
+                    min = min.min(row[c]);
+                    max = max.max(row[c]);
+                }
+                col.stats = Some(ColumnStats { min, max });
+            }
+        }
+        self.len += rows.len();
+    }
+
+    /// Whether every row can be captured losslessly as a `Vec<i64>` image:
+    /// all columns integer-typed (`Bool`/`I32`/`I64`) and dense (no ε).
+    /// Float-typed or sparse tables fall back to coarse rewrite capture.
+    pub fn rows_capturable(&self) -> bool {
+        self.columns.iter().all(|c| {
+            matches!(c.ty(), ScalarType::Bool | ScalarType::I32 | ScalarType::I64)
+                && c.data.is_dense()
+        })
+    }
+
+    /// The `i64` image of row `i` (one value per column, in column order).
+    /// Only meaningful when [`Table::rows_capturable`] holds.
+    pub fn row_image(&self, i: usize) -> Vec<i64> {
+        self.columns
+            .iter()
+            .map(|c| c.data.get(i).map(|v| v.as_i64()).unwrap_or(0))
+            .collect()
+    }
+
     /// The table's flattened Voodoo schema (`.colname` per column).
     pub fn schema(&self) -> Schema {
         Schema::from_fields(
@@ -202,6 +251,70 @@ impl Table {
     }
 }
 
+/// A batch of captured row changes for one table: full row images (one
+/// `i64` per column) with signed multiplicities — `+1` for an inserted
+/// row, `-1` for a deleted one; an update is a `-1`/`+1` pair. This is the
+/// Z-set (DBSP) representation incremental view maintenance consumes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RowDelta {
+    /// Row images, one `Vec<i64>` per changed row, in table column order.
+    pub rows: Vec<Vec<i64>>,
+    /// Signed multiplicity per row, aligned with `rows`.
+    pub weights: Vec<i64>,
+}
+
+impl RowDelta {
+    /// Number of captured (row, weight) pairs.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no changes were captured.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Record one row image with a signed multiplicity.
+    pub fn push(&mut self, row: Vec<i64>, weight: i64) {
+        self.rows.push(row);
+        self.weights.push(weight);
+    }
+
+    /// Append another delta after this one (concatenation, not
+    /// consolidation — Z-set addition tolerates duplicates).
+    pub fn merge(&mut self, other: &RowDelta) {
+        self.rows.extend(other.rows.iter().cloned());
+        self.weights.extend(other.weights.iter().copied());
+    }
+}
+
+/// What the change log knows about one table mutation.
+#[derive(Debug, Clone)]
+pub enum TableChange {
+    /// Row-level capture: the exact Z-set of changed rows.
+    Delta(RowDelta),
+    /// Coarse capture: the table changed in a way row images cannot
+    /// express (replacement, in-place hand-out, float/sparse columns).
+    /// Consumers must fall back to a full recompute.
+    Rewrite,
+}
+
+/// One change-log entry: which table changed, the per-table version the
+/// mutation produced, and the captured change.
+#[derive(Debug, Clone)]
+pub struct ChangeEntry {
+    /// The mutated table.
+    pub table: String,
+    /// The table version this mutation produced.
+    pub version: u64,
+    /// The captured change.
+    pub change: TableChange,
+}
+
+/// Bounded depth of the change log; older entries are dropped and the
+/// floor rises, forcing readers that fell too far behind to full-recompute.
+const MAX_CHANGE_LOG: usize = 1024;
+
 /// The catalog: the persistent namespace `Load`/`Persist` operate on.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
@@ -210,6 +323,11 @@ pub struct Catalog {
     /// Cached morsel layouts, shared across clones/snapshots (entries are
     /// keyed by per-table version, so sharing is always safe).
     partitions: PartitionCache,
+    /// Captured mutations, oldest first (entries are `Arc`-shared across
+    /// clones/snapshots; the deque itself is tiny).
+    changes: VecDeque<Arc<ChangeEntry>>,
+    /// Versions at or below this may have had their entries dropped.
+    change_floor: u64,
 }
 
 impl Catalog {
@@ -271,10 +389,26 @@ impl Catalog {
         CatalogSnapshot(Arc::new(self.clone()))
     }
 
-    /// Insert (or replace) a table.
+    /// Insert (or replace) a table. Captured as a [`TableChange::Rewrite`]
+    /// in the change log: replacement has no row-level delta.
     pub fn insert_table(&mut self, mut table: Table) {
         self.version += 1;
         table.version = self.version;
+        let version = self.version;
+        self.log_change(&table.name, version, TableChange::Rewrite);
+        self.tables.insert(table.name.clone(), Arc::new(table));
+    }
+
+    /// Insert a table with a pinned per-table version instead of a fresh
+    /// mutation tick. This exists for *staging scratch inputs* (e.g. delta
+    /// batches fed to incremental refresh): pinning the version to a
+    /// content-derived value (typically the row count) keeps the
+    /// `table_state` fingerprint — and therefore prepared-plan cache keys —
+    /// stable across refreshes that stage same-shaped inputs. Not captured
+    /// in the change log; do not use for tables readers maintain views over.
+    pub fn insert_table_pinned(&mut self, mut table: Table, version: u64) {
+        self.version = self.version.max(version);
+        table.version = version;
         self.tables.insert(table.name.clone(), Arc::new(table));
     }
 
@@ -286,15 +420,189 @@ impl Catalog {
     /// Mutable table lookup (conservatively counts as a mutation).
     ///
     /// Copy-on-write: if the table is shared with snapshots, it is cloned
-    /// first, so existing snapshots keep their view.
+    /// first, so existing snapshots keep their view. Captured as a
+    /// [`TableChange::Rewrite`]: an arbitrary in-place edit has no
+    /// row-level delta. Use [`Catalog::append_rows`] /
+    /// [`Catalog::update_rows`] / [`Catalog::delete_rows`] for mutations
+    /// incremental view maintenance can follow.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
         self.version += 1;
         let version = self.version;
+        if self.tables.contains_key(name) {
+            self.log_change(name, version, TableChange::Rewrite);
+        }
         self.tables.get_mut(name).map(|t| {
             let t = Arc::make_mut(t);
             t.version = version;
             t
         })
+    }
+
+    /// Append rows to a table, capturing them in the change log as a
+    /// `+1`-weighted [`RowDelta`] (or a [`TableChange::Rewrite`] when the
+    /// table's rows cannot be imaged losslessly). Returns `false` for an
+    /// unknown table; panics if a row's arity does not match.
+    pub fn append_rows(&mut self, name: &str, rows: &[Vec<i64>]) -> bool {
+        let Some(entry) = self.tables.get_mut(name) else {
+            return false;
+        };
+        self.version += 1;
+        let version = self.version;
+        let t = Arc::make_mut(entry);
+        t.version = version;
+        let old_len = t.len;
+        t.append_rows(rows);
+        let change = if t.rows_capturable() {
+            let mut delta = RowDelta::default();
+            for i in old_len..t.len {
+                delta.push(t.row_image(i), 1);
+            }
+            TableChange::Delta(delta)
+        } else {
+            TableChange::Rewrite
+        };
+        self.log_change(name, version, change);
+        true
+    }
+
+    /// Overwrite rows in place: `(row index, new image)` pairs, images in
+    /// column order. Captured as a `-old`/`+new` [`RowDelta`] pair per row
+    /// (or a [`TableChange::Rewrite`] for non-capturable tables). Stats
+    /// widen to cover the new values. Out-of-range indices are ignored;
+    /// returns `false` for an unknown table.
+    pub fn update_rows(&mut self, name: &str, updates: &[(usize, Vec<i64>)]) -> bool {
+        let Some(entry) = self.tables.get_mut(name) else {
+            return false;
+        };
+        self.version += 1;
+        let version = self.version;
+        let t = Arc::make_mut(entry);
+        t.version = version;
+        let capturable = t.rows_capturable();
+        let mut delta = RowDelta::default();
+        for (i, row) in updates {
+            let i = *i;
+            if i >= t.len {
+                continue;
+            }
+            assert_eq!(row.len(), t.columns.len(), "row arity must match table");
+            if capturable {
+                delta.push(t.row_image(i), -1);
+            }
+            for (c, col) in t.columns.iter_mut().enumerate() {
+                col.data.set(i, ScalarValue::I64(row[c]));
+                if let Some(s) = col.stats.as_mut() {
+                    s.min = s.min.min(row[c]);
+                    s.max = s.max.max(row[c]);
+                } else {
+                    col.stats = Some(ColumnStats {
+                        min: row[c],
+                        max: row[c],
+                    });
+                }
+            }
+            if capturable {
+                delta.push(t.row_image(i), 1);
+            }
+        }
+        let change = if capturable {
+            TableChange::Delta(delta)
+        } else {
+            TableChange::Rewrite
+        };
+        self.log_change(name, version, change);
+        true
+    }
+
+    /// Delete rows by index. Captured as a `-1`-weighted [`RowDelta`] of
+    /// the removed images (or a [`TableChange::Rewrite`] for
+    /// non-capturable tables). Duplicate and out-of-range indices are
+    /// ignored; stats are recomputed. Returns `false` for an unknown table.
+    pub fn delete_rows(&mut self, name: &str, idxs: &[usize]) -> bool {
+        let Some(entry) = self.tables.get_mut(name) else {
+            return false;
+        };
+        self.version += 1;
+        let version = self.version;
+        let t = Arc::make_mut(entry);
+        t.version = version;
+        let mut drop = vec![false; t.len];
+        for &i in idxs {
+            if i < t.len {
+                drop[i] = true;
+            }
+        }
+        let capturable = t.rows_capturable();
+        let mut delta = RowDelta::default();
+        if capturable {
+            for (i, &d) in drop.iter().enumerate() {
+                if d {
+                    delta.push(t.row_image(i), -1);
+                }
+            }
+        }
+        for col in t.columns.iter_mut() {
+            let mut kept = Column::from_buffer(Buffer::with_len(col.data.ty(), 0));
+            for (i, &d) in drop.iter().enumerate() {
+                if !d {
+                    kept.push(col.data.get(i));
+                }
+            }
+            col.data = kept;
+            col.stats = compute_stats(&col.data);
+        }
+        t.len -= drop.iter().filter(|&&d| d).count();
+        let change = if capturable {
+            TableChange::Delta(delta)
+        } else {
+            TableChange::Rewrite
+        };
+        self.log_change(name, version, change);
+        true
+    }
+
+    /// The exact row-level changes of table `name` since per-table version
+    /// `since`, merged oldest-first. `None` means row-level capture is not
+    /// available — a mutation in the range was a [`TableChange::Rewrite`],
+    /// or the log has been trimmed past `since` — and the reader must fall
+    /// back to a full recompute. An up-to-date table yields an empty delta.
+    pub fn changes_since(&self, name: &str, since: u64) -> Option<RowDelta> {
+        let current = self.table_version(name)?;
+        let mut delta = RowDelta::default();
+        if current <= since {
+            return Some(delta);
+        }
+        if since < self.change_floor {
+            return None;
+        }
+        for e in &self.changes {
+            if e.table == name && e.version > since {
+                match &e.change {
+                    TableChange::Delta(d) => delta.merge(d),
+                    TableChange::Rewrite => return None,
+                }
+            }
+        }
+        Some(delta)
+    }
+
+    /// Versions at or below this floor may have had their change-log
+    /// entries dropped; [`Catalog::changes_since`] refuses them.
+    pub fn change_floor(&self) -> u64 {
+        self.change_floor
+    }
+
+    fn log_change(&mut self, table: &str, version: u64, change: TableChange) {
+        self.changes.push_back(Arc::new(ChangeEntry {
+            table: table.to_string(),
+            version,
+            change,
+        }));
+        while self.changes.len() > MAX_CHANGE_LOG {
+            if let Some(dropped) = self.changes.pop_front() {
+                self.change_floor = self.change_floor.max(dropped.version);
+            }
+        }
     }
 
     /// Names of all tables (unordered).
@@ -560,6 +868,110 @@ mod tests {
         assert_eq!(c.total_len(), 5_000);
         assert!(!Arc::ptr_eq(&c, &a));
         assert!(cat.table_partitioning("missing", 4).is_none());
+    }
+
+    #[test]
+    fn append_rows_extends_in_place() {
+        let mut t = Table::new("t");
+        t.add_column(TableColumn::from_buffer("a", Buffer::I64(vec![1, 2])));
+        t.add_column(TableColumn::from_buffer("b", Buffer::I32(vec![10, 20])));
+        t.append_rows(&[vec![3, 30], vec![-4, 40]]);
+        assert_eq!(t.len, 4);
+        assert_eq!(
+            t.column("a").unwrap().data.buffer().as_i64().unwrap(),
+            &[1, 2, 3, -4]
+        );
+        assert_eq!(
+            t.column("b").unwrap().data.buffer().as_i32().unwrap(),
+            &[10, 20, 30, 40]
+        );
+        let s = t.column("a").unwrap().stats.unwrap();
+        assert_eq!((s.min, s.max), (-4, 3));
+        assert!(t.rows_capturable());
+        assert_eq!(t.row_image(3), vec![-4, 40]);
+    }
+
+    #[test]
+    fn change_log_captures_row_deltas() {
+        let mut cat = Catalog::in_memory();
+        let mut t = Table::new("t");
+        t.add_column(TableColumn::from_buffer("k", Buffer::I64(vec![0, 1])));
+        t.add_column(TableColumn::from_buffer("v", Buffer::I64(vec![5, 6])));
+        cat.insert_table(t);
+        let v0 = cat.table_version("t").unwrap();
+        // Nothing changed yet: empty delta.
+        assert_eq!(cat.changes_since("t", v0), Some(RowDelta::default()));
+        // Append, update, delete — all row-captured and merged in order.
+        assert!(cat.append_rows("t", &[vec![2, 7]]));
+        assert!(cat.update_rows("t", &[(0, vec![0, 50])]));
+        assert!(cat.delete_rows("t", &[1]));
+        let d = cat.changes_since("t", v0).unwrap();
+        assert_eq!(
+            d.rows,
+            vec![
+                vec![2, 7],  // appended
+                vec![0, 5],  // update: old image retracted
+                vec![0, 50], // update: new image inserted
+                vec![1, 6],  // deleted
+            ]
+        );
+        assert_eq!(d.weights, vec![1, -1, 1, -1]);
+        assert_eq!(cat.table("t").unwrap().len, 2);
+        // A rewrite (table_mut) in range forces full recompute.
+        cat.table_mut("t").unwrap();
+        assert_eq!(cat.changes_since("t", v0), None);
+        // …but reads from after the rewrite are row-level again.
+        let v1 = cat.table_version("t").unwrap();
+        assert!(cat.append_rows("t", &[vec![9, 9]]));
+        assert_eq!(cat.changes_since("t", v1).unwrap().rows, vec![vec![9, 9]]);
+        // Unknown tables: None from changes_since, false from mutators.
+        assert_eq!(cat.changes_since("nope", 0), None);
+        assert!(!cat.append_rows("nope", &[]));
+    }
+
+    #[test]
+    fn change_log_trims_to_floor() {
+        let mut cat = Catalog::in_memory();
+        let mut t = Table::new("t");
+        t.add_column(TableColumn::from_buffer("v", Buffer::I64(vec![0])));
+        cat.insert_table(t);
+        let v0 = cat.table_version("t").unwrap();
+        for i in 0..(super::MAX_CHANGE_LOG as i64 + 8) {
+            cat.append_rows("t", &[vec![i]]);
+        }
+        assert!(cat.change_floor() > 0);
+        // The earliest reader fell behind the floor: row capture refused.
+        assert_eq!(cat.changes_since("t", v0), None);
+        // A reader within the window still gets exact deltas.
+        let recent = cat.table_version("t").unwrap() - 4;
+        assert_eq!(cat.changes_since("t", recent).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn float_tables_capture_as_rewrite() {
+        let mut cat = Catalog::in_memory();
+        cat.put_f32_column("f", &[1.5]);
+        let v0 = cat.table_version("f").unwrap();
+        assert!(!cat.table("f").unwrap().rows_capturable());
+        assert!(cat.append_rows("f", &[vec![2]]));
+        assert_eq!(cat.changes_since("f", v0), None);
+        assert_eq!(cat.table("f").unwrap().len, 2);
+    }
+
+    #[test]
+    fn pinned_insert_keeps_fingerprint_stable() {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("base", &[1, 2, 3]);
+        let mut d = Table::new("delta");
+        d.add_column(TableColumn::from_buffer("v", Buffer::I64(vec![7, 8])));
+        cat.insert_table_pinned(d, 2);
+        assert_eq!(cat.table_version("delta"), Some(2));
+        let fp = cat.table_state(["delta"]);
+        // Re-staging a same-shape delta reproduces the fingerprint.
+        let mut d2 = Table::new("delta");
+        d2.add_column(TableColumn::from_buffer("v", Buffer::I64(vec![9, 1])));
+        cat.insert_table_pinned(d2, 2);
+        assert_eq!(cat.table_state(["delta"]), fp);
     }
 
     #[test]

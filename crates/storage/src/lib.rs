@@ -25,5 +25,7 @@ pub mod catalog;
 pub mod partition;
 pub mod persist;
 
-pub use catalog::{Catalog, CatalogSnapshot, ColumnStats, Table, TableColumn};
+pub use catalog::{
+    Catalog, CatalogSnapshot, ChangeEntry, ColumnStats, RowDelta, Table, TableChange, TableColumn,
+};
 pub use partition::{Morsel, PartitionCache, Partitioning, DEFAULT_STEAL_GRAIN, MORSEL_ALIGN};

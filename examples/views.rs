@@ -1,0 +1,126 @@
+//! Materialized views maintained in `O(delta)`.
+//!
+//! Creates a grouped aggregate view over a sales table, mutates the base
+//! data (batched appends, in-place updates, deletes), and reads the view
+//! back: each read refreshes the cached result from the row deltas the
+//! catalog captured, not by re-scanning the table. A join view built
+//! straight from the `ViewDef` IR shows the shape SQL can't reach yet,
+//! and the engine metrics show the `O(delta)` claim as row counters.
+//!
+//! ```sh
+//! cargo run --release --example views
+//! ```
+
+use voodoo::core::Buffer;
+use voodoo::relational::views::{AggDef, AggFn, AggSpec, JoinDef, SExpr, Source, ViewDef};
+use voodoo::relational::{Session, StatementSpec};
+use voodoo::storage::{Catalog, Table, TableColumn};
+
+fn table(name: &str, cols: &[(&str, Vec<i64>)]) -> Table {
+    let mut t = Table::new(name);
+    for (col, data) in cols {
+        t.add_column(TableColumn::from_buffer(col, Buffer::I64(data.clone())));
+    }
+    t
+}
+
+fn main() {
+    const N: i64 = 100_000;
+    let mut cat = Catalog::in_memory();
+    cat.insert_table(table(
+        "sales",
+        &[
+            ("region", (0..N).map(|i| i % 8).collect()),
+            ("amount", (0..N).collect()),
+        ],
+    ));
+    cat.insert_table(table(
+        "regions",
+        &[("id", (0..8).collect()), ("tax", (1..=8).collect())],
+    ));
+    let session = Session::new(cat);
+
+    // A view is a named query whose result the engine keeps materialized:
+    // creating it runs the query once and caches the rows.
+    session
+        .create_view(
+            "by_region",
+            "SELECT region, SUM(amount), COUNT(*), MAX(amount) FROM sales GROUP BY region",
+        )
+        .expect("create view");
+    println!(
+        "initial rows: {:?}",
+        session.read_view("by_region").expect("read")
+    );
+
+    // Mutations are captured row-by-row; the next read refreshes the view
+    // from the captured delta instead of recomputing over all N rows.
+    session.mutate_catalog(|c| {
+        c.append_rows("sales", &[vec![3, 1_000_000], vec![5, 2_000_000]]);
+        c.update_rows("sales", &[(0, vec![0, 7])]);
+        c.delete_rows("sales", &[1]);
+    });
+    println!(
+        "after mutations: {:?}",
+        session.read_view("by_region").expect("read")
+    );
+
+    // Join views go beyond the SQL subset: build the IR directly. The
+    // joined stream is [sales.region, sales.amount, regions.id,
+    // regions.tax]; group by region, summing amount * tax.
+    session
+        .create_view_def(
+            "taxed",
+            ViewDef::of(Source::scan("sales", &["region", "amount"]))
+                .join(JoinDef {
+                    right: Source::scan("regions", &["id", "tax"]),
+                    left_key: 0,
+                    right_key: 0,
+                })
+                .aggregate(AggDef {
+                    key: Some(0),
+                    specs: vec![AggSpec {
+                        agg: AggFn::Sum,
+                        expr: SExpr::bin(
+                            voodoo::core::BinOp::Multiply,
+                            SExpr::Col(1),
+                            SExpr::Col(3),
+                        ),
+                    }],
+                }),
+        )
+        .expect("create join view");
+    println!(
+        "taxed totals: {:?}",
+        session.read_view("taxed").expect("read")
+    );
+
+    // Views are ordinary statements to the serving layer: submit them
+    // through the admission queue like any SQL or TPC-H statement.
+    let server = session.serve(voodoo::relational::ServeConfig::default());
+    let receipt = server
+        .session(1)
+        .submit(StatementSpec::view("by_region"))
+        .expect("admit");
+    println!(
+        "served view read: {} rows",
+        receipt.wait().expect("serve").rows().rows.len()
+    );
+    server.shutdown();
+
+    // The O(delta) claim, as counters: the delta refresh processed the
+    // captured rows (staged + streamed), never the 100k-row table.
+    let m = session.metrics();
+    println!(
+        "refreshes: {} delta / {} full; rows touched: {} delta vs {} full ({:.3}% of all row work)",
+        m.delta_refreshes,
+        m.full_recomputes,
+        m.rows_delta,
+        m.rows_full,
+        100.0 * m.delta_row_fraction()
+    );
+    assert!(
+        m.rows_delta < m.rows_full / 100,
+        "delta refreshes must stay O(delta)"
+    );
+}

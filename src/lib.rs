@@ -16,8 +16,11 @@
 //! * [`tpch`] — TPC-H data generator and reference answers
 //! * [`relational`] — relational frontend (logical plans, SQL subset,
 //!   lowering), the shared [`relational::Engine`], the
-//!   [`relational::Session`] handles onto it, and the
-//!   [`relational::serve`] admission-controlled serving front door
+//!   [`relational::Session`] handles onto it, the
+//!   [`relational::serve`] admission-controlled serving front door, and
+//!   [`relational::views`] — materialized views over the SQL subset
+//! * [`ivm`] — DBSP-style incremental view maintenance: Z-set deltas,
+//!   program differentiation, arranged join/aggregate state
 //! * [`baselines`] — HyPeR-style and Ocelot-style comparison engines
 //! * [`algos`] — cookbook of canonical Voodoo programs (paper listings +
 //!   §6 related-work translations: hashing, bounded cuckoo, compaction)
@@ -169,6 +172,56 @@
 //! `examples/scaling.rs` and `repro scaling` for the speedup sweep,
 //! including pooled rows at 2 and 8 workers.
 //!
+//! ## Materialized views
+//!
+//! Repeated dashboard-style queries shouldn't rescan the data each time.
+//! [`relational::Engine::create_view`] caches a SQL query's result;
+//! reads serve the cache, and when base tables change the view refreshes
+//! from **captured row deltas** in `O(changes)` — the DBSP recipe
+//! ([`ivm`]): row-level mutations ([`storage::Catalog::append_rows`] /
+//! `update_rows` / `delete_rows`) log signed row images, linear
+//! operators apply themselves to the delta, and grouped `MIN`/`MAX`
+//! stay exact under retraction via per-group value histograms. Whatever
+//! can't be captured (a whole-table rewrite) falls back to a *counted*
+//! full recompute — the view is always bit-identical to recomputing
+//! from scratch, and the metrics say which path paid for it.
+//!
+//! ```
+//! use voodoo::relational::{Session, StatementSpec};
+//! use voodoo::storage::Catalog;
+//!
+//! let mut cat = Catalog::in_memory();
+//! let mut t = voodoo::storage::Table::new("sales");
+//! t.add_column(voodoo::storage::TableColumn::from_buffer(
+//!     "region", voodoo::core::Buffer::I64(vec![0, 1, 0])));
+//! t.add_column(voodoo::storage::TableColumn::from_buffer(
+//!     "amount", voodoo::core::Buffer::I64(vec![10, 20, 30])));
+//! cat.insert_table(t);
+//! let session = Session::new(cat);
+//!
+//! session
+//!     .create_view("by_region",
+//!         "SELECT region, SUM(amount), COUNT(*) FROM sales GROUP BY region")
+//!     .unwrap();
+//! assert_eq!(session.read_view("by_region").unwrap(),
+//!            vec![vec![0, 40, 2], vec![1, 20, 1]]);
+//!
+//! // A batched append refreshes the view from the delta, not a rescan.
+//! session.mutate_catalog(|c| c.append_rows("sales", &[vec![1, 5]]));
+//! assert_eq!(session.read_view("by_region").unwrap(),
+//!            vec![vec![0, 40, 2], vec![1, 25, 2]]);
+//! let m = session.metrics();
+//! assert_eq!(m.delta_refreshes, 1);
+//! // Maintenance touched the 1-row delta (staged + streamed), not the table.
+//! assert_eq!(m.rows_delta, 2);
+//! assert_eq!(m.full_recomputes, 1, "only the initial materialization");
+//!
+//! // Views serve through the admission front door like any statement.
+//! let out = session.run_batch(&[StatementSpec::view("by_region")]);
+//! assert_eq!(out[0].as_ref().unwrap().rows().rows.len(), 2);
+//! assert!(session.metrics().view_hits >= 1);
+//! ```
+//!
 //! ## Serving
 //!
 //! Under real traffic you don't want a thread per statement — you want a
@@ -219,6 +272,7 @@ pub use voodoo_compile as compile;
 pub use voodoo_core as core;
 pub use voodoo_gpusim as gpusim;
 pub use voodoo_interp as interp;
+pub use voodoo_ivm as ivm;
 pub use voodoo_opt as opt;
 pub use voodoo_relational as relational;
 pub use voodoo_storage as storage;
