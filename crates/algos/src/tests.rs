@@ -699,7 +699,7 @@ mod props {
 
         #[test]
         fn hierarchical_sum_any_partition_size(
-            vals in proptest::collection::vec(-1000i64..1000, 1..200),
+            vals in collection::vec(-1000i64..1000, 1..200),
             size in 1usize..64,
         ) {
             let cat = single_col(&vals);
@@ -714,7 +714,7 @@ mod props {
 
         #[test]
         fn hierarchical_sum_any_lane_count(
-            vals in proptest::collection::vec(-1000i64..1000, 1..150),
+            vals in collection::vec(-1000i64..1000, 1..150),
             lanes in 1usize..17,
         ) {
             let cat = single_col(&vals);
@@ -726,7 +726,7 @@ mod props {
 
         #[test]
         fn select_sum_strategies_equal_reference(
-            vals in proptest::collection::vec(0i64..100, 1..300),
+            vals in collection::vec(0i64..100, 1..300),
             lo in 0i64..50,
             width in 1i64..60,
             chunk in 1usize..64,
@@ -748,7 +748,7 @@ mod props {
 
         #[test]
         fn compact_equals_retain(
-            vals in proptest::collection::vec(-500i64..500, 1..200),
+            vals in collection::vec(-500i64..500, 1..200),
             c in -500i64..500,
         ) {
             let cat = single_col(&vals);
@@ -763,7 +763,7 @@ mod props {
 
         #[test]
         fn radix_sort_equals_std_sort(
-            vals in proptest::collection::vec(0i64..4096, 1..200),
+            vals in collection::vec(0i64..4096, 1..200),
         ) {
             let cat = single_col(&vals);
             let p = compaction::radix_sort("input", 4, 3);
@@ -778,7 +778,7 @@ mod props {
 
         #[test]
         fn linear_probe_places_any_unique_keys(
-            raw in proptest::collection::btree_set(0i64..10_000, 1..40),
+            raw in collection::btree_set(0i64..10_000, 1..40),
         ) {
             let keys: Vec<i64> = raw.into_iter().collect();
             let cap = (keys.len() * 2).next_power_of_two().max(4);

@@ -87,9 +87,14 @@ impl PlanKey {
         catalog: &Catalog,
         program: &Program,
     ) -> PlanKey {
+        // Freshness is keyed on the analyzer's *exact* effect set (live
+        // Load/Persist tables), not the syntactic `Program::table_deps`
+        // over-approximation: a plan can only go stale through tables an
+        // execution actually touches.
+        let effects = voodoo_verify::effects(program);
         PlanKey {
             backend: identity.to_string(),
-            table_state: catalog.table_state(program.table_deps()),
+            table_state: catalog.table_state(effects.tables()),
             program: program.cache_key(),
             params: backend.cache_params(),
         }

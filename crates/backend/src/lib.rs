@@ -142,8 +142,8 @@ fn explain_compiled(header: &str, cp: &CompiledProgram) -> String {
 
 /// The reference bulk interpreter as a [`Backend`].
 ///
-/// Preparation validates the program; execution materializes every
-/// intermediate (the paper's debugging backend, §3.2).
+/// Preparation runs the full [`voodoo_verify`] analyzer; execution
+/// materializes every intermediate (the paper's debugging backend, §3.2).
 #[derive(Debug, Clone, Default)]
 pub struct InterpBackend;
 
@@ -191,8 +191,8 @@ impl Backend for InterpBackend {
         "interp"
     }
 
-    fn prepare(&self, program: &Program, _catalog: &Catalog) -> Result<Arc<dyn PreparedPlan>> {
-        program.validate()?;
+    fn prepare(&self, program: &Program, catalog: &Catalog) -> Result<Arc<dyn PreparedPlan>> {
+        voodoo_verify::analyze(program, catalog)?;
         Ok(Arc::new(InterpPlan {
             program: program.clone(),
         }))
@@ -344,6 +344,11 @@ impl Backend for CpuBackend {
     }
 
     fn prepare(&self, program: &Program, catalog: &Catalog) -> Result<Arc<dyn PreparedPlan>> {
+        // Verify the program as submitted, so diagnostics point at the
+        // user's statement indices, before any rewrite reshapes it. The
+        // compiler re-analyzes the optimized form for its own safety
+        // verdicts.
+        voodoo_verify::analyze(program, catalog)?;
         let (program, rewrite) = if self.optimize {
             let (p, stats) = voodoo_core::transform::optimize(program);
             (p, Some(stats))
@@ -584,5 +589,53 @@ mod tests {
             po.returns[0].value_at(0, &KeyPath::val()),
             Some(ScalarValue::I64((0..100).map(|x| 2 * (x + 7)).sum::<i64>()))
         );
+    }
+
+    #[test]
+    fn every_prepare_path_runs_the_analyzer() {
+        // A forward reference: %0 consumes %1. Every backend's prepare
+        // must reject it with structured diagnostics, not an ad-hoc
+        // validate error (and certainly not a panic downstream).
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("t", &[1, 2, 3]);
+        let mut p = Program::new();
+        let t = p.load("t");
+        let bad = p.add(t, voodoo_core::VRef(9));
+        p.ret(bad);
+        for b in backends() {
+            let err = match b.prepare(&p, &cat) {
+                Ok(_) => panic!("backend {} accepted a forward reference", b.name()),
+                Err(e) => e,
+            };
+            match err {
+                voodoo_core::VoodooError::Rejected(diags) => {
+                    assert!(!diags.is_empty(), "backend {}", b.name());
+                    assert!(
+                        diags.iter().any(|d| d.stmt == Some(1)),
+                        "backend {} diagnostic points at %1: {diags:?}",
+                        b.name()
+                    );
+                }
+                other => panic!("backend {} returned {other:?}", b.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn plan_keys_track_the_analyzer_read_set() {
+        use crate::cache::PlanKey;
+        let (cat, p) = fixture();
+        // A dead Load is invisible to the effect analysis, so two
+        // programs differing only in dead table reads share freshness
+        // behavior keyed on the *live* read set.
+        let eff = voodoo_verify::effects(&p);
+        assert_eq!(eff.reads, vec!["t".to_string()]);
+        let b = CpuBackend::single_threaded();
+        let k = PlanKey::named("cpu", &b, &cat, &p);
+        let mut cat2 = Catalog::in_memory();
+        cat2.put_i64_column("t", &(0..1000).collect::<Vec<_>>());
+        cat2.put_i64_column("unrelated", &[1, 2, 3]);
+        let k2 = PlanKey::named("cpu", &b, &cat2, &p);
+        assert_eq!(k, k2, "unrelated tables do not perturb the key");
     }
 }

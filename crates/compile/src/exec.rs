@@ -379,17 +379,19 @@ impl Executor {
         let domain = frag.domain;
         let threads = self.opts.effective_threads();
         // Morsel path for global (Single) runs — the hot kernels of
-        // selection, fold and fused map fragments. Prefix scans are
-        // order-dependent and float sums are non-associative, so both
-        // stay on the serial path (bit-identity to the oracle wins).
+        // selection, fold and fused map fragments. Whether every fused
+        // action merges across morsels (writes and position emission
+        // concatenate, integer folds combine associatively, float folds
+        // and prefix scans do not) is a verified program property: the
+        // static analyzer classified each statement at prepare, and the
+        // executor only consults the verdicts.
         if matches!(frag.run, RunStructure::Single)
             && threads > 1
             && self.opts.worth_partitioning(domain)
-            && frag.actions.iter().all(|a| match a {
-                Action::Write { .. } | Action::SelectEmit { .. } => true,
-                Action::FoldAggAct { out_ty, .. } => !out_ty.is_float(),
-                Action::FoldScanAct { .. } => false,
-            })
+            && frag
+                .actions
+                .iter()
+                .all(|a| cp.action_verdict(frag, a).morsel_mergeable())
         {
             let parts = self.opts.stealing_parts(domain, threads);
             if parts.count() > 1 {
@@ -868,7 +870,13 @@ impl Executor {
                     .iter()
                     .map(|(_, ty, _)| Column::empties(*ty, *out_len))
                     .collect();
-                let parts = if threads > 1 && self.opts.worth_partitioning(*domain) {
+                // The analyzer classified scatters as SerialApply: inputs
+                // may be evaluated morsel-parallel, but the cross-morsel
+                // writes must land serially in morsel order.
+                let parts = if threads > 1
+                    && self.opts.worth_partitioning(*domain)
+                    && cp.verdict(*stmt).eval_parallel_apply_serial()
+                {
                     self.opts.stealing_parts(*domain, threads)
                 } else {
                     Partitioning::for_len(*domain, 1)
@@ -991,12 +999,15 @@ impl Executor {
                 let threads = self.opts.effective_threads();
                 // Chunks are already independent (each fills its own
                 // cache-resident position buffer), so the morsel unit is
-                // a run of whole chunks. Float sums stay serial (the
-                // regrouped accumulation would not be bit-identical).
+                // a run of whole chunks — provided every absorbed fold's
+                // partials combine associatively per the analyzer's
+                // verdict (float sums do not and stay serial).
                 let par_ok = threads > 1
                     && n_chunks > 1
                     && self.opts.worth_partitioning(*domain)
-                    && folds.iter().all(|f| !f.out_ty.is_float());
+                    && folds
+                        .iter()
+                        .all(|f| cp.verdict(f.stmt).combines_associatively());
                 let (accs, prof) = if par_ok {
                     let parts = self.opts.stealing_parts(n_chunks, threads);
                     note_partitions(parts.count());
@@ -1320,9 +1331,14 @@ impl Executor {
         let mut mismatch = *out_len != *domain;
         if !mismatch {
             let threads = self.opts.effective_threads();
+            // Cross-morsel combination of per-bucket accumulators is only
+            // bit-identical when the analyzer proved every fold
+            // associative (integer Sum/Min/Max; float folds stay serial).
             let par_ok = threads > 1
                 && self.opts.worth_partitioning(*domain)
-                && folds.iter().all(|f| !f.out_ty.is_float());
+                && folds
+                    .iter()
+                    .all(|f| cp.verdict(f.stmt).combines_associatively());
             let parts = if par_ok {
                 self.opts.stealing_parts(*domain, threads)
             } else {

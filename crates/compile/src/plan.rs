@@ -22,6 +22,7 @@ use std::sync::Arc;
 use voodoo_core::typecheck::{self, FoldRuns, Shapes};
 use voodoo_core::{AggKind, KeyPath, Op, Program, Result, ScalarType, VRef, VoodooError};
 use voodoo_storage::Catalog;
+use voodoo_verify::ParallelSafety;
 
 use crate::expr::Expr;
 
@@ -315,6 +316,10 @@ pub struct CompiledProgram {
     pub gather_sites: usize,
     /// Alias-resolved statement per statement.
     pub resolve: Vec<VRef>,
+    /// Per-statement parallel-safety verdicts from the static analyzer
+    /// (`voodoo-verify` pass 4). The executor *consults* these instead of
+    /// re-deriving per-kernel safety rules at run time.
+    pub safety: Vec<ParallelSafety>,
 }
 
 impl CompiledProgram {
@@ -333,6 +338,24 @@ impl CompiledProgram {
             Unit::Bulk(_) => None,
         })
     }
+
+    /// The analyzer's parallel-safety verdict for one statement.
+    pub fn verdict(&self, v: VRef) -> ParallelSafety {
+        self.safety[v.index()]
+    }
+
+    /// The analyzer's verdict for the statement a fragment action
+    /// produces (actions address outputs by slot; the output spec names
+    /// the producing statement).
+    pub fn action_verdict(&self, frag: &Fragment, action: &Action) -> ParallelSafety {
+        let out = match action {
+            Action::Write { out, .. }
+            | Action::FoldAggAct { out, .. }
+            | Action::FoldScanAct { out, .. }
+            | Action::SelectEmit { out, .. } => *out,
+        };
+        self.safety[frag.outputs[out].stmt.index()]
+    }
 }
 
 /// The compiler: needs the catalog for shapes and sizes (paper footnote 1).
@@ -347,9 +370,14 @@ impl<'a> Compiler<'a> {
     }
 
     /// Compile a program into execution units.
+    ///
+    /// Runs the full `voodoo-verify` analyzer first — structure, shapes,
+    /// sentinel domains, effects, parallel safety — so no program is ever
+    /// planned unverified, and the compiled plan carries the analyzer's
+    /// per-statement safety verdicts for the executor to consult.
     pub fn compile(&self, program: &Program) -> Result<CompiledProgram> {
-        let shapes = typecheck::infer(program, self.catalog)?;
-        Build::new(program, shapes).run()
+        let analysis = voodoo_verify::analyze(program, self.catalog)?;
+        Build::new(program, analysis.shapes, analysis.safety).run()
     }
 }
 
@@ -369,6 +397,7 @@ struct FragBuild {
 struct Build<'p> {
     program: &'p Program,
     shapes: Shapes,
+    safety: Vec<ParallelSafety>,
     consumers: Vec<Vec<VRef>>,
     needs_mat: Vec<bool>,
     handling: Vec<Handling>,
@@ -384,7 +413,7 @@ struct Build<'p> {
 }
 
 impl<'p> Build<'p> {
-    fn new(program: &'p Program, shapes: Shapes) -> Build<'p> {
+    fn new(program: &'p Program, shapes: Shapes, safety: Vec<ParallelSafety>) -> Build<'p> {
         let n = program.len();
         let mut consumers: Vec<Vec<VRef>> = vec![Vec::new(); n];
         for (i, stmt) in program.stmts().iter().enumerate() {
@@ -395,6 +424,7 @@ impl<'p> Build<'p> {
         Build {
             program,
             shapes,
+            safety,
             consumers,
             needs_mat: vec![false; n],
             handling: vec![Handling::Inline; n],
@@ -423,6 +453,7 @@ impl<'p> Build<'p> {
             branch_sites: self.branch_sites,
             gather_sites: self.gather_sites,
             resolve: self.resolve,
+            safety: self.safety,
         })
     }
 

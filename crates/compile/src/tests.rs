@@ -549,8 +549,8 @@ mod proptests {
     /// ops over one loaded i64 column, optionally folded at the end.
     fn arb_program() -> impl Strategy<Value = (Vec<i64>, Vec<(u8, i64)>, u8, u8)> {
         (
-            proptest::collection::vec(-50i64..50, 0..40),
-            proptest::collection::vec((0u8..6, -10i64..10), 0..6),
+            collection::vec(-50i64..50, 0..40),
+            collection::vec((0u8..6, -10i64..10), 0..6),
             0u8..5,
             1u8..6,
         )
@@ -592,7 +592,7 @@ mod proptests {
         }
 
         #[test]
-        fn gather_scatter_roundtrip(data in proptest::collection::vec(-100i64..100, 1..50)) {
+        fn gather_scatter_roundtrip(data in collection::vec(-100i64..100, 1..50)) {
             let mut cat = Catalog::in_memory();
             cat.put_i64_column("t", &data);
             let n = data.len();

@@ -14,29 +14,56 @@ pub enum VoodooError {
     /// A `Load` referenced a table that the catalog does not contain.
     UnknownTable(String),
     /// A keypath did not resolve to a field of the addressed vector.
-    UnknownKeyPath { keypath: KeyPath, context: String },
+    UnknownKeyPath {
+        /// The keypath that failed to resolve.
+        keypath: KeyPath,
+        /// Where it was used (`"%idx Op operand"`).
+        context: String,
+    },
     /// A statement referenced a result id that does not precede it (SSA violation).
-    InvalidReference { stmt: usize, referenced: usize },
+    InvalidReference {
+        /// Index of the offending statement.
+        stmt: usize,
+        /// The statement index it referenced.
+        referenced: usize,
+    },
     /// Two operands had types that the operator cannot combine.
     TypeMismatch {
+        /// Where the mismatch occurred.
         context: String,
+        /// Left operand type.
         lhs: ScalarType,
+        /// Right operand type.
         rhs: ScalarType,
     },
     /// An operand had a type the operator does not accept.
-    UnsupportedType { context: String, ty: ScalarType },
+    UnsupportedType {
+        /// Where the operand was used.
+        context: String,
+        /// The rejected type.
+        ty: ScalarType,
+    },
     /// Vector sizes were incompatible (and not broadcastable).
     SizeMismatch {
+        /// Where the sizes clashed.
         context: String,
+        /// Left operand length.
         lhs: usize,
+        /// Right operand length.
         rhs: usize,
     },
     /// A program was empty or had no return value.
     EmptyProgram,
     /// Control-vector bits conflicted with data bits (paper §3.1.1).
-    ControlBitConflict { context: String },
+    ControlBitConflict {
+        /// Where the conflict occurred.
+        context: String,
+    },
     /// Backend-specific failure (I/O, device, ...).
     Backend(String),
+    /// Static analysis rejected the program; the diagnostics carry the
+    /// per-statement findings (see [`crate::diag`]).
+    Rejected(Vec<crate::diag::Diagnostic>),
 }
 
 impl fmt::Display for VoodooError {
@@ -69,6 +96,18 @@ impl fmt::Display for VoodooError {
                 )
             }
             VoodooError::Backend(msg) => write!(f, "backend error: {msg}"),
+            VoodooError::Rejected(diags) => {
+                write!(
+                    f,
+                    "program rejected by static analysis ({} finding{})",
+                    diags.len(),
+                    if diags.len() == 1 { "" } else { "s" }
+                )?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

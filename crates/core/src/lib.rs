@@ -23,8 +23,14 @@
 //!
 //! Backends live in separate crates: `voodoo-interp` (the materializing
 //! reference interpreter of §3.2) and `voodoo-compile` (the fragment
-//! compiler of §3.1).
+//! compiler of §3.1). Static analysis over the algebra ([`diag`] holds
+//! the shared [`diag::Diagnostic`] type) lives in `voodoo-verify`.
 
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![warn(rust_2018_idioms, unused_qualifications)]
+
+pub mod diag;
 pub mod error;
 pub mod keypath;
 pub mod ops;
@@ -36,6 +42,7 @@ pub mod transform;
 pub mod typecheck;
 pub mod vector;
 
+pub use diag::{Diagnostic, Pass};
 pub use error::{Result, VoodooError};
 pub use keypath::KeyPath;
 pub use ops::{AggKind, BinOp, Op, SizeSpec};

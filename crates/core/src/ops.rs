@@ -58,16 +58,27 @@ impl AggKind {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     /// `Load(.keypath)` — load a persistent vector by name.
-    Load { name: String },
+    Load {
+        /// Catalog name of the table to load.
+        name: String,
+    },
 
     /// `Persist(.keypath, V)` — persist vector `v` under `name`.
-    Persist { name: String, v: VRef },
+    Persist {
+        /// Catalog name to persist under.
+        name: String,
+        /// The vector to persist.
+        v: VRef,
+    },
 
     /// A constant vector: `value` broadcast to the length of `like`
     /// (or a single slot when `like` is `None`). Figure 3 line 3.
     Constant {
+        /// Output attribute name.
         out: KeyPath,
+        /// The broadcast value.
         value: ScalarValue,
+        /// Vector whose length the constant adopts (`None` = length 1).
         like: Option<VRef>,
     },
 
@@ -76,34 +87,57 @@ pub enum Op {
     /// Output length = min of the operand lengths; a length-1 operand
     /// broadcasts.
     Binary {
+        /// The elementwise operator.
         op: BinOp,
+        /// Output attribute name.
         out: KeyPath,
+        /// Left operand vector.
         lhs: VRef,
+        /// Attribute of the left operand.
         lhs_kp: KeyPath,
+        /// Right operand vector.
         rhs: VRef,
+        /// Attribute of the right operand.
         rhs_kp: KeyPath,
     },
 
     /// `Zip(.out1, V1, .kp1, .out2, V2, .kp2)` — new vector with
     /// substructure `V1.kp1` as `.out1` and `V2.kp2` as `.out2`.
     Zip {
+        /// Output name for the first substructure.
         out1: KeyPath,
+        /// First input vector.
         v1: VRef,
+        /// Substructure of `v1` to take.
         kp1: KeyPath,
+        /// Output name for the second substructure.
         out2: KeyPath,
+        /// Second input vector.
         v2: VRef,
+        /// Substructure of `v2` to take.
         kp2: KeyPath,
     },
 
     /// `Project(.out, V, .kp)` — new vector with substructure `V.kp` as `.out`.
-    Project { out: KeyPath, v: VRef, kp: KeyPath },
+    Project {
+        /// Output attribute name.
+        out: KeyPath,
+        /// Input vector.
+        v: VRef,
+        /// Substructure of `v` to keep.
+        kp: KeyPath,
+    },
 
     /// `Upsert(V1, .out, V2, .kp)` — copy `V1`, replacing/inserting `.out`
     /// with `V2.kp`.
     Upsert {
+        /// The vector to copy.
         v: VRef,
+        /// Attribute to replace or insert.
         out: KeyPath,
+        /// Vector supplying the new attribute.
         src: VRef,
+        /// Attribute of `src` to take.
         kp: KeyPath,
     },
 
@@ -111,18 +145,26 @@ pub enum Op {
     /// by placing each tuple of `V1` at position `V3.pos`. Writes are
     /// ordered within a value-run of `V2.kp2`; runs have no mutual order.
     Scatter {
+        /// Tuples to place.
         values: VRef,
+        /// Vector whose length sizes the output.
         size_like: VRef,
+        /// Value-run attribute of `size_like` ordering writes, if any.
         runs_kp: Option<KeyPath>,
+        /// Vector of target positions.
         positions: VRef,
+        /// Position attribute of `positions`.
         pos_kp: KeyPath,
     },
 
     /// `Gather(V1, V2, .pos)` — new vector of `V2`'s size, resolving
     /// positions `V2.pos` in `V1`; out-of-bounds / ε positions give ε tuples.
     Gather {
+        /// Vector to resolve positions in.
         source: VRef,
+        /// Vector of positions to resolve.
         positions: VRef,
+        /// Position attribute of `positions`.
         pos_kp: KeyPath,
     },
 
@@ -130,14 +172,18 @@ pub enum Op {
     /// runs of `V2.kp2` (X100-style processing). Pure tuning, identity on
     /// values.
     Materialize {
+        /// The vector to materialize.
         v: VRef,
+        /// Control vector + attribute whose runs chunk the work.
         ctrl: Option<(VRef, KeyPath)>,
     },
 
     /// `Break(V1, V2, .kp)` — break `V1` into segments according to runs of
     /// `V2.kp` (pure tuning hint; identity on values).
     Break {
+        /// The vector to segment.
         v: VRef,
+        /// Control vector + attribute whose runs define segments.
         ctrl: Option<(VRef, KeyPath)>,
     },
 
@@ -145,10 +191,15 @@ pub enum Op {
     /// vector that partitions `V1.v` by the pivot list `V2.pv` (stable
     /// counting sort positions). Output size = `V1`'s size.
     Partition {
+        /// Output attribute name for the positions.
         out: KeyPath,
+        /// Vector holding the values to partition.
         v: VRef,
+        /// Attribute of `v` to partition on.
         kp: KeyPath,
+        /// Vector holding the pivot list.
         pivots: VRef,
+        /// Pivot attribute of `pivots`.
         pivot_kp: KeyPath,
     },
 
@@ -156,45 +207,66 @@ pub enum Op {
     /// non-zero, aligned to the runs of `.fold` (Figure 7). `fold: None`
     /// means a single global run.
     FoldSelect {
+        /// Output attribute name for the selected positions.
         out: KeyPath,
+        /// Input vector.
         v: VRef,
+        /// Fold-control attribute (`None` = one global run).
         fold_kp: Option<KeyPath>,
+        /// Selector attribute (non-zero keeps the slot).
         sel_kp: KeyPath,
     },
 
     /// `FoldSum/Min/Max(.out, V1, .fold, .agg)` — per-run aggregate, result
     /// at the start of each run, ε elsewhere.
     FoldAgg {
+        /// Which aggregate to compute.
         agg: AggKind,
+        /// Output attribute name.
         out: KeyPath,
+        /// Input vector.
         v: VRef,
+        /// Fold-control attribute (`None` = one global run).
         fold_kp: Option<KeyPath>,
+        /// Attribute holding the values to aggregate.
         val_kp: KeyPath,
     },
 
     /// `FoldScan(.out, V1, .fold, .s)` — per-run inclusive prefix sum.
     FoldScan {
+        /// Output attribute name.
         out: KeyPath,
+        /// Input vector.
         v: VRef,
+        /// Fold-control attribute (`None` = one global run).
         fold_kp: Option<KeyPath>,
+        /// Attribute holding the values to scan.
         val_kp: KeyPath,
     },
 
     /// `Range(.kp, from, [vInt|v], step)` — `from + i*step` over the
     /// specified length. The primary source of control vectors.
     Range {
+        /// Output attribute name.
         out: KeyPath,
+        /// First value of the sequence.
         from: i64,
+        /// Output length specification.
         size: SizeSpec,
+        /// Per-slot increment.
         step: i64,
     },
 
     /// `Cross(.kp1, v1, .kp2, v2)` — cross product of the *positions* of
     /// `v1` and `v2` (row-major: v1-position varies slowest).
     Cross {
+        /// Output attribute for positions into `v1`.
         out1: KeyPath,
+        /// First (slow-varying) input vector.
         v1: VRef,
+        /// Output attribute for positions into `v2`.
         out2: KeyPath,
+        /// Second (fast-varying) input vector.
         v2: VRef,
     },
 }

@@ -61,10 +61,15 @@ impl ScalarType {
 /// A dynamically typed scalar value.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ScalarValue {
+    /// A boolean.
     Bool(bool),
+    /// A 32-bit signed integer.
     I32(i32),
+    /// A 64-bit signed integer.
     I64(i64),
+    /// A 32-bit float.
     F32(f32),
+    /// A 64-bit float.
     F64(f64),
 }
 
@@ -170,19 +175,33 @@ impl From<f64> for ScalarValue {
 /// machine code and keep generated plans readable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
+    /// Elementwise addition.
     Add,
+    /// Elementwise subtraction.
     Subtract,
+    /// Elementwise multiplication.
     Multiply,
+    /// Elementwise division (integer division truncates; ÷0 gives 0/ε).
     Divide,
+    /// Elementwise remainder.
     Modulo,
+    /// Left shift by the right operand.
     BitShift,
+    /// Logical conjunction of non-zero-ness.
     LogicalAnd,
+    /// Logical disjunction of non-zero-ness.
     LogicalOr,
+    /// `lhs > rhs` (paper-primitive comparison).
     Greater,
+    /// `lhs >= rhs`.
     GreaterEquals,
+    /// `lhs < rhs`.
     Less,
+    /// `lhs <= rhs`.
     LessEquals,
+    /// `lhs == rhs` (paper-primitive comparison).
     Equals,
+    /// `lhs != rhs`.
     NotEquals,
 }
 

@@ -17,10 +17,15 @@ use crate::schema::Schema;
 /// A typed, contiguous buffer of scalar values.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Buffer {
+    /// Boolean values.
     Bool(Vec<bool>),
+    /// 32-bit signed integers.
     I32(Vec<i32>),
+    /// 64-bit signed integers.
     I64(Vec<i64>),
+    /// 32-bit floats.
     F32(Vec<f32>),
+    /// 64-bit floats.
     F64(Vec<f64>),
 }
 

@@ -20,13 +20,19 @@ pub struct ExecOutput {
 impl ExecOutput {
     /// The sole return value (panics if there is not exactly one).
     pub fn sole(self) -> StructuredVector {
-        assert_eq!(
-            self.returns.len(),
-            1,
-            "program has {} returns",
-            self.returns.len()
-        );
-        self.returns.into_iter().next().unwrap()
+        let n = self.returns.len();
+        self.try_sole()
+            .unwrap_or_else(|| panic!("program has {n} returns"))
+    }
+
+    /// The sole return value, or `None` when the program returned zero
+    /// or several vectors (the non-panicking form of [`ExecOutput::sole`]).
+    pub fn try_sole(mut self) -> Option<StructuredVector> {
+        if self.returns.len() == 1 {
+            self.returns.pop()
+        } else {
+            None
+        }
     }
 }
 
@@ -48,7 +54,10 @@ impl<'a> Interpreter<'a> {
 
     /// Run a program, materializing every intermediate.
     pub fn run_program(&self, program: &Program) -> Result<ExecOutput> {
-        program.validate()?;
+        // Structural verification up front: ill-formed programs come back
+        // as `VoodooError::Rejected` diagnostics, never as an index panic
+        // inside the evaluation loop.
+        voodoo_core::diag::reject_if_any(voodoo_core::diag::check_structure(program))?;
         let mut values: Vec<StructuredVector> = Vec::with_capacity(program.len());
         let mut persisted = Vec::new();
         for (i, stmt) in program.stmts().iter().enumerate() {
@@ -72,7 +81,7 @@ impl<'a> Interpreter<'a> {
         &self,
         program: &Program,
     ) -> Result<(ExecOutput, Vec<StructuredVector>)> {
-        program.validate()?;
+        voodoo_core::diag::reject_if_any(voodoo_core::diag::check_structure(program))?;
         let mut values: Vec<StructuredVector> = Vec::with_capacity(program.len());
         let mut persisted = Vec::new();
         for (i, stmt) in program.stmts().iter().enumerate() {
@@ -335,7 +344,13 @@ impl<'a> Interpreter<'a> {
             }
             Op::Cross { out1, v1, out2, v2 } => {
                 let (n1, n2) = (get(*v1).len(), get(*v2).len());
-                let len = n1 * n2;
+                let len = n1
+                    .checked_mul(n2)
+                    .ok_or_else(|| VoodooError::SizeMismatch {
+                        context: ctx("Cross"),
+                        lhs: n1,
+                        rhs: n2,
+                    })?;
                 let mut c1 = Column::empties(ScalarType::I64, len);
                 let mut c2 = Column::empties(ScalarType::I64, len);
                 for i in 0..n1 {

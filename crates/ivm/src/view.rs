@@ -448,7 +448,7 @@ impl MaintainedView {
 
     /// One-shot evaluation of a definition: fresh state, full build,
     /// result rows. This is the oracle the test suites compare against.
-    pub fn evaluate(def: ViewDef, cat: &Catalog, exec: &mut Exec) -> Result<Vec<Vec<i64>>> {
+    pub fn evaluate(def: ViewDef, cat: &Catalog, exec: &mut Exec<'_>) -> Result<Vec<Vec<i64>>> {
         let mut v = MaintainedView::new(def)?;
         v.refresh(cat, exec)?;
         Ok(v.cached_rows)
@@ -457,7 +457,7 @@ impl MaintainedView {
     /// Bring the cached result up to date with `cat`, preferring captured
     /// row deltas and falling back to a full rebuild when row-level
     /// capture is unavailable. Returns how the read was satisfied.
-    pub fn refresh(&mut self, cat: &Catalog, exec: &mut Exec) -> Result<Refresh> {
+    pub fn refresh(&mut self, cat: &Catalog, exec: &mut Exec<'_>) -> Result<Refresh> {
         let deps = self.def.table_deps();
         for t in &deps {
             if cat.table_version(t).is_none() {
@@ -504,7 +504,7 @@ impl MaintainedView {
 
     /// Gather captured deltas for every drifted dependency; `None` when
     /// any dependency lacks row-level capture (→ caller rebuilds).
-    fn try_delta_refresh(&mut self, cat: &Catalog, exec: &mut Exec) -> Result<Option<u64>> {
+    fn try_delta_refresh(&mut self, cat: &Catalog, exec: &mut Exec<'_>) -> Result<Option<u64>> {
         let mut staged: HashMap<String, ZBatch> = HashMap::new();
         for t in self.def.table_deps() {
             let since = self.versions.get(&t).copied().unwrap_or(0);
@@ -550,7 +550,7 @@ impl MaintainedView {
 
     /// Rebuild from scratch: the delta pipeline fed from an empty state
     /// with every base row at weight `+1`.
-    fn full_rebuild(&mut self, cat: &Catalog, exec: &mut Exec) -> Result<u64> {
+    fn full_rebuild(&mut self, cat: &Catalog, exec: &mut Exec<'_>) -> Result<u64> {
         self.state = ViewState::default();
         let mut rows_processed = 0u64;
         let left = run_full_stage(&self.def.source, cat, exec)?;
@@ -760,7 +760,11 @@ fn index_add(index: &mut JoinIndex, key: i64, row: Vec<i64>, w: i64) {
 
 /// Run a source's full stage program and extract the weighted stream
 /// (every surviving row at weight `+1`).
-fn run_full_stage(src: &Source, cat: &Catalog, exec: &mut Exec) -> Result<Vec<(Vec<i64>, i64)>> {
+fn run_full_stage(
+    src: &Source,
+    cat: &Catalog,
+    exec: &mut Exec<'_>,
+) -> Result<Vec<(Vec<i64>, i64)>> {
     let out = exec(&src.full_program(), cat)?;
     extract_stream(&out, src.maps.len(), None)
 }
@@ -770,7 +774,7 @@ fn run_full_stage(src: &Source, cat: &Catalog, exec: &mut Exec) -> Result<Vec<(V
 fn run_delta_stage(
     src: &Source,
     scratch: &Catalog,
-    exec: &mut Exec,
+    exec: &mut Exec<'_>,
 ) -> Result<Vec<(Vec<i64>, i64)>> {
     let full = src.full_program();
     let d = differentiate(&full, &src.table, &src.delta_table())

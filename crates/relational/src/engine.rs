@@ -33,7 +33,7 @@ use voodoo_backend::{
 };
 use voodoo_compile::exec::StatementTrace;
 use voodoo_compile::MorselPool;
-use voodoo_core::{Program, Result, VoodooError};
+use voodoo_core::{Diagnostic, Pass, Program, Result, VoodooError};
 use voodoo_interp::ExecOutput;
 use voodoo_ivm::{MaintainedView, Refresh, RefreshKind, ViewDef};
 use voodoo_storage::{Catalog, CatalogSnapshot};
@@ -41,6 +41,7 @@ use voodoo_tpch::queries::{Query, QueryResult};
 
 use crate::queries;
 use crate::session::{backends, StatementOutput};
+use crate::sql;
 
 // ---------------------------------------------------------------------
 // Metrics
@@ -668,7 +669,7 @@ impl Engine {
     ///
     /// Re-creating under an existing name replaces the old view.
     pub fn create_view(&self, name: &str, stmt: &str) -> Result<()> {
-        let def = crate::views::view_def_from_sql(&crate::sql::parse(stmt)?)?;
+        let def = crate::views::view_def_from_sql(&sql::parse(stmt)?)?;
         self.create_view_def(name, def)
     }
 
@@ -864,6 +865,73 @@ impl Engine {
         // (no per-slot re-pin); ad-hoc specs pin the current one.
         stmt.run_on_pinned(&backend, spec.pinned.as_ref())
     }
+
+    /// Static diagnostics for one statement spec, without executing it on
+    /// a backend. An empty vector means every lowered program passed all
+    /// [`voodoo_verify`] analyzer passes; frontend failures (SQL parse,
+    /// lowering, an unknown view) are reported as diagnostics too, so a
+    /// serving loop has one pre-admission check for "will this reject?".
+    ///
+    /// Multi-program TPC-H queries are the one exception to "no
+    /// execution": their later programs are discovered by running the
+    /// earlier ones (exactly like [`crate::Statement::explain`]).
+    pub fn verify_spec(self: &Arc<Self>, spec: &StatementSpec) -> Vec<Diagnostic> {
+        let cat = self.snapshot();
+        match &spec.kind {
+            SpecKind::Program(p) => voodoo_verify::diagnostics(p, &cat),
+            SpecKind::Sql(text) => match sql::parse(text) {
+                Ok(q) => self.verify_sql(&q, &cat),
+                Err(e) => vec![Diagnostic::program(
+                    Pass::Structure,
+                    format!("SQL parse: {e}"),
+                )],
+            },
+            SpecKind::Tpch(q) => self.verify_tpch(*q, &cat),
+            SpecKind::View(name) => match self.view_def(name) {
+                Some(def) => verify_view_def(&def, &cat),
+                None => vec![Diagnostic::program(
+                    Pass::Structure,
+                    format!("unknown view {name:?}"),
+                )],
+            },
+        }
+    }
+
+    /// Diagnostics for a parsed SQL statement lowered against `cat`.
+    pub(crate) fn verify_sql(&self, q: &sql::SqlQuery, cat: &Catalog) -> Vec<Diagnostic> {
+        match sql::lower(cat, q) {
+            Ok(lowered) => voodoo_verify::diagnostics(&lowered.program, cat),
+            Err(e) => vec![Diagnostic::program(
+                Pass::Shape,
+                format!("SQL lowering: {e}"),
+            )],
+        }
+    }
+
+    /// Diagnostics across every program of a TPC-H plan. Earlier programs
+    /// execute (on the default backend, through the plan cache) so the
+    /// staged later ones can be analyzed against the tables they create.
+    pub(crate) fn verify_tpch(self: &Arc<Self>, q: Query, cat: &Catalog) -> Vec<Diagnostic> {
+        let backend = match self.backend_arc(&self.default_backend()) {
+            Ok(b) => b,
+            Err(e) => return vec![Diagnostic::program(Pass::Structure, e.to_string())],
+        };
+        let mut diags = Vec::new();
+        let _ = queries::run_query(cat, q, &mut |p: &Program, c: &Catalog| {
+            diags.extend(voodoo_verify::diagnostics(p, c));
+            self.plan_for(&backend, p, c)?.execute(c)
+        });
+        diags
+    }
+}
+
+/// Diagnostics for every stage program of a maintained-view definition.
+fn verify_view_def(def: &ViewDef, cat: &Catalog) -> Vec<Diagnostic> {
+    let mut diags = voodoo_verify::diagnostics(&def.source.full_program(), cat);
+    if let Some(j) = &def.join {
+        diags.extend(voodoo_verify::diagnostics(&j.right.full_program(), cat));
+    }
+    diags
 }
 
 // ---------------------------------------------------------------------

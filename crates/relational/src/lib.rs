@@ -69,8 +69,39 @@
 //! with it. A panic inside a morsel task fails only its statement; the
 //! pool keeps serving.
 //!
+//! # Static verification
+//!
+//! Every statement is analyzed by `voodoo-verify` inside
+//! `Backend::prepare` — structure, shape/sentinel domains, effects,
+//! parallel safety — so nothing executes unverified, and a malformed
+//! program fails with pointed [`voodoo_core::Diagnostic`]s rather than
+//! a panic. The same pipeline is exposed as a dry run that spends no
+//! plan-cache entry or queue slot: [`session::Statement::verify`],
+//! [`Session::verify`](session::Session::verify), and
+//! [`ServerHandle::verify`] / [`serve::ServeSession::verify`] at the
+//! serving front door.
+//!
+//! ```
+//! use voodoo_core::{Pass, Program, VRef};
+//! use voodoo_relational::Session;
+//! use voodoo_storage::Catalog;
+//!
+//! let mut cat = Catalog::in_memory();
+//! cat.put_i64_column("t", &[1, 2, 3]);
+//! let session = Session::new(cat);
+//!
+//! let mut p = Program::new();
+//! let t = p.load("t");
+//! p.add(t, VRef(9)); // forward reference: %9 is never defined
+//! p.ret(t);
+//!
+//! let diags = session.program(p).verify();
+//! assert_eq!(diags[0].stmt, Some(1));
+//! assert_eq!(diags[0].pass, Pass::Structure);
+//! ```
+//!
 //! The repo-level `ARCHITECTURE.md` maps how these pieces — and the
-//! other eleven crates — fit together.
+//! other twelve crates — fit together.
 
 // The serving surface is the public face of the reproduction: every
 // exported item carries documentation, enforced at build time.

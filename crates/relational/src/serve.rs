@@ -52,7 +52,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use voodoo_core::VoodooError;
+use voodoo_core::{Diagnostic, VoodooError};
 
 use crate::engine::{Engine, StatementSpec};
 use crate::session::StatementOutput;
@@ -169,7 +169,7 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 /// Result of one admitted statement.
-pub type ServeResult = std::result::Result<StatementOutput, ServeError>;
+pub type ServeResult = Result<StatementOutput, ServeError>;
 
 // ---------------------------------------------------------------------
 // Receipt: a one-shot completion future on std primitives
@@ -270,7 +270,7 @@ impl Receipt {
     /// or the receipt back if it has not. Consuming `self` keeps the
     /// one-shot contract honest — a receipt whose result was taken can
     /// no longer be `wait`ed on (which would block forever).
-    pub fn try_take(self) -> std::result::Result<Completion, Receipt> {
+    pub fn try_take(self) -> Result<Completion, Receipt> {
         let taken = self
             .state
             .slot
@@ -653,6 +653,13 @@ impl ServerHandle {
         self.shared.submit_wait(0, spec, deadline)
     }
 
+    /// Static diagnostics for a spec, synchronously and without taking a
+    /// queue slot — a pre-admission check that a statement will pass every
+    /// backend's prepare-time analyzer. See [`Engine::verify_spec`].
+    pub fn verify(&self, spec: &StatementSpec) -> Vec<Diagnostic> {
+        self.shared.engine.verify_spec(spec)
+    }
+
     /// Aggregate serving counters.
     pub fn stats(&self) -> ServeStats {
         let queue_depth = self.shared.lock().queued;
@@ -726,5 +733,11 @@ impl ServeSession {
     /// counters are atomics captured at session creation).
     pub fn stats(&self) -> SessionServeStats {
         self.counters.snapshot()
+    }
+
+    /// Static diagnostics for a spec, synchronously and without taking a
+    /// queue slot. See [`ServerHandle::verify`].
+    pub fn verify(&self, spec: &StatementSpec) -> Vec<Diagnostic> {
+        self.shared.engine.verify_spec(spec)
     }
 }

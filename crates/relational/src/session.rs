@@ -127,7 +127,7 @@ use std::time::Instant;
 
 use voodoo_backend::{Backend, CacheStats, PlanProfile};
 use voodoo_compile::EventProfile;
-use voodoo_core::{Program, Result};
+use voodoo_core::{Diagnostic, Program, Result};
 use voodoo_interp::ExecOutput;
 use voodoo_storage::{Catalog, CatalogSnapshot};
 use voodoo_tpch::queries::{Query, QueryResult};
@@ -346,6 +346,25 @@ impl Statement {
         }
     }
 
+    /// Static diagnostics for this statement, without executing it on a
+    /// backend: the full [`voodoo_verify`] pass pipeline over every
+    /// lowered program, against the current catalog snapshot. Empty means
+    /// the statement will pass every backend's prepare-time analyzer;
+    /// otherwise each [`Diagnostic`] pinpoints a statement and pass.
+    ///
+    /// Frontend failures (SQL lowering against this catalog) are reported
+    /// as diagnostics too. Multi-program TPC-H plans execute their
+    /// earlier programs to discover the later ones, like
+    /// [`Statement::explain`].
+    pub fn verify(&self) -> Vec<Diagnostic> {
+        let cat = self.engine.snapshot();
+        match &self.kind {
+            StatementKind::Program(p) => voodoo_verify::diagnostics(p, &cat),
+            StatementKind::Sql(q) => self.engine.verify_sql(q, &cat),
+            StatementKind::Tpch(q) => self.engine.verify_tpch(*q, &cat),
+        }
+    }
+
     /// Execute on the default backend while profiling.
     pub fn profile(&self) -> Result<RunProfile> {
         self.profile_on(&self.engine.default_backend())
@@ -550,6 +569,13 @@ impl Session {
     /// queue. See [`Engine::run_batch`].
     pub fn run_batch(&self, specs: &[StatementSpec]) -> Vec<Result<StatementOutput>> {
         self.engine.run_batch(specs)
+    }
+
+    /// Static diagnostics for a statement spec, without executing it.
+    /// See [`Engine::verify_spec`]; [`Statement::verify`] is the same
+    /// check on an already-built statement handle.
+    pub fn verify(&self, spec: &StatementSpec) -> Vec<Diagnostic> {
+        self.engine.verify_spec(spec)
     }
 
     /// Start an admission-controlled serving front door over this

@@ -233,7 +233,7 @@ mod sql_negative {
 #[test]
 fn optimized_plans_match_unoptimized_on_all_queries() {
     let mut cat = voodoo_tpch::generate(0.002);
-    crate::prepare(&mut cat);
+    prepare(&mut cat);
     let plain_backend = CpuBackend::single_threaded();
     let optimized_backend = CpuBackend::new(ExecOptions {
         parallelism: voodoo_backend::Parallelism::Fixed(2),
@@ -241,7 +241,7 @@ fn optimized_plans_match_unoptimized_on_all_queries() {
         ..Default::default()
     })
     .with_optimize(true);
-    for q in voodoo_tpch::queries::CPU_QUERIES {
+    for q in CPU_QUERIES {
         let plain = run_query_on(&plain_backend, &cat, q).expect("plain");
         let optimized = run_query_on(&optimized_backend, &cat, q).expect("optimized");
         assert_eq!(plain, optimized, "{}", q.name());

@@ -453,7 +453,7 @@ mod tests {
         let mut rng = crate::test_runner::TestRng::deterministic("f64");
         let mut any_nonfinite = false;
         for _ in 0..10_000 {
-            let v = crate::strategy::Strategy::generate(&crate::any::<f64>(), &mut rng);
+            let v = Strategy::generate(&any::<f64>(), &mut rng);
             if !v.is_finite() {
                 any_nonfinite = true;
             }

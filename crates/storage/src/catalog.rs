@@ -936,7 +936,7 @@ mod tests {
         t.add_column(TableColumn::from_buffer("v", Buffer::I64(vec![0])));
         cat.insert_table(t);
         let v0 = cat.table_version("t").unwrap();
-        for i in 0..(super::MAX_CHANGE_LOG as i64 + 8) {
+        for i in 0..(MAX_CHANGE_LOG as i64 + 8) {
             cat.append_rows("t", &[vec![i]]);
         }
         assert!(cat.change_floor() > 0);

@@ -9,8 +9,8 @@ proptest! {
     /// Binary column round trip is the identity for arbitrary i64 data
     /// with an arbitrary ε mask.
     #[test]
-    fn column_roundtrip(data in proptest::collection::vec(any::<i64>(), 0..200),
-                        holes in proptest::collection::vec(any::<bool>(), 0..200)) {
+    fn column_roundtrip(data in collection::vec(any::<i64>(), 0..200),
+                        holes in collection::vec(any::<bool>(), 0..200)) {
         let mut col = TableColumn::from_buffer("c", Buffer::I64(data.clone()));
         for (i, &h) in holes.iter().take(data.len()).enumerate() {
             if h {
@@ -26,7 +26,7 @@ proptest! {
     /// Dictionary encoding is lossless: decode(encode(s)) == s for every
     /// row, and the dictionary has no duplicates.
     #[test]
-    fn dictionary_lossless(words in proptest::collection::vec("[a-z]{0,6}", 1..100)) {
+    fn dictionary_lossless(words in collection::vec("[a-z]{0,6}", 1..100)) {
         let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
         let col = TableColumn::from_strings("s", &refs);
         let dict = col.dict.as_ref().unwrap();
@@ -43,7 +43,7 @@ proptest! {
     /// Float columns round trip bit-exactly (including NaN payload-free
     /// values and signed zeros as stored).
     #[test]
-    fn float_roundtrip(data in proptest::collection::vec(any::<f64>(), 0..100)) {
+    fn float_roundtrip(data in collection::vec(any::<f64>(), 0..100)) {
         let col = TableColumn::from_buffer("f", Buffer::F64(data.clone()));
         let mut buf = Vec::new();
         persist::write_column(&mut buf, &col).unwrap();

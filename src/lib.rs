@@ -118,6 +118,53 @@
 //! assert!(m.queries_served >= 9 && m.p99_seconds.is_some());
 //! ```
 //!
+//! ## Static verification
+//!
+//! No program executes unverified: every `Backend::prepare` runs the
+//! [`verify`] analyzer (structure → shape/sentinel → effects →
+//! parallel-safety) and ill-formed programs come back as
+//! `VoodooError::Rejected` with pointed [`core::Diagnostic`]s instead
+//! of panics or wrong answers. [`relational::Session::verify`] (and
+//! `Statement::verify` / `ServerHandle::verify`) expose the same
+//! pipeline as a dry run — lint a statement before spending a queue
+//! slot or a plan-cache entry on it:
+//!
+//! ```
+//! use voodoo::core::{Pass, Program, VRef, VoodooError};
+//! use voodoo::relational::{Session, StatementSpec};
+//! use voodoo::storage::Catalog;
+//!
+//! let mut cat = Catalog::in_memory();
+//! cat.put_i64_column("t", &[1, 2, 3]);
+//! let session = Session::new(cat);
+//!
+//! // A well-formed program verifies clean.
+//! let mut ok = Program::new();
+//! let v = ok.load("t");
+//! let total = ok.fold_sum_global(v);
+//! ok.ret(total);
+//! assert!(session.program(ok).verify().is_empty());
+//!
+//! // A forward reference is caught by the structure pass, with the
+//! // diagnostic naming the offending statement.
+//! let mut bad = Program::new();
+//! let t = bad.load("t");
+//! bad.add(t, VRef(9)); // %9 is never defined
+//! bad.ret(t);
+//! let diags = session.verify(&StatementSpec::program(bad.clone()));
+//! assert_eq!(diags[0].stmt, Some(1));
+//! assert_eq!(diags[0].pass, Pass::Structure);
+//! // e.g. "[structure] %1 Add: operand %9 is not defined ..."
+//! assert!(diags[0].to_string().starts_with("[structure] %1"));
+//!
+//! // Running it anyway surfaces the same diagnostics as an error —
+//! // on every backend, before any planning happens.
+//! match session.program(bad).run() {
+//!     Err(VoodooError::Rejected(ds)) => assert_eq!(ds[0].stmt, Some(1)),
+//!     other => panic!("expected rejection, got {other:?}"),
+//! }
+//! ```
+//!
 //! ## Parallel execution
 //!
 //! Statements don't just run concurrently — each statement can fan
@@ -277,3 +324,4 @@ pub use voodoo_opt as opt;
 pub use voodoo_relational as relational;
 pub use voodoo_storage as storage;
 pub use voodoo_tpch as tpch;
+pub use voodoo_verify as verify;

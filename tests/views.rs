@@ -53,8 +53,8 @@ proptest! {
     /// for bit, and every other backend agrees with the refreshing one.
     #[test]
     fn interleaved_mutations_stay_bit_identical(
-        seed in proptest::collection::vec((0i64..4, -20i64..20), 1..10),
-        ops in proptest::collection::vec(
+        seed in collection::vec((0i64..4, -20i64..20), 1..10),
+        ops in collection::vec(
             (0usize..3, 0i64..4, -20i64..20, 0usize..12), 1..10),
     ) {
         let mut cat = Catalog::in_memory();
