@@ -4,10 +4,17 @@ use voodoo_storage::Catalog;
 
 /// Borrow an `i64` column of a table (panics on schema mismatch — the
 /// generator guarantees these).
+///
+/// Borrows the *base* buffer, so the table must not carry pending append
+/// segments (compact first); the baselines only ever read generator-built
+/// static tables, where that always holds.
 pub fn i64col<'a>(cat: &'a Catalog, table: &str, col: &str) -> &'a [i64] {
-    cat.table(table)
-        .unwrap_or_else(|| panic!("table {table}"))
-        .column(col)
+    let t = cat.table(table).unwrap_or_else(|| panic!("table {table}"));
+    assert!(
+        t.segments().is_empty(),
+        "{table} has pending append segments; compact before borrowing raw columns"
+    );
+    t.column(col)
         .unwrap_or_else(|| panic!("column {table}.{col}"))
         .data
         .buffer()
@@ -15,11 +22,15 @@ pub fn i64col<'a>(cat: &'a Catalog, table: &str, col: &str) -> &'a [i64] {
         .unwrap_or_else(|| panic!("{table}.{col} is not i64"))
 }
 
-/// Borrow a dictionary-code column (`i32` codes).
+/// Borrow a dictionary-code column (`i32` codes). Same base-borrow
+/// constraint as [`i64col`]: no pending append segments.
 pub fn codecol<'a>(cat: &'a Catalog, table: &str, col: &str) -> &'a [i32] {
-    cat.table(table)
-        .unwrap_or_else(|| panic!("table {table}"))
-        .column(col)
+    let t = cat.table(table).unwrap_or_else(|| panic!("table {table}"));
+    assert!(
+        t.segments().is_empty(),
+        "{table} has pending append segments; compact before borrowing raw columns"
+    );
+    t.column(col)
         .unwrap_or_else(|| panic!("column {table}.{col}"))
         .data
         .buffer()

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the Voodoo paper.
 //!
 //! ```text
-//! repro <fig1/fig9/fig12/fig13/fig14/fig15/fig16/scaling/throughput/views/ablate/opt/all> [options]
+//! repro <fig1/fig9/fig12/fig13/fig14/fig15/fig16/scaling/throughput/views/ingest/ablate/opt/all> [options]
 //!   --n=<elements>      microbenchmark input size   (default 1048576)
 //!   --sf=<scale>        TPC-H scale factor          (default 0.02)
 //!   --threads=<t>       CPU threads (scaling: the sweep's max) (default available)
@@ -119,6 +119,21 @@ fn main() {
                 );
             }
         }
+        "ingest" => {
+            let rows = figures::ingest(o.n, o.iters.clamp(3, 9));
+            print_rows(
+                "Ingest: O(batch) segmented append vs O(table) seed copy-out (s per 1024-row batch)",
+                &rows,
+            );
+            println!("\nsegment publication speedup per resident size:");
+            for r in rows.iter().filter(|r| r.series == "ingest-speedup (x)") {
+                println!(
+                    "  {:>10} resident rows: {:>8.1}x over copy-out",
+                    r.x,
+                    r.seconds.unwrap_or(0.0)
+                );
+            }
+        }
         "ablate" => {
             print_rows(
                 "Ablation: empty-slot suppression (write bytes)",
@@ -186,6 +201,7 @@ fn main() {
             "scaling",
             "throughput",
             "views",
+            "ingest",
             "ablate",
             "opt",
         ] {

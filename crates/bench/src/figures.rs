@@ -888,6 +888,87 @@ pub fn views(n: usize, iters: usize) -> Vec<FigRow> {
     rows
 }
 
+/// Write amplification: seconds to publish one 1024-row append batch
+/// into a resident table of `n` rows, for `n` in `{n_max/100, n_max/10,
+/// n_max}`. The `segmented-append` series is the engine's real write
+/// path — the batch is sealed into an `Arc`-shared segment and the new
+/// snapshot shares all prior storage, so the cost is O(batch). The
+/// `seed-copyout` series emulates the pre-segment path: every column of
+/// the resident table is deep-copied into a fresh table before the batch
+/// lands, so the cost is O(table). The `ingest-speedup (x)` series is
+/// their ratio; it should grow linearly with `n`.
+pub fn ingest(n_max: usize, iters: usize) -> Vec<FigRow> {
+    use voodoo_core::{Buffer, Column};
+    use voodoo_storage::{Table, TableColumn};
+
+    const BATCH_ROWS: usize = 1024;
+    let n_max = n_max.max(4 * BATCH_ROWS);
+    let batch: Vec<Vec<i64>> = (0..BATCH_ROWS as i64).map(|i| vec![i % 64, i]).collect();
+
+    fn resident(n: usize) -> Table {
+        let mut t = Table::new("resident");
+        t.add_column(TableColumn::from_buffer(
+            "k",
+            Buffer::I64((0..n as i64).map(|i| i % 64).collect()),
+        ));
+        t.add_column(TableColumn::from_buffer(
+            "v",
+            Buffer::I64((0..n as i64).collect()),
+        ));
+        t
+    }
+
+    let mut rows = Vec::new();
+    for n in [n_max / 100, n_max / 10, n_max] {
+        let n = n.max(BATCH_ROWS);
+
+        // Real write path: seal the batch as a segment, publish by Arc.
+        let mut cat = Catalog::in_memory();
+        cat.insert_table(resident(n));
+        let session = Session::new(cat);
+        let seg_secs = time_secs(iters, || {
+            assert!(session.append_rows("resident", &batch));
+        });
+
+        // Seed emulation: the old path cloned every column of the table
+        // to mutate the copy. `Column` is copy-on-write now, so the copy
+        // must be forced buffer-by-buffer to reproduce the old cost.
+        let mut cat = Catalog::in_memory();
+        cat.insert_table(resident(n));
+        let session2 = Session::new(cat);
+        let copy_secs = time_secs(iters, || {
+            session2.mutate_catalog(|c| {
+                let src = c.table("resident").expect("resident").clone();
+                let mut fresh = Table::new("resident");
+                for col in &src.merged_columns() {
+                    let data = Column::from_parts(
+                        col.data.buffer().clone(),
+                        col.data.empty_mask().to_vec(),
+                    );
+                    fresh.add_column(TableColumn {
+                        name: col.name.clone(),
+                        data,
+                        dict: col.dict.clone(),
+                        stats: col.stats,
+                    });
+                }
+                fresh.append_rows(&batch);
+                fresh.compact();
+                c.insert_table(fresh);
+            });
+        });
+
+        rows.push(FigRow::new("segmented-append", n, Some(seg_secs)));
+        rows.push(FigRow::new("seed-copyout", n, Some(copy_secs)));
+        rows.push(FigRow::new(
+            "ingest-speedup (x)",
+            n,
+            Some(copy_secs / seg_secs.max(f64::MIN_POSITIVE)),
+        ));
+    }
+    rows
+}
+
 /// Sanity check used by tests: every query result matches across engines
 /// at the benchmark scale factor.
 pub fn verify_engines(sf: f64) -> Result<(), String> {
@@ -991,6 +1072,32 @@ mod tests {
                 "{shape} delta refresh touched {frac} of the data"
             );
         }
+    }
+
+    #[test]
+    fn ingest_rows_cover_every_size_and_segments_never_lose() {
+        let rows = ingest(1 << 16, 2);
+        assert_eq!(rows.len(), 3 * 3, "3 sizes x 3 series");
+        for series in ["segmented-append", "seed-copyout", "ingest-speedup (x)"] {
+            assert!(
+                rows.iter()
+                    .filter(|r| r.series == series)
+                    .all(|r| r.seconds.unwrap() > 0.0),
+                "{series} has a non-positive point"
+            );
+        }
+        // At the largest size the O(batch) path must not lose to the
+        // O(table) emulation (debug builds stay loose; release asserts
+        // the real amplification gap in tests/ingest.rs).
+        let speedup = rows
+            .iter()
+            .rfind(|r| r.series == "ingest-speedup (x)")
+            .and_then(|r| r.seconds)
+            .unwrap();
+        assert!(
+            speedup >= 1.0,
+            "segmented append slower than copy-out at the largest size: {speedup}x"
+        );
     }
 
     #[test]

@@ -137,21 +137,39 @@ impl Buffer {
             _ => None,
         }
     }
+
+    /// Append every value of `other` (which must have the same element
+    /// type) — the bulk concatenation segmented storage folds with.
+    pub fn extend_from(&mut self, other: &Buffer) {
+        match (self, other) {
+            (Buffer::Bool(a), Buffer::Bool(b)) => a.extend_from_slice(b),
+            (Buffer::I32(a), Buffer::I32(b)) => a.extend_from_slice(b),
+            (Buffer::I64(a), Buffer::I64(b)) => a.extend_from_slice(b),
+            (Buffer::F32(a), Buffer::F32(b)) => a.extend_from_slice(b),
+            (Buffer::F64(a), Buffer::F64(b)) => a.extend_from_slice(b),
+            (a, b) => panic!("extend_from type mismatch: {:?} vs {:?}", a.ty(), b.ty()),
+        }
+    }
 }
 
 /// One leaf field of a structured vector: values plus an ε mask.
+///
+/// Internally copy-on-write: the value buffer and ε mask live behind
+/// `Arc`s, so cloning a column (and therefore snapshotting a table) is
+/// O(1) regardless of row count. Mutators take the slow deep-copy path
+/// only when the storage is actually shared with another clone.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Column {
-    data: Buffer,
-    empty: Vec<bool>,
+    data: std::sync::Arc<Buffer>,
+    empty: std::sync::Arc<Vec<bool>>,
 }
 
 impl Column {
     /// A column of `len` ε slots.
     pub fn empties(ty: ScalarType, len: usize) -> Column {
         Column {
-            data: Buffer::with_len(ty, len),
-            empty: vec![true; len],
+            data: std::sync::Arc::new(Buffer::with_len(ty, len)),
+            empty: std::sync::Arc::new(vec![true; len]),
         }
     }
 
@@ -159,15 +177,31 @@ impl Column {
     pub fn from_buffer(data: Buffer) -> Column {
         let len = data.len();
         Column {
-            data,
-            empty: vec![false; len],
+            data: std::sync::Arc::new(data),
+            empty: std::sync::Arc::new(vec![false; len]),
         }
     }
 
     /// Build from parts; `empty.len()` must equal `data.len()`.
     pub fn from_parts(data: Buffer, empty: Vec<bool>) -> Column {
         assert_eq!(data.len(), empty.len(), "column parts must align");
-        Column { data, empty }
+        Column {
+            data: std::sync::Arc::new(data),
+            empty: std::sync::Arc::new(empty),
+        }
+    }
+
+    /// Whether `self` and `other` share the same underlying value buffer
+    /// (true only for clones that have not diverged) — the observable
+    /// proof that snapshot publication did not copy this column.
+    pub fn shares_storage_with(&self, other: &Column) -> bool {
+        std::sync::Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Append every slot of `other` (same element type required).
+    pub fn extend_from(&mut self, other: &Column) {
+        std::sync::Arc::make_mut(&mut self.data).extend_from(other.buffer());
+        std::sync::Arc::make_mut(&mut self.empty).extend_from_slice(other.empty_mask());
     }
 
     /// Number of slots (including ε).
@@ -201,25 +235,26 @@ impl Column {
 
     /// Write slot `i` (clears ε).
     pub fn set(&mut self, i: usize, value: ScalarValue) {
-        self.data.set(i, value);
-        self.empty[i] = false;
+        std::sync::Arc::make_mut(&mut self.data).set(i, value);
+        std::sync::Arc::make_mut(&mut self.empty)[i] = false;
     }
 
     /// Mark slot `i` as ε.
     pub fn clear(&mut self, i: usize) {
-        self.empty[i] = true;
+        std::sync::Arc::make_mut(&mut self.empty)[i] = true;
     }
 
     /// Append a value or an ε slot.
     pub fn push(&mut self, value: Option<ScalarValue>) {
+        let ty = self.ty();
         match value {
             Some(v) => {
-                self.data.push(v);
-                self.empty.push(false);
+                std::sync::Arc::make_mut(&mut self.data).push(v);
+                std::sync::Arc::make_mut(&mut self.empty).push(false);
             }
             None => {
-                self.data.push(ScalarValue::I64(0).cast(self.ty()));
-                self.empty.push(true);
+                std::sync::Arc::make_mut(&mut self.data).push(ScalarValue::I64(0).cast(ty));
+                std::sync::Arc::make_mut(&mut self.empty).push(true);
             }
         }
     }
@@ -229,9 +264,9 @@ impl Column {
         &self.data
     }
 
-    /// Mutable access to the raw value buffer.
+    /// Mutable access to the raw value buffer (deep-copies if shared).
     pub fn buffer_mut(&mut self) -> &mut Buffer {
-        &mut self.data
+        std::sync::Arc::make_mut(&mut self.data)
     }
 
     /// The ε mask (true = empty).

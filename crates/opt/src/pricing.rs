@@ -50,7 +50,8 @@ pub fn sample_catalog(catalog: &Catalog, workload: &Workload, sample_rows: usize
 fn truncate_table(table: &Table, n: usize) -> Table {
     let mut t = Table::new(&table.name);
     t.foreign_keys = table.foreign_keys.clone();
-    for col in &table.columns {
+    // Merged view: the sample must cover pending append segments too.
+    for col in &table.merged_columns() {
         let mut data = voodoo_core::Column::empties(col.data.ty(), 0);
         for i in 0..n.min(col.data.len()) {
             data.push(col.data.get(i));

@@ -396,12 +396,28 @@ impl Engine {
     /// Apply a mutation to a private copy of the catalog and publish the
     /// result (copy-on-write: concurrent readers keep their snapshots).
     /// Mutation bumps the catalog version, invalidating cached plans.
+    ///
+    /// The private copy is O(#tables) — tables sit behind `Arc`s and
+    /// column buffers are themselves copy-on-write — so the cost of a
+    /// publication is the mutation itself: an appended batch costs
+    /// O(batch), never O(rows resident) (see `voodoo_storage::catalog`,
+    /// "Segmented storage & the write path").
     pub fn mutate_catalog<T>(&self, f: impl FnOnce(&mut Catalog) -> T) -> T {
         let mut shared = self.state_write();
         let mut working: Catalog = (*shared.catalog).clone();
         let out = f(&mut working);
         shared.catalog = CatalogSnapshot::new(working);
         out
+    }
+
+    /// Append rows to a table and publish the new snapshot: the batched
+    /// ingest front door. One `Vec<i64>` per row in column order; values
+    /// cast to each column's stored type. O(batch + #tables) regardless
+    /// of how many rows are already resident — the batch is sealed into
+    /// an `Arc`-shared append segment and concurrent readers keep their
+    /// snapshots untouched. Returns `false` for an unknown table.
+    pub fn append_rows(&self, table: &str, rows: &[Vec<i64>]) -> bool {
+        self.mutate_catalog(|c| c.append_rows(table, rows))
     }
 
     /// A write guard over the catalog: deref-mutate it like a `&mut

@@ -69,6 +69,32 @@
 //! with it. A panic inside a morsel task fails only its statement; the
 //! pool keeps serving.
 //!
+//! # Batched ingest
+//!
+//! Writers publish through copy-on-write snapshots, and the cost of a
+//! publication is the mutation itself: [`Session::append_rows`]
+//! (`session::Session::append_rows` / [`Engine::append_rows`]) seals
+//! the batch into an `Arc`-shared append segment, so appending is
+//! O(batch + #tables) no matter how many rows are already resident,
+//! and concurrent readers keep their snapshots untouched. Views over
+//! the appended table refresh from the segment delta, not a rescan.
+//!
+//! ```
+//! use voodoo_relational::Session;
+//! use voodoo_storage::Catalog;
+//!
+//! let mut cat = Catalog::in_memory();
+//! cat.put_i64_column("events", &[10, 20, 30]);
+//! let session = Session::new(cat);
+//!
+//! // Ingest a batch; the snapshot published shares all prior storage.
+//! assert!(session.append_rows("events", &[vec![40], vec![50]]));
+//! assert_eq!(
+//!     session.run_sql("SELECT COUNT(*), SUM(val) FROM events").unwrap(),
+//!     vec![vec![5, 150]],
+//! );
+//! ```
+//!
 //! # Static verification
 //!
 //! Every statement is analyzed by `voodoo-verify` inside

@@ -574,21 +574,21 @@ fn q20(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let mut stage = Catalog::in_memory();
     let ps_t = cat.table("partsupp").expect("partsupp");
     let mut ps_copy = Table::new("partsupp");
-    for c in &ps_t.columns {
-        ps_copy.add_column(c.clone());
+    for c in ps_t.merged_columns() {
+        ps_copy.add_column(c);
     }
     stage.insert_table(ps_copy);
     let supp_t = cat.table("supplier").expect("supplier");
     let mut supp_copy = Table::new("supplier");
-    for c in &supp_t.columns {
-        supp_copy.add_column(c.clone());
+    for c in supp_t.merged_columns() {
+        supp_copy.add_column(c);
     }
     stage.insert_table(supp_copy);
     let part_t = cat.table("part").expect("part");
     let mut part_copy = Table::new("part");
-    for c in &part_t.columns {
+    for c in part_t.merged_columns() {
         if c.name == "p_name" {
-            part_copy.add_column(c.clone());
+            part_copy.add_column(c);
         }
     }
     stage.insert_table(part_copy);
@@ -596,8 +596,8 @@ fn q20(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
         .table(aux::NAME_FOREST)
         .expect("prepare() staged aux tables");
     let mut forest_copy = Table::new(aux::NAME_FOREST);
-    for c in &forest_t.columns {
-        forest_copy.add_column(c.clone());
+    for c in forest_t.merged_columns() {
+        forest_copy.add_column(c);
     }
     stage.insert_table(forest_copy);
     stage.put_i64_column("__q20_shipped", &shipped);

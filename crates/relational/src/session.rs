@@ -528,6 +528,12 @@ impl Session {
         self.engine.mutate_catalog(f)
     }
 
+    /// Append a batch of rows to a table and publish the new snapshot in
+    /// O(batch + #tables). See [`Engine::append_rows`].
+    pub fn append_rows(&self, table: &str, rows: &[Vec<i64>]) -> bool {
+        self.engine.append_rows(table, rows)
+    }
+
     /// Prepared-plan cache counters (combined over all shards).
     pub fn cache_stats(&self) -> CacheStats {
         self.engine.cache_stats()

@@ -11,6 +11,24 @@
 //! invalidates plans that only touch table B. The catalog-wide counter
 //! ([`Catalog::version`]) survives as a coarse "anything changed" tick
 //! for snapshot ordering and diagnostics.
+//!
+//! # Segmented storage & the write path
+//!
+//! A [`Table`] is an immutable **base** (the `columns` vector) plus a list
+//! of sealed, `Arc`-shared append [`Segment`]s. [`Catalog::append_rows`]
+//! publishes a batch by sealing it into one new segment and pushing the
+//! `Arc` — the base buffers and every earlier segment are shared with all
+//! live snapshots untouched, so snapshot publication costs
+//! O(batch + #tables), never O(rows resident). Readers see the logical
+//! concatenation: [`Table::to_vector`] materializes it lazily through a
+//! per-table merged-view cache, and non-append mutations
+//! ([`Catalog::update_rows`], [`Catalog::delete_rows`],
+//! [`Catalog::table_mut`]) first fold the segments into the base
+//! ([`Table::compact`]). Compaction also runs automatically once the
+//! pending tail would dominate the base (geometric doubling — amortized
+//! O(1) per appended row) or the segment list gets long
+//! ([`MAX_TABLE_SEGMENTS`]); it never changes the logical table, so it
+//! bumps no version and logs no change.
 
 use std::collections::{HashMap, VecDeque};
 use std::ops::Deref;
@@ -49,7 +67,9 @@ pub struct TableColumn {
     /// The values (dictionary codes for string columns).
     pub data: Column,
     /// The dictionary, for string columns (codes index into it).
-    pub dict: Option<Vec<String>>,
+    /// `Arc`-shared: dictionaries can be O(rows) and must not be copied
+    /// when a table is cloned for copy-on-write publication.
+    pub dict: Option<Arc<Vec<String>>>,
     /// Min/max statistics for numeric (and code) columns.
     pub stats: Option<ColumnStats>,
 }
@@ -86,7 +106,7 @@ impl TableColumn {
         TableColumn {
             name: name.to_string(),
             data: col,
-            dict: Some(dict),
+            dict: Some(Arc::new(dict)),
             stats,
         }
     }
@@ -133,20 +153,125 @@ fn to_i64(v: ScalarValue) -> i64 {
     }
 }
 
+/// A sealed, immutable batch of appended rows: one [`Column`] per table
+/// column (dense by construction — every slot populated), stamped with
+/// the per-table version whose append produced it.
+///
+/// Segments are the unit of O(1) snapshot publication: the catalog shares
+/// them by `Arc`, and an append segment doubles as the change-log record
+/// of the append (the segment *is* the `+1` row delta).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    version: u64,
+    len: usize,
+    columns: Vec<Column>,
+}
+
+impl Segment {
+    /// Number of rows in the segment.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the segment has no rows (never true for sealed segments).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The per-table version whose append sealed this segment.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The segment's columns, in table column order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The `i64` image of segment-local row `i` (segments are dense, so
+    /// every slot is populated).
+    pub fn row_image(&self, i: usize) -> Vec<i64> {
+        self.columns
+            .iter()
+            .map(|c| c.get(i).map(|v| v.as_i64()).unwrap_or(0))
+            .collect()
+    }
+}
+
+/// Single-slot cache of the merged (base ⧺ segments) view of a table,
+/// keyed on `(table version, row count)` so any mutation — catalog-ticked
+/// or standalone — misses. Interior-mutable: readers materialize lazily
+/// through `&Table`.
+#[derive(Debug, Default)]
+struct MergedCache(std::sync::Mutex<Option<((u64, usize), StructuredVector)>>);
+
+impl MergedCache {
+    fn get(&self, key: (u64, usize)) -> Option<StructuredVector> {
+        let guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        guard
+            .as_ref()
+            .filter(|(k, _)| *k == key)
+            .map(|(_, v)| v.clone())
+    }
+
+    fn put(&self, key: (u64, usize), v: StructuredVector) {
+        *self.0.lock().unwrap_or_else(|e| e.into_inner()) = Some((key, v));
+    }
+}
+
+impl Clone for MergedCache {
+    fn clone(&self) -> MergedCache {
+        // Carrying the entry over is safe (columns are COW) and keeps the
+        // merged view warm across the catalog's copy-on-write clones.
+        MergedCache(std::sync::Mutex::new(
+            self.0.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+        ))
+    }
+}
+
+/// Segment-count ceiling: a table never carries more than this many
+/// pending append segments; [`Catalog::append_rows`] folds them into the
+/// base once the list gets this long (or earlier, once the pending tail
+/// would dominate the base — geometric doubling, amortized O(1)/row).
+pub const MAX_TABLE_SEGMENTS: usize = 4096;
+
+/// Don't bother keeping segments on tiny tables: below this many pending
+/// rows compaction is cheaper than the bookkeeping.
+const MIN_COMPACT_ROWS: usize = 1024;
+
 /// A named table: aligned columns of equal length.
+///
+/// Storage is an immutable **base** (`columns`) plus `Arc`-shared sealed
+/// append [`Segment`]s; `len` counts the logical concatenation. Readers
+/// materialize the merged view via [`Table::to_vector`] (cached per
+/// version); writers append in O(batch) via [`Table::append_rows`] and
+/// fold segments back into the base via [`Table::compact`].
 #[derive(Debug, Clone, Default)]
 pub struct Table {
     /// Table name.
     pub name: String,
-    /// Row count.
+    /// Logical row count (base rows + all pending segment rows).
     pub len: usize,
-    /// Columns, in definition order.
+    /// Base-segment columns, in definition order. Segment rows are NOT
+    /// visible here — read through [`Table::to_vector`] /
+    /// [`Table::merged_columns`], or call [`Table::compact`] first.
     pub columns: Vec<TableColumn>,
     /// Declared foreign keys: column name → (target table, target column).
     pub foreign_keys: HashMap<String, (String, String)>,
     /// The catalog mutation tick at which this table last changed
     /// (maintained by [`Catalog`]; 0 for a table not yet inserted).
     pub version: u64,
+    /// Sealed append segments, oldest first.
+    segments: Vec<Arc<Segment>>,
+    /// The highest version whose effects are folded into the base: every
+    /// non-append mutation compacts and raises this to its own version,
+    /// so all changes past `base_version` are exactly `segments`.
+    base_version: u64,
+    /// Memoized [`Table::rows_capturable`] (`None` = not yet computed, or
+    /// invalidated by an arbitrary in-place hand-out).
+    capturable: Option<bool>,
+    /// Lazily materialized merged view of base ⧺ segments.
+    merged: MergedCache,
 }
 
 impl Table {
@@ -158,14 +283,17 @@ impl Table {
         }
     }
 
-    /// Add a column; first column fixes the row count.
+    /// Add a column; first column fixes the row count. Folds any pending
+    /// append segments first so the new column aligns with the base.
     pub fn add_column(&mut self, col: TableColumn) -> &mut Self {
+        self.compact();
         if self.columns.is_empty() {
             self.len = col.data.len();
         } else {
             assert_eq!(col.data.len(), self.len, "column length must match table");
         }
         self.columns.push(col);
+        self.capturable = None;
         self
     }
 
@@ -184,37 +312,115 @@ impl Table {
 
     /// Append rows in bulk, one `Vec<i64>` per row in column order.
     ///
-    /// Values are cast to each column's stored type on push (the write-path
-    /// counterpart of [`ScalarValue::as_i64`] reads), so no column buffer is
-    /// rebuilt — this is the ingest path change capture rides on. Column
-    /// stats widen to cover the new values. Panics if a row's arity does
-    /// not match the table.
+    /// The batch is sealed into one new append [`Segment`] (stamped with
+    /// the table's current version) — base column buffers are never
+    /// touched, which is what makes catalog-level publication O(batch).
+    /// Values are cast to each column's stored type, and column stats
+    /// widen to cover the values **as stored** (a wrapped `I32` or
+    /// truthiness-collapsed `Bool` widens by its stored value, never the
+    /// raw `i64` — stats must not claim a range the data cannot contain).
+    /// Panics if a row's arity does not match the table.
     pub fn append_rows(&mut self, rows: &[Vec<i64>]) {
         for row in rows {
             assert_eq!(row.len(), self.columns.len(), "row arity must match table");
         }
+        if rows.is_empty() {
+            return;
+        }
+        let mut columns = Vec::with_capacity(self.columns.len());
         for (c, col) in self.columns.iter_mut().enumerate() {
+            let ty = col.ty();
+            let mut data = Column::from_buffer(Buffer::with_len(ty, 0));
+            let (mut min, mut max) = match col.stats {
+                Some(s) => (s.min, s.max),
+                None => (i64::MAX, i64::MIN),
+            };
             for row in rows {
-                col.data.push(Some(ScalarValue::I64(row[c])));
+                let stored = ScalarValue::I64(row[c]).cast(ty);
+                let x = to_i64(stored);
+                min = min.min(x);
+                max = max.max(x);
+                data.push(Some(stored));
             }
-            if !rows.is_empty() {
-                let (mut min, mut max) = match col.stats {
-                    Some(s) => (s.min, s.max),
-                    None => (i64::MAX, i64::MIN),
-                };
-                for row in rows {
-                    min = min.min(row[c]);
-                    max = max.max(row[c]);
+            col.stats = Some(ColumnStats { min, max });
+            columns.push(data);
+        }
+        self.segments.push(Arc::new(Segment {
+            version: self.version,
+            len: rows.len(),
+            columns,
+        }));
+        self.len += rows.len();
+    }
+
+    /// The sealed append segments pending on this table, oldest first.
+    pub fn segments(&self) -> &[Arc<Segment>] {
+        &self.segments
+    }
+
+    /// Rows held in pending append segments (not yet folded into base).
+    pub fn pending_rows(&self) -> usize {
+        self.segments.iter().map(|s| s.len).sum()
+    }
+
+    /// Rows in the base segment (`len` minus pending segment rows).
+    pub fn base_len(&self) -> usize {
+        self.len - self.pending_rows()
+    }
+
+    /// The highest version whose effects are folded into the base. Every
+    /// change past it is exactly the pending segment list.
+    pub fn base_version(&self) -> u64 {
+        self.base_version
+    }
+
+    /// Fence posts of the physical layout over the logical row space:
+    /// `[0, base_len, …, len]` — one interior cut per segment boundary.
+    /// Partition layouts align morsels to these so a morsel never
+    /// straddles a segment seam.
+    pub fn segment_bounds(&self) -> Vec<usize> {
+        let mut bounds = Vec::with_capacity(self.segments.len() + 2);
+        bounds.push(0);
+        let mut at = self.base_len();
+        for seg in &self.segments {
+            bounds.push(at);
+            at += seg.len;
+        }
+        bounds.push(self.len);
+        bounds.dedup();
+        bounds
+    }
+
+    /// Fold all pending append segments into the base columns and raise
+    /// `base_version` to the current version. Purely physical: the
+    /// logical table is unchanged, so callers bump no version and log no
+    /// change. Shared base buffers are deep-copied exactly once here
+    /// (copy-on-write), so live snapshots keep their view.
+    pub fn compact(&mut self) {
+        if !self.segments.is_empty() {
+            let segments = std::mem::take(&mut self.segments);
+            for (c, col) in self.columns.iter_mut().enumerate() {
+                for seg in &segments {
+                    col.data.extend_from(&seg.columns[c]);
                 }
-                col.stats = Some(ColumnStats { min, max });
             }
         }
-        self.len += rows.len();
+        self.base_version = self.version;
+    }
+
+    /// Whether the automatic compaction thresholds are crossed: the
+    /// pending tail would dominate the base (geometric doubling) or the
+    /// segment list is longer than [`MAX_TABLE_SEGMENTS`].
+    pub fn should_compact(&self) -> bool {
+        self.segments.len() > MAX_TABLE_SEGMENTS
+            || self.pending_rows() >= self.base_len().max(MIN_COMPACT_ROWS)
     }
 
     /// Whether every row can be captured losslessly as a `Vec<i64>` image:
     /// all columns integer-typed (`Bool`/`I32`/`I64`) and dense (no ε).
     /// Float-typed or sparse tables fall back to coarse rewrite capture.
+    /// (Append segments are dense by construction, so the base columns
+    /// decide.)
     pub fn rows_capturable(&self) -> bool {
         self.columns.iter().all(|c| {
             matches!(c.ty(), ScalarType::Bool | ScalarType::I32 | ScalarType::I64)
@@ -222,13 +428,45 @@ impl Table {
         })
     }
 
-    /// The `i64` image of row `i` (one value per column, in column order).
-    /// Only meaningful when [`Table::rows_capturable`] holds.
+    fn capturable_cached(&mut self) -> bool {
+        match self.capturable {
+            Some(c) => c,
+            None => {
+                let c = self.rows_capturable();
+                self.capturable = Some(c);
+                c
+            }
+        }
+    }
+
+    /// The `i64` image of row `i` (one value per column, in column order),
+    /// indexing across the base and any pending segments.
+    ///
+    /// Only meaningful when [`Table::rows_capturable`] holds — on sparse
+    /// tables an ε slot has no faithful `i64` image. Debug builds assert
+    /// capturability; release callers must check it themselves and fall
+    /// back to coarse [`TableChange::Rewrite`] capture.
     pub fn row_image(&self, i: usize) -> Vec<i64> {
-        self.columns
-            .iter()
-            .map(|c| c.data.get(i).map(|v| v.as_i64()).unwrap_or(0))
-            .collect()
+        debug_assert!(
+            self.rows_capturable(),
+            "row_image on a non-capturable table silently corrupts change capture"
+        );
+        let base = self.base_len();
+        if i < base {
+            return self
+                .columns
+                .iter()
+                .map(|c| c.data.get(i).map(|v| v.as_i64()).unwrap_or(0))
+                .collect();
+        }
+        let mut off = i - base;
+        for seg in &self.segments {
+            if off < seg.len {
+                return seg.row_image(off);
+            }
+            off -= seg.len;
+        }
+        panic!("row index {i} out of range for table of {} rows", self.len);
     }
 
     /// The table's flattened Voodoo schema (`.colname` per column).
@@ -241,13 +479,66 @@ impl Table {
         )
     }
 
-    /// Materialize the table as a structured vector.
+    /// Materialize the table as a structured vector: the logical
+    /// concatenation of base and pending segments. Unsegmented tables
+    /// share their column buffers outright (O(#columns)); segmented ones
+    /// merge lazily through a per-table cache keyed on
+    /// `(version, row count)`, so repeated reads between appends pay the
+    /// concatenation once.
     pub fn to_vector(&self) -> StructuredVector {
-        let mut v = StructuredVector::with_len(self.len);
-        for c in &self.columns {
-            v.insert(KeyPath::new(&c.name), c.data.clone());
+        if self.segments.is_empty() {
+            let mut v = StructuredVector::with_len(self.len);
+            for c in &self.columns {
+                v.insert(KeyPath::new(&c.name), c.data.clone());
+            }
+            return v;
         }
+        let key = (self.version, self.len);
+        if let Some(v) = self.merged.get(key) {
+            return v;
+        }
+        let mut v = StructuredVector::with_len(self.len);
+        for (c, col) in self.columns.iter().enumerate() {
+            let mut data = col.data.clone();
+            for seg in &self.segments {
+                data.extend_from(&seg.columns[c]);
+            }
+            v.insert(KeyPath::new(&col.name), data);
+        }
+        self.merged.put(key, v.clone());
         v
+    }
+
+    /// The merged (base ⧺ segments) data of one column, sharing the base
+    /// buffer outright when no segments are pending.
+    pub fn merged_column(&self, name: &str) -> Option<Column> {
+        let col = self.column(name)?;
+        if self.segments.is_empty() {
+            return Some(col.data.clone());
+        }
+        self.to_vector().column(&KeyPath::new(&col.name)).cloned()
+    }
+
+    /// All columns with their merged (base ⧺ segments) data — what
+    /// serialization and whole-table staging must read instead of the
+    /// base-only `columns` field.
+    pub fn merged_columns(&self) -> Vec<TableColumn> {
+        if self.segments.is_empty() {
+            return self.columns.clone();
+        }
+        let v = self.to_vector();
+        self.columns
+            .iter()
+            .map(|c| TableColumn {
+                name: c.name.clone(),
+                data: v
+                    .column(&KeyPath::new(&c.name))
+                    .cloned()
+                    .expect("merged view covers every column"),
+                dict: c.dict.clone(),
+                stats: c.stats,
+            })
+            .collect()
     }
 }
 
@@ -293,6 +584,10 @@ impl RowDelta {
 pub enum TableChange {
     /// Row-level capture: the exact Z-set of changed rows.
     Delta(RowDelta),
+    /// An append captured as its sealed segment: the segment *is* the
+    /// `+1`-weighted delta, shared with the table instead of copied out —
+    /// logging an append is O(1), not O(batch).
+    Append(Arc<Segment>),
     /// Coarse capture: the table changed in a way row images cannot
     /// express (replacement, in-place hand-out, float/sparse columns).
     /// Consumers must fall back to a full recompute.
@@ -312,8 +607,10 @@ pub struct ChangeEntry {
 }
 
 /// Bounded depth of the change log; older entries are dropped and the
-/// floor rises, forcing readers that fell too far behind to full-recompute.
-const MAX_CHANGE_LOG: usize = 1024;
+/// floor rises, forcing readers that fell too far behind to full-recompute
+/// — unless every change past their version is a still-resident append
+/// segment, which [`Catalog::changes_since`] serves directly.
+pub const MAX_CHANGE_LOG: usize = 1024;
 
 /// The catalog: the persistent namespace `Load`/`Persist` operate on.
 #[derive(Debug, Clone, Default)]
@@ -376,10 +673,18 @@ impl Catalog {
     /// extents, or `None` for an unknown table. Layouts are computed once
     /// per `(table, table-version, parts)` and shared across every clone
     /// and snapshot of this catalog; mutating the table bumps its version
-    /// and thereby invalidates exactly its own layouts.
+    /// and thereby invalidates exactly its own layouts. Segmented tables
+    /// get layouts whose morsels additionally respect segment seams.
     pub fn table_partitioning(&self, name: &str, parts: usize) -> Option<Arc<Partitioning>> {
         let t = self.tables.get(name)?;
-        Some(self.partitions.get(name, t.version, t.len, parts))
+        if t.segments.is_empty() {
+            Some(self.partitions.get(name, t.version, t.len, parts))
+        } else {
+            Some(
+                self.partitions
+                    .get_with_cuts(name, t.version, t.len, parts, &t.segment_bounds()),
+            )
+        }
     }
 
     /// An immutable, cheaply clonable snapshot of this catalog. Column
@@ -394,6 +699,7 @@ impl Catalog {
     pub fn insert_table(&mut self, mut table: Table) {
         self.version += 1;
         table.version = self.version;
+        table.base_version = self.version;
         let version = self.version;
         self.log_change(&table.name, version, TableChange::Rewrite);
         self.tables.insert(table.name.clone(), Arc::new(table));
@@ -409,7 +715,20 @@ impl Catalog {
     pub fn insert_table_pinned(&mut self, mut table: Table, version: u64) {
         self.version = self.version.max(version);
         table.version = version;
+        table.base_version = version;
         self.tables.insert(table.name.clone(), Arc::new(table));
+    }
+
+    /// Fold the pending append segments of table `name` into its base.
+    /// Purely physical — the logical table is unchanged, so no version is
+    /// bumped and no change is logged; live snapshots keep sharing the
+    /// pre-compaction buffers. Returns `false` for an unknown table.
+    pub fn compact_table(&mut self, name: &str) -> bool {
+        let Some(entry) = self.tables.get_mut(name) else {
+            return false;
+        };
+        Arc::make_mut(entry).compact();
+        true
     }
 
     /// Look up a table.
@@ -434,14 +753,22 @@ impl Catalog {
         self.tables.get_mut(name).map(|t| {
             let t = Arc::make_mut(t);
             t.version = version;
+            // Hand out a flat table: arbitrary edits index the base, and
+            // they may change capturability in ways appends cannot.
+            t.compact();
+            t.capturable = None;
             t
         })
     }
 
-    /// Append rows to a table, capturing them in the change log as a
-    /// `+1`-weighted [`RowDelta`] (or a [`TableChange::Rewrite`] when the
-    /// table's rows cannot be imaged losslessly). Returns `false` for an
-    /// unknown table; panics if a row's arity does not match.
+    /// Append rows to a table. The batch is sealed into one `Arc`-shared
+    /// [`Segment`] and the very same segment is logged as the change
+    /// ([`TableChange::Append`]) — publication and capture both cost
+    /// O(batch), independent of the rows already resident. Non-capturable
+    /// tables (float/sparse columns) still append in O(batch) but log a
+    /// coarse [`TableChange::Rewrite`]. Folds segments into the base when
+    /// the compaction thresholds trip. Returns `false` for an unknown
+    /// table; panics if a row's arity does not match.
     pub fn append_rows(&mut self, name: &str, rows: &[Vec<i64>]) -> bool {
         let Some(entry) = self.tables.get_mut(name) else {
             return false;
@@ -450,17 +777,23 @@ impl Catalog {
         let version = self.version;
         let t = Arc::make_mut(entry);
         t.version = version;
-        let old_len = t.len;
+        let capturable = t.capturable_cached();
         t.append_rows(rows);
-        let change = if t.rows_capturable() {
-            let mut delta = RowDelta::default();
-            for i in old_len..t.len {
-                delta.push(t.row_image(i), 1);
-            }
-            TableChange::Delta(delta)
+        let change = if rows.is_empty() {
+            TableChange::Delta(RowDelta::default())
+        } else if capturable {
+            TableChange::Append(Arc::clone(
+                t.segments.last().expect("append sealed a segment"),
+            ))
         } else {
+            // Lossless capture is off for this table: raise the base
+            // watermark so the segment fast path can never serve it.
+            t.base_version = version;
             TableChange::Rewrite
         };
+        if t.should_compact() {
+            t.compact();
+        }
         self.log_change(name, version, change);
         true
     }
@@ -478,7 +811,10 @@ impl Catalog {
         let version = self.version;
         let t = Arc::make_mut(entry);
         t.version = version;
-        let capturable = t.rows_capturable();
+        // In-place writes index the base: fold pending segments first
+        // (this also raises base_version past every live reader).
+        t.compact();
+        let capturable = t.capturable_cached();
         let mut delta = RowDelta::default();
         for (i, row) in updates {
             let i = *i;
@@ -490,15 +826,14 @@ impl Catalog {
                 delta.push(t.row_image(i), -1);
             }
             for (c, col) in t.columns.iter_mut().enumerate() {
-                col.data.set(i, ScalarValue::I64(row[c]));
+                let stored = ScalarValue::I64(row[c]).cast(col.ty());
+                let x = to_i64(stored);
+                col.data.set(i, stored);
                 if let Some(s) = col.stats.as_mut() {
-                    s.min = s.min.min(row[c]);
-                    s.max = s.max.max(row[c]);
+                    s.min = s.min.min(x);
+                    s.max = s.max.max(x);
                 } else {
-                    col.stats = Some(ColumnStats {
-                        min: row[c],
-                        max: row[c],
-                    });
+                    col.stats = Some(ColumnStats { min: x, max: x });
                 }
             }
             if capturable {
@@ -526,13 +861,15 @@ impl Catalog {
         let version = self.version;
         let t = Arc::make_mut(entry);
         t.version = version;
+        // Deletion rebuilds the base: fold pending segments first.
+        t.compact();
         let mut drop = vec![false; t.len];
         for &i in idxs {
             if i < t.len {
                 drop[i] = true;
             }
         }
-        let capturable = t.rows_capturable();
+        let capturable = t.capturable_cached();
         let mut delta = RowDelta::default();
         if capturable {
             for (i, &d) in drop.iter().enumerate() {
@@ -552,6 +889,9 @@ impl Catalog {
             col.stats = compute_stats(&col.data);
         }
         t.len -= drop.iter().filter(|&&d| d).count();
+        // Dropping sparse rows can make a table capturable again; let the
+        // next mutation recompute instead of carrying a stale memo.
+        t.capturable = None;
         let change = if capturable {
             TableChange::Delta(delta)
         } else {
@@ -564,21 +904,46 @@ impl Catalog {
     /// The exact row-level changes of table `name` since per-table version
     /// `since`, merged oldest-first. `None` means row-level capture is not
     /// available — a mutation in the range was a [`TableChange::Rewrite`],
-    /// or the log has been trimmed past `since` — and the reader must fall
-    /// back to a full recompute. An up-to-date table yields an empty delta.
+    /// or the log has been trimmed to (or past) `since` — and the reader
+    /// must fall back to a full recompute. An up-to-date table yields an
+    /// empty delta.
+    ///
+    /// Appends are served from the table's still-resident segments when
+    /// possible (`since` at or past the base watermark of a losslessly
+    /// capturable table), so pure-ingest readers get exact deltas even
+    /// beyond the bounded [`MAX_CHANGE_LOG`] window.
     pub fn changes_since(&self, name: &str, since: u64) -> Option<RowDelta> {
-        let current = self.table_version(name)?;
+        let t = self.tables.get(name)?;
         let mut delta = RowDelta::default();
-        if current <= since {
+        if t.version <= since {
             return Some(delta);
         }
-        if since < self.change_floor {
+        // Segment fast path: every mutation past `since` is a sealed
+        // append segment still pending on the table (any other mutation
+        // would have raised `base_version` past `since`). The segments
+        // ARE the delta — no log needed, no floor to fall behind.
+        if since >= t.base_version && t.capturable == Some(true) {
+            for seg in &t.segments {
+                if seg.version > since {
+                    for i in 0..seg.len {
+                        delta.push(seg.row_image(i), 1);
+                    }
+                }
+            }
+            return Some(delta);
+        }
+        if since <= self.change_floor {
             return None;
         }
         for e in &self.changes {
             if e.table == name && e.version > since {
                 match &e.change {
                     TableChange::Delta(d) => delta.merge(d),
+                    TableChange::Append(seg) => {
+                        for i in 0..seg.len {
+                            delta.push(seg.row_image(i), 1);
+                        }
+                    }
                     TableChange::Rewrite => return None,
                 }
             }
@@ -587,7 +952,9 @@ impl Catalog {
     }
 
     /// Versions at or below this floor may have had their change-log
-    /// entries dropped; [`Catalog::changes_since`] refuses them.
+    /// entries dropped; [`Catalog::changes_since`] refuses them (the floor
+    /// itself included — no off-by-one ever yields an approximate delta)
+    /// unless the segment fast path can serve the range exactly.
     pub fn change_floor(&self) -> u64 {
         self.change_floor
     }
@@ -871,24 +1238,140 @@ mod tests {
     }
 
     #[test]
-    fn append_rows_extends_in_place() {
+    fn append_rows_seals_segments_base_untouched() {
         let mut t = Table::new("t");
         t.add_column(TableColumn::from_buffer("a", Buffer::I64(vec![1, 2])));
         t.add_column(TableColumn::from_buffer("b", Buffer::I32(vec![10, 20])));
         t.append_rows(&[vec![3, 30], vec![-4, 40]]);
         assert_eq!(t.len, 4);
+        // The base buffers are untouched; the batch lives in one sealed
+        // segment, and readers see the logical concatenation.
         assert_eq!(
             t.column("a").unwrap().data.buffer().as_i64().unwrap(),
-            &[1, 2, 3, -4]
+            &[1, 2]
         );
         assert_eq!(
-            t.column("b").unwrap().data.buffer().as_i32().unwrap(),
-            &[10, 20, 30, 40]
+            (t.base_len(), t.pending_rows(), t.segments().len()),
+            (2, 2, 1)
+        );
+        let v = t.to_vector();
+        assert_eq!(
+            v.column(&KeyPath::new("a")).unwrap().buffer().as_i64(),
+            Some(&[1i64, 2, 3, -4][..])
+        );
+        assert_eq!(
+            v.column(&KeyPath::new("b")).unwrap().buffer().as_i32(),
+            Some(&[10i32, 20, 30, 40][..])
         );
         let s = t.column("a").unwrap().stats.unwrap();
         assert_eq!((s.min, s.max), (-4, 3));
         assert!(t.rows_capturable());
         assert_eq!(t.row_image(3), vec![-4, 40]);
+        assert_eq!(t.segment_bounds(), vec![0, 2, 4]);
+        // Compaction folds everything into the base, changing nothing
+        // logically.
+        t.compact();
+        assert_eq!((t.len, t.pending_rows()), (4, 0));
+        assert_eq!(
+            t.column("a").unwrap().data.buffer().as_i64().unwrap(),
+            &[1, 2, 3, -4]
+        );
+        assert_eq!(t.row_image(3), vec![-4, 40]);
+        assert_eq!(t.to_vector(), v);
+    }
+
+    #[test]
+    fn append_publication_shares_all_prior_storage() {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("t", &(0..10_000).collect::<Vec<_>>());
+        assert!(cat.append_rows("t", &[vec![7], vec![8]]));
+        let snap = cat.snapshot();
+        // Another append: the new catalog's table shares the base buffer
+        // AND the first segment with the snapshot — only the new segment
+        // is fresh storage. This is the O(batch) publication invariant.
+        assert!(cat.append_rows("t", &[vec![9]]));
+        let (before, after) = (snap.table("t").unwrap(), cat.table("t").unwrap());
+        assert!(after.columns[0]
+            .data
+            .shares_storage_with(&before.columns[0].data));
+        assert!(Arc::ptr_eq(&after.segments()[0], &before.segments()[0]));
+        assert_eq!(after.segments().len(), 2);
+        // The snapshot still reads its own (shorter) view.
+        assert_eq!(before.len, 10_002);
+        assert_eq!(after.len, 10_003);
+    }
+
+    #[test]
+    fn stats_widen_from_stored_values_not_raw() {
+        // Out-of-range for i32: wraps on store; stats must track the
+        // wrapped value, not claim a max the column cannot contain.
+        let raw = i32::MAX as i64 + 2;
+        let mut t2 = Table::new("t2");
+        t2.add_column(TableColumn::from_buffer("v", Buffer::I32(vec![1, 2])));
+        t2.append_rows(&[vec![raw]]);
+        let stored = raw as i32 as i64;
+        let s = t2.column("v").unwrap().stats.unwrap();
+        assert_eq!((s.min, s.max), (stored.min(1), stored.max(2)));
+        let merged = t2.to_vector();
+        let col = merged.column(&KeyPath::new("v")).unwrap();
+        assert_eq!(col.buffer().as_i32().unwrap()[2] as i64, stored);
+        // Bool columns collapse to truthiness: stats stay within {0, 1}.
+        let mut tb = Table::new("tb");
+        tb.add_column(TableColumn::from_buffer("b", Buffer::Bool(vec![false])));
+        tb.append_rows(&[vec![7]]);
+        let sb = tb.column("b").unwrap().stats.unwrap();
+        assert_eq!((sb.min, sb.max), (0, 1));
+    }
+
+    #[test]
+    fn segment_fast_path_serves_appends_beyond_log() {
+        let mut cat = Catalog::in_memory();
+        let mut t = Table::new("t");
+        t.add_column(TableColumn::from_buffer(
+            "v",
+            Buffer::I64((0..8192).collect()),
+        ));
+        cat.insert_table(t);
+        let since = cat.table_version("t").unwrap();
+        // Push enough appends to trim the log far past `since`; the base
+        // is large enough that no compaction folds the segments.
+        for i in 0..(MAX_CHANGE_LOG as i64 + 16) {
+            cat.append_rows("t", &[vec![i]]);
+        }
+        assert!(cat.change_floor() > since);
+        let d = cat.changes_since("t", since).expect("segments serve this");
+        assert_eq!(d.len(), MAX_CHANGE_LOG + 16);
+        assert_eq!(d.rows[0], vec![0]);
+        assert!(d.weights.iter().all(|&w| w == 1));
+        // After compaction the resident segments are gone and the trimmed
+        // log can no longer answer: full recompute.
+        assert!(cat.compact_table("t"));
+        assert_eq!(cat.changes_since("t", since), None);
+    }
+
+    #[test]
+    fn automatic_compaction_bounds_pending_tail() {
+        let mut cat = Catalog::in_memory();
+        cat.put_i64_column("t", &[0]);
+        for i in 0..4096i64 {
+            cat.append_rows("t", &[vec![i]]);
+        }
+        let t = cat.table("t").unwrap();
+        assert_eq!(t.len, 4097);
+        // Geometric policy: pending never exceeds max(base, floor).
+        assert!(t.pending_rows() < t.base_len().max(1024) + 1);
+        assert!(t.segments().len() <= MAX_TABLE_SEGMENTS);
+        // The merged view is the full history regardless of folding.
+        let v = t.to_vector();
+        assert_eq!(v.len(), 4097);
+        assert_eq!(
+            v.column(&KeyPath::new("val"))
+                .unwrap()
+                .buffer()
+                .as_i64()
+                .unwrap()[4096],
+            4095
+        );
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!
 //! Tables are flat collections of named columns; loading a table as a
 //! Voodoo [`voodoo_core::StructuredVector`] exposes each column as a
-//! `.name` attribute.
+//! `.name` attribute. Physically a table is an immutable base plus
+//! `Arc`-shared sealed append [`Segment`]s, so publishing an appended
+//! batch to concurrent readers is O(batch), never O(rows resident) —
+//! see the [`catalog`] module docs for the write path and compaction
+//! rules.
 //!
 //! [`partition`] adds the morsel layer: a [`Partitioning`] slices a
 //! table's aligned columns into `P` contiguous extents — what the
@@ -26,6 +30,7 @@ pub mod partition;
 pub mod persist;
 
 pub use catalog::{
-    Catalog, CatalogSnapshot, ChangeEntry, ColumnStats, RowDelta, Table, TableChange, TableColumn,
+    Catalog, CatalogSnapshot, ChangeEntry, ColumnStats, RowDelta, Segment, Table, TableChange,
+    TableColumn, MAX_CHANGE_LOG, MAX_TABLE_SEGMENTS,
 };
 pub use partition::{Morsel, PartitionCache, Partitioning, DEFAULT_STEAL_GRAIN, MORSEL_ALIGN};

@@ -113,6 +113,41 @@ impl Partitioning {
         Partitioning { len, morsels }
     }
 
+    /// Slice `[0, len)` into at most `parts` morsels whose boundaries
+    /// additionally respect the given `cuts` (sorted or not; out-of-range
+    /// and duplicate cuts are ignored): any morsel spanning a cut is
+    /// split there. Segmented tables partition with their segment seams
+    /// as cuts, so a morsel never straddles physically discontiguous
+    /// storage — at the cost of up to `cuts.len()` extra morsels beyond
+    /// `parts`. All other [`Partitioning::for_len`] invariants (ordered,
+    /// contiguous, exact cover, non-empty) hold unchanged.
+    pub fn for_len_with_cuts(len: usize, parts: usize, cuts: &[usize]) -> Partitioning {
+        let base = Partitioning::for_len(len, parts);
+        let mut cuts: Vec<usize> = cuts.iter().copied().filter(|&c| c > 0 && c < len).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        if cuts.is_empty() {
+            return base;
+        }
+        let mut morsels = Vec::with_capacity(base.morsels.len() + cuts.len());
+        let mut cuts = cuts.into_iter().peekable();
+        for m in base.morsels {
+            let mut start = m.start;
+            while let Some(&c) = cuts.peek() {
+                if c >= m.end {
+                    break;
+                }
+                cuts.next();
+                if c > start {
+                    morsels.push(Morsel { start, end: c });
+                    start = c;
+                }
+            }
+            morsels.push(Morsel { start, end: m.end });
+        }
+        Partitioning { len, morsels }
+    }
+
     /// Slice `[0, len)` for a *stealing* scheduler: up to
     /// `workers × grain` morsels (grain clamped to ≥ 1; see
     /// [`DEFAULT_STEAL_GRAIN`]), so a pool of `workers` long-lived
@@ -209,6 +244,32 @@ impl PartitionCache {
         p
     }
 
+    /// Like [`PartitionCache::get`], but the layout respects the given
+    /// cut points ([`Partitioning::for_len_with_cuts`]) — the entry point
+    /// for segmented tables, whose segment seams are the cuts. The cache
+    /// key is unchanged: a table's version determines its segment layout,
+    /// so one layout per `(table, version, parts)` is still exact.
+    pub fn get_with_cuts(
+        &self,
+        table: &str,
+        table_version: u64,
+        len: usize,
+        parts: usize,
+        cuts: &[usize],
+    ) -> Arc<Partitioning> {
+        let key = (table.to_string(), table_version, parts.max(1));
+        let mut map = self.cached.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(p) = map.get(&key) {
+            if p.total_len() == len {
+                return Arc::clone(p);
+            }
+        }
+        map.retain(|(name, version, _), _| name != table || *version == table_version);
+        let p = Arc::new(Partitioning::for_len_with_cuts(len, parts, cuts));
+        map.insert(key, Arc::clone(&p));
+        p
+    }
+
     /// Number of cached layouts (for tests and diagnostics).
     pub fn entries(&self) -> usize {
         self.cached.lock().unwrap_or_else(|e| e.into_inner()).len()
@@ -272,6 +333,40 @@ mod tests {
         // Degenerate grains clamp instead of collapsing to zero morsels.
         assert_eq!(Partitioning::for_stealing(10, 4, 0).count(), 4);
         assert_eq!(Partitioning::for_stealing(0, 4, 4).count(), 0);
+    }
+
+    #[test]
+    fn cut_layouts_respect_seams_and_keep_invariants() {
+        // Cuts mid-morsel split it; cuts on existing boundaries, out of
+        // range, duplicated or unsorted are absorbed.
+        let len = 10 * MORSEL_ALIGN + 17;
+        let cuts = [
+            3 * MORSEL_ALIGN + 5,
+            MORSEL_ALIGN / 2,
+            3 * MORSEL_ALIGN + 5,
+            0,
+            len,
+            len + 99,
+        ];
+        let p = Partitioning::for_len_with_cuts(len, 4, &cuts);
+        let mut prev_end = 0usize;
+        for m in p.morsels() {
+            assert_eq!(m.start, prev_end, "contiguous");
+            assert!(!m.is_empty());
+            prev_end = m.end;
+        }
+        assert_eq!(prev_end, len, "full coverage");
+        let bounds = p.boundaries();
+        for c in [MORSEL_ALIGN / 2, 3 * MORSEL_ALIGN + 5] {
+            assert!(bounds.contains(&c), "cut {c} honored in {bounds:?}");
+        }
+        // At most one extra morsel per interior cut.
+        assert!(p.count() <= 4 + 2);
+        // No cuts degenerates to the plain layout.
+        assert_eq!(
+            Partitioning::for_len_with_cuts(len, 4, &[]),
+            Partitioning::for_len(len, 4)
+        );
     }
 
     #[test]

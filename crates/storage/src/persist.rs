@@ -103,7 +103,7 @@ pub fn write_column(w: &mut impl Write, col: &TableColumn) -> io::Result<()> {
     match &col.dict {
         Some(dict) => {
             write_u32(w, dict.len() as u32)?;
-            for s in dict {
+            for s in dict.iter() {
                 write_u32(w, s.len() as u32)?;
                 w.write_all(s.as_bytes())?;
             }
@@ -167,7 +167,7 @@ pub fn read_column(r: &mut impl Read, name: &str) -> io::Result<TableColumn> {
                 io::Error::new(io::ErrorKind::InvalidData, "bad utf8 in dictionary")
             })?);
         }
-        Some(d)
+        Some(std::sync::Arc::new(d))
     };
     let data = Column::from_parts(buffer, empty);
     let mut col = TableColumn {
@@ -195,7 +195,9 @@ impl Catalog {
         for name in names {
             let table = self.table(name).expect("listed table exists");
             manifest.push_str(&format!("table {} {}\n", table.name, table.len));
-            for col in &table.columns {
+            // Serialize the merged view: pending append segments must land
+            // in the file, not just the base.
+            for col in &table.merged_columns() {
                 manifest.push_str(&format!("  column {}\n", col.name));
                 let path = dir.join(format!("{}.{}.bin", table.name, col.name));
                 let mut f = io::BufWriter::new(fs::File::create(path)?);
@@ -307,6 +309,26 @@ mod tests {
         );
         assert_eq!(t2.column("flag").unwrap().decode(1), Some("R"));
         assert!(t2.foreign_keys.contains_key("qty"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segmented_table_persists_merged_view() {
+        let dir = std::env::temp_dir().join(format!("voodoo_seg_{}", std::process::id()));
+        let mut cat = Catalog::in_memory();
+        let mut t = Table::new("t");
+        t.add_column(TableColumn::from_buffer("v", Buffer::I64(vec![1, 2])));
+        cat.insert_table(t);
+        cat.append_rows("t", &[vec![3], vec![4]]);
+        assert!(!cat.table("t").unwrap().segments().is_empty());
+        cat.save_dir(&dir).unwrap();
+        let back = Catalog::load_dir(&dir).unwrap();
+        let t2 = back.table("t").unwrap();
+        assert_eq!(t2.len, 4);
+        assert_eq!(
+            t2.column("v").unwrap().data.buffer().as_i64().unwrap(),
+            &[1, 2, 3, 4]
+        );
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -30,7 +30,7 @@ proptest! {
         let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
         let col = TableColumn::from_strings("s", &refs);
         let dict = col.dict.as_ref().unwrap();
-        let mut sorted = dict.clone();
+        let mut sorted = dict.as_ref().clone();
         sorted.sort();
         sorted.dedup();
         prop_assert_eq!(sorted.len(), dict.len(), "dictionary has duplicates");

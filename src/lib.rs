@@ -269,6 +269,41 @@
 //! assert!(session.metrics().view_hits >= 1);
 //! ```
 //!
+//! ## Batched ingest
+//!
+//! Sustained appends are the write-path hot loop, and they cost
+//! O(batch), not O(table): [`relational::Session::append_rows`] seals
+//! the batch into an `Arc`-shared append segment
+//! ([`storage::Segment`]) and publishes a snapshot that shares the base
+//! buffers and every earlier segment with all live readers — appending
+//! one row to a 10M-row table copies one row, never 10M (invariant 8 in
+//! `ARCHITECTURE.md`). Readers see the merged view immediately;
+//! compaction folds segments back into the base in the background of
+//! the write path, without ever changing the logical table.
+//!
+//! ```
+//! use voodoo::relational::Session;
+//! use voodoo::storage::Catalog;
+//!
+//! let mut cat = Catalog::in_memory();
+//! cat.put_i64_column("events", &(0..10_000).collect::<Vec<_>>());
+//! let session = Session::new(cat);
+//!
+//! let reader = session.catalog(); // a concurrent reader's snapshot
+//! assert!(session.append_rows("events", &[vec![7], vec![8]]));
+//! // The reader keeps its view; the new snapshot shares its storage.
+//! let published = session.catalog();
+//! let (before, after) = (reader.table("events").unwrap(),
+//!                        published.table("events").unwrap());
+//! assert_eq!((before.len, after.len), (10_000, 10_002));
+//! assert!(after.columns[0].data.shares_storage_with(&before.columns[0].data));
+//! // Queries observe the appended rows immediately (merged lazily).
+//! assert_eq!(
+//!     session.run_sql("SELECT COUNT(*), MAX(val) FROM events").unwrap(),
+//!     vec![vec![10_002, 9_999]],
+//! );
+//! ```
+//!
 //! ## Serving
 //!
 //! Under real traffic you don't want a thread per statement — you want a
