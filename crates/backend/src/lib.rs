@@ -41,7 +41,10 @@ use voodoo_compile::{kernel, Compiler, EventProfile};
 use voodoo_core::transform::RewriteStats;
 use voodoo_core::{Program, Result};
 use voodoo_gpusim::{GpuSimulator, SimReport};
-use voodoo_interp::{ExecOutput, Interpreter};
+use voodoo_interp::Interpreter;
+// Re-exported so crates that wrap `Backend`s (e.g. voodoo-faults) can
+// name the execution output type without depending on the interpreter.
+pub use voodoo_interp::ExecOutput;
 use voodoo_storage::Catalog;
 
 pub use cache::{

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the Voodoo paper.
 //!
 //! ```text
-//! repro <fig1/fig9/fig12/fig13/fig14/fig15/fig16/scaling/throughput/views/ingest/ablate/opt/all> [options]
+//! repro <fig1/fig9/fig12/fig13/fig14/fig15/fig16/scaling/throughput/overload/views/ingest/ablate/opt/all> [options]
 //!   --n=<elements>      microbenchmark input size   (default 1048576)
 //!   --sf=<scale>        TPC-H scale factor          (default 0.02)
 //!   --threads=<t>       CPU threads (scaling: the sweep's max) (default available)
@@ -119,6 +119,26 @@ fn main() {
                 );
             }
         }
+        "overload" => {
+            let rows = figures::overload(o.sf, &[1.0, 2.0, 4.0, 10.0], o.iters);
+            print_rows(
+                &format!(
+                    "Overload: goodput / p99 sojourn / shed rate vs offered load, \
+                     blunt vs adaptive admission, SF {}",
+                    o.sf
+                ),
+                &rows,
+            );
+            println!("\ngoodput per load point (statements meeting the SLO, per second):");
+            for r in rows.iter().filter(|r| r.series.ends_with("goodput-qps")) {
+                println!(
+                    "  {:<10} offered {:>5}: {:>8.1} qps goodput",
+                    r.series.trim_end_matches("/goodput-qps"),
+                    r.x,
+                    r.seconds.unwrap_or(0.0)
+                );
+            }
+        }
         "ingest" => {
             let rows = figures::ingest(o.n, o.iters.clamp(3, 9));
             print_rows(
@@ -200,6 +220,7 @@ fn main() {
             "fig16",
             "scaling",
             "throughput",
+            "overload",
             "views",
             "ingest",
             "ablate",

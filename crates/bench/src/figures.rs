@@ -542,6 +542,145 @@ pub fn throughput(sf: f64, load_multipliers: &[f64], iters: usize) -> Vec<FigRow
     rows
 }
 
+/// The overload-control figure: **goodput, p99 sojourn and shed rate vs
+/// offered load, blunt vs adaptive admission** over the same serving
+/// front door.
+///
+/// "Blunt" is the bounded queue alone: every arrival that finds a free
+/// slot is admitted, so past the knee the queue sits full, every served
+/// statement pays the full queue-drain sojourn, and goodput (statements
+/// completing within the latency SLO) collapses even though raw
+/// throughput stays at capacity. "Adaptive" adds the CoDel-style
+/// controller ([`voodoo_relational::OverloadConfig`]): when the minimum
+/// sojourn over an interval stays above target, admission sheds
+/// probabilistically *before* the queue fills, so the statements that
+/// are admitted still meet the SLO.
+///
+/// Arrivals carry a propagated deadline (the SLO), so work that expires
+/// while queued is dropped at dequeue instead of burning a worker.
+/// Goodput counts completions within the SLO. Three rows per
+/// (mode, load point): `<mode>/goodput-qps`, `<mode>/p99-sojourn-ms`,
+/// `<mode>/shed-pct`, with the offered multiplier as the x label.
+pub fn overload(sf: f64, load_multipliers: &[f64], iters: usize) -> Vec<FigRow> {
+    use std::time::{Duration, Instant};
+    use voodoo_relational::{OverloadConfig, ServeConfig, ServeError, StatementSpec, SubmitError};
+    use voodoo_tpch::queries::Query;
+
+    let session = Session::tpch(sf);
+    let spec = StatementSpec::tpch(Query::Q6).on("interp");
+    let workers = 2usize;
+
+    // Warm the plan cache, then calibrate closed-loop capacity and the
+    // per-statement service time on the same pool shape the sweep uses.
+    session
+        .run_batch(std::slice::from_ref(&spec))
+        .into_iter()
+        .for_each(|r| consume(r.expect("warmup statement")));
+    let calibrator = session.serve(
+        ServeConfig::default()
+            .with_workers(workers)
+            .with_queue_capacity(2 * workers),
+    );
+    let calib_n = 16usize;
+    let calib_started = Instant::now();
+    let receipts: Vec<_> = (0..calib_n)
+        .map(|_| {
+            calibrator
+                .submit_wait(spec.clone(), None)
+                .expect("blocking admission")
+        })
+        .collect();
+    for r in receipts {
+        consume(r.wait().expect("calibration statement"));
+    }
+    let capacity_qps = (calib_n as f64 / calib_started.elapsed().as_secs_f64()).max(1.0);
+    calibrator.shutdown();
+    let service = Duration::from_secs_f64(workers as f64 / capacity_qps);
+    // The controller holds standing delay near one service time,
+    // re-evaluating every service time; the SLO (the goodput bar, and
+    // the propagated deadline) is 4×. The queue is deep enough that
+    // blunt admission alone drains in 8× — well past the SLO.
+    let target = service;
+    let slo = 4 * service;
+
+    let queue_capacity = 8 * workers;
+    let mut rows = Vec::new();
+    for (mode, overload_cfg) in [
+        ("blunt", None),
+        (
+            "adaptive",
+            Some(OverloadConfig::with_target(target).with_interval(target)),
+        ),
+    ] {
+        for &multiplier in load_multipliers {
+            let offered_qps = capacity_qps * multiplier;
+            let interval = Duration::from_secs_f64(1.0 / offered_qps);
+            let total = iters.max(1) * 8;
+            let mut config = ServeConfig::default()
+                .with_workers(workers)
+                .with_queue_capacity(queue_capacity);
+            if let Some(cfg) = overload_cfg {
+                config = config.with_overload(cfg);
+            }
+            let server = session.serve(config);
+            let tenant = server.session(1);
+            let started = Instant::now();
+            let mut receipts = Vec::new();
+            let mut shed = 0usize;
+            for i in 0..total {
+                let arrival = started + interval * i as u32;
+                if let Some(wait) = arrival.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                match tenant.submit_deadline(spec.clone(), Instant::now() + slo) {
+                    Ok(r) => receipts.push(r),
+                    Err(SubmitError::QueueFull | SubmitError::Overloaded) => shed += 1,
+                    Err(e) => panic!("unexpected admission error: {e}"),
+                }
+            }
+            let mut sojourns = Vec::new();
+            let mut goodput = 0usize;
+            for r in receipts {
+                let c = r.wait_completion();
+                match c.result {
+                    Ok(out) => {
+                        consume(out);
+                        sojourns.push(c.sojourn.as_secs_f64());
+                        if c.sojourn <= slo {
+                            goodput += 1;
+                        }
+                    }
+                    Err(ServeError::Timeout) => {}
+                    Err(e) => panic!("unexpected serve error: {e}"),
+                }
+            }
+            let elapsed = started.elapsed().as_secs_f64();
+            server.shutdown();
+            sojourns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let p99 = sojourns
+                .get(((sojourns.len().saturating_sub(1)) as f64 * 0.99).round() as usize)
+                .copied();
+            let x = format!("{multiplier}x");
+            rows.push(FigRow::new(
+                &format!("{mode}/goodput-qps"),
+                &x,
+                Some(goodput as f64 / elapsed),
+            ));
+            rows.push(FigRow::new(
+                &format!("{mode}/p99-sojourn-ms"),
+                &x,
+                p99.map(|s| s * 1e3),
+            ));
+            rows.push(FigRow::new(
+                &format!("{mode}/shed-pct"),
+                &x,
+                Some(100.0 * shed as f64 / total as f64),
+            ));
+        }
+    }
+    rows
+}
+
 /// Ablation: the effect of empty-slot suppression and virtual scatter on
 /// memory traffic (DESIGN.md calls these out as the key §3.1.2/§3.1.3
 /// design choices).

@@ -64,8 +64,21 @@ pub struct EngineMetrics {
     /// (a gauge, summed over every live [`crate::ServerHandle`]).
     pub queue_depth: u64,
     /// Statements refused admission — queue-full sheds plus admission
-    /// deadline expiries, across every server over this engine.
+    /// deadline expiries, across every server over this engine. Includes
+    /// the adaptive and quota sheds broken out below.
     pub sheds: u64,
+    /// Of [`EngineMetrics::sheds`], those shed by the CoDel-style
+    /// adaptive admission controller before the queue filled
+    /// (see [`crate::OverloadConfig`]).
+    pub adaptive_sheds: u64,
+    /// Of [`EngineMetrics::sheds`], those shed because a session's
+    /// service-time quota ran dry (see
+    /// [`crate::ServerHandle::session_with_quota`]).
+    pub quota_sheds: u64,
+    /// Admitted statements dropped at dequeue because their propagated
+    /// deadline had already expired — queue slots recovered without
+    /// spending service time.
+    pub deadline_drops: u64,
     /// Cumulative morsel fan-out: the maximum partition count any
     /// execution unit used, summed over statements (a fully serial
     /// statement contributes 1). `partitions_used / queries_served` is
@@ -107,6 +120,16 @@ pub struct EngineMetrics {
     pub p99_seconds: Option<f64>,
     /// Latency samples currently in the reservoir (≤ its capacity).
     pub latency_samples: usize,
+    /// Median *sojourn* (admission → completion: queue wait plus
+    /// execution) over the sojourn reservoir, in seconds — the open-loop
+    /// latency a serving client observes, as opposed to
+    /// [`EngineMetrics::p50_seconds`] which times execution only.
+    /// Recorded by serve workers; `None` when nothing has been served.
+    pub sojourn_p50_seconds: Option<f64>,
+    /// 99th-percentile sojourn over the window, in seconds.
+    pub sojourn_p99_seconds: Option<f64>,
+    /// Sojourn samples currently in the reservoir (≤ its capacity).
+    pub sojourn_samples: usize,
 }
 
 impl EngineMetrics {
@@ -173,6 +196,9 @@ struct Metrics {
     batches: AtomicU64,
     queue_depth: AtomicU64,
     sheds: AtomicU64,
+    adaptive_sheds: AtomicU64,
+    quota_sheds: AtomicU64,
+    deadline_drops: AtomicU64,
     partitions: AtomicU64,
     parallel_statements: AtomicU64,
     pool_tasks: AtomicU64,
@@ -183,6 +209,9 @@ struct Metrics {
     rows_delta: AtomicU64,
     rows_full: AtomicU64,
     reservoir: Mutex<Reservoir>,
+    /// Admission-to-completion times recorded by serve workers (the
+    /// execution reservoir above excludes queue wait).
+    sojourns: Mutex<Reservoir>,
 }
 
 impl Metrics {
@@ -193,6 +222,9 @@ impl Metrics {
             batches: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             sheds: AtomicU64::new(0),
+            adaptive_sheds: AtomicU64::new(0),
+            quota_sheds: AtomicU64::new(0),
+            deadline_drops: AtomicU64::new(0),
             partitions: AtomicU64::new(0),
             parallel_statements: AtomicU64::new(0),
             pool_tasks: AtomicU64::new(0),
@@ -203,6 +235,7 @@ impl Metrics {
             rows_delta: AtomicU64::new(0),
             rows_full: AtomicU64::new(0),
             reservoir: Mutex::new(Reservoir::new()),
+            sojourns: Mutex::new(Reservoir::new()),
         }
     }
 }
@@ -491,6 +524,15 @@ impl Engine {
         self.state_read().default_backend.clone()
     }
 
+    /// The backend registered under `name`, if any. The primary consumer
+    /// is fault-injection harnesses (`voodoo-faults`), which fetch a
+    /// backend, wrap it, and [`Engine::register`] the wrapper back under
+    /// the same name — the fresh epoch keeps wrapped and unwrapped plans
+    /// apart in the cache.
+    pub fn backend(&self, name: &str) -> Option<Arc<dyn Backend>> {
+        self.backend_arc(name).ok().map(|r| r.backend)
+    }
+
     /// Registered backend names, in registration order.
     pub fn backend_names(&self) -> Vec<String> {
         self.state_read()
@@ -572,12 +614,24 @@ impl Engine {
             r.samples.clone()
         };
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let mut sojourns = {
+            let r = self
+                .metrics
+                .sojourns
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            r.samples.clone()
+        };
+        sojourns.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
         EngineMetrics {
             queries_served: self.metrics.queries.load(Ordering::Relaxed),
             failures: self.metrics.failures.load(Ordering::Relaxed),
             batches_served: self.metrics.batches.load(Ordering::Relaxed),
             queue_depth: self.metrics.queue_depth.load(Ordering::Relaxed),
             sheds: self.metrics.sheds.load(Ordering::Relaxed),
+            adaptive_sheds: self.metrics.adaptive_sheds.load(Ordering::Relaxed),
+            quota_sheds: self.metrics.quota_sheds.load(Ordering::Relaxed),
+            deadline_drops: self.metrics.deadline_drops.load(Ordering::Relaxed),
             partitions_used: self.metrics.partitions.load(Ordering::Relaxed),
             parallel_statements: self.metrics.parallel_statements.load(Ordering::Relaxed),
             pool_tasks: self.metrics.pool_tasks.load(Ordering::Relaxed),
@@ -590,6 +644,9 @@ impl Engine {
             p50_seconds: Reservoir::quantile(&sorted, 0.50),
             p99_seconds: Reservoir::quantile(&sorted, 0.99),
             latency_samples: sorted.len(),
+            sojourn_p50_seconds: Reservoir::quantile(&sojourns, 0.50),
+            sojourn_p99_seconds: Reservoir::quantile(&sojourns, 0.99),
+            sojourn_samples: sojourns.len(),
         }
     }
 
@@ -634,6 +691,27 @@ impl Engine {
 
     pub(crate) fn record_shed(&self) {
         self.metrics.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_adaptive_shed(&self) {
+        self.metrics.adaptive_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_quota_shed(&self) {
+        self.metrics.quota_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_deadline_drop(&self) {
+        self.metrics.deadline_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one served statement's admission-to-completion time.
+    pub(crate) fn record_sojourn(&self, sojourn: std::time::Duration) {
+        self.metrics
+            .sojourns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(sojourn.as_secs_f64());
     }
 
     pub(crate) fn queue_depth_inc(&self) {

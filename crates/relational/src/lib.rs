@@ -24,6 +24,10 @@
 //!   queue over one engine, drained by a fixed worker pool in
 //!   weighted-fair session order, shedding explicitly on overload
 //!   ([`ServerHandle`], [`ServeSession`], [`Receipt`]),
+//! * [`overload`] — adaptive overload control for that front door: the
+//!   CoDel-style admission controller ([`OverloadConfig`]), per-tenant
+//!   service-time quotas ([`Quota`]), and the seeded client backoff
+//!   policy ([`Retry`]),
 //! * [`session`] — the [`Session`] handle: a cheap clone onto a shared
 //!   engine, one entry point over every frontend (raw programs, TPC-H
 //!   queries, SQL) and every registered [`voodoo_backend::Backend`];
@@ -135,6 +139,7 @@
 
 pub mod builder;
 pub mod engine;
+pub mod overload;
 pub mod prepare;
 pub mod queries;
 pub mod serve;
@@ -145,6 +150,7 @@ pub mod views;
 #[allow(deprecated)]
 pub use engine::{run_compiled, run_compiled_optimized, run_interp, run_with};
 pub use engine::{run_query_on, CatalogWrite, Engine, EngineMetrics, StatementSpec};
+pub use overload::{OverloadConfig, Quota, Retry};
 pub use prepare::prepare;
 pub use serve::{
     Completion, Receipt, ServeConfig, ServeError, ServeResult, ServeSession, ServeStats,

@@ -1,0 +1,523 @@
+//! Adaptive overload control for the serving front door: the CoDel-style
+//! admission controller, per-tenant service-time quotas, and the client
+//! retry policy.
+//!
+//! The blunt defense in [`crate::serve`] — a hard queue bound — only
+//! caps *how much* work can wait, not *how long* it waits: with slow
+//! statements even a short queue means seconds of sojourn, and with fast
+//! ones a long queue is harmless. What a latency target actually wants
+//! bounded is **queueing delay**, which is exactly the signal CoDel
+//! (Nichols & Jacobson, *Controlling Queue Delay*, ACM Queue 2012)
+//! controls in packet queues. The adaptation here:
+//!
+//! * Workers feed the controller the **queue wait** of every dequeued
+//!   statement (admission → dequeue, measured under the queue lock, so
+//!   the signal is exact, not sampled).
+//! * The controller tracks the **minimum** wait over a sliding
+//!   [`OverloadConfig::interval`]. The minimum — not the mean or p99 —
+//!   distinguishes a *standing* queue (every statement waits, even the
+//!   luckiest one) from a harmless burst (some statement got through
+//!   quickly). This is CoDel's key observation.
+//! * While the minimum stays above [`OverloadConfig::target`] for a full
+//!   interval, the controller sheds *newly arriving* work
+//!   probabilistically ([`crate::SubmitError::Overloaded`]), with a shed
+//!   probability that each overloaded interval takes the stronger of a
+//!   multiplicative climb and the load-proportional rate
+//!   `1 - target/min_wait` (so a deep standing queue is answered in one
+//!   interval, not a slow ramp), and decays when the queue drains —
+//!   bounded oscillation around the target instead of a saturated
+//!   queue. Draws come from a seeded
+//!   generator ([`OverloadConfig::seed`]), so a test re-running the same
+//!   arrival schedule sees the same decisions.
+//!
+//! Shedding at *admission* (newest work first) rather than at the queue
+//! head is deliberate: the oldest statements have already paid their
+//! wait, and the client that just arrived has the freshest retry budget
+//! — the same reasoning CoDel applies to packets ("drop at head" there,
+//! because the sender's signal travels with the *oldest* packet; here
+//! the "signal" is the synchronous [`crate::SubmitError`], which only
+//! the newest caller can observe).
+//!
+//! [`Quota`] adds the per-tenant dimension: a token bucket of *observed
+//! service seconds* (debited by how long each statement actually ran,
+//! not by statement count), so a tenant issuing heavy statements
+//! exhausts its quota proportionally faster and is shed
+//! ([`crate::SubmitError::QuotaExceeded`]) while light tenants keep
+//! their latency.
+//!
+//! [`Retry`] closes the loop on the client side: capped exponential
+//! backoff with decorrelated jitter (sleep ~ `uniform(base, 3 × last)`,
+//! capped), so a thundering herd of shed clients decorrelates instead
+//! of re-colliding on the same retry tick.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::serve::SubmitError;
+
+// ---------------------------------------------------------------------
+// Controller configuration
+// ---------------------------------------------------------------------
+
+/// Tuning for the CoDel-style admission controller. Attach to a server
+/// with [`crate::ServeConfig::with_overload`]; without it, admission is
+/// blunt (hard queue bound only).
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// The acceptable standing queue delay. The controller begins
+    /// shedding when even the *luckiest* statement of a full interval
+    /// waited longer than this.
+    pub target: Duration,
+    /// How long the minimum wait must stay above `target` before the
+    /// first shed, and how often the shed probability re-evaluates.
+    pub interval: Duration,
+    /// Seed for the shed-decision generator (deterministic admission
+    /// decisions given a deterministic arrival/dequeue schedule).
+    pub seed: u64,
+}
+
+impl OverloadConfig {
+    /// A controller holding queue delay near `target`, re-evaluating
+    /// every `5 × target` (min 20 ms), with a fixed default seed.
+    pub fn with_target(target: Duration) -> OverloadConfig {
+        OverloadConfig {
+            target,
+            interval: (target * 5).max(Duration::from_millis(20)),
+            seed: 0x5eed_c0de,
+        }
+    }
+
+    /// Override the evaluation interval.
+    pub fn with_interval(mut self, interval: Duration) -> OverloadConfig {
+        self.interval = interval.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Override the decision-generator seed.
+    pub fn with_seed(mut self, seed: u64) -> OverloadConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for OverloadConfig {
+    /// 5 ms queue-delay target, 25 ms interval.
+    fn default() -> OverloadConfig {
+        OverloadConfig::with_target(Duration::from_millis(5))
+    }
+}
+
+/// Shed-probability control law: first overloaded interval starts here.
+const SHED_FLOOR: f64 = 0.15;
+/// Multiplicative increase per consecutive overloaded interval.
+const SHED_GROW: f64 = 1.6;
+/// Multiplicative decay per clear interval.
+const SHED_DECAY: f64 = 0.5;
+/// Never shed everything: a trickle must keep probing the queue, or the
+/// controller loses its signal (no dequeues → no observations).
+const SHED_CEIL: f64 = 0.98;
+/// Below this the state snaps to "not shedding".
+const SHED_EPSILON: f64 = 0.01;
+
+/// The controller state machine. Lives inside the serve queue's mutex;
+/// all methods are called under that lock, so the state needs no
+/// synchronization of its own.
+#[derive(Debug)]
+pub(crate) struct Controller {
+    cfg: OverloadConfig,
+    rng: SmallRng,
+    interval_start: Instant,
+    /// Minimum queue wait observed since `interval_start`; `None` until
+    /// the first dequeue of the interval.
+    min_wait: Option<Duration>,
+    /// Current probability of shedding a newly arriving statement.
+    shed_probability: f64,
+    /// Consecutive overloaded intervals (diagnostic; also keeps the
+    /// first clear interval from erasing a long overload episode in one
+    /// step — decay is gradual by the control law itself).
+    overloaded_intervals: u64,
+}
+
+impl Controller {
+    pub(crate) fn new(cfg: OverloadConfig, now: Instant) -> Controller {
+        Controller {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            interval_start: now,
+            min_wait: None,
+            shed_probability: 0.0,
+            overloaded_intervals: 0,
+        }
+    }
+
+    /// Feed one dequeued statement's queue wait. Interval boundaries
+    /// re-evaluate the shed probability: grow it while even the minimum
+    /// wait exceeded the target, decay it once the queue drains.
+    pub(crate) fn observe(&mut self, wait: Duration, now: Instant) {
+        self.min_wait = Some(self.min_wait.map_or(wait, |m| m.min(wait)));
+        if now.duration_since(self.interval_start) < self.cfg.interval {
+            return;
+        }
+        let overloaded = self.min_wait.is_some_and(|m| m > self.cfg.target);
+        if overloaded {
+            self.overloaded_intervals += 1;
+            // Two laws, take the stronger: multiplicative growth gives
+            // bounded oscillation near the target, while the
+            // load-proportional term `1 - target/min` jumps straight to
+            // the shed rate a deep standing queue implies (at 10× load
+            // the multiplicative ramp alone would admit a full queue's
+            // worth of backlog before catching up).
+            let min = self.min_wait.unwrap_or(self.cfg.target);
+            let load_prop = 1.0 - self.cfg.target.as_secs_f64() / min.as_secs_f64().max(1e-9);
+            self.shed_probability = (self.shed_probability * SHED_GROW)
+                .max(load_prop)
+                .clamp(SHED_FLOOR, SHED_CEIL);
+        } else {
+            self.overloaded_intervals = 0;
+            self.shed_probability *= SHED_DECAY;
+            if self.shed_probability < SHED_EPSILON {
+                self.shed_probability = 0.0;
+            }
+        }
+        self.interval_start = now;
+        self.min_wait = None;
+    }
+
+    /// Decide whether to shed an arriving statement (a seeded draw
+    /// against the current probability).
+    pub(crate) fn should_shed(&mut self) -> bool {
+        self.shed_probability > 0.0 && self.rng.gen_bool(self.shed_probability)
+    }
+
+    /// The current shed probability (for stats/figures).
+    pub(crate) fn shed_probability(&self) -> f64 {
+        self.shed_probability
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-tenant quotas
+// ---------------------------------------------------------------------
+
+/// A per-session service-time budget: a token bucket holding *seconds of
+/// observed execution time*, refilled continuously, debited by how long
+/// each of the session's statements actually ran.
+///
+/// `rate` is the sustained fraction of one worker the tenant may
+/// consume (`0.5` = half a worker's seconds per second); `burst` is how
+/// many seconds of service it may bank while idle. A tenant whose
+/// bucket is empty is shed at admission
+/// ([`crate::SubmitError::QuotaExceeded`]) until the refill catches up —
+/// so heavy tenants throttle themselves while light tenants never feel
+/// it. A `rate` of zero makes the bucket a fixed allowance (useful in
+/// tests: admission decisions become schedule-independent).
+#[derive(Debug, Clone, Copy)]
+pub struct Quota {
+    /// Service-seconds refilled per wall-clock second.
+    pub rate: f64,
+    /// Maximum banked service-seconds (also the initial balance).
+    pub burst: f64,
+}
+
+impl Quota {
+    /// A quota refilling `rate` service-seconds per second with `burst`
+    /// seconds of headroom (the initial balance).
+    pub fn per_second(rate: f64, burst: f64) -> Quota {
+        Quota {
+            rate: rate.max(0.0),
+            burst: burst.max(0.0),
+        }
+    }
+}
+
+/// Bucket state (inside the serve queue's mutex).
+#[derive(Debug)]
+pub(crate) struct TokenBucket {
+    quota: Quota,
+    /// Banked service-seconds. May go negative: the debit that empties
+    /// the bucket is for a statement that was *admitted* while tokens
+    /// remained; the deficit delays the next admission instead.
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    pub(crate) fn new(quota: Quota, now: Instant) -> TokenBucket {
+        TokenBucket {
+            tokens: quota.burst,
+            quota,
+            last_refill: now,
+        }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let dt = now.duration_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + dt * self.quota.rate).min(self.quota.burst);
+    }
+
+    /// Whether the tenant may admit another statement right now.
+    pub(crate) fn admit(&mut self, now: Instant) -> bool {
+        self.refill(now);
+        self.tokens > 0.0
+    }
+
+    /// Charge the observed service time of a completed statement.
+    pub(crate) fn debit(&mut self, service: Duration) {
+        self.tokens -= service.as_secs_f64();
+    }
+
+    /// Current balance in service-seconds (diagnostic).
+    pub(crate) fn balance(&self) -> f64 {
+        self.tokens
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client retry policy
+// ---------------------------------------------------------------------
+
+/// Capped exponential backoff with decorrelated jitter for admission
+/// sheds: each sleep is drawn uniformly from `[base, 3 × previous]`,
+/// capped — so a herd of shed clients spreads out instead of
+/// re-colliding, while the cap keeps the worst-case wait bounded.
+///
+/// The draw sequence is seeded ([`Retry::with_seed`]): one seed, one
+/// backoff schedule — tests can pin convergence exactly.
+///
+/// ```
+/// use std::time::Duration;
+/// use voodoo_relational::Retry;
+///
+/// let retry = Retry::new()
+///     .with_base(Duration::from_millis(1))
+///     .with_cap(Duration::from_millis(50))
+///     .with_attempts(8)
+///     .with_seed(7);
+/// let mut calls = 0;
+/// let out = retry.run(|| {
+///     calls += 1;
+///     if calls < 3 {
+///         Err(voodoo_relational::SubmitError::QueueFull)
+///     } else {
+///         Ok("admitted")
+///     }
+/// });
+/// assert_eq!(out.unwrap(), "admitted");
+/// assert_eq!(calls, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Retry {
+    base: Duration,
+    cap: Duration,
+    attempts: usize,
+    seed: u64,
+}
+
+impl Default for Retry {
+    fn default() -> Retry {
+        Retry::new()
+    }
+}
+
+impl Retry {
+    /// Defaults: 1 ms base, 100 ms cap, 16 attempts, fixed seed.
+    pub fn new() -> Retry {
+        Retry {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100),
+            attempts: 16,
+            seed: 0x1e77e1,
+        }
+    }
+
+    /// The minimum (and first) backoff.
+    pub fn with_base(mut self, base: Duration) -> Retry {
+        self.base = base.max(Duration::from_micros(1));
+        self
+    }
+
+    /// The maximum backoff any single sleep may reach.
+    pub fn with_cap(mut self, cap: Duration) -> Retry {
+        self.cap = cap.max(self.base);
+        self
+    }
+
+    /// Total admission attempts (≥ 1) before giving up and returning
+    /// the last error.
+    pub fn with_attempts(mut self, attempts: usize) -> Retry {
+        self.attempts = attempts.max(1);
+        self
+    }
+
+    /// Seed the jitter draws (same seed ⇒ same backoff schedule).
+    pub fn with_seed(mut self, seed: u64) -> Retry {
+        self.seed = seed;
+        self
+    }
+
+    /// The deterministic backoff schedule this policy would sleep
+    /// through: `attempts - 1` durations, each in `[base, cap]`.
+    pub fn backoffs(&self) -> Vec<Duration> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut sleeps = Vec::with_capacity(self.attempts.saturating_sub(1));
+        let mut prev = self.base;
+        for _ in 1..self.attempts {
+            let hi = (prev * 3).min(self.cap).max(self.base);
+            let sleep = if hi > self.base {
+                let span = (hi - self.base).as_secs_f64();
+                self.base + Duration::from_secs_f64(rng.gen_range(0.0..span))
+            } else {
+                self.base
+            };
+            sleeps.push(sleep);
+            prev = sleep;
+        }
+        sleeps
+    }
+
+    /// Run `attempt` until it succeeds or returns a non-retryable error
+    /// ([`SubmitError::is_retryable`]), sleeping the jittered backoff
+    /// between tries. Returns the last error when attempts run out.
+    pub fn run<T>(
+        &self,
+        mut attempt: impl FnMut() -> Result<T, SubmitError>,
+    ) -> Result<T, SubmitError> {
+        let mut last = None;
+        for sleep in std::iter::once(None).chain(self.backoffs().into_iter().map(Some)) {
+            if let Some(d) = sleep {
+                std::thread::sleep(d);
+            }
+            match attempt() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controller_stays_quiet_below_target() {
+        let cfg = OverloadConfig::with_target(Duration::from_millis(5))
+            .with_interval(Duration::from_millis(10));
+        let t0 = Instant::now();
+        let mut c = Controller::new(cfg, t0);
+        for i in 0..100 {
+            c.observe(Duration::from_millis(1), t0 + Duration::from_millis(i));
+        }
+        assert_eq!(c.shed_probability(), 0.0);
+        assert!(!c.should_shed());
+    }
+
+    #[test]
+    fn controller_grows_then_decays_shed_probability() {
+        let cfg = OverloadConfig::with_target(Duration::from_millis(5))
+            .with_interval(Duration::from_millis(10));
+        let t0 = Instant::now();
+        let mut c = Controller::new(cfg, t0);
+        // Four full intervals of standing queue (even the min is 20 ms).
+        for i in 0..=40u64 {
+            c.observe(Duration::from_millis(20), t0 + Duration::from_millis(i));
+        }
+        let grown = c.shed_probability();
+        assert!(grown >= SHED_FLOOR, "grew to {grown}");
+        // One lucky fast statement inside an interval does NOT clear it…
+        c.observe(Duration::from_millis(1), t0 + Duration::from_millis(45));
+        c.observe(Duration::from_millis(20), t0 + Duration::from_millis(51));
+        assert!(
+            c.shed_probability() <= grown * SHED_DECAY + 1e-9,
+            "a clear interval decays"
+        );
+        // …and sustained drain decays to zero.
+        for i in 0..20u64 {
+            c.observe(
+                Duration::from_millis(1),
+                t0 + Duration::from_millis(60 + i * 10),
+            );
+        }
+        assert_eq!(c.shed_probability(), 0.0);
+    }
+
+    #[test]
+    fn controller_decisions_are_seeded() {
+        let cfg = OverloadConfig::default().with_seed(99);
+        let t0 = Instant::now();
+        let mut a = Controller::new(cfg, t0);
+        let mut b = Controller::new(cfg, t0);
+        for c in [&mut a, &mut b] {
+            for i in 0..=10u64 {
+                c.observe(
+                    Duration::from_millis(50),
+                    t0 + Duration::from_millis(i * 10),
+                );
+            }
+        }
+        let da: Vec<bool> = (0..64).map(|_| a.should_shed()).collect();
+        let db: Vec<bool> = (0..64).map(|_| b.should_shed()).collect();
+        assert_eq!(da, db);
+        assert!(da.iter().any(|&d| d), "overloaded controller sheds");
+    }
+
+    #[test]
+    fn zero_rate_bucket_is_a_fixed_allowance() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(Quota::per_second(0.0, 0.010), t0);
+        assert!(b.admit(t0));
+        b.debit(Duration::from_millis(6));
+        assert!(b.admit(t0 + Duration::from_secs(1)), "still 4 ms banked");
+        b.debit(Duration::from_millis(6));
+        assert!(
+            !b.admit(t0 + Duration::from_secs(100)),
+            "no refill at rate 0: balance {}",
+            b.balance()
+        );
+    }
+
+    #[test]
+    fn bucket_refills_at_rate() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(Quota::per_second(0.5, 0.010), t0);
+        b.debit(Duration::from_millis(20)); // 10 ms under water
+        assert!(!b.admit(t0));
+        // 0.5 service-seconds per second: 10 ms of deficit clears in 20 ms.
+        assert!(b.admit(t0 + Duration::from_millis(25)));
+    }
+
+    #[test]
+    fn retry_backoffs_are_deterministic_and_bounded() {
+        let r = Retry::new()
+            .with_base(Duration::from_millis(2))
+            .with_cap(Duration::from_millis(40))
+            .with_attempts(10)
+            .with_seed(1234);
+        let a = r.backoffs();
+        let b = r.backoffs();
+        assert_eq!(a, b, "one seed, one schedule");
+        assert_eq!(a.len(), 9);
+        for d in &a {
+            assert!(*d >= Duration::from_millis(2) && *d <= Duration::from_millis(40));
+        }
+        let c = r.clone().with_seed(4321).backoffs();
+        assert_ne!(a, c, "different seeds decorrelate");
+    }
+
+    #[test]
+    fn retry_stops_on_non_retryable() {
+        let r = Retry::new().with_attempts(5);
+        let mut calls = 0;
+        let out: Result<(), _> = r.run(|| {
+            calls += 1;
+            Err(SubmitError::Shutdown)
+        });
+        assert_eq!(out.unwrap_err(), SubmitError::Shutdown);
+        assert_eq!(calls, 1, "shutdown is not retried");
+    }
+}

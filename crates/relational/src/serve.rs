@@ -14,6 +14,37 @@
 //! * [`ServeSession::submit_wait`] — blocking admission with an optional
 //!   deadline; expiry returns [`SubmitError::Timeout`], never a hang.
 //!
+//! # Adaptive overload control
+//!
+//! The hard queue bound is the *blunt* defense. With
+//! [`ServeConfig::with_overload`] the server also runs the CoDel-style
+//! admission controller ([`crate::OverloadConfig`], see
+//! [`crate::overload`]): workers feed it the queue wait of every
+//! dequeued statement, and while even the minimum wait over a full
+//! interval exceeds the target, newly arriving `submit`s are shed
+//! probabilistically ([`SubmitError::Overloaded`]) *before* the queue
+//! fills — bounding sojourn instead of queue length. Three companions:
+//!
+//! * **Quotas** — [`ServerHandle::session_with_quota`] attaches a
+//!   token bucket of observed service-seconds to a session; an empty
+//!   bucket sheds that tenant ([`SubmitError::QuotaExceeded`]) while
+//!   others keep their latency.
+//! * **Deadline propagation** — the deadline given to
+//!   [`ServeSession::submit_wait`] / [`ServeSession::submit_deadline`]
+//!   rides with the admitted statement: if it expires while the
+//!   statement is still queued, the worker drops it at dequeue
+//!   ([`ServeError::Timeout`], counted as `timed_out`) instead of
+//!   executing work nobody is waiting for.
+//! * **Parallelism-budget scaling** — each worker's morsel-pool lease
+//!   shrinks linearly with queue depth (from the full `cores/workers`
+//!   budget at an empty queue down to 1 at a full one): under pressure
+//!   the machine serves *more statements* rather than *each statement
+//!   faster*.
+//!
+//! Clients shed with a retryable error converge with
+//! [`crate::Retry`] — capped exponential backoff with decorrelated
+//! jitter — instead of thundering back in lockstep.
+//!
 //! Admitted work returns a [`Receipt`] — a one-shot future on std
 //! primitives (`Mutex` + `Condvar`, no new dependencies). Workers drain
 //! the queue in **weighted-fair** order across sessions (min virtual
@@ -45,6 +76,35 @@
 //! assert!(engine.metrics().queries_served >= 1);
 //! server.shutdown();
 //! ```
+//!
+//! Retry a shed admission with jittered backoff, and propagate a
+//! completion deadline so work that can no longer meet it is dropped
+//! at dequeue instead of executed late:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::{Duration, Instant};
+//! use voodoo_relational::{Engine, Retry, ServeConfig, StatementSpec};
+//! use voodoo_tpch::queries::Query;
+//!
+//! let engine = Arc::new(Engine::tpch(0.002));
+//! let server = engine.serve(
+//!     ServeConfig::default().with_workers(2).with_queue_capacity(4),
+//! );
+//! let tenant = server.session(1);
+//!
+//! // Shed refusals (`QueueFull` / `Overloaded` / `QuotaExceeded`) are
+//! // retryable; `Retry` converges with capped decorrelated jitter
+//! // instead of thundering back in lockstep.
+//! let receipt = Retry::new()
+//!     .run(|| tenant.submit_deadline(
+//!         StatementSpec::tpch(Query::Q6),
+//!         Instant::now() + Duration::from_secs(60),
+//!     ))
+//!     .unwrap();
+//! assert!(receipt.wait().is_ok(), "generous deadline: it serves");
+//! server.shutdown();
+//! ```
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -55,6 +115,7 @@ use std::time::{Duration, Instant};
 use voodoo_core::{Diagnostic, VoodooError};
 
 use crate::engine::{Engine, StatementSpec};
+use crate::overload::{Controller, OverloadConfig, Quota, TokenBucket};
 use crate::session::StatementOutput;
 
 /// Default bound on admitted-but-not-yet-executing statements.
@@ -75,6 +136,13 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Fixed worker-pool size.
     pub workers: usize,
+    /// Adaptive admission control; `None` (the default) keeps admission
+    /// blunt (hard queue bound only).
+    pub overload: Option<OverloadConfig>,
+    /// Base intra-statement parallelism budget per worker; defaults to
+    /// `cores / workers`. The effective budget shrinks linearly as the
+    /// queue fills (down to 1 at a full queue).
+    pub intra_budget: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +153,8 @@ impl Default for ServeConfig {
                 .map(|p| p.get())
                 .unwrap_or(1)
                 .min(8),
+            overload: None,
+            intra_budget: None,
         }
     }
 }
@@ -101,6 +171,18 @@ impl ServeConfig {
         self.workers = workers.max(1);
         self
     }
+
+    /// Enable the CoDel-style adaptive admission controller.
+    pub fn with_overload(mut self, overload: OverloadConfig) -> ServeConfig {
+        self.overload = Some(overload);
+        self
+    }
+
+    /// Override the per-worker base parallelism budget (minimum 1).
+    pub fn with_intra_budget(mut self, budget: usize) -> ServeConfig {
+        self.intra_budget = Some(budget.max(1));
+        self
+    }
 }
 
 /// Why a submission was refused admission.
@@ -114,6 +196,29 @@ pub enum SubmitError {
     Timeout,
     /// The server has shut down.
     Shutdown,
+    /// The adaptive admission controller is shedding: queue wait has
+    /// exceeded the sojourn target for a full interval (see
+    /// [`crate::OverloadConfig`]). Transient by design — retry with
+    /// backoff ([`crate::Retry`]).
+    Overloaded,
+    /// The session's service-time quota is exhausted (see
+    /// [`ServerHandle::session_with_quota`]). Refills continuously at
+    /// the quota rate, so this too is retryable.
+    QuotaExceeded,
+}
+
+impl SubmitError {
+    /// Whether retrying (with backoff) can succeed without operator
+    /// intervention. `QueueFull`, `Overloaded`, and `QuotaExceeded` are
+    /// load conditions that drain on their own; `Timeout` means the
+    /// caller's own deadline has already passed and `Shutdown` is
+    /// permanent.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SubmitError::QueueFull | SubmitError::Overloaded | SubmitError::QuotaExceeded
+        )
+    }
 }
 
 impl std::fmt::Display for SubmitError {
@@ -122,11 +227,21 @@ impl std::fmt::Display for SubmitError {
             SubmitError::QueueFull => write!(f, "admission queue full: request shed"),
             SubmitError::Timeout => write!(f, "admission deadline expired"),
             SubmitError::Shutdown => write!(f, "server is shut down"),
+            SubmitError::Overloaded => {
+                write!(f, "server overloaded: adaptive controller shed the request")
+            }
+            SubmitError::QuotaExceeded => write!(f, "session service-time quota exhausted"),
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+impl From<SubmitError> for VoodooError {
+    fn from(e: SubmitError) -> VoodooError {
+        VoodooError::Backend(format!("admission refused: {e}"))
+    }
+}
 
 /// Why an *admitted* statement failed to produce output.
 #[derive(Debug)]
@@ -166,7 +281,14 @@ impl std::fmt::Display for ServeError {
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Result of one admitted statement.
 pub type ServeResult = Result<StatementOutput, ServeError>;
@@ -289,14 +411,21 @@ impl Receipt {
 // ---------------------------------------------------------------------
 
 /// Per-session serving counters (cumulative since the session opened).
+///
+/// Every submission terminates in exactly one bucket:
+/// `submitted == served + shed + timed_out` once the session quiesces.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionServeStats {
-    /// Statements admitted to the queue.
+    /// Statements submitted — admitted **or** shed (every attempt).
     pub submitted: u64,
     /// Statements executed to completion (successfully or not).
     pub served: u64,
-    /// Statements refused admission (queue full / deadline expiry).
+    /// Statements refused admission (queue full, admission-wait expiry,
+    /// adaptive controller, or quota).
     pub shed: u64,
+    /// Admitted statements dropped at dequeue because their propagated
+    /// deadline had already expired (see [`ServeSession::submit_deadline`]).
+    pub timed_out: u64,
     /// Plan-cache hits attributed to this session's executions.
     pub cache_hits: u64,
     /// Plan-cache misses (preparations) attributed to this session.
@@ -308,6 +437,7 @@ struct SessionCounters {
     submitted: AtomicU64,
     served: AtomicU64,
     shed: AtomicU64,
+    timed_out: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
 }
@@ -318,11 +448,16 @@ impl SessionCounters {
             submitted: self.submitted.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
         }
     }
 }
+
+/// A session's service-time budget, shared (behind its own lock) between
+/// the admission path and the worker that debits observed service time.
+type SharedBucket = Arc<Mutex<TokenBucket>>;
 
 struct Job {
     spec: StatementSpec,
@@ -330,6 +465,15 @@ struct Job {
     /// The submitting session's counters, carried with the job so the
     /// executing worker never re-locks the queue to attribute work.
     counters: Arc<SessionCounters>,
+    /// The session's quota bucket (if any), debited by observed service
+    /// time after execution.
+    bucket: Option<SharedBucket>,
+    /// When the job entered the queue — workers feed the wait into the
+    /// adaptive controller.
+    enqueued_at: Instant,
+    /// Propagated completion deadline: expired jobs are dropped at
+    /// dequeue instead of executed.
+    deadline: Option<Instant>,
 }
 
 struct SessionSlot {
@@ -340,6 +484,8 @@ struct SessionSlot {
     vtime: u64,
     queue: VecDeque<Job>,
     counters: Arc<SessionCounters>,
+    /// Service-time quota; `None` means unlimited.
+    bucket: Option<SharedBucket>,
 }
 
 struct QueueState {
@@ -350,12 +496,28 @@ struct QueueState {
     /// or re-activated sessions join at this clock so an idle session
     /// cannot bank credit and starve the others.
     global_vtime: u64,
+    /// CoDel-style adaptive admission controller (None = blunt mode).
+    controller: Option<Controller>,
     shutdown: bool,
+}
+
+/// Which admission defense refused the request (for metric attribution).
+#[derive(Clone, Copy)]
+enum ShedKind {
+    /// Hard queue bound or admission-wait expiry.
+    Blunt,
+    /// The adaptive controller's probabilistic early shed.
+    Adaptive,
+    /// A per-session quota bucket ran dry.
+    Quota,
 }
 
 struct ServeShared {
     engine: Arc<Engine>,
     capacity: usize,
+    /// Full per-worker intra-statement parallelism budget (at an empty
+    /// queue); shrinks linearly with queue depth.
+    base_budget: usize,
     state: Mutex<QueueState>,
     /// Workers wait here for jobs.
     job_ready: Condvar,
@@ -364,6 +526,7 @@ struct ServeShared {
     submitted: AtomicU64,
     served: AtomicU64,
     shed: AtomicU64,
+    timed_out: AtomicU64,
 }
 
 impl ServeShared {
@@ -375,8 +538,10 @@ impl ServeShared {
 
     /// Pop the next job in weighted-fair order: the non-empty session
     /// with the smallest virtual time (ties broken by session id), FIFO
-    /// within the session.
-    fn dequeue(&self, st: &mut QueueState) -> Option<Job> {
+    /// within the session. Feeds the job's queue wait into the adaptive
+    /// controller and returns the intra-statement parallelism budget for
+    /// executing it (shrinking linearly as the queue fills).
+    fn dequeue(&self, st: &mut QueueState) -> Option<(Job, usize)> {
         let idx = st
             .sessions
             .iter()
@@ -392,10 +557,27 @@ impl ServeShared {
         let job = slot.queue.pop_front().expect("non-empty by filter");
         st.queued -= 1;
         self.engine.queue_depth_dec();
-        Some(job)
+        let now = Instant::now();
+        if let Some(c) = st.controller.as_mut() {
+            c.observe(now.saturating_duration_since(job.enqueued_at), now);
+        }
+        // Linear lease shrink: full budget at an empty queue, 1 at a
+        // full one. `queued` is post-pop, so the last waiter still gets
+        // more than the floor.
+        let budget = self
+            .base_budget
+            .saturating_sub(self.base_budget * st.queued / self.capacity)
+            .max(1);
+        Some((job, budget))
     }
 
-    fn admit(&self, st: &mut QueueState, session: usize, spec: StatementSpec) -> Receipt {
+    fn admit(
+        &self,
+        st: &mut QueueState,
+        session: usize,
+        spec: StatementSpec,
+        deadline: Option<Instant>,
+    ) -> Receipt {
         let receipt = Arc::new(ReceiptState {
             slot: Mutex::new(None),
             done: Condvar::new(),
@@ -411,6 +593,9 @@ impl ServeShared {
             spec,
             receipt: Arc::clone(&receipt),
             counters: Arc::clone(&slot.counters),
+            bucket: slot.bucket.clone(),
+            enqueued_at: Instant::now(),
+            deadline,
         });
         st.queued += 1;
         self.engine.queue_depth_inc();
@@ -419,25 +604,58 @@ impl ServeShared {
         Receipt { state: receipt }
     }
 
-    fn record_shed(&self, st: &QueueState, session: usize) {
-        st.sessions[session]
-            .counters
-            .shed
-            .fetch_add(1, Ordering::Relaxed);
+    fn record_shed(&self, st: &QueueState, session: usize, kind: ShedKind) {
+        let counters = &st.sessions[session].counters;
+        // A shed attempt still counts as submitted, so
+        // `submitted == served + shed + timed_out` holds at quiescence.
+        counters.submitted.fetch_add(1, Ordering::Relaxed);
+        counters.shed.fetch_add(1, Ordering::Relaxed);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
         self.shed.fetch_add(1, Ordering::Relaxed);
         self.engine.record_shed();
+        match kind {
+            ShedKind::Blunt => {}
+            ShedKind::Adaptive => self.engine.record_adaptive_shed(),
+            ShedKind::Quota => self.engine.record_quota_shed(),
+        }
     }
 
-    fn submit(&self, session: usize, spec: StatementSpec) -> Result<Receipt, SubmitError> {
+    /// Quota gate: `Some(err)` if the session has a bucket and it is
+    /// empty. Does not consume tokens — observed service time is debited
+    /// after execution.
+    fn quota_refused(&self, st: &QueueState, session: usize) -> bool {
+        match &st.sessions[session].bucket {
+            Some(bucket) => !bucket
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .admit(Instant::now()),
+            None => false,
+        }
+    }
+
+    fn submit(
+        &self,
+        session: usize,
+        spec: StatementSpec,
+        deadline: Option<Instant>,
+    ) -> Result<Receipt, SubmitError> {
         let mut st = self.lock();
         if st.shutdown {
             return Err(SubmitError::Shutdown);
         }
         if st.queued >= self.capacity {
-            self.record_shed(&st, session);
+            self.record_shed(&st, session, ShedKind::Blunt);
             return Err(SubmitError::QueueFull);
         }
-        Ok(self.admit(&mut st, session, spec))
+        if self.quota_refused(&st, session) {
+            self.record_shed(&st, session, ShedKind::Quota);
+            return Err(SubmitError::QuotaExceeded);
+        }
+        if st.controller.as_mut().is_some_and(|c| c.should_shed()) {
+            self.record_shed(&st, session, ShedKind::Adaptive);
+            return Err(SubmitError::Overloaded);
+        }
+        Ok(self.admit(&mut st, session, spec, deadline))
     }
 
     fn submit_wait(
@@ -451,8 +669,16 @@ impl ServeShared {
             if st.shutdown {
                 return Err(SubmitError::Shutdown);
             }
+            // Quota sheds immediately even on the blocking path: waiting
+            // does not make a dry bucket another tenant's problem.
+            if self.quota_refused(&st, session) {
+                self.record_shed(&st, session, ShedKind::Quota);
+                return Err(SubmitError::QuotaExceeded);
+            }
+            // No adaptive shed here: blocking on `space_ready` *is* the
+            // backpressure the controller exists to create.
             if st.queued < self.capacity {
-                return Ok(self.admit(&mut st, session, spec));
+                return Ok(self.admit(&mut st, session, spec, deadline));
             }
             match deadline {
                 None => {
@@ -461,7 +687,7 @@ impl ServeShared {
                 Some(d) => {
                     let now = Instant::now();
                     if now >= d {
-                        self.record_shed(&st, session);
+                        self.record_shed(&st, session, ShedKind::Blunt);
                         return Err(SubmitError::Timeout);
                     }
                     st = self
@@ -481,11 +707,11 @@ impl ServeShared {
 
 fn worker_loop(shared: Arc<ServeShared>) {
     loop {
-        let job = {
+        let (job, budget) = {
             let mut st = shared.lock();
             loop {
-                if let Some(job) = shared.dequeue(&mut st) {
-                    break job;
+                if let Some(next) = shared.dequeue(&mut st) {
+                    break next;
                 }
                 if st.shutdown {
                     return;
@@ -497,12 +723,33 @@ fn worker_loop(shared: Arc<ServeShared>) {
         shared.space_ready.notify_one();
 
         let counters = &job.counters;
+
+        // Deadline propagation: a statement whose deadline already
+        // passed while queued is dead on arrival — drop it here instead
+        // of spending service time nobody is waiting for.
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            counters.timed_out.fetch_add(1, Ordering::Relaxed);
+            shared.timed_out.fetch_add(1, Ordering::Relaxed);
+            shared.engine.record_deadline_drop();
+            job.receipt.fulfill(Err(ServeError::Timeout));
+            continue;
+        }
+
+        // Intra-statement parallelism shrinks with queue depth: under
+        // pressure the pool serves more statements, not each faster.
+        voodoo_compile::exec::set_parallelism_budget(Some(budget));
         let started = Instant::now();
         shared.engine.cache_trace_begin();
         let outcome = catch_unwind(AssertUnwindSafe(|| shared.engine.run_spec(&job.spec)));
         let (hits, misses) = shared.engine.cache_trace_end();
         counters.cache_hits.fetch_add(hits, Ordering::Relaxed);
         counters.cache_misses.fetch_add(misses, Ordering::Relaxed);
+        if let Some(bucket) = &job.bucket {
+            bucket
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .debit(started.elapsed());
+        }
         let result = match outcome {
             Ok(Ok(output)) => Ok(output),
             Ok(Err(e)) => Err(ServeError::Engine(e)),
@@ -521,6 +768,9 @@ fn worker_loop(shared: Arc<ServeShared>) {
         };
         counters.served.fetch_add(1, Ordering::Relaxed);
         shared.served.fetch_add(1, Ordering::Relaxed);
+        shared
+            .engine
+            .record_sojourn(job.receipt.submitted_at.elapsed());
         job.receipt.fulfill(result);
     }
 }
@@ -530,14 +780,23 @@ fn worker_loop(shared: Arc<ServeShared>) {
 // ---------------------------------------------------------------------
 
 /// Aggregate serving counters for one [`ServerHandle`].
+///
+/// Every submission terminates in exactly one bucket:
+/// `submitted == served + shed + timed_out` once the server quiesces
+/// (queue drained, no in-flight statements).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Statements admitted since the server started.
+    /// Statements submitted since the server started — admitted **or**
+    /// shed (every attempt).
     pub submitted: u64,
     /// Statements executed to completion.
     pub served: u64,
-    /// Statements refused admission.
+    /// Statements refused admission (queue full, admission-wait expiry,
+    /// adaptive controller, or quota).
     pub shed: u64,
+    /// Admitted statements dropped at dequeue on an expired propagated
+    /// deadline.
+    pub timed_out: u64,
     /// Admitted statements currently waiting for a worker.
     pub queue_depth: usize,
     /// The admission bound.
@@ -562,9 +821,25 @@ impl ServerHandle {
     pub(crate) fn start(engine: Arc<Engine>, config: ServeConfig) -> ServerHandle {
         let capacity = config.queue_capacity.max(1);
         let worker_count = config.workers.max(1);
+        // Lease the machine between the admission pool and the shared
+        // morsel pool: each serve worker carries a parallelism budget
+        // (default `cores / workers`), which caps how many morsel
+        // workers a statement's `Parallelism::Auto` (and even
+        // `Fixed(n)`) resolves to — i.e. how many slots of the engine's
+        // persistent work-stealing pool it *offers* work for. The pool's
+        // own worker count bounds what actually runs at once, so a
+        // saturated serve pool composes to the machine instead of
+        // `workers × cores` — and no statement spawns threads of its own
+        // anymore. The effective lease shrinks with queue depth (see
+        // `ServeShared::dequeue`).
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let base_budget = config.intra_budget.unwrap_or(cores / worker_count).max(1);
         let shared = Arc::new(ServeShared {
             engine,
             capacity,
+            base_budget,
             state: Mutex::new(QueueState {
                 // Session 0 backs the handle-level submit helpers.
                 sessions: vec![SessionSlot {
@@ -572,9 +847,13 @@ impl ServerHandle {
                     vtime: 0,
                     queue: VecDeque::new(),
                     counters: Arc::new(SessionCounters::default()),
+                    bucket: None,
                 }],
                 queued: 0,
                 global_vtime: 0,
+                controller: config
+                    .overload
+                    .map(|cfg| Controller::new(cfg, Instant::now())),
                 shutdown: false,
             }),
             job_ready: Condvar::new(),
@@ -582,29 +861,14 @@ impl ServerHandle {
             submitted: AtomicU64::new(0),
             served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
         });
-        // Lease the machine between the admission pool and the shared
-        // morsel pool: each serve worker carries a parallelism budget of
-        // `cores / workers`, which caps how many morsel workers a
-        // statement's `Parallelism::Auto` (and even `Fixed(n)`) resolves
-        // to — i.e. how many slots of the engine's persistent
-        // work-stealing pool it *offers* work for. The pool's own worker
-        // count bounds what actually runs at once, so a saturated serve
-        // pool composes to the machine instead of `workers × cores` —
-        // and no statement spawns threads of its own anymore.
-        let cores = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        let intra_budget = (cores / worker_count).max(1);
         let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("voodoo-serve-{i}"))
-                    .spawn(move || {
-                        voodoo_compile::exec::set_parallelism_budget(Some(intra_budget));
-                        worker_loop(shared)
-                    })
+                    .spawn(move || worker_loop(shared))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -619,6 +883,26 @@ impl ServerHandle {
     /// saturation a session receives `weight / total_weight` of the
     /// worker pool's attention; FIFO order holds within a session.
     pub fn session(&self, weight: u32) -> ServeSession {
+        self.open_session(weight, None)
+    }
+
+    /// Open a weighted session with a service-time quota: a token
+    /// bucket holding `quota.burst` seconds of service, refilled at
+    /// `quota.rate` seconds-per-second, debited by the *observed*
+    /// execution time of each statement. An empty bucket sheds the
+    /// session's submissions ([`SubmitError::QuotaExceeded`]) — on the
+    /// blocking path too — while other tenants keep their latency.
+    pub fn session_with_quota(&self, weight: u32, quota: Quota) -> ServeSession {
+        self.open_session(
+            weight,
+            Some(Arc::new(Mutex::new(TokenBucket::new(
+                quota,
+                Instant::now(),
+            )))),
+        )
+    }
+
+    fn open_session(&self, weight: u32, bucket: Option<SharedBucket>) -> ServeSession {
         let counters = Arc::new(SessionCounters::default());
         let mut st = self.shared.lock();
         let idx = st.sessions.len();
@@ -628,29 +912,44 @@ impl ServerHandle {
             vtime,
             queue: VecDeque::new(),
             counters: Arc::clone(&counters),
+            bucket: bucket.clone(),
         });
         drop(st);
         ServeSession {
             shared: Arc::clone(&self.shared),
             idx,
             counters,
+            bucket,
         }
     }
 
     /// Non-blocking admission on the handle's built-in session 0; a full
     /// queue sheds ([`SubmitError::QueueFull`]).
     pub fn submit(&self, spec: StatementSpec) -> Result<Receipt, SubmitError> {
-        self.shared.submit(0, spec)
+        self.shared.submit(0, spec, None)
     }
 
     /// Blocking admission on session 0: waits for queue space until the
-    /// optional deadline ([`SubmitError::Timeout`] on expiry).
+    /// optional deadline ([`SubmitError::Timeout`] on expiry). The
+    /// deadline also propagates into execution: if it expires while the
+    /// admitted statement is still queued, the worker drops it at
+    /// dequeue ([`ServeError::Timeout`]).
     pub fn submit_wait(
         &self,
         spec: StatementSpec,
         deadline: Option<Instant>,
     ) -> Result<Receipt, SubmitError> {
         self.shared.submit_wait(0, spec, deadline)
+    }
+
+    /// Current shed probability of the adaptive admission controller
+    /// (0.0 when overload control is disabled or the queue is healthy).
+    pub fn shed_probability(&self) -> f64 {
+        self.shared
+            .lock()
+            .controller
+            .as_ref()
+            .map_or(0.0, |c| c.shed_probability())
     }
 
     /// Static diagnostics for a spec, synchronously and without taking a
@@ -667,6 +966,7 @@ impl ServerHandle {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             served: self.shared.served.load(Ordering::Relaxed),
             shed: self.shared.shed.load(Ordering::Relaxed),
+            timed_out: self.shared.timed_out.load(Ordering::Relaxed),
             queue_depth,
             capacity: self.shared.capacity,
             workers: self.worker_count,
@@ -710,23 +1010,51 @@ pub struct ServeSession {
     /// Captured at creation so [`ServeSession::stats`] never touches the
     /// admission-queue lock (the counters are plain atomics).
     counters: Arc<SessionCounters>,
+    /// The session's quota bucket, if opened with
+    /// [`ServerHandle::session_with_quota`].
+    bucket: Option<SharedBucket>,
 }
 
 impl ServeSession {
     /// Non-blocking admission; a full queue sheds the request
-    /// ([`SubmitError::QueueFull`]) and bumps the shed counters.
+    /// ([`SubmitError::QueueFull`]) and bumps the shed counters. With
+    /// overload control enabled the adaptive controller may also shed
+    /// ([`SubmitError::Overloaded`]); a dry quota bucket sheds with
+    /// [`SubmitError::QuotaExceeded`].
     pub fn submit(&self, spec: StatementSpec) -> Result<Receipt, SubmitError> {
-        self.shared.submit(self.idx, spec)
+        self.shared.submit(self.idx, spec, None)
+    }
+
+    /// Non-blocking admission with a propagated completion deadline: if
+    /// it expires while the statement is still queued, the worker drops
+    /// it at dequeue ([`ServeError::Timeout`], counted in
+    /// [`SessionServeStats::timed_out`]) instead of executing it.
+    pub fn submit_deadline(
+        &self,
+        spec: StatementSpec,
+        deadline: Instant,
+    ) -> Result<Receipt, SubmitError> {
+        self.shared.submit(self.idx, spec, Some(deadline))
     }
 
     /// Blocking admission: waits for queue space until the optional
     /// deadline; expiry returns [`SubmitError::Timeout`], never a hang.
+    /// The deadline also propagates into execution (see
+    /// [`ServeSession::submit_deadline`]).
     pub fn submit_wait(
         &self,
         spec: StatementSpec,
         deadline: Option<Instant>,
     ) -> Result<Receipt, SubmitError> {
         self.shared.submit_wait(self.idx, spec, deadline)
+    }
+
+    /// Seconds of service time left in this session's quota bucket
+    /// (`None` for unlimited sessions).
+    pub fn quota_balance(&self) -> Option<f64> {
+        self.bucket
+            .as_ref()
+            .map(|b| b.lock().unwrap_or_else(|e| e.into_inner()).balance())
     }
 
     /// This session's cumulative serving counters (lock-free: the

@@ -26,6 +26,10 @@
 //!   §6 related-work translations: hashing, bounded cuckoo, compaction)
 //! * [`opt`] — cost-model-driven plan optimizer (the §7 "automatic
 //!   exploration of the design space" future work)
+//! * [`faults`] — deterministic fault injection: wrap any backend in a
+//!   seeded [`faults::FaultPlan`] that injects scripted errors, panics,
+//!   latency spikes, and pool poisonings — the harness behind the serve
+//!   layer's robustness tests
 //!
 //! For the map of how these crates compose — the execution pipeline
 //! from SQL/TPC-H text to morsel tasks, the bit-identity and versioning
@@ -347,11 +351,83 @@
 //! assert_eq!(m.sheds, 0);
 //! server.shutdown();
 //! ```
+//!
+//! ## Overload control & faults
+//!
+//! The hard queue bound is the blunt defense; production overload wants
+//! the adaptive one: [`relational::ServeConfig::with_overload`] runs a
+//! CoDel-style controller that sheds *before* the queue fills whenever
+//! even the minimum queue wait of an interval exceeds the sojourn
+//! target. Shed clients converge with [`relational::Retry`] (seeded
+//! decorrelated-jitter backoff) instead of thundering back; deadlines
+//! given at submission propagate into execution, so a statement whose
+//! caller stopped waiting is dropped at dequeue, not executed. Every
+//! admitted statement terminates in exactly one stats bucket —
+//! `submitted == served + shed + timed_out` (invariant 9 in
+//! `ARCHITECTURE.md`): nothing is ever silently lost.
+//!
+//! ```
+//! use std::time::Instant;
+//! use voodoo::relational::{Retry, ServeConfig, ServeError, Session, StatementSpec};
+//! use voodoo::tpch::queries::Query;
+//!
+//! let session = Session::tpch(0.002);
+//! let server = session.serve(
+//!     ServeConfig::default().with_queue_capacity(8).with_workers(1),
+//! );
+//! let tenant = server.session(1);
+//! // Shed submissions retry on a seeded, decorrelated backoff schedule.
+//! let retry = Retry::new().with_attempts(8).with_seed(42);
+//! let receipt = retry
+//!     .run(|| tenant.submit(StatementSpec::tpch(Query::Q6)))
+//!     .unwrap();
+//! assert!(!receipt.wait().unwrap().rows().is_empty());
+//! // An already-expired propagated deadline is dropped at dequeue —
+//! // the statement never executes, and the drop is accounted.
+//! let dead = tenant
+//!     .submit_deadline(StatementSpec::tpch(Query::Q6), Instant::now())
+//!     .unwrap();
+//! assert!(matches!(dead.wait(), Err(ServeError::Timeout)));
+//! let stats = tenant.stats();
+//! assert_eq!(stats.timed_out, 1);
+//! assert_eq!(stats.submitted, stats.served + stats.shed + stats.timed_out);
+//! server.shutdown();
+//! ```
+//!
+//! And because an untested failure path is a broken one, [`faults`]
+//! turns any registered backend into a deterministically faulty one: a
+//! seeded [`faults::FaultPlan`] injects errors, panics, latency spikes
+//! and morsel-pool poisonings at scripted call indices. Every injected
+//! fault surfaces as exactly one failed receipt; the server, pool, and
+//! cache keep serving, bit-identically, afterwards.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use voodoo::faults::{Fault, FaultPlan};
+//! use voodoo::relational::{Engine, ServeConfig, StatementSpec};
+//! use voodoo::tpch::queries::Query;
+//!
+//! let engine = Arc::new(Engine::tpch(0.002));
+//! // Wrap the interpreter: its 2nd execution (call index 1, 0-based)
+//! // fails, everything else runs.
+//! let plan = FaultPlan::fault_execute(1, Fault::Error);
+//! let inner = engine.backend("interp").unwrap();
+//! engine.register("interp", plan.wrap(inner));
+//!
+//! let server = engine.serve(ServeConfig::default().with_workers(1));
+//! let spec = StatementSpec::tpch(Query::Q6).on("interp");
+//! let outcomes: Vec<bool> = (0..3)
+//!     .map(|_| server.submit(spec.clone()).unwrap().wait().is_ok())
+//!     .collect();
+//! assert_eq!(outcomes, [true, false, true], "exactly one failed receipt");
+//! server.shutdown();
+//! ```
 pub use voodoo_algos as algos;
 pub use voodoo_backend as backend;
 pub use voodoo_baselines as baselines;
 pub use voodoo_compile as compile;
 pub use voodoo_core as core;
+pub use voodoo_faults as faults;
 pub use voodoo_gpusim as gpusim;
 pub use voodoo_interp as interp;
 pub use voodoo_ivm as ivm;

@@ -225,7 +225,8 @@ fn queue_full_sheds_exactly_beyond_capacity() {
     assert_eq!(m.queue_depth, CAPACITY as u64, "gauge counts admitted work");
     assert_eq!(m.sheds, 1, "exactly one request shed");
     assert_eq!(server.stats().shed, 1);
-    assert_eq!(server.stats().submitted, (CAPACITY + 1) as u64);
+    // `submitted` counts every attempt: head + capacity admitted + 1 shed.
+    assert_eq!(server.stats().submitted, (CAPACITY + 2) as u64);
 
     // Draining restores service: everything admitted completes.
     gate.open();
