@@ -50,6 +50,61 @@ pub fn run_query(cat: &Catalog, q: Query, exec: &mut Exec<'_>) -> Result<QueryRe
     }
 }
 
+/// The exact catalog footprint of one query's plan: every table the
+/// builder reads, host-side metadata included (`canon_ranks` /
+/// `code_of` / `nation_key` dictionaries and the [`crate::prepare()`]
+/// auxiliary flag tables), sorted. This is the static analogue of
+/// `voodoo_verify`'s effects pass for the planner frontend — the TPC-H
+/// plans are built host-side *before* a program exists to analyze, so
+/// the shard router ([`crate::shard`]) plans its scatter set from this
+/// table instead. Q20's `__q20_shipped` staging table is deliberately
+/// absent: the plan creates it itself in a private scratch catalog.
+///
+/// Pinned against the analyzer in this module's tests: for every query,
+/// the union of the effects-pass read sets of its executed programs is
+/// a subset of this list.
+pub fn query_tables(q: Query) -> &'static [&'static str] {
+    match q {
+        Query::Q1 | Query::Q6 => &["lineitem"],
+        Query::Q4 | Query::Q12 => &["lineitem", "orders"],
+        Query::Q5 => &[
+            "customer", "lineitem", "nation", "orders", "region", "supplier",
+        ],
+        Query::Q7 => &["customer", "lineitem", "nation", "orders", "supplier"],
+        Query::Q8 => &[
+            "customer", "lineitem", "nation", "orders", "part", "region", "supplier",
+        ],
+        Query::Q9 => &[
+            aux::NAME_GREEN,
+            aux::YEAR_OF_DAY,
+            "lineitem",
+            "orders",
+            "part",
+            "partsupp",
+            "supplier",
+        ],
+        Query::Q10 => &["customer", "lineitem", "orders"],
+        Query::Q11 => &["nation", "part", "partsupp", "supplier"],
+        Query::Q14 => &[aux::TYPE_PROMO, "lineitem", "part"],
+        Query::Q15 => &["lineitem", "supplier"],
+        Query::Q19 => &[
+            "__aux_p_container_q19_0",
+            "__aux_p_container_q19_1",
+            "__aux_p_container_q19_2",
+            "lineitem",
+            "part",
+        ],
+        Query::Q20 => &[
+            aux::NAME_FOREST,
+            "lineitem",
+            "nation",
+            "part",
+            "partsupp",
+            "supplier",
+        ],
+    }
+}
+
 fn q1(cat: &Catalog, exec: &mut Exec<'_>) -> Result<QueryResult> {
     let rf_rank = canon_ranks(cat, "lineitem", "l_returnflag");
     let ls_rank = canon_ranks(cat, "lineitem", "l_linestatus");

@@ -130,7 +130,7 @@ const WFQ_SCALE: u64 = 1 << 20;
 
 /// Sizing for a [`ServerHandle`]: how much work may wait, and how many
 /// workers drain it.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Maximum admitted statements waiting to execute (excess is shed).
     pub queue_capacity: usize,
@@ -143,6 +143,11 @@ pub struct ServeConfig {
     /// `cores / workers`. The effective budget shrinks linearly as the
     /// queue fills (down to 1 at a full queue).
     pub intra_budget: Option<usize>,
+    /// Name this server goes by in error attribution (default
+    /// `"serve"`). Execution failures carry `[<label>/session-<n>]` in
+    /// their message, so in a multi-server topology — e.g. one server
+    /// per shard ([`crate::shard`]) — a failure names its origin.
+    pub label: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -155,6 +160,7 @@ impl Default for ServeConfig {
                 .min(8),
             overload: None,
             intra_budget: None,
+            label: None,
         }
     }
 }
@@ -181,6 +187,14 @@ impl ServeConfig {
     /// Override the per-worker base parallelism budget (minimum 1).
     pub fn with_intra_budget(mut self, budget: usize) -> ServeConfig {
         self.intra_budget = Some(budget.max(1));
+        self
+    }
+
+    /// Name this server for error attribution: execution failures carry
+    /// `[<label>/session-<n>]` in their message so multi-server failures
+    /// are debuggable from the error alone.
+    pub fn with_label(mut self, label: impl Into<String>) -> ServeConfig {
+        self.label = Some(label.into());
         self
     }
 }
@@ -461,6 +475,9 @@ type SharedBucket = Arc<Mutex<TokenBucket>>;
 
 struct Job {
     spec: StatementSpec,
+    /// Index of the submitting session — combined with the server label
+    /// into the `[<label>/session-<n>]` error-attribution prefix.
+    session: usize,
     receipt: Arc<ReceiptState>,
     /// The submitting session's counters, carried with the job so the
     /// executing worker never re-locks the queue to attribute work.
@@ -514,6 +531,8 @@ enum ShedKind {
 
 struct ServeShared {
     engine: Arc<Engine>,
+    /// This server's name in error attribution (default `"serve"`).
+    label: String,
     capacity: usize,
     /// Full per-worker intra-statement parallelism budget (at an empty
     /// queue); shrinks linearly with queue depth.
@@ -591,6 +610,7 @@ impl ServeShared {
         slot.counters.submitted.fetch_add(1, Ordering::Relaxed);
         slot.queue.push_back(Job {
             spec,
+            session,
             receipt: Arc::clone(&receipt),
             counters: Arc::clone(&slot.counters),
             bucket: slot.bucket.clone(),
@@ -705,6 +725,17 @@ impl ServeShared {
 // Worker loop
 // ---------------------------------------------------------------------
 
+/// Prefix a backend-reported failure with its serving origin. Only the
+/// free-form [`VoodooError::Backend`] payload is touched: the structured
+/// variants (unknown table, type mismatch, …) are matched on by callers
+/// and already name their own culprit.
+fn attribute_engine_error(e: VoodooError, origin: &str) -> VoodooError {
+    match e {
+        VoodooError::Backend(msg) => VoodooError::Backend(format!("[{origin}] {msg}")),
+        other => other,
+    }
+}
+
 fn worker_loop(shared: Arc<ServeShared>) {
     loop {
         let (job, budget) = {
@@ -750,9 +781,13 @@ fn worker_loop(shared: Arc<ServeShared>) {
                 .unwrap_or_else(|e| e.into_inner())
                 .debit(started.elapsed());
         }
+        // Failures name their origin: in a multi-server topology (one
+        // server per shard), `[shard-1/session-2]` in the message is what
+        // makes a partial failure debuggable from the error alone.
+        let origin = || format!("{}/session-{}", shared.label, job.session);
         let result = match outcome {
             Ok(Ok(output)) => Ok(output),
-            Ok(Err(e)) => Err(ServeError::Engine(e)),
+            Ok(Err(e)) => Err(ServeError::Engine(attribute_engine_error(e, &origin()))),
             Err(panic) => {
                 // The statement never reached its own metrics record;
                 // count the failure here so the failure rate covers
@@ -763,7 +798,7 @@ fn worker_loop(shared: Arc<ServeShared>) {
                     .map(|s| s.to_string())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
-                Err(ServeError::WorkerPanic(msg))
+                Err(ServeError::WorkerPanic(format!("[{}] {msg}", origin())))
             }
         };
         counters.served.fetch_add(1, Ordering::Relaxed);
@@ -838,6 +873,7 @@ impl ServerHandle {
         let base_budget = config.intra_budget.unwrap_or(cores / worker_count).max(1);
         let shared = Arc::new(ServeShared {
             engine,
+            label: config.label.clone().unwrap_or_else(|| "serve".to_string()),
             capacity,
             base_budget,
             state: Mutex::new(QueueState {
@@ -1047,6 +1083,12 @@ impl ServeSession {
         deadline: Option<Instant>,
     ) -> Result<Receipt, SubmitError> {
         self.shared.submit_wait(self.idx, spec, deadline)
+    }
+
+    /// This session's error-attribution origin, `<label>/session-<n>` —
+    /// the prefix its execution failures carry.
+    pub fn origin(&self) -> String {
+        format!("{}/session-{}", self.shared.label, self.idx)
     }
 
     /// Seconds of service time left in this session's quota bucket

@@ -97,6 +97,21 @@ pub fn effects(program: &Program) -> Effects {
     Effects { reads, writes }
 }
 
+/// The owned table footprint of a program: every table a live statement
+/// reads *or* writes, sorted and deduplicated. This is the planning
+/// entry point for scatter routing (`voodoo-relational`'s shard layer):
+/// the set of tables a statement touches is exactly the set of shards
+/// that must contribute data, so the analyzer — not a heuristic — decides
+/// which shards a cross-shard statement fans across.
+pub fn read_set(program: &Program) -> Vec<String> {
+    let fx = effects(program);
+    let mut all = fx.reads;
+    all.extend(fx.writes);
+    all.sort_unstable();
+    all.dedup();
+    all
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

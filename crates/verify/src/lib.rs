@@ -36,7 +36,7 @@ pub mod effects;
 pub mod safety;
 pub mod sentinel;
 
-pub use effects::{effects, live_statements, Effects};
+pub use effects::{effects, live_statements, read_set, Effects};
 pub use safety::{classify, ParallelSafety};
 pub use sentinel::{domains, SentinelDomain};
 

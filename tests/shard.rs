@@ -1,0 +1,502 @@
+//! The ISSUE-10 acceptance tests: sharded multi-engine serving is
+//! **bit-identical** to a single engine over the same data — invariant
+//! 10. Every TPC-H and SQL statement (and view read) agrees across
+//! 1/2/4-shard topologies on all three backends, including mid-run
+//! appends routed to the owning shard; random table→shard assignments
+//! with interleaved mutations keep agreeing under proptest, with
+//! per-shard metrics summing to the aggregate exactly; and a fault plan
+//! installed on one shard fails only the statements that touch it, with
+//! shard-attributed errors.
+//!
+//! `VOODOO_SHARDS=<n>` pins the differential sweep to the 1-shard and
+//! n-shard topologies (the CI concurrency job runs 2 and 4 explicitly).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use voodoo::core::Program;
+use voodoo::faults::{Fault, FaultPlan};
+use voodoo::relational::shard::{Router, ShardError, ShardedEngine, ShardedMetrics};
+use voodoo::relational::{EngineMetrics, ServeConfig, Session, StatementSpec};
+use voodoo::storage::Catalog;
+use voodoo::tpch::queries::{QueryResult, CPU_QUERIES};
+
+const BACKENDS: [&str; 3] = ["interp", "cpu", "gpu"];
+const SF: f64 = 0.002;
+
+const SQL_QUERIES: [&str; 4] = [
+    "SELECT SUM(l_extendedprice * l_discount) FROM lineitem \
+     WHERE l_shipdate >= 700 AND l_shipdate < 1100 AND l_quantity < 24",
+    "SELECT COUNT(*) FROM lineitem",
+    "SELECT l_returnflag, SUM(l_quantity), COUNT(*) FROM lineitem GROUP BY l_returnflag",
+    "SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority",
+];
+
+const VIEW_SQL: &str =
+    "SELECT l_returnflag, SUM(l_quantity), COUNT(*) FROM lineitem GROUP BY l_returnflag";
+
+/// The topologies the differential sweeps: 1, 2 and 4 shards by
+/// default; `VOODOO_SHARDS=<n>` pins the sweep to `[1, n]` so CI matrix
+/// legs split the work per topology (1-shard — the degenerate oracle-
+/// equivalent layout — is always kept in the sweep).
+fn topologies() -> Vec<usize> {
+    match std::env::var("VOODOO_SHARDS") {
+        Ok(s) => {
+            let n: usize = s.parse().expect("VOODOO_SHARDS must be a shard count");
+            if n <= 1 {
+                vec![1]
+            } else {
+                vec![1, n]
+            }
+        }
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+/// Light per-component serving config so a 4-shard topology does not
+/// spawn `5 × num_cpus` workers.
+fn config() -> ServeConfig {
+    ServeConfig::default().with_workers(2)
+}
+
+/// Field-by-field exact-sum check: the aggregate must equal the
+/// independent recomputation from the per-shard and coordinator parts —
+/// no double-count, no loss.
+fn assert_metrics_sum_exactly(m: &ShardedMetrics) {
+    let parts: Vec<&EngineMetrics> = m.per_shard.iter().chain([&m.coordinator]).collect();
+    let sum = |f: fn(&EngineMetrics) -> u64| parts.iter().map(|p| f(p)).sum::<u64>();
+    assert_eq!(m.aggregate.queries_served, sum(|p| p.queries_served));
+    assert_eq!(m.aggregate.failures, sum(|p| p.failures));
+    assert_eq!(m.aggregate.batches_served, sum(|p| p.batches_served));
+    assert_eq!(m.aggregate.sheds, sum(|p| p.sheds));
+    assert_eq!(m.aggregate.quota_sheds, sum(|p| p.quota_sheds));
+    assert_eq!(m.aggregate.deadline_drops, sum(|p| p.deadline_drops));
+    assert_eq!(m.aggregate.view_hits, sum(|p| p.view_hits));
+    assert_eq!(m.aggregate.delta_refreshes, sum(|p| p.delta_refreshes));
+    assert_eq!(m.aggregate.full_recomputes, sum(|p| p.full_recomputes));
+    assert_eq!(m.aggregate.pool_tasks, sum(|p| p.pool_tasks));
+    assert_eq!(
+        m.aggregate.latency_samples,
+        parts.iter().map(|p| p.latency_samples).sum::<usize>()
+    );
+}
+
+/// Every statement the harness pins, run against a sharded session —
+/// TPC-H and SQL on every backend, plus the view read.
+fn run_all_sharded(sharded: &ShardedEngine, backend: &str) -> Vec<QueryResult> {
+    let session = sharded.session(1);
+    let mut results = Vec::new();
+    for q in CPU_QUERIES {
+        let got = session
+            .run(StatementSpec::tpch(q).on(backend))
+            .unwrap_or_else(|e| panic!("{} on {backend} sharded: {e}", q.name()));
+        results.push(got.into_rows());
+    }
+    for sql in SQL_QUERIES {
+        let got = session
+            .run(StatementSpec::sql(sql).on(backend))
+            .unwrap_or_else(|e| panic!("{sql:?} on {backend} sharded: {e}"));
+        results.push(got.into_rows());
+    }
+    results.push(QueryResult::new(
+        sharded
+            .read_view_on("qty_by_flag", backend)
+            .unwrap_or_else(|e| panic!("view on {backend} sharded: {e}"))
+            .rows,
+    ));
+    results
+}
+
+/// The same statement set against the single-engine oracle.
+fn run_all_oracle(oracle: &Session, backend: &str) -> Vec<QueryResult> {
+    let mut results = Vec::new();
+    for q in CPU_QUERIES {
+        results.push(
+            oracle
+                .query(q)
+                .run_on(backend)
+                .unwrap_or_else(|e| panic!("{} on {backend} oracle: {e}", q.name()))
+                .into_rows(),
+        );
+    }
+    for sql in SQL_QUERIES {
+        results.push(
+            oracle
+                .sql(sql)
+                .unwrap()
+                .run_on(backend)
+                .unwrap_or_else(|e| panic!("{sql:?} on {backend} oracle: {e}"))
+                .into_rows(),
+        );
+    }
+    results.push(QueryResult::new(
+        oracle.read_view_on("qty_by_flag", backend).unwrap(),
+    ));
+    results
+}
+
+/// The headline differential: every TPC-H + SQL statement and the view
+/// read, bit-identical on 1/2/4-shard topologies vs the single-engine
+/// oracle, across all three backends — including a mid-run append
+/// (routed to the owning shard) that both sides observe identically.
+#[test]
+fn sharded_topologies_bit_identical_to_single_engine() {
+    let catalog = voodoo::tpch::generate(SF);
+    // In-domain append batch: duplicates of existing lineitem rows keep
+    // every value inside the stats ranges the planner sizes tables from.
+    let li = catalog.table("lineitem").expect("lineitem");
+    let batch: Vec<Vec<i64>> = (0..3).map(|i| li.row_image(i)).collect();
+
+    for shards in topologies() {
+        let oracle = Session::new(catalog.clone());
+        oracle.create_view("qty_by_flag", VIEW_SQL).unwrap();
+        let sharded = ShardedEngine::with_config(catalog.clone(), shards, Router::Hash, config());
+        sharded.create_view("qty_by_flag", VIEW_SQL).unwrap();
+        assert_eq!(sharded.shard_count(), shards);
+        assert_eq!(sharded.view_names(), vec!["qty_by_flag".to_string()]);
+
+        for backend in BACKENDS {
+            let got = run_all_sharded(&sharded, backend);
+            let want = run_all_oracle(&oracle, backend);
+            assert_eq!(got, want, "{shards}-shard topology diverged on {backend}");
+        }
+
+        // Mid-run append: the batch lands on lineitem's owning shard and
+        // on the oracle; every statement must still agree afterwards.
+        assert!(sharded.append_rows("lineitem", &batch));
+        assert!(oracle.append_rows("lineitem", &batch));
+        let owner = sharded.table_shard("lineitem");
+        assert!(owner < shards, "owner must be a real shard");
+        for backend in BACKENDS {
+            let got = run_all_sharded(&sharded, backend);
+            let want = run_all_oracle(&oracle, backend);
+            assert_eq!(
+                got, want,
+                "{shards}-shard topology diverged on {backend} after append"
+            );
+        }
+
+        let m = sharded.metrics();
+        assert_metrics_sum_exactly(&m);
+        assert_eq!(
+            m.aggregate.failures, 0,
+            "clean run must not record failures"
+        );
+        assert!(m.aggregate.queries_served > 0);
+        sharded.shutdown();
+    }
+}
+
+/// Routing is deterministic and total: every policy maps every TPC-H
+/// table to a stable shard, range boundaries honor lexicographic order,
+/// and manual assignments clamp + fall back to the hash.
+#[test]
+fn router_policies_are_deterministic() {
+    for n in [1usize, 2, 3, 4, 7] {
+        for table in ["lineitem", "orders", "part", "nation", "__aux_year_of_day"] {
+            let s = Router::Hash.route(table, n);
+            assert!(s < n);
+            assert_eq!(s, Router::Hash.route(table, n), "hash must be stable");
+        }
+    }
+    let range = Router::Range(vec!["m".to_string()]);
+    assert_eq!(range.route("customer", 2), 0);
+    assert_eq!(range.route("supplier", 2), 1);
+    let manual = Router::Manual(HashMap::from([
+        ("lineitem".to_string(), 1),
+        ("orders".to_string(), 99),
+    ]));
+    assert_eq!(manual.route("lineitem", 2), 1);
+    assert_eq!(manual.route("orders", 2), 1, "out-of-range clamps");
+    assert_eq!(
+        manual.route("nation", 2),
+        Router::Hash.route("nation", 2),
+        "unlisted tables fall back to the hash"
+    );
+}
+
+/// The static TPC-H footprint map only names tables that exist after
+/// prepare — a typo there would silently route reads to a shard that
+/// cannot serve them (the differential test then pins sufficiency: a
+/// *missing* table would fail the gathered execution outright).
+#[test]
+fn query_footprints_name_real_tables() {
+    let mut catalog = voodoo::tpch::generate(SF);
+    voodoo::relational::prepare(&mut catalog);
+    for q in CPU_QUERIES {
+        let tables = voodoo::relational::queries::query_tables(q);
+        assert!(!tables.is_empty(), "{} has an empty footprint", q.name());
+        for t in tables {
+            assert!(
+                catalog.table(t).is_some(),
+                "{} footprint names unknown table {t:?}",
+                q.name()
+            );
+        }
+    }
+}
+
+fn two_table_catalog(alpha: &[i64], beta: &[i64]) -> Catalog {
+    let mut cat = Catalog::in_memory();
+    cat.put_i64_column("alpha", alpha);
+    cat.put_i64_column("beta", beta);
+    cat
+}
+
+/// A raw program reading both tables: its analyzer-derived read set
+/// spans both shards, so it exercises the scatter-gather path.
+fn cross_shard_program() -> Program {
+    let mut p = Program::new();
+    let a = p.load("alpha");
+    let sa = p.fold_sum_global(a);
+    let b = p.load("beta");
+    let sb = p.fold_sum_global(b);
+    p.ret(sa);
+    p.ret(sb);
+    p
+}
+
+/// A `FaultPlan` on shard 1 only: statements whose footprint stays on
+/// shard 0 are untouched (no failures, and the faulted backend never
+/// even sees a call), statements touching shard 1 fail with a
+/// shard-attributed error, and after the plan is uninstalled the steady
+/// state is bit-identical to the clean run.
+#[test]
+fn fault_on_one_shard_is_partial_and_attributed() {
+    let cat = two_table_catalog(&[1, 2, 3, 4], &[10, 20, 30]);
+    let router = Router::Manual(HashMap::from([
+        ("alpha".to_string(), 0),
+        ("beta".to_string(), 1),
+    ]));
+    let sharded = ShardedEngine::with_config(cat, 2, router, config());
+    let session = sharded.session(1);
+
+    let alpha_sql = "SELECT COUNT(*), SUM(val), MIN(val), MAX(val) FROM alpha";
+    let beta_sql = "SELECT COUNT(*), SUM(val) FROM beta";
+    let run_sql = |text: &str| {
+        session
+            .run(StatementSpec::sql(text).on("cpu"))
+            .map(|o| o.into_rows())
+    };
+
+    // Clean baselines.
+    let clean_alpha = run_sql(alpha_sql).expect("clean alpha");
+    let clean_beta = run_sql(beta_sql).expect("clean beta");
+    let clean_cross = format!(
+        "{:?}",
+        session
+            .run(StatementSpec::program(cross_shard_program()).on("cpu"))
+            .expect("clean cross")
+            .into_raw()
+    );
+
+    // Install a persistent outage on shard 1's cpu backend only.
+    let shard1 = sharded.shard_engine(1);
+    let clean_backend = shard1.backend("cpu").expect("cpu registered");
+    let plan = FaultPlan::build_with()
+        .fault_execute_range(0, 1_000, Fault::Error)
+        .build();
+    shard1.register("cpu", plan.wrap(clean_backend.clone()));
+
+    // Shard-0-only statements: completely unaffected, repeatedly.
+    for _ in 0..4 {
+        assert_eq!(run_sql(alpha_sql).expect("alpha during fault"), clean_alpha);
+    }
+    assert_eq!(
+        plan.execute_calls(),
+        0,
+        "shard-0 traffic must never reach shard 1's backend"
+    );
+    assert_eq!(
+        sharded.metrics().per_shard[0].failures,
+        0,
+        "shard 0 saw no failures"
+    );
+
+    // A statement owned by shard 1 fails, and says so.
+    let beta_err = run_sql(beta_sql).expect_err("beta must hit the fault");
+    assert_eq!(beta_err.shard(), Some(1));
+    let msg = beta_err.to_string();
+    assert!(msg.contains("shard-1"), "unattributed error: {msg}");
+    assert!(msg.contains("injected fault"), "lost cause: {msg}");
+    assert!(
+        msg.contains("[shard-1/session-"),
+        "serve-layer origin missing: {msg}"
+    );
+
+    // A cross-shard statement fails on its shard-1 probe, attributed.
+    let cross_err = session
+        .run(StatementSpec::program(cross_shard_program()).on("cpu"))
+        .expect_err("cross-shard must hit the fault");
+    assert_eq!(cross_err.shard(), Some(1));
+    assert!(
+        cross_err.to_string().contains("shard-1"),
+        "unattributed cross-shard error: {cross_err}"
+    );
+
+    // Shard 0 still untouched after the failing traffic.
+    assert_eq!(run_sql(alpha_sql).expect("alpha still clean"), clean_alpha);
+
+    // Uninstall the plan: steady state is bit-identical to clean.
+    shard1.register("cpu", clean_backend);
+    assert_eq!(run_sql(alpha_sql).expect("post-fault alpha"), clean_alpha);
+    assert_eq!(run_sql(beta_sql).expect("post-fault beta"), clean_beta);
+    let post_cross = format!(
+        "{:?}",
+        session
+            .run(StatementSpec::program(cross_shard_program()).on("cpu"))
+            .expect("post-fault cross")
+            .into_raw()
+    );
+    assert_eq!(post_cross, clean_cross);
+
+    // Shard 1's failures were recorded on shard 1, and the aggregate
+    // still sums exactly.
+    let m = sharded.metrics();
+    assert!(m.per_shard[1].failures > 0);
+    assert_metrics_sum_exactly(&m);
+    sharded.shutdown();
+}
+
+/// A view whose dependencies land on different shards is refused with a
+/// routing error, not silently mis-maintained; co-located dependencies
+/// are accepted.
+#[test]
+fn cross_shard_view_definitions_are_refused() {
+    use voodoo::relational::sql;
+    use voodoo::relational::views::{view_def_from_sql, ViewDef};
+
+    let cat = two_table_catalog(&[1, 2], &[3, 4]);
+    let split = Router::Manual(HashMap::from([
+        ("alpha".to_string(), 0),
+        ("beta".to_string(), 1),
+    ]));
+    let sharded = ShardedEngine::with_config(cat.clone(), 2, split, config());
+    let mut def: ViewDef =
+        view_def_from_sql(&sql::parse("SELECT COUNT(*), SUM(val) FROM alpha").unwrap()).unwrap();
+    // Graft a join against the table owned by the other shard.
+    def.join = Some(voodoo::relational::JoinDef {
+        right: voodoo::relational::Source::scan("beta", &["val"]),
+        left_key: 0,
+        right_key: 0,
+    });
+    let err = sharded
+        .create_view_def("split_view", def)
+        .expect_err("must refuse");
+    assert!(matches!(err, ShardError::Routing(_)));
+    assert!(err.to_string().contains("span"), "unhelpful error: {err}");
+    assert!(sharded.view_names().is_empty());
+    sharded.shutdown();
+
+    // Same definition with both tables co-located: accepted and served.
+    let merged = Router::Manual(HashMap::from([
+        ("alpha".to_string(), 1),
+        ("beta".to_string(), 1),
+    ]));
+    let sharded = ShardedEngine::with_config(cat, 2, merged, config());
+    sharded
+        .create_view("alpha_view", "SELECT COUNT(*), SUM(val) FROM alpha")
+        .unwrap();
+    assert_eq!(sharded.view_shard("alpha_view"), Some(1));
+    assert_eq!(
+        sharded.read_view("alpha_view").unwrap().rows,
+        vec![vec![2, 3]]
+    );
+    assert!(sharded.drop_view("alpha_view"));
+    assert!(!sharded.drop_view("alpha_view"));
+    sharded.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random table→shard assignments and random interleaved mutations:
+    /// sharded reads (single-shard SQL and cross-shard raw programs)
+    /// always equal the single-engine oracle, and per-shard metrics sum
+    /// to the aggregate exactly after every round.
+    #[test]
+    fn random_assignments_and_mutations_match_oracle(
+        shards in 2usize..5,
+        assign in collection::vec(0usize..4, 4..5),
+        seeds in collection::vec(collection::vec(-50i64..50, 1..6), 4..5),
+        ops in collection::vec((0usize..4, 0usize..3, -50i64..50), 1..8),
+    ) {
+        let mut cat = Catalog::in_memory();
+        let names = ["t0", "t1", "t2", "t3"];
+        for (name, vals) in names.iter().zip(&seeds) {
+            cat.put_i64_column(name, vals);
+        }
+        let mut map = HashMap::new();
+        for (name, s) in names.iter().zip(&assign) {
+            map.insert((*name).to_string(), s % shards);
+        }
+        let oracle = Session::new(cat.clone());
+        let sharded = ShardedEngine::with_config(cat, shards, Router::Manual(map), config());
+        let session = sharded.session(1);
+
+        for (round, (table, kind, v)) in ops.iter().enumerate() {
+            let name = names[*table];
+            match kind {
+                // Append a batch to the owning shard and the oracle.
+                0 => {
+                    prop_assert!(sharded.append_rows(name, &[vec![*v], vec![v + 1]]));
+                    prop_assert!(oracle.append_rows(name, &[vec![*v], vec![v + 1]]));
+                }
+                // In-place update of row 0 on both sides.
+                1 => {
+                    sharded.mutate_table(name, |c| c.update_rows(name, &[(0, vec![*v])]));
+                    oracle.mutate_catalog(|c| { c.update_rows(name, &[(0, vec![*v])]); });
+                }
+                // Delete row 0 on both sides (tables may go empty).
+                _ => {
+                    sharded.mutate_table(name, |c| c.delete_rows(name, &[0]));
+                    oracle.mutate_catalog(|c| { c.delete_rows(name, &[0]); });
+                }
+            }
+            let backend = BACKENDS[round % BACKENDS.len()];
+
+            // Single-shard reads: one SQL statement per table.
+            for name in names {
+                let text = format!("SELECT COUNT(*), SUM(val), MIN(val), MAX(val) FROM {name}");
+                let got = session
+                    .run(StatementSpec::sql(&text).on(backend))
+                    .unwrap_or_else(|e| panic!("{text}: {e}"))
+                    .into_rows();
+                let want = oracle.sql(&text).unwrap().run_on(backend)
+                    .unwrap_or_else(|e| panic!("oracle {text}: {e}"))
+                    .into_rows();
+                prop_assert_eq!(got, want, "{} diverged on {}", text, backend);
+            }
+
+            // A cross-shard raw program over every table.
+            let mut p = Program::new();
+            let mut sums = Vec::new();
+            for name in names {
+                let t = p.load(name);
+                sums.push(p.fold_sum_global(t));
+            }
+            for s in sums {
+                p.ret(s);
+            }
+            let got = session
+                .run(StatementSpec::program(p.clone()).on(backend))
+                .unwrap_or_else(|e| panic!("cross-shard program: {e}"))
+                .into_raw();
+            let want = oracle.program(p).run_on(backend)
+                .unwrap_or_else(|e| panic!("oracle program: {e}"))
+                .into_raw();
+            prop_assert_eq!(format!("{:?}", got), format!("{:?}", want));
+
+            // Exact-sum metrics after every round: no double-count, no
+            // loss.
+            assert_metrics_sum_exactly(&sharded.metrics());
+        }
+
+        // Session accounting quiesces: every submission terminated in
+        // exactly one bucket.
+        let st = session.stats();
+        prop_assert_eq!(st.submitted, st.served + st.shed + st.timed_out);
+        prop_assert!(st.shed == 0 && st.timed_out == 0);
+        sharded.shutdown();
+    }
+}
